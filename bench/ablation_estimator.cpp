@@ -1,0 +1,87 @@
+// Ablation — the Algorithm-1 randomized reconstruction-error estimator.
+//
+// Section IV-A2 reports "a decrease in error at roughly 10% for every 10
+// multiplications" and names stochastic trace estimation and variance-
+// reduced estimators as future-work upgrades. This harness sweeps the
+// probe count ν for all three strategies (Gaussian probes = the paper,
+// Hutchinson, Hutch++) and reports the mean relative deviation of the
+// estimate from the exact residual over many repetitions.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/trace_est.hpp"
+
+int main(int argc, char** argv) {
+  using namespace arams;
+
+  CliFlags flags;
+  flags.declare("n", "200", "batch rows");
+  flags.declare("d", "400", "feature dimension");
+  flags.declare("k", "12", "retained subspace dimension");
+  flags.declare("reps", "40", "repetitions per probe count");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("ablation_estimator");
+    return 0;
+  }
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const auto d = static_cast<std::size_t>(flags.get_int("d"));
+  const auto k = static_cast<std::size_t>(flags.get_int("k"));
+  const int reps = static_cast<int>(flags.get_int("reps"));
+
+  bench::banner("Ablation (Algorithm 1 estimator accuracy vs nu)", false,
+                "mean |estimate/exact - 1| over repetitions");
+
+  // Data with genuine residual outside a k-dim subspace.
+  Rng rng(31);
+  linalg::Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    rng.fill_normal(x.row(i));
+  }
+  linalg::Matrix b(d, k);
+  for (std::size_t i = 0; i < d; ++i) {
+    rng.fill_normal(b.row(i));
+  }
+  linalg::orthonormalize_columns(b);
+  const linalg::Matrix basis = b.transposed();
+  const double exact = linalg::projection_residual_exact(x, basis);
+
+  Table table({"nu", "estimator", "mean_rel_error", "max_rel_error",
+               "theory_1_over_sqrt_nu"});
+  const linalg::ResidualEstimator strategies[] = {
+      linalg::ResidualEstimator::kGaussianProbes,
+      linalg::ResidualEstimator::kHutchinson,
+      linalg::ResidualEstimator::kHutchPlusPlus};
+  for (const int nu : {1, 2, 5, 10, 20, 40, 80}) {
+    for (const auto strategy : strategies) {
+      double mean = 0.0, worst = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        Rng probe(static_cast<std::uint64_t>(rep) * 97 + 13);
+        const double est =
+            linalg::estimate_residual(x, basis, strategy, nu, probe);
+        const double rel = std::abs(est / exact - 1.0);
+        mean += rel;
+        worst = std::max(worst, rel);
+      }
+      mean /= reps;
+      table.add_row({Table::num(static_cast<long>(nu)),
+                     linalg::residual_estimator_name(strategy),
+                     Table::num(mean), Table::num(worst),
+                     Table::num(1.0 / std::sqrt(static_cast<double>(nu)))});
+    }
+  }
+  bench::emit("estimator accuracy vs probe count", table);
+
+  std::cout << "\nexpected shape: error falls like ~1/sqrt(nu) for the "
+               "Gaussian and Hutchinson estimators (Hutchinson with lower "
+               "constants); Hutch++ pulls ahead once nu is large enough "
+               "to deflate the residual operator's top range.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation — priority-sampling keep fraction β.
+//
+// Section IV-B argues for sampling down by a significant fraction (e.g.
+// keep 80%) rather than aggressively: too small a β sacrifices accuracy.
+// This harness sweeps β and reports runtime and sketch error.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/arams_sketch.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace arams;
+
+  CliFlags flags;
+  flags.declare("n", "3000", "rows");
+  flags.declare("d", "300", "columns");
+  flags.declare("ell", "32", "sketch rows");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("ablation_sampling");
+    return 0;
+  }
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const auto d = static_cast<std::size_t>(flags.get_int("d"));
+  const auto ell = static_cast<std::size_t>(flags.get_int("ell"));
+
+  bench::banner("Ablation (priority-sampling fraction beta)", false,
+                "error/runtime across beta; beta=1 disables sampling");
+
+  data::SyntheticConfig dc;
+  dc.n = n;
+  dc.d = d;
+  dc.spectrum.kind = data::DecayKind::kExponential;
+  dc.spectrum.count = std::min(d, std::size_t{150});
+  dc.spectrum.rate = 0.05;
+  Rng rng(23);
+  std::cerr << "[sampling] generating " << n << "x" << d << " dataset...\n";
+  const linalg::Matrix a = data::make_low_rank(dc, rng);
+
+  Table table({"beta", "rows_kept", "runtime_s", "cov_error_rel",
+               "recon_error_rel"});
+  for (const double beta : {0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0}) {
+    core::AramsConfig config;
+    config.use_sampling = beta < 1.0;
+    config.beta = beta;
+    config.rank_adaptive = false;
+    config.ell = ell;
+    core::Arams sketcher(config);
+    Stopwatch timer;
+    const core::AramsResult result = sketcher.sketch_matrix(a);
+    const double seconds = timer.seconds();
+
+    Rng power(3);
+    const double cov =
+        linalg::covariance_error_relative(a, result.sketch, power, 25);
+    const linalg::Matrix basis = sketcher.basis(ell);
+    const double recon = linalg::projection_residual_exact(a, basis) /
+                         linalg::frobenius_norm_squared(a);
+    table.add_row({Table::num(beta),
+                   Table::num(static_cast<long>(result.rows_sampled)),
+                   Table::num(seconds), Table::num(cov),
+                   Table::num(recon)});
+  }
+  bench::emit("beta sweep", table);
+
+  std::cout << "\nexpected shape: runtime falls with beta; error stays "
+               "nearly flat down to beta ~0.6-0.8 and degrades for "
+               "aggressive sampling — supporting the paper's choice of a "
+               "mild keep fraction like 80%.\n";
+  return 0;
+}

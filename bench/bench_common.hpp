@@ -1,0 +1,31 @@
+#pragma once
+// Shared helpers for the figure-reproduction harnesses.
+
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace arams::bench {
+
+/// Prints the standard harness banner: which figure, which scale.
+inline void banner(const std::string& figure, bool full,
+                   const std::string& note) {
+  std::cout << "==========================================================\n"
+            << "ARAMS reproduction — " << figure << "\n"
+            << "scale: " << (full ? "paper (--full)" : "scaled default")
+            << "\n"
+            << note << "\n"
+            << "==========================================================\n";
+}
+
+/// Emits a table under a section header.
+inline void emit(const std::string& title, const Table& table) {
+  std::cout << "\n--- " << title << " ---\n";
+  table.write_pretty(std::cout);
+  std::cout << "[csv]\n";
+  table.write_csv(std::cout);
+}
+
+}  // namespace arams::bench

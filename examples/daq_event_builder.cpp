@@ -1,0 +1,184 @@
+// Event-built vetoing — the paper's §I motivating use case, end to end:
+// "The analysis of upstream diagnostic detector data, which are used to
+// monitor the beam shape, enables labeling events as good or bad, thus
+// informing the analysis of downstream measurement detectors … events with
+// poor beam shape can be discarded from the downstream analysis."
+//
+// Two detectors feed the event builder out of order and with drops: an
+// upstream beam-profile camera and a downstream diffraction area detector.
+// A DAQ thread fuses readouts into shot events and pushes them through a
+// bounded queue; the analysis thread applies a beam-quality veto (CoM
+// offset + ellipticity cut on the upstream frame) and sketches only the
+// surviving downstream frames. The report compares the diffraction-class
+// recovery with and without the veto.
+//
+//   ./daq_event_builder [--shots=400] [--size=32] [--bad-beam-frac=0.3]
+
+#include <cmath>
+#include <iostream>
+#include <thread>
+
+#include "cluster/metrics.hpp"
+#include "data/beam_profile.hpp"
+#include "data/diffraction.hpp"
+#include "image/preprocess.hpp"
+#include "stream/bounded_queue.hpp"
+#include "stream/event_builder.hpp"
+#include "stream/pipeline.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace arams;
+
+/// Beam-quality veto: reject frames whose CoM wanders or that are heavily
+/// elongated — the "poor beam shape" label.
+bool beam_is_good(const image::ImageF& beam_frame) {
+  const image::CenterOfMass com = image::center_of_mass(beam_frame);
+  const double cx = (static_cast<double>(beam_frame.width()) - 1.0) / 2.0;
+  const double cy = (static_cast<double>(beam_frame.height()) - 1.0) / 2.0;
+  const double offset = std::hypot(com.x - cx, com.y - cy) /
+                        static_cast<double>(beam_frame.width());
+  return offset < 0.08;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("shots", "400", "number of shots");
+  flags.declare("size", "32", "frame height/width");
+  flags.declare("bad-beam-frac", "0.3",
+                "fraction of shots with a wandering beam");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("daq_event_builder");
+    return 0;
+  }
+  const auto shots = static_cast<std::size_t>(flags.get_int("shots"));
+  const auto size = static_cast<std::size_t>(flags.get_int("size"));
+  const double bad_frac = flags.get_double("bad-beam-frac");
+
+  // Generators. Bad-beam shots also corrupt the downstream frame (extra
+  // smear), which is why vetoing helps the analysis.
+  data::BeamProfileConfig good_beam;
+  good_beam.height = size;
+  good_beam.width = size;
+  good_beam.com_jitter = 0.02;
+  data::BeamProfileConfig bad_beam = good_beam;
+  bad_beam.com_jitter = 0.2;  // wandering pointing
+
+  data::DiffractionConfig diff;
+  diff.height = size;
+  diff.width = size;
+  diff.num_classes = 3;
+  diff.photons_per_frame = 4e4;
+  const data::DiffractionGenerator diff_gen(diff);
+
+  Rng rng(47);
+  struct Readout {
+    std::string detector;
+    std::uint64_t shot;
+    image::ImageF frame;
+  };
+  std::vector<Readout> wire;  // the "timing-system wire", out of order
+  std::vector<int> truth(shots);
+  std::vector<bool> bad_shot(shots);
+  for (std::size_t s = 0; s < shots; ++s) {
+    bad_shot[s] = rng.uniform() < bad_frac;
+    Rng beam_rng = rng.split(s);
+    auto beam =
+        data::generate_beam_profile(bad_shot[s] ? bad_beam : good_beam,
+                                    beam_rng);
+    auto area = diff_gen.generate(rng);
+    truth[s] = area.truth.class_label;
+    if (bad_shot[s]) {
+      // Poor beam smears the downstream pattern into near-uniform haze.
+      image::ImageF& f = area.frame;
+      const double mean =
+          f.total_intensity() / static_cast<double>(f.pixel_count());
+      for (auto& p : f.pixels()) {
+        p = 0.15 * p + 0.85 * mean;
+      }
+    }
+    wire.push_back({"beam", s, std::move(beam.frame)});
+    wire.push_back({"area", s, std::move(area.frame)});
+  }
+  // Scramble arrival order within a bounded skew (the real wire is nearly
+  // ordered but interleaved across detectors).
+  for (std::size_t i = 0; i + 8 < wire.size(); ++i) {
+    std::swap(wire[i], wire[i + rng.uniform_index(8)]);
+  }
+
+  // DAQ thread: event-build the wire and push fused events downstream.
+  stream::BoundedQueue<stream::FusedEvent> queue(32);
+  stream::EventBuilder builder({"beam", "area"}, 64);
+  std::thread daq([&] {
+    for (auto& readout : wire) {
+      for (auto& event :
+           builder.push(readout.detector, readout.shot, 0.0,
+                        std::move(readout.frame))) {
+        queue.push(std::move(event));
+      }
+    }
+    for (auto& event : builder.flush()) {
+      queue.push(std::move(event));
+    }
+    queue.close();
+  });
+
+  // Analysis thread (this one): veto on the upstream readout, collect the
+  // downstream frames of surviving shots.
+  std::vector<image::ImageF> kept_frames, all_frames;
+  std::vector<int> kept_truth, all_truth;
+  std::size_t vetoed = 0, incomplete = 0;
+  while (auto event = queue.pop()) {
+    if (!event->complete) {
+      ++incomplete;
+      continue;
+    }
+    const auto& beam_frame = event->readouts.at("beam");
+    const auto& area_frame = event->readouts.at("area");
+    all_frames.push_back(area_frame);
+    all_truth.push_back(truth[event->shot_id]);
+    if (!beam_is_good(beam_frame)) {
+      ++vetoed;
+      continue;
+    }
+    kept_frames.push_back(area_frame);
+    kept_truth.push_back(truth[event->shot_id]);
+  }
+  daq.join();
+
+  std::cout << "event-built " << all_frames.size() << " complete shots ("
+            << incomplete << " incomplete, "
+            << builder.stats().stale_readouts
+            << " readouts lost beyond the reorder window), vetoed "
+            << vetoed << " poor-beam shots, kept " << kept_frames.size()
+            << "\n";
+
+  // Downstream analysis with and without the veto.
+  stream::PipelineConfig config;
+  config.sketch.ell = 20;
+  config.num_cores = 2;
+  config.pca_components = 8;
+  config.umap.n_neighbors = 12;
+  config.umap.n_epochs = 150;
+  config.preprocess.center = false;
+  const stream::MonitoringPipeline pipeline(config);
+
+  const auto run = [&](const std::vector<image::ImageF>& frames,
+                       const std::vector<int>& labels) {
+    const stream::PipelineResult result = pipeline.analyze(frames);
+    return cluster::adjusted_rand_index(result.labels, labels);
+  };
+  const double ari_all = run(all_frames, all_truth);
+  const double ari_kept = run(kept_frames, kept_truth);
+  std::cout << "diffraction-class recovery (ARI): all shots = " << ari_all
+            << ", after beam veto = " << ari_kept << "\n"
+            << (ari_kept > ari_all
+                    ? "the upstream veto improved the downstream analysis\n"
+                    : "no improvement — inspect the veto threshold\n");
+  return 0;
+}

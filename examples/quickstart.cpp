@@ -1,0 +1,70 @@
+// Quickstart: sketch a synthetic low-rank matrix with ARAMS and check the
+// covariance error against the FD guarantee.
+//
+//   ./quickstart [--n=2000] [--d=300] [--ell=32] [--beta=0.8] [--epsilon=0.05]
+
+#include <iostream>
+
+#include "core/arams_sketch.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace arams;
+
+  CliFlags flags;
+  flags.declare("n", "2000", "number of samples (rows)");
+  flags.declare("d", "300", "feature dimension (columns)");
+  flags.declare("ell", "32", "initial sketch rank");
+  flags.declare("beta", "0.8", "priority-sampling keep fraction");
+  flags.declare("epsilon", "0.05", "rank-adaptation error target");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("quickstart");
+    return 0;
+  }
+
+  // 1. Generate data: exponentially decaying spectrum, like a beam-profile
+  //    covariance.
+  data::SyntheticConfig data_config;
+  data_config.n = static_cast<std::size_t>(flags.get_int("n"));
+  data_config.d = static_cast<std::size_t>(flags.get_int("d"));
+  data_config.spectrum.kind = data::DecayKind::kExponential;
+  data_config.spectrum.count = std::min(data_config.d, std::size_t{100});
+  data_config.spectrum.rate = 0.08;
+  Rng rng(2024);
+  std::cout << "generating " << data_config.n << " x " << data_config.d
+            << " synthetic dataset...\n";
+  const linalg::Matrix a = data::make_low_rank(data_config, rng);
+
+  // 2. Sketch it with ARAMS (priority sampling + rank-adaptive FD).
+  core::AramsConfig sketch_config;
+  sketch_config.ell = static_cast<std::size_t>(flags.get_int("ell"));
+  sketch_config.beta = flags.get_double("beta");
+  sketch_config.epsilon = flags.get_double("epsilon");
+  core::Arams sketcher(sketch_config);
+
+  Stopwatch timer;
+  const core::AramsResult result = sketcher.sketch_matrix(a);
+  const double seconds = timer.seconds();
+
+  // 3. Report quality: ‖AᵀA − BᵀB‖₂ relative to ‖A‖²_F, against the FD
+  //    bound 1/ℓ.
+  Rng power(7);
+  const double rel_err =
+      linalg::covariance_error_relative(a, result.sketch, power, 80);
+
+  std::cout << "sketch: " << result.sketch.rows() << " x "
+            << result.sketch.cols() << " (final ell = " << result.final_ell
+            << ", rows sampled = " << result.rows_sampled << ")\n"
+            << "time:   " << seconds << " s (" << result.stats.svd_count
+            << " rotations)\n"
+            << "error:  relative covariance error = " << rel_err
+            << "  [FD bound 1/ell = "
+            << 1.0 / static_cast<double>(result.final_ell) << "]\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+// XPCS contrast monitoring: the §III-A scenario where beam-profile
+// instability corrupts speckle contrast. A speckle stream with a mid-run
+// coherence degradation flows through (a) the CUSUM diagnostics, which must
+// alarm on the contrast drop, and (b) the sketching pipeline, whose
+// per-shot speckle statistics must separate good-beam from degraded-beam
+// shots — the "classify the X-ray pulses according to their profiles" case.
+//
+//   ./xpcs_contrast_monitor [--frames=600] [--size=48] [--degrade-at=300]
+
+#include <cmath>
+#include <iostream>
+
+#include "cluster/metrics.hpp"
+#include "data/speckle.hpp"
+#include "embed/metrics.hpp"
+#include "stream/diagnostics.hpp"
+#include "stream/pipeline.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace arams;
+
+  CliFlags flags;
+  flags.declare("frames", "600", "speckle frames to stream");
+  flags.declare("size", "48", "frame height/width");
+  flags.declare("degrade-at", "300", "shot index where coherence degrades");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("xpcs_contrast_monitor");
+    return 0;
+  }
+  const auto frames = static_cast<std::size_t>(flags.get_int("frames"));
+  const auto size = static_cast<std::size_t>(flags.get_int("size"));
+  const auto degrade_at =
+      static_cast<std::size_t>(flags.get_int("degrade-at"));
+
+  // Two generator phases sharing one run: nominal coherence, then a beam
+  // degradation that halves the speckle contrast (partial coherence).
+  data::SpeckleConfig good;
+  good.height = size;
+  good.width = size;
+  good.contrast = 1.0;
+  data::SpeckleConfig bad = good;
+  bad.contrast = 0.45;
+  bad.coherence_length = good.coherence_length * 2.0;  // fatter grains
+  data::SpeckleGenerator good_gen(good, 31);
+  data::SpeckleGenerator bad_gen(bad, 32);
+
+  stream::BeamDiagnostics diagnostics(/*warmup=*/120);
+  // CUSUM directly on the XPCS observable.
+  stream::CusumDetector contrast_cusum(/*warmup=*/120, 0.5, 8.0);
+
+  std::vector<image::ImageF> all_frames;
+  std::vector<int> phase(frames, 0);
+  all_frames.reserve(frames);
+  long false_alarms = 0;        // alarms while the beam was still nominal
+  long first_detection = -1;    // first alarm at/after the degradation
+  for (std::size_t i = 0; i < frames; ++i) {
+    const bool degraded = i >= degrade_at;
+    data::SpeckleSample sample =
+        degraded ? bad_gen.next() : good_gen.next();
+    phase[i] = degraded ? 1 : 0;
+
+    stream::ShotEvent event;
+    event.shot_id = i;
+    event.frame = sample.frame;
+    diagnostics.update(event);
+    if (contrast_cusum.update(sample.truth.realized_contrast)) {
+      if (!degraded) {
+        ++false_alarms;
+      } else if (first_detection < 0) {
+        first_detection = static_cast<long>(i);
+      }
+    }
+    all_frames.push_back(std::move(sample.frame));
+  }
+
+  std::cout << "streamed " << frames << " speckle frames ("
+            << degrade_at << " nominal, " << frames - degrade_at
+            << " degraded)\n"
+            << "contrast CUSUM: reference contrast "
+            << contrast_cusum.reference_mean() << ", first detection at shot "
+            << first_detection << " (degradation started at " << degrade_at
+            << "), " << false_alarms << " false alarms before it\n"
+            << "frame-stat alarms from generic diagnostics: "
+            << diagnostics.total_alarms() << "\n";
+
+  // Unsupervised classification of the same shots via the pipeline's
+  // general matrix entry point. Raw speckle pixels are isotropic random
+  // texture — individual frames share no directions, so pixel-space PCA
+  // carries no phase signal. What differs between beam phases is the
+  // *statistics* of each frame; XPCS practice extracts them per shot:
+  // contrast, mean, and the spatial autocorrelation at a few lags (the
+  // grain-size signature).
+  const auto lag_corr = [](const image::ImageF& f, std::size_t lag) {
+    double mean = 0.0;
+    for (const double p : f.pixels()) mean += p;
+    mean /= static_cast<double>(f.pixel_count());
+    double sab = 0.0, saa = 0.0;
+    for (std::size_t y = 0; y < f.height(); ++y) {
+      for (std::size_t x = 0; x + lag < f.width(); ++x) {
+        sab += (f.at(y, x) - mean) * (f.at(y, x + lag) - mean);
+      }
+    }
+    for (std::size_t y = 0; y < f.height(); ++y) {
+      for (std::size_t x = 0; x < f.width(); ++x) {
+        saa += (f.at(y, x) - mean) * (f.at(y, x) - mean);
+      }
+    }
+    return saa > 0.0 ? sab / saa : 0.0;
+  };
+  linalg::Matrix features(frames, 6);
+  for (std::size_t i = 0; i < frames; ++i) {
+    const auto& f = all_frames[i];
+    features(i, 0) = data::speckle_contrast(f);
+    features(i, 1) =
+        f.total_intensity() / static_cast<double>(f.pixel_count());
+    features(i, 2) = lag_corr(f, 1);
+    features(i, 3) = lag_corr(f, 2);
+    features(i, 4) = lag_corr(f, 4);
+    features(i, 5) = lag_corr(f, 8);
+  }
+
+  stream::PipelineConfig config;
+  config.sketch.ell = 6;
+  config.num_cores = 2;
+  config.pca_components = 4;
+  config.umap.n_neighbors = 15;
+  config.umap.n_epochs = 150;
+  const stream::MonitoringPipeline pipeline(config);
+  const stream::PipelineResult result =
+      pipeline.analyze_matrix(features);
+
+  const double ari = cluster::adjusted_rand_index(result.labels, phase);
+  std::cout << "pipeline on per-shot speckle statistics: "
+            << cluster::cluster_count(result.labels)
+            << " clusters over 2 beam phases, ARI vs phase = " << ari
+            << "\n";
+  std::cout << (first_detection >= 0 &&
+                        first_detection < static_cast<long>(degrade_at + 60)
+                    ? "monitoring verdict: degradation caught promptly\n"
+                    : "monitoring verdict: check alarm latency\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "cluster/abod.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::cluster {
+
+using linalg::Matrix;
+
+std::vector<double> fast_abod(const Matrix& points, const AbodConfig& config) {
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  ARAMS_CHECK(config.k >= 2, "ABOD needs k >= 2");
+  ARAMS_CHECK(n > config.k, "need more points than k");
+
+  Rng rng(0);  // exact kNN only; rng unused but required by the builder
+  const embed::KnnGraph graph =
+      embed::build_knn(points, config.k, rng);
+
+  std::vector<double> scores(n, 0.0);
+  std::vector<std::vector<double>> diffs(config.k,
+                                         std::vector<double>(dim));
+  std::vector<double> norms(config.k);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto row_p = points.row(p);
+    for (std::size_t a = 0; a < config.k; ++a) {
+      const auto row_a = points.row(graph.neighbor(p, a));
+      double nrm = 0.0;
+      for (std::size_t c = 0; c < dim; ++c) {
+        diffs[a][c] = row_a[c] - row_p[c];
+        nrm += diffs[a][c] * diffs[a][c];
+      }
+      norms[a] = std::sqrt(nrm);
+    }
+    double wsum = 0.0, mean = 0.0, m2 = 0.0;
+    for (std::size_t a = 0; a < config.k; ++a) {
+      if (norms[a] == 0.0) continue;
+      for (std::size_t b = a + 1; b < config.k; ++b) {
+        if (norms[b] == 0.0) continue;
+        double inner = 0.0;
+        for (std::size_t c = 0; c < dim; ++c) {
+          inner += diffs[a][c] * diffs[b][c];
+        }
+        const double value =
+            inner / (norms[a] * norms[a] * norms[b] * norms[b]);
+        const double w = 1.0 / (norms[a] * norms[b]);
+        // West's incremental weighted variance.
+        wsum += w;
+        const double delta = value - mean;
+        mean += (w / wsum) * delta;
+        m2 += w * delta * (value - mean);
+      }
+    }
+    scores[p] = (wsum > 0.0) ? m2 / wsum : 0.0;
+  }
+  return scores;
+}
+
+std::vector<double> exact_abod(const Matrix& points) {
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  ARAMS_CHECK(n >= 3, "exact ABOD needs at least three points");
+
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> da(dim), db(dim);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto row_p = points.row(p);
+    double wsum = 0.0, mean = 0.0, m2 = 0.0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (a == p) continue;
+      const auto row_a = points.row(a);
+      double na = 0.0;
+      for (std::size_t c = 0; c < dim; ++c) {
+        da[c] = row_a[c] - row_p[c];
+        na += da[c] * da[c];
+      }
+      if (na == 0.0) continue;
+      na = std::sqrt(na);
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (b == p) continue;
+        const auto row_b = points.row(b);
+        double nb = 0.0, inner = 0.0;
+        for (std::size_t c = 0; c < dim; ++c) {
+          db[c] = row_b[c] - row_p[c];
+          nb += db[c] * db[c];
+          inner += da[c] * db[c];
+        }
+        if (nb == 0.0) continue;
+        nb = std::sqrt(nb);
+        const double value = inner / (na * na * nb * nb);
+        const double w = 1.0 / (na * nb);
+        wsum += w;
+        const double delta = value - mean;
+        mean += (w / wsum) * delta;
+        m2 += w * delta * (value - mean);
+      }
+    }
+    scores[p] = (wsum > 0.0) ? m2 / wsum : 0.0;
+  }
+  return scores;
+}
+
+std::vector<std::size_t> top_outliers(const std::vector<double>& scores,
+                                      std::size_t count) {
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  count = std::min(count, scores.size());
+  std::partial_sort(idx.begin(),
+                    idx.begin() + static_cast<std::ptrdiff_t>(count),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      return scores[a] < scores[b];
+                    });
+  idx.resize(count);
+  return idx;
+}
+
+}  // namespace arams::cluster

@@ -1,0 +1,154 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace arams::cluster {
+
+using linalg::Matrix;
+
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// k-means++ seeding: each next centroid is drawn ∝ distance² to the
+/// nearest already-chosen centroid.
+Matrix seed_centroids(const Matrix& points, std::size_t k, Rng& rng) {
+  const std::size_t n = points.rows();
+  Matrix centroids(k, points.cols());
+  std::vector<double> best_d2(n, std::numeric_limits<double>::infinity());
+
+  std::size_t first = rng.uniform_index(n);
+  centroids.set_row(0, points.row(first));
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      best_d2[i] =
+          std::min(best_d2[i], sq_dist(points.row(i), centroids.row(c - 1)));
+      total += best_d2[i];
+    }
+    std::size_t chosen = n - 1;
+    if (total > 0.0) {
+      double target = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= best_d2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.uniform_index(n);  // all points identical
+    }
+    centroids.set_row(c, points.row(chosen));
+  }
+  return centroids;
+}
+
+KmeansResult run_once(const Matrix& points, const KmeansConfig& config,
+                      Rng& rng) {
+  const std::size_t n = points.rows();
+  const std::size_t k = config.k;
+  KmeansResult result;
+  result.centroids = seed_centroids(points, k, rng);
+  result.labels.assign(n, 0);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> counts(k);
+  Matrix sums(k, points.cols());
+  for (int iter = 0; iter < config.max_iters; ++iter) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_dist(points.row(i), result.centroids.row(c));
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      result.labels[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+
+    // Update step.
+    sums.fill(0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(result.labels[i]);
+      ++counts[c];
+      const auto row = points.row(i);
+      auto sum = sums.row(c);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        sum[j] += row[j];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: reseed on the farthest point from its centroid.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = sq_dist(
+              points.row(i),
+              result.centroids.row(static_cast<std::size_t>(
+                  result.labels[i])));
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        result.centroids.set_row(c, points.row(far));
+        continue;
+      }
+      auto centroid = result.centroids.row(c);
+      const auto sum = sums.row(c);
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (std::size_t j = 0; j < centroid.size(); ++j) {
+        centroid[j] = sum[j] * inv;
+      }
+    }
+
+    if (prev_inertia - inertia <=
+        config.tol * std::max(prev_inertia, 1e-300)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+KmeansResult kmeans(const Matrix& points, const KmeansConfig& config) {
+  ARAMS_CHECK(config.k >= 1, "k must be >= 1");
+  ARAMS_CHECK(points.rows() >= config.k, "need at least k points");
+  ARAMS_CHECK(config.restarts >= 1, "need at least one restart");
+
+  Rng rng(config.seed);
+  KmeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < config.restarts; ++r) {
+    KmeansResult candidate = run_once(points, config, rng);
+    if (candidate.inertia < best.inertia) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace arams::cluster

@@ -1,0 +1,33 @@
+#pragma once
+// Lloyd's k-means with k-means++ seeding — the classic baseline for the
+// clustering stage when the operator *knows* the number of classes (the
+// density methods OPTICS/HDBSCAN discover it; k-means anchors the
+// comparison in the Fig. 6 benches).
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace arams::cluster {
+
+struct KmeansConfig {
+  std::size_t k = 4;
+  int max_iters = 100;
+  int restarts = 4;        ///< independent k-means++ runs; best inertia wins
+  double tol = 1e-7;       ///< relative inertia improvement to keep going
+  std::uint64_t seed = 11;
+};
+
+struct KmeansResult {
+  std::vector<int> labels;   ///< cluster per point, 0..k−1
+  linalg::Matrix centroids;  ///< k×d
+  double inertia = 0.0;      ///< Σ squared distance to assigned centroid
+  int iterations = 0;        ///< iterations of the winning restart
+};
+
+/// Runs k-means on Euclidean rows. Requires k >= 1 and n >= k.
+KmeansResult kmeans(const linalg::Matrix& points, const KmeansConfig& config);
+
+}  // namespace arams::cluster

@@ -1,0 +1,112 @@
+#include "cluster/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace arams::cluster {
+
+using linalg::Matrix;
+
+double adjusted_rand_index(const std::vector<int>& a,
+                           const std::vector<int>& b) {
+  ARAMS_CHECK(a.size() == b.size(), "labelings differ in length");
+  const std::size_t n = a.size();
+  ARAMS_CHECK(n >= 2, "need at least two points");
+
+  std::map<std::pair<int, int>, long> contingency;
+  std::map<int, long> count_a, count_b;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++contingency[{a[i], b[i]}];
+    ++count_a[a[i]];
+    ++count_b[b[i]];
+  }
+  const auto comb2 = [](long m) {
+    return static_cast<double>(m) * static_cast<double>(m - 1) / 2.0;
+  };
+  double sum_cells = 0.0;
+  for (const auto& [key, c] : contingency) sum_cells += comb2(c);
+  double sum_a = 0.0, sum_b = 0.0;
+  for (const auto& [key, c] : count_a) sum_a += comb2(c);
+  for (const auto& [key, c] : count_b) sum_b += comb2(c);
+  const double total = comb2(static_cast<long>(n));
+  const double expected = sum_a * sum_b / total;
+  const double maximum = 0.5 * (sum_a + sum_b);
+  if (maximum - expected == 0.0) return 0.0;
+  return (sum_cells - expected) / (maximum - expected);
+}
+
+double purity(const std::vector<int>& predicted,
+              const std::vector<int>& truth) {
+  ARAMS_CHECK(predicted.size() == truth.size(), "labelings differ in length");
+  const std::size_t n = predicted.size();
+  ARAMS_CHECK(n > 0, "empty labelings");
+
+  std::unordered_map<int, std::unordered_map<int, long>> table;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (predicted[i] < 0) continue;  // noise counts against purity
+    ++table[predicted[i]][truth[i]];
+  }
+  long correct = 0;
+  for (const auto& [cluster, counts] : table) {
+    long best = 0;
+    for (const auto& [cls, c] : counts) best = std::max(best, c);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double silhouette(const Matrix& points, const std::vector<int>& labels) {
+  const std::size_t n = points.rows();
+  ARAMS_CHECK(labels.size() == n, "label length mismatch");
+
+  // Gather clustered points per label.
+  std::map<int, std::vector<std::size_t>> clusters;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] >= 0) clusters[labels[i]].push_back(i);
+  }
+  if (clusters.size() < 2) return 0.0;
+
+  const auto distance = [&](std::size_t x, std::size_t y) {
+    double s = 0.0;
+    const auto rx = points.row(x);
+    const auto ry = points.row(y);
+    for (std::size_t c = 0; c < rx.size(); ++c) {
+      const double d = rx[c] - ry[c];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  };
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const auto& [label, members] : clusters) {
+    if (members.size() < 2) continue;
+    for (const std::size_t i : members) {
+      double a = 0.0;
+      for (const std::size_t j : members) {
+        if (j != i) a += distance(i, j);
+      }
+      a /= static_cast<double>(members.size() - 1);
+
+      double b = std::numeric_limits<double>::infinity();
+      for (const auto& [other_label, other] : clusters) {
+        if (other_label == label) continue;
+        double m = 0.0;
+        for (const std::size_t j : other) m += distance(i, j);
+        b = std::min(b, m / static_cast<double>(other.size()));
+      }
+      const double denom = std::max(a, b);
+      if (denom > 0.0) {
+        total += (b - a) / denom;
+      }
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace arams::cluster

@@ -1,0 +1,27 @@
+#pragma once
+// External and internal clustering quality metrics — used to quantify the
+// Fig. 6 claim ("data separates into clear clusters" matching the latent
+// quadrant-weight classes).
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace arams::cluster {
+
+/// Adjusted Rand Index between two labelings (noise −1 is treated as its
+/// own label). 1 = identical partitions, ≈0 = random agreement.
+double adjusted_rand_index(const std::vector<int>& a,
+                           const std::vector<int>& b);
+
+/// Purity of `predicted` against `truth`: for each predicted cluster take
+/// its majority truth class; noise points count as errors.
+double purity(const std::vector<int>& predicted,
+              const std::vector<int>& truth);
+
+/// Mean silhouette coefficient over clustered (non-noise) points; O(n²).
+/// Returns 0 when fewer than two clusters exist.
+double silhouette(const linalg::Matrix& points,
+                  const std::vector<int>& labels);
+
+}  // namespace arams::cluster

@@ -1,0 +1,220 @@
+#include "cluster/optics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace arams::cluster {
+
+using linalg::Matrix;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double dist(const Matrix& pts, std::size_t a, std::size_t b) {
+  double s = 0.0;
+  const auto ra = pts.row(a);
+  const auto rb = pts.row(b);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    const double d = ra[i] - rb[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+OpticsResult optics(const Matrix& points, const OpticsConfig& config) {
+  const std::size_t n = points.rows();
+  ARAMS_CHECK(n >= 2, "OPTICS needs at least two points");
+  ARAMS_CHECK(config.min_pts >= 2 && config.min_pts <= n,
+              "min_pts out of range");
+
+  OpticsResult result;
+  result.order.reserve(n);
+  result.reachability.assign(n, kInf);
+  result.core_distance.assign(n, kInf);
+
+  std::vector<bool> processed(n, false);
+  std::vector<double> dists(n);
+  std::vector<std::size_t> neighbors;
+
+  const auto range_query = [&](std::size_t p) {
+    neighbors.clear();
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q == p) continue;
+      dists[q] = dist(points, p, q);
+      if (dists[q] <= config.max_eps) {
+        neighbors.push_back(q);
+      }
+    }
+    // Core distance = distance to the (min_pts−1)-th neighbour (the point
+    // itself counts toward min_pts, as in the original paper).
+    if (neighbors.size() + 1 >= config.min_pts) {
+      std::vector<double> nd;
+      nd.reserve(neighbors.size());
+      for (const std::size_t q : neighbors) nd.push_back(dists[q]);
+      const std::size_t kth = config.min_pts - 2;  // 0-based among neighbours
+      std::nth_element(nd.begin(),
+                       nd.begin() + static_cast<std::ptrdiff_t>(kth),
+                       nd.end());
+      result.core_distance[p] = nd[kth];
+    } else {
+      result.core_distance[p] = kInf;
+    }
+  };
+
+  // Lazy-deletion min-heap keyed by candidate reachability.
+  using Seed = std::pair<double, std::size_t>;
+  std::priority_queue<Seed, std::vector<Seed>, std::greater<>> seeds;
+
+  const auto update_seeds = [&](std::size_t p) {
+    const double core = result.core_distance[p];
+    if (std::isinf(core)) return;  // not a core point: expands nothing
+    for (const std::size_t q : neighbors) {
+      if (processed[q]) continue;
+      const double reach = std::max(core, dists[q]);
+      if (reach < result.reachability[q]) {
+        result.reachability[q] = reach;
+        seeds.emplace(reach, q);
+      }
+    }
+  };
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    processed[start] = true;
+    range_query(start);
+    result.order.push_back(start);
+    update_seeds(start);
+
+    while (!seeds.empty()) {
+      const auto [r, q] = seeds.top();
+      seeds.pop();
+      if (processed[q] || r > result.reachability[q]) continue;  // stale
+      processed[q] = true;
+      range_query(q);
+      result.order.push_back(q);
+      update_seeds(q);
+    }
+  }
+  ARAMS_CHECK(result.order.size() == n, "OPTICS ordering incomplete");
+  return result;
+}
+
+std::vector<int> extract_dbscan(const OpticsResult& result, double eps) {
+  const std::size_t n = result.order.size();
+  std::vector<int> labels(n, -1);
+  int cluster = -1;
+  for (const std::size_t p : result.order) {
+    if (result.reachability[p] > eps) {
+      if (result.core_distance[p] <= eps) {
+        ++cluster;
+        labels[p] = cluster;
+      }  // else: noise, stays -1
+    } else if (cluster >= 0) {
+      labels[p] = cluster;
+    }
+  }
+  return labels;
+}
+
+namespace {
+
+/// Recursive reachability-valley splitting (simplified ξ extraction, see
+/// header). Positions are indices into result.order.
+void split_interval(const std::vector<double>& r, std::size_t s,
+                    std::size_t e, double xi, std::size_t min_size,
+                    std::vector<std::pair<std::size_t, std::size_t>>& leaves) {
+  if (e - s < min_size) return;
+  // Largest interior reachability is the candidate split point; position s
+  // is excluded because r[s] is the entry edge into this valley.
+  std::size_t m = s + 1;
+  for (std::size_t i = s + 1; i < e; ++i) {
+    if (r[i] > r[m]) m = i;
+  }
+  // Significance: the candidate must be a statistical outlier against the
+  // rest of the valley (mean + 3σ), shrunk by the ξ factor. Ordinary
+  // intra-cluster reachability noise stays below this; genuine
+  // cluster-boundary spikes exceed it by an order of magnitude.
+  double mean = 0.0, m2 = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = s + 1; i < e; ++i) {
+    if (i == m || std::isinf(r[i])) continue;
+    ++count;
+    const double delta = r[i] - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (r[i] - mean);
+  }
+  const double stddev =
+      count > 1 ? std::sqrt(m2 / static_cast<double>(count - 1)) : 0.0;
+  const bool significant =
+      std::isinf(r[m]) ||
+      (count > 1 && r[m] * (1.0 - xi) > mean + 3.0 * stddev);
+  if (!significant) {
+    leaves.emplace_back(s, e);
+    return;
+  }
+  const std::size_t before = leaves.size();
+  split_interval(r, s, m, xi, min_size, leaves);
+  split_interval(r, m, e, xi, min_size, leaves);
+  if (leaves.size() == before) {
+    // Both halves too small — keep the whole interval as one cluster.
+    leaves.emplace_back(s, e);
+  }
+}
+
+}  // namespace
+
+std::vector<int> extract_xi(const OpticsResult& result, double xi,
+                            std::size_t min_cluster_size) {
+  ARAMS_CHECK(xi > 0.0 && xi < 1.0, "xi must be in (0, 1)");
+  const std::size_t n = result.order.size();
+  // Reachability in ordering position space.
+  std::vector<double> r(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    r[pos] = result.reachability[result.order[pos]];
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> leaves;
+  split_interval(r, 0, n, xi, min_cluster_size, leaves);
+
+  std::vector<int> labels(n, -1);
+  int cluster = 0;
+  for (const auto& [s, e] : leaves) {
+    for (std::size_t pos = s; pos < e; ++pos) {
+      labels[result.order[pos]] = cluster;
+    }
+    ++cluster;
+  }
+  return labels;
+}
+
+std::vector<int> extract_auto(const OpticsResult& result, double quantile) {
+  ARAMS_CHECK(quantile > 0.0 && quantile < 1.0, "quantile must be in (0,1)");
+  std::vector<double> finite;
+  finite.reserve(result.reachability.size());
+  for (const double v : result.reachability) {
+    if (!std::isinf(v)) finite.push_back(v);
+  }
+  if (finite.empty()) {
+    return std::vector<int>(result.order.size(), -1);
+  }
+  const auto idx = static_cast<std::size_t>(
+      quantile * static_cast<double>(finite.size() - 1));
+  std::nth_element(finite.begin(),
+                   finite.begin() + static_cast<std::ptrdiff_t>(idx),
+                   finite.end());
+  // A small headroom above the quantile keeps cluster interiors connected.
+  return extract_dbscan(result, finite[idx] * 1.05);
+}
+
+std::size_t cluster_count(const std::vector<int>& labels) {
+  int mx = -1;
+  for (const int l : labels) mx = std::max(mx, l);
+  return static_cast<std::size_t>(mx + 1);
+}
+
+}  // namespace arams::cluster

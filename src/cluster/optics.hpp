@@ -1,0 +1,50 @@
+#pragma once
+// OPTICS — Ordering Points To Identify the Clustering Structure (Ankerst,
+// Breunig, Kriegel, Sander 1999) — stage 4 of the monitoring pipeline.
+//
+// optics() produces the reachability ordering; two extractors turn it into
+// labels: extract_dbscan (an ε-cut, equivalent to DBSCAN at that ε) and
+// extract_xi (ξ-steep up/down cluster boundaries). extract_auto picks the
+// ε-cut at a reachability quantile — a robust default when the operator
+// has no prior on density, which is the monitoring situation.
+
+#include <limits>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace arams::cluster {
+
+struct OpticsConfig {
+  std::size_t min_pts = 5;  ///< core-point neighbourhood size
+  double max_eps = std::numeric_limits<double>::infinity();
+};
+
+struct OpticsResult {
+  std::vector<std::size_t> order;      ///< visit order of the points
+  std::vector<double> reachability;    ///< reachability distance per point
+  std::vector<double> core_distance;   ///< core distance per point
+};
+
+/// Runs OPTICS with brute-force range queries (O(n²) — the embeddings this
+/// pipeline clusters are 2-D and a few thousand points).
+OpticsResult optics(const linalg::Matrix& points, const OpticsConfig& config);
+
+/// ε-cut extraction: walking the ordering, a point with reachability > eps
+/// starts a new cluster if it is a core point at eps, else is noise (-1).
+std::vector<int> extract_dbscan(const OpticsResult& result, double eps);
+
+/// ξ-extraction (simplified valley finder): clusters are maximal runs of
+/// the ordering whose reachability sits below (1−ξ) times the bounding
+/// steep edges. min_cluster_size filters fragments.
+std::vector<int> extract_xi(const OpticsResult& result, double xi,
+                            std::size_t min_cluster_size = 5);
+
+/// ε-cut at the given quantile of finite reachability values.
+std::vector<int> extract_auto(const OpticsResult& result,
+                              double quantile = 0.75);
+
+/// Number of clusters in a label vector (ignoring noise = -1).
+std::size_t cluster_count(const std::vector<int>& labels);
+
+}  // namespace arams::cluster

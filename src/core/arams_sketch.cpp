@@ -1,0 +1,99 @@
+#include "core/arams_sketch.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace arams::core {
+
+using linalg::Matrix;
+
+Arams::Arams(const AramsConfig& config) : config_(config) {
+  ARAMS_CHECK(config.beta > 0.0 && config.beta <= 1.0,
+              "beta must be in (0, 1]");
+  if (config_.rank_adaptive) {
+    RankAdaptiveConfig ra;
+    ra.initial_ell = config_.ell;
+    ra.nu = config_.nu;
+    ra.rank_step = config_.rank_step;
+    ra.epsilon = config_.epsilon;
+    ra.relative_error = config_.relative_error;
+    ra.max_ell = config_.max_ell;
+    ra.estimator = config_.estimator;
+    ra.seed = config_.seed;
+    ra_fd_ = std::make_unique<RankAdaptiveFd>(ra);
+  } else {
+    fixed_fd_ = std::make_unique<FrequentDirections>(
+        FdConfig{config_.ell, /*fast=*/true});
+  }
+}
+
+FrequentDirections& Arams::fd() {
+  return ra_fd_ ? static_cast<FrequentDirections&>(*ra_fd_) : *fixed_fd_;
+}
+
+AramsResult Arams::sketch_matrix(const Matrix& x) {
+  AramsResult result;
+  Stopwatch timer;
+
+  const Matrix* input = &x;
+  Matrix sampled;
+  if (config_.use_sampling && config_.beta < 1.0) {
+    PrioritySamplerConfig ps;
+    ps.weight = config_.weight;
+    ps.seed = config_.seed ^ 0x5a5a5a5aull;
+    sampled = priority_sample(x, config_.beta, ps);
+    input = &sampled;
+  }
+  result.sample_seconds = timer.lap();
+  result.rows_sampled = input->rows();
+  rows_sampled_total_ += input->rows();
+
+  if (ra_fd_) {
+    ra_fd_->set_rows_remaining(static_cast<long>(input->rows()));
+    ra_fd_->append_batch(*input);
+  } else {
+    fixed_fd_->append_batch(*input);
+  }
+  fd().compress();
+  result.sketch_seconds = timer.lap();
+  result.sketch = fd().sketch();
+  result.final_ell = fd().ell();
+  result.stats = fd().stats();
+  return result;
+}
+
+void Arams::push_batch(const Matrix& batch) {
+  Stopwatch timer;
+  const Matrix* input = &batch;
+  Matrix sampled;
+  if (config_.use_sampling && config_.beta < 1.0) {
+    PrioritySamplerConfig ps;
+    ps.weight = config_.weight;
+    ps.seed = config_.seed ^ (0x9e3779b9ull + rows_sampled_total_);
+    sampled = priority_sample(batch, config_.beta, ps);
+    input = &sampled;
+  }
+  sample_seconds_ += timer.lap();
+  rows_sampled_total_ += input->rows();
+  if (ra_fd_) {
+    ra_fd_->append_batch(*input);
+  } else {
+    fixed_fd_->append_batch(*input);
+  }
+}
+
+Matrix Arams::sketch() {
+  fd().compress();
+  return fd().sketch();
+}
+
+Matrix Arams::basis(std::size_t k) { return fd().basis(k); }
+
+std::size_t Arams::current_ell() const {
+  return ra_fd_ ? ra_fd_->ell() : fixed_fd_->ell();
+}
+
+SketchStats Arams::stats() const {
+  return ra_fd_ ? ra_fd_->stats() : fixed_fd_->stats();
+}
+
+}  // namespace arams::core

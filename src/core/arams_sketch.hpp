@@ -1,0 +1,84 @@
+#pragma once
+// ARAMS — Accelerated Rank-Adaptive Matrix Sketching (Algorithm 3).
+//
+// Chains the two stages: priority sampling first brings the row count down
+// by a large fraction β (e.g. keep 80%) *without* dropping to a tiny latent
+// dimension, then (rank-adaptive) Frequent Directions sketches the sampled
+// rows. The four Fig. 1 variants are the cross product of the two toggles:
+//   use_sampling × rank_adaptive  ("user-specified error" vs "rank").
+
+#include <memory>
+#include <optional>
+
+#include "core/fd.hpp"
+#include "core/priority_sampler.hpp"
+#include "core/rank_adaptive.hpp"
+#include "core/sketch_stats.hpp"
+
+namespace arams::core {
+
+struct AramsConfig {
+  // --- stage 1: priority sampling ---
+  bool use_sampling = true;
+  double beta = 0.8;  ///< fraction of rows the sampler keeps
+  SamplingWeight weight = SamplingWeight::kRowNormSquared;
+
+  // --- stage 2: frequent directions ---
+  bool rank_adaptive = true;
+  std::size_t ell = 32;       ///< initial (RA) or fixed (non-RA) rank
+  int nu = 10;                ///< probes per error estimate (RA)
+  double epsilon = 0.05;      ///< error threshold (RA)
+  bool relative_error = true;
+  std::size_t rank_step = 0;  ///< 0 → ν
+  std::size_t max_ell = 4096;
+  linalg::ResidualEstimator estimator =
+      linalg::ResidualEstimator::kGaussianProbes;
+
+  std::uint64_t seed = 2024;
+};
+
+struct AramsResult {
+  linalg::Matrix sketch;       ///< ≤ ℓ_final rows × d
+  std::size_t final_ell = 0;   ///< rank after adaptation
+  std::size_t rows_sampled = 0;  ///< rows that survived stage 1
+  SketchStats stats;
+  double sample_seconds = 0.0;
+  double sketch_seconds = 0.0;
+};
+
+/// The ARAMS sketching engine. Batch API (`sketch_matrix`) is Algorithm 3
+/// verbatim; the streaming API applies the sampler per pushed batch so a
+/// detector stream never has to be materialized.
+class Arams {
+ public:
+  explicit Arams(const AramsConfig& config);
+
+  /// Algorithm 3: priority-sample the whole matrix to ⌈βn⌉ rows, then run
+  /// (rank-adaptive) FD over the sample.
+  AramsResult sketch_matrix(const linalg::Matrix& x);
+
+  /// Streaming: sample within this batch, then feed the survivors to the
+  /// persistent FD state.
+  void push_batch(const linalg::Matrix& batch);
+
+  /// Current sketch (compressed to ≤ ℓ rows).
+  linalg::Matrix sketch();
+
+  /// Orthonormal top-k principal directions of the current sketch (k×d).
+  linalg::Matrix basis(std::size_t k);
+
+  [[nodiscard]] std::size_t current_ell() const;
+  [[nodiscard]] SketchStats stats() const;
+  [[nodiscard]] const AramsConfig& config() const { return config_; }
+
+ private:
+  FrequentDirections& fd();
+
+  AramsConfig config_;
+  std::unique_ptr<RankAdaptiveFd> ra_fd_;        // set when rank_adaptive
+  std::unique_ptr<FrequentDirections> fixed_fd_; // set otherwise
+  double sample_seconds_ = 0.0;
+  std::size_t rows_sampled_total_ = 0;
+};
+
+}  // namespace arams::core

@@ -1,0 +1,199 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fd.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/svd.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace arams::core {
+
+using linalg::Matrix;
+
+void RowSketcher::append_batch(const Matrix& rows) {
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    append(rows.row(r));
+  }
+}
+
+// ---------------------------------------------------------------- Gaussian
+
+GaussianProjectionSketch::GaussianProjectionSketch(std::size_t ell,
+                                                   std::uint64_t seed)
+    : ell_(ell), rng_(seed), coeffs_(ell) {
+  ARAMS_CHECK(ell >= 1, "sketch needs at least one row");
+}
+
+void GaussianProjectionSketch::append(std::span<const double> row) {
+  if (sketch_.empty()) {
+    sketch_ = Matrix(ell_, row.size());
+  }
+  ARAMS_CHECK(row.size() == sketch_.cols(), "row dimension changed");
+  // B += s·rowᵀ where s ~ N(0, 1/ℓ)·e — one Gaussian per sketch row.
+  const double scale = 1.0 / std::sqrt(static_cast<double>(ell_));
+  rng_.fill_normal(coeffs_);
+  for (std::size_t i = 0; i < ell_; ++i) {
+    linalg::axpy(coeffs_[i] * scale, row, sketch_.row(i));
+  }
+}
+
+// ------------------------------------------------------------- CountSketch
+
+CountSketch::CountSketch(std::size_t ell, std::uint64_t seed)
+    : ell_(ell), rng_(seed) {
+  ARAMS_CHECK(ell >= 1, "sketch needs at least one row");
+}
+
+void CountSketch::append(std::span<const double> row) {
+  if (sketch_.empty()) {
+    sketch_ = Matrix(ell_, row.size());
+  }
+  ARAMS_CHECK(row.size() == sketch_.cols(), "row dimension changed");
+  const std::uint64_t h = rng_.next_u64();
+  const std::size_t bucket = h % ell_;
+  const double sign = (h >> 63) ? 1.0 : -1.0;
+  linalg::axpy(sign, row, sketch_.row(bucket));
+}
+
+// ----------------------------------------------------------- NormSampling
+
+NormSamplingSketch::NormSamplingSketch(std::size_t ell, std::uint64_t seed)
+    : ell_(ell), rng_(seed), slots_(ell) {
+  ARAMS_CHECK(ell >= 1, "sketch needs at least one row");
+}
+
+void NormSamplingSketch::append(std::span<const double> row) {
+  if (dim_ == 0) {
+    dim_ = row.size();
+    ARAMS_CHECK(dim_ > 0, "zero-dimensional rows");
+  }
+  ARAMS_CHECK(row.size() == dim_, "row dimension changed");
+  const double w = linalg::norm2_squared(row);
+  if (w <= 0.0) return;
+  total_weight_ += w;
+  // Each slot runs independent A-Res weighted reservoir sampling: keep the
+  // row maximizing u^(1/w); the winner is distributed ∝ w.
+  for (auto& slot : slots_) {
+    double u = 0.0;
+    do {
+      u = rng_.uniform();
+    } while (u <= 0.0);
+    const double key = std::pow(u, 1.0 / w);
+    if (key > slot.key) {
+      slot.key = key;
+      slot.weight = w;
+      slot.row.assign(row.begin(), row.end());
+    }
+  }
+}
+
+Matrix NormSamplingSketch::sketch() {
+  ARAMS_CHECK(dim_ > 0, "sketch before any rows were appended");
+  std::size_t filled = 0;
+  for (const auto& slot : slots_) {
+    if (!slot.row.empty()) ++filled;
+  }
+  Matrix out(filled, dim_);
+  std::size_t r = 0;
+  for (const auto& slot : slots_) {
+    if (slot.row.empty()) continue;
+    auto dst = out.row(r++);
+    std::copy(slot.row.begin(), slot.row.end(), dst.begin());
+    // pᵢ = wᵢ/W per draw; scaling by 1/√(ℓ·pᵢ) makes E[BᵀB] = AᵀA.
+    const double p = slot.weight / total_weight_;
+    linalg::scale(dst, 1.0 / std::sqrt(static_cast<double>(ell_) * p));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- iSVD
+
+TruncatedSvdSketch::TruncatedSvdSketch(std::size_t ell) : ell_(ell) {
+  ARAMS_CHECK(ell >= 1, "sketch needs at least one row");
+}
+
+void TruncatedSvdSketch::append(std::span<const double> row) {
+  if (dim_ == 0) {
+    dim_ = row.size();
+    ARAMS_CHECK(dim_ > 0, "zero-dimensional rows");
+    buffer_ = Matrix(2 * ell_, dim_);
+  }
+  ARAMS_CHECK(row.size() == dim_, "row dimension changed");
+  if (next_row_ == buffer_.rows()) {
+    truncate();
+  }
+  buffer_.set_row(next_row_, row);
+  ++next_row_;
+  ++stats_.rows_processed;
+}
+
+void TruncatedSvdSketch::truncate() {
+  Stopwatch timer;
+  const Matrix occupied = buffer_.slice_rows(0, next_row_);
+  const linalg::SigmaVt svd = linalg::sigma_vt_svd(occupied);
+  buffer_.fill(0.0);
+  const std::size_t keep = std::min(ell_, svd.sigma.size());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < keep; ++i) {
+    if (svd.sigma[i] <= 0.0) break;
+    std::copy(svd.w.row(i).begin(), svd.w.row(i).end(),
+              buffer_.row(out).begin());
+    ++out;
+  }
+  next_row_ = out;
+  ++stats_.svd_count;
+  stats_.shrink_seconds += timer.seconds();
+}
+
+Matrix TruncatedSvdSketch::sketch() {
+  if (dim_ == 0) return Matrix();
+  if (next_row_ > ell_) {
+    truncate();
+  }
+  return buffer_.slice_rows(0, next_row_);
+}
+
+// ---------------------------------------------------------------- factory
+
+namespace {
+
+/// Adapter presenting FrequentDirections through the RowSketcher interface.
+class FdSketcher : public RowSketcher {
+ public:
+  explicit FdSketcher(std::size_t ell)
+      : fd_(FdConfig{ell, /*fast=*/true}) {}
+  void append(std::span<const double> row) override { fd_.append(row); }
+  Matrix sketch() override {
+    fd_.compress();
+    return fd_.sketch();
+  }
+  [[nodiscard]] std::string name() const override { return "fd"; }
+
+ private:
+  FrequentDirections fd_;
+};
+
+}  // namespace
+
+std::unique_ptr<RowSketcher> make_sketcher(const std::string& name,
+                                           std::size_t ell,
+                                           std::uint64_t seed) {
+  if (name == "fd") return std::make_unique<FdSketcher>(ell);
+  if (name == "gaussian-projection") {
+    return std::make_unique<GaussianProjectionSketch>(ell, seed);
+  }
+  if (name == "count-sketch") {
+    return std::make_unique<CountSketch>(ell, seed);
+  }
+  if (name == "norm-sampling") {
+    return std::make_unique<NormSamplingSketch>(ell, seed);
+  }
+  if (name == "isvd") return std::make_unique<TruncatedSvdSketch>(ell);
+  ARAMS_CHECK(false, "unknown sketcher: " + name);
+  return nullptr;
+}
+
+}  // namespace arams::core

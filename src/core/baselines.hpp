@@ -1,0 +1,127 @@
+#pragma once
+// Competitor matrix-sketching baselines.
+//
+// The paper positions FD against the sampling and random-projection
+// families benchmarked by Desai, Ghashami & Phillips (2016) ("Improved
+// practical matrix sketching with guarantees", cited as [5]): FD has the
+// best error but "lags behind in run-time performance", which is the whole
+// motivation for ARAMS's priority-sampling acceleration. These baselines
+// make that comparison reproducible:
+//  * GaussianProjectionSketch — B += gᵢ·aᵢᵀ/√ℓ (dense JL projection)
+//  * CountSketch             — B[h(i)] += s(i)·aᵢ (sparse embedding)
+//  * NormSamplingSketch      — iid length-squared row sampling (w/ repl.)
+//  * TruncatedSvdSketch      — iSVD: stack batch, SVD, truncate to ℓ
+//                              (no FD shrinkage — the classic heuristic)
+//
+// All are streaming row sketchers behind one interface so the
+// ablation_baselines bench sweeps them uniformly.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sketch_stats.hpp"
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace arams::core {
+
+/// Streaming row-sketcher interface shared by FD and the baselines.
+class RowSketcher {
+ public:
+  virtual ~RowSketcher() = default;
+  virtual void append(std::span<const double> row) = 0;
+  virtual void append_batch(const linalg::Matrix& rows);
+  /// Final sketch (≤ ℓ rows × d). May compress internal state.
+  virtual linalg::Matrix sketch() = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Dense Gaussian (Johnson–Lindenstrauss) projection: B = S·A with S an
+/// ℓ×n iid N(0, 1/ℓ) matrix, accumulated one row at a time.
+class GaussianProjectionSketch : public RowSketcher {
+ public:
+  GaussianProjectionSketch(std::size_t ell, std::uint64_t seed);
+  void append(std::span<const double> row) override;
+  linalg::Matrix sketch() override { return sketch_; }
+  [[nodiscard]] std::string name() const override {
+    return "gaussian-projection";
+  }
+
+ private:
+  std::size_t ell_;
+  Rng rng_;
+  linalg::Matrix sketch_;
+  std::vector<double> coeffs_;
+};
+
+/// CountSketch / sparse subspace embedding: each input row lands in one
+/// bucket with a random sign.
+class CountSketch : public RowSketcher {
+ public:
+  CountSketch(std::size_t ell, std::uint64_t seed);
+  void append(std::span<const double> row) override;
+  linalg::Matrix sketch() override { return sketch_; }
+  [[nodiscard]] std::string name() const override { return "count-sketch"; }
+
+ private:
+  std::size_t ell_;
+  Rng rng_;
+  linalg::Matrix sketch_;
+};
+
+/// Length-squared (norm²) iid row sampling with replacement, via ℓ
+/// independent A-Res-style reservoir slots. Rows rescaled by
+/// 1/√(ℓ·pᵢ) so E[BᵀB] = AᵀA.
+class NormSamplingSketch : public RowSketcher {
+ public:
+  NormSamplingSketch(std::size_t ell, std::uint64_t seed);
+  void append(std::span<const double> row) override;
+  linalg::Matrix sketch() override;
+  [[nodiscard]] std::string name() const override {
+    return "norm-sampling";
+  }
+
+ private:
+  struct Slot {
+    double key = -1.0;  ///< max of u^(1/w) seen; winner kept
+    std::vector<double> row;
+    double weight = 0.0;
+  };
+  std::size_t ell_;
+  Rng rng_;
+  std::vector<Slot> slots_;
+  double total_weight_ = 0.0;
+  std::size_t dim_ = 0;
+};
+
+/// Incremental truncated SVD ("iSVD"): buffer 2ℓ rows, on overflow keep the
+/// top-ℓ of Σ·Vᵀ with *no* shrinkage. Fast and often accurate, but with no
+/// worst-case guarantee — FD pays a deliberate deflation of every retained
+/// direction to buy its bound, iSVD does not (see tests).
+class TruncatedSvdSketch : public RowSketcher {
+ public:
+  explicit TruncatedSvdSketch(std::size_t ell);
+  void append(std::span<const double> row) override;
+  linalg::Matrix sketch() override;
+  [[nodiscard]] std::string name() const override { return "isvd"; }
+  [[nodiscard]] const SketchStats& stats() const { return stats_; }
+
+ private:
+  void truncate();
+
+  std::size_t ell_;
+  std::size_t dim_ = 0;
+  linalg::Matrix buffer_;
+  std::size_t next_row_ = 0;
+  SketchStats stats_;
+};
+
+/// Factory by name: "fd", "gaussian-projection", "count-sketch",
+/// "norm-sampling", "isvd". Throws CheckError on unknown names.
+std::unique_ptr<RowSketcher> make_sketcher(const std::string& name,
+                                           std::size_t ell,
+                                           std::uint64_t seed);
+
+}  // namespace arams::core

@@ -1,0 +1,66 @@
+#include "core/error_tracker.hpp"
+
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "util/check.hpp"
+
+namespace arams::core {
+
+SketchErrorTracker::SketchErrorTracker(const ErrorTrackerConfig& config)
+    : config_(config), rng_(config.seed) {
+  ARAMS_CHECK(config.reservoir_size >= 1, "reservoir must hold >= 1 row");
+  reservoir_.reserve(config.reservoir_size);
+}
+
+void SketchErrorTracker::observe(std::span<const double> row) {
+  if (dim_ == 0) {
+    dim_ = row.size();
+    ARAMS_CHECK(dim_ > 0, "zero-dimensional rows");
+  }
+  ARAMS_CHECK(row.size() == dim_, "row dimension changed mid-stream");
+  ++rows_seen_;
+  if (reservoir_.size() < config_.reservoir_size) {
+    reservoir_.emplace_back(row.begin(), row.end());
+    return;
+  }
+  // Algorithm R: replace a random slot with probability size/seen.
+  const auto slot = rng_.uniform_index(
+      static_cast<std::uint64_t>(rows_seen_));
+  if (slot < config_.reservoir_size) {
+    reservoir_[slot].assign(row.begin(), row.end());
+  }
+}
+
+void SketchErrorTracker::observe_batch(const linalg::Matrix& rows) {
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    observe(rows.row(r));
+  }
+}
+
+std::size_t SketchErrorTracker::reservoir_count() const {
+  return reservoir_.size();
+}
+
+linalg::Matrix SketchErrorTracker::reservoir_rows() const {
+  ARAMS_CHECK(!reservoir_.empty(), "no rows observed yet");
+  linalg::Matrix out(reservoir_.size(), dim_);
+  for (std::size_t i = 0; i < reservoir_.size(); ++i) {
+    out.set_row(i, reservoir_[i]);
+  }
+  return out;
+}
+
+double SketchErrorTracker::relative_error(
+    const linalg::Matrix& basis) const {
+  ARAMS_CHECK(!reservoir_.empty(), "no rows observed yet");
+  ARAMS_CHECK(basis.cols() == dim_, "basis dimension mismatch");
+  linalg::Matrix r(reservoir_.size(), dim_);
+  for (std::size_t i = 0; i < reservoir_.size(); ++i) {
+    r.set_row(i, reservoir_[i]);
+  }
+  const double total = linalg::frobenius_norm_squared(r);
+  if (total <= 0.0) return 0.0;
+  return linalg::projection_residual_exact(r, basis) / total;
+}
+
+}  // namespace arams::core

@@ -1,0 +1,130 @@
+#include "core/fd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.hpp"
+#include "util/stopwatch.hpp"
+
+namespace arams::core {
+
+using linalg::Matrix;
+
+FrequentDirections::FrequentDirections(const FdConfig& config)
+    : ell_(config.sketch_rows), fast_(config.fast) {
+  ARAMS_CHECK(ell_ >= 2, "sketch needs at least 2 rows");
+}
+
+void FrequentDirections::ensure_dim(std::size_t d) {
+  if (dim_ == 0) {
+    ARAMS_CHECK(d > 0, "zero-dimensional rows");
+    dim_ = d;
+    buffer_ = Matrix(buffer_capacity(), dim_);
+    return;
+  }
+  ARAMS_CHECK(d == dim_, "row dimension changed mid-stream");
+}
+
+void FrequentDirections::append(std::span<const double> row) {
+  ensure_dim(row.size());
+  if (buffer_full()) {
+    shrink();
+  }
+  buffer_.set_row(next_zero_row_, row);
+  ++next_zero_row_;
+  ++stats_.rows_processed;
+}
+
+void FrequentDirections::append_batch(const Matrix& rows) {
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    append(rows.row(r));
+  }
+}
+
+void FrequentDirections::shrink() {
+  ARAMS_DCHECK(next_zero_row_ > 0, "shrink of empty buffer");
+  Stopwatch timer;
+  const Matrix occupied = buffer_.slice_rows(0, next_zero_row_);
+  const linalg::SigmaVt svd = linalg::sigma_vt_svd(occupied);
+
+  // δ = σ_ℓ² (1-based) — the paper's Algorithm 2 line 16. When fewer than ℓ
+  // directions exist there is nothing to shrink away (δ = 0) and the
+  // rotation only re-orthogonalizes the buffer.
+  const std::size_t m = svd.sigma.size();
+  const double delta =
+      (m >= ell_) ? svd.sigma[ell_ - 1] * svd.sigma[ell_ - 1] : 0.0;
+
+  last_spectrum_ = svd.sigma;
+
+  // Row i of svd.w equals σᵢ·vᵢᵀ; rescale to √(σᵢ²−δ)·vᵢᵀ without ever
+  // forming Vᵀ. Rows whose σᵢ² ≤ δ vanish, as do directions below the
+  // Gram-trick noise floor (√ε·σ₀) — keeping those would inject garbage
+  // directions into the sketch and its basis.
+  const double sigma_floor =
+      (m > 0 && svd.sigma[0] > 0.0) ? 1e-7 * svd.sigma[0] : 0.0;
+  buffer_.fill(0.0);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double s2 = svd.sigma[i] * svd.sigma[i];
+    if (s2 <= delta || svd.sigma[i] <= sigma_floor) break;  // descending
+    const double scale = std::sqrt(s2 - delta) / svd.sigma[i];
+    const auto wi = svd.w.row(i);
+    auto dst = buffer_.row(out);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      dst[j] = scale * wi[j];
+    }
+    ++out;
+  }
+  // The sketch is kept dense in its leading rows — no interior zero rows,
+  // which Section IV-A3 warns would corrupt later merges.
+  next_zero_row_ = out;
+  ++stats_.svd_count;
+  stats_.shrink_seconds += timer.seconds();
+}
+
+void FrequentDirections::compress() {
+  if (next_zero_row_ > ell_) {
+    shrink();
+  }
+}
+
+Matrix FrequentDirections::sketch() const {
+  if (dim_ == 0) return Matrix();
+  return buffer_.slice_rows(0, next_zero_row_);
+}
+
+Matrix FrequentDirections::basis(std::size_t k) {
+  ARAMS_CHECK(dim_ > 0, "basis of an empty sketch");
+  compress();
+  const Matrix b = sketch();
+  if (b.rows() == 0) return Matrix(0, dim_);
+  // Post-shrink sketch rows are already orthogonal scaled right vectors,
+  // but mid-stream sketches may not be; re-orthogonalize via SVD.
+  const linalg::SigmaVt svd = linalg::sigma_vt_svd(b);
+  k = std::min({k, b.rows(), svd.sigma.size()});
+  const double smax = svd.sigma.empty() ? 0.0 : svd.sigma[0];
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (svd.sigma[i] > 1e-7 * smax && svd.sigma[i] > 0.0) ++kept;
+  }
+  Matrix out(kept, dim_);
+  for (std::size_t i = 0; i < kept; ++i) {
+    const auto wi = svd.w.row(i);
+    auto dst = out.row(i);
+    const double inv = 1.0 / svd.sigma[i];
+    for (std::size_t j = 0; j < dim_; ++j) {
+      dst[j] = wi[j] * inv;
+    }
+  }
+  return out;
+}
+
+void FrequentDirections::grow_ell(std::size_t extra) {
+  if (extra == 0) return;
+  ell_ += extra;
+  if (dim_ != 0) {
+    buffer_.append_zero_rows(buffer_capacity() - buffer_.rows());
+  }
+}
+
+}  // namespace arams::core

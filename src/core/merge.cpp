@@ -1,0 +1,120 @@
+#include "core/merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace arams::core {
+
+using linalg::Matrix;
+
+namespace {
+
+/// One FD shrink of `stacked` down to at most `ell` rows (the surviving
+/// non-zero rows; at most ℓ−1 of them are non-zero, matching Algorithm 2).
+Matrix shrink_to_ell(const Matrix& stacked, std::size_t ell) {
+  if (stacked.rows() <= ell) return stacked;
+  const linalg::SigmaVt svd = linalg::sigma_vt_svd(stacked);
+  if (svd.sigma.size() < ell) {
+    // Fewer directions than ℓ (d < ℓ): nothing needs shrinking; rebuild
+    // the ≤ d non-trivial rows verbatim.
+    Matrix out(svd.sigma.size(), stacked.cols());
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      std::copy(svd.w.row(i).begin(), svd.w.row(i).end(),
+                out.row(i).begin());
+    }
+    return out;
+  }
+  const double delta = svd.sigma[ell - 1] * svd.sigma[ell - 1];
+  const double sigma_floor =
+      svd.sigma[0] > 0.0 ? 1e-7 * svd.sigma[0] : 0.0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < ell; ++i) {
+    if (svd.sigma[i] * svd.sigma[i] <= delta ||
+        svd.sigma[i] <= sigma_floor) {
+      break;
+    }
+    ++keep;
+  }
+  Matrix out(keep, stacked.cols());
+  for (std::size_t i = 0; i < keep; ++i) {
+    const double s2 = svd.sigma[i] * svd.sigma[i];
+    const double scale = std::sqrt(s2 - delta) / svd.sigma[i];
+    const auto wi = svd.w.row(i);
+    auto dst = out.row(i);
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      dst[j] = scale * wi[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix merge_group(const std::vector<Matrix>& sketches, std::size_t ell) {
+  ARAMS_CHECK(!sketches.empty(), "merge of zero sketches");
+  Matrix stacked = sketches.front();
+  for (std::size_t i = 1; i < sketches.size(); ++i) {
+    stacked = Matrix::vstack(stacked, sketches[i]);
+  }
+  return shrink_to_ell(stacked, ell);
+}
+
+Matrix serial_merge(std::vector<Matrix> sketches, std::size_t ell,
+                    MergeStats* stats) {
+  ARAMS_CHECK(!sketches.empty(), "merge of zero sketches");
+  MergeStats local;
+  Matrix acc = std::move(sketches.front());
+  for (std::size_t i = 1; i < sketches.size(); ++i) {
+    Stopwatch timer;
+    acc = shrink_to_ell(Matrix::vstack(acc, sketches[i]), ell);
+    const double s = timer.seconds();
+    ++local.merge_ops;
+    ++local.levels;
+    ++local.critical_path_ops;
+    local.total_seconds += s;
+    // Serial merging happens on one core: every shrink is on the critical
+    // path.
+    local.critical_path_seconds += s;
+  }
+  if (stats != nullptr) *stats = local;
+  return acc;
+}
+
+Matrix tree_merge(std::vector<Matrix> sketches, std::size_t ell,
+                  std::size_t arity, MergeStats* stats) {
+  ARAMS_CHECK(!sketches.empty(), "merge of zero sketches");
+  ARAMS_CHECK(arity >= 2, "tree arity must be >= 2");
+  MergeStats local;
+  while (sketches.size() > 1) {
+    std::vector<Matrix> next;
+    next.reserve((sketches.size() + arity - 1) / arity);
+    double slowest_in_level = 0.0;
+    for (std::size_t g = 0; g < sketches.size(); g += arity) {
+      const std::size_t end = std::min(g + arity, sketches.size());
+      Matrix stacked = std::move(sketches[g]);
+      for (std::size_t i = g + 1; i < end; ++i) {
+        stacked = Matrix::vstack(stacked, sketches[i]);
+      }
+      Stopwatch timer;
+      next.push_back(shrink_to_ell(stacked, ell));
+      const double s = timer.seconds();
+      ++local.merge_ops;
+      local.total_seconds += s;
+      slowest_in_level = std::max(slowest_in_level, s);
+    }
+    ++local.levels;
+    // All groups of a level run concurrently on a cluster; the level costs
+    // its slowest group.
+    ++local.critical_path_ops;
+    local.critical_path_seconds += slowest_in_level;
+    sketches = std::move(next);
+  }
+  if (stats != nullptr) *stats = local;
+  return std::move(sketches.front());
+}
+
+}  // namespace arams::core

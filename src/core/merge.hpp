@@ -1,0 +1,42 @@
+#pragma once
+// Sketch merging (Section IV-C and the appendix).
+//
+// FD sketches are mergeable summaries: stacking two ℓ-row sketches and
+// running one FD shrink yields an ℓ-row sketch of the union with the same
+// space/error trade-off. serial_merge folds P sketches one at a time
+// (P−1 shrinks on the critical path — the bottleneck the paper identifies);
+// tree_merge reduces them level by level (⌈log_a P⌉ shrink *rounds* on the
+// critical path), which is what makes the Fig. 2 scaling linear.
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace arams::core {
+
+struct MergeStats {
+  long merge_ops = 0;           ///< total pairwise/group shrinks performed
+  long levels = 0;              ///< reduction rounds (tree) / steps (serial)
+  long critical_path_ops = 0;   ///< shrinks a real parallel run would wait on
+  double total_seconds = 0.0;   ///< wall time of all shrinks (work)
+  double critical_path_seconds = 0.0;  ///< modeled makespan of the merges
+};
+
+/// Merges a group of sketches into one ℓ-row sketch with a single FD
+/// shrink of their vertical stack. Column counts must match.
+linalg::Matrix merge_group(const std::vector<linalg::Matrix>& sketches,
+                           std::size_t ell);
+
+/// Sequential fold: sketches arrive at one core and are merged one by one.
+linalg::Matrix serial_merge(std::vector<linalg::Matrix> sketches,
+                            std::size_t ell, MergeStats* stats = nullptr);
+
+/// Branching reduction with the given arity (default binary). Each level
+/// merges disjoint groups; a real cluster executes every group of a level
+/// in parallel, so only the slowest group of each level hits the critical
+/// path — that is what critical_path_ops/seconds record.
+linalg::Matrix tree_merge(std::vector<linalg::Matrix> sketches,
+                          std::size_t ell, std::size_t arity = 2,
+                          MergeStats* stats = nullptr);
+
+}  // namespace arams::core

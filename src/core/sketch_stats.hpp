@@ -1,0 +1,27 @@
+#pragma once
+// Operation counters shared by all sketching classes. The scaling study
+// (Figs. 2–3) argues in terms of SVD/rotation counts on the critical path;
+// these counters make that argument checkable exactly.
+
+namespace arams::core {
+
+struct SketchStats {
+  long rows_processed = 0;   ///< rows appended to the sketch
+  long svd_count = 0;        ///< shrink (rotation) operations performed
+  long rank_increases = 0;   ///< rank-adaptation events (RA variants)
+  long probe_count = 0;      ///< Gaussian probes spent on error estimation
+  double shrink_seconds = 0.0;  ///< wall time inside shrinks
+  double total_seconds = 0.0;   ///< wall time inside append/process calls
+
+  SketchStats& operator+=(const SketchStats& o) {
+    rows_processed += o.rows_processed;
+    svd_count += o.svd_count;
+    rank_increases += o.rank_increases;
+    probe_count += o.probe_count;
+    shrink_seconds += o.shrink_seconds;
+    total_seconds += o.total_seconds;
+    return *this;
+  }
+};
+
+}  // namespace arams::core

@@ -1,0 +1,118 @@
+#include "data/beam_profile.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace arams::data {
+
+namespace {
+
+/// Adds a rotated anisotropic Gaussian lobe to the frame.
+void add_gaussian_lobe(image::ImageF& frame, double cy, double cx,
+                       double sigma_y, double sigma_x, double theta,
+                       double amplitude) {
+  const double ct = std::cos(theta);
+  const double st = std::sin(theta);
+  for (std::size_t y = 0; y < frame.height(); ++y) {
+    const double dy = static_cast<double>(y) - cy;
+    for (std::size_t x = 0; x < frame.width(); ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      // Rotate into the lobe frame.
+      const double u = ct * dx + st * dy;
+      const double v = -st * dx + ct * dy;
+      const double e =
+          (u * u) / (2.0 * sigma_x * sigma_x) +
+          (v * v) / (2.0 * sigma_y * sigma_y);
+      if (e < 30.0) {
+        frame.at(y, x) += amplitude * std::exp(-e);
+      }
+    }
+  }
+}
+
+/// Donut (ring) mode — the exotic shape.
+void add_donut(image::ImageF& frame, double cy, double cx, double radius,
+               double width, double amplitude) {
+  for (std::size_t y = 0; y < frame.height(); ++y) {
+    const double dy = static_cast<double>(y) - cy;
+    for (std::size_t x = 0; x < frame.width(); ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double r = std::sqrt(dx * dx + dy * dy);
+      const double e = (r - radius) * (r - radius) / (2.0 * width * width);
+      if (e < 30.0) {
+        frame.at(y, x) += amplitude * std::exp(-e);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BeamProfileSample generate_beam_profile(const BeamProfileConfig& config,
+                                        Rng& rng) {
+  BeamProfileSample sample;
+  sample.frame = image::ImageF(config.height, config.width);
+  auto& truth = sample.truth;
+
+  const auto h = static_cast<double>(config.height);
+  const auto w = static_cast<double>(config.width);
+  truth.com_x = rng.uniform(-config.com_jitter, config.com_jitter);
+  truth.com_y = rng.uniform(-config.com_jitter, config.com_jitter);
+  const double cy = (h - 1.0) / 2.0 + truth.com_y * h;
+  const double cx = (w - 1.0) / 2.0 + truth.com_x * w;
+
+  const double base_sigma = config.base_sigma_frac * w;
+  const double amplitude =
+      1.0 + config.intensity_jitter * rng.uniform(-1.0, 1.0);
+
+  truth.exotic = rng.uniform() < config.exotic_prob;
+  if (truth.exotic) {
+    // Donut mode: all mass on a ring, no central lobe.
+    add_donut(sample.frame, cy, cx, /*radius=*/2.5 * base_sigma,
+              /*width=*/0.6 * base_sigma, amplitude);
+    truth.ellipticity = 1.0;
+    truth.lobes = 0;
+  } else {
+    truth.ellipticity = rng.uniform(1.0, config.max_ellipticity);
+    truth.orientation = rng.uniform(0.0, std::numbers::pi);
+    truth.lobes = 1;
+    if (rng.uniform() < config.multi_lobe_prob) {
+      truth.lobes = 2 + static_cast<int>(rng.uniform_index(2));
+    }
+    const double sigma_major = base_sigma * std::sqrt(truth.ellipticity);
+    const double sigma_minor = base_sigma / std::sqrt(truth.ellipticity);
+    const double ct = std::cos(truth.orientation);
+    const double st = std::sin(truth.orientation);
+    const double sep = 2.2 * sigma_major;
+    for (int lobe = 0; lobe < truth.lobes; ++lobe) {
+      // Lobes arranged along the major axis, centered on (cy, cx).
+      const double offset =
+          (static_cast<double>(lobe) -
+           static_cast<double>(truth.lobes - 1) / 2.0) *
+          sep;
+      add_gaussian_lobe(sample.frame, cy + st * offset, cx + ct * offset,
+                        sigma_minor, sigma_major, truth.orientation,
+                        amplitude / static_cast<double>(truth.lobes));
+    }
+  }
+
+  if (config.noise > 0.0) {
+    for (auto& p : sample.frame.pixels()) {
+      p += config.noise * rng.normal();
+      if (p < 0.0) p = 0.0;
+    }
+  }
+  return sample;
+}
+
+std::vector<BeamProfileSample> generate_beam_profiles(
+    const BeamProfileConfig& config, std::size_t n, Rng& rng) {
+  std::vector<BeamProfileSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(generate_beam_profile(config, rng));
+  }
+  return out;
+}
+
+}  // namespace arams::data

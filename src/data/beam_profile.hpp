@@ -1,0 +1,55 @@
+#pragma once
+// Synthetic X-ray beam-profile generator (substitute for the private LCLS
+// run xppc00121 used in Fig. 5).
+//
+// The Fig. 5 claim is that the unsupervised pipeline organizes profiles by
+// (a) where the center of mass sits and (b) how circular vs elongated /
+// multi-lobed the profile is, and that "exotic" profiles fall out as
+// embedding outliers. This generator produces Gaussian-mode profiles whose
+// ground-truth factors (CoM offset, ellipticity, lobe count) are recorded,
+// so the claim becomes measurable: correlate embedding axes with factors.
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "rng/rng.hpp"
+
+namespace arams::data {
+
+/// Ground-truth generative factors for one profile.
+struct BeamProfileTruth {
+  double com_x = 0.0;        ///< horizontal CoM offset, fraction of width
+  double com_y = 0.0;        ///< vertical CoM offset, fraction of height
+  double ellipticity = 1.0;  ///< sigma_major / sigma_minor (1 = circular)
+  double orientation = 0.0;  ///< major-axis angle, radians
+  int lobes = 1;             ///< number of intensity lobes
+  bool exotic = false;       ///< donut/crescent outlier shape
+};
+
+struct BeamProfileConfig {
+  std::size_t height = 64;
+  std::size_t width = 64;
+  double base_sigma_frac = 0.08;   ///< beam waist, fraction of width
+  double com_jitter = 0.15;        ///< CoM offset range (fraction of size)
+  double max_ellipticity = 3.0;    ///< upper bound on sigma ratio
+  double multi_lobe_prob = 0.25;   ///< probability of 2–3 lobes
+  double exotic_prob = 0.02;       ///< probability of an exotic outlier
+  double intensity_jitter = 0.3;   ///< relative pulse-energy variation
+  double noise = 0.01;             ///< detector read-noise stddev
+};
+
+/// One generated frame plus its generative factors.
+struct BeamProfileSample {
+  image::ImageF frame;
+  BeamProfileTruth truth;
+};
+
+/// Deterministic given the RNG state.
+BeamProfileSample generate_beam_profile(const BeamProfileConfig& config,
+                                        Rng& rng);
+
+/// Generates a batch of n profiles.
+std::vector<BeamProfileSample> generate_beam_profiles(
+    const BeamProfileConfig& config, std::size_t n, Rng& rng);
+
+}  // namespace arams::data

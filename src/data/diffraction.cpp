@@ -1,0 +1,109 @@
+#include "data/diffraction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace arams::data {
+
+DiffractionGenerator::DiffractionGenerator(const DiffractionConfig& config)
+    : config_(config) {
+  ARAMS_CHECK(config.num_classes >= 1, "need at least one class");
+  // Fixed, well-separated quadrant patterns: each class emphasizes a
+  // distinct subset of quadrants. Drawn once from the class seed.
+  Rng rng(config.class_seed);
+  patterns_.resize(config.num_classes);
+  for (std::size_t k = 0; k < config.num_classes; ++k) {
+    auto& p = patterns_[k];
+    // Base pattern: rotate a fixed asymmetric template, then jitter.
+    const std::array<double, 4> base{1.0, 0.55, 0.25, 0.7};
+    for (std::size_t q = 0; q < 4; ++q) {
+      p[q] = base[(q + k) % 4] + 0.05 * rng.uniform(-1.0, 1.0);
+    }
+    // Every other class flips dominance to diagonal quadrants for extra
+    // separation when K > 4.
+    if (k >= 4) {
+      std::swap(p[1], p[2]);
+    }
+  }
+}
+
+DiffractionSample DiffractionGenerator::generate(Rng& rng) const {
+  DiffractionSample sample;
+  sample.frame = image::ImageF(config_.height, config_.width);
+  auto& truth = sample.truth;
+
+  truth.class_label =
+      static_cast<int>(rng.uniform_index(patterns_.size()));
+  const auto& pattern = patterns_[static_cast<std::size_t>(truth.class_label)];
+  for (std::size_t q = 0; q < 4; ++q) {
+    truth.quadrant_weights[q] =
+        std::max(0.05, pattern[q] + config_.weight_jitter *
+                                        rng.uniform(-1.0, 1.0));
+  }
+
+  const auto h = static_cast<double>(config_.height);
+  const auto w = static_cast<double>(config_.width);
+  const double cy = (h - 1.0) / 2.0;
+  const double cx = (w - 1.0) / 2.0;
+  const double radius =
+      (config_.ring_radius_frac +
+       config_.radius_jitter * rng.uniform(-1.0, 1.0)) *
+      w;
+  const double ring_w = config_.ring_width_frac * w;
+  const double stop_r = config_.beamstop_radius_frac * w;
+
+  // Expected (noise-free) pattern, then Poisson photon sampling.
+  double total = 0.0;
+  for (std::size_t y = 0; y < config_.height; ++y) {
+    const double dy = static_cast<double>(y) - cy;
+    for (std::size_t x = 0; x < config_.width; ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double r = std::sqrt(dx * dx + dy * dy);
+      if (r <= stop_r) continue;  // beam stop shadow
+      const double e = (r - radius) * (r - radius) / (2.0 * ring_w * ring_w);
+      if (e >= 30.0) continue;
+      // Smooth angular weight: cos²-interpolate between quadrant weights,
+      // anchored at quadrant *centers* so each quadrant's integrated ring
+      // mass is dominated by its own weight (no hard edges either).
+      double theta = std::atan2(dy, dx);  // [-pi, pi]
+      if (theta < 0.0) theta += 2.0 * std::numbers::pi;
+      double qpos =
+          theta / (std::numbers::pi / 2.0) - 0.5;  // centers at 0,1,2,3
+      if (qpos < 0.0) qpos += 4.0;
+      const auto q0 = static_cast<std::size_t>(qpos) % 4;
+      const std::size_t q1 = (q0 + 1) % 4;
+      const double frac = qpos - std::floor(qpos);
+      const double blend =
+          0.5 - 0.5 * std::cos(frac * std::numbers::pi);  // smoothstep
+      const double weight = (1.0 - blend) * truth.quadrant_weights[q0] +
+                            blend * truth.quadrant_weights[q1];
+      const double v = weight * std::exp(-e);
+      sample.frame.at(y, x) = v;
+      total += v;
+    }
+  }
+
+  if (config_.photons_per_frame > 0.0 && total > 0.0) {
+    const double scale = config_.photons_per_frame / total;
+    for (auto& p : sample.frame.pixels()) {
+      if (p <= 0.0) continue;
+      p = static_cast<double>(rng.poisson(p * scale));
+    }
+  }
+  return sample;
+}
+
+std::vector<DiffractionSample> DiffractionGenerator::generate_batch(
+    std::size_t n, Rng& rng) const {
+  std::vector<DiffractionSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(generate(rng));
+  }
+  return out;
+}
+
+}  // namespace arams::data

@@ -1,0 +1,150 @@
+#include "data/speckle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace arams::data {
+
+SpeckleGenerator::SpeckleGenerator(const SpeckleConfig& config,
+                                   std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  ARAMS_CHECK(config.height >= 4 && config.width >= 4, "frame too small");
+  ARAMS_CHECK(config.coherence_length > 0.0,
+              "coherence length must be positive");
+  ARAMS_CHECK(config.contrast > 0.0 && config.contrast <= 1.0,
+              "contrast must be in (0, 1]");
+  ARAMS_CHECK(config.correlation >= 0.0 && config.correlation < 1.0,
+              "correlation must be in [0, 1)");
+  const std::size_t pixels = config.height * config.width;
+  field_re_.assign(pixels, 0.0);
+  field_im_.assign(pixels, 0.0);
+  tmp_.assign(pixels, 0.0);
+
+  // Separable Gaussian smoothing kernel, truncated at 3σ.
+  const auto radius = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(3.0 * config.coherence_length)));
+  kernel_.resize(2 * radius + 1);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kernel_.size(); ++i) {
+    const double x =
+        static_cast<double>(i) - static_cast<double>(radius);
+    kernel_[i] = std::exp(-x * x /
+                          (2.0 * config.coherence_length *
+                           config.coherence_length));
+    sum += kernel_[i];
+  }
+  for (auto& k : kernel_) k /= sum;
+}
+
+void SpeckleGenerator::refresh_field(double mix) {
+  // field ← mix·field + √(1−mix²)·fresh, preserving the Gaussian
+  // stationary distribution while decorrelating at rate (1−mix).
+  const double fresh_scale = std::sqrt(1.0 - mix * mix);
+  for (std::size_t i = 0; i < field_re_.size(); ++i) {
+    field_re_[i] = mix * field_re_[i] + fresh_scale * rng_.normal();
+    field_im_[i] = mix * field_im_[i] + fresh_scale * rng_.normal();
+  }
+}
+
+namespace {
+
+/// Separable convolution of one channel with a 1-D kernel (reflect pads).
+void smooth(std::vector<double>& data, std::vector<double>& tmp,
+            const std::vector<double>& kernel, std::size_t height,
+            std::size_t width) {
+  const auto radius = static_cast<std::ptrdiff_t>(kernel.size() / 2);
+  const auto reflect = [](std::ptrdiff_t i, std::ptrdiff_t n) {
+    if (i < 0) return -i - 1;
+    if (i >= n) return 2 * n - i - 1;
+    return i;
+  };
+  // Horizontal pass.
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < kernel.size(); ++k) {
+        const std::ptrdiff_t sx =
+            reflect(static_cast<std::ptrdiff_t>(x) + static_cast<std::ptrdiff_t>(k) - radius,
+                    static_cast<std::ptrdiff_t>(width));
+        s += kernel[k] * data[y * width + static_cast<std::size_t>(sx)];
+      }
+      tmp[y * width + x] = s;
+    }
+  }
+  // Vertical pass.
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < kernel.size(); ++k) {
+        const std::ptrdiff_t sy =
+            reflect(static_cast<std::ptrdiff_t>(y) + static_cast<std::ptrdiff_t>(k) - radius,
+                    static_cast<std::ptrdiff_t>(height));
+        s += kernel[k] * tmp[static_cast<std::size_t>(sy) * width + x];
+      }
+      data[y * width + x] = s;
+    }
+  }
+}
+
+}  // namespace
+
+void SpeckleGenerator::render(SpeckleSample& sample) {
+  const std::size_t h = config_.height;
+  const std::size_t w = config_.width;
+  sample.frame = image::ImageF(h, w);
+
+  // Smooth copies of the evolving field (the field itself stays white so
+  // the AR(1) mixing statistics remain exact).
+  std::vector<double> re = field_re_;
+  std::vector<double> im = field_im_;
+  smooth(re, tmp_, kernel_, h, w);
+  smooth(im, tmp_, kernel_, h, w);
+
+  // Fully developed speckle: I = |E|²; partial coherence blends toward
+  // the mean: I_β = (1−β)·⟨I⟩ + β·I.
+  double mean_raw = 0.0;
+  auto pixels = sample.frame.pixels();
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    pixels[i] = re[i] * re[i] + im[i] * im[i];
+    mean_raw += pixels[i];
+  }
+  mean_raw /= static_cast<double>(pixels.size());
+  if (mean_raw <= 0.0) mean_raw = 1e-300;
+  const double beta = config_.contrast;
+  for (auto& p : pixels) {
+    p = ((1.0 - beta) * mean_raw + beta * p) *
+        (config_.mean_intensity / mean_raw);
+  }
+  sample.truth.realized_contrast = speckle_contrast(sample.frame);
+}
+
+SpeckleSample SpeckleGenerator::next() {
+  if (!initialized_) {
+    refresh_field(0.0);  // fresh draw
+    initialized_ = true;
+  } else {
+    refresh_field(config_.correlation);
+  }
+  SpeckleSample sample;
+  render(sample);
+  return sample;
+}
+
+double speckle_contrast(const image::ImageF& frame) {
+  const auto pixels = frame.pixels();
+  ARAMS_CHECK(!pixels.empty(), "empty frame");
+  double mean = 0.0;
+  for (const double p : pixels) mean += p;
+  mean /= static_cast<double>(pixels.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (const double p : pixels) {
+    var += (p - mean) * (p - mean);
+  }
+  var /= static_cast<double>(pixels.size() - 1);
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace arams::data

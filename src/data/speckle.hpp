@@ -1,0 +1,71 @@
+#pragma once
+// XPCS speckle-pattern generator.
+//
+// Section VI-B times the framework on "a full run of an LCLS XPCS
+// experiment" — X-ray photon correlation spectroscopy frames are speckle
+// patterns whose grain size tracks the beam coherence and whose contrast
+// tracks beam stability (the paper's §III-A: profile changes cause "large
+// uncertainty in speckle contrast"). This generator produces fully
+// developed speckle by smoothing a complex Gaussian field with a separable
+// Gaussian kernel (no FFT needed) and taking its squared magnitude:
+//   * `coherence_length` sets the speckle grain size (kernel σ, pixels);
+//   * `contrast` in (0, 1] blends the speckle with its mean, modelling
+//     partial coherence;
+//   * frames within one "run" share a slowly decorrelating field, so
+//     consecutive frames are correlated like a real XPCS series.
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "rng/rng.hpp"
+
+namespace arams::data {
+
+struct SpeckleConfig {
+  std::size_t height = 64;
+  std::size_t width = 64;
+  double coherence_length = 2.0;  ///< speckle grain σ in pixels
+  double contrast = 1.0;          ///< β in (0, 1]
+  double mean_intensity = 1.0;    ///< spatial mean of each frame
+  /// Frame-to-frame field mixing in [0, 1): 0 = independent frames,
+  /// 0.95 = slowly evolving dynamics (the XPCS observable).
+  double correlation = 0.9;
+};
+
+struct SpeckleTruth {
+  double realized_contrast = 0.0;  ///< σ_I / ⟨I⟩ of the generated frame
+};
+
+struct SpeckleSample {
+  image::ImageF frame;
+  SpeckleTruth truth;
+};
+
+/// Streaming generator holding the evolving complex field of one run.
+class SpeckleGenerator {
+ public:
+  SpeckleGenerator(const SpeckleConfig& config, std::uint64_t seed);
+
+  /// Next frame of the series (fields evolve by `correlation` mixing).
+  SpeckleSample next();
+
+  [[nodiscard]] const SpeckleConfig& config() const { return config_; }
+
+ private:
+  void refresh_field(double mix);
+  void render(SpeckleSample& sample);
+
+  SpeckleConfig config_;
+  Rng rng_;
+  std::vector<double> field_re_;
+  std::vector<double> field_im_;
+  std::vector<double> kernel_;
+  std::vector<double> tmp_;
+  bool initialized_ = false;
+};
+
+/// Intensity contrast σ_I/⟨I⟩ of a frame — the XPCS observable. Returns 0
+/// for an (almost) empty frame.
+double speckle_contrast(const image::ImageF& frame);
+
+}  // namespace arams::data

@@ -1,0 +1,63 @@
+#include "data/spectrum.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace arams::data {
+
+std::vector<double> make_spectrum(const SpectrumConfig& config) {
+  ARAMS_CHECK(config.count > 0, "spectrum needs at least one value");
+  std::vector<double> s(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const auto x = static_cast<double>(i);
+    double v = 0.0;
+    switch (config.kind) {
+      case DecayKind::kSubExponential:
+        v = std::exp(-config.rate * std::sqrt(x) * 10.0);
+        break;
+      case DecayKind::kExponential:
+        v = std::exp(-config.rate * x);
+        break;
+      case DecayKind::kSuperExponential:
+        v = std::exp(-config.rate * std::pow(x, 1.7) / 3.0);
+        break;
+      case DecayKind::kCubic:
+        v = 1.0 / std::pow(1.0 + x, 3.0);
+        break;
+      case DecayKind::kStep:
+        v = (i < config.step_rank) ? 1.0 : config.step_floor;
+        break;
+    }
+    s[i] = config.scale * v;
+  }
+  return s;
+}
+
+std::string decay_name(DecayKind kind) {
+  switch (kind) {
+    case DecayKind::kSubExponential:
+      return "sub-exponential";
+    case DecayKind::kExponential:
+      return "exponential";
+    case DecayKind::kSuperExponential:
+      return "super-exponential";
+    case DecayKind::kCubic:
+      return "cubic";
+    case DecayKind::kStep:
+      return "step";
+  }
+  return "?";
+}
+
+DecayKind parse_decay(const std::string& name) {
+  if (name == "sub-exponential") return DecayKind::kSubExponential;
+  if (name == "exponential") return DecayKind::kExponential;
+  if (name == "super-exponential") return DecayKind::kSuperExponential;
+  if (name == "cubic") return DecayKind::kCubic;
+  if (name == "step") return DecayKind::kStep;
+  ARAMS_CHECK(false, "unknown decay kind: " + name);
+  return DecayKind::kExponential;
+}
+
+}  // namespace arams::data

@@ -1,0 +1,36 @@
+#pragma once
+// Singular-value spectrum builders for the synthetic ablation datasets
+// (Fig. 1 upper-left panel) and the scaling study matrix (Figs. 2–3).
+
+#include <string>
+#include <vector>
+
+namespace arams::data {
+
+enum class DecayKind {
+  kSubExponential,    ///< σ_i = exp(-rate·√i) — slowest decay in Fig. 1
+  kExponential,       ///< σ_i = exp(-rate·i)
+  kSuperExponential,  ///< σ_i = exp(-rate·i^1.7) — fastest decay in Fig. 1
+  kCubic,             ///< σ_i = 1/(1+i)³ — the Figs. 2–3 scaling matrix
+  kStep,              ///< r0 values at 1, rest at `floor` — rank-detection tests
+};
+
+struct SpectrumConfig {
+  DecayKind kind = DecayKind::kExponential;
+  std::size_t count = 100;   ///< number of singular values
+  double rate = 0.05;        ///< decay rate for the exponential family
+  double scale = 1.0;        ///< multiplies every value
+  std::size_t step_rank = 10;  ///< kStep: number of leading unit values
+  double step_floor = 1e-8;    ///< kStep: trailing value
+};
+
+/// Builds the descending singular-value vector for a configuration.
+std::vector<double> make_spectrum(const SpectrumConfig& config);
+
+/// Name used in bench output ("sub-exponential", ...).
+std::string decay_name(DecayKind kind);
+
+/// Parses a decay name (as produced by decay_name); throws on unknown names.
+DecayKind parse_decay(const std::string& name);
+
+}  // namespace arams::data

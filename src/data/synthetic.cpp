@@ -1,0 +1,96 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "util/check.hpp"
+
+namespace arams::data {
+
+using linalg::Matrix;
+
+Matrix random_orthogonal(std::size_t rows, std::size_t cols, Rng& rng) {
+  ARAMS_CHECK(rows >= cols, "random_orthogonal requires rows >= cols");
+  Matrix g(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    rng.fill_normal(g.row(r));
+  }
+  // Gram–Schmidt orthonormalization; a Gaussian matrix is full rank with
+  // probability 1, so the rank check is a genuine failure if it trips.
+  const std::size_t rank = linalg::orthonormalize_columns(g);
+  ARAMS_CHECK(rank == cols, "random Gaussian matrix was rank deficient");
+  return g;
+}
+
+Matrix perturb_orthogonal(const Matrix& q, double epsilon, Rng& rng) {
+  if (epsilon == 0.0) return q;
+  Matrix out = q;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    for (auto& v : row) {
+      v += epsilon * rng.normal();
+    }
+  }
+  const std::size_t rank = linalg::orthonormalize_columns(out);
+  ARAMS_CHECK(rank == q.cols(), "perturbation destroyed rank");
+  return out;
+}
+
+namespace {
+
+Matrix assemble(const Matrix& u, const std::vector<double>& sigma,
+                const Matrix& v, double noise, Rng& rng) {
+  // (U·diag(σ))·Vᵀ — scale U's columns first, then one matmul_nt.
+  Matrix us = u;
+  for (std::size_t r = 0; r < us.rows(); ++r) {
+    auto row = us.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] *= sigma[c];
+    }
+  }
+  Matrix a = linalg::matmul_nt(us, v);
+  if (noise > 0.0) {
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      for (auto& x : a.row(r)) {
+        x += noise * rng.normal();
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Matrix make_low_rank(const SyntheticConfig& config, Rng& rng) {
+  const SharedFactors f = make_shared_factors(config, rng);
+  return assemble(f.u, f.sigma, f.v, config.noise, rng);
+}
+
+SharedFactors make_shared_factors(const SyntheticConfig& config, Rng& rng) {
+  const std::size_t r = config.spectrum.count;
+  ARAMS_CHECK(r <= std::min(config.n, config.d),
+              "rank exceeds matrix dimensions");
+  SharedFactors f;
+  f.sigma = make_spectrum(config.spectrum);
+  f.u = random_orthogonal(config.n, r, rng);
+  f.v = random_orthogonal(config.d, r, rng);
+  return f;
+}
+
+Matrix make_core_shard(const SharedFactors& factors, std::size_t core_index,
+                       double perturbation, const Rng& base_rng) {
+  Rng core_rng = base_rng.split(core_index);
+  const Matrix u =
+      perturb_orthogonal(factors.u, perturbation, core_rng);
+  const Matrix v =
+      perturb_orthogonal(factors.v, perturbation, core_rng);
+  return assemble(u, factors.sigma, v, /*noise=*/0.0, core_rng);
+}
+
+std::vector<double> exact_singular_values(const Matrix& a) {
+  return linalg::jacobi_svd(a).sigma;
+}
+
+}  // namespace arams::data

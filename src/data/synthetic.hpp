@@ -1,0 +1,56 @@
+#pragma once
+// Synthetic low-rank matrix factory, following Section V.1 of the paper:
+// draw random orthogonal factors (QR of a Gaussian matrix, Genz-style),
+// assemble A = U·diag(σ)·Vᵀ, and for multi-core studies start every core
+// from the same factors and apply a unique per-core perturbation so shards
+// look "similar but not identical", like consecutive beam-profile batches.
+
+#include <vector>
+
+#include "data/spectrum.hpp"
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace arams::data {
+
+/// rows×cols matrix with orthonormal columns (rows >= cols), drawn from the
+/// Haar-like distribution obtained by QR of an i.i.d. Gaussian matrix.
+linalg::Matrix random_orthogonal(std::size_t rows, std::size_t cols,
+                                 Rng& rng);
+
+/// Perturbs an orthonormal-column matrix by epsilon-scaled Gaussian noise
+/// and re-orthonormalizes. epsilon = 0 returns the input unchanged.
+linalg::Matrix perturb_orthogonal(const linalg::Matrix& q, double epsilon,
+                                  Rng& rng);
+
+struct SyntheticConfig {
+  std::size_t n = 1000;        ///< samples (rows)
+  std::size_t d = 200;         ///< features (columns)
+  SpectrumConfig spectrum;     ///< singular values; spectrum.count = rank
+  double noise = 0.0;          ///< additive white noise stddev (0 = exact)
+};
+
+/// A = U·diag(σ)·Vᵀ (+ noise). Requires spectrum.count <= min(n, d).
+linalg::Matrix make_low_rank(const SyntheticConfig& config, Rng& rng);
+
+/// Shared factors for per-core shard generation.
+struct SharedFactors {
+  linalg::Matrix u;            ///< n×r
+  linalg::Matrix v;            ///< d×r
+  std::vector<double> sigma;   ///< r values
+};
+
+/// Draws the factors once; every core derives its shard from these.
+SharedFactors make_shared_factors(const SyntheticConfig& config, Rng& rng);
+
+/// Builds core `core_index`'s shard: perturbs both factors by
+/// `perturbation` using the core's split RNG stream, then assembles.
+linalg::Matrix make_core_shard(const SharedFactors& factors,
+                               std::size_t core_index, double perturbation,
+                               const Rng& base_rng);
+
+/// Exact singular values of a matrix (via Jacobi SVD) — test helper for
+/// validating generated spectra. O(min(n,d)²·max(n,d)); use on small inputs.
+std::vector<double> exact_singular_values(const linalg::Matrix& a);
+
+}  // namespace arams::data

@@ -1,0 +1,219 @@
+#include "embed/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/blas.hpp"
+#include "util/check.hpp"
+
+namespace arams::embed {
+
+using linalg::Matrix;
+
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Bounded neighbour list used by NN-descent: a max-heap-like flat array of
+/// (distance, index, is_new) keeping the k smallest distances seen.
+struct NeighborList {
+  struct Item {
+    double dist = std::numeric_limits<double>::infinity();
+    std::size_t index = static_cast<std::size_t>(-1);
+    bool is_new = false;
+  };
+  std::vector<Item> items;
+
+  explicit NeighborList(std::size_t k) : items(k) {}
+
+  [[nodiscard]] double worst() const {
+    double w = 0.0;
+    for (const auto& it : items) w = std::max(w, it.dist);
+    return w;
+  }
+
+  /// Inserts (dist, idx) if it improves the list; returns true on change.
+  bool try_insert(double dist, std::size_t idx) {
+    // Reject duplicates and non-improving candidates.
+    std::size_t worst_at = 0;
+    double worst_dist = -1.0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i].index == idx) return false;
+      if (items[i].dist > worst_dist) {
+        worst_dist = items[i].dist;
+        worst_at = i;
+      }
+    }
+    if (dist >= worst_dist) return false;
+    items[worst_at] = Item{dist, idx, true};
+    return true;
+  }
+};
+
+}  // namespace
+
+KnnGraph exact_knn(const Matrix& points, std::size_t k) {
+  const std::size_t n = points.rows();
+  ARAMS_CHECK(n >= 2, "kNN needs at least two points");
+  ARAMS_CHECK(k >= 1 && k < n, "k must satisfy 1 <= k < n");
+
+  KnnGraph g;
+  g.n = n;
+  g.k = k;
+  g.neighbors.resize(n * k);
+  g.distances.resize(n * k);
+
+  std::vector<std::pair<double, std::size_t>> cand(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t m = 0;
+    const auto pi = points.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      cand[m++] = {sq_dist(pi, points.row(j)), j};
+    }
+    std::partial_sort(cand.begin(),
+                      cand.begin() + static_cast<std::ptrdiff_t>(k),
+                      cand.end());
+    for (std::size_t j = 0; j < k; ++j) {
+      g.neighbors[i * k + j] = cand[j].second;
+      g.distances[i * k + j] = std::sqrt(cand[j].first);
+    }
+  }
+  return g;
+}
+
+KnnGraph nn_descent(const Matrix& points, std::size_t k, Rng& rng, int iters,
+                    double sample_rate) {
+  const std::size_t n = points.rows();
+  ARAMS_CHECK(n >= 2, "kNN needs at least two points");
+  ARAMS_CHECK(k >= 1 && k < n, "k must satisfy 1 <= k < n");
+
+  std::vector<NeighborList> lists(n, NeighborList(k));
+  // Random initialization.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (true) {
+      bool full = true;
+      for (const auto& it : lists[i].items) {
+        if (it.index == static_cast<std::size_t>(-1)) {
+          full = false;
+          break;
+        }
+      }
+      if (full) break;
+      std::size_t j = rng.uniform_index(n);
+      if (j == i) continue;
+      lists[i].try_insert(sq_dist(points.row(i), points.row(j)), j);
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> fwd_new(n), fwd_old(n), rev_new(n),
+      rev_old(n);
+  for (int iter = 0; iter < iters; ++iter) {
+    for (auto& v : fwd_new) v.clear();
+    for (auto& v : fwd_old) v.clear();
+    for (auto& v : rev_new) v.clear();
+    for (auto& v : rev_old) v.clear();
+
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& it : lists[i].items) {
+        if (it.index == static_cast<std::size_t>(-1)) continue;
+        if (it.is_new) {
+          if (sample_rate >= 1.0 || rng.uniform() < sample_rate) {
+            fwd_new[i].push_back(it.index);
+            rev_new[it.index].push_back(i);
+            it.is_new = false;
+          }
+        } else {
+          fwd_old[i].push_back(it.index);
+          rev_old[it.index].push_back(i);
+        }
+      }
+    }
+
+    long updates = 0;
+    std::vector<std::size_t> new_c, old_c;
+    for (std::size_t i = 0; i < n; ++i) {
+      new_c = fwd_new[i];
+      new_c.insert(new_c.end(), rev_new[i].begin(), rev_new[i].end());
+      old_c = fwd_old[i];
+      old_c.insert(old_c.end(), rev_old[i].begin(), rev_old[i].end());
+
+      // new-new pairs and new-old pairs share an anchor at i; each pair is
+      // a candidate edge.
+      for (std::size_t a = 0; a < new_c.size(); ++a) {
+        const std::size_t u = new_c[a];
+        for (std::size_t b = a + 1; b < new_c.size(); ++b) {
+          const std::size_t v = new_c[b];
+          if (u == v) continue;
+          const double d = sq_dist(points.row(u), points.row(v));
+          updates += lists[u].try_insert(d, v) ? 1 : 0;
+          updates += lists[v].try_insert(d, u) ? 1 : 0;
+        }
+        for (const std::size_t v : old_c) {
+          if (u == v) continue;
+          const double d = sq_dist(points.row(u), points.row(v));
+          updates += lists[u].try_insert(d, v) ? 1 : 0;
+          updates += lists[v].try_insert(d, u) ? 1 : 0;
+        }
+      }
+    }
+    if (updates <= static_cast<long>(0.001 * static_cast<double>(n * k))) {
+      break;  // converged early
+    }
+  }
+
+  KnnGraph g;
+  g.n = n;
+  g.k = k;
+  g.neighbors.resize(n * k);
+  g.distances.resize(n * k);
+  std::vector<std::pair<double, std::size_t>> sorted(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      sorted[j] = {lists[i].items[j].dist, lists[i].items[j].index};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t j = 0; j < k; ++j) {
+      g.neighbors[i * k + j] = sorted[j].second;
+      g.distances[i * k + j] = std::sqrt(sorted[j].first);
+    }
+  }
+  return g;
+}
+
+KnnGraph build_knn(const Matrix& points, std::size_t k, Rng& rng,
+                   std::size_t exact_threshold) {
+  if (points.rows() <= exact_threshold) {
+    return exact_knn(points, k);
+  }
+  return nn_descent(points, k, rng);
+}
+
+double knn_recall(const KnnGraph& approx, const KnnGraph& exact) {
+  ARAMS_CHECK(approx.n == exact.n && approx.k == exact.k,
+              "graphs not comparable");
+  long hits = 0;
+  for (std::size_t i = 0; i < exact.n; ++i) {
+    for (std::size_t j = 0; j < exact.k; ++j) {
+      const std::size_t target = exact.neighbor(i, j);
+      for (std::size_t l = 0; l < approx.k; ++l) {
+        if (approx.neighbor(i, l) == target) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(exact.n * exact.k);
+}
+
+}  // namespace arams::embed

@@ -1,0 +1,50 @@
+#pragma once
+// k-nearest-neighbour graphs over latent points.
+//
+// Two constructions: exact brute force (O(n²·k) — the latent dimension is
+// small after PCA, so this is fine for the few-thousand-point embeddings
+// the monitoring pipeline draws), and NN-descent (Dong et al. 2011), the
+// approximate method reference UMAP uses, for larger point sets.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace arams::embed {
+
+/// Flat kNN graph: neighbor j of point i sits at index i*k + j, sorted by
+/// ascending distance. Distances are Euclidean.
+struct KnnGraph {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::vector<std::size_t> neighbors;  ///< n·k indices
+  std::vector<double> distances;       ///< n·k distances
+
+  [[nodiscard]] std::size_t neighbor(std::size_t i, std::size_t j) const {
+    return neighbors[i * k + j];
+  }
+  [[nodiscard]] double distance(std::size_t i, std::size_t j) const {
+    return distances[i * k + j];
+  }
+};
+
+/// Exact kNN by brute force. Excludes self-neighbours. Requires k < n.
+KnnGraph exact_knn(const linalg::Matrix& points, std::size_t k);
+
+/// Approximate kNN via NN-descent. `iters` full passes; `sample_rate`
+/// controls the candidate pool per pass. Recall is typically > 0.9 after
+/// 4–6 passes on latent data.
+KnnGraph nn_descent(const linalg::Matrix& points, std::size_t k, Rng& rng,
+                    int iters = 6, double sample_rate = 1.0);
+
+/// Builds a kNN graph choosing the method by size: exact below
+/// `exact_threshold` points, NN-descent above.
+KnnGraph build_knn(const linalg::Matrix& points, std::size_t k, Rng& rng,
+                   std::size_t exact_threshold = 4096);
+
+/// Fraction of true kNN edges recovered (test / diagnostic helper).
+double knn_recall(const KnnGraph& approx, const KnnGraph& exact);
+
+}  // namespace arams::embed

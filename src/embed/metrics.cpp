@@ -1,0 +1,109 @@
+#include "embed/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace arams::embed {
+
+using linalg::Matrix;
+
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// For each point, ranks of all other points by distance (rank 1 = nearest).
+std::vector<std::vector<std::size_t>> rank_table(const Matrix& points) {
+  const std::size_t n = points.rows();
+  std::vector<std::vector<std::size_t>> ranks(n,
+                                              std::vector<std::size_t>(n, 0));
+  std::vector<std::pair<double, std::size_t>> cand;
+  cand.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    cand.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      cand.emplace_back(sq_dist(points.row(i), points.row(j)), j);
+    }
+    std::sort(cand.begin(), cand.end());
+    for (std::size_t r = 0; r < cand.size(); ++r) {
+      ranks[i][cand[r].second] = r + 1;
+    }
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double trustworthiness(const Matrix& data, const Matrix& embedding,
+                       std::size_t k) {
+  const std::size_t n = data.rows();
+  ARAMS_CHECK(embedding.rows() == n, "row count mismatch");
+  ARAMS_CHECK(k >= 1 && 2 * k < n, "k out of range for trustworthiness");
+
+  const auto data_ranks = rank_table(data);
+
+  // k nearest in the embedding, for each point.
+  std::vector<std::pair<double, std::size_t>> cand;
+  double penalty = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cand.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      cand.emplace_back(sq_dist(embedding.row(i), embedding.row(j)), j);
+    }
+    std::partial_sort(cand.begin(),
+                      cand.begin() + static_cast<std::ptrdiff_t>(k),
+                      cand.end());
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t idx = cand[j].second;
+      const std::size_t r = data_ranks[i][idx];
+      if (r > k) {
+        penalty += static_cast<double>(r - k);
+      }
+    }
+  }
+  const double norm =
+      2.0 / (static_cast<double>(n) * static_cast<double>(k) *
+             (2.0 * static_cast<double>(n) - 3.0 * static_cast<double>(k) -
+              1.0));
+  return 1.0 - norm * penalty;
+}
+
+double axis_factor_correlation(const Matrix& embedding, std::size_t axis,
+                               const std::vector<double>& factor) {
+  const std::size_t n = embedding.rows();
+  ARAMS_CHECK(axis < embedding.cols(), "axis out of range");
+  ARAMS_CHECK(factor.size() == n, "factor length mismatch");
+  ARAMS_CHECK(n >= 2, "need at least two points");
+
+  double mx = 0.0, mf = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += embedding(i, axis);
+    mf += factor[i];
+  }
+  mx /= static_cast<double>(n);
+  mf /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = embedding(i, axis) - mx;
+    const double df = factor[i] - mf;
+    sxy += dx * df;
+    sxx += dx * dx;
+    syy += df * df;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace arams::embed

@@ -1,0 +1,21 @@
+#pragma once
+// Embedding quality metrics used to validate the Fig. 5/6 reproductions
+// quantitatively (the paper validates visually).
+
+#include "linalg/matrix.hpp"
+
+namespace arams::embed {
+
+/// Trustworthiness (Venna & Kaski): fraction-penalized measure in [0, 1] of
+/// how many embedding-space neighbours are also data-space neighbours.
+/// 1 = perfect neighbourhood preservation, ~0.5 = random. O(n²·(d+k)).
+double trustworthiness(const linalg::Matrix& data,
+                       const linalg::Matrix& embedding, std::size_t k);
+
+/// Pearson correlation between a scalar factor and one embedding axis.
+/// Used to check Fig. 5's "CoM on one axis, circularity on the other".
+double axis_factor_correlation(const linalg::Matrix& embedding,
+                               std::size_t axis,
+                               const std::vector<double>& factor);
+
+}  // namespace arams::embed

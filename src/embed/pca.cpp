@@ -1,0 +1,41 @@
+#include "embed/pca.hpp"
+
+#include "linalg/blas.hpp"
+#include "linalg/svd.hpp"
+#include "util/check.hpp"
+
+namespace arams::embed {
+
+using linalg::Matrix;
+
+PcaProjector::PcaProjector(const Matrix& sketch, std::size_t k) {
+  ARAMS_CHECK(sketch.rows() > 0 && sketch.cols() > 0,
+              "cannot build PCA from an empty sketch");
+  ARAMS_CHECK(k > 0, "need at least one component");
+  if (sketch.rows() <= sketch.cols()) {
+    const linalg::RowSpaceSvd svd = linalg::gram_row_svd(sketch);
+    basis_ = linalg::right_vectors(svd, k);
+    sigma_.assign(svd.sigma.begin(),
+                  svd.sigma.begin() +
+                      static_cast<std::ptrdiff_t>(basis_.rows()));
+  } else {
+    const linalg::ThinSvd svd = linalg::jacobi_svd(sketch);
+    const std::size_t kept = std::min(k, svd.vt.rows());
+    basis_ = svd.vt.slice_rows(0, kept);
+    sigma_.assign(svd.sigma.begin(),
+                  svd.sigma.begin() + static_cast<std::ptrdiff_t>(kept));
+  }
+  ARAMS_CHECK(basis_.rows() > 0, "sketch had numerical rank zero");
+}
+
+Matrix PcaProjector::project(const Matrix& x) const {
+  ARAMS_CHECK(x.cols() == basis_.cols(), "data dimension mismatch");
+  return linalg::matmul_nt(x, basis_);
+}
+
+Matrix PcaProjector::reconstruct(const Matrix& z) const {
+  ARAMS_CHECK(z.cols() == basis_.rows(), "latent dimension mismatch");
+  return linalg::matmul(z, basis_);
+}
+
+}  // namespace arams::embed

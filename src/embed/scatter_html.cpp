@@ -1,0 +1,108 @@
+#include "embed/scatter_html.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace arams::embed {
+
+namespace {
+
+/// Categorical palette (colorblind-friendly Okabe–Ito plus extras).
+const char* const kPalette[] = {
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7",
+    "#56B4E9", "#F0E442", "#8B4513", "#4B0082", "#2F4F4F",
+};
+constexpr std::size_t kPaletteSize = std::size(kPalette);
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_scatter_html(const std::string& path,
+                        const linalg::Matrix& embedding,
+                        const std::vector<int>& labels,
+                        const std::vector<std::string>& tooltips,
+                        const ScatterConfig& config) {
+  const std::size_t n = embedding.rows();
+  ARAMS_CHECK(n > 0, "empty embedding");
+  ARAMS_CHECK(embedding.cols() >= 2, "embedding must have >= 2 columns");
+  ARAMS_CHECK(labels.empty() || labels.size() == n, "label count mismatch");
+  ARAMS_CHECK(tooltips.empty() || tooltips.size() == n,
+              "tooltip count mismatch");
+
+  double min_x = embedding(0, 0), max_x = min_x;
+  double min_y = embedding(0, 1), max_y = min_y;
+  for (std::size_t i = 0; i < n; ++i) {
+    min_x = std::min(min_x, embedding(i, 0));
+    max_x = std::max(max_x, embedding(i, 0));
+    min_y = std::min(min_y, embedding(i, 1));
+    max_y = std::max(max_y, embedding(i, 1));
+  }
+  const double span_x = std::max(max_x - min_x, 1e-12);
+  const double span_y = std::max(max_y - min_y, 1e-12);
+  constexpr double kMargin = 24.0;
+  const double plot_w = config.width - 2.0 * kMargin;
+  const double plot_h = config.height - 2.0 * kMargin;
+
+  std::ofstream f(path);
+  ARAMS_CHECK(f.good(), "cannot open for writing: " + path);
+  f << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>"
+    << escape(config.title) << "</title>\n"
+    << "<style>body{font-family:sans-serif;margin:16px}"
+    << "circle{opacity:.75}circle:hover{opacity:1;stroke:#000}"
+    << "</style></head><body>\n<h2>" << escape(config.title) << "</h2>\n"
+    << "<svg width=\"" << config.width << "\" height=\"" << config.height
+    << "\" style=\"border:1px solid #ccc;background:#fff\">\n";
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double px =
+        kMargin + (embedding(i, 0) - min_x) / span_x * plot_w;
+    // SVG y grows downward; flip so the plot reads like a normal axis.
+    const double py =
+        kMargin + (max_y - embedding(i, 1)) / span_y * plot_h;
+    const int label = labels.empty() ? 0 : labels[i];
+    const char* color =
+        (label < 0) ? "#9e9e9e"
+                    : kPalette[static_cast<std::size_t>(label) %
+                               kPaletteSize];
+    f << "<circle cx=\"" << px << "\" cy=\"" << py << "\" r=\""
+      << config.point_radius << "\" fill=\"" << color << "\">";
+    if (!tooltips.empty()) {
+      f << "<title>" << escape(tooltips[i]) << "</title>";
+    } else {
+      f << "<title>#" << i << " (cluster " << label << ")</title>";
+    }
+    f << "</circle>\n";
+  }
+  f << "</svg>\n<p>" << n
+    << " points; grey = OPTICS noise; hover for shot details.</p>\n"
+    << "</body></html>\n";
+  ARAMS_CHECK(f.good(), "write failed: " + path);
+}
+
+}  // namespace arams::embed

@@ -1,0 +1,32 @@
+#pragma once
+// Self-contained interactive HTML scatter plot of a 2-D embedding.
+//
+// The paper's artifact produces Bokeh HTML files with hover tooltips for
+// the operators; this writer reproduces that deliverable without any
+// dependency: one HTML file with inline SVG, points colored by cluster
+// label (noise in grey), and a <title> tooltip per point.
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace arams::embed {
+
+struct ScatterConfig {
+  std::string title = "ARAMS embedding";
+  int width = 760;
+  int height = 560;
+  double point_radius = 3.0;
+};
+
+/// Writes `embedding` (n×2) to `path`. `labels` (may be empty) colors the
+/// points; `tooltips` (may be empty) sets one hover line per point.
+/// Throws CheckError on shape mismatch or I/O failure.
+void write_scatter_html(const std::string& path,
+                        const linalg::Matrix& embedding,
+                        const std::vector<int>& labels,
+                        const std::vector<std::string>& tooltips,
+                        const ScatterConfig& config = {});
+
+}  // namespace arams::embed

@@ -1,0 +1,190 @@
+#include "embed/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::embed {
+
+using linalg::Matrix;
+
+namespace {
+
+/// Symmetric, normalized high-dimensional affinities P with per-point
+/// bandwidths calibrated to the target perplexity by binary search.
+Matrix compute_p(const Matrix& x, double perplexity) {
+  const std::size_t n = x.rows();
+  // Pairwise squared distances.
+  Matrix d2(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      const auto ri = x.row(i);
+      const auto rj = x.row(j);
+      for (std::size_t c = 0; c < ri.size(); ++c) {
+        const double diff = ri[c] - rj[c];
+        s += diff * diff;
+      }
+      d2(i, j) = s;
+      d2(j, i) = s;
+    }
+  }
+
+  const double log_perp = std::log(perplexity);
+  Matrix p(n, n);
+  std::vector<double> row(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Binary search the precision β = 1/(2σ²) for row i.
+    double beta = 1.0, beta_lo = 0.0;
+    double beta_hi = std::numeric_limits<double>::infinity();
+    for (int it = 0; it < 64; ++it) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] = (j == i) ? 0.0 : std::exp(-d2(i, j) * beta);
+        sum += row[j];
+      }
+      if (sum <= 0.0) {
+        beta /= 2.0;
+        continue;
+      }
+      // Shannon entropy H = log(sum) + β·⟨d²⟩.
+      double weighted_d2 = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        weighted_d2 += row[j] * d2(i, j);
+      }
+      const double entropy = std::log(sum) + beta * weighted_d2 / sum;
+      const double diff = entropy - log_perp;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0.0) {
+        beta_lo = beta;
+        beta = std::isinf(beta_hi) ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta + beta_lo) / 2.0;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] = (j == i) ? 0.0 : std::exp(-d2(i, j) * beta);
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = (j == i) ? 0.0 : std::exp(-d2(i, j) * beta);
+      sum += row[j];
+    }
+    const double inv = sum > 0.0 ? 1.0 / sum : 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      p(i, j) = row[j] * inv;
+    }
+  }
+
+  // Symmetrize and normalize: p_ij = (p_{j|i} + p_{i|j}) / 2n, floored.
+  Matrix sym(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      sym(i, j) = std::max((p(i, j) + p(j, i)) /
+                               (2.0 * static_cast<double>(n)),
+                           1e-12);
+    }
+    sym(i, i) = 0.0;
+  }
+  return sym;
+}
+
+}  // namespace
+
+Matrix tsne_embed(const Matrix& points, const TsneConfig& config) {
+  const std::size_t n = points.rows();
+  ARAMS_CHECK(n >= 8, "t-SNE needs at least 8 points");
+  ARAMS_CHECK(static_cast<double>(n) > 3.0 * config.perplexity,
+              "need n > 3*perplexity");
+  ARAMS_CHECK(config.n_components >= 1, "need at least one component");
+  const std::size_t dim = config.n_components;
+
+  Matrix p = compute_p(points, config.perplexity);
+  // Early exaggeration.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      p(i, j) *= config.exaggeration;
+    }
+  }
+
+  Rng rng(config.seed);
+  Matrix y(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : y.row(i)) v = 1e-4 * rng.normal();
+  }
+  Matrix velocity(n, dim);
+  Matrix gains(n, dim);
+  gains.fill(1.0);
+  Matrix grad(n, dim);
+  Matrix qnum(n, n);  // unnormalized low-dim affinities
+
+  for (int iter = 0; iter < config.n_iters; ++iter) {
+    if (iter == config.exaggeration_iters) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          p(i, j) /= config.exaggeration;
+        }
+      }
+    }
+    // Student-t numerators and their sum.
+    double qsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      qnum(i, i) = 0.0;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < dim; ++c) {
+          const double diff = y(i, c) - y(j, c);
+          s += diff * diff;
+        }
+        const double q = 1.0 / (1.0 + s);
+        qnum(i, j) = q;
+        qnum(j, i) = q;
+        qsum += 2.0 * q;
+      }
+    }
+    qsum = std::max(qsum, 1e-300);
+
+    // Gradient: 4·Σⱼ (p_ij − q_ij)·q_num_ij·(y_i − y_j).
+    grad.fill(0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto gi = grad.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double q = qnum(i, j) / qsum;
+        const double mult = 4.0 * (p(i, j) - q) * qnum(i, j);
+        for (std::size_t c = 0; c < dim; ++c) {
+          gi[c] += mult * (y(i, c) - y(j, c));
+        }
+      }
+    }
+
+    // Momentum + adaptive per-coordinate gains, as in the reference code.
+    const double momentum = (iter < 250) ? config.initial_momentum
+                                         : config.final_momentum;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        const bool same_sign =
+            (grad(i, c) > 0.0) == (velocity(i, c) > 0.0);
+        gains(i, c) = same_sign ? std::max(gains(i, c) * 0.8, 0.01)
+                                : gains(i, c) + 0.2;
+        velocity(i, c) = momentum * velocity(i, c) -
+                         config.learning_rate * gains(i, c) * grad(i, c);
+        y(i, c) += velocity(i, c);
+      }
+    }
+    // Re-center to remove drift.
+    for (std::size_t c = 0; c < dim; ++c) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y(i, c);
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) y(i, c) -= mean;
+    }
+  }
+  return y;
+}
+
+}  // namespace arams::embed

@@ -1,0 +1,33 @@
+#pragma once
+// Exact t-SNE (van der Maaten & Hinton 2008) — the visualization baseline
+// UMAP is usually compared against. The paper selects UMAP for stage 3;
+// this implementation makes the choice reproducible: the ablation bench
+// runs both on the same latent points and reports quality and runtime.
+//
+// Exact O(n²) gradients (no Barnes–Hut): the monitoring pipeline embeds
+// at most a few thousand reservoir points at a time.
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace arams::embed {
+
+struct TsneConfig {
+  std::size_t n_components = 2;
+  double perplexity = 30.0;      ///< effective neighbourhood size
+  int n_iters = 500;
+  int exaggeration_iters = 100;  ///< early-exaggeration phase length
+  double exaggeration = 12.0;
+  double learning_rate = 200.0;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  std::uint64_t seed = 17;
+};
+
+/// Embeds `points` (n×d) into n×n_components. Requires
+/// n > 3·perplexity (the usual t-SNE validity condition).
+linalg::Matrix tsne_embed(const linalg::Matrix& points,
+                          const TsneConfig& config);
+
+}  // namespace arams::embed

@@ -1,0 +1,480 @@
+#include "embed/umap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "embed/pca.hpp"
+#include "linalg/blas.hpp"
+#include "util/check.hpp"
+
+namespace arams::embed {
+
+using linalg::Matrix;
+
+SmoothKnn smooth_knn_distances(const KnnGraph& graph,
+                               double local_connectivity, int iterations) {
+  const std::size_t n = graph.n;
+  const std::size_t k = graph.k;
+  SmoothKnn out;
+  out.rho.resize(n, 0.0);
+  out.sigma.resize(n, 1.0);
+  const double target = std::log2(static_cast<double>(k));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // ρᵢ: distance to the ⌈local_connectivity⌉-th non-zero neighbour
+    // (interpolated; with the default 1.0 this is simply the nearest).
+    std::vector<double> nonzero;
+    nonzero.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double d = graph.distance(i, j);
+      if (d > 0.0) nonzero.push_back(d);
+    }
+    if (!nonzero.empty()) {
+      const auto idx = static_cast<std::size_t>(
+          std::floor(local_connectivity)) ;
+      if (idx >= 1 && idx <= nonzero.size()) {
+        const double frac = local_connectivity - std::floor(local_connectivity);
+        out.rho[i] = nonzero[idx - 1];
+        if (frac > 0.0 && idx < nonzero.size()) {
+          out.rho[i] += frac * (nonzero[idx] - nonzero[idx - 1]);
+        }
+      } else {
+        out.rho[i] = *std::max_element(nonzero.begin(), nonzero.end());
+      }
+    }
+
+    // Binary search σᵢ so that Σⱼ exp(−max(0, dᵢⱼ−ρᵢ)/σᵢ) = log₂(k).
+    double lo = 0.0;
+    double hi = std::numeric_limits<double>::infinity();
+    double mid = 1.0;
+    for (int it = 0; it < iterations; ++it) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double d = graph.distance(i, j) - out.rho[i];
+        sum += (d <= 0.0) ? 1.0 : std::exp(-d / mid);
+      }
+      if (std::abs(sum - target) < 1e-5) break;
+      if (sum > target) {
+        hi = mid;
+        mid = (lo + hi) / 2.0;
+      } else {
+        lo = mid;
+        mid = std::isinf(hi) ? mid * 2.0 : (lo + hi) / 2.0;
+      }
+    }
+    // Bandwidth floor relative to the mean neighbour distance, as in the
+    // reference implementation.
+    double mean_d = 0.0;
+    for (std::size_t j = 0; j < k; ++j) mean_d += graph.distance(i, j);
+    mean_d /= static_cast<double>(k);
+    out.sigma[i] = std::max(mid, 1e-3 * mean_d);
+    if (out.sigma[i] <= 0.0) out.sigma[i] = 1.0;
+  }
+  return out;
+}
+
+FuzzyGraph fuzzy_simplicial_set(const KnnGraph& graph,
+                                const SmoothKnn& smooth) {
+  const std::size_t n = graph.n;
+  const std::size_t k = graph.k;
+  // Directed membership strengths, then w = a + b − ab.
+  std::map<std::pair<std::size_t, std::size_t>, double> directed;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t t = graph.neighbor(i, j);
+      const double d = graph.distance(i, j) - smooth.rho[i];
+      const double w = (d <= 0.0) ? 1.0 : std::exp(-d / smooth.sigma[i]);
+      directed[{i, t}] = w;
+    }
+  }
+  FuzzyGraph out;
+  out.n = n;
+  std::map<std::pair<std::size_t, std::size_t>, double> sym;
+  for (const auto& [key, w] : directed) {
+    const auto [i, j] = key;
+    const auto canon = std::minmax(i, j);
+    const auto rev_it = directed.find({j, i});
+    const double wr = (rev_it != directed.end()) ? rev_it->second : 0.0;
+    sym[{canon.first, canon.second}] = w + wr - w * wr;
+  }
+  out.edges.reserve(sym.size());
+  for (const auto& [key, w] : sym) {
+    if (w > 0.0) {
+      out.edges.push_back({key.first, key.second, w});
+    }
+  }
+  return out;
+}
+
+std::pair<double, double> fit_ab(double spread, double min_dist) {
+  ARAMS_CHECK(spread > 0.0, "spread must be positive");
+  ARAMS_CHECK(min_dist >= 0.0 && min_dist < 3.0 * spread,
+              "min_dist out of range");
+  // Target curve ψ(x): 1 on [0, min_dist], exp decay beyond.
+  constexpr int kSamples = 300;
+  std::vector<double> xs(kSamples), ys(kSamples);
+  for (int s = 0; s < kSamples; ++s) {
+    const double x = 3.0 * spread * (s + 0.5) / kSamples;
+    xs[s] = x;
+    ys[s] = (x <= min_dist) ? 1.0 : std::exp(-(x - min_dist) / spread);
+  }
+  const auto loss = [&](double a, double b) {
+    double l = 0.0;
+    for (int s = 0; s < kSamples; ++s) {
+      const double f = 1.0 / (1.0 + a * std::pow(xs[s], 2.0 * b));
+      const double diff = f - ys[s];
+      l += diff * diff;
+    }
+    return l;
+  };
+  // Two-stage grid search: coarse, then refined around the best cell.
+  double best_a = 1.0, best_b = 1.0, best = loss(1.0, 1.0);
+  for (int stage = 0; stage < 3; ++stage) {
+    const double ra = (stage == 0) ? 3.0 : std::pow(0.3, stage);
+    const double rb = (stage == 0) ? 1.2 : std::pow(0.3, stage);
+    const double a0 = (stage == 0) ? 0.05 : best_a;
+    const double b0 = (stage == 0) ? 0.3 : best_b;
+    for (int ia = -20; ia <= 20; ++ia) {
+      const double a = (stage == 0)
+                           ? a0 * std::pow(10.0, ia * ra / 20.0)
+                           : a0 * (1.0 + ra * ia / 20.0);
+      if (a <= 0.0) continue;
+      for (int ib = -20; ib <= 20; ++ib) {
+        const double b = (stage == 0) ? b0 + (ib + 20) * rb / 20.0
+                                      : b0 * (1.0 + rb * ib / 20.0);
+        if (b <= 0.05) continue;
+        const double l = loss(a, b);
+        if (l < best) {
+          best = l;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+  }
+  return {best_a, best_b};
+}
+
+Matrix spectral_init(const FuzzyGraph& graph, std::size_t n_components,
+                     Rng& rng, int iterations) {
+  ARAMS_CHECK(graph.n >= 2, "spectral init needs at least two points");
+  const std::size_t n = graph.n;
+
+  // Degree vector of the symmetric weighted graph.
+  std::vector<double> degree(n, 1e-12);  // floor avoids isolated-node 1/0
+  for (const auto& e : graph.edges) {
+    degree[e.u] += e.weight;
+    degree[e.v] += e.weight;
+  }
+  std::vector<double> inv_sqrt_deg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inv_sqrt_deg[i] = 1.0 / std::sqrt(degree[i]);
+  }
+
+  // Normalized adjacency T = D^{-1/2}·W·D^{-1/2}; its top eigenvector is
+  // the trivial D^{1/2}·1. The Laplacian's smallest non-trivial
+  // eigenvectors are T's next-largest; find them by power iteration on the
+  // PSD shift (T + I)/2 with deflation.
+  const auto matvec = [&](const std::vector<double>& x,
+                          std::vector<double>& y) {
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = 0.5 * x[i];  // the +I/2 shift
+    }
+    for (const auto& e : graph.edges) {
+      const double w = 0.5 * e.weight * inv_sqrt_deg[e.u] *
+                       inv_sqrt_deg[e.v];
+      y[e.u] += w * x[e.v];
+      y[e.v] += w * x[e.u];
+    }
+  };
+
+  std::vector<std::vector<double>> found;
+  // Trivial eigenvector, normalized.
+  {
+    std::vector<double> trivial(n);
+    for (std::size_t i = 0; i < n; ++i) trivial[i] = std::sqrt(degree[i]);
+    const double nrm = linalg::norm2(trivial);
+    linalg::scale(trivial, 1.0 / nrm);
+    found.push_back(std::move(trivial));
+  }
+
+  Matrix y(n, n_components);
+  std::vector<double> x(n), tx(n);
+  for (std::size_t comp = 0; comp < n_components; ++comp) {
+    rng.fill_normal(x);
+    for (int it = 0; it < iterations; ++it) {
+      // Deflate all previously found directions.
+      for (const auto& q : found) {
+        linalg::axpy(-linalg::dot(q, x), q, x);
+      }
+      matvec(x, tx);
+      const double nrm = linalg::norm2(tx);
+      if (nrm <= 0.0) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] = tx[i] / nrm;
+      }
+    }
+    for (const auto& q : found) {
+      linalg::axpy(-linalg::dot(q, x), q, x);
+    }
+    const double nrm = linalg::norm2(x);
+    if (nrm > 0.0) linalg::scale(x, 1.0 / nrm);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Recover the Laplacian eigenvector u = D^{-1/2}·x.
+      y(i, comp) = x[i] * inv_sqrt_deg[i];
+    }
+    found.push_back(x);
+  }
+
+  // Rescale to the [-10, 10] box UMAP's SGD expects.
+  double mx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const double v : y.row(i)) mx = std::max(mx, std::abs(v));
+  }
+  if (mx > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      linalg::scale(y.row(i), 10.0 / mx);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : y.row(i)) v += 1e-4 * rng.normal();
+  }
+  return y;
+}
+
+namespace {
+
+Matrix initialize_embedding(const Matrix& points, const FuzzyGraph& fuzzy,
+                            const UmapConfig& config, Rng& rng) {
+  const std::size_t n = points.rows();
+  Matrix y(n, config.n_components);
+  if (config.init == UmapConfig::Init::kSpectral) {
+    return spectral_init(fuzzy, config.n_components, rng);
+  }
+  if (config.init == UmapConfig::Init::kPca &&
+      points.cols() >= config.n_components) {
+    // Center, project on top components, rescale to [-10, 10].
+    Matrix centered = points;
+    std::vector<double> mean(points.cols(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      linalg::axpy(1.0, points.row(i), mean);
+    }
+    linalg::scale(mean, 1.0 / static_cast<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      linalg::axpy(-1.0, mean, centered.row(i));
+    }
+    const PcaProjector pca(centered, config.n_components);
+    y = pca.project(centered);
+    double mx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const double v : y.row(i)) mx = std::max(mx, std::abs(v));
+    }
+    if (mx > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        linalg::scale(y.row(i), 10.0 / mx);
+      }
+    }
+    // Tiny jitter breaks exact ties so SGD does not divide by zero.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& v : y.row(i)) v += 1e-4 * rng.normal();
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& v : y.row(i)) v = rng.uniform(-10.0, 10.0);
+    }
+  }
+  return y;
+}
+
+double clip4(double v) { return std::clamp(v, -4.0, 4.0); }
+
+void optimize_layout(Matrix& y, const FuzzyGraph& graph,
+                     const UmapConfig& config, double a, double b, Rng& rng) {
+  const std::size_t n = y.rows();
+  const std::size_t dim = y.cols();
+  const int n_epochs = config.n_epochs;
+  if (graph.edges.empty()) return;
+
+  double w_max = 0.0;
+  for (const auto& e : graph.edges) w_max = std::max(w_max, e.weight);
+
+  const std::size_t m = graph.edges.size();
+  std::vector<double> epochs_per_sample(m);
+  std::vector<double> epoch_of_next(m);
+  std::vector<double> epochs_per_negative(m);
+  std::vector<double> epoch_of_next_negative(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    epochs_per_sample[e] = w_max / graph.edges[e].weight;
+    epoch_of_next[e] = epochs_per_sample[e];
+    epochs_per_negative[e] =
+        epochs_per_sample[e] / std::max(config.negative_samples, 1);
+    epoch_of_next_negative[e] = epochs_per_negative[e];
+  }
+
+  const double gamma = config.repulsion_strength;
+  for (int epoch = 1; epoch <= n_epochs; ++epoch) {
+    const double alpha =
+        config.learning_rate *
+        (1.0 - static_cast<double>(epoch) / static_cast<double>(n_epochs));
+    for (std::size_t e = 0; e < m; ++e) {
+      if (epoch_of_next[e] > epoch) continue;
+      const auto& edge = graph.edges[e];
+      auto yu = y.row(edge.u);
+      auto yv = y.row(edge.v);
+
+      // Attractive move along the edge.
+      double d2 = 0.0;
+      for (std::size_t c = 0; c < dim; ++c) {
+        const double diff = yu[c] - yv[c];
+        d2 += diff * diff;
+      }
+      if (d2 > 0.0) {
+        const double coeff = (-2.0 * a * b * std::pow(d2, b - 1.0)) /
+                             (1.0 + a * std::pow(d2, b));
+        for (std::size_t c = 0; c < dim; ++c) {
+          const double g = clip4(coeff * (yu[c] - yv[c]));
+          yu[c] += alpha * g;
+          yv[c] -= alpha * g;
+        }
+      }
+      epoch_of_next[e] += epochs_per_sample[e];
+
+      // Negative (repulsive) samples for the head vertex.
+      const int n_neg = static_cast<int>(
+          (epoch - epoch_of_next_negative[e]) / epochs_per_negative[e]) + 1;
+      for (int s = 0; s < n_neg; ++s) {
+        const std::size_t r = rng.uniform_index(n);
+        if (r == edge.u || r == edge.v) continue;
+        const auto yr = y.row(r);
+        double rd2 = 0.0;
+        for (std::size_t c = 0; c < dim; ++c) {
+          const double diff = yu[c] - yr[c];
+          rd2 += diff * diff;
+        }
+        double coeff = 0.0;
+        if (rd2 > 0.0) {
+          coeff = (2.0 * gamma * b) /
+                  ((0.001 + rd2) * (1.0 + a * std::pow(rd2, b)));
+        }
+        for (std::size_t c = 0; c < dim; ++c) {
+          const double g =
+              (coeff > 0.0) ? clip4(coeff * (yu[c] - yr[c])) : 4.0;
+          yu[c] += alpha * g;
+        }
+      }
+      epoch_of_next_negative[e] +=
+          epochs_per_negative[e] * static_cast<double>(n_neg);
+    }
+  }
+}
+
+}  // namespace
+
+Matrix umap_embed_graph(const Matrix& points, const KnnGraph& graph,
+                        const UmapConfig& config) {
+  ARAMS_CHECK(points.rows() == graph.n, "graph does not match points");
+  ARAMS_CHECK(config.n_components >= 1, "need at least one component");
+  Rng rng(config.seed);
+
+  const SmoothKnn smooth = smooth_knn_distances(graph);
+  const FuzzyGraph fuzzy = fuzzy_simplicial_set(graph, smooth);
+  const auto [a, b] = fit_ab(config.spread, config.min_dist);
+
+  Matrix y = initialize_embedding(points, fuzzy, config, rng);
+  optimize_layout(y, fuzzy, config, a, b, rng);
+  return y;
+}
+
+Matrix umap_transform(const Matrix& reference_points,
+                      const Matrix& reference_embedding,
+                      const Matrix& new_points, const UmapConfig& config) {
+  ARAMS_CHECK(reference_points.rows() == reference_embedding.rows(),
+              "reference points/embedding row mismatch");
+  ARAMS_CHECK(new_points.cols() == reference_points.cols(),
+              "new points have a different dimension");
+  ARAMS_CHECK(reference_points.rows() > config.n_neighbors,
+              "need more reference points than n_neighbors");
+  const std::size_t n_new = new_points.rows();
+  const std::size_t dim = reference_embedding.cols();
+  const std::size_t k = config.n_neighbors;
+  const std::size_t n_ref = reference_points.rows();
+  Rng rng(config.seed ^ 0x77aa77ull);
+
+  const auto [a, b] = fit_ab(config.spread, config.min_dist);
+  Matrix y(n_new, dim);
+
+  std::vector<std::pair<double, std::size_t>> cand(n_ref);
+  for (std::size_t i = 0; i < n_new; ++i) {
+    // kNN of the new point among the reference set.
+    const auto row = new_points.row(i);
+    for (std::size_t j = 0; j < n_ref; ++j) {
+      double s = 0.0;
+      const auto ref = reference_points.row(j);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        const double d = row[c] - ref[c];
+        s += d * d;
+      }
+      cand[j] = {s, j};
+    }
+    std::partial_sort(cand.begin(),
+                      cand.begin() + static_cast<std::ptrdiff_t>(k),
+                      cand.end());
+
+    // Membership weights from the same smooth-kNN kernel.
+    const double rho = std::sqrt(cand[0].first);
+    double sigma = std::max(
+        std::sqrt(cand[k - 1].first) - rho, 1e-3 * (rho + 1e-12));
+    if (sigma <= 0.0) sigma = 1.0;
+    std::vector<double> w(k);
+    double wsum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double d = std::sqrt(cand[j].first) - rho;
+      w[j] = (d <= 0.0) ? 1.0 : std::exp(-d / sigma);
+      wsum += w[j];
+    }
+
+    // Init: weighted average of neighbour embeddings.
+    auto yi = y.row(i);
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto ref = reference_embedding.row(cand[j].second);
+      for (std::size_t c = 0; c < dim; ++c) {
+        yi[c] += (w[j] / wsum) * ref[c];
+      }
+    }
+
+    // Short attract-only refinement toward the neighbours (the reference
+    // embedding is frozen; repulsion would need global context).
+    const int epochs = std::max(config.n_epochs / 6, 10);
+    for (int epoch = 1; epoch <= epochs; ++epoch) {
+      const double alpha = config.learning_rate * 0.5 *
+                           (1.0 - static_cast<double>(epoch) / epochs);
+      const std::size_t j = rng.uniform_index(k);
+      const auto ref = reference_embedding.row(cand[j].second);
+      double d2 = 0.0;
+      for (std::size_t c = 0; c < dim; ++c) {
+        const double diff = yi[c] - ref[c];
+        d2 += diff * diff;
+      }
+      if (d2 <= 0.0) continue;
+      const double coeff = (-2.0 * a * b * std::pow(d2, b - 1.0)) /
+                           (1.0 + a * std::pow(d2, b));
+      for (std::size_t c = 0; c < dim; ++c) {
+        yi[c] += alpha * (w[j] / wsum) *
+                 clip4(coeff * (yi[c] - ref[c]));
+      }
+    }
+  }
+  return y;
+}
+
+Matrix umap_embed(const Matrix& points, const UmapConfig& config) {
+  ARAMS_CHECK(points.rows() > config.n_neighbors,
+              "need more points than n_neighbors");
+  Rng rng(config.seed ^ 0xabcdefull);
+  const KnnGraph graph = build_knn(points, config.n_neighbors, rng,
+                                   config.exact_knn_threshold);
+  return umap_embed_graph(points, graph, config);
+}
+
+}  // namespace arams::embed

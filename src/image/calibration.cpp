@@ -1,0 +1,102 @@
+#include "image/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace arams::image {
+
+std::size_t PixelMask::bad_count() const {
+  std::size_t bad = 0;
+  for (const bool g : good) {
+    if (!g) ++bad;
+  }
+  return bad;
+}
+
+void subtract_pedestal(ImageF& frame, const ImageF& pedestal) {
+  ARAMS_CHECK(frame.height() == pedestal.height() &&
+                  frame.width() == pedestal.width(),
+              "pedestal shape mismatch");
+  auto pixels = frame.pixels();
+  const auto dark = pedestal.pixels();
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    pixels[i] = std::max(pixels[i] - dark[i], 0.0);
+  }
+}
+
+void common_mode_subtract(ImageF& frame, const PixelMask* mask,
+                          double signal_cut) {
+  if (mask != nullptr) {
+    ARAMS_CHECK(mask->height == frame.height() &&
+                    mask->width == frame.width(),
+                "mask shape mismatch");
+  }
+  std::vector<double> row_values;
+  row_values.reserve(frame.width());
+  for (std::size_t y = 0; y < frame.height(); ++y) {
+    row_values.clear();
+    for (std::size_t x = 0; x < frame.width(); ++x) {
+      if (mask != nullptr && !mask->at(y, x)) continue;
+      const double v = frame.at(y, x);
+      if (v < signal_cut) row_values.push_back(v);
+    }
+    if (row_values.empty()) continue;
+    const auto mid = row_values.begin() +
+                     static_cast<std::ptrdiff_t>(row_values.size() / 2);
+    std::nth_element(row_values.begin(), mid, row_values.end());
+    const double median = *mid;
+    if (median == 0.0) continue;
+    for (std::size_t x = 0; x < frame.width(); ++x) {
+      frame.at(y, x) = std::max(frame.at(y, x) - median, 0.0);
+    }
+  }
+}
+
+PixelMask mask_from_stats(const RunningFrameStats& stats, double hot_sigma) {
+  ARAMS_CHECK(stats.count() >= 2, "need at least two frames of statistics");
+  const ImageF mean = stats.mean();
+  const ImageF variance = stats.variance();
+
+  // Distribution of the per-pixel means, for the hot cut.
+  double mu = 0.0;
+  for (const double v : mean.pixels()) mu += v;
+  mu /= static_cast<double>(mean.pixel_count());
+  double sd = 0.0;
+  for (const double v : mean.pixels()) {
+    sd += (v - mu) * (v - mu);
+  }
+  sd = std::sqrt(sd / static_cast<double>(mean.pixel_count() - 1));
+
+  // A pixel is "dead" if it never fluctuates while the detector overall
+  // does; use a tiny fraction of the median variance as the floor.
+  std::vector<double> vars(variance.pixels().begin(),
+                           variance.pixels().end());
+  const auto mid =
+      vars.begin() + static_cast<std::ptrdiff_t>(vars.size() / 2);
+  std::nth_element(vars.begin(), mid, vars.end());
+  const double var_floor = *mid * 1e-9;
+
+  PixelMask mask;
+  mask.height = mean.height();
+  mask.width = mean.width();
+  mask.good.assign(mean.pixel_count(), true);
+  for (std::size_t i = 0; i < mean.pixel_count(); ++i) {
+    const bool dead = variance.pixels()[i] <= var_floor && *mid > 0.0;
+    const bool hot = sd > 0.0 && mean.pixels()[i] > mu + hot_sigma * sd;
+    if (dead || hot) mask.good[i] = false;
+  }
+  return mask;
+}
+
+void apply_mask(ImageF& frame, const PixelMask& mask) {
+  ARAMS_CHECK(mask.height == frame.height() && mask.width == frame.width(),
+              "mask shape mismatch");
+  auto pixels = frame.pixels();
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    if (!mask.good[i]) pixels[i] = 0.0;
+  }
+}
+
+}  // namespace arams::image

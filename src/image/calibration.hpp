@@ -1,0 +1,45 @@
+#pragma once
+// Detector calibration — the corrections behind the paper's "calibrated
+// large area detector images": pedestal (dark) subtraction, common-mode
+// correction (per-row median, the standard LCLS ePix/CSPAD step), and
+// dead/hot pixel masking derived from the running frame statistics.
+
+#include <vector>
+
+#include "image/frame_stats.hpp"
+#include "image/image.hpp"
+
+namespace arams::image {
+
+/// Boolean pixel mask; true = pixel is good.
+struct PixelMask {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::vector<bool> good;
+
+  [[nodiscard]] bool at(std::size_t y, std::size_t x) const {
+    return good[y * width + x];
+  }
+  [[nodiscard]] std::size_t bad_count() const;
+};
+
+/// Subtracts a pedestal (dark) frame in place, clamping at zero.
+void subtract_pedestal(ImageF& frame, const ImageF& pedestal);
+
+/// Common-mode correction: subtracts each row's median (computed over
+/// unmasked pixels below `signal_cut`, so genuine signal does not bias
+/// the estimate), clamping at zero. Pass nullptr to use every pixel.
+void common_mode_subtract(ImageF& frame, const PixelMask* mask = nullptr,
+                          double signal_cut = 1e300);
+
+/// Builds a mask from per-pixel mean/variance statistics: a pixel is bad
+/// if its variance is (numerically) zero while others fluctuate (dead) or
+/// its mean exceeds `hot_sigma` standard deviations of the mean image's
+/// distribution (hot).
+PixelMask mask_from_stats(const RunningFrameStats& stats,
+                          double hot_sigma = 6.0);
+
+/// Zeroes masked pixels in place.
+void apply_mask(ImageF& frame, const PixelMask& mask);
+
+}  // namespace arams::image

@@ -1,0 +1,47 @@
+#include "image/frame_stats.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace arams::image {
+
+void RunningFrameStats::update(const ImageF& frame) {
+  if (count_ == 0) {
+    height_ = frame.height();
+    width_ = frame.width();
+    mean_.assign(frame.pixel_count(), 0.0);
+    m2_.assign(frame.pixel_count(), 0.0);
+  }
+  ARAMS_CHECK(frame.height() == height_ && frame.width() == width_,
+              "frame shape changed mid-stream");
+  ++count_;
+  const auto pixels = frame.pixels();
+  const double inv_n = 1.0 / static_cast<double>(count_);
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    const double delta = pixels[i] - mean_[i];
+    mean_[i] += delta * inv_n;
+    m2_[i] += delta * (pixels[i] - mean_[i]);
+  }
+}
+
+ImageF RunningFrameStats::mean() const {
+  ARAMS_CHECK(count_ > 0, "no frames absorbed yet");
+  ImageF out(height_, width_);
+  std::copy(mean_.begin(), mean_.end(), out.pixels().begin());
+  return out;
+}
+
+ImageF RunningFrameStats::variance() const {
+  ARAMS_CHECK(count_ > 0, "no frames absorbed yet");
+  ImageF out(height_, width_);
+  if (count_ < 2) return out;
+  const double inv = 1.0 / static_cast<double>(count_ - 1);
+  auto pixels = out.pixels();
+  for (std::size_t i = 0; i < m2_.size(); ++i) {
+    pixels[i] = m2_[i] * inv;
+  }
+  return out;
+}
+
+}  // namespace arams::image

@@ -1,0 +1,33 @@
+#pragma once
+// Welford running mean/variance over same-shaped frames — shared by the
+// beam diagnostics (drift reference) and detector calibration (pedestal
+// and dead/hot-pixel estimation).
+
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace arams::image {
+
+class RunningFrameStats {
+ public:
+  /// Absorbs one frame. The first frame fixes the shape.
+  void update(const ImageF& frame);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Mean frame so far. Throws CheckError before the first update.
+  [[nodiscard]] ImageF mean() const;
+
+  /// Per-pixel sample variance (zero frame until two updates).
+  [[nodiscard]] ImageF variance() const;
+
+ private:
+  std::size_t count_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> m2_;
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+};
+
+}  // namespace arams::image

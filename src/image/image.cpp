@@ -1,0 +1,55 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+namespace arams::image {
+
+double ImageF::total_intensity() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double ImageF::max_intensity() const {
+  if (data_.empty()) return 0.0;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+void ImageF::to_row(std::span<double> row) const {
+  ARAMS_CHECK(row.size() == data_.size(), "row length != pixel count");
+  std::copy(data_.begin(), data_.end(), row.begin());
+}
+
+ImageF ImageF::from_row(std::span<const double> row, std::size_t height,
+                        std::size_t width) {
+  ARAMS_CHECK(row.size() == height * width, "row length != height*width");
+  ImageF img(height, width);
+  std::copy(row.begin(), row.end(), img.data_.begin());
+  return img;
+}
+
+void ImageF::save_pgm(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  ARAMS_CHECK(f.good(), "cannot open for writing: " + path);
+  const double mx = std::max(max_intensity(), 1e-300);
+  f << "P5\n" << width_ << " " << height_ << "\n255\n";
+  for (const double v : data_) {
+    const double scaled = std::clamp(v / mx, 0.0, 1.0) * 255.0;
+    f.put(static_cast<char>(static_cast<unsigned char>(scaled)));
+  }
+  ARAMS_CHECK(f.good(), "write failed: " + path);
+}
+
+linalg::Matrix images_to_matrix(const std::vector<ImageF>& images) {
+  ARAMS_CHECK(!images.empty(), "empty image batch");
+  const std::size_t d = images.front().pixel_count();
+  linalg::Matrix out(images.size(), d);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    ARAMS_CHECK(images[i].pixel_count() == d, "inconsistent image shapes");
+    images[i].to_row(out.row(i));
+  }
+  return out;
+}
+
+}  // namespace arams::image

@@ -1,0 +1,63 @@
+#pragma once
+// 2-D detector frame container. Frames flow through preprocessing as
+// ImageF and are flattened to Matrix rows before sketching (the paper's
+// "2-megapixel images" become d-dimensional rows).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace arams::image {
+
+/// Row-major grayscale image of doubles (detector counts).
+class ImageF {
+ public:
+  ImageF() = default;
+  ImageF(std::size_t height, std::size_t width)
+      : height_(height), width_(width), data_(height * width, 0.0) {}
+
+  [[nodiscard]] std::size_t height() const { return height_; }
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t pixel_count() const { return data_.size(); }
+
+  double& at(std::size_t y, std::size_t x) {
+    ARAMS_DCHECK(y < height_ && x < width_, "pixel out of range");
+    return data_[y * width_ + x];
+  }
+  double at(std::size_t y, std::size_t x) const {
+    ARAMS_DCHECK(y < height_ && x < width_, "pixel out of range");
+    return data_[y * width_ + x];
+  }
+
+  [[nodiscard]] std::span<double> pixels() { return data_; }
+  [[nodiscard]] std::span<const double> pixels() const { return data_; }
+
+  /// Sum of all pixel values.
+  [[nodiscard]] double total_intensity() const;
+
+  /// Maximum pixel value (0 for an empty image).
+  [[nodiscard]] double max_intensity() const;
+
+  /// Flattens into an existing matrix row (length must be pixel_count()).
+  void to_row(std::span<double> row) const;
+
+  /// Rebuilds an image of the given shape from a flat row.
+  static ImageF from_row(std::span<const double> row, std::size_t height,
+                         std::size_t width);
+
+  /// Writes as an 8-bit binary PGM (max-normalized) for eyeballing output.
+  void save_pgm(const std::string& path) const;
+
+ private:
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> data_;
+};
+
+/// Flattens a batch of same-shaped images into an n×d matrix.
+linalg::Matrix images_to_matrix(const std::vector<ImageF>& images);
+
+}  // namespace arams::image

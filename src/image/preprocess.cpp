@@ -1,0 +1,130 @@
+#include "image/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arams::image {
+
+void threshold_below(ImageF& img, double threshold) {
+  for (auto& v : img.pixels()) {
+    if (v < threshold) v = 0.0;
+  }
+}
+
+void threshold_relative(ImageF& img, double fraction) {
+  if (fraction <= 0.0) return;
+  threshold_below(img, fraction * img.max_intensity());
+}
+
+void normalize_intensity(ImageF& img, double target) {
+  const double total = img.total_intensity();
+  if (total <= 0.0) return;
+  const double s = target / total;
+  for (auto& v : img.pixels()) v *= s;
+}
+
+CenterOfMass center_of_mass(const ImageF& img) {
+  CenterOfMass com;
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      const double v = img.at(y, x);
+      com.mass += v;
+      com.y += v * static_cast<double>(y);
+      com.x += v * static_cast<double>(x);
+    }
+  }
+  if (com.mass > 0.0) {
+    com.y /= com.mass;
+    com.x /= com.mass;
+  }
+  return com;
+}
+
+void center_on_mass(ImageF& img) {
+  const CenterOfMass com = center_of_mass(img);
+  if (com.mass <= 0.0) return;
+  const auto cy = static_cast<long>(std::lround(
+      static_cast<double>(img.height() - 1) / 2.0 - com.y));
+  const auto cx = static_cast<long>(std::lround(
+      static_cast<double>(img.width() - 1) / 2.0 - com.x));
+  if (cy == 0 && cx == 0) return;
+
+  ImageF shifted(img.height(), img.width());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    const long sy = static_cast<long>(y) + cy;
+    if (sy < 0 || sy >= static_cast<long>(img.height())) continue;
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      const long sx = static_cast<long>(x) + cx;
+      if (sx < 0 || sx >= static_cast<long>(img.width())) continue;
+      shifted.at(static_cast<std::size_t>(sy), static_cast<std::size_t>(sx)) =
+          img.at(y, x);
+    }
+  }
+  img = std::move(shifted);
+}
+
+ImageF crop_center(const ImageF& img, std::size_t height, std::size_t width) {
+  ARAMS_CHECK(height <= img.height() && width <= img.width(),
+              "crop larger than image");
+  const std::size_t y0 = (img.height() - height) / 2;
+  const std::size_t x0 = (img.width() - width) / 2;
+  ImageF out(height, width);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      out.at(y, x) = img.at(y0 + y, x0 + x);
+    }
+  }
+  return out;
+}
+
+ImageF downsample(const ImageF& img, std::size_t factor) {
+  ARAMS_CHECK(factor >= 1, "downsample factor must be >= 1");
+  if (factor == 1) return img;
+  ARAMS_CHECK(img.height() % factor == 0 && img.width() % factor == 0,
+              "dimensions must divide the downsample factor");
+  const std::size_t h = img.height() / factor;
+  const std::size_t w = img.width() / factor;
+  ImageF out(h, w);
+  const double inv = 1.0 / static_cast<double>(factor * factor);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      double s = 0.0;
+      for (std::size_t dy = 0; dy < factor; ++dy) {
+        for (std::size_t dx = 0; dx < factor; ++dx) {
+          s += img.at(y * factor + dy, x * factor + dx);
+        }
+      }
+      out.at(y, x) = s * inv;
+    }
+  }
+  return out;
+}
+
+ImageF preprocess(const ImageF& img, const PreprocessConfig& config) {
+  ImageF out = img;
+  if (config.threshold_fraction > 0.0) {
+    threshold_relative(out, config.threshold_fraction);
+  }
+  if (config.center) {
+    center_on_mass(out);
+  }
+  if (config.normalize) {
+    normalize_intensity(out);
+  }
+  if (config.downsample_factor > 1) {
+    out = downsample(out, config.downsample_factor);
+  }
+  return out;
+}
+
+std::vector<ImageF> preprocess_batch(const std::vector<ImageF>& images,
+                                     const PreprocessConfig& config) {
+  std::vector<ImageF> out;
+  out.reserve(images.size());
+  for (const auto& img : images) {
+    out.push_back(preprocess(img, config));
+  }
+  return out;
+}
+
+}  // namespace arams::image

@@ -1,0 +1,57 @@
+#pragma once
+// Detector-frame preprocessing, mirroring Section VI of the paper: intensity
+// thresholding, intensity normalization, and center-of-mass centering so the
+// sketch focuses on beam *shape* rather than pointing jitter or pulse energy.
+
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace arams::image {
+
+struct CenterOfMass {
+  double y = 0.0;
+  double x = 0.0;
+  double mass = 0.0;
+};
+
+/// Zeroes pixels below `threshold` (absolute counts).
+void threshold_below(ImageF& img, double threshold);
+
+/// Zeroes pixels below `fraction` of the maximum (robust to pulse energy).
+void threshold_relative(ImageF& img, double fraction);
+
+/// Scales the image so the total intensity equals `target` (no-op for an
+/// all-zero image).
+void normalize_intensity(ImageF& img, double target = 1.0);
+
+/// Intensity-weighted centroid.
+CenterOfMass center_of_mass(const ImageF& img);
+
+/// Translates the image by integer pixels so the center of mass lands on the
+/// geometric center; vacated pixels are zero-filled.
+void center_on_mass(ImageF& img);
+
+/// Central crop to (height, width); throws if the crop exceeds the image.
+ImageF crop_center(const ImageF& img, std::size_t height, std::size_t width);
+
+/// Block-mean downsampling by an integer `factor` (dimensions must divide).
+ImageF downsample(const ImageF& img, std::size_t factor);
+
+/// Preprocessing pipeline configuration used by the monitoring pipeline.
+struct PreprocessConfig {
+  double threshold_fraction = 0.02;  ///< relative threshold; <=0 disables
+  bool normalize = true;             ///< normalize total intensity to 1
+  bool center = true;                ///< center-of-mass recentring
+  std::size_t downsample_factor = 1; ///< 1 disables
+};
+
+/// Applies the configured pipeline to a frame (in order: threshold,
+/// center, normalize, downsample) and returns the result.
+ImageF preprocess(const ImageF& img, const PreprocessConfig& config);
+
+/// Applies `preprocess` to a batch.
+std::vector<ImageF> preprocess_batch(const std::vector<ImageF>& images,
+                                     const PreprocessConfig& config);
+
+}  // namespace arams::image

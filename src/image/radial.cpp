@@ -1,0 +1,110 @@
+#include "image/radial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace arams::image {
+
+RadialProfile radial_profile(const ImageF& frame, double center_y,
+                             double center_x, std::size_t bins) {
+  ARAMS_CHECK(bins >= 1, "need at least one radial bin");
+  const double r_max =
+      std::min({center_y, center_x,
+                static_cast<double>(frame.height() - 1) - center_y,
+                static_cast<double>(frame.width() - 1) - center_x});
+  ARAMS_CHECK(r_max > 0.0, "center leaves no room for an annulus");
+
+  RadialProfile out;
+  out.radius.resize(bins);
+  out.intensity.assign(bins, 0.0);
+  out.counts.assign(bins, 0);
+  const double width = r_max / static_cast<double>(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out.radius[b] = (static_cast<double>(b) + 0.5) * width;
+  }
+
+  for (std::size_t y = 0; y < frame.height(); ++y) {
+    const double dy = static_cast<double>(y) - center_y;
+    for (std::size_t x = 0; x < frame.width(); ++x) {
+      const double dx = static_cast<double>(x) - center_x;
+      const double r = std::sqrt(dx * dx + dy * dy);
+      if (r >= r_max) continue;
+      const auto b = static_cast<std::size_t>(r / width);
+      out.intensity[b] += frame.at(y, x);
+      ++out.counts[b];
+    }
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (out.counts[b] > 0) {
+      out.intensity[b] /= static_cast<double>(out.counts[b]);
+    }
+  }
+  return out;
+}
+
+AzimuthalProfile azimuthal_profile(const ImageF& frame, double center_y,
+                                   double center_x, double r_min,
+                                   double r_max, std::size_t bins) {
+  ARAMS_CHECK(bins >= 1, "need at least one angular bin");
+  ARAMS_CHECK(r_min >= 0.0 && r_max > r_min, "bad annulus radii");
+
+  AzimuthalProfile out;
+  out.angle.resize(bins);
+  out.intensity.assign(bins, 0.0);
+  out.counts.assign(bins, 0);
+  const double width = 2.0 * std::numbers::pi / static_cast<double>(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out.angle[b] = (static_cast<double>(b) + 0.5) * width;
+  }
+
+  for (std::size_t y = 0; y < frame.height(); ++y) {
+    const double dy = static_cast<double>(y) - center_y;
+    for (std::size_t x = 0; x < frame.width(); ++x) {
+      const double dx = static_cast<double>(x) - center_x;
+      const double r = std::sqrt(dx * dx + dy * dy);
+      if (r < r_min || r >= r_max) continue;
+      double theta = std::atan2(dy, dx);
+      if (theta < 0.0) theta += 2.0 * std::numbers::pi;
+      const auto b =
+          std::min(bins - 1, static_cast<std::size_t>(theta / width));
+      out.intensity[b] += frame.at(y, x);
+      ++out.counts[b];
+    }
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (out.counts[b] > 0) {
+      out.intensity[b] /= static_cast<double>(out.counts[b]);
+    }
+  }
+  return out;
+}
+
+double peak_radius(const RadialProfile& profile) {
+  ARAMS_CHECK(!profile.intensity.empty(), "empty profile");
+  const auto it = std::max_element(profile.intensity.begin(),
+                                   profile.intensity.end());
+  return profile.radius[static_cast<std::size_t>(
+      it - profile.intensity.begin())];
+}
+
+std::vector<double> quadrant_weights(const ImageF& frame, double center_y,
+                                     double center_x, double r_min,
+                                     double r_max) {
+  const AzimuthalProfile profile =
+      azimuthal_profile(frame, center_y, center_x, r_min, r_max, 4);
+  std::vector<double> weights(4, 0.0);
+  double total = 0.0;
+  for (std::size_t q = 0; q < 4; ++q) {
+    weights[q] = profile.intensity[q];
+    total += weights[q];
+  }
+  if (total > 0.0) {
+    for (auto& w : weights) w /= total;
+  }
+  return weights;
+}
+
+}  // namespace arams::image

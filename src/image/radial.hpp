@@ -1,0 +1,56 @@
+#pragma once
+// Radial and azimuthal detector reductions — the standard first-step
+// analyses for area-detector frames at LCLS: I(q), the azimuthally
+// averaged radial profile (powder pattern), and I(φ), the angular profile
+// of a ring (the quantity whose per-quadrant weights drive the Fig. 6
+// clusters).
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "image/preprocess.hpp"
+
+namespace arams::image {
+
+struct RadialProfile {
+  std::vector<double> radius;     ///< bin centers, pixels
+  std::vector<double> intensity;  ///< mean intensity per bin
+  std::vector<long> counts;       ///< pixels per bin
+};
+
+/// Azimuthally averaged intensity vs radius around `center` (pass the
+/// geometric center via frame_center()). `bins` over [0, r_max] where
+/// r_max is the largest radius that fits inside the frame.
+RadialProfile radial_profile(const ImageF& frame, double center_y,
+                             double center_x, std::size_t bins);
+
+struct AzimuthalProfile {
+  std::vector<double> angle;      ///< bin centers, radians in [0, 2π)
+  std::vector<double> intensity;  ///< mean intensity per bin
+  std::vector<long> counts;
+};
+
+/// Angular intensity profile over the annulus r ∈ [r_min, r_max].
+AzimuthalProfile azimuthal_profile(const ImageF& frame, double center_y,
+                                   double center_x, double r_min,
+                                   double r_max, std::size_t bins);
+
+/// Geometric frame center (y, x).
+inline CenterOfMass frame_center(const ImageF& frame) {
+  CenterOfMass c;
+  c.y = (static_cast<double>(frame.height()) - 1.0) / 2.0;
+  c.x = (static_cast<double>(frame.width()) - 1.0) / 2.0;
+  c.mass = frame.total_intensity();
+  return c;
+}
+
+/// Radius of the strongest radial bin — a quick ring-radius estimator.
+double peak_radius(const RadialProfile& profile);
+
+/// Integrated intensity per angular quadrant of an annulus, normalized to
+/// sum 1 (the Fig. 6 feature).
+std::vector<double> quadrant_weights(const ImageF& frame, double center_y,
+                                     double center_x, double r_min,
+                                     double r_max);
+
+}  // namespace arams::image

@@ -1,0 +1,116 @@
+#include "io/npy.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace arams::io {
+
+namespace {
+
+constexpr char kMagic[] = "\x93NUMPY";
+
+/// Extracts the value of a python-dict literal key like "'shape': (3, 4)".
+std::string dict_value(const std::string& header, const std::string& key) {
+  const auto kpos = header.find("'" + key + "'");
+  ARAMS_CHECK(kpos != std::string::npos, "npy header missing key " + key);
+  auto vpos = header.find(':', kpos);
+  ARAMS_CHECK(vpos != std::string::npos, "malformed npy header");
+  ++vpos;
+  while (vpos < header.size() && header[vpos] == ' ') ++vpos;
+  // Value ends at the matching comma outside parentheses.
+  int depth = 0;
+  std::size_t end = vpos;
+  for (; end < header.size(); ++end) {
+    const char c = header[end];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if ((c == ',' || c == '}') && depth == 0) break;
+  }
+  return header.substr(vpos, end - vpos);
+}
+
+}  // namespace
+
+void save_npy(const std::string& path, const linalg::Matrix& m) {
+  ARAMS_CHECK(!m.empty(), "refusing to write an empty matrix");
+  std::ofstream f(path, std::ios::binary);
+  ARAMS_CHECK(f.good(), "cannot open for writing: " + path);
+
+  std::ostringstream dict;
+  dict << "{'descr': '<f8', 'fortran_order': False, 'shape': (" << m.rows()
+       << ", " << m.cols() << "), }";
+  std::string header = dict.str();
+  // Pad with spaces so that magic(6)+version(2)+len(2)+header is a
+  // multiple of 64, terminated by '\n'.
+  const std::size_t base = 6 + 2 + 2;
+  const std::size_t total =
+      ((base + header.size() + 1 + 63) / 64) * 64;
+  header.resize(total - base - 1, ' ');
+  header += '\n';
+
+  f.write(kMagic, 6);
+  f.put('\x01');
+  f.put('\x00');
+  const auto hlen = static_cast<std::uint16_t>(header.size());
+  f.put(static_cast<char>(hlen & 0xff));
+  f.put(static_cast<char>(hlen >> 8));
+  f.write(header.data(), static_cast<std::streamsize>(header.size()));
+  f.write(reinterpret_cast<const char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  ARAMS_CHECK(f.good(), "write failed: " + path);
+}
+
+linalg::Matrix load_npy(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  ARAMS_CHECK(f.good(), "cannot open: " + path);
+
+  char magic[6];
+  f.read(magic, 6);
+  ARAMS_CHECK(f.good() && std::memcmp(magic, kMagic, 6) == 0,
+              "not an npy file: " + path);
+  char version[2];
+  f.read(version, 2);
+  ARAMS_CHECK(f.good() && version[0] == 1,
+              "unsupported npy version in " + path);
+  unsigned char len_bytes[2];
+  f.read(reinterpret_cast<char*>(len_bytes), 2);
+  const std::size_t hlen =
+      static_cast<std::size_t>(len_bytes[0]) |
+      (static_cast<std::size_t>(len_bytes[1]) << 8);
+  std::string header(hlen, '\0');
+  f.read(header.data(), static_cast<std::streamsize>(hlen));
+  ARAMS_CHECK(f.good(), "truncated npy header in " + path);
+
+  const std::string descr = dict_value(header, "descr");
+  ARAMS_CHECK(descr.find("<f8") != std::string::npos,
+              "npy dtype must be little-endian float64, got " + descr);
+  const std::string order = dict_value(header, "fortran_order");
+  ARAMS_CHECK(order.find("False") != std::string::npos,
+              "npy must be C-ordered");
+
+  // Parse "(r, c)" or "(n,)".
+  std::string shape = dict_value(header, "shape");
+  for (auto& c : shape) {
+    if (c == '(' || c == ')' || c == ',') c = ' ';
+  }
+  std::istringstream ss(shape);
+  std::size_t rows = 0, cols = 0;
+  ss >> rows;
+  if (!(ss >> cols)) {
+    cols = rows;  // 1-D array of length n → 1×n matrix
+    rows = 1;
+  }
+  ARAMS_CHECK(rows > 0 && cols > 0, "npy with empty shape: " + path);
+
+  linalg::Matrix m(rows, cols);
+  f.read(reinterpret_cast<char*>(m.data()),
+         static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  ARAMS_CHECK(f.good(), "truncated npy payload in " + path);
+  return m;
+}
+
+}  // namespace arams::io

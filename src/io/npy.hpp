@@ -1,0 +1,23 @@
+#pragma once
+// NumPy .npy (format version 1.0) reader/writer for 2-D double arrays.
+//
+// The paper's artifact exchanges sketches and error curves as .npy files
+// between the sketching jobs and the plotting scripts; this module keeps
+// that interoperability: matrices written here load with np.load() and
+// vice versa (little-endian '<f8', C order).
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace arams::io {
+
+/// Writes `m` as a 2-D float64 .npy file. Throws CheckError on I/O errors.
+void save_npy(const std::string& path, const linalg::Matrix& m);
+
+/// Loads a 2-D float64 .npy file (little-endian, C-order). 1-D files load
+/// as a single-row matrix. Throws CheckError on malformed input, dtype or
+/// order mismatch.
+linalg::Matrix load_npy(const std::string& path);
+
+}  // namespace arams::io

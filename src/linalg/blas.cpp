@@ -1,0 +1,151 @@
+#include "linalg/blas.hpp"
+
+#include <cmath>
+
+namespace arams::linalg {
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  ARAMS_DCHECK(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  ARAMS_DCHECK(x.size() == y.size(), "dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    s += x[i] * y[i];
+  }
+  return s;
+}
+
+double norm2_squared(std::span<const double> x) { return dot(x, x); }
+
+double norm2(std::span<const double> x) { return std::sqrt(norm2_squared(x)); }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  ARAMS_CHECK(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  // ikj order: streams through B and C rows contiguously.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c.row(i).data();
+    const double* ai = a.row(i).data();
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = ai[p];
+      if (aip == 0.0) continue;
+      const double* bp = b.row(p).data();
+      for (std::size_t j = 0; j < n; ++j) {
+        ci[j] += aip * bp[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  ARAMS_CHECK(a.rows() == b.rows(), "matmul_tn dimension mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* ap = a.row(p).data();
+    const double* bp = b.row(p).data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const double api = ap[i];
+      if (api == 0.0) continue;
+      double* ci = c.row(i).data();
+      for (std::size_t j = 0; j < n; ++j) {
+        ci[j] += api * bp[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  ARAMS_CHECK(a.cols() == b.cols(), "matmul_nt dimension mismatch");
+  const std::size_t m = a.rows(), n = b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto ai = a.row(i);
+    double* ci = c.row(i).data();
+    for (std::size_t j = 0; j < n; ++j) {
+      ci[j] = dot(ai, b.row(j));
+    }
+  }
+  return c;
+}
+
+Matrix gram_rows(const Matrix& a) {
+  const std::size_t m = a.rows();
+  Matrix g(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto ai = a.row(i);
+    for (std::size_t j = i; j < m; ++j) {
+      const double v = dot(ai, a.row(j));
+      g(i, j) = v;
+      g(j, i) = v;
+    }
+  }
+  return g;
+}
+
+Matrix gram_cols(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix g(n, n);
+  // Accumulate rank-1 updates row by row: G += aᵣᵀ aᵣ. Keeps the inner loop
+  // contiguous for row-major storage.
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* ar = a.row(r).data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ari = ar[i];
+      if (ari == 0.0) continue;
+      double* gi = g.row(i).data();
+      for (std::size_t j = i; j < n; ++j) {
+        gi[j] += ari * ar[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      g(i, j) = g(j, i);
+    }
+  }
+  return g;
+}
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  ARAMS_CHECK(x.size() == a.cols() && y.size() == a.rows(),
+              "gemv size mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    y[i] = dot(a.row(i), x);
+  }
+}
+
+void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  ARAMS_CHECK(x.size() == a.rows() && y.size() == a.cols(),
+              "gemv_t size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    axpy(x[i], a.row(i), y);
+  }
+}
+
+double frobenius_norm_squared(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    s += norm2_squared(a.row(r));
+  }
+  return s;
+}
+
+double frobenius_norm(const Matrix& a) {
+  return std::sqrt(frobenius_norm_squared(a));
+}
+
+}  // namespace arams::linalg

@@ -1,0 +1,59 @@
+#pragma once
+// BLAS-like dense kernels. These are the only loops that matter for
+// throughput: FD's shrink is dominated by the Gram product B·Bᵀ and the
+// back-multiplication Uᵀ·B, and the data generator by orthogonal assembly.
+//
+// Kernels are written cache-aware (ikj order, register blocking on the k
+// loop) but deliberately scalar: the container has no SIMD guarantees and
+// correctness/tests come first. All shapes are validated with ARAMS_CHECK.
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace arams::linalg {
+
+/// y += alpha * x (sizes must match).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(std::span<double> x, double alpha);
+
+/// Dot product of equal-length vectors.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm of a vector.
+double norm2(std::span<const double> x);
+
+/// Squared Euclidean norm.
+double norm2_squared(std::span<const double> x);
+
+/// C = A * B (m×k times k×n).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ * B (A is k×m, B is k×n → result m×n).
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+/// C = A * Bᵀ (A is m×k, B is n×k → result m×n).
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// Gram matrix G = A * Aᵀ (m×m, symmetric). Only the full matrix is
+/// returned; symmetry is exploited during computation.
+Matrix gram_rows(const Matrix& a);
+
+/// Gram matrix G = Aᵀ * A (n×n, symmetric).
+Matrix gram_cols(const Matrix& a);
+
+/// y = A * x (A m×n, x length n, y length m).
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// y = Aᵀ * x (A m×n, x length m, y length n).
+void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// Frobenius norm of a matrix.
+double frobenius_norm(const Matrix& a);
+
+/// Squared Frobenius norm.
+double frobenius_norm_squared(const Matrix& a);
+
+}  // namespace arams::linalg

@@ -1,0 +1,28 @@
+#pragma once
+// Symmetric dense eigensolver (cyclic Jacobi with threshold sweeps).
+//
+// The FD shrink step needs the full eigendecomposition of the 2ℓ×2ℓ Gram
+// matrix B·Bᵀ. Jacobi is quadratic-per-sweep but unconditionally stable and
+// converges in a handful of sweeps for the sizes FD uses (ℓ ≤ ~1000); it is
+// also embarrassingly simple to verify, which matters more here than the
+// last 2× of a tridiagonalization-based solver.
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace arams::linalg {
+
+struct SymmetricEig {
+  std::vector<double> values;  ///< eigenvalues, descending
+  Matrix vectors;              ///< column k is the eigenvector of values[k]
+  int sweeps = 0;              ///< Jacobi sweeps used
+};
+
+/// Full eigendecomposition of a symmetric matrix. The input is validated
+/// for squareness; mild asymmetry (roundoff from Gram products) is
+/// symmetrized internally. Throws CheckError for empty input.
+SymmetricEig jacobi_eigen_symmetric(const Matrix& a, double tol = 1e-12,
+                                    int max_sweeps = 50);
+
+}  // namespace arams::linalg

@@ -1,0 +1,92 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace arams::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    ARAMS_CHECK(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::zero_row(std::size_t r) {
+  ARAMS_DCHECK(r < rows_, "row index out of range");
+  std::fill_n(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_), cols_,
+              0.0);
+}
+
+void Matrix::set_row(std::size_t r, std::span<const double> src) {
+  ARAMS_CHECK(src.size() == cols_, "row length mismatch");
+  std::copy(src.begin(), src.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+void Matrix::append_zero_rows(std::size_t count) {
+  data_.resize((rows_ + count) * cols_, 0.0);
+  rows_ += count;
+}
+
+Matrix Matrix::slice_rows(std::size_t r0, std::size_t r1) const {
+  ARAMS_CHECK(r0 <= r1 && r1 <= rows_, "bad row slice");
+  Matrix out(r1 - r0, cols_);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(r0 * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>(r1 * cols_),
+            out.data_.begin());
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  // Simple blocked transpose; adequate for the sizes this library moves.
+  constexpr std::size_t kBlock = 32;
+  for (std::size_t rb = 0; rb < rows_; rb += kBlock) {
+    const std::size_t rend = std::min(rows_, rb + kBlock);
+    for (std::size_t cb = 0; cb < cols_; cb += kBlock) {
+      const std::size_t cend = std::min(cols_, cb + kBlock);
+      for (std::size_t r = rb; r < rend; ++r) {
+        for (std::size_t c = cb; c < cend; ++c) {
+          out.data_[c * rows_ + r] = data_[r * cols_ + c];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::vstack(const Matrix& top, const Matrix& bottom) {
+  if (top.empty()) return bottom;
+  if (bottom.empty()) return top;
+  ARAMS_CHECK(top.cols() == bottom.cols(), "vstack column mismatch");
+  Matrix out(top.rows() + bottom.rows(), top.cols());
+  std::copy(top.data_.begin(), top.data_.end(), out.data_.begin());
+  std::copy(bottom.data_.begin(), bottom.data_.end(),
+            out.data_.begin() + static_cast<std::ptrdiff_t>(top.size()));
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  ARAMS_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "shape mismatch in max_abs_diff");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+}  // namespace arams::linalg

@@ -1,0 +1,91 @@
+#pragma once
+// Dense row-major matrix of doubles. This is the storage type the whole
+// library is built on: sketch buffers, image batches, latent embeddings.
+//
+// Design notes:
+//  * Row-major because sketching appends/zeroes *rows* and the FD shrink
+//    touches rows sequentially; row(i) is a contiguous std::span.
+//  * Owning, value-semantic; views are std::span over rows. Deliberately no
+//    expression templates — the hot kernels live in blas.hpp.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace arams::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds from nested initializer list (test convenience).
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    ARAMS_DCHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    ARAMS_DCHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    ARAMS_DCHECK(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    ARAMS_DCHECK(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  /// Sets every entry to v.
+  void fill(double v);
+
+  /// Zeroes the given row.
+  void zero_row(std::size_t r);
+
+  /// Copies `src` into row r. Length must equal cols().
+  void set_row(std::size_t r, std::span<const double> src);
+
+  /// Appends rows of zeros at the bottom (used by rank adaptation when the
+  /// sketch buffer grows).
+  void append_zero_rows(std::size_t count);
+
+  /// Returns rows [r0, r1) as a new matrix.
+  [[nodiscard]] Matrix slice_rows(std::size_t r0, std::size_t r1) const;
+
+  /// Returns the transpose as a new matrix.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Stacks `top` over `bottom` (column counts must match).
+  static Matrix vstack(const Matrix& top, const Matrix& bottom);
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  /// Max |a_ij - b_ij|; matrices must be the same shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace arams::linalg

@@ -1,0 +1,136 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.hpp"
+
+namespace arams::linalg {
+
+QrResult householder_qr(const Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  ARAMS_CHECK(m >= n, "householder_qr requires rows >= cols");
+  Matrix work = a;                    // becomes R in its upper triangle
+  std::vector<double> taus(n, 0.0);   // reflector scalars
+  Matrix vs(n, m);                    // reflector k stored in row k, cols k..m
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k below the diagonal.
+    double alpha = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      alpha += work(i, k) * work(i, k);
+    }
+    alpha = std::sqrt(alpha);
+    const double akk = work(k, k);
+    if (alpha == 0.0) {
+      taus[k] = 0.0;
+      continue;
+    }
+    const double beta = akk >= 0.0 ? -alpha : alpha;
+    double* vk = vs.row(k).data();
+    vk[k] = akk - beta;
+    for (std::size_t i = k + 1; i < m; ++i) {
+      vk[i] = work(i, k);
+    }
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      vnorm2 += vk[i] * vk[i];
+    }
+    if (vnorm2 == 0.0) {
+      taus[k] = 0.0;
+      continue;
+    }
+    taus[k] = 2.0 / vnorm2;
+
+    // Apply (I - tau v vᵀ) to the trailing columns of work.
+    for (std::size_t j = k; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) {
+        s += vk[i] * work(i, j);
+      }
+      s *= taus[k];
+      for (std::size_t i = k; i < m; ++i) {
+        work(i, j) -= s * vk[i];
+      }
+    }
+  }
+
+  QrResult out;
+  out.r = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      out.r(i, j) = work(i, j);
+    }
+  }
+
+  // Accumulate thin Q by applying reflectors in reverse to the first n
+  // columns of the identity.
+  out.q = Matrix(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.q(j, j) = 1.0;
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    if (taus[k] == 0.0) continue;
+    const double* vk = vs.row(k).data();
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) {
+        s += vk[i] * out.q(i, j);
+      }
+      s *= taus[k];
+      for (std::size_t i = k; i < m; ++i) {
+        out.q(i, j) -= s * vk[i];
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t orthonormalize_columns(Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  // Work column-wise on a transposed copy so inner loops are contiguous.
+  Matrix at = a.transposed();  // n×m, row k = column k of a
+  std::size_t rank = 0;
+  const double base = frobenius_norm(a);
+  const double tol = (base == 0.0 ? 0.0 : base * 1e-12);
+  for (std::size_t k = 0; k < n; ++k) {
+    auto col = at.row(k);
+    // Two Gram–Schmidt passes ("twice is enough").
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t j = 0; j < rank; ++j) {
+        const double c = dot(at.row(j), col);
+        axpy(-c, at.row(j), col);
+      }
+    }
+    const double nrm = norm2(col);
+    if (nrm <= tol) {
+      std::fill(col.begin(), col.end(), 0.0);
+      continue;
+    }
+    scale(col, 1.0 / nrm);
+    if (rank != k) {
+      // Compact: move this column into the next rank slot.
+      std::copy(col.begin(), col.end(), at.row(rank).begin());
+      std::fill(col.begin(), col.end(), 0.0);
+    }
+    ++rank;
+  }
+  a = at.transposed();
+  (void)m;
+  return rank;
+}
+
+double orthonormality_defect(const Matrix& q) {
+  const Matrix gtg = gram_cols(q);
+  double defect = 0.0;
+  for (std::size_t i = 0; i < gtg.rows(); ++i) {
+    for (std::size_t j = 0; j < gtg.cols(); ++j) {
+      const double target = (i == j) ? 1.0 : 0.0;
+      defect = std::max(defect, std::abs(gtg(i, j) - target));
+    }
+  }
+  return defect;
+}
+
+}  // namespace arams::linalg

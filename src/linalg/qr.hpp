@@ -1,0 +1,28 @@
+#pragma once
+// Householder QR factorization. Used for generating random orthogonal
+// factors in the synthetic data generators and for orthonormalizing
+// projection bases.
+
+#include "linalg/matrix.hpp"
+
+namespace arams::linalg {
+
+struct QrResult {
+  Matrix q;  ///< m×n with orthonormal columns (thin Q).
+  Matrix r;  ///< n×n upper triangular.
+};
+
+/// Thin QR of an m×n matrix with m >= n via Householder reflections.
+/// Throws CheckError if m < n.
+QrResult householder_qr(const Matrix& a);
+
+/// Orthonormalizes the columns of `a` in place using modified Gram–Schmidt
+/// with one reorthogonalization pass. Cheaper than full QR when only Q is
+/// needed and n is small; returns the numerical rank found (columns beyond
+/// it are zeroed).
+std::size_t orthonormalize_columns(Matrix& a);
+
+/// Max |QᵀQ - I| — orthonormality defect, used in tests and diagnostics.
+double orthonormality_defect(const Matrix& q);
+
+}  // namespace arams::linalg

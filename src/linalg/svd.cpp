@@ -1,0 +1,230 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/qr.hpp"
+
+namespace arams::linalg {
+
+namespace {
+
+/// One-sided Jacobi on a tall (m>=n) matrix: rotates column pairs of `u`
+/// until all pairs are orthogonal, accumulating rotations into `v` (n×n).
+void hestenes_sweeps(Matrix& u, Matrix& v, double tol, int max_sweeps) {
+  const std::size_t n = u.cols();
+  // Work on the transpose so columns of u are contiguous rows here.
+  Matrix ut = u.transposed();
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        auto cp = ut.row(p);
+        auto cq = ut.row(q);
+        const double alpha = norm2_squared(cp);
+        const double beta = norm2_squared(cq);
+        const double gamma = dot(cp, cq);
+        if (std::abs(gamma) <= tol * std::sqrt(alpha * beta) ||
+            alpha == 0.0 || beta == 0.0) {
+          continue;
+        }
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < cp.size(); ++i) {
+          const double up = cp[i];
+          const double uq = cq[i];
+          cp[i] = c * up - s * uq;
+          cq[i] = s * up + c * uq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+  u = ut.transposed();
+}
+
+}  // namespace
+
+ThinSvd jacobi_svd(const Matrix& a, double tol, int max_sweeps) {
+  ARAMS_CHECK(a.rows() > 0 && a.cols() > 0, "svd of empty matrix");
+  const bool transposed = a.rows() < a.cols();
+  Matrix work = transposed ? a.transposed() : a;
+  const std::size_t m = work.rows(), n = work.cols();
+
+  Matrix v = Matrix::identity(n);
+  hestenes_sweeps(work, v, tol, max_sweeps);
+
+  // Column norms are the singular values.
+  std::vector<double> sigma(n);
+  Matrix wt = work.transposed();  // n×m, row j = column j of work
+  for (std::size_t j = 0; j < n; ++j) {
+    sigma[j] = norm2(wt.row(j));
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  ThinSvd out;
+  out.sigma.resize(n);
+  Matrix u(m, n);
+  Matrix vt(n, n);
+  const double smax = sigma.empty() ? 0.0 : sigma[order[0]];
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t j = order[k];
+    out.sigma[k] = sigma[j];
+    const auto col = wt.row(j);
+    if (sigma[j] > smax * 1e-300 && sigma[j] > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) {
+        u(i, k) = col[i] / sigma[j];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      vt(k, i) = v(i, j);
+    }
+  }
+
+  if (transposed) {
+    // a = (workᵀ) = (U Σ Vᵀ)ᵀ = V Σ Uᵀ.
+    out.u = vt.transposed();
+    out.vt = u.transposed();
+  } else {
+    out.u = std::move(u);
+    out.vt = std::move(vt);
+  }
+  return out;
+}
+
+RowSpaceSvd gram_row_svd(const Matrix& a) {
+  ARAMS_CHECK(a.rows() > 0 && a.cols() > 0, "svd of empty matrix");
+  ARAMS_CHECK(a.rows() <= a.cols(), "gram_row_svd requires rows <= cols");
+  const Matrix g = gram_rows(a);
+  const SymmetricEig eig = jacobi_eigen_symmetric(g);
+
+  RowSpaceSvd out;
+  const std::size_t m = a.rows();
+  out.sigma.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.sigma[i] = std::sqrt(std::max(eig.values[i], 0.0));
+  }
+  out.u = eig.vectors;           // m×m, columns sorted by descending sigma
+  out.w = matmul_tn(out.u, a);   // Uᵀ·A, row i = sigma_i v_iᵀ
+  return out;
+}
+
+Matrix right_vectors(const RowSpaceSvd& s, std::size_t k, double rank_tol) {
+  const std::size_t m = s.w.rows();
+  k = std::min(k, m);
+  const double smax = s.sigma.empty() ? 0.0 : s.sigma[0];
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (s.sigma[i] > rank_tol * smax && s.sigma[i] > 0.0) {
+      ++kept;
+    }
+  }
+  Matrix vt(kept, s.w.cols());
+  for (std::size_t i = 0; i < kept; ++i) {
+    const auto wi = s.w.row(i);
+    auto vi = vt.row(i);
+    const double inv = 1.0 / s.sigma[i];
+    for (std::size_t j = 0; j < wi.size(); ++j) {
+      vi[j] = wi[j] * inv;
+    }
+  }
+  return vt;
+}
+
+SigmaVt sigma_vt_svd(const Matrix& a) {
+  ARAMS_CHECK(a.rows() > 0 && a.cols() > 0, "svd of empty matrix");
+  SigmaVt out;
+  if (a.rows() <= a.cols()) {
+    RowSpaceSvd rs = gram_row_svd(a);
+    out.sigma = std::move(rs.sigma);
+    out.w = std::move(rs.w);
+    return out;
+  }
+  // Tall: eigendecompose the n×n column Gram AᵀA = V diag(σ²) Vᵀ and form
+  // W = Σ·Vᵀ directly — no left factor needed.
+  const Matrix g = gram_cols(a);
+  const SymmetricEig eig = jacobi_eigen_symmetric(g);
+  const std::size_t n = a.cols();
+  out.sigma.resize(n);
+  out.w = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.sigma[i] = std::sqrt(std::max(eig.values[i], 0.0));
+    for (std::size_t j = 0; j < n; ++j) {
+      out.w(i, j) = out.sigma[i] * eig.vectors(j, i);
+    }
+  }
+  return out;
+}
+
+ThinSvd randomized_svd(const Matrix& a, std::size_t k, Rng& rng,
+                       std::size_t oversample, int power_iters) {
+  ARAMS_CHECK(a.rows() > 0 && a.cols() > 0, "svd of empty matrix");
+  ARAMS_CHECK(k >= 1, "need at least one component");
+  const std::size_t n = a.rows();
+  const std::size_t d = a.cols();
+  const std::size_t sketch =
+      std::min(k + oversample, std::min(n, d));
+
+  // Y = A·G, then optional subspace iterations Y ← A·(Aᵀ·Y) with
+  // re-orthonormalization for stability.
+  Matrix g(d, sketch);
+  for (std::size_t i = 0; i < d; ++i) {
+    rng.fill_normal(g.row(i));
+  }
+  Matrix y = matmul(a, g);  // n×sketch
+  orthonormalize_columns(y);
+  for (int it = 0; it < power_iters; ++it) {
+    Matrix z = matmul_tn(a, y);  // d×sketch
+    orthonormalize_columns(z);
+    y = matmul(a, z);
+    orthonormalize_columns(y);
+  }
+
+  // Project: B = Qᵀ·A is sketch×d; exact SVD of the small factor.
+  const Matrix b = matmul_tn(y, a);
+  const ThinSvd small = jacobi_svd(b);
+
+  ThinSvd out;
+  const std::size_t kept = std::min(k, small.sigma.size());
+  out.sigma.assign(small.sigma.begin(),
+                   small.sigma.begin() + static_cast<std::ptrdiff_t>(kept));
+  // U = Q·U_small, truncated to k columns.
+  const Matrix u_full = matmul(y, small.u);
+  out.u = Matrix(n, kept);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < kept; ++j) {
+      out.u(i, j) = u_full(i, j);
+    }
+  }
+  out.vt = small.vt.slice_rows(0, kept);
+  return out;
+}
+
+Matrix svd_reconstruct(const ThinSvd& s) {
+  Matrix us = s.u;
+  for (std::size_t i = 0; i < us.rows(); ++i) {
+    auto row = us.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] *= s.sigma[j];
+    }
+  }
+  return matmul(us, s.vt);
+}
+
+}  // namespace arams::linalg

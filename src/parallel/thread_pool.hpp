@@ -1,0 +1,46 @@
+#pragma once
+// Fixed-size worker pool. The sketching shards are coarse-grained (one task
+// per virtual core), so a simple mutex-guarded queue is plenty; no
+// work-stealing needed.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace arams::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 → hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves when it finishes (or rethrows).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for all.
+  /// Exceptions from tasks are rethrown (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace arams::parallel

@@ -1,0 +1,87 @@
+#include "parallel/virtual_cores.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fd.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace arams::parallel {
+
+using core::FdConfig;
+using core::FrequentDirections;
+using linalg::Matrix;
+
+ScalingResult run_sharded_sketch(
+    const ScalingConfig& config,
+    const std::function<Matrix(std::size_t)>& shard_provider) {
+  ARAMS_CHECK(config.num_cores >= 1, "need at least one core");
+  const std::size_t p = config.num_cores;
+
+  ScalingResult result;
+  result.cores.resize(p);
+  std::vector<Matrix> sketches(p);
+
+  const auto run_core = [&](std::size_t core) {
+    const Matrix shard = shard_provider(core);
+    Stopwatch timer;
+    FrequentDirections fd(FdConfig{config.ell, /*fast=*/true});
+    fd.append_batch(shard);
+    fd.compress();
+    sketches[core] = fd.sketch();
+    result.cores[core].sketch_seconds = timer.seconds();
+    result.cores[core].stats = fd.stats();
+  };
+
+  if (config.use_threads && p > 1) {
+    ThreadPool pool(std::min<std::size_t>(p, 8));
+    pool.parallel_for(p, run_core);
+  } else {
+    for (std::size_t core = 0; core < p; ++core) {
+      run_core(core);
+    }
+  }
+
+  for (const auto& c : result.cores) {
+    result.local_phase_seconds =
+        std::max(result.local_phase_seconds, c.sketch_seconds);
+    result.total_work_seconds += c.sketch_seconds;
+    result.total_svds += c.stats.svd_count;
+  }
+
+  // --- merge phase ---
+  double message_bytes = 0.0;
+  if (!sketches.empty() && sketches[0].rows() > 0) {
+    message_bytes = static_cast<double>(config.ell) *
+                    static_cast<double>(sketches[0].cols()) * 8.0;
+  }
+  if (p == 1) {
+    result.sketch = std::move(sketches[0]);
+  } else if (config.strategy == MergeStrategy::kSerial) {
+    result.sketch =
+        core::serial_merge(std::move(sketches), config.ell,
+                           &result.merge_stats);
+    // Every incoming sketch is one message into the root core.
+    result.merge_phase_seconds =
+        result.merge_stats.critical_path_seconds +
+        static_cast<double>(p - 1) * config.comm.cost(message_bytes);
+  } else {
+    result.sketch = core::tree_merge(std::move(sketches), config.ell,
+                                     config.tree_arity, &result.merge_stats);
+    // One message per level per receiving core; levels are sequential.
+    result.merge_phase_seconds =
+        result.merge_stats.critical_path_seconds +
+        static_cast<double>(result.merge_stats.levels) *
+            static_cast<double>(config.tree_arity - 1) *
+            config.comm.cost(message_bytes);
+  }
+  result.total_work_seconds += result.merge_stats.total_seconds;
+  result.total_svds += result.merge_stats.merge_ops;
+  result.critical_path_svds = result.merge_stats.critical_path_ops;
+  result.makespan_seconds =
+      result.local_phase_seconds + result.merge_phase_seconds;
+  return result;
+}
+
+}  // namespace arams::parallel

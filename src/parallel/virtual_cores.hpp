@@ -1,0 +1,73 @@
+#pragma once
+// Virtual-core strong-scaling driver for the Figs. 2–3 studies.
+//
+// The paper measures MPI strong scaling on the SLAC S3DF cluster. This
+// container has one physical core, so the driver *simulates* a P-core run
+// faithfully enough to preserve the paper's claims (see DESIGN.md):
+//  * each virtual core sketches its own shard and is timed individually;
+//  * sketches are merged with the selected strategy (tree vs serial),
+//    timing each shrink;
+//  * the parallel makespan is reconstructed as
+//      max(core-local time) + Σ over merge levels of
+//        (slowest shrink in the level + modeled message cost),
+//    which is exactly the critical path an MPI reduction executes.
+// The SVD/rotation counts on the critical path — the quantity the paper's
+// argument actually rests on — are reported exactly, with no modeling.
+
+#include <functional>
+#include <vector>
+
+#include "core/merge.hpp"
+#include "core/sketch_stats.hpp"
+#include "linalg/matrix.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace arams::parallel {
+
+/// Simple linear latency/bandwidth model for one inter-core message.
+struct CommModel {
+  double latency_seconds = 2e-5;       ///< per-message latency
+  double bytes_per_second = 1.0e10;    ///< link bandwidth
+  [[nodiscard]] double cost(double bytes) const {
+    return latency_seconds + bytes / bytes_per_second;
+  }
+};
+
+enum class MergeStrategy { kTree, kSerial };
+
+struct ScalingConfig {
+  std::size_t num_cores = 4;
+  std::size_t ell = 64;             ///< sketch rows per core
+  MergeStrategy strategy = MergeStrategy::kTree;
+  std::size_t tree_arity = 2;
+  CommModel comm;
+  /// Run core shards on a thread pool (exercises thread safety; on a
+  /// single-CPU host the timing model is what carries the scaling signal).
+  bool use_threads = false;
+};
+
+struct CoreReport {
+  double sketch_seconds = 0.0;
+  core::SketchStats stats;
+};
+
+struct ScalingResult {
+  linalg::Matrix sketch;                 ///< merged global sketch
+  std::vector<CoreReport> cores;
+  core::MergeStats merge_stats;
+  double local_phase_seconds = 0.0;      ///< max core-local sketch time
+  double merge_phase_seconds = 0.0;      ///< merge critical path + comm model
+  double makespan_seconds = 0.0;         ///< local + merge phases
+  double total_work_seconds = 0.0;       ///< Σ all core + merge work
+  long critical_path_svds = 0;           ///< shrinks a rank would wait on
+  long total_svds = 0;
+};
+
+/// Runs the sharded sketch-and-merge experiment. `shard_provider(core)`
+/// returns core's data shard; it is called once per core (lazily, so a
+/// paper-scale dataset never has to exist in memory all at once).
+ScalingResult run_sharded_sketch(
+    const ScalingConfig& config,
+    const std::function<linalg::Matrix(std::size_t)>& shard_provider);
+
+}  // namespace arams::parallel

@@ -1,0 +1,133 @@
+#include "rng/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace arams {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_origin_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = splitmix64(sm);
+  }
+  // xoshiro's all-zero state is invalid; SplitMix64 cannot emit four zeros
+  // from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+Rng Rng::split(std::uint64_t index) const {
+  // Mix the original seed with the shard index through SplitMix64 so streams
+  // are decorrelated regardless of how much the parent has been consumed.
+  std::uint64_t x = seed_origin_ ^ (0xd1342543de82ef95ull * (index + 1));
+  return Rng(splitmix64(x));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits → double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ARAMS_DCHECK(lo <= hi, "uniform bounds out of order");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  ARAMS_DCHECK(n > 0, "uniform_index needs n > 0");
+  // Rejection-free multiply-shift (Lemire); slight bias < 2^-64 acceptable.
+  __extension__ using uint128 = unsigned __int128;
+  const uint128 product = static_cast<uint128>(next_u64()) * n;
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller. u must be strictly positive for the log.
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  const double v = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * std::numbers::pi * v;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+void Rng::fill_normal(std::span<double> out) {
+  for (auto& v : out) {
+    v = normal();
+  }
+}
+
+void Rng::fill_uniform(std::span<double> out) {
+  for (auto& v : out) {
+    v = uniform();
+  }
+}
+
+double Rng::exponential(double lambda) {
+  ARAMS_DCHECK(lambda > 0.0, "exponential rate must be positive");
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+long Rng::poisson(double mean) {
+  ARAMS_CHECK(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // photon-count noise model where mean is large.
+    const double draw = std::round(normal(mean, std::sqrt(mean)));
+    return draw < 0.0 ? 0 : static_cast<long>(draw);
+  }
+  const double limit = std::exp(-mean);
+  long k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace arams

@@ -1,0 +1,87 @@
+#pragma once
+// Bounded blocking queue — the hand-off between a DAQ ingestion thread and
+// the analysis thread(s). Push blocks when full (back-pressure toward the
+// detector buffer, never unbounded memory), pop blocks when empty, and
+// close() drains cleanly at end of run.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace arams::stream {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    ARAMS_CHECK(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  /// Blocks until space is available. Returns false if the queue was
+  /// closed (the item is dropped — the run is over).
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives; std::nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Ends the stream: pending items remain poppable, pushes fail.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace arams::stream

@@ -1,0 +1,90 @@
+#include "stream/diagnostics.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace arams::stream {
+
+CusumDetector::CusumDetector(std::size_t warmup, double slack,
+                             double threshold)
+    : warmup_(warmup), slack_(slack), threshold_(threshold) {
+  ARAMS_CHECK(warmup >= 2, "warmup must cover at least two samples");
+  ARAMS_CHECK(slack >= 0.0 && threshold > 0.0, "bad CUSUM parameters");
+}
+
+double CusumDetector::reference_sigma() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+bool CusumDetector::update(double value) {
+  if (count_ < warmup_) {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    return false;
+  }
+  const double sigma = std::max(reference_sigma(), 1e-12);
+  const double z = (value - mean_) / sigma;
+  pos_ = std::max(0.0, pos_ + z - slack_);
+  neg_ = std::max(0.0, neg_ - z - slack_);
+  if (pos_ > threshold_ || neg_ > threshold_) {
+    pos_ = 0.0;
+    neg_ = 0.0;
+    ++alarms_;
+    return true;
+  }
+  return false;
+}
+
+ShotDiagnostics analyze_shot(const image::ImageF& frame) {
+  ShotDiagnostics out;
+  out.total_intensity = frame.total_intensity();
+  const image::CenterOfMass com = image::center_of_mass(frame);
+  out.com_x = com.x;
+  out.com_y = com.y;
+  if (com.mass > 0.0) {
+    double sxx = 0.0, syy = 0.0;
+    for (std::size_t y = 0; y < frame.height(); ++y) {
+      const double dy = static_cast<double>(y) - com.y;
+      for (std::size_t x = 0; x < frame.width(); ++x) {
+        const double v = frame.at(y, x);
+        if (v <= 0.0) continue;
+        const double dx = static_cast<double>(x) - com.x;
+        sxx += v * dx * dx;
+        syy += v * dy * dy;
+      }
+    }
+    out.second_moment = (sxx + syy) / com.mass;
+  }
+  return out;
+}
+
+BeamDiagnostics::BeamDiagnostics(std::size_t warmup)
+    : intensity_(warmup), com_x_(warmup), com_y_(warmup), size_(warmup) {}
+
+std::vector<std::string> BeamDiagnostics::update(const ShotEvent& event) {
+  ++shots_;
+  frames_.update(event.frame);
+  const ShotDiagnostics d = analyze_shot(event.frame);
+  std::vector<std::string> alarms;
+  if (intensity_.update(d.total_intensity)) {
+    alarms.push_back("intensity drift");
+  }
+  if (com_x_.update(d.com_x)) {
+    alarms.push_back("horizontal pointing drift");
+  }
+  if (com_y_.update(d.com_y)) {
+    alarms.push_back("vertical pointing drift");
+  }
+  if (size_.update(d.second_moment)) {
+    alarms.push_back("beam size drift");
+  }
+  total_alarms_ += static_cast<long>(alarms.size());
+  return alarms;
+}
+
+}  // namespace arams::stream

@@ -1,0 +1,95 @@
+#pragma once
+// Shot-to-shot beam diagnostics.
+//
+// The paper's introduction motivates two uses of the event stream:
+// scientific analysis (the sketching pipeline) and *instrument
+// diagnostics* — "beam profiling can also be used directly as a diagnostic
+// that helps operators improve the instrument's performance". This module
+// provides the diagnostic half: running mean/variance frames (Welford),
+// beam-position and intensity time series, and CUSUM drift alarms that
+// flag when the beam wanders off its historical behaviour.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "image/frame_stats.hpp"
+#include "image/image.hpp"
+#include "image/preprocess.hpp"
+#include "stream/event.hpp"
+
+namespace arams::stream {
+
+/// Welford running frame statistics (lives in image/, re-exported here for
+/// the diagnostics API).
+using RunningFrameStats = image::RunningFrameStats;
+
+/// Two-sided CUSUM drift detector on a scalar stream. Calibrates its
+/// reference mean/sigma on the first `warmup` samples, then accumulates
+/// standardized excursions beyond `slack` sigmas; alarms when either side
+/// exceeds `threshold`.
+class CusumDetector {
+ public:
+  CusumDetector(std::size_t warmup = 120, double slack = 0.5,
+                double threshold = 8.0);
+
+  /// Feeds one observation; returns true when the alarm fires (the
+  /// detector then resets its accumulators but keeps the calibration).
+  bool update(double value);
+
+  [[nodiscard]] bool calibrated() const { return count_ >= warmup_; }
+  [[nodiscard]] double reference_mean() const { return mean_; }
+  [[nodiscard]] double reference_sigma() const;
+  [[nodiscard]] double positive_sum() const { return pos_; }
+  [[nodiscard]] double negative_sum() const { return neg_; }
+  [[nodiscard]] long alarm_count() const { return alarms_; }
+
+ private:
+  std::size_t warmup_;
+  double slack_;
+  double threshold_;
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double pos_ = 0.0;
+  double neg_ = 0.0;
+  long alarms_ = 0;
+};
+
+/// Per-shot scalar diagnostics extracted from a frame.
+struct ShotDiagnostics {
+  double total_intensity = 0.0;
+  double com_x = 0.0;        ///< pixels
+  double com_y = 0.0;
+  double second_moment = 0.0;  ///< trace of the intensity covariance
+};
+
+/// Computes the scalar diagnostics of one frame.
+ShotDiagnostics analyze_shot(const image::ImageF& frame);
+
+/// Aggregated beam monitor: running frame stats plus CUSUM alarms on
+/// pointing (x, y), intensity, and beam size.
+class BeamDiagnostics {
+ public:
+  explicit BeamDiagnostics(std::size_t warmup = 120);
+
+  /// Absorbs a shot; returns the set of alarms it raised (empty = nominal).
+  std::vector<std::string> update(const ShotEvent& event);
+
+  [[nodiscard]] const RunningFrameStats& frame_stats() const {
+    return frames_;
+  }
+  [[nodiscard]] long total_alarms() const { return total_alarms_; }
+  [[nodiscard]] std::size_t shots_seen() const { return shots_; }
+
+ private:
+  RunningFrameStats frames_;
+  CusumDetector intensity_;
+  CusumDetector com_x_;
+  CusumDetector com_y_;
+  CusumDetector size_;
+  std::size_t shots_ = 0;
+  long total_alarms_ = 0;
+};
+
+}  // namespace arams::stream

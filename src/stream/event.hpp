@@ -1,0 +1,22 @@
+#pragma once
+// Shot events: the unit the LCLS timing system pools detector readouts
+// into. Every frame flowing through the monitoring pipeline carries its
+// shot id and timestamp so downstream labels can be joined back to
+// upstream diagnostics.
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace arams::stream {
+
+struct ShotEvent {
+  std::uint64_t shot_id = 0;
+  double timestamp_seconds = 0.0;  ///< beam time of the shot
+  image::ImageF frame;
+  int truth_label = -1;   ///< generator ground truth (−1 when unknown)
+  bool truth_exotic = false;
+};
+
+}  // namespace arams::stream

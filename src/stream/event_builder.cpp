@@ -1,0 +1,81 @@
+#include "stream/event_builder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace arams::stream {
+
+EventBuilder::EventBuilder(std::vector<std::string> detectors,
+                           std::size_t window)
+    : detectors_(std::move(detectors)), window_(window) {
+  ARAMS_CHECK(!detectors_.empty(), "need at least one detector");
+  ARAMS_CHECK(window_ >= 1, "window must be >= 1");
+  std::sort(detectors_.begin(), detectors_.end());
+  ARAMS_CHECK(std::adjacent_find(detectors_.begin(), detectors_.end()) ==
+                  detectors_.end(),
+              "duplicate detector names");
+}
+
+std::vector<FusedEvent> EventBuilder::emit_ready() {
+  // Strict shot order: the oldest pending shot leaves first, either
+  // because it is complete or because the window slid past it.
+  std::vector<FusedEvent> out;
+  while (!pending_.empty()) {
+    auto first = pending_.begin();
+    const bool forced = pending_.size() > window_;
+    if (!first->second.complete && !forced) break;
+    if (first->second.complete) {
+      ++stats_.complete_events;
+    } else {
+      ++stats_.incomplete_events;
+    }
+    emitted_watermark_ = first->first + 1;
+    any_emitted_ = true;
+    out.push_back(std::move(first->second));
+    pending_.erase(first);
+  }
+  return out;
+}
+
+std::vector<FusedEvent> EventBuilder::push(const std::string& detector,
+                                           std::uint64_t shot_id,
+                                           double timestamp_seconds,
+                                           image::ImageF frame) {
+  ARAMS_CHECK(std::binary_search(detectors_.begin(), detectors_.end(),
+                                 detector),
+              "unknown detector: " + detector);
+  ++stats_.readouts_seen;
+  if (any_emitted_ && shot_id < emitted_watermark_) {
+    ++stats_.stale_readouts;  // the shot already left the builder
+    return {};
+  }
+  FusedEvent& event = pending_[shot_id];
+  event.shot_id = shot_id;
+  event.timestamp_seconds = timestamp_seconds;
+  if (!event.readouts.emplace(detector, std::move(frame)).second) {
+    ++stats_.duplicate_readouts;
+    return emit_ready();  // window may still need to slide
+  }
+  event.complete = event.readouts.size() == detectors_.size();
+  return emit_ready();
+}
+
+std::vector<FusedEvent> EventBuilder::flush() {
+  std::vector<FusedEvent> out;
+  out.reserve(pending_.size());
+  for (auto& [shot, event] : pending_) {
+    if (event.complete) {
+      ++stats_.complete_events;
+    } else {
+      ++stats_.incomplete_events;
+    }
+    emitted_watermark_ = shot + 1;
+    any_emitted_ = true;
+    out.push_back(std::move(event));
+  }
+  pending_.clear();
+  return out;
+}
+
+}  // namespace arams::stream

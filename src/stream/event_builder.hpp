@@ -1,0 +1,66 @@
+#pragma once
+// Event building: "images from multiple detectors synchronized by a timing
+// system that timestamps images and other readouts across the instrument
+// and pools them all into event objects corresponding to individual shots"
+// (paper, §I). The builder fuses per-detector readouts by shot id, emits
+// complete events as soon as every expected detector reported, and evicts
+// stragglers once the pending window slides past them — the standard LCLS
+// event-building contract (bounded memory, bounded latency, explicit
+// incompleteness instead of silent stalls).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace arams::stream {
+
+/// One fused shot: the readouts that arrived for it, keyed by detector.
+struct FusedEvent {
+  std::uint64_t shot_id = 0;
+  double timestamp_seconds = 0.0;
+  std::map<std::string, image::ImageF> readouts;
+  bool complete = false;  ///< every expected detector reported
+};
+
+struct EventBuilderStats {
+  long readouts_seen = 0;
+  long complete_events = 0;
+  long incomplete_events = 0;  ///< evicted with missing detectors
+  long duplicate_readouts = 0; ///< same (shot, detector) twice — dropped
+  long stale_readouts = 0;     ///< arrived after the shot was emitted
+};
+
+/// Timestamp-ordered event builder over a fixed detector set.
+class EventBuilder {
+ public:
+  /// `detectors` — the full set expected per shot. `window` — maximum
+  /// number of in-flight shots before the oldest is force-emitted.
+  EventBuilder(std::vector<std::string> detectors, std::size_t window = 64);
+
+  /// Offers one readout. Returns the events this readout completed or
+  /// forced out of the window, in shot order (usually 0 or 1).
+  std::vector<FusedEvent> push(const std::string& detector,
+                               std::uint64_t shot_id,
+                               double timestamp_seconds,
+                               image::ImageF frame);
+
+  /// Emits everything still pending (end of run), in shot order.
+  std::vector<FusedEvent> flush();
+
+  [[nodiscard]] const EventBuilderStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+ private:
+  std::vector<FusedEvent> emit_ready();
+
+  std::vector<std::string> detectors_;
+  std::size_t window_;
+  std::map<std::uint64_t, FusedEvent> pending_;  // ordered by shot id
+  std::uint64_t emitted_watermark_ = 0;  ///< shots below this are gone
+  bool any_emitted_ = false;
+  EventBuilderStats stats_;
+};
+
+}  // namespace arams::stream

@@ -1,0 +1,198 @@
+#include "stream/monitor.hpp"
+
+#include <map>
+
+#include "embed/pca.hpp"
+#include "embed/umap.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace arams::stream {
+
+using linalg::Matrix;
+
+void ThroughputMeter::record(std::size_t frames, double seconds) {
+  frames_ += frames;
+  seconds_ += seconds;
+}
+
+double ThroughputMeter::frames_per_second() const {
+  return seconds_ > 0.0 ? static_cast<double>(frames_) / seconds_ : 0.0;
+}
+
+StreamingMonitor::StreamingMonitor(const MonitorConfig& config)
+    : config_(config),
+      sketcher_(config.pipeline.sketch),
+      error_tracker_(core::ErrorTrackerConfig{}) {
+  ARAMS_CHECK(config.batch_size >= 1, "batch size must be >= 1");
+  ARAMS_CHECK(config.reservoir_size >= 2, "reservoir too small");
+  batch_rows_.reserve(config.batch_size);
+}
+
+bool StreamingMonitor::ingest(const ShotEvent& event) {
+  Stopwatch timer;
+  const image::ImageF processed =
+      image::preprocess(event.frame, config_.pipeline.preprocess);
+  if (dim_ == 0) {
+    dim_ = processed.pixel_count();
+  }
+  ARAMS_CHECK(processed.pixel_count() == dim_,
+              "frame shape changed mid-stream");
+  std::vector<double> row(dim_);
+  processed.to_row(row);
+
+  error_tracker_.observe(row);
+  reservoir_.emplace_back(event.shot_id, row);
+  if (reservoir_.size() > config_.reservoir_size) {
+    reservoir_.pop_front();
+  }
+  batch_rows_.push_back(std::move(row));
+
+  bool updated = false;
+  if (batch_rows_.size() >= config_.batch_size) {
+    update_sketch();
+    updated = true;
+  }
+  meter_.record(1, timer.seconds());
+  return updated;
+}
+
+void StreamingMonitor::flush() {
+  if (!batch_rows_.empty()) {
+    Stopwatch timer;
+    update_sketch();
+    meter_.record(0, timer.seconds());
+  }
+}
+
+void StreamingMonitor::update_sketch() {
+  Matrix batch(batch_rows_.size(), dim_);
+  for (std::size_t i = 0; i < batch_rows_.size(); ++i) {
+    batch.set_row(i, batch_rows_[i]);
+  }
+  batch_rows_.clear();
+  sketcher_.push_batch(batch);
+}
+
+SnapshotResult StreamingMonitor::snapshot() {
+  ARAMS_CHECK(!reservoir_.empty(), "snapshot before any frames arrived");
+  Stopwatch timer;
+  SnapshotResult out;
+
+  Matrix rows(reservoir_.size(), dim_);
+  out.shot_ids.reserve(reservoir_.size());
+  std::size_t r = 0;
+  for (const auto& [shot, row] : reservoir_) {
+    rows.set_row(r++, row);
+    out.shot_ids.push_back(shot);
+  }
+
+  const Matrix sketch = sketcher_.sketch();
+  ARAMS_CHECK(sketch.rows() > 0, "sketch is empty — ingest more frames");
+
+  const embed::PcaProjector pca(
+      sketch, config_.pipeline.pca_components);
+  out.latent = pca.project(rows);
+
+  embed::UmapConfig umap_config = config_.pipeline.umap;
+  umap_config.n_neighbors =
+      std::min(umap_config.n_neighbors, out.latent.rows() - 1);
+  out.embedding = embed::umap_embed(out.latent, umap_config);
+
+  cluster_snapshot(out);
+  out.snapshot_seconds = timer.seconds();
+
+  // Keep this snapshot as the reference for incremental refreshes.
+  reference_latent_ = out.latent;
+  reference_embedding_ = out.embedding;
+  reference_shots_ = out.shot_ids;
+  return out;
+}
+
+void StreamingMonitor::cluster_snapshot(SnapshotResult& out) const {
+  cluster::OpticsConfig optics_config = config_.pipeline.optics;
+  if (config_.pipeline.scale_min_pts) {
+    optics_config.min_pts = std::max<std::size_t>(
+        optics_config.min_pts,
+        std::min<std::size_t>(out.embedding.rows() / 10, 30));
+  }
+  optics_config.min_pts =
+      std::min<std::size_t>(optics_config.min_pts, out.embedding.rows());
+  const cluster::OpticsResult optics_result =
+      cluster::optics(out.embedding, optics_config);
+  out.labels = cluster::extract_auto(optics_result,
+                                     config_.pipeline.cluster_quantile);
+}
+
+SnapshotResult StreamingMonitor::snapshot_incremental() {
+  if (reference_embedding_.empty()) {
+    return snapshot();
+  }
+  ARAMS_CHECK(!reservoir_.empty(), "snapshot before any frames arrived");
+  Stopwatch timer;
+  SnapshotResult out;
+
+  // Project the whole reservoir through the *current* sketch.
+  Matrix rows(reservoir_.size(), dim_);
+  out.shot_ids.reserve(reservoir_.size());
+  std::size_t r = 0;
+  for (const auto& [shot, row] : reservoir_) {
+    rows.set_row(r++, row);
+    out.shot_ids.push_back(shot);
+  }
+  const Matrix sketch = sketcher_.sketch();
+  const embed::PcaProjector pca(sketch, config_.pipeline.pca_components);
+  out.latent = pca.project(rows);
+  ARAMS_CHECK(out.latent.cols() == reference_latent_.cols(),
+              "latent dimension changed — take a full snapshot");
+
+  // Shots present in the reference keep their coordinates; the rest are
+  // transformed against the frozen reference embedding.
+  std::map<std::uint64_t, std::size_t> reference_index;
+  for (std::size_t i = 0; i < reference_shots_.size(); ++i) {
+    reference_index[reference_shots_[i]] = i;
+  }
+  std::vector<std::size_t> fresh_rows;
+  out.embedding = Matrix(out.latent.rows(),
+                         reference_embedding_.cols());
+  for (std::size_t i = 0; i < out.shot_ids.size(); ++i) {
+    const auto it = reference_index.find(out.shot_ids[i]);
+    if (it != reference_index.end()) {
+      out.embedding.set_row(i, reference_embedding_.row(it->second));
+    } else {
+      fresh_rows.push_back(i);
+    }
+  }
+  if (!fresh_rows.empty()) {
+    Matrix fresh(fresh_rows.size(), out.latent.cols());
+    for (std::size_t i = 0; i < fresh_rows.size(); ++i) {
+      fresh.set_row(i, out.latent.row(fresh_rows[i]));
+    }
+    embed::UmapConfig umap_config = config_.pipeline.umap;
+    umap_config.n_neighbors = std::min(umap_config.n_neighbors,
+                                       reference_latent_.rows() - 1);
+    const Matrix placed = embed::umap_transform(
+        reference_latent_, reference_embedding_, fresh, umap_config);
+    for (std::size_t i = 0; i < fresh_rows.size(); ++i) {
+      out.embedding.set_row(fresh_rows[i], placed.row(i));
+    }
+  }
+  cluster_snapshot(out);
+  out.snapshot_seconds = timer.seconds();
+  return out;
+}
+
+std::size_t StreamingMonitor::current_ell() const {
+  return sketcher_.current_ell();
+}
+
+double StreamingMonitor::sketch_error_estimate() {
+  return error_tracker_.relative_error(
+      sketcher_.basis(sketcher_.current_ell()));
+}
+
+core::SketchStats StreamingMonitor::sketch_stats() const {
+  return sketcher_.stats();
+}
+
+}  // namespace arams::stream

@@ -1,0 +1,94 @@
+#pragma once
+// Online monitoring driver: consumes a frame stream batch by batch,
+// maintains a persistent ARAMS sketch, and produces embedding snapshots on
+// demand — the operational mode Section VI-B times (12,000 2-MP frames at
+// 136 Hz on 64 cores, UMAP/OPTICS in under a minute).
+
+#include <deque>
+#include <optional>
+
+#include "core/error_tracker.hpp"
+#include "stream/pipeline.hpp"
+#include "stream/source.hpp"
+
+namespace arams::stream {
+
+/// Rolling throughput measurement.
+class ThroughputMeter {
+ public:
+  void record(std::size_t frames, double seconds);
+  [[nodiscard]] double frames_per_second() const;
+  [[nodiscard]] std::size_t total_frames() const { return frames_; }
+  [[nodiscard]] double total_seconds() const { return seconds_; }
+
+ private:
+  std::size_t frames_ = 0;
+  double seconds_ = 0.0;
+};
+
+struct MonitorConfig {
+  PipelineConfig pipeline;
+  std::size_t batch_size = 256;      ///< frames per sketch update
+  std::size_t reservoir_size = 2048; ///< frames retained for snapshots
+};
+
+struct SnapshotResult {
+  linalg::Matrix latent;
+  linalg::Matrix embedding;
+  std::vector<int> labels;
+  std::vector<std::uint64_t> shot_ids;  ///< rows ↔ shots
+  double snapshot_seconds = 0.0;
+};
+
+/// Streaming monitor with a persistent sketch and a frame reservoir.
+class StreamingMonitor {
+ public:
+  explicit StreamingMonitor(const MonitorConfig& config);
+
+  /// Preprocesses and absorbs one event into the current batch; when the
+  /// batch fills, updates the sketch. Returns true if a sketch update ran.
+  bool ingest(const ShotEvent& event);
+
+  /// Flushes any partial batch into the sketch.
+  void flush();
+
+  /// Projects the reservoir through the current sketch, embeds and
+  /// clusters it — the operator-facing picture of the run so far.
+  /// (Non-const: compresses the sketch buffer before projecting.)
+  SnapshotResult snapshot();
+
+  /// Cheaper refresh between full snapshots: shots already present in the
+  /// previous snapshot keep their embedding coordinates; new shots are
+  /// placed with the out-of-sample UMAP transform against that frozen
+  /// reference, and only the clustering is recomputed. Falls back to a
+  /// full snapshot when no reference exists yet.
+  SnapshotResult snapshot_incremental();
+
+  [[nodiscard]] const ThroughputMeter& throughput() const { return meter_; }
+  [[nodiscard]] std::size_t current_ell() const;
+  [[nodiscard]] core::SketchStats sketch_stats() const;
+
+  /// Operator gauge: relative reconstruction error of a uniform sample of
+  /// *everything seen so far* against the current sketch basis (the
+  /// SketchErrorTracker estimate). Non-const: compresses the sketch.
+  [[nodiscard]] double sketch_error_estimate();
+
+ private:
+  void update_sketch();
+  void cluster_snapshot(SnapshotResult& out) const;
+
+  MonitorConfig config_;
+  core::Arams sketcher_;
+  core::SketchErrorTracker error_tracker_;
+  ThroughputMeter meter_;
+  std::vector<std::vector<double>> batch_rows_;
+  std::deque<std::pair<std::uint64_t, std::vector<double>>> reservoir_;
+  std::size_t dim_ = 0;
+
+  /// Frozen reference from the last full snapshot (for incremental mode).
+  linalg::Matrix reference_latent_;
+  linalg::Matrix reference_embedding_;
+  std::vector<std::uint64_t> reference_shots_;
+};
+
+}  // namespace arams::stream

@@ -1,0 +1,136 @@
+#include "stream/pipeline.hpp"
+
+#include <algorithm>
+
+#include "embed/pca.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace arams::stream {
+
+using linalg::Matrix;
+
+MonitoringPipeline::MonitoringPipeline(const PipelineConfig& config)
+    : config_(config) {
+  ARAMS_CHECK(config.num_cores >= 1, "need at least one core");
+  ARAMS_CHECK(config.pca_components >= 1, "need at least one PCA component");
+}
+
+PipelineResult MonitoringPipeline::analyze(
+    const std::vector<image::ImageF>& frames) const {
+  ARAMS_CHECK(!frames.empty(), "no frames to analyze");
+  Stopwatch timer;
+  const std::vector<image::ImageF> processed =
+      image::preprocess_batch(frames, config_.preprocess);
+  Matrix rows = image::images_to_matrix(processed);
+  const double pre = timer.seconds();
+  PipelineResult result = analyze_matrix(rows);
+  result.preprocess_seconds = pre;
+  return result;
+}
+
+PipelineResult MonitoringPipeline::analyze_events(
+    const std::vector<ShotEvent>& events) const {
+  std::vector<image::ImageF> frames;
+  frames.reserve(events.size());
+  for (const auto& e : events) {
+    frames.push_back(e.frame);
+  }
+  return analyze(frames);
+}
+
+PipelineResult MonitoringPipeline::analyze_matrix(const Matrix& rows) const {
+  ARAMS_CHECK(rows.rows() >= 2, "need at least two rows");
+  PipelineResult result;
+  Stopwatch timer;
+
+  // --- stage 2: sharded ARAMS sketch, tree-merged ---
+  const std::size_t n = rows.rows();
+  const std::size_t cores = std::min<std::size_t>(config_.num_cores, n);
+  std::vector<core::AramsResult> shards(cores);
+  const auto run_shard = [&](std::size_t c) {
+    const std::size_t r0 = c * n / cores;
+    const std::size_t r1 = (c + 1) * n / cores;
+    if (r1 <= r0) return;
+    core::AramsConfig shard_config = config_.sketch;
+    shard_config.seed = config_.sketch.seed + c;
+    core::Arams sketcher(shard_config);
+    shards[c] = sketcher.sketch_matrix(rows.slice_rows(r0, r1));
+  };
+  if (config_.use_threads && cores > 1) {
+    parallel::ThreadPool pool(std::min<std::size_t>(cores, 8));
+    pool.parallel_for(cores, run_shard);
+  } else {
+    for (std::size_t c = 0; c < cores; ++c) {
+      run_shard(c);
+    }
+  }
+  std::vector<Matrix> sketches;
+  sketches.reserve(cores);
+  std::size_t final_ell = config_.sketch.ell;
+  for (auto& shard : shards) {
+    if (shard.sketch.empty()) continue;
+    result.sketch_stats += shard.stats;
+    final_ell = std::max(final_ell, shard.final_ell);
+    sketches.push_back(std::move(shard.sketch));
+  }
+  result.final_ell = final_ell;
+  result.sketch = (sketches.size() == 1)
+                      ? std::move(sketches.front())
+                      : core::tree_merge(std::move(sketches), final_ell, 2,
+                                         &result.merge_stats);
+  result.sketch_seconds = timer.lap();
+
+  // --- stage 3: PCA latent projection of the *original* rows ---
+  const embed::PcaProjector pca(result.sketch, config_.pca_components);
+  result.latent = pca.project(rows);
+  result.project_seconds = timer.lap();
+
+  // --- stage 4: UMAP to 2-D ---
+  embed::UmapConfig umap_config = config_.umap;
+  umap_config.n_neighbors =
+      std::min(umap_config.n_neighbors, result.latent.rows() - 1);
+  result.embedding = embed::umap_embed(result.latent, umap_config);
+  result.embed_seconds = timer.lap();
+
+  // --- stage 5: density clustering + ABOD outlier scores ---
+  const std::size_t scaled_min_pts =
+      config_.scale_min_pts
+          ? std::min<std::size_t>(result.embedding.rows() / 10, 30)
+          : 0;
+  if (config_.cluster_method == PipelineConfig::ClusterMethod::kKmeans) {
+    cluster::KmeansConfig kmeans_config = config_.kmeans;
+    kmeans_config.k =
+        std::min<std::size_t>(kmeans_config.k, result.embedding.rows());
+    result.labels =
+        cluster::kmeans(result.embedding, kmeans_config).labels;
+  } else if (config_.cluster_method ==
+             PipelineConfig::ClusterMethod::kHdbscan) {
+    cluster::HdbscanConfig hdbscan_config = config_.hdbscan;
+    hdbscan_config.min_samples = std::min<std::size_t>(
+        std::max(hdbscan_config.min_samples, scaled_min_pts),
+        result.embedding.rows() - 1);
+    hdbscan_config.min_cluster_size =
+        std::max(hdbscan_config.min_cluster_size, scaled_min_pts);
+    result.labels =
+        cluster::hdbscan(result.embedding, hdbscan_config).labels;
+  } else {
+    cluster::OpticsConfig optics_config = config_.optics;
+    optics_config.min_pts =
+        std::max(optics_config.min_pts, scaled_min_pts);
+    optics_config.min_pts = std::min<std::size_t>(
+        optics_config.min_pts, result.embedding.rows());
+    result.optics = cluster::optics(result.embedding, optics_config);
+    result.labels = cluster::extract_auto(result.optics,
+                                          config_.cluster_quantile);
+  }
+  if (config_.abod_k >= 2 && result.embedding.rows() > config_.abod_k) {
+    result.outlier_scores = cluster::fast_abod(
+        result.embedding, cluster::AbodConfig{config_.abod_k});
+  }
+  result.cluster_seconds = timer.lap();
+  return result;
+}
+
+}  // namespace arams::stream

@@ -1,0 +1,85 @@
+#pragma once
+// MonitoringPipeline — the Fig. 4 schematic as one public API.
+//
+// Stage 1  preprocess   threshold / center / normalize each frame
+// Stage 2  sketch       ARAMS across virtual cores, tree-merged
+// Stage 3  project      PCA latent projection from the global sketch
+// Stage 4  visualize    UMAP to 2-D
+// Stage 5  analyze      OPTICS clustering + FastABOD outlier scores
+
+#include <vector>
+
+#include "cluster/abod.hpp"
+#include "cluster/hdbscan.hpp"
+#include "cluster/kmeans.hpp"
+#include "cluster/optics.hpp"
+#include "core/arams_sketch.hpp"
+#include "core/merge.hpp"
+#include "embed/umap.hpp"
+#include "image/preprocess.hpp"
+#include "stream/event.hpp"
+
+namespace arams::stream {
+
+struct PipelineConfig {
+  image::PreprocessConfig preprocess;
+  core::AramsConfig sketch;
+  std::size_t num_cores = 4;         ///< virtual cores for sketching
+  bool use_threads = false;          ///< run shard sketches on a pool
+  std::size_t pca_components = 15;   ///< latent dimension fed to UMAP
+  embed::UmapConfig umap;
+  /// Which clusterer labels the embedding. OPTICS is the paper's choice;
+  /// HDBSCAN is the robust alternative when cluster densities differ (its
+  /// package ships in the paper's artifact env); k-means is for operators
+  /// who know the class count.
+  enum class ClusterMethod { kOptics, kHdbscan, kKmeans };
+  ClusterMethod cluster_method = ClusterMethod::kOptics;
+  cluster::OpticsConfig optics;
+  cluster::HdbscanConfig hdbscan;
+  cluster::KmeansConfig kmeans;
+  /// Scale optics.min_pts / hdbscan sizes up to ~n/10 (capped at 30) so
+  /// density estimates smooth over UMAP's local clumping on larger
+  /// embeddings.
+  bool scale_min_pts = true;
+  double cluster_quantile = 0.9;     ///< extract_auto reachability quantile
+  std::size_t abod_k = 10;           ///< 0 disables outlier scoring
+};
+
+struct PipelineResult {
+  linalg::Matrix sketch;          ///< global merged sketch (≤ ℓ × d)
+  linalg::Matrix latent;          ///< n × pca_components
+  linalg::Matrix embedding;       ///< n × 2
+  std::vector<int> labels;        ///< OPTICS cluster labels (−1 = noise)
+  std::vector<double> outlier_scores;  ///< ABOF per point (low = outlier)
+  cluster::OpticsResult optics;
+  core::SketchStats sketch_stats;
+  core::MergeStats merge_stats;
+  std::size_t final_ell = 0;
+  double preprocess_seconds = 0.0;
+  double sketch_seconds = 0.0;
+  double project_seconds = 0.0;
+  double embed_seconds = 0.0;
+  double cluster_seconds = 0.0;
+};
+
+/// Batch analysis facade over the whole pipeline.
+class MonitoringPipeline {
+ public:
+  explicit MonitoringPipeline(const PipelineConfig& config);
+
+  /// Full pipeline over raw detector frames.
+  PipelineResult analyze(const std::vector<image::ImageF>& frames) const;
+
+  /// Full pipeline over shot events (uses their frames).
+  PipelineResult analyze_events(const std::vector<ShotEvent>& events) const;
+
+  /// Pipeline over already-flattened rows (skips stage 1).
+  PipelineResult analyze_matrix(const linalg::Matrix& rows) const;
+
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+ private:
+  PipelineConfig config_;
+};
+
+}  // namespace arams::stream

@@ -1,0 +1,75 @@
+#include "stream/source.hpp"
+
+#include "util/check.hpp"
+
+namespace arams::stream {
+
+BeamProfileSource::BeamProfileSource(const data::BeamProfileConfig& config,
+                                     std::size_t total, double rate_hz,
+                                     std::uint64_t seed)
+    : config_(config), total_(total), rate_hz_(rate_hz), rng_(seed) {
+  ARAMS_CHECK(rate_hz > 0.0, "rate must be positive");
+}
+
+std::optional<ShotEvent> BeamProfileSource::next() {
+  if (emitted_ >= total_) return std::nullopt;
+  data::BeamProfileSample sample = data::generate_beam_profile(config_, rng_);
+  ShotEvent event;
+  event.shot_id = emitted_;
+  event.timestamp_seconds = static_cast<double>(emitted_) / rate_hz_;
+  event.frame = std::move(sample.frame);
+  event.truth_exotic = sample.truth.exotic;
+  event.truth_label = sample.truth.lobes;
+  ++emitted_;
+  return event;
+}
+
+DiffractionSource::DiffractionSource(const data::DiffractionConfig& config,
+                                     std::size_t total, double rate_hz,
+                                     std::uint64_t seed)
+    : generator_(config), total_(total), rate_hz_(rate_hz), rng_(seed) {
+  ARAMS_CHECK(rate_hz > 0.0, "rate must be positive");
+}
+
+std::optional<ShotEvent> DiffractionSource::next() {
+  if (emitted_ >= total_) return std::nullopt;
+  data::DiffractionSample sample = generator_.generate(rng_);
+  ShotEvent event;
+  event.shot_id = emitted_;
+  event.timestamp_seconds = static_cast<double>(emitted_) / rate_hz_;
+  event.frame = std::move(sample.frame);
+  event.truth_label = sample.truth.class_label;
+  ++emitted_;
+  return event;
+}
+
+SpeckleSource::SpeckleSource(const data::SpeckleConfig& config,
+                             std::size_t total, double rate_hz,
+                             std::uint64_t seed)
+    : generator_(config, seed), total_(total), rate_hz_(rate_hz) {
+  ARAMS_CHECK(rate_hz > 0.0, "rate must be positive");
+}
+
+std::optional<ShotEvent> SpeckleSource::next() {
+  if (emitted_ >= total_) return std::nullopt;
+  data::SpeckleSample sample = generator_.next();
+  ShotEvent event;
+  event.shot_id = emitted_;
+  event.timestamp_seconds = static_cast<double>(emitted_) / rate_hz_;
+  event.frame = std::move(sample.frame);
+  ++emitted_;
+  return event;
+}
+
+std::vector<ShotEvent> drain(FrameSource& source, std::size_t count) {
+  std::vector<ShotEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto event = source.next();
+    if (!event.has_value()) break;
+    events.push_back(std::move(*event));
+  }
+  return events;
+}
+
+}  // namespace arams::stream

@@ -1,0 +1,71 @@
+#pragma once
+// Frame sources: rate-controlled synthetic detectors standing in for the
+// LCLS data acquisition stream (120 Hz today, toward 1 MHz with LCLS-II).
+
+#include <memory>
+#include <optional>
+
+#include "data/beam_profile.hpp"
+#include "data/diffraction.hpp"
+#include "data/speckle.hpp"
+#include "stream/event.hpp"
+
+namespace arams::stream {
+
+/// Pull-based frame source. next() returns std::nullopt when exhausted.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  virtual std::optional<ShotEvent> next() = 0;
+};
+
+/// Beam-profile detector: emits `total` frames at `rate_hz` logical rate
+/// (timestamps advance by 1/rate; no wall-clock sleeping — the throughput
+/// bench measures how much faster than real time the pipeline runs).
+class BeamProfileSource : public FrameSource {
+ public:
+  BeamProfileSource(const data::BeamProfileConfig& config, std::size_t total,
+                    double rate_hz, std::uint64_t seed);
+  std::optional<ShotEvent> next() override;
+
+ private:
+  data::BeamProfileConfig config_;
+  std::size_t total_;
+  double rate_hz_;
+  Rng rng_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Large-area diffraction detector.
+class DiffractionSource : public FrameSource {
+ public:
+  DiffractionSource(const data::DiffractionConfig& config, std::size_t total,
+                    double rate_hz, std::uint64_t seed);
+  std::optional<ShotEvent> next() override;
+
+ private:
+  data::DiffractionGenerator generator_;
+  std::size_t total_;
+  double rate_hz_;
+  Rng rng_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// XPCS speckle detector (the §VI-B workload: correlated speckle series).
+class SpeckleSource : public FrameSource {
+ public:
+  SpeckleSource(const data::SpeckleConfig& config, std::size_t total,
+                double rate_hz, std::uint64_t seed);
+  std::optional<ShotEvent> next() override;
+
+ private:
+  data::SpeckleGenerator generator_;
+  std::size_t total_;
+  double rate_hz_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Drains up to `count` events from a source.
+std::vector<ShotEvent> drain(FrameSource& source, std::size_t count);
+
+}  // namespace arams::stream

@@ -1,0 +1,17 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace arams::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace arams::detail

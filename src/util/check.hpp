@@ -1,0 +1,39 @@
+#pragma once
+// Runtime precondition / invariant checking.
+//
+// ARAMS_CHECK is always active (argument validation on public API
+// boundaries); ARAMS_DCHECK compiles out in release builds and is used for
+// internal invariants on hot paths.
+
+#include <stdexcept>
+#include <string>
+
+namespace arams {
+
+/// Thrown when a precondition or invariant check fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace arams
+
+#define ARAMS_CHECK(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::arams::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define ARAMS_DCHECK(expr, msg) \
+  do {                          \
+  } while (false)
+#else
+#define ARAMS_DCHECK(expr, msg) ARAMS_CHECK(expr, msg)
+#endif

@@ -1,0 +1,101 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace arams {
+
+void CliFlags::declare(const std::string& name,
+                       const std::string& default_value,
+                       const std::string& help) {
+  ARAMS_CHECK(!flags_.contains(name), "flag declared twice: " + name);
+  flags_[name] = Flag{default_value, help, false};
+  order_.push_back(name);
+}
+
+std::vector<std::string> CliFlags::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::optional<std::string> value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+    }
+    const auto it = flags_.find(name);
+    ARAMS_CHECK(it != flags_.end(), "unknown flag --" + name);
+    if (!value.has_value()) {
+      // `--flag value` form, unless the flag looks boolean and the next token
+      // is another flag (or absent) — then treat as `--flag` = true.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = *value;
+    it->second.provided = true;
+  }
+  return positional;
+}
+
+const std::string& CliFlags::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  ARAMS_CHECK(it != flags_.end(), "flag not declared: " + name);
+  return it->second.value;
+}
+
+long CliFlags::get_int(const std::string& name) const {
+  const std::string& v = get(name);
+  char* end = nullptr;
+  const long out = std::strtol(v.c_str(), &end, 10);
+  ARAMS_CHECK(end != nullptr && *end == '\0',
+              "flag --" + name + " is not an integer: " + v);
+  return out;
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  const std::string& v = get(name);
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  ARAMS_CHECK(end != nullptr && *end == '\0',
+              "flag --" + name + " is not a number: " + v);
+  return out;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string& v = get(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  ARAMS_CHECK(false, "flag --" + name + " is not a boolean: " + v);
+  return false;
+}
+
+bool CliFlags::provided(const std::string& name) const {
+  const auto it = flags_.find(name);
+  ARAMS_CHECK(it != flags_.end(), "flag not declared: " + name);
+  return it->second.provided;
+}
+
+std::string CliFlags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (default: " << f.value << ")  " << f.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace arams

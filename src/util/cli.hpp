@@ -1,0 +1,46 @@
+#pragma once
+// Minimal command-line flag parser shared by benches and examples.
+//
+// Supported syntax:  --name=value   --name value   --flag (boolean true)
+// Unknown flags raise CheckError so typos in bench invocations fail loudly.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace arams {
+
+/// Declarative flag set: declare flags with defaults, then parse argv.
+class CliFlags {
+ public:
+  /// Declares a flag with a default value and a help string.
+  void declare(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// Parses argv; throws CheckError on unknown flags or missing values.
+  /// Returns positional (non-flag) arguments in order.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// True when the flag was explicitly provided on the command line.
+  [[nodiscard]] bool provided(const std::string& name) const;
+
+  /// One-line-per-flag usage text.
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+    bool provided = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace arams

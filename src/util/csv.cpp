@@ -1,0 +1,70 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace arams {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  ARAMS_CHECK(!columns_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ARAMS_CHECK(cells.size() == columns_.size(),
+              "row width does not match column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(6) << v;
+  return os.str();
+}
+
+std::string Table::num(long v) { return std::to_string(v); }
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c] << (c + 1 < columns_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+void Table::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+    }
+    os << "\n";
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (const auto w : width) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  ARAMS_CHECK(f.good(), "cannot open for writing: " + path);
+  write_csv(f);
+  ARAMS_CHECK(f.good(), "write failed: " + path);
+}
+
+}  // namespace arams

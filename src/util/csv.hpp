@@ -1,0 +1,42 @@
+#pragma once
+// CSV/console table emitter. Every bench harness reports its figure series
+// through this so output is machine-parsable and visually aligned.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace arams {
+
+/// Collects rows of a table and renders them as aligned text or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a row; the cell count must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string num(double v);
+  static std::string num(long v);
+
+  /// Renders as comma-separated values (header + rows).
+  void write_csv(std::ostream& os) const;
+
+  /// Renders as an aligned, human-readable table.
+  void write_pretty(std::ostream& os) const;
+
+  /// Writes CSV to a file path; throws CheckError on I/O failure.
+  void save_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& column_names() const {
+    return columns_;
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace arams

@@ -1,0 +1,34 @@
+#pragma once
+// Leveled stderr logging. Kept deliberately tiny: the library itself logs
+// nothing by default; benches and examples raise the level for progress.
+
+#include <sstream>
+#include <string>
+
+namespace arams {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace arams
+
+#define ARAMS_LOG(level, expr)                                 \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::arams::log_level())) {              \
+      std::ostringstream arams_log_os;                         \
+      arams_log_os << expr;                                    \
+      ::arams::detail::log_emit(level, arams_log_os.str());    \
+    }                                                          \
+  } while (false)
+
+#define ARAMS_INFO(expr) ARAMS_LOG(::arams::LogLevel::kInfo, expr)
+#define ARAMS_WARN(expr) ARAMS_LOG(::arams::LogLevel::kWarn, expr)
+#define ARAMS_DEBUG(expr) ARAMS_LOG(::arams::LogLevel::kDebug, expr)

@@ -1,0 +1,16 @@
+#include "util/stopwatch.hpp"
+
+namespace arams {
+
+double Stopwatch::lap() {
+  const auto now = Clock::now();
+  const double s = std::chrono::duration<double>(now - start_).count();
+  start_ = now;
+  return s;
+}
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace arams

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Integration test for the `arams` CLI: generate → info → sketch → pipeline
+# round trip in a temp dir. The binary path arrives in $ARAMS_BIN.
+set -euo pipefail
+
+BIN="${ARAMS_BIN:?ARAMS_BIN must point at the arams binary}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+# generate all workload kinds
+"$BIN" generate --kind=beam --frames=80 --size=24 \
+  --out="$DIR/beam.frames" --truth="$DIR/beam_truth.csv"
+"$BIN" generate --kind=diffraction --frames=80 --size=24 --classes=3 \
+  --out="$DIR/diff.frames"
+"$BIN" generate --kind=speckle --frames=20 --size=24 \
+  --out="$DIR/speckle.frames"
+"$BIN" info --in="$DIR/speckle.frames" | grep -q "20 frames"
+test -s "$DIR/beam.frames"
+test -s "$DIR/beam_truth.csv"
+
+# info must describe the bundle
+"$BIN" info --in="$DIR/beam.frames" | grep -q "80 frames of 24x24"
+
+# sketch → npy, then info on the npy
+"$BIN" sketch --in="$DIR/beam.frames" --ell=16 --out="$DIR/sketch.npy" \
+  --report-error | grep -q "relative covariance error"
+"$BIN" info --in="$DIR/sketch.npy" | grep -q "float64 matrix"
+
+# compare reports an error within the FD bound
+"$BIN" compare --data="$DIR/beam.frames" --sketch="$DIR/sketch.npy" \
+  | grep -q "covariance error"
+
+# diag runs the CUSUM monitors and emits frame statistics
+"$BIN" diag --in="$DIR/beam.frames" --warmup=20 --mean="$DIR/mean.pgm" \
+  --mask-report | grep -q "monitored 80 shots"
+test -s "$DIR/mean.pgm"
+head -c 2 "$DIR/mean.pgm" | grep -q "P5"
+
+# pipeline with both clusterers, emitting CSV + HTML
+"$BIN" pipeline --in="$DIR/diff.frames" --clusterer=optics \
+  --center=false --csv="$DIR/o.csv" --html="$DIR/o.html"
+"$BIN" pipeline --in="$DIR/diff.frames" --clusterer=hdbscan \
+  --center=false --csv="$DIR/h.csv"
+"$BIN" pipeline --in="$DIR/diff.frames" --clusterer=kmeans --k=3 \
+  --center=false --csv="$DIR/k.csv"
+grep -q "shot,x,y,label" "$DIR/k.csv"
+
+# sketch with each residual estimator
+for est in gaussian hutchinson hutchpp; do
+  "$BIN" sketch --in="$DIR/beam.frames" --ell=12 --estimator="$est" \
+    --out="$DIR/s_$est.npy" >/dev/null
+  test -s "$DIR/s_$est.npy"
+done
+head -1 "$DIR/o.csv" | grep -q "shot,x,y,label"
+grep -q "<svg" "$DIR/o.html"
+# CSV has one row per shot plus header
+test "$(wc -l < "$DIR/h.csv")" -eq 81
+
+# unknown command and missing input fail loudly
+if "$BIN" frobnicate 2>/dev/null; then exit 1; fi
+if "$BIN" sketch --in="$DIR/missing.frames" 2>/dev/null; then exit 1; fi
+
+echo "cli round trip OK"

@@ -1,0 +1,185 @@
+// ARAMS (Algorithm 3): the four Fig. 1 variants must all produce valid
+// sketches; sampling must reduce work; the combined guarantee must hold in
+// expectation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/arams_sketch.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::core {
+namespace {
+
+using linalg::Matrix;
+
+Matrix low_rank_data(std::size_t n, std::size_t d, std::uint64_t seed) {
+  data::SyntheticConfig config;
+  config.n = n;
+  config.d = d;
+  config.spectrum.kind = data::DecayKind::kExponential;
+  config.spectrum.count = std::min(n, d) / 2;
+  config.spectrum.rate = 0.15;
+  Rng rng(seed);
+  return data::make_low_rank(config, rng);
+}
+
+TEST(Arams, InvalidBetaThrows) {
+  AramsConfig config;
+  config.beta = 0.0;
+  EXPECT_THROW(Arams{config}, CheckError);
+  config.beta = 1.5;
+  EXPECT_THROW(Arams{config}, CheckError);
+}
+
+class AramsVariants
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(AramsVariants, ProducesValidSketch) {
+  const auto [sampling, adaptive] = GetParam();
+  AramsConfig config;
+  config.use_sampling = sampling;
+  config.rank_adaptive = adaptive;
+  config.beta = 0.8;
+  config.ell = 12;
+  config.epsilon = 0.1;
+  Arams arams(config);
+
+  const Matrix a = low_rank_data(300, 40, 1);
+  const AramsResult result = arams.sketch_matrix(a);
+  EXPECT_GT(result.sketch.rows(), 0u);
+  EXPECT_LE(result.sketch.rows(), result.final_ell);
+  EXPECT_EQ(result.sketch.cols(), 40u);
+  EXPECT_GE(result.final_ell, config.ell);
+
+  // Sketch must capture most of the data's covariance (relative error
+  // well below 1 for exponentially decaying data).
+  Rng power(2);
+  const double rel =
+      linalg::covariance_error_relative(a, result.sketch, power, 100);
+  EXPECT_LT(rel, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AramsVariants,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(Arams, SamplingReducesRowsProcessed) {
+  const Matrix a = low_rank_data(400, 30, 3);
+
+  AramsConfig with;
+  with.use_sampling = true;
+  with.beta = 0.5;
+  with.rank_adaptive = false;
+  with.ell = 10;
+  AramsConfig without = with;
+  without.use_sampling = false;
+
+  Arams s1(with), s2(without);
+  const AramsResult r1 = s1.sketch_matrix(a);
+  const AramsResult r2 = s2.sketch_matrix(a);
+  EXPECT_EQ(r1.rows_sampled, 200u);
+  EXPECT_EQ(r2.rows_sampled, 400u);
+  EXPECT_LT(r1.stats.rows_processed, r2.stats.rows_processed);
+  EXPECT_LT(r1.stats.svd_count, r2.stats.svd_count);
+}
+
+TEST(Arams, BetaOneSkipsSampling) {
+  AramsConfig config;
+  config.use_sampling = true;
+  config.beta = 1.0;
+  config.rank_adaptive = false;
+  config.ell = 8;
+  Arams arams(config);
+  const Matrix a = low_rank_data(100, 20, 4);
+  const AramsResult result = arams.sketch_matrix(a);
+  EXPECT_EQ(result.rows_sampled, 100u);
+}
+
+TEST(Arams, StreamingMatchesBatchRowBudget) {
+  AramsConfig config;
+  config.use_sampling = false;
+  config.rank_adaptive = false;
+  config.ell = 8;
+  Arams arams(config);
+  const Matrix a = low_rank_data(120, 16, 5);
+  for (std::size_t start = 0; start < 120; start += 40) {
+    arams.push_batch(a.slice_rows(start, start + 40));
+  }
+  EXPECT_EQ(arams.stats().rows_processed, 120);
+  const Matrix sketch = arams.sketch();
+  EXPECT_LE(sketch.rows(), 8u);
+}
+
+TEST(Arams, StreamingSketchKeepsGuarantee) {
+  AramsConfig config;
+  config.use_sampling = false;
+  config.rank_adaptive = false;
+  config.ell = 10;
+  Arams arams(config);
+  const Matrix a = low_rank_data(200, 24, 6);
+  for (std::size_t start = 0; start < 200; start += 25) {
+    arams.push_batch(a.slice_rows(start, start + 25));
+  }
+  Rng power(7);
+  const double err = linalg::covariance_error(a, arams.sketch(), power, 150);
+  EXPECT_LE(err, linalg::frobenius_norm_squared(a) / 10.0 * 1.001);
+}
+
+TEST(Arams, BasisProjectsDominantDirection) {
+  // Rank-1 data: the 1-component basis must capture nearly all the mass.
+  Matrix a(60, 15);
+  Rng rng(8);
+  std::vector<double> dir(15);
+  rng.fill_normal(dir);
+  linalg::scale(dir, 1.0 / linalg::norm2(dir));
+  for (std::size_t i = 0; i < 60; ++i) {
+    const double c = rng.normal();
+    for (std::size_t j = 0; j < 15; ++j) {
+      a(i, j) = c * dir[j];
+    }
+  }
+  AramsConfig config;
+  config.use_sampling = false;
+  config.rank_adaptive = false;
+  config.ell = 6;
+  Arams arams(config);
+  arams.sketch_matrix(a);
+  const Matrix basis = arams.basis(1);
+  ASSERT_EQ(basis.rows(), 1u);
+  EXPECT_NEAR(std::abs(linalg::dot(basis.row(0), dir)), 1.0, 1e-6);
+}
+
+TEST(Arams, RankAdaptiveGrowsUnderTightEpsilon) {
+  AramsConfig config;
+  config.use_sampling = false;
+  config.rank_adaptive = true;
+  config.ell = 8;
+  config.epsilon = 0.02;
+  Arams arams(config);
+  Matrix noise(500, 48);
+  Rng rng(9);
+  for (std::size_t i = 0; i < noise.rows(); ++i) {
+    rng.fill_normal(noise.row(i));
+  }
+  const AramsResult result = arams.sketch_matrix(noise);
+  EXPECT_GT(result.final_ell, 8u);
+  EXPECT_GT(result.stats.rank_increases, 0);
+}
+
+TEST(Arams, TimersPopulated) {
+  AramsConfig config;
+  config.ell = 8;
+  Arams arams(config);
+  const AramsResult result = arams.sketch_matrix(low_rank_data(200, 20, 10));
+  EXPECT_GE(result.sample_seconds, 0.0);
+  EXPECT_GT(result.sketch_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace arams::core

@@ -1,0 +1,155 @@
+// Beam-profile generator: the ground-truth factors must be realized in the
+// generated frames (CoM offset, ellipticity, lobes, exotic ring).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/beam_profile.hpp"
+#include "image/preprocess.hpp"
+#include "rng/rng.hpp"
+
+namespace arams::data {
+namespace {
+
+BeamProfileConfig quiet_config() {
+  BeamProfileConfig config;
+  config.noise = 0.0;
+  config.exotic_prob = 0.0;
+  config.multi_lobe_prob = 0.0;
+  config.intensity_jitter = 0.0;
+  return config;
+}
+
+TEST(BeamProfile, FrameShapeMatchesConfig) {
+  BeamProfileConfig config = quiet_config();
+  config.height = 48;
+  config.width = 32;
+  Rng rng(1);
+  const BeamProfileSample s = generate_beam_profile(config, rng);
+  EXPECT_EQ(s.frame.height(), 48u);
+  EXPECT_EQ(s.frame.width(), 32u);
+  EXPECT_GT(s.frame.total_intensity(), 0.0);
+}
+
+TEST(BeamProfile, Deterministic) {
+  const BeamProfileConfig config = quiet_config();
+  Rng r1(7), r2(7);
+  const auto a = generate_beam_profile(config, r1);
+  const auto b = generate_beam_profile(config, r2);
+  EXPECT_EQ(a.truth.com_x, b.truth.com_x);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.frame.pixel_count(); ++i) {
+    diff = std::max(diff,
+                    std::abs(a.frame.pixels()[i] - b.frame.pixels()[i]));
+  }
+  EXPECT_EQ(diff, 0.0);
+}
+
+TEST(BeamProfile, CenterOfMassMatchesTruth) {
+  BeamProfileConfig config = quiet_config();
+  config.com_jitter = 0.12;
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const BeamProfileSample s = generate_beam_profile(config, rng);
+    const image::CenterOfMass com = image::center_of_mass(s.frame);
+    const double expected_x =
+        (static_cast<double>(config.width) - 1.0) / 2.0 +
+        s.truth.com_x * static_cast<double>(config.width);
+    const double expected_y =
+        (static_cast<double>(config.height) - 1.0) / 2.0 +
+        s.truth.com_y * static_cast<double>(config.height);
+    EXPECT_NEAR(com.x, expected_x, 1.5);
+    EXPECT_NEAR(com.y, expected_y, 1.5);
+  }
+}
+
+TEST(BeamProfile, EllipticityElongatesSecondMoment) {
+  BeamProfileConfig config = quiet_config();
+  config.com_jitter = 0.0;
+  config.max_ellipticity = 3.0;
+  Rng rng(5);
+  // Compare the eigenvalue ratio of the intensity covariance with truth.
+  for (int trial = 0; trial < 10; ++trial) {
+    const BeamProfileSample s = generate_beam_profile(config, rng);
+    const auto& img = s.frame;
+    const image::CenterOfMass com = image::center_of_mass(img);
+    double sxx = 0.0, syy = 0.0, sxy = 0.0;
+    for (std::size_t y = 0; y < img.height(); ++y) {
+      for (std::size_t x = 0; x < img.width(); ++x) {
+        const double v = img.at(y, x);
+        const double dy = static_cast<double>(y) - com.y;
+        const double dx = static_cast<double>(x) - com.x;
+        sxx += v * dx * dx;
+        syy += v * dy * dy;
+        sxy += v * dx * dy;
+      }
+    }
+    const double tr = sxx + syy;
+    const double det = sxx * syy - sxy * sxy;
+    const double disc = std::sqrt(std::max(tr * tr / 4.0 - det, 0.0));
+    const double ratio = (tr / 2.0 + disc) / std::max(tr / 2.0 - disc, 1e-12);
+    // Second-moment ratio equals ellipticity² for an ideal Gaussian.
+    EXPECT_NEAR(std::sqrt(ratio), s.truth.ellipticity,
+                0.25 * s.truth.ellipticity);
+  }
+}
+
+TEST(BeamProfile, MultiLobeSpreadsMass) {
+  BeamProfileConfig config = quiet_config();
+  config.multi_lobe_prob = 1.0;
+  config.com_jitter = 0.0;
+  Rng rng(9);
+  const BeamProfileSample multi = generate_beam_profile(config, rng);
+  EXPECT_GE(multi.truth.lobes, 2);
+
+  config.multi_lobe_prob = 0.0;
+  Rng rng2(9);
+  const BeamProfileSample single = generate_beam_profile(config, rng2);
+  EXPECT_EQ(single.truth.lobes, 1);
+}
+
+TEST(BeamProfile, ExoticDonutHasCentralHole) {
+  BeamProfileConfig config = quiet_config();
+  config.exotic_prob = 1.0;
+  config.com_jitter = 0.0;
+  Rng rng(11);
+  const BeamProfileSample s = generate_beam_profile(config, rng);
+  EXPECT_TRUE(s.truth.exotic);
+  // Center pixel dimmer than the ring peak.
+  const std::size_t cy = config.height / 2;
+  const std::size_t cx = config.width / 2;
+  EXPECT_LT(s.frame.at(cy, cx), 0.25 * s.frame.max_intensity());
+}
+
+TEST(BeamProfile, NoiseIsNonNegative) {
+  BeamProfileConfig config = quiet_config();
+  config.noise = 0.05;
+  Rng rng(13);
+  const BeamProfileSample s = generate_beam_profile(config, rng);
+  for (const double p : s.frame.pixels()) {
+    EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(BeamProfile, BatchGeneratesRequestedCount) {
+  const BeamProfileConfig config = quiet_config();
+  Rng rng(15);
+  const auto batch = generate_beam_profiles(config, 25, rng);
+  EXPECT_EQ(batch.size(), 25u);
+}
+
+TEST(BeamProfile, ExoticFractionRoughlyRespected) {
+  BeamProfileConfig config = quiet_config();
+  config.exotic_prob = 0.2;
+  Rng rng(17);
+  const auto batch = generate_beam_profiles(config, 500, rng);
+  int exotic = 0;
+  for (const auto& s : batch) {
+    if (s.truth.exotic) ++exotic;
+  }
+  EXPECT_NEAR(static_cast<double>(exotic) / 500.0, 0.2, 0.06);
+}
+
+}  // namespace
+}  // namespace arams::data

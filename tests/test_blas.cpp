@@ -1,0 +1,160 @@
+// Unit and property tests for the BLAS-like kernels. Property tests check
+// algebraic identities on random matrices across a size sweep (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    rng.fill_normal(m.row(i));
+  }
+  return m;
+}
+
+TEST(Blas, DotBasics) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(Blas, AxpyAccumulates) {
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  axpy(0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.5);
+  EXPECT_DOUBLE_EQ(y[1], 21.0);
+}
+
+TEST(Blas, ScaleInPlace) {
+  std::vector<double> x{2.0, -4.0};
+  scale(x, 0.5);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+TEST(Blas, NormsAgree) {
+  const std::vector<double> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm2_squared(x), 25.0);
+}
+
+TEST(Blas, MatmulKnownValues) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Blas, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 3)), CheckError);
+}
+
+TEST(Blas, GemvMatchesMatmul) {
+  Rng rng(1);
+  const Matrix a = random_matrix(6, 4, rng);
+  Matrix x(4, 1);
+  rng.fill_normal(x.row(0));  // column vector as 4x1 via transpose trick
+  std::vector<double> xv(4);
+  for (std::size_t i = 0; i < 4; ++i) xv[i] = x(i, 0);
+  std::vector<double> y(6);
+  gemv(a, xv, y);
+  const Matrix ax = matmul(a, x);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(y[i], ax(i, 0), 1e-12);
+  }
+}
+
+TEST(Blas, GemvTransposedMatchesExplicitTranspose) {
+  Rng rng(2);
+  const Matrix a = random_matrix(5, 3, rng);
+  std::vector<double> x(5);
+  rng.fill_normal(x);
+  std::vector<double> y(3);
+  gemv_t(a, x, y);
+  std::vector<double> expected(3);
+  gemv(a.transposed(), x, expected);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(y[i], expected[i], 1e-12);
+  }
+}
+
+TEST(Blas, FrobeniusNorm) {
+  const Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm_squared(a), 25.0);
+}
+
+/// Property sweep across shapes: transpose-product identities.
+class BlasShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlasShapes, MatmulTnMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + k * 101 + n));
+  const Matrix a = random_matrix(k, m, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  const Matrix fast = matmul_tn(a, b);
+  const Matrix ref = matmul(a.transposed(), b);
+  EXPECT_LT(Matrix::max_abs_diff(fast, ref), 1e-10);
+}
+
+TEST_P(BlasShapes, MatmulNtMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 7 + k * 11 + n * 13));
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  const Matrix fast = matmul_nt(a, b);
+  const Matrix ref = matmul(a, b.transposed());
+  EXPECT_LT(Matrix::max_abs_diff(fast, ref), 1e-10);
+}
+
+TEST_P(BlasShapes, GramRowsMatchesProduct) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m + k + n));
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix g = gram_rows(a);
+  const Matrix ref = matmul_nt(a, a);
+  EXPECT_LT(Matrix::max_abs_diff(g, ref), 1e-10);
+  // Symmetry.
+  EXPECT_LT(Matrix::max_abs_diff(g, g.transposed()), 1e-12);
+}
+
+TEST_P(BlasShapes, GramColsMatchesProduct) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 3 + k * 5 + n * 7));
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix g = gram_cols(a);
+  const Matrix ref = matmul_tn(a, a);
+  EXPECT_LT(Matrix::max_abs_diff(g, ref), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlasShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                      std::tuple{5, 5, 5}, std::tuple{7, 2, 9},
+                      std::tuple{16, 33, 8}, std::tuple{40, 17, 25}));
+
+TEST(Blas, MatmulAssociativityProperty) {
+  Rng rng(77);
+  const Matrix a = random_matrix(4, 5, rng);
+  const Matrix b = random_matrix(5, 6, rng);
+  const Matrix c = random_matrix(6, 3, rng);
+  const Matrix left = matmul(matmul(a, b), c);
+  const Matrix right = matmul(a, matmul(b, c));
+  EXPECT_LT(Matrix::max_abs_diff(left, right), 1e-10);
+}
+
+}  // namespace
+}  // namespace arams::linalg

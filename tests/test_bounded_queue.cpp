@@ -1,0 +1,136 @@
+// Bounded blocking queue: FIFO order, back-pressure, close semantics,
+// threaded producer/consumer integrity.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "stream/bounded_queue.hpp"
+#include "util/check.hpp"
+
+namespace arams::stream {
+namespace {
+
+TEST(BoundedQueue, ValidatesCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), CheckError);
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.push(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(4);
+  q.push(7);
+  q.push(8);
+  q.close();
+  EXPECT_FALSE(q.push(9));  // rejected after close
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_EQ(q.pop().value(), 8);
+  EXPECT_FALSE(q.pop().has_value());  // drained
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush) {
+  BoundedQueue<int> q(1);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] {
+    const auto v = q.pop();
+    got.store(v.value_or(-2));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), -1);  // still blocked
+  q.push(42);
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(BoundedQueue, PushBlocksUntilPop) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    q.push(2);  // blocks: queue full
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, ProducerConsumerIntegrity) {
+  // One producer, two consumers: every item delivered exactly once.
+  constexpr int kItems = 2000;
+  BoundedQueue<int> q(16);
+  std::vector<char> seen(kItems, 0);
+  std::mutex seen_mutex;
+
+  const auto consume = [&] {
+    while (auto v = q.pop()) {
+      const std::lock_guard<std::mutex> lock(seen_mutex);
+      ASSERT_EQ(seen[static_cast<std::size_t>(*v)], 0);
+      seen[static_cast<std::size_t>(*v)] = 1;
+    }
+  };
+  std::thread c1(consume), c2(consume);
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(q.push(i));
+  }
+  q.close();
+  c1.join();
+  c2.join();
+  const long total = std::accumulate(seen.begin(), seen.end(), 0L);
+  EXPECT_EQ(total, kItems);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(4);
+  std::atomic<int> finished{0};
+  std::thread c1([&] {
+    while (q.pop().has_value()) {
+    }
+    ++finished;
+  });
+  std::thread c2([&] {
+    while (q.pop().has_value()) {
+    }
+    ++finished;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  c1.join();
+  c2.join();
+  EXPECT_EQ(finished.load(), 2);
+}
+
+TEST(BoundedQueue, MoveOnlyPayloadsSupported) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  q.push(std::make_unique<int>(5));
+  const auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace arams::stream

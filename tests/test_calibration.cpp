@@ -1,0 +1,151 @@
+// Detector calibration: pedestal subtraction, common-mode correction,
+// dead/hot pixel masking from running statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/calibration.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::image {
+namespace {
+
+TEST(Pedestal, SubtractsAndClampsAtZero) {
+  ImageF frame(2, 2);
+  frame.at(0, 0) = 10.0;
+  frame.at(0, 1) = 1.0;
+  ImageF dark(2, 2);
+  dark.at(0, 0) = 3.0;
+  dark.at(0, 1) = 5.0;  // pedestal above signal
+  subtract_pedestal(frame, dark);
+  EXPECT_DOUBLE_EQ(frame.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(frame.at(0, 1), 0.0);
+}
+
+TEST(Pedestal, ShapeMismatchThrows) {
+  ImageF frame(2, 2);
+  const ImageF dark(3, 3);
+  EXPECT_THROW(subtract_pedestal(frame, dark), CheckError);
+}
+
+TEST(CommonMode, RemovesPerRowOffset) {
+  // Row 0 carries a +5 common-mode offset; row 1 is clean.
+  ImageF frame(2, 5);
+  for (std::size_t x = 0; x < 5; ++x) {
+    frame.at(0, x) = 5.0;
+    frame.at(1, x) = 0.0;
+  }
+  frame.at(0, 2) += 100.0;  // a genuine photon on top
+  common_mode_subtract(frame);
+  EXPECT_DOUBLE_EQ(frame.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(frame.at(0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(frame.at(1, 1), 0.0);
+}
+
+TEST(CommonMode, SignalCutKeepsBrightPixelsOutOfTheMedian) {
+  // A row that is mostly signal: without the cut the median would eat it.
+  ImageF frame(1, 7);
+  for (std::size_t x = 0; x < 4; ++x) frame.at(0, x) = 50.0;  // signal
+  for (std::size_t x = 4; x < 7; ++x) frame.at(0, x) = 2.0;   // baseline
+  common_mode_subtract(frame, nullptr, /*signal_cut=*/10.0);
+  EXPECT_DOUBLE_EQ(frame.at(0, 0), 48.0);
+  EXPECT_DOUBLE_EQ(frame.at(0, 5), 0.0);
+}
+
+TEST(CommonMode, MaskedPixelsExcludedFromEstimate) {
+  ImageF frame(1, 5);
+  frame.at(0, 0) = 1000.0;  // bad pixel, would skew the median
+  for (std::size_t x = 1; x < 5; ++x) frame.at(0, x) = 4.0;
+  PixelMask mask;
+  mask.height = 1;
+  mask.width = 5;
+  mask.good.assign(5, true);
+  mask.good[0] = false;
+  common_mode_subtract(frame, &mask);
+  EXPECT_DOUBLE_EQ(frame.at(0, 1), 0.0);
+}
+
+TEST(MaskFromStats, FindsDeadAndHotPixels) {
+  RunningFrameStats stats;
+  Rng rng(1);
+  for (int i = 0; i < 60; ++i) {
+    ImageF frame(8, 8);
+    for (auto& p : frame.pixels()) {
+      p = 10.0 + rng.normal();
+    }
+    frame.at(3, 3) = 0.0;     // dead: never changes
+    frame.at(5, 5) = 5000.0;  // hot: always saturated
+    stats.update(frame);
+  }
+  const PixelMask mask = mask_from_stats(stats);
+  EXPECT_FALSE(mask.at(3, 3));
+  EXPECT_FALSE(mask.at(5, 5));
+  EXPECT_TRUE(mask.at(0, 0));
+  EXPECT_EQ(mask.bad_count(), 2u);
+}
+
+TEST(MaskFromStats, NeedsTwoFrames) {
+  RunningFrameStats stats;
+  stats.update(ImageF(4, 4));
+  EXPECT_THROW(mask_from_stats(stats), CheckError);
+}
+
+TEST(ApplyMask, ZeroesBadPixels) {
+  ImageF frame(2, 2);
+  frame.at(0, 0) = 7.0;
+  frame.at(1, 1) = 9.0;
+  PixelMask mask;
+  mask.height = 2;
+  mask.width = 2;
+  mask.good = {false, true, true, true};
+  apply_mask(frame, mask);
+  EXPECT_DOUBLE_EQ(frame.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(frame.at(1, 1), 9.0);
+}
+
+TEST(Calibration, FullChainOnNoisyRun) {
+  // Pedestal + common mode + mask, end to end: the calibrated frame's
+  // background is near zero while the planted photon peak survives.
+  Rng rng(2);
+  ImageF pedestal(16, 16);
+  for (auto& p : pedestal.pixels()) p = 20.0 + rng.normal();
+
+  RunningFrameStats stats;
+  for (int i = 0; i < 50; ++i) {
+    ImageF dark(16, 16);
+    for (std::size_t j = 0; j < dark.pixel_count(); ++j) {
+      dark.pixels()[j] = pedestal.pixels()[j] + 0.5 * rng.normal();
+    }
+    dark.at(7, 7) = 0.0;  // dead pixel
+    stats.update(dark);
+  }
+  const PixelMask mask = mask_from_stats(stats);
+  EXPECT_FALSE(mask.at(7, 7));
+
+  ImageF frame(16, 16);
+  for (std::size_t j = 0; j < frame.pixel_count(); ++j) {
+    frame.pixels()[j] = pedestal.pixels()[j] + 3.0 + 0.5 * rng.normal();
+  }
+  frame.at(4, 9) += 200.0;  // the photon
+
+  subtract_pedestal(frame, stats.mean());
+  common_mode_subtract(frame, &mask, /*signal_cut=*/50.0);
+  apply_mask(frame, mask);
+
+  EXPECT_GT(frame.at(4, 9), 150.0);
+  double background = 0.0;
+  std::size_t count = 0;
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      if ((y == 4 && x == 9) || (y == 7 && x == 7)) continue;
+      background += frame.at(y, x);
+      ++count;
+    }
+  }
+  EXPECT_LT(background / static_cast<double>(count), 1.5);
+}
+
+}  // namespace
+}  // namespace arams::image

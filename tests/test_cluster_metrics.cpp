@@ -1,0 +1,115 @@
+// Cluster quality metrics: ARI, purity, silhouette.
+
+#include <gtest/gtest.h>
+
+#include "cluster/metrics.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::cluster {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Ari, IdenticalLabelingsGiveOne) {
+  const std::vector<int> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(Ari, PermutedLabelsStillOne) {
+  const std::vector<int> a{0, 0, 1, 1, 2, 2};
+  const std::vector<int> b{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(Ari, IndependentLabelingsNearZero) {
+  Rng rng(1);
+  std::vector<int> a(2000), b(2000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int>(rng.uniform_index(4));
+    b[i] = static_cast<int>(rng.uniform_index(4));
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.03);
+}
+
+TEST(Ari, PartialAgreementBetweenZeroAndOne) {
+  const std::vector<int> a{0, 0, 0, 1, 1, 1};
+  const std::vector<int> b{0, 0, 1, 1, 1, 1};
+  const double ari = adjusted_rand_index(a, b);
+  EXPECT_GT(ari, 0.0);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(Ari, LengthMismatchThrows) {
+  EXPECT_THROW(adjusted_rand_index({0, 1}, {0}), CheckError);
+}
+
+TEST(Purity, PerfectClusters) {
+  const std::vector<int> pred{0, 0, 1, 1};
+  const std::vector<int> truth{5, 5, 7, 7};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 1.0);
+}
+
+TEST(Purity, NoiseCountsAgainst) {
+  const std::vector<int> pred{0, 0, -1, -1};
+  const std::vector<int> truth{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 0.5);
+}
+
+TEST(Purity, MixedClusterTakesMajority) {
+  const std::vector<int> pred{0, 0, 0, 0};
+  const std::vector<int> truth{1, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 0.75);
+}
+
+TEST(Purity, EmptyThrows) {
+  EXPECT_THROW(purity({}, {}), CheckError);
+}
+
+TEST(Silhouette, WellSeparatedNearOne) {
+  Matrix pts(20, 2);
+  std::vector<int> labels(20);
+  Rng rng(2);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const bool second = i >= 10;
+    pts(i, 0) = (second ? 100.0 : 0.0) + 0.1 * rng.normal();
+    pts(i, 1) = 0.1 * rng.normal();
+    labels[i] = second ? 1 : 0;
+  }
+  EXPECT_GT(silhouette(pts, labels), 0.95);
+}
+
+TEST(Silhouette, OverlappingClustersLow) {
+  Matrix pts(40, 2);
+  std::vector<int> labels(40);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 40; ++i) {
+    pts(i, 0) = rng.normal();
+    pts(i, 1) = rng.normal();
+    labels[i] = static_cast<int>(i % 2);  // arbitrary split of one blob
+  }
+  EXPECT_LT(silhouette(pts, labels), 0.2);
+}
+
+TEST(Silhouette, SingleClusterReturnsZero) {
+  Matrix pts(5, 2);
+  const std::vector<int> labels{0, 0, 0, 0, 0};
+  EXPECT_EQ(silhouette(pts, labels), 0.0);
+}
+
+TEST(Silhouette, NoiseExcluded) {
+  Matrix pts(6, 1);
+  for (std::size_t i = 0; i < 6; ++i) {
+    pts(i, 0) = (i < 3) ? static_cast<double>(i) * 0.01
+                        : 50.0 + static_cast<double>(i) * 0.01;
+  }
+  const std::vector<int> labels{0, 0, 0, 1, 1, -1};
+  EXPECT_GT(silhouette(pts, labels), 0.9);
+}
+
+TEST(Silhouette, LabelLengthMismatchThrows) {
+  EXPECT_THROW(silhouette(Matrix(3, 1), {0, 1}), CheckError);
+}
+
+}  // namespace
+}  // namespace arams::cluster

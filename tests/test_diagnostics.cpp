@@ -1,0 +1,217 @@
+// Beam diagnostics: Welford frame stats, CUSUM drift detection, per-shot
+// scalars, and the aggregated BeamDiagnostics monitor.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/beam_profile.hpp"
+#include "stream/diagnostics.hpp"
+#include "stream/source.hpp"
+#include "util/check.hpp"
+
+namespace arams::stream {
+namespace {
+
+image::ImageF constant_frame(double value, std::size_t size = 8) {
+  image::ImageF img(size, size);
+  for (auto& p : img.pixels()) p = value;
+  return img;
+}
+
+TEST(RunningFrameStats, MeanOfConstantFrames) {
+  RunningFrameStats stats;
+  for (int i = 0; i < 5; ++i) {
+    stats.update(constant_frame(3.0));
+  }
+  EXPECT_EQ(stats.count(), 5u);
+  const image::ImageF mean = stats.mean();
+  EXPECT_NEAR(mean.at(2, 2), 3.0, 1e-12);
+  EXPECT_NEAR(stats.variance().at(2, 2), 0.0, 1e-12);
+}
+
+TEST(RunningFrameStats, VarianceMatchesTwoPointSample) {
+  RunningFrameStats stats;
+  stats.update(constant_frame(1.0));
+  stats.update(constant_frame(3.0));
+  // Sample variance of {1, 3} is 2.
+  EXPECT_NEAR(stats.variance().at(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(stats.mean().at(0, 0), 2.0, 1e-12);
+}
+
+TEST(RunningFrameStats, RejectsShapeChange) {
+  RunningFrameStats stats;
+  stats.update(constant_frame(1.0, 8));
+  EXPECT_THROW(stats.update(constant_frame(1.0, 9)), CheckError);
+}
+
+TEST(RunningFrameStats, ThrowsBeforeFirstFrame) {
+  const RunningFrameStats stats;
+  EXPECT_THROW(stats.mean(), CheckError);
+}
+
+TEST(Cusum, NoAlarmOnStationarySignal) {
+  CusumDetector detector(50, 0.5, 8.0);
+  Rng rng(1);
+  int alarms = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (detector.update(10.0 + rng.normal())) ++alarms;
+  }
+  EXPECT_EQ(alarms, 0);
+  EXPECT_NEAR(detector.reference_mean(), 10.0, 0.5);
+  EXPECT_NEAR(detector.reference_sigma(), 1.0, 0.3);
+}
+
+TEST(Cusum, DetectsMeanShiftQuickly) {
+  CusumDetector detector(50, 0.5, 8.0);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    detector.update(rng.normal());
+  }
+  int first_alarm = -1;
+  for (int i = 0; i < 200; ++i) {
+    if (detector.update(2.0 + rng.normal())) {  // 2σ shift
+      first_alarm = i;
+      break;
+    }
+  }
+  ASSERT_GE(first_alarm, 0);
+  EXPECT_LT(first_alarm, 30);  // within ~threshold/(shift−slack) samples
+}
+
+TEST(Cusum, DetectsDownwardShiftToo) {
+  CusumDetector detector(50, 0.5, 8.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) detector.update(5.0 + 0.5 * rng.normal());
+  bool fired = false;
+  for (int i = 0; i < 100 && !fired; ++i) {
+    fired = detector.update(3.0 + 0.5 * rng.normal());
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(detector.alarm_count(), 1);
+}
+
+TEST(Cusum, ResetsAfterAlarm) {
+  CusumDetector detector(10, 0.5, 4.0);
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) detector.update(rng.normal());
+  // Force an alarm.
+  while (!detector.update(10.0)) {
+  }
+  EXPECT_EQ(detector.positive_sum(), 0.0);
+  EXPECT_EQ(detector.negative_sum(), 0.0);
+}
+
+TEST(Cusum, ValidatesParameters) {
+  EXPECT_THROW(CusumDetector(1, 0.5, 8.0), CheckError);
+  EXPECT_THROW(CusumDetector(10, -0.1, 8.0), CheckError);
+  EXPECT_THROW(CusumDetector(10, 0.5, 0.0), CheckError);
+}
+
+TEST(AnalyzeShot, PointMassDiagnostics) {
+  image::ImageF img(9, 9);
+  img.at(4, 6) = 2.0;
+  const ShotDiagnostics d = analyze_shot(img);
+  EXPECT_DOUBLE_EQ(d.total_intensity, 2.0);
+  EXPECT_DOUBLE_EQ(d.com_x, 6.0);
+  EXPECT_DOUBLE_EQ(d.com_y, 4.0);
+  EXPECT_DOUBLE_EQ(d.second_moment, 0.0);
+}
+
+TEST(AnalyzeShot, WiderBeamHasLargerSecondMoment) {
+  data::BeamProfileConfig narrow;
+  narrow.base_sigma_frac = 0.05;
+  narrow.noise = 0.0;
+  narrow.com_jitter = 0.0;
+  narrow.multi_lobe_prob = 0.0;
+  narrow.exotic_prob = 0.0;
+  narrow.max_ellipticity = 1.0;
+  data::BeamProfileConfig wide = narrow;
+  wide.base_sigma_frac = 0.12;
+  Rng r1(5), r2(5);
+  const auto a = data::generate_beam_profile(narrow, r1);
+  const auto b = data::generate_beam_profile(wide, r2);
+  EXPECT_LT(analyze_shot(a.frame).second_moment,
+            analyze_shot(b.frame).second_moment);
+}
+
+TEST(BeamDiagnostics, QuietBeamRaisesNoAlarms) {
+  data::BeamProfileConfig beam;
+  beam.height = 24;
+  beam.width = 24;
+  beam.com_jitter = 0.02;
+  beam.exotic_prob = 0.0;
+  beam.multi_lobe_prob = 0.0;
+  BeamProfileSource source(beam, 400, 120.0, 6);
+  BeamDiagnostics diag(100);
+  while (auto event = source.next()) {
+    diag.update(*event);
+  }
+  EXPECT_EQ(diag.shots_seen(), 400u);
+  EXPECT_EQ(diag.total_alarms(), 0);
+  EXPECT_EQ(diag.frame_stats().count(), 400u);
+}
+
+TEST(BeamDiagnostics, PointingDriftRaisesPointingAlarm) {
+  data::BeamProfileConfig beam;
+  beam.height = 24;
+  beam.width = 24;
+  beam.com_jitter = 0.01;
+  beam.exotic_prob = 0.0;
+  beam.multi_lobe_prob = 0.0;
+  BeamDiagnostics diag(100);
+
+  // Nominal phase.
+  BeamProfileSource nominal(beam, 200, 120.0, 7);
+  while (auto event = nominal.next()) {
+    diag.update(*event);
+  }
+  EXPECT_EQ(diag.total_alarms(), 0);
+
+  // Drifted phase: shift every frame right by offsetting the generator's
+  // CoM jitter center (simulate by rolling pixels).
+  BeamProfileSource drifted(beam, 120, 120.0, 8);
+  bool pointing_alarm = false;
+  while (auto event = drifted.next()) {
+    image::ImageF shifted(event->frame.height(), event->frame.width());
+    for (std::size_t y = 0; y < shifted.height(); ++y) {
+      for (std::size_t x = 4; x < shifted.width(); ++x) {
+        shifted.at(y, x) = event->frame.at(y, x - 4);
+      }
+    }
+    event->frame = std::move(shifted);
+    for (const auto& alarm : diag.update(*event)) {
+      if (alarm.find("pointing") != std::string::npos) {
+        pointing_alarm = true;
+      }
+    }
+  }
+  EXPECT_TRUE(pointing_alarm);
+}
+
+TEST(BeamDiagnostics, IntensityDropRaisesIntensityAlarm) {
+  data::BeamProfileConfig beam;
+  beam.height = 24;
+  beam.width = 24;
+  beam.intensity_jitter = 0.05;
+  beam.exotic_prob = 0.0;
+  BeamDiagnostics diag(100);
+  BeamProfileSource nominal(beam, 200, 120.0, 9);
+  while (auto event = nominal.next()) {
+    diag.update(*event);
+  }
+  BeamProfileSource weak(beam, 120, 120.0, 10);
+  bool intensity_alarm = false;
+  while (auto event = weak.next()) {
+    for (auto& p : event->frame.pixels()) p *= 0.5;  // pulse energy drop
+    for (const auto& alarm : diag.update(*event)) {
+      if (alarm.find("intensity") != std::string::npos) {
+        intensity_alarm = true;
+      }
+    }
+  }
+  EXPECT_TRUE(intensity_alarm);
+}
+
+}  // namespace
+}  // namespace arams::stream

@@ -1,0 +1,172 @@
+// Diffraction generator: quadrant weights must be realized on the ring,
+// classes must be separable, beam stop must mask the center.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "data/diffraction.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::data {
+namespace {
+
+DiffractionConfig quiet_config() {
+  DiffractionConfig config;
+  config.photons_per_frame = 0.0;  // noise-free expected pattern
+  config.weight_jitter = 0.0;
+  config.radius_jitter = 0.0;
+  return config;
+}
+
+/// Integrates ring intensity per angular quadrant.
+std::array<double, 4> quadrant_mass(const image::ImageF& img) {
+  std::array<double, 4> mass{};
+  const double cy = (static_cast<double>(img.height()) - 1.0) / 2.0;
+  const double cx = (static_cast<double>(img.width()) - 1.0) / 2.0;
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      const double v = img.at(y, x);
+      if (v <= 0.0) continue;
+      double theta = std::atan2(static_cast<double>(y) - cy,
+                                static_cast<double>(x) - cx);
+      if (theta < 0.0) theta += 2.0 * std::numbers::pi;
+      const auto q = std::min<std::size_t>(
+          3, static_cast<std::size_t>(theta / (std::numbers::pi / 2.0)));
+      mass[q] += v;
+    }
+  }
+  return mass;
+}
+
+TEST(Diffraction, AtLeastOneClassRequired) {
+  DiffractionConfig config;
+  config.num_classes = 0;
+  EXPECT_THROW(DiffractionGenerator{config}, CheckError);
+}
+
+TEST(Diffraction, PatternsFixedByClassSeed) {
+  const DiffractionConfig config = quiet_config();
+  const DiffractionGenerator g1(config), g2(config);
+  ASSERT_EQ(g1.class_patterns().size(), g2.class_patterns().size());
+  for (std::size_t k = 0; k < g1.class_patterns().size(); ++k) {
+    for (std::size_t q = 0; q < 4; ++q) {
+      EXPECT_EQ(g1.class_patterns()[k][q], g2.class_patterns()[k][q]);
+    }
+  }
+}
+
+TEST(Diffraction, LabelWithinRange) {
+  const DiffractionConfig config = quiet_config();
+  const DiffractionGenerator gen(config);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const DiffractionSample s = gen.generate(rng);
+    EXPECT_GE(s.truth.class_label, 0);
+    EXPECT_LT(s.truth.class_label,
+              static_cast<int>(config.num_classes));
+  }
+}
+
+TEST(Diffraction, BeamStopMasksCenter) {
+  const DiffractionConfig config = quiet_config();
+  const DiffractionGenerator gen(config);
+  Rng rng(2);
+  const DiffractionSample s = gen.generate(rng);
+  const std::size_t cy = config.height / 2;
+  const std::size_t cx = config.width / 2;
+  EXPECT_EQ(s.frame.at(cy, cx), 0.0);
+}
+
+TEST(Diffraction, RingAtRequestedRadius) {
+  const DiffractionConfig config = quiet_config();
+  const DiffractionGenerator gen(config);
+  Rng rng(3);
+  const DiffractionSample s = gen.generate(rng);
+  // Intensity-weighted mean radius ≈ configured ring radius.
+  const double cy = (static_cast<double>(config.height) - 1.0) / 2.0;
+  const double cx = (static_cast<double>(config.width) - 1.0) / 2.0;
+  double wr = 0.0, w = 0.0;
+  for (std::size_t y = 0; y < config.height; ++y) {
+    for (std::size_t x = 0; x < config.width; ++x) {
+      const double v = s.frame.at(y, x);
+      if (v <= 0.0) continue;
+      const double dy = static_cast<double>(y) - cy;
+      const double dx = static_cast<double>(x) - cx;
+      wr += v * std::sqrt(dy * dy + dx * dx);
+      w += v;
+    }
+  }
+  const double expected = config.ring_radius_frac *
+                          static_cast<double>(config.width);
+  EXPECT_NEAR(wr / w, expected, 0.1 * expected);
+}
+
+TEST(Diffraction, QuadrantMassTracksWeights) {
+  const DiffractionConfig config = quiet_config();
+  const DiffractionGenerator gen(config);
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const DiffractionSample s = gen.generate(rng);
+    const auto mass = quadrant_mass(s.frame);
+    // The heaviest truth quadrant must carry the most ring mass.
+    std::size_t truth_max = 0, mass_max = 0;
+    for (std::size_t q = 1; q < 4; ++q) {
+      if (s.truth.quadrant_weights[q] >
+          s.truth.quadrant_weights[truth_max]) {
+        truth_max = q;
+      }
+      if (mass[q] > mass[mass_max]) mass_max = q;
+    }
+    EXPECT_EQ(mass_max, truth_max);
+  }
+}
+
+TEST(Diffraction, PoissonNoiseQuantizesCounts) {
+  DiffractionConfig config = quiet_config();
+  config.photons_per_frame = 5000.0;
+  const DiffractionGenerator gen(config);
+  Rng rng(5);
+  const DiffractionSample s = gen.generate(rng);
+  for (const double p : s.frame.pixels()) {
+    EXPECT_EQ(p, std::floor(p));  // integer photon counts
+    EXPECT_GE(p, 0.0);
+  }
+  EXPECT_NEAR(s.frame.total_intensity(), 5000.0, 500.0);
+}
+
+TEST(Diffraction, BatchCountAndClassCoverage) {
+  const DiffractionConfig config = quiet_config();
+  const DiffractionGenerator gen(config);
+  Rng rng(6);
+  const auto batch = gen.generate_batch(200, rng);
+  EXPECT_EQ(batch.size(), 200u);
+  std::array<int, 4> seen{};
+  for (const auto& s : batch) {
+    ++seen[static_cast<std::size_t>(s.truth.class_label)];
+  }
+  for (const int c : seen) {
+    EXPECT_GT(c, 20);  // uniform class draw covers all four classes
+  }
+}
+
+TEST(Diffraction, ClassPatternsAreDistinct) {
+  const DiffractionConfig config = quiet_config();
+  const DiffractionGenerator gen(config);
+  const auto& patterns = gen.class_patterns();
+  for (std::size_t a = 0; a < patterns.size(); ++a) {
+    for (std::size_t b = a + 1; b < patterns.size(); ++b) {
+      double diff = 0.0;
+      for (std::size_t q = 0; q < 4; ++q) {
+        diff += std::abs(patterns[a][q] - patterns[b][q]);
+      }
+      EXPECT_GT(diff, 0.3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arams::data

@@ -1,0 +1,125 @@
+// Tests for the Jacobi symmetric eigensolver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/qr.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+TEST(EigenSym, DiagonalMatrix) {
+  const Matrix a{{3.0, 0.0}, {0.0, 1.0}};
+  const SymmetricEig eig = jacobi_eigen_symmetric(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(EigenSym, Known2x2) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const SymmetricEig eig = jacobi_eigen_symmetric(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(EigenSym, NonSquareThrows) {
+  EXPECT_THROW(jacobi_eigen_symmetric(Matrix(2, 3)), CheckError);
+}
+
+TEST(EigenSym, EmptyThrows) {
+  EXPECT_THROW(jacobi_eigen_symmetric(Matrix()), CheckError);
+}
+
+class EigenSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenSizes, ReconstructsMatrix) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(n) * 31);
+  const Matrix a = random_symmetric(n, rng);
+  const SymmetricEig eig = jacobi_eigen_symmetric(a);
+
+  // A = V diag(λ) Vᵀ.
+  Matrix vl = eig.vectors;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      vl(i, j) *= eig.values[j];
+    }
+  }
+  const Matrix back = matmul_nt(vl, eig.vectors);
+  EXPECT_LT(Matrix::max_abs_diff(back, a), 1e-8 * std::max(1.0, frobenius_norm(a)));
+}
+
+TEST_P(EigenSizes, EigenvectorsOrthonormal) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(n) * 37);
+  const Matrix a = random_symmetric(n, rng);
+  const SymmetricEig eig = jacobi_eigen_symmetric(a);
+  EXPECT_LT(orthonormality_defect(eig.vectors), 1e-9);
+}
+
+TEST_P(EigenSizes, ValuesSortedDescending) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(n) * 41);
+  const Matrix a = random_symmetric(n, rng);
+  const SymmetricEig eig = jacobi_eigen_symmetric(a);
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_GE(eig.values[i - 1], eig.values[i]);
+  }
+}
+
+TEST_P(EigenSizes, TraceAndFrobeniusPreserved) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(n) * 43);
+  const Matrix a = random_symmetric(n, rng);
+  const SymmetricEig eig = jacobi_eigen_symmetric(a);
+  double trace = 0.0, eigsum = 0.0, fro2 = 0.0, lam2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    eigsum += eig.values[i];
+    lam2 += eig.values[i] * eig.values[i];
+  }
+  fro2 = frobenius_norm_squared(a);
+  EXPECT_NEAR(trace, eigsum, 1e-8 * std::max(1.0, std::abs(trace)));
+  EXPECT_NEAR(fro2, lam2, 1e-8 * std::max(1.0, fro2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSizes,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(EigenSym, PsdGramHasNonNegativeEigenvalues) {
+  Rng rng(55);
+  Matrix b(4, 10);
+  for (std::size_t i = 0; i < 4; ++i) rng.fill_normal(b.row(i));
+  const Matrix g = gram_rows(b);
+  const SymmetricEig eig = jacobi_eigen_symmetric(g);
+  for (const double v : eig.values) {
+    EXPECT_GE(v, -1e-9);
+  }
+}
+
+TEST(EigenSym, HandlesMildAsymmetryFromRoundoff) {
+  Matrix a{{2.0, 1.0 + 1e-14}, {1.0, 2.0}};
+  const SymmetricEig eig = jacobi_eigen_symmetric(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace arams::linalg

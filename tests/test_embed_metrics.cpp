@@ -1,0 +1,102 @@
+// Embedding metrics: trustworthiness and axis–factor correlation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/metrics.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::embed {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Trustworthiness, PerfectForIdentityEmbedding) {
+  Matrix pts(30, 2);
+  Rng rng(1);
+  for (std::size_t i = 0; i < 30; ++i) rng.fill_normal(pts.row(i));
+  EXPECT_NEAR(trustworthiness(pts, pts, 5), 1.0, 1e-12);
+}
+
+TEST(Trustworthiness, PerfectForIsometry) {
+  Matrix pts(25, 2);
+  Rng rng(2);
+  for (std::size_t i = 0; i < 25; ++i) rng.fill_normal(pts.row(i));
+  // Rotate + scale: neighbourhoods unchanged.
+  Matrix emb(25, 2);
+  const double c = std::cos(0.7), s = std::sin(0.7);
+  for (std::size_t i = 0; i < 25; ++i) {
+    emb(i, 0) = 3.0 * (c * pts(i, 0) - s * pts(i, 1));
+    emb(i, 1) = 3.0 * (s * pts(i, 0) + c * pts(i, 1));
+  }
+  EXPECT_NEAR(trustworthiness(pts, emb, 5), 1.0, 1e-12);
+}
+
+TEST(Trustworthiness, LowForScrambledEmbedding) {
+  Matrix pts(40, 3);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 40; ++i) rng.fill_normal(pts.row(i));
+  Matrix scrambled(40, 3);
+  for (std::size_t i = 0; i < 40; ++i) {
+    rng.fill_normal(scrambled.row(i));  // unrelated coordinates
+  }
+  EXPECT_LT(trustworthiness(pts, scrambled, 5), 0.75);
+}
+
+TEST(Trustworthiness, ValidatesArguments) {
+  const Matrix pts(10, 2);
+  EXPECT_THROW(trustworthiness(pts, Matrix(9, 2), 2), CheckError);
+  EXPECT_THROW(trustworthiness(pts, pts, 0), CheckError);
+  EXPECT_THROW(trustworthiness(pts, pts, 5), CheckError);  // 2k >= n
+}
+
+TEST(AxisCorrelation, PerfectLinearFactor) {
+  Matrix emb(20, 2);
+  std::vector<double> factor(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    emb(i, 0) = static_cast<double>(i);
+    emb(i, 1) = 0.0;
+    factor[i] = 2.0 * static_cast<double>(i) + 5.0;
+  }
+  EXPECT_NEAR(axis_factor_correlation(emb, 0, factor), 1.0, 1e-12);
+}
+
+TEST(AxisCorrelation, SignReflectsDirection) {
+  Matrix emb(10, 1);
+  std::vector<double> factor(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    emb(i, 0) = static_cast<double>(i);
+    factor[i] = -static_cast<double>(i);
+  }
+  EXPECT_NEAR(axis_factor_correlation(emb, 0, factor), -1.0, 1e-12);
+}
+
+TEST(AxisCorrelation, IndependentFactorNearZero) {
+  Matrix emb(500, 1);
+  std::vector<double> factor(500);
+  Rng rng(4);
+  for (std::size_t i = 0; i < 500; ++i) {
+    emb(i, 0) = rng.normal();
+    factor[i] = rng.normal();
+  }
+  EXPECT_LT(std::abs(axis_factor_correlation(emb, 0, factor)), 0.15);
+}
+
+TEST(AxisCorrelation, DegenerateInputsGiveZero) {
+  Matrix emb(5, 1);  // all-zero axis
+  const std::vector<double> factor{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(axis_factor_correlation(emb, 0, factor), 0.0);
+}
+
+TEST(AxisCorrelation, ValidatesArguments) {
+  const Matrix emb(5, 2);
+  EXPECT_THROW(axis_factor_correlation(emb, 2, std::vector<double>(5)),
+               CheckError);
+  EXPECT_THROW(axis_factor_correlation(emb, 0, std::vector<double>(4)),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace arams::embed

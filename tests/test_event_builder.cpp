@@ -1,0 +1,133 @@
+// Event builder: fusion by shot id, strict ordering, window eviction,
+// duplicate/stale handling — the LCLS event-building contract.
+
+#include <gtest/gtest.h>
+
+#include "stream/event_builder.hpp"
+#include "util/check.hpp"
+
+namespace arams::stream {
+namespace {
+
+image::ImageF tiny_frame(double value) {
+  image::ImageF img(2, 2);
+  img.at(0, 0) = value;
+  return img;
+}
+
+TEST(EventBuilder, ValidatesArguments) {
+  EXPECT_THROW(EventBuilder({}, 4), CheckError);
+  EXPECT_THROW(EventBuilder({"a", "a"}, 4), CheckError);
+  EXPECT_THROW(EventBuilder({"a"}, 0), CheckError);
+  EventBuilder builder({"cam"}, 4);
+  EXPECT_THROW(builder.push("unknown", 0, 0.0, tiny_frame(1)), CheckError);
+}
+
+TEST(EventBuilder, SingleDetectorEmitsImmediately) {
+  EventBuilder builder({"cam"}, 8);
+  const auto out = builder.push("cam", 0, 0.0, tiny_frame(5));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].complete);
+  EXPECT_EQ(out[0].shot_id, 0u);
+  EXPECT_EQ(out[0].readouts.at("cam").at(0, 0), 5.0);
+}
+
+TEST(EventBuilder, WaitsForAllDetectors) {
+  EventBuilder builder({"beam", "area"}, 8);
+  EXPECT_TRUE(builder.push("beam", 0, 0.0, tiny_frame(1)).empty());
+  const auto out = builder.push("area", 0, 0.0, tiny_frame(2));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].complete);
+  EXPECT_EQ(out[0].readouts.size(), 2u);
+}
+
+TEST(EventBuilder, EmitsInShotOrderEvenWhenLaterShotCompletesFirst) {
+  EventBuilder builder({"beam", "area"}, 8);
+  // Shot 1 completes before shot 0 does.
+  builder.push("beam", 0, 0.0, tiny_frame(1));
+  builder.push("beam", 1, 0.01, tiny_frame(2));
+  EXPECT_TRUE(builder.push("area", 1, 0.01, tiny_frame(3)).empty());
+  const auto out = builder.push("area", 0, 0.0, tiny_frame(4));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].shot_id, 0u);
+  EXPECT_EQ(out[1].shot_id, 1u);
+  EXPECT_TRUE(out[0].complete);
+  EXPECT_TRUE(out[1].complete);
+}
+
+TEST(EventBuilder, WindowEvictsOldestIncomplete) {
+  EventBuilder builder({"beam", "area"}, 2);
+  builder.push("beam", 0, 0.0, tiny_frame(1));  // never completes
+  builder.push("beam", 1, 0.1, tiny_frame(2));
+  const auto out = builder.push("beam", 2, 0.2, tiny_frame(3));
+  ASSERT_EQ(out.size(), 1u);  // shot 0 forced out, incomplete
+  EXPECT_EQ(out[0].shot_id, 0u);
+  EXPECT_FALSE(out[0].complete);
+  EXPECT_EQ(builder.stats().incomplete_events, 1);
+  EXPECT_EQ(builder.pending(), 2u);
+}
+
+TEST(EventBuilder, StaleReadoutDroppedAfterEmission) {
+  EventBuilder builder({"beam"}, 4);
+  builder.push("beam", 0, 0.0, tiny_frame(1));  // emitted immediately
+  const auto out = builder.push("beam", 0, 0.0, tiny_frame(2));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(builder.stats().stale_readouts, 1);
+}
+
+TEST(EventBuilder, DuplicateReadoutCounted) {
+  EventBuilder builder({"beam", "area"}, 4);
+  builder.push("beam", 0, 0.0, tiny_frame(1));
+  builder.push("beam", 0, 0.0, tiny_frame(2));  // duplicate, dropped
+  EXPECT_EQ(builder.stats().duplicate_readouts, 1);
+  const auto out = builder.push("area", 0, 0.0, tiny_frame(3));
+  ASSERT_EQ(out.size(), 1u);
+  // First readout wins.
+  EXPECT_EQ(out[0].readouts.at("beam").at(0, 0), 1.0);
+}
+
+TEST(EventBuilder, FlushEmitsPendingInOrder) {
+  EventBuilder builder({"beam", "area"}, 8);
+  builder.push("beam", 3, 0.3, tiny_frame(1));
+  builder.push("beam", 1, 0.1, tiny_frame(2));
+  builder.push("area", 1, 0.1, tiny_frame(3));  // completes shot 1... but
+  // shot 1 is the oldest pending, so it is emitted right away.
+  const auto flushed = builder.flush();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].shot_id, 3u);
+  EXPECT_FALSE(flushed[0].complete);
+  EXPECT_EQ(builder.pending(), 0u);
+}
+
+TEST(EventBuilder, StatsAddUp) {
+  EventBuilder builder({"a", "b"}, 4);
+  for (std::uint64_t shot = 0; shot < 10; ++shot) {
+    builder.push("a", shot, 0.0, tiny_frame(1));
+    if (shot % 2 == 0) {
+      builder.push("b", shot, 0.0, tiny_frame(2));
+    }
+  }
+  builder.flush();
+  EXPECT_EQ(builder.stats().readouts_seen, 15);
+  EXPECT_EQ(builder.stats().complete_events, 5);
+  EXPECT_EQ(builder.stats().incomplete_events, 5);
+}
+
+TEST(EventBuilder, OutOfOrderArrivalWithinWindowFusesCorrectly) {
+  EventBuilder builder({"a", "b"}, 16);
+  // Readouts arrive interleaved and out of order across 5 shots.
+  const std::uint64_t order_a[] = {4, 2, 0, 3, 1};
+  const std::uint64_t order_b[] = {1, 3, 0, 4, 2};
+  std::size_t emitted = 0;
+  for (int i = 0; i < 5; ++i) {
+    emitted += builder.push("a", order_a[i], 0.0, tiny_frame(1)).size();
+    emitted += builder.push("b", order_b[i], 0.0, tiny_frame(2)).size();
+  }
+  emitted += builder.flush().size();
+  EXPECT_EQ(emitted, 5u);
+  EXPECT_EQ(builder.stats().complete_events, 5);
+  EXPECT_EQ(builder.stats().incomplete_events, 0);
+}
+
+}  // namespace
+}  // namespace arams::stream

@@ -1,0 +1,267 @@
+// Frequent Directions: unit tests plus the central property test — the FD
+// covariance guarantee ‖AᵀA − BᵀB‖₂ ≤ ‖A‖²_F / ℓ and positive
+// semidefiniteness of AᵀA − BᵀB, swept over sketch sizes and spectra.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fd.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::core {
+namespace {
+
+using linalg::Matrix;
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    rng.fill_normal(m.row(i));
+  }
+  return m;
+}
+
+TEST(Fd, RejectsTinyEll) {
+  EXPECT_THROW(FrequentDirections(FdConfig{1, true}), CheckError);
+}
+
+TEST(Fd, EmptySketchIsEmpty) {
+  FrequentDirections fd(FdConfig{4, true});
+  EXPECT_TRUE(fd.sketch().empty());
+  EXPECT_EQ(fd.dim(), 0u);
+}
+
+TEST(Fd, DimensionFixedByFirstRow) {
+  FrequentDirections fd(FdConfig{4, true});
+  const std::vector<double> row3{1.0, 2.0, 3.0};
+  const std::vector<double> row2{1.0, 2.0};
+  fd.append(row3);
+  EXPECT_EQ(fd.dim(), 3u);
+  EXPECT_THROW(fd.append(row2), CheckError);
+}
+
+TEST(Fd, FewRowsAreStoredExactly) {
+  FrequentDirections fd(FdConfig{8, true});
+  Rng rng(1);
+  const Matrix a = random_matrix(5, 6, rng);
+  fd.append_batch(a);
+  // Fewer rows than the buffer: sketch is the data itself, no shrink ran.
+  EXPECT_EQ(fd.stats().svd_count, 0);
+  EXPECT_EQ(Matrix::max_abs_diff(fd.sketch(), a), 0.0);
+}
+
+TEST(Fd, ShrinkTriggersOncePerEllAppends) {
+  FrequentDirections fd(FdConfig{4, true});
+  Rng rng(2);
+  const Matrix a = random_matrix(40, 5, rng);
+  fd.append_batch(a);
+  // Buffer of 2ℓ=8: first shrink after the 9th row, then roughly every
+  // ℓ+1 rows (shrinks leave ≤ ℓ−1 survivors).
+  EXPECT_GE(fd.stats().svd_count, 5);
+  EXPECT_LE(fd.stats().svd_count, 9);
+  EXPECT_EQ(fd.stats().rows_processed, 40);
+}
+
+TEST(Fd, CompressBoundsSketchRows) {
+  FrequentDirections fd(FdConfig{4, true});
+  Rng rng(3);
+  fd.append_batch(random_matrix(23, 6, rng));
+  fd.compress();
+  EXPECT_LE(fd.sketch().rows(), 4u);
+}
+
+TEST(Fd, SlowVariantMatchesGuaranteeToo) {
+  Rng rng(4);
+  const Matrix a = random_matrix(30, 8, rng);
+  FrequentDirections fd(FdConfig{5, /*fast=*/false});
+  fd.append_batch(a);
+  fd.compress();
+  Rng power(5);
+  const double err = linalg::covariance_error(a, fd.sketch(), power, 150);
+  EXPECT_LE(err, linalg::frobenius_norm_squared(a) / 5.0 * 1.001);
+}
+
+TEST(Fd, SketchRowsStayOrthogonalAfterShrink) {
+  FrequentDirections fd(FdConfig{4, true});
+  Rng rng(6);
+  fd.append_batch(random_matrix(8, 7, rng));  // fill the 2ℓ buffer exactly
+  fd.compress();                              // one shrink, no raw rows after
+  ASSERT_GE(fd.stats().svd_count, 1);
+  const Matrix s = fd.sketch();
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    for (std::size_t j = i + 1; j < s.rows(); ++j) {
+      EXPECT_NEAR(linalg::dot(s.row(i), s.row(j)), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Fd, NoInteriorZeroRows) {
+  FrequentDirections fd(FdConfig{4, true});
+  Rng rng(7);
+  fd.append_batch(random_matrix(50, 5, rng));
+  fd.compress();
+  const Matrix s = fd.sketch();
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    EXPECT_GT(linalg::norm2(s.row(i)), 0.0);
+  }
+}
+
+TEST(Fd, BasisHasOrthonormalRows) {
+  FrequentDirections fd(FdConfig{5, true});
+  Rng rng(8);
+  fd.append_batch(random_matrix(30, 9, rng));
+  const Matrix basis = fd.basis(3);
+  ASSERT_LE(basis.rows(), 3u);
+  for (std::size_t i = 0; i < basis.rows(); ++i) {
+    EXPECT_NEAR(linalg::norm2(basis.row(i)), 1.0, 1e-9);
+    for (std::size_t j = i + 1; j < basis.rows(); ++j) {
+      EXPECT_NEAR(linalg::dot(basis.row(i), basis.row(j)), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fd, LastSpectrumDescends) {
+  FrequentDirections fd(FdConfig{4, true});
+  Rng rng(9);
+  fd.append_batch(random_matrix(20, 6, rng));
+  fd.compress();
+  const auto& spec = fd.last_spectrum();
+  ASSERT_FALSE(spec.empty());
+  for (std::size_t i = 1; i < spec.size(); ++i) {
+    EXPECT_GE(spec[i - 1], spec[i]);
+  }
+}
+
+TEST(Fd, ExactForDataWithRankBelowEll) {
+  // If rank(A) < ℓ, FD loses nothing: AᵀA = BᵀB up to roundoff.
+  data::SyntheticConfig config;
+  config.n = 60;
+  config.d = 20;
+  config.spectrum.kind = data::DecayKind::kStep;
+  config.spectrum.count = 3;
+  config.spectrum.step_rank = 3;
+  config.spectrum.step_floor = 0.0;
+  Rng rng(10);
+  const Matrix a = data::make_low_rank(config, rng);
+  FrequentDirections fd(FdConfig{8, true});
+  fd.append_batch(a);
+  fd.compress();
+  Rng power(11);
+  const double err = linalg::covariance_error(a, fd.sketch(), power, 150);
+  EXPECT_LT(err, 1e-6);
+}
+
+/// The FD guarantee, swept over (ℓ, decay kind).
+class FdGuarantee
+    : public ::testing::TestWithParam<std::tuple<int, data::DecayKind>> {};
+
+TEST_P(FdGuarantee, CovarianceErrorWithinBound) {
+  const auto [ell, kind] = GetParam();
+  data::SyntheticConfig config;
+  config.n = 150;
+  config.d = 40;
+  config.spectrum.kind = kind;
+  config.spectrum.count = 30;
+  config.spectrum.rate = 0.15;
+  Rng rng(static_cast<std::uint64_t>(ell) * 100 +
+          static_cast<std::uint64_t>(kind));
+  const Matrix a = data::make_low_rank(config, rng);
+
+  FrequentDirections fd(FdConfig{static_cast<std::size_t>(ell), true});
+  fd.append_batch(a);
+  fd.compress();
+  const Matrix b = fd.sketch();
+  EXPECT_LE(b.rows(), static_cast<std::size_t>(ell));
+
+  Rng power(999);
+  const double err = linalg::covariance_error(a, b, power, 200);
+  const double bound = linalg::frobenius_norm_squared(a) /
+                       static_cast<double>(ell);
+  EXPECT_LE(err, bound * 1.001);
+}
+
+TEST_P(FdGuarantee, CovarianceDifferenceIsPsd) {
+  const auto [ell, kind] = GetParam();
+  data::SyntheticConfig config;
+  config.n = 80;
+  config.d = 15;
+  config.spectrum.kind = kind;
+  config.spectrum.count = 12;
+  config.spectrum.rate = 0.2;
+  Rng rng(static_cast<std::uint64_t>(ell) * 31 +
+          static_cast<std::uint64_t>(kind));
+  const Matrix a = data::make_low_rank(config, rng);
+
+  FrequentDirections fd(FdConfig{static_cast<std::size_t>(ell), true});
+  fd.append_batch(a);
+  fd.compress();
+  const Matrix b = fd.sketch();
+
+  // xᵀ(AᵀA − BᵀB)x ≥ 0 for random probes x.
+  Rng probe(static_cast<std::uint64_t>(ell) + 7);
+  std::vector<double> x(a.cols()), ax(a.rows()), bx(b.rows());
+  for (int trial = 0; trial < 25; ++trial) {
+    probe.fill_normal(x);
+    linalg::gemv(a, x, ax);
+    linalg::gemv(b, x, bx);
+    const double quad =
+        linalg::norm2_squared(ax) - linalg::norm2_squared(bx);
+    EXPECT_GE(quad, -1e-6 * linalg::frobenius_norm_squared(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FdGuarantee,
+    ::testing::Combine(::testing::Values(4, 8, 16, 24),
+                       ::testing::Values(data::DecayKind::kSubExponential,
+                                         data::DecayKind::kExponential,
+                                         data::DecayKind::kSuperExponential)));
+
+TEST(Fd, StrongerBoundWithLowRankTail) {
+  // ‖AᵀA−BᵀB‖ ≤ ‖A−A_k‖²_F/(ℓ−k): with a sharply decaying spectrum the
+  // sketch error must be far below the crude ‖A‖²_F/ℓ bound.
+  data::SyntheticConfig config;
+  config.n = 120;
+  config.d = 30;
+  config.spectrum.kind = data::DecayKind::kSuperExponential;
+  config.spectrum.count = 20;
+  config.spectrum.rate = 0.4;
+  Rng rng(12);
+  const Matrix a = data::make_low_rank(config, rng);
+  FrequentDirections fd(FdConfig{16, true});
+  fd.append_batch(a);
+  fd.compress();
+  Rng power(13);
+  const double err = linalg::covariance_error(a, fd.sketch(), power, 200);
+  const double crude = linalg::frobenius_norm_squared(a) / 16.0;
+  EXPECT_LT(err, 0.5 * crude);
+}
+
+TEST(Fd, StreamingEqualsBatchOrderSensitivityBounded) {
+  // FD is order-dependent, but the guarantee holds for any order; check
+  // both orders satisfy the bound on the same data.
+  Rng rng(14);
+  const Matrix a = random_matrix(60, 10, rng);
+  Matrix reversed(60, 10);
+  for (std::size_t i = 0; i < 60; ++i) {
+    reversed.set_row(i, a.row(59 - i));
+  }
+  const double bound = linalg::frobenius_norm_squared(a) / 6.0;
+  const Matrix* inputs[] = {&a, &reversed};
+  for (const Matrix* m : inputs) {
+    FrequentDirections fd(FdConfig{6, true});
+    fd.append_batch(*m);
+    fd.compress();
+    Rng power(15);
+    EXPECT_LE(linalg::covariance_error(a, fd.sketch(), power, 150),
+              bound * 1.001);
+  }
+}
+
+}  // namespace
+}  // namespace arams::core

@@ -1,0 +1,158 @@
+// Randomized stress tests: random shapes, degenerate and adversarial
+// inputs through the sketching stack — nothing may crash, produce NaNs,
+// or violate the FD invariants, across a seeded sweep.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/arams_sketch.hpp"
+#include "core/fd.hpp"
+#include "core/merge.hpp"
+#include "core/priority_sampler.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/svd.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams {
+namespace {
+
+using linalg::Matrix;
+
+/// Random matrix with occasional pathological rows: zeros, duplicates,
+/// huge magnitudes, rank-1 repeats.
+Matrix nasty_matrix(Rng& rng) {
+  const std::size_t n = 5 + rng.uniform_index(120);
+  const std::size_t d = 2 + rng.uniform_index(40);
+  Matrix m(n, d);
+  std::vector<double> repeat(d);
+  rng.fill_normal(repeat);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dice = rng.uniform();
+    auto row = m.row(i);
+    if (dice < 0.1) {
+      // zero row
+    } else if (dice < 0.2) {
+      std::copy(repeat.begin(), repeat.end(), row.begin());
+    } else if (dice < 0.3) {
+      rng.fill_normal(row);
+      linalg::scale(row, 1e8);
+    } else if (dice < 0.4) {
+      rng.fill_normal(row);
+      linalg::scale(row, 1e-8);
+    } else {
+      rng.fill_normal(row);
+    }
+  }
+  return m;
+}
+
+bool has_nan(const Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (const double v : m.row(i)) {
+      if (std::isnan(v) || std::isinf(v)) return true;
+    }
+  }
+  return false;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, FdSurvivesNastyInputsAndKeepsGuarantee) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const Matrix a = nasty_matrix(rng);
+  const std::size_t ell = 2 + rng.uniform_index(12);
+
+  core::FrequentDirections fd(core::FdConfig{ell, true});
+  fd.append_batch(a);
+  fd.compress();
+  const Matrix b = fd.sketch();
+  ASSERT_FALSE(has_nan(b));
+  EXPECT_LE(b.rows(), ell);
+
+  const double mass = linalg::frobenius_norm_squared(a);
+  if (mass > 0.0) {
+    Rng power(99);
+    const double err = linalg::covariance_error(a, b, power, 60);
+    EXPECT_LE(err, mass / static_cast<double>(ell) * 1.01);
+  }
+}
+
+TEST_P(FuzzSeeds, PrioritySamplerSurvivesNastyInputs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const Matrix a = nasty_matrix(rng);
+  core::PrioritySamplerConfig config;
+  config.capacity = 1 + rng.uniform_index(a.rows());
+  config.seed = static_cast<std::uint64_t>(GetParam());
+  core::PrioritySampler sampler(config);
+  sampler.push_batch(a);
+  const Matrix s = sampler.take();
+  EXPECT_LE(s.rows(), config.capacity);
+  EXPECT_FALSE(has_nan(s));
+  // Sampled rows never include zero rows.
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    EXPECT_GT(linalg::norm2(s.row(i)), 0.0);
+  }
+}
+
+TEST_P(FuzzSeeds, MergeSurvivesMixedSketches) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709 + 5);
+  const std::size_t d = 3 + rng.uniform_index(20);
+  const std::size_t shards = 2 + rng.uniform_index(6);
+  const std::size_t ell = 2 + rng.uniform_index(8);
+  std::vector<Matrix> sketches;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t rows = 1 + rng.uniform_index(2 * ell);
+    Matrix sk(rows, d);
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (rng.uniform() < 0.15) continue;  // leave a zero row in
+      rng.fill_normal(sk.row(i));
+    }
+    sketches.push_back(std::move(sk));
+  }
+  const Matrix tree = core::tree_merge(sketches, ell);
+  const Matrix serial = core::serial_merge(std::move(sketches), ell);
+  EXPECT_FALSE(has_nan(tree));
+  EXPECT_FALSE(has_nan(serial));
+  EXPECT_LE(tree.rows(), std::max<std::size_t>(ell, 1));
+}
+
+TEST_P(FuzzSeeds, AramsEndToEndOnNastyInputs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 7);
+  const Matrix a = nasty_matrix(rng);
+  if (linalg::frobenius_norm_squared(a) == 0.0) return;  // nothing to do
+  core::AramsConfig config;
+  config.ell = 4 + rng.uniform_index(8);
+  config.beta = 0.3 + 0.7 * rng.uniform();
+  config.rank_adaptive = rng.uniform() < 0.5;
+  config.epsilon = 0.05 + 0.2 * rng.uniform();
+  config.max_ell = 64;
+  config.seed = static_cast<std::uint64_t>(GetParam());
+  core::Arams sketcher(config);
+  const core::AramsResult result = sketcher.sketch_matrix(a);
+  EXPECT_FALSE(has_nan(result.sketch));
+  EXPECT_LE(result.sketch.rows(), result.final_ell);
+}
+
+TEST_P(FuzzSeeds, SigmaVtSvdStableOnNastyInputs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 32452843 + 11);
+  const Matrix a = nasty_matrix(rng);
+  const linalg::SigmaVt svd = linalg::sigma_vt_svd(a);
+  for (const double s : svd.sigma) {
+    EXPECT_FALSE(std::isnan(s));
+    EXPECT_GE(s, 0.0);
+  }
+  EXPECT_FALSE(has_nan(svd.w));
+  // Frobenius mass preserved.
+  double s2 = 0.0;
+  for (const double s : svd.sigma) s2 += s * s;
+  const double mass = linalg::frobenius_norm_squared(a);
+  EXPECT_NEAR(s2, mass, 1e-6 * std::max(mass, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace arams

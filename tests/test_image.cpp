@@ -1,0 +1,101 @@
+// Tests for the ImageF container and matrix flattening.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "image/image.hpp"
+#include "util/check.hpp"
+
+namespace arams::image {
+namespace {
+
+TEST(Image, ZeroInitialized) {
+  const ImageF img(4, 6);
+  EXPECT_EQ(img.height(), 4u);
+  EXPECT_EQ(img.width(), 6u);
+  EXPECT_EQ(img.pixel_count(), 24u);
+  EXPECT_EQ(img.total_intensity(), 0.0);
+  EXPECT_EQ(img.max_intensity(), 0.0);
+}
+
+TEST(Image, AtReadWrite) {
+  ImageF img(3, 3);
+  img.at(1, 2) = 5.5;
+  EXPECT_EQ(img.at(1, 2), 5.5);
+  EXPECT_EQ(img.at(2, 1), 0.0);
+}
+
+TEST(Image, TotalAndMaxIntensity) {
+  ImageF img(2, 2);
+  img.at(0, 0) = 1.0;
+  img.at(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(img.total_intensity(), 4.0);
+  EXPECT_DOUBLE_EQ(img.max_intensity(), 3.0);
+}
+
+TEST(Image, RowRoundTrip) {
+  ImageF img(2, 3);
+  for (std::size_t y = 0; y < 2; ++y) {
+    for (std::size_t x = 0; x < 3; ++x) {
+      img.at(y, x) = static_cast<double>(y * 3 + x);
+    }
+  }
+  std::vector<double> row(6);
+  img.to_row(row);
+  const ImageF back = ImageF::from_row(row, 2, 3);
+  for (std::size_t y = 0; y < 2; ++y) {
+    for (std::size_t x = 0; x < 3; ++x) {
+      EXPECT_EQ(back.at(y, x), img.at(y, x));
+    }
+  }
+}
+
+TEST(Image, RowLengthValidation) {
+  const ImageF img(2, 3);
+  std::vector<double> wrong(5);
+  EXPECT_THROW(img.to_row(wrong), CheckError);
+  EXPECT_THROW(ImageF::from_row(wrong, 2, 3), CheckError);
+}
+
+TEST(Image, BatchToMatrix) {
+  std::vector<ImageF> batch(3, ImageF(2, 2));
+  batch[1].at(0, 1) = 9.0;
+  const linalg::Matrix m = images_to_matrix(batch);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m(1, 1), 9.0);
+}
+
+TEST(Image, BatchShapeMismatchThrows) {
+  std::vector<ImageF> batch;
+  batch.emplace_back(2, 2);
+  batch.emplace_back(3, 3);
+  EXPECT_THROW(images_to_matrix(batch), CheckError);
+}
+
+TEST(Image, EmptyBatchThrows) {
+  EXPECT_THROW(images_to_matrix({}), CheckError);
+}
+
+TEST(Image, SavePgmWritesHeaderAndPayload) {
+  ImageF img(2, 3);
+  img.at(0, 0) = 1.0;
+  const std::string path = "/tmp/arams_test_image.pgm";
+  img.save_pgm(path);
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::string magic;
+  f >> magic;
+  EXPECT_EQ(magic, "P5");
+  int w = 0, h = 0, maxval = 0;
+  f >> w >> h >> maxval;
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace arams::image

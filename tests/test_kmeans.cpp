@@ -1,0 +1,129 @@
+// k-means: recovery, inertia monotonicity, empty-cluster handling,
+// determinism, argument validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cluster/kmeans.hpp"
+#include "cluster/metrics.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::cluster {
+namespace {
+
+using linalg::Matrix;
+
+Matrix blobs3(std::size_t per, double spread, std::uint64_t seed) {
+  const double centers[3][2] = {{0, 0}, {12, 0}, {0, 12}};
+  Matrix pts(3 * per, 2);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < 3 * per; ++i) {
+    const auto c = i / per;
+    pts(i, 0) = centers[c][0] + spread * rng.normal();
+    pts(i, 1) = centers[c][1] + spread * rng.normal();
+  }
+  return pts;
+}
+
+TEST(Kmeans, ValidatesArguments) {
+  const Matrix pts = blobs3(5, 0.5, 1);
+  KmeansConfig config;
+  config.k = 0;
+  EXPECT_THROW(kmeans(pts, config), CheckError);
+  config.k = 100;
+  EXPECT_THROW(kmeans(pts, config), CheckError);
+  config.k = 2;
+  config.restarts = 0;
+  EXPECT_THROW(kmeans(pts, config), CheckError);
+}
+
+TEST(Kmeans, RecoversThreeBlobs) {
+  const Matrix pts = blobs3(40, 0.4, 2);
+  KmeansConfig config;
+  config.k = 3;
+  const KmeansResult r = kmeans(pts, config);
+  std::vector<int> truth(120);
+  for (std::size_t i = 0; i < 120; ++i) truth[i] = static_cast<int>(i / 40);
+  EXPECT_GT(adjusted_rand_index(r.labels, truth), 0.95);
+  EXPECT_EQ(r.centroids.rows(), 3u);
+}
+
+TEST(Kmeans, CentroidsNearTrueCenters) {
+  const Matrix pts = blobs3(60, 0.3, 3);
+  KmeansConfig config;
+  config.k = 3;
+  const KmeansResult r = kmeans(pts, config);
+  // Every true center must have a centroid within 0.5.
+  const double centers[3][2] = {{0, 0}, {12, 0}, {0, 12}};
+  for (const auto& center : centers) {
+    double best = 1e300;
+    for (std::size_t c = 0; c < 3; ++c) {
+      best = std::min(best, std::hypot(r.centroids(c, 0) - center[0],
+                                       r.centroids(c, 1) - center[1]));
+    }
+    EXPECT_LT(best, 0.5);
+  }
+}
+
+TEST(Kmeans, MoreClustersNeverIncreaseInertia) {
+  const Matrix pts = blobs3(30, 0.8, 4);
+  double prev = 1e300;
+  for (const std::size_t k : {1, 2, 3, 5, 8}) {
+    KmeansConfig config;
+    config.k = k;
+    config.restarts = 6;
+    const KmeansResult r = kmeans(pts, config);
+    EXPECT_LE(r.inertia, prev * (1.0 + 1e-9));
+    prev = r.inertia;
+  }
+}
+
+TEST(Kmeans, KEqualsNHasZeroInertia) {
+  const Matrix pts = blobs3(2, 1.0, 5);  // 6 points
+  KmeansConfig config;
+  config.k = 6;
+  config.restarts = 8;
+  const KmeansResult r = kmeans(pts, config);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-9);
+  const std::set<int> labels(r.labels.begin(), r.labels.end());
+  EXPECT_EQ(labels.size(), 6u);
+}
+
+TEST(Kmeans, DeterministicGivenSeed) {
+  const Matrix pts = blobs3(25, 0.5, 6);
+  KmeansConfig config;
+  config.k = 3;
+  const KmeansResult r1 = kmeans(pts, config);
+  const KmeansResult r2 = kmeans(pts, config);
+  EXPECT_EQ(r1.labels, r2.labels);
+  EXPECT_EQ(r1.inertia, r2.inertia);
+}
+
+TEST(Kmeans, IdenticalPointsHandled) {
+  Matrix pts(10, 2);  // all at the origin
+  KmeansConfig config;
+  config.k = 3;
+  const KmeansResult r = kmeans(pts, config);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+  for (const int l : r.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 3);
+  }
+}
+
+TEST(Kmeans, LabelsAlwaysInRange) {
+  const Matrix pts = blobs3(15, 1.5, 7);
+  KmeansConfig config;
+  config.k = 4;
+  const KmeansResult r = kmeans(pts, config);
+  for (const int l : r.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+}
+
+}  // namespace
+}  // namespace arams::cluster

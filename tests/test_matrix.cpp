@@ -1,0 +1,149 @@
+// Unit tests for the Matrix container.
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "util/check.hpp"
+
+namespace arams::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(m(r, c), 0.0);
+    }
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW(Matrix({{1.0, 2.0}, {3.0}}), CheckError);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 7.0;
+  EXPECT_EQ(m(1, 2), 7.0);
+}
+
+TEST(Matrix, FillAndZeroRow) {
+  Matrix m(2, 2);
+  m.fill(5.0);
+  m.zero_row(0);
+  EXPECT_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m(0, 1), 0.0);
+  EXPECT_EQ(m(1, 0), 5.0);
+}
+
+TEST(Matrix, SetRowValidatesLength) {
+  Matrix m(2, 3);
+  const std::vector<double> good{1.0, 2.0, 3.0};
+  const std::vector<double> bad{1.0};
+  EXPECT_NO_THROW(m.set_row(0, good));
+  EXPECT_THROW(m.set_row(0, bad), CheckError);
+  EXPECT_EQ(m(0, 2), 3.0);
+}
+
+TEST(Matrix, AppendZeroRows) {
+  Matrix m{{1.0, 2.0}};
+  m.append_zero_rows(2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(2, 0), 0.0);
+}
+
+TEST(Matrix, SliceRows) {
+  const Matrix m{{1.0}, {2.0}, {3.0}, {4.0}};
+  const Matrix s = m.slice_rows(1, 3);
+  ASSERT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s(0, 0), 2.0);
+  EXPECT_EQ(s(1, 0), 3.0);
+}
+
+TEST(Matrix, SliceValidatesBounds) {
+  const Matrix m(2, 2);
+  EXPECT_THROW(m.slice_rows(1, 3), CheckError);
+  EXPECT_THROW(m.slice_rows(2, 1), CheckError);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m(5, 7);
+  double v = 0.0;
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      m(r, c) = v++;
+    }
+  }
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 7u);
+  EXPECT_EQ(t.cols(), 5u);
+  EXPECT_EQ(Matrix::max_abs_diff(t.transposed(), m), 0.0);
+}
+
+TEST(Matrix, TransposeLargeBlocks) {
+  // Exercise the blocked path with dimensions > one block.
+  Matrix m(65, 70);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      m(r, c) = static_cast<double>(r * 1000 + c);
+    }
+  }
+  const Matrix t = m.transposed();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      ASSERT_EQ(t(c, r), m(r, c));
+    }
+  }
+}
+
+TEST(Matrix, Vstack) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{3.0, 4.0}, {5.0, 6.0}};
+  const Matrix s = Matrix::vstack(a, b);
+  ASSERT_EQ(s.rows(), 3u);
+  EXPECT_EQ(s(0, 0), 1.0);
+  EXPECT_EQ(s(2, 1), 6.0);
+}
+
+TEST(Matrix, VstackWithEmpty) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix empty;
+  EXPECT_EQ(Matrix::max_abs_diff(Matrix::vstack(a, empty), a), 0.0);
+  EXPECT_EQ(Matrix::max_abs_diff(Matrix::vstack(empty, a), a), 0.0);
+}
+
+TEST(Matrix, VstackColumnMismatchThrows) {
+  const Matrix a(1, 2);
+  const Matrix b(1, 3);
+  EXPECT_THROW(Matrix::vstack(a, b), CheckError);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_EQ(i(0, 0), 1.0);
+  EXPECT_EQ(i(1, 1), 1.0);
+  EXPECT_EQ(i(0, 1), 0.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.5, 2.0}};
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 0.5);
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatchThrows) {
+  EXPECT_THROW(Matrix::max_abs_diff(Matrix(1, 2), Matrix(2, 1)), CheckError);
+}
+
+}  // namespace
+}  // namespace arams::linalg

@@ -1,0 +1,173 @@
+// Tests for spectral-norm power iteration, covariance error, and the
+// Algorithm-1 randomized projection-residual estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    rng.fill_normal(m.row(i));
+  }
+  return m;
+}
+
+TEST(SpectralNorm, MatchesLargestSingularValue) {
+  Rng rng(1);
+  const Matrix a = random_matrix(12, 8, rng);
+  const ThinSvd svd = jacobi_svd(a);
+  Rng power_rng(2);
+  const double est = spectral_norm(a, power_rng, 200);
+  EXPECT_NEAR(est, svd.sigma[0], 1e-6 * svd.sigma[0]);
+}
+
+TEST(SpectralNorm, DiagonalOperator) {
+  Rng rng(3);
+  const auto matvec = [](std::span<const double> x, std::span<double> y) {
+    y[0] = 5.0 * x[0];
+    y[1] = -9.0 * x[1];  // negative-dominant eigenvalue
+    y[2] = 1.0 * x[2];
+  };
+  const double est = spectral_norm_sym(matvec, 3, rng, 300);
+  EXPECT_NEAR(est, 9.0, 1e-6);
+}
+
+TEST(SpectralNorm, ZeroOperatorIsZero) {
+  Rng rng(4);
+  const auto matvec = [](std::span<const double> x, std::span<double> y) {
+    (void)x;
+    for (auto& v : y) v = 0.0;
+  };
+  EXPECT_EQ(spectral_norm_sym(matvec, 4, rng, 10), 0.0);
+}
+
+TEST(CovarianceError, IdenticalMatricesIsZero) {
+  Rng rng(5);
+  const Matrix a = random_matrix(10, 6, rng);
+  Rng power_rng(6);
+  EXPECT_NEAR(covariance_error(a, a, power_rng), 0.0, 1e-9);
+}
+
+TEST(CovarianceError, MatchesExplicitDifference) {
+  Rng rng(7);
+  const Matrix a = random_matrix(9, 5, rng);
+  const Matrix b = random_matrix(4, 5, rng);
+  // Explicit d×d difference on this small case.
+  const Matrix diff_mat = [&] {
+    Matrix at_a = gram_cols(a);
+    const Matrix bt_b = gram_cols(b);
+    for (std::size_t i = 0; i < at_a.rows(); ++i) {
+      for (std::size_t j = 0; j < at_a.cols(); ++j) {
+        at_a(i, j) -= bt_b(i, j);
+      }
+    }
+    return at_a;
+  }();
+  const ThinSvd svd = jacobi_svd(diff_mat);
+  Rng power_rng(8);
+  const double est = covariance_error(a, b, power_rng, 300);
+  EXPECT_NEAR(est, svd.sigma[0], 1e-5 * std::max(1.0, svd.sigma[0]));
+}
+
+TEST(CovarianceError, ColumnMismatchThrows) {
+  Rng rng(9);
+  EXPECT_THROW(covariance_error(Matrix(2, 3), Matrix(2, 4), rng), CheckError);
+}
+
+TEST(CovarianceErrorRelative, ScalesWithData) {
+  Rng rng(10);
+  const Matrix a = random_matrix(8, 4, rng);
+  const Matrix b = random_matrix(3, 4, rng);
+  Rng r1(11), r2(11);
+  const double abs_err = covariance_error(a, b, r1, 100);
+  const double rel_err = covariance_error_relative(a, b, r2, 100);
+  EXPECT_NEAR(rel_err, abs_err / frobenius_norm_squared(a), 1e-9);
+}
+
+TEST(ProjectionResidual, ZeroWhenBasisSpansData) {
+  // Data that lies exactly in a 2-D subspace.
+  Rng rng(12);
+  Matrix basis = random_matrix(2, 10, rng);
+  orthonormalize_columns(basis = basis.transposed());
+  basis = basis.transposed();  // 2×10 orthonormal rows
+  Matrix x(6, 10);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double c0 = rng.normal();
+    const double c1 = rng.normal();
+    for (std::size_t j = 0; j < 10; ++j) {
+      x(i, j) = c0 * basis(0, j) + c1 * basis(1, j);
+    }
+  }
+  EXPECT_NEAR(projection_residual_exact(x, basis), 0.0, 1e-9);
+}
+
+TEST(ProjectionResidual, FullResidualForOrthogonalData) {
+  // Basis spans e0; data lives on e1 → residual = ‖X‖²_F.
+  Matrix basis(1, 4);
+  basis(0, 0) = 1.0;
+  Matrix x(3, 4);
+  x(0, 1) = 2.0;
+  x(1, 1) = -1.0;
+  x(2, 1) = 0.5;
+  EXPECT_NEAR(projection_residual_exact(x, basis),
+              frobenius_norm_squared(x), 1e-12);
+}
+
+TEST(ProjectionResidualEstimate, UnbiasedOverManyProbes) {
+  Rng rng(13);
+  const Matrix x = random_matrix(20, 15, rng);
+  Matrix b = random_matrix(15, 3, rng);
+  orthonormalize_columns(b);
+  const Matrix basis = b.transposed();  // 3×15 orthonormal rows
+
+  const double exact = projection_residual_exact(x, basis);
+  Rng probe_rng(14);
+  const double est = estimate_projection_residual(x, basis, 400, probe_rng);
+  EXPECT_NEAR(est, exact, 0.15 * exact);
+}
+
+TEST(ProjectionResidualEstimate, MoreProbesReduceError) {
+  // The paper reports ~10% error reduction per 10 probes; check the
+  // monotone trend statistically over repetitions.
+  Rng rng(15);
+  const Matrix x = random_matrix(30, 12, rng);
+  Matrix b = random_matrix(12, 2, rng);
+  orthonormalize_columns(b);
+  const Matrix basis = b.transposed();
+  const double exact = projection_residual_exact(x, basis);
+
+  double err_small = 0.0, err_large = 0.0;
+  constexpr int kReps = 30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng r1(100 + rep), r2(100 + rep);
+    err_small +=
+        std::abs(estimate_projection_residual(x, basis, 2, r1) - exact);
+    err_large +=
+        std::abs(estimate_projection_residual(x, basis, 40, r2) - exact);
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(ProjectionResidualEstimate, InvalidArgumentsThrow) {
+  Rng rng(16);
+  const Matrix x(4, 6);
+  const Matrix basis(2, 6);
+  EXPECT_THROW(estimate_projection_residual(x, basis, 0, rng), CheckError);
+  EXPECT_THROW(estimate_projection_residual(x, Matrix(2, 5), 3, rng),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace arams::linalg

@@ -1,0 +1,259 @@
+// OPTICS ordering and cluster extraction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "cluster/metrics.hpp"
+#include "cluster/optics.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::cluster {
+namespace {
+
+using linalg::Matrix;
+
+/// Three tight blobs at prescribed centers, plus optional far noise points.
+Matrix blobs(std::size_t per_cluster, double spread, std::uint64_t seed,
+             std::size_t noise_points = 0) {
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  Matrix pts(3 * per_cluster + noise_points, 2);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < 3 * per_cluster; ++i) {
+    const auto c = i / per_cluster;
+    pts(i, 0) = centers[c][0] + spread * rng.normal();
+    pts(i, 1) = centers[c][1] + spread * rng.normal();
+  }
+  for (std::size_t i = 0; i < noise_points; ++i) {
+    pts(3 * per_cluster + i, 0) = rng.uniform(40.0, 80.0);
+    pts(3 * per_cluster + i, 1) = rng.uniform(40.0, 80.0);
+  }
+  return pts;
+}
+
+TEST(Optics, ValidatesArguments) {
+  EXPECT_THROW(optics(Matrix(1, 2), OpticsConfig{}), CheckError);
+  OpticsConfig bad;
+  bad.min_pts = 1;
+  EXPECT_THROW(optics(blobs(5, 0.1, 1), bad), CheckError);
+}
+
+TEST(Optics, OrderIsAPermutation) {
+  const Matrix pts = blobs(10, 0.3, 2);
+  const OpticsResult r = optics(pts, OpticsConfig{4});
+  std::set<std::size_t> seen(r.order.begin(), r.order.end());
+  EXPECT_EQ(seen.size(), pts.rows());
+  EXPECT_EQ(r.order.size(), pts.rows());
+}
+
+TEST(Optics, ClusterMembersContiguousInOrdering) {
+  // With three well-separated blobs, each cluster's points occupy one
+  // contiguous run of the ordering (one jump between clusters).
+  const Matrix pts = blobs(12, 0.2, 3);
+  const OpticsResult r = optics(pts, OpticsConfig{4});
+  int jumps = 0;
+  for (std::size_t pos = 1; pos < r.order.size(); ++pos) {
+    const auto cluster_of = [](std::size_t idx) { return idx / 12; };
+    if (cluster_of(r.order[pos]) != cluster_of(r.order[pos - 1])) ++jumps;
+  }
+  EXPECT_EQ(jumps, 2);
+}
+
+TEST(Optics, ReachabilityLowInsideClusters) {
+  const Matrix pts = blobs(15, 0.2, 4);
+  const OpticsResult r = optics(pts, OpticsConfig{4});
+  // Finite reachabilities split into small (intra-cluster) and two large
+  // (inter-cluster) values.
+  std::vector<double> finite;
+  for (const double v : r.reachability) {
+    if (!std::isinf(v)) finite.push_back(v);
+  }
+  std::sort(finite.begin(), finite.end());
+  EXPECT_GT(finite.back(), 5.0);              // a jump between blobs
+  EXPECT_LT(finite[finite.size() / 2], 1.0);  // median is intra-blob
+}
+
+TEST(Optics, MaxEpsLimitsReachability) {
+  const Matrix pts = blobs(10, 0.2, 5);
+  OpticsConfig config;
+  config.min_pts = 3;
+  config.max_eps = 2.0;  // blobs are 10 apart: never bridged
+  const OpticsResult r = optics(pts, config);
+  for (const double v : r.reachability) {
+    EXPECT_TRUE(std::isinf(v) || v <= 2.0);
+  }
+}
+
+TEST(ExtractDbscan, RecoversThreeBlobs) {
+  const Matrix pts = blobs(15, 0.2, 6);
+  const OpticsResult r = optics(pts, OpticsConfig{4});
+  const auto labels = extract_dbscan(r, 2.0);
+  EXPECT_EQ(cluster_count(labels), 3u);
+  // All points clustered (no noise among tight blobs).
+  for (const int l : labels) EXPECT_GE(l, 0);
+}
+
+TEST(ExtractDbscan, MarksFarPointsAsNoise) {
+  const Matrix pts = blobs(15, 0.2, 7, /*noise_points=*/3);
+  OpticsConfig config;
+  config.min_pts = 5;
+  const OpticsResult r = optics(pts, config);
+  const auto labels = extract_dbscan(r, 2.0);
+  int noise = 0;
+  for (std::size_t i = 45; i < 48; ++i) {
+    if (labels[i] == -1) ++noise;
+  }
+  EXPECT_GE(noise, 2);  // the scattered far points are not dense
+}
+
+TEST(ExtractDbscan, TinyEpsMakesEverythingNoise) {
+  const Matrix pts = blobs(10, 0.5, 8);
+  const OpticsResult r = optics(pts, OpticsConfig{4});
+  const auto labels = extract_dbscan(r, 1e-9);
+  for (const int l : labels) EXPECT_EQ(l, -1);
+}
+
+TEST(ExtractAuto, RecoversBlobsWithoutManualEps) {
+  const Matrix pts = blobs(20, 0.25, 9);
+  const OpticsResult r = optics(pts, OpticsConfig{5});
+  const auto labels = extract_auto(r);
+  EXPECT_EQ(cluster_count(labels), 3u);
+}
+
+TEST(ExtractXi, FindsAtLeastTheMajorClusters) {
+  const Matrix pts = blobs(20, 0.25, 10);
+  const OpticsResult r = optics(pts, OpticsConfig{5});
+  const auto labels = extract_xi(r, 0.05, 8);
+  EXPECT_GE(cluster_count(labels), 3u);
+  // Each blob's points overwhelmingly share one label.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::map<int, int> votes;
+    for (std::size_t i = 0; i < 20; ++i) {
+      ++votes[labels[static_cast<std::size_t>(blob) * 20 + i]];
+    }
+    int best = 0;
+    for (const auto& [l, c] : votes) best = std::max(best, c);
+    EXPECT_GE(best, 15);
+  }
+}
+
+TEST(ExtractXi, ValidatesXiRange) {
+  const Matrix pts = blobs(5, 0.2, 11);
+  const OpticsResult r = optics(pts, OpticsConfig{3});
+  EXPECT_THROW(extract_xi(r, 0.0), CheckError);
+  EXPECT_THROW(extract_xi(r, 1.0), CheckError);
+}
+
+TEST(ExtractAuto, ValidatesQuantile) {
+  const Matrix pts = blobs(5, 0.2, 12);
+  const OpticsResult r = optics(pts, OpticsConfig{3});
+  EXPECT_THROW(extract_auto(r, 0.0), CheckError);
+  EXPECT_THROW(extract_auto(r, 1.0), CheckError);
+}
+
+/// Reference DBSCAN (textbook implementation, written independently of the
+/// OPTICS code) used to cross-validate extract_dbscan.
+std::vector<int> reference_dbscan(const Matrix& pts, double eps,
+                                  std::size_t min_pts) {
+  const std::size_t n = pts.rows();
+  const auto dist = [&](std::size_t a, std::size_t b) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < pts.cols(); ++c) {
+      const double d = pts(a, c) - pts(b, c);
+      s += d * d;
+    }
+    return std::sqrt(s);
+  };
+  const auto neighbors = [&](std::size_t p) {
+    std::vector<std::size_t> out;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (dist(p, q) <= eps) out.push_back(q);  // includes p itself
+    }
+    return out;
+  };
+  std::vector<int> labels(n, -2);  // -2 = unvisited, -1 = noise
+  int cluster = -1;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (labels[p] != -2) continue;
+    auto seeds = neighbors(p);
+    if (seeds.size() < min_pts) {
+      labels[p] = -1;
+      continue;
+    }
+    ++cluster;
+    labels[p] = cluster;
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const std::size_t q = seeds[i];
+      if (labels[q] == -1) labels[q] = cluster;  // border point
+      if (labels[q] != -2) continue;
+      labels[q] = cluster;
+      const auto qn = neighbors(q);
+      if (qn.size() >= min_pts) {
+        seeds.insert(seeds.end(), qn.begin(), qn.end());
+      }
+    }
+  }
+  for (auto& l : labels) {
+    if (l == -2) l = -1;
+  }
+  return labels;
+}
+
+class OpticsDbscanCrossCheck : public ::testing::TestWithParam<double> {};
+
+TEST_P(OpticsDbscanCrossCheck, ExtractionMatchesReferenceDbscan) {
+  // The OPTICS ε-cut must produce the same partition as a textbook DBSCAN
+  // at the same (ε, min_pts) — up to label permutation and the well-known
+  // border-point tie (a border point in range of two clusters may be
+  // assigned to either). Compare with ARI ≈ 1 on tie-free data.
+  const double eps = GetParam();
+  const Matrix pts = blobs(15, 0.25, 42);
+  constexpr std::size_t kMinPts = 4;
+  const OpticsResult r = optics(pts, OpticsConfig{kMinPts});
+  const auto from_optics = extract_dbscan(r, eps);
+  const auto reference = reference_dbscan(pts, eps, kMinPts);
+
+  // Core points must agree on noise-vs-clustered exactly; border points
+  // (non-core) may differ — Ankerst et al. note ExtractDBSCAN deviates
+  // from DBSCAN precisely on "some border objects".
+  const auto is_core = [&](std::size_t p) {
+    std::size_t within = 0;
+    for (std::size_t q = 0; q < pts.rows(); ++q) {
+      const double d = std::hypot(pts(p, 0) - pts(q, 0),
+                                  pts(p, 1) - pts(q, 1));
+      if (d <= eps) ++within;  // includes p itself
+    }
+    return within >= kMinPts;
+  };
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    if ((from_optics[i] == -1) != (reference[i] == -1)) {
+      EXPECT_FALSE(is_core(i)) << "core point " << i << " disagrees";
+    }
+  }
+  // Same partition of the clustered points.
+  std::vector<int> a, b;
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    if (from_optics[i] >= 0 && reference[i] >= 0) {
+      a.push_back(from_optics[i]);
+      b.push_back(reference[i]);
+    }
+  }
+  if (a.size() >= 2) {
+    EXPECT_GT(adjusted_rand_index(a, b), 0.999);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, OpticsDbscanCrossCheck,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0));
+
+TEST(ClusterCount, IgnoresNoise) {
+  EXPECT_EQ(cluster_count({-1, -1, -1}), 0u);
+  EXPECT_EQ(cluster_count({0, 1, -1, 1}), 2u);
+}
+
+}  // namespace
+}  // namespace arams::cluster

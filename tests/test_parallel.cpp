@@ -1,0 +1,180 @@
+// Thread pool and the virtual-core scaling driver.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/synthetic.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/virtual_cores.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::parallel {
+namespace {
+
+using linalg::Matrix;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<int> hits(50, 0);
+  pool.parallel_for(50, [&hits](std::size_t i) { hits[i] = 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [](std::size_t i) {
+                          if (i == 2) throw std::runtime_error("task failed");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+Matrix shard_data(std::size_t rows, std::size_t d, std::uint64_t seed) {
+  Matrix m(rows, d);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    rng.fill_normal(m.row(i));
+  }
+  return m;
+}
+
+ScalingConfig base_scaling(std::size_t cores, MergeStrategy strategy) {
+  ScalingConfig config;
+  config.num_cores = cores;
+  config.ell = 8;
+  config.strategy = strategy;
+  return config;
+}
+
+TEST(VirtualCores, ZeroCoresThrows) {
+  const ScalingConfig config = base_scaling(0, MergeStrategy::kTree);
+  EXPECT_THROW(
+      run_sharded_sketch(config, [](std::size_t) { return Matrix(4, 4); }),
+      CheckError);
+}
+
+TEST(VirtualCores, SingleCoreSkipsMerge) {
+  const ScalingConfig config = base_scaling(1, MergeStrategy::kTree);
+  const ScalingResult r = run_sharded_sketch(
+      config, [](std::size_t) { return shard_data(50, 10, 1); });
+  EXPECT_EQ(r.merge_stats.merge_ops, 0);
+  EXPECT_EQ(r.critical_path_svds, 0);
+  EXPECT_LE(r.sketch.rows(), 8u);
+}
+
+TEST(VirtualCores, ShardProviderCalledOncePerCore) {
+  std::atomic<int> calls{0};
+  const ScalingConfig config = base_scaling(4, MergeStrategy::kTree);
+  run_sharded_sketch(config, [&calls](std::size_t core) {
+    ++calls;
+    return shard_data(30, 8, core);
+  });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+class StrategyCores
+    : public ::testing::TestWithParam<std::tuple<MergeStrategy, int>> {};
+
+TEST_P(StrategyCores, SketchSatisfiesGlobalGuarantee) {
+  const auto [strategy, cores] = GetParam();
+  const ScalingConfig config =
+      base_scaling(static_cast<std::size_t>(cores), strategy);
+
+  Matrix full;
+  std::vector<Matrix> shards;
+  for (int c = 0; c < cores; ++c) {
+    Matrix s = shard_data(40, 12, static_cast<std::uint64_t>(c) + 100);
+    full = Matrix::vstack(full, s);
+    shards.push_back(std::move(s));
+  }
+  const ScalingResult r = run_sharded_sketch(
+      config, [&shards](std::size_t core) { return shards[core]; });
+
+  Rng power(3);
+  const double err = linalg::covariance_error(full, r.sketch, power, 150);
+  const double bound =
+      linalg::frobenius_norm_squared(full) / static_cast<double>(config.ell);
+  EXPECT_LE(err, 2.0 * bound);
+  EXPECT_GT(r.makespan_seconds, 0.0);
+  EXPECT_GE(r.total_work_seconds, r.local_phase_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StrategyCores,
+    ::testing::Combine(::testing::Values(MergeStrategy::kTree,
+                                         MergeStrategy::kSerial),
+                       ::testing::Values(1, 2, 4, 8)));
+
+TEST(VirtualCores, TreeBeatsSerialOnCriticalPath) {
+  constexpr std::size_t kCores = 16;
+  const auto provider = [](std::size_t core) {
+    return shard_data(30, 10, core + 7);
+  };
+  const ScalingResult tree = run_sharded_sketch(
+      base_scaling(kCores, MergeStrategy::kTree), provider);
+  const ScalingResult serial = run_sharded_sketch(
+      base_scaling(kCores, MergeStrategy::kSerial), provider);
+  EXPECT_EQ(tree.critical_path_svds, 4);    // log2(16)
+  EXPECT_EQ(serial.critical_path_svds, 15); // P − 1
+  // Same total merge work.
+  EXPECT_EQ(tree.merge_stats.merge_ops, serial.merge_stats.merge_ops);
+}
+
+TEST(VirtualCores, ThreadedRunMatchesSequentialSketchQuality) {
+  constexpr std::size_t kCores = 4;
+  std::vector<Matrix> shards;
+  Matrix full;
+  for (std::size_t c = 0; c < kCores; ++c) {
+    Matrix s = shard_data(40, 10, c + 55);
+    full = Matrix::vstack(full, s);
+    shards.push_back(std::move(s));
+  }
+  ScalingConfig config = base_scaling(kCores, MergeStrategy::kTree);
+  config.use_threads = true;
+  const ScalingResult r = run_sharded_sketch(
+      config, [&shards](std::size_t core) { return shards[core]; });
+  Rng power(5);
+  const double err = linalg::covariance_error(full, r.sketch, power, 150);
+  EXPECT_LE(err, 2.0 * linalg::frobenius_norm_squared(full) / 8.0);
+}
+
+TEST(CommModel, CostIsLatencyPlusTransfer) {
+  CommModel model;
+  model.latency_seconds = 1e-3;
+  model.bytes_per_second = 1e6;
+  EXPECT_DOUBLE_EQ(model.cost(2e6), 1e-3 + 2.0);
+}
+
+TEST(VirtualCores, MakespanDecomposes) {
+  const ScalingConfig config = base_scaling(8, MergeStrategy::kTree);
+  const ScalingResult r = run_sharded_sketch(
+      config, [](std::size_t core) { return shard_data(30, 10, core); });
+  EXPECT_NEAR(r.makespan_seconds,
+              r.local_phase_seconds + r.merge_phase_seconds, 1e-12);
+}
+
+}  // namespace
+}  // namespace arams::parallel

@@ -1,0 +1,216 @@
+// Integration tests: the full Fig. 4 monitoring pipeline end to end on both
+// synthetic LCLS workloads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/metrics.hpp"
+#include "embed/metrics.hpp"
+#include "stream/pipeline.hpp"
+#include "stream/source.hpp"
+#include "util/check.hpp"
+
+namespace arams::stream {
+namespace {
+
+PipelineConfig fast_pipeline() {
+  PipelineConfig config;
+  config.sketch.ell = 12;
+  config.sketch.rank_adaptive = false;
+  config.sketch.use_sampling = true;
+  config.sketch.beta = 0.9;
+  config.num_cores = 2;
+  config.pca_components = 8;
+  config.umap.n_neighbors = 10;
+  config.umap.n_epochs = 120;
+  config.optics.min_pts = 5;
+  config.abod_k = 8;
+  return config;
+}
+
+TEST(Pipeline, ValidatesConfig) {
+  PipelineConfig config = fast_pipeline();
+  config.num_cores = 0;
+  EXPECT_THROW(MonitoringPipeline{config}, CheckError);
+  config = fast_pipeline();
+  config.pca_components = 0;
+  EXPECT_THROW(MonitoringPipeline{config}, CheckError);
+}
+
+TEST(Pipeline, EmptyInputThrows) {
+  const MonitoringPipeline pipeline(fast_pipeline());
+  EXPECT_THROW(pipeline.analyze({}), CheckError);
+}
+
+TEST(Pipeline, BeamProfileEndToEndShapes) {
+  data::BeamProfileConfig beam;
+  beam.height = 24;
+  beam.width = 24;
+  BeamProfileSource source(beam, 120, 120.0, 1);
+  const auto events = drain(source, 120);
+
+  const MonitoringPipeline pipeline(fast_pipeline());
+  const PipelineResult result = pipeline.analyze_events(events);
+
+  EXPECT_EQ(result.latent.rows(), 120u);
+  EXPECT_EQ(result.latent.cols(), 8u);
+  EXPECT_EQ(result.embedding.rows(), 120u);
+  EXPECT_EQ(result.embedding.cols(), 2u);
+  EXPECT_EQ(result.labels.size(), 120u);
+  EXPECT_EQ(result.outlier_scores.size(), 120u);
+  EXPECT_GT(result.sketch.rows(), 0u);
+  EXPECT_GT(result.sketch_seconds, 0.0);
+  EXPECT_GT(result.embed_seconds, 0.0);
+}
+
+TEST(Pipeline, DiffractionClassesRecovered) {
+  data::DiffractionConfig diff;
+  diff.height = 32;
+  diff.width = 32;
+  diff.num_classes = 3;
+  diff.photons_per_frame = 4e4;
+  DiffractionSource source(diff, 180, 120.0, 2);
+  const auto events = drain(source, 180);
+  std::vector<int> truth;
+  truth.reserve(events.size());
+  for (const auto& e : events) truth.push_back(e.truth_label);
+
+  PipelineConfig config = fast_pipeline();
+  config.preprocess.center = false;  // rings are already centered
+  const MonitoringPipeline pipeline(config);
+  const PipelineResult result = pipeline.analyze_events(events);
+
+  // The unsupervised clusters must align with the latent classes well
+  // above chance (the Fig. 6 claim, quantified).
+  const double ari = cluster::adjusted_rand_index(result.labels, truth);
+  EXPECT_GT(ari, 0.5);
+}
+
+TEST(Pipeline, MatrixEntryPointSkipsPreprocessing) {
+  linalg::Matrix rows(60, 30);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 60; ++i) {
+    rng.fill_normal(rows.row(i));
+  }
+  PipelineConfig config = fast_pipeline();
+  config.umap.n_neighbors = 8;
+  const MonitoringPipeline pipeline(config);
+  const PipelineResult result = pipeline.analyze_matrix(rows);
+  EXPECT_EQ(result.preprocess_seconds, 0.0);
+  EXPECT_EQ(result.embedding.rows(), 60u);
+}
+
+TEST(Pipeline, MoreCoresSameQuality) {
+  data::BeamProfileConfig beam;
+  beam.height = 20;
+  beam.width = 20;
+  BeamProfileSource source(beam, 96, 120.0, 4);
+  const auto events = drain(source, 96);
+
+  PipelineConfig one = fast_pipeline();
+  one.num_cores = 1;
+  PipelineConfig four = fast_pipeline();
+  four.num_cores = 4;
+
+  const PipelineResult r1 = MonitoringPipeline(one).analyze_events(events);
+  const PipelineResult r4 = MonitoringPipeline(four).analyze_events(events);
+  // Both runs preserve neighbourhood structure comparably.
+  const double t1 =
+      embed::trustworthiness(r1.latent, r1.embedding, 8);
+  const double t4 =
+      embed::trustworthiness(r4.latent, r4.embedding, 8);
+  EXPECT_GT(t1, 0.75);
+  EXPECT_GT(t4, 0.75);
+  // The 4-core run actually merged sketches.
+  EXPECT_GT(r4.merge_stats.merge_ops, 0);
+}
+
+TEST(Pipeline, AbodDisabledWhenKZero) {
+  linalg::Matrix rows(40, 10);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 40; ++i) {
+    rng.fill_normal(rows.row(i));
+  }
+  PipelineConfig config = fast_pipeline();
+  config.abod_k = 0;
+  config.umap.n_neighbors = 8;
+  const PipelineResult result =
+      MonitoringPipeline(config).analyze_matrix(rows);
+  EXPECT_TRUE(result.outlier_scores.empty());
+}
+
+TEST(Pipeline, HdbscanBackendRecoversClasses) {
+  data::DiffractionConfig diff;
+  diff.height = 32;
+  diff.width = 32;
+  diff.num_classes = 3;
+  diff.photons_per_frame = 4e4;
+  DiffractionSource source(diff, 180, 120.0, 7);
+  const auto events = drain(source, 180);
+  std::vector<int> truth;
+  for (const auto& e : events) truth.push_back(e.truth_label);
+
+  PipelineConfig config = fast_pipeline();
+  config.cluster_method = PipelineConfig::ClusterMethod::kHdbscan;
+  config.preprocess.center = false;
+  const PipelineResult result =
+      MonitoringPipeline(config).analyze_events(events);
+  EXPECT_GT(cluster::adjusted_rand_index(result.labels, truth), 0.5);
+}
+
+TEST(Pipeline, KmeansBackendRecoversClassesAtKnownK) {
+  data::DiffractionConfig diff;
+  diff.height = 32;
+  diff.width = 32;
+  diff.num_classes = 3;
+  diff.photons_per_frame = 4e4;
+  DiffractionSource source(diff, 150, 120.0, 9);
+  const auto events = drain(source, 150);
+  std::vector<int> truth;
+  for (const auto& e : events) truth.push_back(e.truth_label);
+
+  PipelineConfig config = fast_pipeline();
+  config.cluster_method = PipelineConfig::ClusterMethod::kKmeans;
+  config.kmeans.k = 3;
+  config.preprocess.center = false;
+  const PipelineResult result =
+      MonitoringPipeline(config).analyze_events(events);
+  EXPECT_EQ(cluster::cluster_count(result.labels), 3u);
+  EXPECT_GT(cluster::adjusted_rand_index(result.labels, truth), 0.6);
+}
+
+TEST(Pipeline, ThreadedShardingMatchesShapes) {
+  linalg::Matrix rows(80, 20);
+  Rng rng(8);
+  for (std::size_t i = 0; i < 80; ++i) {
+    rng.fill_normal(rows.row(i));
+  }
+  PipelineConfig config = fast_pipeline();
+  config.use_threads = true;
+  config.num_cores = 4;
+  config.umap.n_neighbors = 8;
+  const PipelineResult result =
+      MonitoringPipeline(config).analyze_matrix(rows);
+  EXPECT_EQ(result.embedding.rows(), 80u);
+  EXPECT_GT(result.merge_stats.merge_ops, 0);
+}
+
+TEST(Pipeline, RankAdaptiveModeRunsEndToEnd) {
+  linalg::Matrix rows(150, 25);
+  Rng rng(6);
+  for (std::size_t i = 0; i < 150; ++i) {
+    rng.fill_normal(rows.row(i));
+  }
+  PipelineConfig config = fast_pipeline();
+  config.sketch.rank_adaptive = true;
+  config.sketch.ell = 8;
+  config.sketch.epsilon = 0.15;
+  const PipelineResult result =
+      MonitoringPipeline(config).analyze_matrix(rows);
+  EXPECT_GE(result.final_ell, 8u);
+  EXPECT_EQ(result.embedding.rows(), 150u);
+}
+
+}  // namespace
+}  // namespace arams::stream

@@ -1,0 +1,160 @@
+// Tests for detector-frame preprocessing (Section VI stage 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/preprocess.hpp"
+#include "util/check.hpp"
+
+namespace arams::image {
+namespace {
+
+ImageF gaussian_blob(std::size_t h, std::size_t w, double cy, double cx,
+                     double sigma) {
+  ImageF img(h, w);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const double dy = static_cast<double>(y) - cy;
+      const double dx = static_cast<double>(x) - cx;
+      img.at(y, x) = std::exp(-(dy * dy + dx * dx) / (2.0 * sigma * sigma));
+    }
+  }
+  return img;
+}
+
+TEST(Preprocess, ThresholdZeroesSmallPixels) {
+  ImageF img(2, 2);
+  img.at(0, 0) = 0.1;
+  img.at(0, 1) = 0.9;
+  threshold_below(img, 0.5);
+  EXPECT_EQ(img.at(0, 0), 0.0);
+  EXPECT_EQ(img.at(0, 1), 0.9);
+}
+
+TEST(Preprocess, RelativeThresholdScalesWithMax) {
+  ImageF img(1, 3);
+  img.at(0, 0) = 10.0;
+  img.at(0, 1) = 0.5;
+  img.at(0, 2) = 2.0;
+  threshold_relative(img, 0.1);  // cut below 1.0
+  EXPECT_EQ(img.at(0, 1), 0.0);
+  EXPECT_EQ(img.at(0, 2), 2.0);
+}
+
+TEST(Preprocess, RelativeThresholdDisabledForNonPositiveFraction) {
+  ImageF img(1, 2);
+  img.at(0, 0) = 0.1;
+  threshold_relative(img, 0.0);
+  EXPECT_EQ(img.at(0, 0), 0.1);
+}
+
+TEST(Preprocess, NormalizeIntensityHitsTarget) {
+  ImageF img(2, 2);
+  img.at(0, 0) = 2.0;
+  img.at(1, 1) = 6.0;
+  normalize_intensity(img, 1.0);
+  EXPECT_NEAR(img.total_intensity(), 1.0, 1e-12);
+}
+
+TEST(Preprocess, NormalizeZeroImageIsNoOp) {
+  ImageF img(2, 2);
+  normalize_intensity(img);
+  EXPECT_EQ(img.total_intensity(), 0.0);
+}
+
+TEST(Preprocess, CenterOfMassOfPointMass) {
+  ImageF img(5, 7);
+  img.at(3, 4) = 2.0;
+  const CenterOfMass com = center_of_mass(img);
+  EXPECT_DOUBLE_EQ(com.y, 3.0);
+  EXPECT_DOUBLE_EQ(com.x, 4.0);
+  EXPECT_DOUBLE_EQ(com.mass, 2.0);
+}
+
+TEST(Preprocess, CenterOnMassMovesBlobToCenter) {
+  ImageF img = gaussian_blob(31, 31, 8.0, 22.0, 2.0);
+  center_on_mass(img);
+  const CenterOfMass com = center_of_mass(img);
+  EXPECT_NEAR(com.y, 15.0, 1.0);
+  EXPECT_NEAR(com.x, 15.0, 1.0);
+}
+
+TEST(Preprocess, CenterOnMassPreservesMassForInteriorBlob) {
+  ImageF img = gaussian_blob(41, 41, 14.0, 26.0, 2.0);
+  const double before = img.total_intensity();
+  center_on_mass(img);
+  EXPECT_NEAR(img.total_intensity(), before, 1e-6 * before);
+}
+
+TEST(Preprocess, CenterOnMassZeroImageIsNoOp) {
+  ImageF img(5, 5);
+  EXPECT_NO_THROW(center_on_mass(img));
+}
+
+TEST(Preprocess, CropCenterExtractsMiddle) {
+  ImageF img(6, 6);
+  img.at(2, 2) = 1.0;  // inside the central 2×2 after crop to 2×2
+  const ImageF cropped = crop_center(img, 2, 2);
+  EXPECT_EQ(cropped.height(), 2u);
+  EXPECT_EQ(cropped.at(0, 0), 1.0);
+}
+
+TEST(Preprocess, CropLargerThanImageThrows) {
+  const ImageF img(4, 4);
+  EXPECT_THROW(crop_center(img, 5, 4), CheckError);
+}
+
+TEST(Preprocess, DownsampleBlockMean) {
+  ImageF img(2, 4);
+  img.at(0, 0) = 1.0;
+  img.at(0, 1) = 3.0;
+  img.at(1, 0) = 5.0;
+  img.at(1, 1) = 7.0;
+  const ImageF small = downsample(img, 2);
+  EXPECT_EQ(small.height(), 1u);
+  EXPECT_EQ(small.width(), 2u);
+  EXPECT_DOUBLE_EQ(small.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(small.at(0, 1), 0.0);
+}
+
+TEST(Preprocess, DownsampleRequiresDivisibility) {
+  const ImageF img(3, 4);
+  EXPECT_THROW(downsample(img, 2), CheckError);
+}
+
+TEST(Preprocess, FullPipelineCentersAndNormalizes) {
+  PreprocessConfig config;
+  config.threshold_fraction = 0.01;
+  config.normalize = true;
+  config.center = true;
+  ImageF img = gaussian_blob(32, 32, 9.0, 21.0, 2.0);
+  const ImageF out = preprocess(img, config);
+  EXPECT_NEAR(out.total_intensity(), 1.0, 1e-9);
+  const CenterOfMass com = center_of_mass(out);
+  EXPECT_NEAR(com.y, 15.5, 1.2);
+  EXPECT_NEAR(com.x, 15.5, 1.2);
+}
+
+TEST(Preprocess, BatchAppliesToAll) {
+  PreprocessConfig config;
+  config.threshold_fraction = 0.0;
+  config.center = false;
+  config.normalize = true;
+  std::vector<ImageF> batch(2, ImageF(2, 2));
+  batch[0].at(0, 0) = 4.0;
+  batch[1].at(1, 1) = 8.0;
+  const auto out = preprocess_batch(batch, config);
+  EXPECT_NEAR(out[0].total_intensity(), 1.0, 1e-12);
+  EXPECT_NEAR(out[1].total_intensity(), 1.0, 1e-12);
+}
+
+TEST(Preprocess, DownsampleFactorOneIsIdentity) {
+  ImageF img(2, 2);
+  img.at(0, 1) = 3.0;
+  const ImageF out = downsample(img, 1);
+  EXPECT_EQ(out.at(0, 1), 3.0);
+}
+
+}  // namespace
+}  // namespace arams::image

@@ -1,0 +1,192 @@
+// Priority sampling: unit tests plus the unbiasedness property —
+// E[B̃ᵀB̃] = AᵀA over many sampling repetitions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/priority_sampler.hpp"
+#include "linalg/blas.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::core {
+namespace {
+
+using linalg::Matrix;
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    rng.fill_normal(m.row(i));
+  }
+  return m;
+}
+
+TEST(PrioritySampler, CapacityZeroThrows) {
+  PrioritySamplerConfig config;
+  config.capacity = 0;
+  EXPECT_THROW(PrioritySampler{config}, CheckError);
+}
+
+TEST(PrioritySampler, UnderflowKeepsEverythingExactly) {
+  PrioritySamplerConfig config;
+  config.capacity = 10;
+  PrioritySampler sampler(config);
+  Rng rng(1);
+  const Matrix a = random_matrix(6, 4, rng);
+  sampler.push_batch(a);
+  const Matrix out = sampler.take();
+  EXPECT_EQ(Matrix::max_abs_diff(out, a), 0.0);
+  EXPECT_EQ(sampler.last_threshold(), 0.0);
+}
+
+TEST(PrioritySampler, OverflowKeepsExactlyCapacity) {
+  PrioritySamplerConfig config;
+  config.capacity = 5;
+  PrioritySampler sampler(config);
+  Rng rng(2);
+  sampler.push_batch(random_matrix(50, 3, rng));
+  const Matrix out = sampler.take();
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_GT(sampler.last_threshold(), 0.0);
+}
+
+TEST(PrioritySampler, TakeBeforePushThrows) {
+  PrioritySamplerConfig config;
+  PrioritySampler sampler(config);
+  EXPECT_THROW(sampler.take(), CheckError);
+}
+
+TEST(PrioritySampler, ZeroRowsAreNeverSampled) {
+  PrioritySamplerConfig config;
+  config.capacity = 3;
+  PrioritySampler sampler(config);
+  Matrix a(10, 2);
+  a(4, 0) = 1.0;  // the only non-zero row
+  sampler.push_batch(a);
+  const Matrix out = sampler.take();
+  ASSERT_EQ(out.rows(), 1u);
+  EXPECT_GT(linalg::norm2(out.row(0)), 0.0);
+}
+
+TEST(PrioritySampler, OutputPreservesStreamOrder) {
+  PrioritySamplerConfig config;
+  config.capacity = 4;
+  config.rescale = false;
+  PrioritySampler sampler(config);
+  // Increasing-norm rows: the four largest are rows 6..9, in order.
+  Matrix a(10, 1);
+  for (std::size_t i = 0; i < 10; ++i) {
+    a(i, 0) = static_cast<double>(i + 1) * 100.0;
+  }
+  sampler.push_batch(a);
+  const Matrix out = sampler.take();
+  ASSERT_EQ(out.rows(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(out(i, 0), out(i - 1, 0));
+  }
+}
+
+TEST(PrioritySampler, HeavyRowsAlmostAlwaysKept) {
+  // One row dominating the mass must essentially always survive.
+  int kept = 0;
+  constexpr int kReps = 100;
+  for (int rep = 0; rep < kReps; ++rep) {
+    PrioritySamplerConfig config;
+    config.capacity = 3;
+    config.seed = static_cast<std::uint64_t>(rep);
+    PrioritySampler sampler(config);
+    Matrix a(20, 2);
+    Rng rng(static_cast<std::uint64_t>(rep) + 1000);
+    for (std::size_t i = 0; i < 20; ++i) {
+      a(i, 0) = 0.01 * rng.normal();
+    }
+    a(7, 0) = 50.0;  // the heavy row
+    sampler.push_batch(a);
+    const Matrix out = sampler.take();
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      if (std::abs(out(i, 0)) >= 49.0) {
+        ++kept;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(kept, 99);
+}
+
+TEST(PrioritySampler, RescaledCovarianceIsUnbiased) {
+  // Average B̃ᵀB̃ over many seeds and compare to AᵀA entrywise.
+  Rng data_rng(3);
+  const Matrix a = random_matrix(40, 4, data_rng);
+  const Matrix target = linalg::gram_cols(a);
+
+  Matrix accum(4, 4);
+  constexpr int kReps = 600;
+  for (int rep = 0; rep < kReps; ++rep) {
+    PrioritySamplerConfig config;
+    config.capacity = 20;
+    config.seed = static_cast<std::uint64_t>(rep) * 7 + 1;
+    PrioritySampler sampler(config);
+    sampler.push_batch(a);
+    const Matrix s = sampler.take();
+    const Matrix g = linalg::gram_cols(s);
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        accum(i, j) += g(i, j) / kReps;
+      }
+    }
+  }
+  const double scale = linalg::frobenius_norm(target);
+  EXPECT_LT(Matrix::max_abs_diff(accum, target), 0.08 * scale);
+}
+
+TEST(PrioritySampler, RowNormWeightModeRuns) {
+  PrioritySamplerConfig config;
+  config.capacity = 5;
+  config.weight = SamplingWeight::kRowNorm;
+  PrioritySampler sampler(config);
+  Rng rng(4);
+  sampler.push_batch(random_matrix(30, 3, rng));
+  EXPECT_EQ(sampler.take().rows(), 5u);
+}
+
+TEST(PrioritySampler, ReusableAfterTake) {
+  PrioritySamplerConfig config;
+  config.capacity = 4;
+  PrioritySampler sampler(config);
+  Rng rng(5);
+  sampler.push_batch(random_matrix(10, 2, rng));
+  EXPECT_EQ(sampler.take().rows(), 4u);
+  sampler.push_batch(random_matrix(3, 6, rng));  // new dimension is fine
+  EXPECT_EQ(sampler.take().rows(), 3u);
+}
+
+class SampleFraction : public ::testing::TestWithParam<double> {};
+
+TEST_P(SampleFraction, KeepsRequestedFraction) {
+  const double beta = GetParam();
+  Rng rng(6);
+  const Matrix a = random_matrix(100, 5, rng);
+  const Matrix out = priority_sample(a, beta, PrioritySamplerConfig{});
+  EXPECT_EQ(out.rows(), static_cast<std::size_t>(std::ceil(100 * beta)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SampleFraction,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.8, 0.99));
+
+TEST(PrioritySample, FractionOneReturnsInputUnchanged) {
+  Rng rng(7);
+  const Matrix a = random_matrix(10, 3, rng);
+  const Matrix out = priority_sample(a, 1.0, PrioritySamplerConfig{});
+  EXPECT_EQ(Matrix::max_abs_diff(out, a), 0.0);
+}
+
+TEST(PrioritySample, InvalidFractionThrows) {
+  const Matrix a(5, 2);
+  EXPECT_THROW(priority_sample(a, 0.0, PrioritySamplerConfig{}), CheckError);
+  EXPECT_THROW(priority_sample(a, 1.5, PrioritySamplerConfig{}), CheckError);
+}
+
+}  // namespace
+}  // namespace arams::core

@@ -1,0 +1,130 @@
+// Tests for Householder QR and Gram–Schmidt orthonormalization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    rng.fill_normal(m.row(i));
+  }
+  return m;
+}
+
+class QrShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrShapes, ReconstructsInput) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 131 + n));
+  const Matrix a = random_matrix(static_cast<std::size_t>(m),
+                                 static_cast<std::size_t>(n), rng);
+  const QrResult qr = householder_qr(a);
+  const Matrix back = matmul(qr.q, qr.r);
+  EXPECT_LT(Matrix::max_abs_diff(back, a), 1e-10);
+}
+
+TEST_P(QrShapes, QHasOrthonormalColumns) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m + 997 * n));
+  const Matrix a = random_matrix(static_cast<std::size_t>(m),
+                                 static_cast<std::size_t>(n), rng);
+  const QrResult qr = householder_qr(a);
+  EXPECT_LT(orthonormality_defect(qr.q), 1e-10);
+}
+
+TEST_P(QrShapes, RIsUpperTriangular) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(3 * m + n));
+  const Matrix a = random_matrix(static_cast<std::size_t>(m),
+                                 static_cast<std::size_t>(n), rng);
+  const QrResult qr = householder_qr(a);
+  for (std::size_t i = 0; i < qr.r.rows(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_EQ(qr.r(i, j), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapes,
+                         ::testing::Values(std::pair{1, 1}, std::pair{3, 3},
+                                           std::pair{10, 4}, std::pair{25, 25},
+                                           std::pair{64, 16},
+                                           std::pair{100, 40}));
+
+TEST(Qr, WideMatrixThrows) {
+  EXPECT_THROW(householder_qr(Matrix(2, 5)), CheckError);
+}
+
+TEST(Qr, RankDeficientInputStillOrthogonalQ) {
+  // Two identical columns: R gets a zero diagonal but Q must stay valid.
+  Matrix a(6, 2);
+  Rng rng(5);
+  rng.fill_normal(a.row(0));
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);
+  }
+  const QrResult qr = householder_qr(a);
+  const Matrix back = matmul(qr.q, qr.r);
+  EXPECT_LT(Matrix::max_abs_diff(back, a), 1e-10);
+}
+
+TEST(Orthonormalize, ProducesOrthonormalColumns) {
+  Rng rng(7);
+  Matrix a = random_matrix(40, 10, rng);
+  const std::size_t rank = orthonormalize_columns(a);
+  EXPECT_EQ(rank, 10u);
+  EXPECT_LT(orthonormality_defect(a), 1e-10);
+}
+
+TEST(Orthonormalize, DetectsRankDeficiency) {
+  Matrix a(8, 3);
+  Rng rng(9);
+  // Column 2 = column 0 + column 1.
+  for (std::size_t i = 0; i < 8; ++i) {
+    a(i, 0) = rng.normal();
+    a(i, 1) = rng.normal();
+    a(i, 2) = a(i, 0) + a(i, 1);
+  }
+  const std::size_t rank = orthonormalize_columns(a);
+  EXPECT_EQ(rank, 2u);
+}
+
+TEST(Orthonormalize, PreservesColumnSpan) {
+  Rng rng(11);
+  const Matrix original = random_matrix(20, 5, rng);
+  Matrix q = original;
+  orthonormalize_columns(q);
+  // Every original column must be reproducible from Q: c = Q Qᵀ c.
+  for (std::size_t j = 0; j < original.cols(); ++j) {
+    std::vector<double> c(20);
+    for (std::size_t i = 0; i < 20; ++i) c[i] = original(i, j);
+    std::vector<double> coeff(5), back(20);
+    gemv(q.transposed(), c, coeff);
+    gemv(q, coeff, back);
+    for (std::size_t i = 0; i < 20; ++i) {
+      EXPECT_NEAR(back[i], c[i], 1e-9);
+    }
+  }
+}
+
+TEST(Orthonormalize, ZeroMatrixHasRankZero) {
+  Matrix a(5, 3);
+  EXPECT_EQ(orthonormalize_columns(a), 0u);
+}
+
+TEST(OrthonormalityDefect, IdentityIsZero) {
+  EXPECT_EQ(orthonormality_defect(Matrix::identity(4)), 0.0);
+}
+
+}  // namespace
+}  // namespace arams::linalg

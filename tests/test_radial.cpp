@@ -1,0 +1,160 @@
+// Radial / azimuthal detector reductions: ring recovery from the
+// diffraction generator, known-geometry profiles, argument validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "data/diffraction.hpp"
+#include "image/radial.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::image {
+namespace {
+
+ImageF ring_frame(std::size_t size, double radius, double width) {
+  ImageF img(size, size);
+  const double c = (static_cast<double>(size) - 1.0) / 2.0;
+  for (std::size_t y = 0; y < size; ++y) {
+    for (std::size_t x = 0; x < size; ++x) {
+      const double dy = static_cast<double>(y) - c;
+      const double dx = static_cast<double>(x) - c;
+      const double r = std::sqrt(dx * dx + dy * dy);
+      img.at(y, x) = std::exp(-(r - radius) * (r - radius) /
+                              (2.0 * width * width));
+    }
+  }
+  return img;
+}
+
+TEST(RadialProfile, ValidatesArguments) {
+  const ImageF img(16, 16);
+  EXPECT_THROW(radial_profile(img, 7.5, 7.5, 0), CheckError);
+  EXPECT_THROW(radial_profile(img, 0.0, 7.5, 8), CheckError);
+}
+
+TEST(RadialProfile, UniformFrameIsFlat) {
+  ImageF img(32, 32);
+  for (auto& p : img.pixels()) p = 3.0;
+  const auto c = frame_center(img);
+  const RadialProfile profile = radial_profile(img, c.y, c.x, 10);
+  for (std::size_t b = 0; b < 10; ++b) {
+    if (profile.counts[b] > 0) {
+      EXPECT_NEAR(profile.intensity[b], 3.0, 1e-12);
+    }
+  }
+}
+
+TEST(RadialProfile, PeakAtRingRadius) {
+  const ImageF img = ring_frame(64, 18.0, 1.5);
+  const auto c = frame_center(img);
+  const RadialProfile profile = radial_profile(img, c.y, c.x, 30);
+  EXPECT_NEAR(peak_radius(profile), 18.0, 1.2);
+}
+
+TEST(RadialProfile, BinsCoverAllInteriorPixels) {
+  const ImageF img = ring_frame(32, 8.0, 2.0);
+  const auto c = frame_center(img);
+  const RadialProfile profile = radial_profile(img, c.y, c.x, 8);
+  long total = 0;
+  for (const long n : profile.counts) total += n;
+  // Every pixel inside the inscribed circle lands in exactly one bin.
+  EXPECT_GT(total, static_cast<long>(0.7 * 3.14159 * 15.5 * 15.5));
+}
+
+TEST(AzimuthalProfile, UniformRingIsFlat) {
+  const ImageF img = ring_frame(64, 18.0, 1.5);
+  const auto c = frame_center(img);
+  const AzimuthalProfile profile =
+      azimuthal_profile(img, c.y, c.x, 15.0, 21.0, 12);
+  double mn = 1e300, mx = 0.0;
+  for (std::size_t b = 0; b < 12; ++b) {
+    mn = std::min(mn, profile.intensity[b]);
+    mx = std::max(mx, profile.intensity[b]);
+  }
+  EXPECT_LT((mx - mn) / mx, 0.15);
+}
+
+TEST(AzimuthalProfile, ValidatesAnnulus) {
+  const ImageF img(16, 16);
+  EXPECT_THROW(azimuthal_profile(img, 7.5, 7.5, 5.0, 5.0, 8), CheckError);
+  EXPECT_THROW(azimuthal_profile(img, 7.5, 7.5, 2.0, 5.0, 0), CheckError);
+}
+
+TEST(AzimuthalProfile, HalfMoonShowsUp) {
+  // Ring with intensity only for angles in [0, π): the first half of the
+  // angular bins must carry essentially all the mass.
+  ImageF img(64, 64);
+  const double c = 31.5;
+  for (std::size_t y = 0; y < 64; ++y) {
+    for (std::size_t x = 0; x < 64; ++x) {
+      const double dy = static_cast<double>(y) - c;
+      const double dx = static_cast<double>(x) - c;
+      const double r = std::sqrt(dx * dx + dy * dy);
+      double theta = std::atan2(dy, dx);
+      if (theta < 0.0) theta += 2.0 * std::numbers::pi;
+      if (r > 15.0 && r < 20.0 && theta < std::numbers::pi) {
+        img.at(y, x) = 1.0;
+      }
+    }
+  }
+  const AzimuthalProfile profile =
+      azimuthal_profile(img, c, c, 15.0, 20.0, 8);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_GT(profile.intensity[b], 0.8);
+  }
+  for (std::size_t b = 4; b < 8; ++b) {
+    EXPECT_LT(profile.intensity[b], 0.2);
+  }
+}
+
+TEST(QuadrantWeights, RecoverGeneratorTruth) {
+  data::DiffractionConfig config;
+  config.height = 64;
+  config.width = 64;
+  config.photons_per_frame = 0.0;  // noise-free
+  config.weight_jitter = 0.0;
+  config.radius_jitter = 0.0;
+  const data::DiffractionGenerator gen(config);
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto sample = gen.generate(rng);
+    const auto c = frame_center(sample.frame);
+    const double ring_r =
+        config.ring_radius_frac * static_cast<double>(config.width);
+    const auto weights = quadrant_weights(sample.frame, c.y, c.x,
+                                          ring_r - 4.0, ring_r + 4.0);
+    // Normalized truth.
+    double truth_total = 0.0;
+    for (const double w : sample.truth.quadrant_weights) truth_total += w;
+    // The smooth angular blend mixes neighbouring quadrants; the heaviest
+    // quadrant must still match and magnitudes stay close.
+    std::size_t truth_max = 0, measured_max = 0;
+    for (std::size_t q = 1; q < 4; ++q) {
+      if (sample.truth.quadrant_weights[q] >
+          sample.truth.quadrant_weights[truth_max]) {
+        truth_max = q;
+      }
+      if (weights[q] > weights[measured_max]) measured_max = q;
+    }
+    EXPECT_EQ(measured_max, truth_max);
+    for (std::size_t q = 0; q < 4; ++q) {
+      EXPECT_NEAR(weights[q],
+                  sample.truth.quadrant_weights[q] / truth_total, 0.08);
+    }
+  }
+}
+
+TEST(QuadrantWeights, EmptyAnnulusGivesZeros) {
+  const ImageF img(32, 32);  // all-zero frame
+  const auto c = frame_center(img);
+  const auto weights = quadrant_weights(img, c.y, c.x, 5.0, 10.0);
+  for (const double w : weights) {
+    EXPECT_EQ(w, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace arams::image

@@ -1,0 +1,108 @@
+// HTML scatter writer: structure of the emitted file, escaping, coloring.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "embed/scatter_html.hpp"
+#include "util/check.hpp"
+
+namespace arams::embed {
+namespace {
+
+using linalg::Matrix;
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+Matrix small_embedding() {
+  Matrix m(4, 2);
+  m(0, 0) = 0.0;
+  m(0, 1) = 0.0;
+  m(1, 0) = 1.0;
+  m(1, 1) = 1.0;
+  m(2, 0) = -1.0;
+  m(2, 1) = 2.0;
+  m(3, 0) = 0.5;
+  m(3, 1) = -1.0;
+  return m;
+}
+
+TEST(ScatterHtml, WritesWellFormedDocument) {
+  const std::string path = "/tmp/arams_scatter_test.html";
+  write_scatter_html(path, small_embedding(), {0, 1, -1, 0}, {});
+  const std::string html = read_file(path);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  // One circle per point.
+  std::size_t circles = 0, pos = 0;
+  while ((pos = html.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    ++pos;
+  }
+  EXPECT_EQ(circles, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(ScatterHtml, NoiseIsGrey) {
+  const std::string path = "/tmp/arams_scatter_noise.html";
+  write_scatter_html(path, small_embedding(), {-1, -1, -1, -1}, {});
+  const std::string html = read_file(path);
+  EXPECT_NE(html.find("#9e9e9e"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ScatterHtml, TooltipsAreEscaped) {
+  const std::string path = "/tmp/arams_scatter_tooltip.html";
+  write_scatter_html(path, small_embedding(), {},
+                     {"a<b", "c&d", "\"quoted\"", "plain"});
+  const std::string html = read_file(path);
+  EXPECT_NE(html.find("a&lt;b"), std::string::npos);
+  EXPECT_NE(html.find("c&amp;d"), std::string::npos);
+  EXPECT_NE(html.find("&quot;quoted&quot;"), std::string::npos);
+  EXPECT_EQ(html.find("a<b<"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ScatterHtml, TitleAppears) {
+  const std::string path = "/tmp/arams_scatter_title.html";
+  ScatterConfig config;
+  config.title = "Run 510 beam profiles";
+  write_scatter_html(path, small_embedding(), {}, {}, config);
+  const std::string html = read_file(path);
+  EXPECT_NE(html.find("Run 510 beam profiles"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ScatterHtml, DegenerateSingleValueHandled) {
+  // All points identical: spans are clamped, no NaN coordinates.
+  Matrix m(3, 2);
+  const std::string path = "/tmp/arams_scatter_degenerate.html";
+  write_scatter_html(path, m, {}, {});
+  const std::string html = read_file(path);
+  EXPECT_EQ(html.find("nan"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ScatterHtml, ValidatesArguments) {
+  EXPECT_THROW(write_scatter_html("/tmp/x.html", Matrix(), {}, {}),
+               CheckError);
+  EXPECT_THROW(write_scatter_html("/tmp/x.html", Matrix(3, 1), {}, {}),
+               CheckError);
+  EXPECT_THROW(
+      write_scatter_html("/tmp/x.html", small_embedding(), {1, 2}, {}),
+      CheckError);
+  EXPECT_THROW(write_scatter_html("/nonexistent-dir/x.html",
+                                  small_embedding(), {}, {}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace arams::embed

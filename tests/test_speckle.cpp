@@ -1,0 +1,165 @@
+// XPCS speckle generator: contrast statistics, coherence-length effect,
+// frame-to-frame correlation, argument validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/speckle.hpp"
+#include "util/check.hpp"
+
+namespace arams::data {
+namespace {
+
+double frame_correlation(const image::ImageF& a, const image::ImageF& b) {
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ma += pa[i];
+    mb += pb[i];
+  }
+  ma /= static_cast<double>(pa.size());
+  mb /= static_cast<double>(pb.size());
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    sab += (pa[i] - ma) * (pb[i] - mb);
+    saa += (pa[i] - ma) * (pa[i] - ma);
+    sbb += (pb[i] - mb) * (pb[i] - mb);
+  }
+  return sab / std::sqrt(saa * sbb);
+}
+
+TEST(Speckle, ValidatesConfig) {
+  SpeckleConfig config;
+  config.height = 2;
+  EXPECT_THROW(SpeckleGenerator(config, 1), CheckError);
+  config = SpeckleConfig{};
+  config.contrast = 0.0;
+  EXPECT_THROW(SpeckleGenerator(config, 1), CheckError);
+  config = SpeckleConfig{};
+  config.correlation = 1.0;
+  EXPECT_THROW(SpeckleGenerator(config, 1), CheckError);
+}
+
+TEST(Speckle, MeanIntensityHonored) {
+  SpeckleConfig config;
+  config.mean_intensity = 7.5;
+  SpeckleGenerator gen(config, 2);
+  const SpeckleSample s = gen.next();
+  const double mean = s.frame.total_intensity() /
+                      static_cast<double>(s.frame.pixel_count());
+  EXPECT_NEAR(mean, 7.5, 1e-9);
+}
+
+TEST(Speckle, FullyDevelopedContrastNearOne) {
+  // Fully developed speckle has σ_I/⟨I⟩ ≈ 1 (negative-exponential
+  // intensity statistics); finite grain count gives a few % spread.
+  SpeckleConfig config;
+  config.height = 96;
+  config.width = 96;
+  config.coherence_length = 1.5;
+  config.contrast = 1.0;
+  SpeckleGenerator gen(config, 3);
+  double mean_contrast = 0.0;
+  constexpr int kFrames = 10;
+  for (int i = 0; i < kFrames; ++i) {
+    mean_contrast += gen.next().truth.realized_contrast / kFrames;
+  }
+  EXPECT_NEAR(mean_contrast, 1.0, 0.2);
+}
+
+TEST(Speckle, PartialCoherenceReducesContrast) {
+  SpeckleConfig full;
+  full.contrast = 1.0;
+  SpeckleConfig half = full;
+  half.contrast = 0.5;
+  SpeckleGenerator g1(full, 4), g2(half, 4);
+  const double c1 = g1.next().truth.realized_contrast;
+  const double c2 = g2.next().truth.realized_contrast;
+  EXPECT_NEAR(c2, 0.5 * c1, 0.05 * c1);
+}
+
+TEST(Speckle, CoarserCoherenceMakesBiggerGrains) {
+  // Larger coherence length → fewer independent grains → higher spatial
+  // autocorrelation at a 2-pixel lag.
+  const auto lag2_corr = [](const image::ImageF& f) {
+    double ma = 0.0;
+    for (const double p : f.pixels()) ma += p;
+    ma /= static_cast<double>(f.pixel_count());
+    double sab = 0.0, saa = 0.0;
+    for (std::size_t y = 0; y < f.height(); ++y) {
+      for (std::size_t x = 0; x + 2 < f.width(); ++x) {
+        sab += (f.at(y, x) - ma) * (f.at(y, x + 2) - ma);
+        saa += (f.at(y, x) - ma) * (f.at(y, x) - ma);
+      }
+    }
+    return sab / saa;
+  };
+  SpeckleConfig fine;
+  fine.coherence_length = 1.0;
+  fine.height = 80;
+  fine.width = 80;
+  SpeckleConfig coarse = fine;
+  coarse.coherence_length = 4.0;
+  SpeckleGenerator g1(fine, 5), g2(coarse, 5);
+  EXPECT_LT(lag2_corr(g1.next().frame), lag2_corr(g2.next().frame));
+}
+
+TEST(Speckle, ConsecutiveFramesCorrelated) {
+  SpeckleConfig config;
+  config.correlation = 0.95;
+  SpeckleGenerator gen(config, 6);
+  const SpeckleSample a = gen.next();
+  const SpeckleSample b = gen.next();
+  EXPECT_GT(frame_correlation(a.frame, b.frame), 0.6);
+}
+
+TEST(Speckle, ZeroCorrelationGivesIndependentFrames) {
+  // A single pair fluctuates by ~1/√grains; average several pairs.
+  SpeckleConfig config;
+  config.correlation = 0.0;
+  config.height = 64;
+  config.width = 64;
+  SpeckleGenerator gen(config, 7);
+  double mean_corr = 0.0;
+  constexpr int kPairs = 6;
+  SpeckleSample prev = gen.next();
+  for (int i = 0; i < kPairs; ++i) {
+    SpeckleSample cur = gen.next();
+    mean_corr += frame_correlation(prev.frame, cur.frame) / kPairs;
+    prev = std::move(cur);
+  }
+  EXPECT_LT(std::abs(mean_corr), 0.1);
+}
+
+TEST(Speckle, CorrelationDecaysOverFrames) {
+  SpeckleConfig config;
+  config.correlation = 0.8;
+  SpeckleGenerator gen(config, 8);
+  const SpeckleSample first = gen.next();
+  SpeckleSample second = gen.next();
+  const double near = frame_correlation(first.frame, second.frame);
+  for (int i = 0; i < 20; ++i) {
+    second = gen.next();
+  }
+  const double far = frame_correlation(first.frame, second.frame);
+  EXPECT_LT(far, near);
+}
+
+TEST(Speckle, IntensityNonNegative) {
+  SpeckleGenerator gen(SpeckleConfig{}, 9);
+  const SpeckleSample s = gen.next();
+  for (const double p : s.frame.pixels()) {
+    EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(SpeckleContrast, ConstantFrameIsZero) {
+  image::ImageF img(8, 8);
+  for (auto& p : img.pixels()) p = 5.0;
+  EXPECT_NEAR(speckle_contrast(img), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace arams::data

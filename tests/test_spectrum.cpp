@@ -1,0 +1,94 @@
+// Tests for singular-value spectrum builders.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/spectrum.hpp"
+#include "util/check.hpp"
+
+namespace arams::data {
+namespace {
+
+TEST(Spectrum, ExponentialDecays) {
+  SpectrumConfig config;
+  config.kind = DecayKind::kExponential;
+  config.count = 50;
+  config.rate = 0.1;
+  const auto s = make_spectrum(config);
+  ASSERT_EQ(s.size(), 50u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LT(s[i], s[i - 1]);
+    EXPECT_GT(s[i], 0.0);
+  }
+  EXPECT_NEAR(s[10], std::exp(-1.0), 1e-12);
+}
+
+TEST(Spectrum, OrderingOfDecayFamilies) {
+  // At the same rate and index, super-exponential < exponential <
+  // sub-exponential (for indices past the crossover) — the Fig. 1 panel
+  // ordering.
+  SpectrumConfig config;
+  config.count = 200;
+  config.rate = 0.05;
+  config.kind = DecayKind::kSubExponential;
+  const auto sub = make_spectrum(config);
+  config.kind = DecayKind::kExponential;
+  const auto exp_s = make_spectrum(config);
+  config.kind = DecayKind::kSuperExponential;
+  const auto super = make_spectrum(config);
+  // Tail comparison at index 150.
+  EXPECT_LT(super[150], exp_s[150]);
+  EXPECT_GT(sub[150] / sub[0], 0.0);
+  // Sub-exponential keeps more relative tail mass than exponential.
+  EXPECT_GT(sub[199] / sub[20], exp_s[199] / exp_s[20]);
+}
+
+TEST(Spectrum, CubicMatchesFormula) {
+  SpectrumConfig config;
+  config.kind = DecayKind::kCubic;
+  config.count = 10;
+  const auto s = make_spectrum(config);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(s[9], 1.0 / 1000.0);
+}
+
+TEST(Spectrum, StepSpectrum) {
+  SpectrumConfig config;
+  config.kind = DecayKind::kStep;
+  config.count = 20;
+  config.step_rank = 5;
+  config.step_floor = 1e-6;
+  const auto s = make_spectrum(config);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(s[i], 1.0);
+  for (std::size_t i = 5; i < 20; ++i) EXPECT_DOUBLE_EQ(s[i], 1e-6);
+}
+
+TEST(Spectrum, ScaleMultiplies) {
+  SpectrumConfig config;
+  config.kind = DecayKind::kExponential;
+  config.count = 3;
+  config.scale = 7.0;
+  const auto s = make_spectrum(config);
+  EXPECT_DOUBLE_EQ(s[0], 7.0);
+}
+
+TEST(Spectrum, EmptyCountThrows) {
+  SpectrumConfig config;
+  config.count = 0;
+  EXPECT_THROW(make_spectrum(config), CheckError);
+}
+
+TEST(Spectrum, NamesRoundTrip) {
+  for (const DecayKind kind :
+       {DecayKind::kSubExponential, DecayKind::kExponential,
+        DecayKind::kSuperExponential, DecayKind::kCubic, DecayKind::kStep}) {
+    EXPECT_EQ(parse_decay(decay_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_decay("nonsense"), CheckError);
+}
+
+}  // namespace
+}  // namespace arams::data

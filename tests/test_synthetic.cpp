@@ -1,0 +1,134 @@
+// Tests for the synthetic low-rank data factory: the generated spectra must
+// match the requested ones, and per-core perturbed shards must be similar
+// but not identical (Section V.1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "util/check.hpp"
+
+namespace arams::data {
+namespace {
+
+using linalg::Matrix;
+
+TEST(RandomOrthogonal, ColumnsOrthonormal) {
+  Rng rng(1);
+  const Matrix q = random_orthogonal(30, 8, rng);
+  EXPECT_LT(linalg::orthonormality_defect(q), 1e-10);
+}
+
+TEST(RandomOrthogonal, WideThrows) {
+  Rng rng(2);
+  EXPECT_THROW(random_orthogonal(3, 5, rng), CheckError);
+}
+
+TEST(PerturbOrthogonal, ZeroEpsilonIsIdentityOp) {
+  Rng rng(3);
+  const Matrix q = random_orthogonal(20, 4, rng);
+  const Matrix p = perturb_orthogonal(q, 0.0, rng);
+  EXPECT_EQ(Matrix::max_abs_diff(p, q), 0.0);
+}
+
+TEST(PerturbOrthogonal, SmallEpsilonStaysClose) {
+  Rng rng(4);
+  const Matrix q = random_orthogonal(40, 6, rng);
+  const Matrix p = perturb_orthogonal(q, 1e-3, rng);
+  EXPECT_LT(linalg::orthonormality_defect(p), 1e-10);
+  EXPECT_LT(Matrix::max_abs_diff(p, q), 0.05);
+  EXPECT_GT(Matrix::max_abs_diff(p, q), 0.0);
+}
+
+TEST(MakeLowRank, SingularValuesMatchRequested) {
+  SyntheticConfig config;
+  config.n = 60;
+  config.d = 25;
+  config.spectrum.kind = DecayKind::kExponential;
+  config.spectrum.count = 10;
+  config.spectrum.rate = 0.3;
+  Rng rng(5);
+  const Matrix a = make_low_rank(config, rng);
+  EXPECT_EQ(a.rows(), 60u);
+  EXPECT_EQ(a.cols(), 25u);
+
+  const auto requested = make_spectrum(config.spectrum);
+  const auto actual = exact_singular_values(a);
+  for (std::size_t i = 0; i < requested.size(); ++i) {
+    EXPECT_NEAR(actual[i], requested[i], 1e-8);
+  }
+  // Remaining singular values are numerically zero.
+  for (std::size_t i = requested.size(); i < actual.size(); ++i) {
+    EXPECT_LT(actual[i], 1e-8);
+  }
+}
+
+TEST(MakeLowRank, NoiseLiftsTail) {
+  SyntheticConfig config;
+  config.n = 40;
+  config.d = 20;
+  config.spectrum.count = 5;
+  config.noise = 0.01;
+  Rng rng(6);
+  const Matrix a = make_low_rank(config, rng);
+  const auto sv = exact_singular_values(a);
+  EXPECT_GT(sv[10], 0.0);  // noise floor is nonzero
+}
+
+TEST(MakeLowRank, RankBeyondDimensionsThrows) {
+  SyntheticConfig config;
+  config.n = 10;
+  config.d = 5;
+  config.spectrum.count = 8;
+  Rng rng(7);
+  EXPECT_THROW(make_low_rank(config, rng), CheckError);
+}
+
+TEST(CoreShards, SameCoreIndexIsDeterministic) {
+  SyntheticConfig config;
+  config.n = 20;
+  config.d = 10;
+  config.spectrum.count = 4;
+  Rng rng(8);
+  const SharedFactors f = make_shared_factors(config, rng);
+  const Rng base(99);
+  const Matrix s1 = make_core_shard(f, 2, 0.01, base);
+  const Matrix s2 = make_core_shard(f, 2, 0.01, base);
+  EXPECT_EQ(Matrix::max_abs_diff(s1, s2), 0.0);
+}
+
+TEST(CoreShards, DifferentCoresSimilarButNotIdentical) {
+  SyntheticConfig config;
+  config.n = 30;
+  config.d = 12;
+  config.spectrum.count = 4;
+  Rng rng(9);
+  const SharedFactors f = make_shared_factors(config, rng);
+  const Rng base(77);
+  const Matrix s0 = make_core_shard(f, 0, 0.01, base);
+  const Matrix s1 = make_core_shard(f, 1, 0.01, base);
+  const double diff = Matrix::max_abs_diff(s0, s1);
+  EXPECT_GT(diff, 0.0);
+  // A small perturbation keeps shards close relative to their magnitude.
+  const double scale = linalg::frobenius_norm(s0);
+  EXPECT_LT(diff, scale);
+}
+
+TEST(CoreShards, ZeroPerturbationGivesIdenticalShards) {
+  SyntheticConfig config;
+  config.n = 15;
+  config.d = 8;
+  config.spectrum.count = 3;
+  Rng rng(10);
+  const SharedFactors f = make_shared_factors(config, rng);
+  const Rng base(11);
+  const Matrix s0 = make_core_shard(f, 0, 0.0, base);
+  const Matrix s1 = make_core_shard(f, 5, 0.0, base);
+  EXPECT_LT(Matrix::max_abs_diff(s0, s1), 1e-12);
+}
+
+}  // namespace
+}  // namespace arams::data

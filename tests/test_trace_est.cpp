@@ -1,0 +1,184 @@
+// Stochastic trace estimators: Hutchinson and Hutch++ correctness,
+// variance ordering, and the residual-estimator dispatch used by the
+// rank-adaptation heuristic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/trace_est.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::linalg {
+namespace {
+
+/// Diagonal operator with the given entries.
+SymMatVec diag_op(std::vector<double> d) {
+  return [d = std::move(d)](std::span<const double> x,
+                            std::span<double> y) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = d[i] * x[i];
+    }
+  };
+}
+
+TEST(Hutchinson, ExactForIdentityLikeDiagonal) {
+  // With Rademacher probes, zᵢ² = 1, so a diagonal operator's estimate is
+  // exact on every draw.
+  Rng rng(1);
+  const auto op = diag_op({3.0, -1.0, 4.0, 1.5});
+  EXPECT_NEAR(hutchinson_trace(op, 4, 1, rng), 7.5, 1e-12);
+}
+
+TEST(Hutchinson, UnbiasedOnDenseOperator) {
+  Rng data_rng(2);
+  Matrix a(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) data_rng.fill_normal(a.row(i));
+  const Matrix g = gram_cols(a);  // PSD with known trace
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) trace += g(i, i);
+  const SymMatVec op = [&](std::span<const double> x, std::span<double> y) {
+    gemv(g, x, y);
+  };
+  Rng rng(3);
+  EXPECT_NEAR(hutchinson_trace(op, 8, 4000, rng), trace, 0.05 * trace);
+}
+
+TEST(Hutchinson, ValidatesArguments) {
+  Rng rng(4);
+  const auto op = diag_op({1.0});
+  EXPECT_THROW(hutchinson_trace(op, 0, 5, rng), CheckError);
+  EXPECT_THROW(hutchinson_trace(op, 1, 0, rng), CheckError);
+}
+
+TEST(HutchPlusPlus, NearExactForLowRankPsd) {
+  // Rank-2 PSD operator: the deflation captures it exactly, so Hutch++
+  // needs only a handful of probes.
+  Rng data_rng(5);
+  Matrix b(2, 20);
+  for (std::size_t i = 0; i < 2; ++i) data_rng.fill_normal(b.row(i));
+  const Matrix g = gram_cols(b);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) trace += g(i, i);
+  const SymMatVec op = [&](std::span<const double> x, std::span<double> y) {
+    gemv(g, x, y);
+  };
+  Rng rng(6);
+  EXPECT_NEAR(hutchpp_trace(op, 20, 12, rng), trace, 1e-6 * trace);
+}
+
+TEST(HutchPlusPlus, BeatsHutchinsonOnDecayingSpectrum) {
+  // Dense PSD operator with fast spectral decay — the regime Hutch++ is
+  // built for. (Diagonal operators would be exact for Rademacher
+  // Hutchinson, hence the random rotation.)
+  constexpr std::size_t kDim = 48;
+  Rng build_rng(99);
+  Matrix root(kDim, kDim);
+  for (std::size_t i = 0; i < kDim; ++i) {
+    build_rng.fill_normal(root.row(i));
+    // Scale row i so M = rootᵀ·root has an exponentially decaying
+    // spectrum profile.
+    linalg::scale(root.row(i), std::exp(-0.1 * static_cast<double>(i)));
+  }
+  const Matrix m_mat = gram_cols(root);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < kDim; ++i) trace += m_mat(i, i);
+  const SymMatVec op = [&](std::span<const double> x, std::span<double> y) {
+    gemv(m_mat, x, y);
+  };
+
+  double err_h = 0.0, err_hpp = 0.0;
+  constexpr int kReps = 40;
+  constexpr int kProbes = 18;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng r1(100 + rep), r2(100 + rep);
+    err_h += std::abs(hutchinson_trace(op, kDim, kProbes, r1) - trace);
+    err_hpp += std::abs(hutchpp_trace(op, kDim, kProbes, r2) - trace);
+  }
+  EXPECT_LT(err_hpp, err_h);
+}
+
+TEST(HutchPlusPlus, ValidatesProbeCount) {
+  Rng rng(7);
+  const auto op = diag_op({1.0, 2.0});
+  EXPECT_THROW(hutchpp_trace(op, 2, 2, rng), CheckError);
+}
+
+class ResidualStrategies
+    : public ::testing::TestWithParam<ResidualEstimator> {};
+
+TEST_P(ResidualStrategies, ConvergesToExactResidual) {
+  const ResidualEstimator strategy = GetParam();
+  Rng data_rng(8);
+  Matrix x(25, 15);
+  for (std::size_t i = 0; i < 25; ++i) data_rng.fill_normal(x.row(i));
+  Matrix b(15, 3);
+  for (std::size_t i = 0; i < 15; ++i) data_rng.fill_normal(b.row(i));
+  orthonormalize_columns(b);
+  const Matrix basis = b.transposed();
+  const double exact = projection_residual_exact(x, basis);
+
+  double mean = 0.0;
+  constexpr int kReps = 20;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng rng(500 + rep);
+    mean += estimate_residual(x, basis, strategy, 60, rng);
+  }
+  mean /= kReps;
+  EXPECT_NEAR(mean, exact, 0.1 * exact);
+}
+
+TEST_P(ResidualStrategies, ZeroResidualDetected) {
+  const ResidualEstimator strategy = GetParam();
+  // Data exactly inside the basis span.
+  Rng rng(9);
+  Matrix b(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) rng.fill_normal(b.row(i));
+  orthonormalize_columns(b);
+  const Matrix basis = b.transposed();
+  Matrix x(6, 10);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double c0 = rng.normal(), c1 = rng.normal();
+    for (std::size_t j = 0; j < 10; ++j) {
+      x(i, j) = c0 * basis(0, j) + c1 * basis(1, j);
+    }
+  }
+  Rng est_rng(10);
+  EXPECT_NEAR(estimate_residual(x, basis, strategy, 12, est_rng), 0.0,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ResidualStrategies,
+    ::testing::Values(ResidualEstimator::kGaussianProbes,
+                      ResidualEstimator::kHutchinson,
+                      ResidualEstimator::kHutchPlusPlus));
+
+TEST(ResidualEstimatorNames, RoundTrip) {
+  for (const auto e :
+       {ResidualEstimator::kGaussianProbes, ResidualEstimator::kHutchinson,
+        ResidualEstimator::kHutchPlusPlus}) {
+    EXPECT_EQ(parse_residual_estimator(residual_estimator_name(e)), e);
+  }
+  EXPECT_THROW(parse_residual_estimator("bogus"), CheckError);
+}
+
+TEST(ResidualEstimate, HutchppFallsBackBelowThreeProbes) {
+  Rng rng(11);
+  Matrix x(8, 6);
+  for (std::size_t i = 0; i < 8; ++i) rng.fill_normal(x.row(i));
+  Matrix b(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) rng.fill_normal(b.row(i));
+  orthonormalize_columns(b);
+  const Matrix basis = b.transposed();
+  Rng est_rng(12);
+  EXPECT_NO_THROW(estimate_residual(
+      x, basis, ResidualEstimator::kHutchPlusPlus, 2, est_rng));
+}
+
+}  // namespace
+}  // namespace arams::linalg

@@ -1,0 +1,114 @@
+// Exact t-SNE: cluster preservation, determinism, perplexity calibration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/metrics.hpp"
+#include "embed/tsne.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::embed {
+namespace {
+
+using linalg::Matrix;
+
+Matrix two_clusters(std::size_t per, double separation, std::uint64_t seed) {
+  Matrix pts(2 * per, 4);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < 2 * per; ++i) {
+    const double offset = (i < per) ? 0.0 : separation;
+    for (std::size_t c = 0; c < 4; ++c) {
+      pts(i, c) = (c == 0 ? offset : 0.0) + rng.normal();
+    }
+  }
+  return pts;
+}
+
+TsneConfig fast_config() {
+  TsneConfig config;
+  config.perplexity = 12.0;
+  config.n_iters = 300;
+  return config;
+}
+
+TEST(Tsne, ValidatesArguments) {
+  EXPECT_THROW(tsne_embed(Matrix(5, 2), fast_config()), CheckError);
+  TsneConfig config = fast_config();
+  config.perplexity = 30.0;
+  EXPECT_THROW(tsne_embed(two_clusters(20, 5.0, 1), config), CheckError);
+}
+
+TEST(Tsne, OutputShape) {
+  const Matrix pts = two_clusters(30, 8.0, 2);
+  const Matrix y = tsne_embed(pts, fast_config());
+  EXPECT_EQ(y.rows(), 60u);
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(Tsne, DeterministicGivenSeed) {
+  const Matrix pts = two_clusters(25, 8.0, 3);
+  const Matrix y1 = tsne_embed(pts, fast_config());
+  const Matrix y2 = tsne_embed(pts, fast_config());
+  EXPECT_EQ(Matrix::max_abs_diff(y1, y2), 0.0);
+}
+
+TEST(Tsne, SeparatedClustersStaySeparated) {
+  constexpr std::size_t kPer = 40;
+  const Matrix pts = two_clusters(kPer, 25.0, 4);
+  const Matrix y = tsne_embed(pts, fast_config());
+  double c0x = 0, c0y = 0, c1x = 0, c1y = 0;
+  for (std::size_t i = 0; i < kPer; ++i) {
+    c0x += y(i, 0);
+    c0y += y(i, 1);
+    c1x += y(kPer + i, 0);
+    c1y += y(kPer + i, 1);
+  }
+  c0x /= kPer;
+  c0y /= kPer;
+  c1x /= kPer;
+  c1y /= kPer;
+  const double between = std::hypot(c1x - c0x, c1y - c0y);
+  double within = 0.0;
+  for (std::size_t i = 0; i < kPer; ++i) {
+    within += std::hypot(y(i, 0) - c0x, y(i, 1) - c0y);
+    within += std::hypot(y(kPer + i, 0) - c1x, y(kPer + i, 1) - c1y);
+  }
+  within /= (2.0 * kPer);
+  EXPECT_GT(between, 2.0 * within);
+}
+
+TEST(Tsne, PreservesNeighborhoods) {
+  const Matrix pts = two_clusters(35, 12.0, 5);
+  const Matrix y = tsne_embed(pts, fast_config());
+  EXPECT_GT(trustworthiness(pts, y, 8), 0.8);
+}
+
+TEST(Tsne, EmbeddingIsCentered) {
+  const Matrix pts = two_clusters(30, 10.0, 6);
+  const Matrix y = tsne_embed(pts, fast_config());
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < y.rows(); ++i) mean += y(i, c);
+    EXPECT_NEAR(mean / static_cast<double>(y.rows()), 0.0, 1e-9);
+  }
+}
+
+TEST(Tsne, NoNansOnDuplicatePoints) {
+  Matrix pts(40, 3);
+  Rng rng(7);
+  for (std::size_t i = 0; i < 20; ++i) {
+    rng.fill_normal(pts.row(i));
+    pts.set_row(20 + i, pts.row(i));  // exact duplicates
+  }
+  const Matrix y = tsne_embed(pts, fast_config());
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    for (const double v : y.row(i)) {
+      EXPECT_FALSE(std::isnan(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arams::embed

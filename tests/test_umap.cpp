@@ -1,0 +1,283 @@
+// UMAP internals (smooth-kNN calibration, fuzzy union, a/b curve fit) and
+// end-to-end behaviour: well-separated clusters must stay separated.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/metrics.hpp"
+#include "embed/umap.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace arams::embed {
+namespace {
+
+using linalg::Matrix;
+
+Matrix two_gaussian_clusters(std::size_t per_cluster, double separation,
+                             std::uint64_t seed) {
+  Matrix pts(2 * per_cluster, 4);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < 2 * per_cluster; ++i) {
+    const double offset = (i < per_cluster) ? 0.0 : separation;
+    for (std::size_t c = 0; c < 4; ++c) {
+      pts(i, c) = (c == 0 ? offset : 0.0) + rng.normal();
+    }
+  }
+  return pts;
+}
+
+TEST(SmoothKnn, SumConstraintHonored) {
+  const Matrix pts = two_gaussian_clusters(30, 8.0, 1);
+  const KnnGraph g = exact_knn(pts, 10);
+  const SmoothKnn smooth = smooth_knn_distances(g);
+  const double target = std::log2(10.0);
+  for (std::size_t i = 0; i < g.n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < g.k; ++j) {
+      const double d = g.distance(i, j) - smooth.rho[i];
+      sum += (d <= 0.0) ? 1.0 : std::exp(-d / smooth.sigma[i]);
+    }
+    EXPECT_NEAR(sum, target, 0.05 * target);
+  }
+}
+
+TEST(SmoothKnn, RhoIsNearestNeighborDistance) {
+  const Matrix pts = two_gaussian_clusters(20, 5.0, 2);
+  const KnnGraph g = exact_knn(pts, 5);
+  const SmoothKnn smooth = smooth_knn_distances(g);
+  for (std::size_t i = 0; i < g.n; ++i) {
+    EXPECT_DOUBLE_EQ(smooth.rho[i], g.distance(i, 0));
+  }
+}
+
+TEST(FuzzyGraph, WeightsInUnitInterval) {
+  const Matrix pts = two_gaussian_clusters(25, 6.0, 3);
+  const KnnGraph g = exact_knn(pts, 8);
+  const FuzzyGraph fuzzy = fuzzy_simplicial_set(g, smooth_knn_distances(g));
+  EXPECT_GT(fuzzy.edges.size(), 0u);
+  for (const auto& e : fuzzy.edges) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_LE(e.weight, 1.0 + 1e-12);
+    EXPECT_LT(e.u, e.v);  // canonical orientation, no duplicates
+    EXPECT_LT(e.v, fuzzy.n);
+  }
+}
+
+TEST(FuzzyGraph, NearestNeighborEdgeIsStrong) {
+  // Each point's nearest neighbour has d − ρ = 0 → directed weight 1 →
+  // symmetric weight 1.
+  const Matrix pts = two_gaussian_clusters(15, 10.0, 4);
+  const KnnGraph g = exact_knn(pts, 4);
+  const FuzzyGraph fuzzy = fuzzy_simplicial_set(g, smooth_knn_distances(g));
+  for (std::size_t i = 0; i < g.n; ++i) {
+    const std::size_t nn = g.neighbor(i, 0);
+    bool found = false;
+    for (const auto& e : fuzzy.edges) {
+      if ((e.u == std::min(i, nn)) && (e.v == std::max(i, nn))) {
+        EXPECT_NEAR(e.weight, 1.0, 1e-9);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(FitAb, MatchesReferenceValuesForDefaultMinDist) {
+  // umap-learn fits a≈1.577, b≈0.895 for spread=1, min_dist=0.1.
+  const auto [a, b] = fit_ab(1.0, 0.1);
+  EXPECT_NEAR(a, 1.58, 0.25);
+  EXPECT_NEAR(b, 0.90, 0.12);
+}
+
+TEST(FitAb, LargerMinDistFlattensCurve) {
+  const auto [a1, b1] = fit_ab(1.0, 0.0);
+  const auto [a2, b2] = fit_ab(1.0, 0.8);
+  // Larger min_dist → plateau → smaller a.
+  EXPECT_LT(a2, a1);
+  (void)b1;
+  (void)b2;
+}
+
+TEST(FitAb, InvalidArgumentsThrow) {
+  EXPECT_THROW(fit_ab(0.0, 0.1), CheckError);
+  EXPECT_THROW(fit_ab(1.0, 5.0), CheckError);
+}
+
+UmapConfig fast_config() {
+  UmapConfig config;
+  config.n_neighbors = 10;
+  config.n_epochs = 150;
+  config.seed = 99;
+  return config;
+}
+
+TEST(Umap, OutputShape) {
+  const Matrix pts = two_gaussian_clusters(40, 8.0, 5);
+  const Matrix y = umap_embed(pts, fast_config());
+  EXPECT_EQ(y.rows(), pts.rows());
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(Umap, DeterministicGivenSeed) {
+  const Matrix pts = two_gaussian_clusters(30, 8.0, 6);
+  const Matrix y1 = umap_embed(pts, fast_config());
+  const Matrix y2 = umap_embed(pts, fast_config());
+  EXPECT_EQ(Matrix::max_abs_diff(y1, y2), 0.0);
+}
+
+TEST(Umap, SeparatedClustersStaySeparated) {
+  constexpr std::size_t kPer = 50;
+  const Matrix pts = two_gaussian_clusters(kPer, 20.0, 7);
+  const Matrix y = umap_embed(pts, fast_config());
+
+  // Centroid distance must exceed the mean within-cluster spread.
+  double c0x = 0, c0y = 0, c1x = 0, c1y = 0;
+  for (std::size_t i = 0; i < kPer; ++i) {
+    c0x += y(i, 0);
+    c0y += y(i, 1);
+    c1x += y(kPer + i, 0);
+    c1y += y(kPer + i, 1);
+  }
+  c0x /= kPer;
+  c0y /= kPer;
+  c1x /= kPer;
+  c1y /= kPer;
+  const double between = std::hypot(c1x - c0x, c1y - c0y);
+  double within = 0.0;
+  for (std::size_t i = 0; i < kPer; ++i) {
+    within += std::hypot(y(i, 0) - c0x, y(i, 1) - c0y);
+    within += std::hypot(y(kPer + i, 0) - c1x, y(kPer + i, 1) - c1y);
+  }
+  within /= (2.0 * kPer);
+  EXPECT_GT(between, 2.0 * within);
+}
+
+TEST(Umap, PreservesNeighborhoodsBetterThanRandom) {
+  const Matrix pts = two_gaussian_clusters(40, 10.0, 8);
+  const Matrix y = umap_embed(pts, fast_config());
+  const double t = trustworthiness(pts, y, 8);
+  EXPECT_GT(t, 0.8);
+}
+
+TEST(Umap, RandomInitAlsoWorks) {
+  UmapConfig config = fast_config();
+  config.init = UmapConfig::Init::kRandom;
+  const Matrix pts = two_gaussian_clusters(30, 15.0, 9);
+  const Matrix y = umap_embed(pts, config);
+  EXPECT_EQ(y.rows(), 60u);
+  const double t = trustworthiness(pts, y, 6);
+  EXPECT_GT(t, 0.7);
+}
+
+TEST(Umap, SpectralInitSeparatesComponents) {
+  // Two far-apart clusters form (nearly) disconnected graph components;
+  // the Fiedler-like vector must separate them by sign.
+  const Matrix pts = two_gaussian_clusters(25, 50.0, 21);
+  const KnnGraph g = exact_knn(pts, 8);
+  const FuzzyGraph fuzzy = fuzzy_simplicial_set(g, smooth_knn_distances(g));
+  Rng rng(22);
+  const Matrix init = spectral_init(fuzzy, 2, rng);
+  ASSERT_EQ(init.rows(), 50u);
+  // Find the axis where the clusters separate by sign.
+  bool separated = false;
+  for (std::size_t axis = 0; axis < 2; ++axis) {
+    int agree = 0;
+    for (std::size_t i = 0; i < 25; ++i) {
+      if ((init(i, axis) > 0) == (init(25 + i, axis) < 0)) ++agree;
+    }
+    if (agree >= 23) separated = true;
+  }
+  EXPECT_TRUE(separated);
+}
+
+TEST(Umap, SpectralInitEndToEnd) {
+  UmapConfig config = fast_config();
+  config.init = UmapConfig::Init::kSpectral;
+  const Matrix pts = two_gaussian_clusters(30, 15.0, 23);
+  const Matrix y = umap_embed(pts, config);
+  EXPECT_EQ(y.rows(), 60u);
+  EXPECT_GT(trustworthiness(pts, y, 6), 0.7);
+}
+
+TEST(UmapTransform, PlacesNewPointsNearTheirCluster) {
+  constexpr std::size_t kPer = 40;
+  const Matrix reference = two_gaussian_clusters(kPer, 20.0, 31);
+  UmapConfig config = fast_config();
+  const Matrix ref_embedding = umap_embed(reference, config);
+
+  // New points drawn from each cluster must land near that cluster's
+  // embedded centroid.
+  Matrix fresh(8, 4);
+  Rng rng(32);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double offset = (i < 4) ? 0.0 : 20.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      fresh(i, c) = (c == 0 ? offset : 0.0) + rng.normal();
+    }
+  }
+  const Matrix placed =
+      umap_transform(reference, ref_embedding, fresh, config);
+  ASSERT_EQ(placed.rows(), 8u);
+  ASSERT_EQ(placed.cols(), 2u);
+
+  const auto centroid = [&](std::size_t start) {
+    double cx = 0, cy = 0;
+    for (std::size_t i = start; i < start + kPer; ++i) {
+      cx += ref_embedding(i, 0);
+      cy += ref_embedding(i, 1);
+    }
+    return std::pair{cx / kPer, cy / kPer};
+  };
+  const auto [c0x, c0y] = centroid(0);
+  const auto [c1x, c1y] = centroid(kPer);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double d0 = std::hypot(placed(i, 0) - c0x, placed(i, 1) - c0y);
+    const double d1 = std::hypot(placed(i, 0) - c1x, placed(i, 1) - c1y);
+    if (i < 4) {
+      EXPECT_LT(d0, d1) << "point " << i;
+    } else {
+      EXPECT_LT(d1, d0) << "point " << i;
+    }
+  }
+}
+
+TEST(UmapTransform, ReferenceUnchangedAndDeterministic) {
+  const Matrix reference = two_gaussian_clusters(25, 10.0, 33);
+  UmapConfig config = fast_config();
+  const Matrix ref_embedding = umap_embed(reference, config);
+  const Matrix fresh = two_gaussian_clusters(3, 10.0, 34);
+  const Matrix p1 = umap_transform(reference, ref_embedding, fresh, config);
+  const Matrix p2 = umap_transform(reference, ref_embedding, fresh, config);
+  EXPECT_EQ(Matrix::max_abs_diff(p1, p2), 0.0);
+}
+
+TEST(UmapTransform, ValidatesArguments) {
+  const Matrix reference = two_gaussian_clusters(20, 5.0, 35);
+  UmapConfig config = fast_config();
+  const Matrix ref_embedding = umap_embed(reference, config);
+  EXPECT_THROW(
+      umap_transform(reference, ref_embedding, Matrix(2, 7), config),
+      CheckError);
+  EXPECT_THROW(
+      umap_transform(reference, Matrix(3, 2), Matrix(2, 4), config),
+      CheckError);
+}
+
+TEST(Umap, TooFewPointsThrows) {
+  UmapConfig config = fast_config();
+  config.n_neighbors = 10;
+  EXPECT_THROW(umap_embed(Matrix(5, 3), config), CheckError);
+}
+
+TEST(Umap, GraphMismatchThrows) {
+  const Matrix pts = two_gaussian_clusters(20, 5.0, 10);
+  const KnnGraph g = exact_knn(pts, 5);
+  const Matrix other(10, 4);
+  EXPECT_THROW(umap_embed_graph(other, g, fast_config()), CheckError);
+}
+
+}  // namespace
+}  // namespace arams::embed

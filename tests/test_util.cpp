@@ -1,0 +1,171 @@
+// Unit tests for util: check macros, CLI flags, CSV tables, stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace arams {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(ARAMS_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(ARAMS_CHECK(false, "boom"), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionAndText) {
+  try {
+    ARAMS_CHECK(2 < 1, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+  }
+}
+
+TEST(Cli, DefaultsAreReturnedWithoutParsing) {
+  CliFlags flags;
+  flags.declare("n", "100", "sample count");
+  EXPECT_EQ(flags.get_int("n"), 100);
+  EXPECT_FALSE(flags.provided("n"));
+}
+
+TEST(Cli, EqualsSyntaxParses) {
+  CliFlags flags;
+  flags.declare("n", "100", "sample count");
+  flags.declare("rate", "0.5", "rate");
+  const char* argv[] = {"prog", "--n=250", "--rate=1.25"};
+  flags.parse(3, argv);
+  EXPECT_EQ(flags.get_int("n"), 250);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 1.25);
+  EXPECT_TRUE(flags.provided("n"));
+}
+
+TEST(Cli, SpaceSyntaxParses) {
+  CliFlags flags;
+  flags.declare("cores", "1", "core count");
+  const char* argv[] = {"prog", "--cores", "64"};
+  flags.parse(3, argv);
+  EXPECT_EQ(flags.get_int("cores"), 64);
+}
+
+TEST(Cli, BareFlagBecomesTrue) {
+  CliFlags flags;
+  flags.declare("full", "false", "paper-scale run");
+  const char* argv[] = {"prog", "--full"};
+  flags.parse(2, argv);
+  EXPECT_TRUE(flags.get_bool("full"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliFlags flags;
+  flags.declare("n", "1", "n");
+  const char* argv[] = {"prog", "--typo=3"};
+  EXPECT_THROW(flags.parse(2, argv), CheckError);
+}
+
+TEST(Cli, NonNumericValueThrowsOnTypedGet) {
+  CliFlags flags;
+  flags.declare("n", "1", "n");
+  const char* argv[] = {"prog", "--n=abc"};
+  flags.parse(2, argv);
+  EXPECT_THROW((void)flags.get_int("n"), CheckError);
+}
+
+TEST(Cli, PositionalArgumentsPassThrough) {
+  CliFlags flags;
+  flags.declare("n", "1", "n");
+  const char* argv[] = {"prog", "input.dat", "--n=2", "more"};
+  const auto positional = flags.parse(4, argv);
+  ASSERT_EQ(positional.size(), 2u);
+  EXPECT_EQ(positional[0], "input.dat");
+  EXPECT_EQ(positional[1], "more");
+}
+
+TEST(Cli, DuplicateDeclarationThrows) {
+  CliFlags flags;
+  flags.declare("n", "1", "n");
+  EXPECT_THROW(flags.declare("n", "2", "again"), CheckError);
+}
+
+TEST(Cli, UsageListsFlags) {
+  CliFlags flags;
+  flags.declare("n", "100", "sample count");
+  const std::string usage = flags.usage("prog");
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("sample count"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, PrettyAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"longer-name", "1"});
+  std::ostringstream os;
+  t.write_pretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Table, NumFormatsCompactly) {
+  EXPECT_EQ(Table::num(1.5), "1.5");
+  EXPECT_EQ(Table::num(42L), "42");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.millis(), 5.0);
+  EXPECT_LT(sw.seconds(), 5.0);
+}
+
+TEST(Stopwatch, LapResets) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double first = sw.lap();
+  EXPECT_GT(first, 0.0);
+  EXPECT_LE(sw.seconds(), first + 1.0);
+}
+
+TEST(Accumulator, SumsSections) {
+  Accumulator acc;
+  acc.add(0.5);
+  acc.add(0.25);
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 0.75);
+  EXPECT_EQ(acc.count(), 2);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 0.0);
+}
+
+TEST(Log, LevelGate) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace arams

@@ -1,0 +1,432 @@
+// arams — command-line front end for the ARAMS monitoring library.
+//
+// Subcommands:
+//   generate   synthesize a detector run into a .frames bundle
+//   sketch     ARAMS-sketch a .frames bundle or .npy matrix into a .npy
+//   pipeline   run the full monitoring pipeline; emit CSV and/or HTML
+//   info       describe a .frames or .npy file
+//
+// Examples:
+//   arams generate --kind=beam --frames=500 --size=48 --out=run.frames
+//   arams sketch --in=run.frames --ell=32 --epsilon=0.05 --out=sketch.npy
+//   arams pipeline --in=run.frames --html=run.html --csv=run.csv
+//   arams info --in=sketch.npy
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "core/arams_sketch.hpp"
+#include "data/beam_profile.hpp"
+#include "data/diffraction.hpp"
+#include "data/speckle.hpp"
+#include "embed/scatter_html.hpp"
+#include "image/calibration.hpp"
+#include "image/image.hpp"
+#include "io/frames.hpp"
+#include "stream/diagnostics.hpp"
+#include "io/npy.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/trace_est.hpp"
+#include "stream/pipeline.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace arams;
+
+void print_usage() {
+  std::cout <<
+      "usage: arams <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate   synthesize a run (--kind=beam|diffraction|speckle)\n"
+      "  sketch     ARAMS-sketch frames/matrix into a .npy sketch\n"
+      "  pipeline   full monitoring pipeline -> labels, CSV, HTML\n"
+      "  compare    covariance error of a sketch against its data\n"
+      "  diag       beam diagnostics over a run: CUSUM alarms, frame\n"
+      "             statistics, dead/hot pixel mask\n"
+      "  info       describe a .frames or .npy file\n"
+      "\n"
+      "run `arams <command> --help` for the command's flags.\n";
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Loads rows either from a .frames bundle (flattened) or a .npy matrix.
+linalg::Matrix load_rows(const std::string& path) {
+  if (ends_with(path, ".frames")) {
+    return image::images_to_matrix(io::load_frames(path));
+  }
+  return io::load_npy(path);
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.declare("kind", "beam", "beam | diffraction | speckle");
+  flags.declare("frames", "500", "number of frames");
+  flags.declare("size", "48", "frame height/width");
+  flags.declare("classes", "4", "diffraction: latent classes");
+  flags.declare("seed", "7", "generator seed");
+  flags.declare("out", "run.frames", "output .frames bundle");
+  flags.declare("truth", "", "optional CSV of generative ground truth");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("arams generate");
+    return 0;
+  }
+  const auto count = static_cast<std::size_t>(flags.get_int("frames"));
+  const auto size = static_cast<std::size_t>(flags.get_int("size"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const std::string kind = flags.get("kind");
+
+  std::vector<image::ImageF> frames;
+  frames.reserve(count);
+  Table truth_table({"index", "factor1", "factor2", "label"});
+
+  if (kind == "beam") {
+    data::BeamProfileConfig config;
+    config.height = size;
+    config.width = size;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto sample = data::generate_beam_profile(config, rng);
+      truth_table.add_row(
+          {Table::num(static_cast<long>(i)),
+           Table::num(sample.truth.com_x),
+           Table::num(sample.truth.ellipticity),
+           sample.truth.exotic ? "exotic" : "normal"});
+      frames.push_back(std::move(sample.frame));
+    }
+  } else if (kind == "diffraction") {
+    data::DiffractionConfig config;
+    config.height = size;
+    config.width = size;
+    config.num_classes =
+        static_cast<std::size_t>(flags.get_int("classes"));
+    const data::DiffractionGenerator generator(config);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto sample = generator.generate(rng);
+      truth_table.add_row(
+          {Table::num(static_cast<long>(i)),
+           Table::num(sample.truth.quadrant_weights[0]),
+           Table::num(sample.truth.quadrant_weights[1]),
+           Table::num(static_cast<long>(sample.truth.class_label))});
+      frames.push_back(std::move(sample.frame));
+    }
+  } else if (kind == "speckle") {
+    data::SpeckleConfig config;
+    config.height = size;
+    config.width = size;
+    data::SpeckleGenerator generator(config, seed);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto sample = generator.next();
+      truth_table.add_row({Table::num(static_cast<long>(i)),
+                           Table::num(sample.truth.realized_contrast),
+                           Table::num(config.coherence_length), "speckle"});
+      frames.push_back(std::move(sample.frame));
+    }
+  } else {
+    ARAMS_CHECK(false, "unknown --kind: " + kind);
+  }
+
+  io::save_frames(flags.get("out"), frames);
+  std::cout << "wrote " << count << " " << size << "x" << size << " "
+            << kind << " frames to " << flags.get("out") << "\n";
+  if (const std::string& truth = flags.get("truth"); !truth.empty()) {
+    truth_table.save_csv(truth);
+    std::cout << "ground truth written to " << truth << "\n";
+  }
+  return 0;
+}
+
+int cmd_sketch(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.declare("in", "", ".frames bundle or .npy matrix (required)");
+  flags.declare("out", "sketch.npy", "output sketch .npy");
+  flags.declare("ell", "32", "initial/fixed sketch rank");
+  flags.declare("beta", "0.8", "priority-sampling keep fraction");
+  flags.declare("epsilon", "0.05", "rank-adaptation target (0 disables RA)");
+  flags.declare("estimator", "gaussian",
+                "RA residual estimator: gaussian | hutchinson | hutchpp");
+  flags.declare("report-error", "false",
+                "also print the relative covariance error (costs extra)");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("arams sketch");
+    return 0;
+  }
+  ARAMS_CHECK(!flags.get("in").empty(), "--in is required");
+  const linalg::Matrix rows = load_rows(flags.get("in"));
+  std::cout << "loaded " << rows.rows() << " x " << rows.cols()
+            << " from " << flags.get("in") << "\n";
+
+  core::AramsConfig config;
+  config.ell = static_cast<std::size_t>(flags.get_int("ell"));
+  config.beta = flags.get_double("beta");
+  config.use_sampling = config.beta < 1.0;
+  const double epsilon = flags.get_double("epsilon");
+  config.rank_adaptive = epsilon > 0.0;
+  config.epsilon = epsilon;
+  config.estimator =
+      linalg::parse_residual_estimator(flags.get("estimator"));
+
+  core::Arams sketcher(config);
+  Stopwatch timer;
+  const core::AramsResult result = sketcher.sketch_matrix(rows);
+  std::cout << "sketched to " << result.sketch.rows() << " x "
+            << result.sketch.cols() << " in " << timer.seconds() << " s ("
+            << result.stats.svd_count << " rotations, final ell "
+            << result.final_ell << ")\n";
+  io::save_npy(flags.get("out"), result.sketch);
+  std::cout << "sketch written to " << flags.get("out") << "\n";
+
+  if (flags.get_bool("report-error")) {
+    Rng power(1);
+    std::cout << "relative covariance error: "
+              << linalg::covariance_error_relative(rows, result.sketch,
+                                                   power, 60)
+              << " (FD bound "
+              << 1.0 / static_cast<double>(result.final_ell) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_pipeline(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.declare("in", "", ".frames bundle or .npy matrix (required)");
+  flags.declare("ell", "24", "sketch rank");
+  flags.declare("cores", "4", "virtual sketching cores");
+  flags.declare("components", "12", "PCA latent dimension");
+  flags.declare("neighbors", "15", "UMAP n_neighbors");
+  flags.declare("epochs", "200", "UMAP epochs");
+  flags.declare("clusterer", "optics", "optics | hdbscan | kmeans");
+  flags.declare("k", "4", "kmeans: number of clusters");
+  flags.declare("center", "true", "CoM-center frames before sketching");
+  flags.declare("csv", "", "output CSV (x,y,label per shot)");
+  flags.declare("html", "", "output interactive HTML scatter");
+  flags.declare("latent", "", "output latent matrix .npy");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("arams pipeline");
+    return 0;
+  }
+  ARAMS_CHECK(!flags.get("in").empty(), "--in is required");
+
+  stream::PipelineConfig config;
+  config.sketch.ell = static_cast<std::size_t>(flags.get_int("ell"));
+  config.num_cores = static_cast<std::size_t>(flags.get_int("cores"));
+  config.pca_components =
+      static_cast<std::size_t>(flags.get_int("components"));
+  config.umap.n_neighbors =
+      static_cast<std::size_t>(flags.get_int("neighbors"));
+  config.umap.n_epochs = static_cast<int>(flags.get_int("epochs"));
+  config.preprocess.center = flags.get_bool("center");
+  const std::string clusterer = flags.get("clusterer");
+  if (clusterer == "hdbscan") {
+    config.cluster_method =
+        stream::PipelineConfig::ClusterMethod::kHdbscan;
+  } else if (clusterer == "kmeans") {
+    config.cluster_method = stream::PipelineConfig::ClusterMethod::kKmeans;
+    config.kmeans.k = static_cast<std::size_t>(flags.get_int("k"));
+  } else {
+    ARAMS_CHECK(clusterer == "optics",
+                "unknown --clusterer: " + clusterer);
+  }
+  const stream::MonitoringPipeline pipeline(config);
+
+  const std::string in = flags.get("in");
+  Stopwatch timer;
+  stream::PipelineResult result;
+  if (ends_with(in, ".frames")) {
+    result = pipeline.analyze(io::load_frames(in));
+  } else {
+    result = pipeline.analyze_matrix(io::load_npy(in));
+  }
+  const std::size_t n = result.embedding.rows();
+  std::cout << "pipeline over " << n << " shots in " << timer.seconds()
+            << " s: sketch " << result.sketch_seconds << " s, UMAP "
+            << result.embed_seconds << " s, cluster "
+            << result.cluster_seconds << " s\n"
+            << cluster::cluster_count(result.labels)
+            << " clusters, final sketch rank " << result.final_ell << "\n";
+
+  if (const std::string& csv = flags.get("csv"); !csv.empty()) {
+    Table table({"shot", "x", "y", "label"});
+    for (std::size_t i = 0; i < n; ++i) {
+      table.add_row({Table::num(static_cast<long>(i)),
+                     Table::num(result.embedding(i, 0)),
+                     Table::num(result.embedding(i, 1)),
+                     Table::num(static_cast<long>(result.labels[i]))});
+    }
+    table.save_csv(csv);
+    std::cout << "embedding CSV written to " << csv << "\n";
+  }
+  if (const std::string& html = flags.get("html"); !html.empty()) {
+    embed::ScatterConfig scatter;
+    scatter.title = "ARAMS pipeline — " + in;
+    embed::write_scatter_html(html, result.embedding, result.labels, {},
+                              scatter);
+    std::cout << "interactive scatter written to " << html << "\n";
+  }
+  if (const std::string& latent = flags.get("latent"); !latent.empty()) {
+    io::save_npy(latent, result.latent);
+    std::cout << "latent matrix written to " << latent << "\n";
+  }
+  return 0;
+}
+
+int cmd_compare(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.declare("data", "", "original data (.frames or .npy, required)");
+  flags.declare("sketch", "", "sketch .npy (required)");
+  flags.declare("power-iters", "60", "power iterations for the error");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("arams compare");
+    return 0;
+  }
+  ARAMS_CHECK(!flags.get("data").empty() && !flags.get("sketch").empty(),
+              "--data and --sketch are required");
+  const linalg::Matrix rows = load_rows(flags.get("data"));
+  const linalg::Matrix sketch = io::load_npy(flags.get("sketch"));
+  ARAMS_CHECK(rows.cols() == sketch.cols(),
+              "data and sketch have different column counts");
+  Rng power(1);
+  const int iters = static_cast<int>(flags.get_int("power-iters"));
+  const double abs_err =
+      linalg::covariance_error(rows, sketch, power, iters);
+  const double rel = abs_err / linalg::frobenius_norm_squared(rows);
+  std::cout << "data:   " << rows.rows() << " x " << rows.cols() << "\n"
+            << "sketch: " << sketch.rows() << " x " << sketch.cols() << "\n"
+            << "covariance error |AtA - BtB|_2: " << abs_err << "\n"
+            << "relative (vs |A|_F^2):          " << rel << "\n"
+            << "FD bound at ell=" << sketch.rows() << ":          "
+            << 1.0 / static_cast<double>(sketch.rows()) << "\n";
+  return 0;
+}
+
+int cmd_diag(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.declare("in", "", ".frames bundle (required)");
+  flags.declare("warmup", "120", "CUSUM calibration shots");
+  flags.declare("mean", "", "optional PGM path for the mean frame");
+  flags.declare("variance", "", "optional PGM path for the variance frame");
+  flags.declare("mask-report", "false",
+                "derive a dead/hot pixel mask and report its size");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("arams diag");
+    return 0;
+  }
+  ARAMS_CHECK(!flags.get("in").empty(), "--in is required");
+  const auto frames = io::load_frames(flags.get("in"));
+
+  stream::BeamDiagnostics diagnostics(
+      static_cast<std::size_t>(flags.get_int("warmup")));
+  long alarm_shots = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    stream::ShotEvent event;
+    event.shot_id = i;
+    event.frame = frames[i];
+    const auto alarms = diagnostics.update(event);
+    if (!alarms.empty()) {
+      ++alarm_shots;
+      if (alarm_shots <= 10) {
+        std::cout << "shot " << i << ":";
+        for (const auto& a : alarms) std::cout << " [" << a << "]";
+        std::cout << "\n";
+      }
+    }
+  }
+  std::cout << "monitored " << diagnostics.shots_seen() << " shots: "
+            << diagnostics.total_alarms() << " alarms across "
+            << alarm_shots << " shots\n";
+
+  if (const std::string& mean = flags.get("mean"); !mean.empty()) {
+    diagnostics.frame_stats().mean().save_pgm(mean);
+    std::cout << "mean frame written to " << mean << "\n";
+  }
+  if (const std::string& var = flags.get("variance"); !var.empty()) {
+    diagnostics.frame_stats().variance().save_pgm(var);
+    std::cout << "variance frame written to " << var << "\n";
+  }
+  if (flags.get_bool("mask-report")) {
+    const image::PixelMask mask =
+        image::mask_from_stats(diagnostics.frame_stats());
+    std::cout << "pixel mask: " << mask.bad_count() << " of "
+              << mask.good.size() << " pixels flagged dead/hot\n";
+  }
+  return 0;
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.declare("in", "", "file to describe (required)");
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("arams info");
+    return 0;
+  }
+  const std::string in = flags.get("in");
+  ARAMS_CHECK(!in.empty(), "--in is required");
+  if (ends_with(in, ".frames")) {
+    const auto frames = io::load_frames(in);
+    double total = 0.0;
+    for (const auto& f : frames) total += f.total_intensity();
+    std::cout << in << ": frame bundle, " << frames.size() << " frames of "
+              << frames.front().height() << "x" << frames.front().width()
+              << ", mean intensity "
+              << total / static_cast<double>(frames.size()) << "\n";
+  } else {
+    const linalg::Matrix m = io::load_npy(in);
+    std::cout << in << ": float64 matrix, " << m.rows() << " x "
+              << m.cols() << ", Frobenius norm "
+              << linalg::frobenius_norm(m) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (command == "sketch") return cmd_sketch(argc - 1, argv + 1);
+    if (command == "pipeline") return cmd_pipeline(argc - 1, argv + 1);
+    if (command == "compare") return cmd_compare(argc - 1, argv + 1);
+    if (command == "diag") return cmd_diag(argc - 1, argv + 1);
+    if (command == "info") return cmd_info(argc - 1, argv + 1);
+    if (command == "--help" || command == "help") {
+      print_usage();
+      return 0;
+    }
+    std::cerr << "unknown command: " << command << "\n";
+    print_usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
