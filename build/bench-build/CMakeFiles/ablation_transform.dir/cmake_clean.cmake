@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_transform"
+  "../bench/ablation_transform.pdb"
+  "CMakeFiles/ablation_transform.dir/ablation_transform.cpp.o"
+  "CMakeFiles/ablation_transform.dir/ablation_transform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_twostage"
+  "../bench/ablation_twostage.pdb"
+  "CMakeFiles/ablation_twostage.dir/ablation_twostage.cpp.o"
+  "CMakeFiles/ablation_twostage.dir/ablation_twostage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twostage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_ablation"
+  "../bench/fig1_ablation.pdb"
+  "CMakeFiles/fig1_ablation.dir/fig1_ablation.cpp.o"
+  "CMakeFiles/fig1_ablation.dir/fig1_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

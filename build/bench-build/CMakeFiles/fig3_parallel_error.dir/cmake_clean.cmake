@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_parallel_error"
+  "../bench/fig3_parallel_error.pdb"
+  "CMakeFiles/fig3_parallel_error.dir/fig3_parallel_error.cpp.o"
+  "CMakeFiles/fig3_parallel_error.dir/fig3_parallel_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_parallel_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_pipeline_stages"
+  "../bench/fig4_pipeline_stages.pdb"
+  "CMakeFiles/fig4_pipeline_stages.dir/fig4_pipeline_stages.cpp.o"
+  "CMakeFiles/fig4_pipeline_stages.dir/fig4_pipeline_stages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pipeline_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_beam_embedding"
+  "../bench/fig5_beam_embedding.pdb"
+  "CMakeFiles/fig5_beam_embedding.dir/fig5_beam_embedding.cpp.o"
+  "CMakeFiles/fig5_beam_embedding.dir/fig5_beam_embedding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_beam_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

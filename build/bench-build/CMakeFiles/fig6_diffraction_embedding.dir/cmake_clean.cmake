@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_diffraction_embedding"
+  "../bench/fig6_diffraction_embedding.pdb"
+  "CMakeFiles/fig6_diffraction_embedding.dir/fig6_diffraction_embedding.cpp.o"
+  "CMakeFiles/fig6_diffraction_embedding.dir/fig6_diffraction_embedding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_diffraction_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_monitor.dir/beam_monitor.cpp.o"
+  "CMakeFiles/beam_monitor.dir/beam_monitor.cpp.o.d"
+  "beam_monitor"
+  "beam_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

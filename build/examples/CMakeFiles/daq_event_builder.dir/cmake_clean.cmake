@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daq_event_builder.dir/daq_event_builder.cpp.o"
+  "CMakeFiles/daq_event_builder.dir/daq_event_builder.cpp.o.d"
+  "daq_event_builder"
+  "daq_event_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daq_event_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffraction_explorer.dir/diffraction_explorer.cpp.o"
+  "CMakeFiles/diffraction_explorer.dir/diffraction_explorer.cpp.o.d"
+  "diffraction_explorer"
+  "diffraction_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffraction_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

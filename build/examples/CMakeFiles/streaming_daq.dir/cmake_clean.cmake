@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_daq.dir/streaming_daq.cpp.o"
+  "CMakeFiles/streaming_daq.dir/streaming_daq.cpp.o.d"
+  "streaming_daq"
+  "streaming_daq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_daq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpcs_contrast_monitor.dir/xpcs_contrast_monitor.cpp.o"
+  "CMakeFiles/xpcs_contrast_monitor.dir/xpcs_contrast_monitor.cpp.o.d"
+  "xpcs_contrast_monitor"
+  "xpcs_contrast_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpcs_contrast_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/abod.cpp" "src/cluster/CMakeFiles/arams_cluster.dir/abod.cpp.o" "gcc" "src/cluster/CMakeFiles/arams_cluster.dir/abod.cpp.o.d"
+  "/root/repo/src/cluster/hdbscan.cpp" "src/cluster/CMakeFiles/arams_cluster.dir/hdbscan.cpp.o" "gcc" "src/cluster/CMakeFiles/arams_cluster.dir/hdbscan.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/cluster/CMakeFiles/arams_cluster.dir/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/arams_cluster.dir/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/metrics.cpp" "src/cluster/CMakeFiles/arams_cluster.dir/metrics.cpp.o" "gcc" "src/cluster/CMakeFiles/arams_cluster.dir/metrics.cpp.o.d"
+  "/root/repo/src/cluster/optics.cpp" "src/cluster/CMakeFiles/arams_cluster.dir/optics.cpp.o" "gcc" "src/cluster/CMakeFiles/arams_cluster.dir/optics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/arams_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

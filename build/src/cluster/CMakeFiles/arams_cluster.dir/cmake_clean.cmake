@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_cluster.dir/abod.cpp.o"
+  "CMakeFiles/arams_cluster.dir/abod.cpp.o.d"
+  "CMakeFiles/arams_cluster.dir/hdbscan.cpp.o"
+  "CMakeFiles/arams_cluster.dir/hdbscan.cpp.o.d"
+  "CMakeFiles/arams_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/arams_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/arams_cluster.dir/metrics.cpp.o"
+  "CMakeFiles/arams_cluster.dir/metrics.cpp.o.d"
+  "CMakeFiles/arams_cluster.dir/optics.cpp.o"
+  "CMakeFiles/arams_cluster.dir/optics.cpp.o.d"
+  "libarams_cluster.a"
+  "libarams_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

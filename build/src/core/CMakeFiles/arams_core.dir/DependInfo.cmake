@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arams_sketch.cpp" "src/core/CMakeFiles/arams_core.dir/arams_sketch.cpp.o" "gcc" "src/core/CMakeFiles/arams_core.dir/arams_sketch.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/arams_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/arams_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/error_tracker.cpp" "src/core/CMakeFiles/arams_core.dir/error_tracker.cpp.o" "gcc" "src/core/CMakeFiles/arams_core.dir/error_tracker.cpp.o.d"
+  "/root/repo/src/core/fd.cpp" "src/core/CMakeFiles/arams_core.dir/fd.cpp.o" "gcc" "src/core/CMakeFiles/arams_core.dir/fd.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/arams_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/arams_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/priority_sampler.cpp" "src/core/CMakeFiles/arams_core.dir/priority_sampler.cpp.o" "gcc" "src/core/CMakeFiles/arams_core.dir/priority_sampler.cpp.o.d"
+  "/root/repo/src/core/rank_adaptive.cpp" "src/core/CMakeFiles/arams_core.dir/rank_adaptive.cpp.o" "gcc" "src/core/CMakeFiles/arams_core.dir/rank_adaptive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_core.dir/arams_sketch.cpp.o"
+  "CMakeFiles/arams_core.dir/arams_sketch.cpp.o.d"
+  "CMakeFiles/arams_core.dir/baselines.cpp.o"
+  "CMakeFiles/arams_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/arams_core.dir/error_tracker.cpp.o"
+  "CMakeFiles/arams_core.dir/error_tracker.cpp.o.d"
+  "CMakeFiles/arams_core.dir/fd.cpp.o"
+  "CMakeFiles/arams_core.dir/fd.cpp.o.d"
+  "CMakeFiles/arams_core.dir/merge.cpp.o"
+  "CMakeFiles/arams_core.dir/merge.cpp.o.d"
+  "CMakeFiles/arams_core.dir/priority_sampler.cpp.o"
+  "CMakeFiles/arams_core.dir/priority_sampler.cpp.o.d"
+  "CMakeFiles/arams_core.dir/rank_adaptive.cpp.o"
+  "CMakeFiles/arams_core.dir/rank_adaptive.cpp.o.d"
+  "libarams_core.a"
+  "libarams_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/beam_profile.cpp" "src/data/CMakeFiles/arams_data.dir/beam_profile.cpp.o" "gcc" "src/data/CMakeFiles/arams_data.dir/beam_profile.cpp.o.d"
+  "/root/repo/src/data/diffraction.cpp" "src/data/CMakeFiles/arams_data.dir/diffraction.cpp.o" "gcc" "src/data/CMakeFiles/arams_data.dir/diffraction.cpp.o.d"
+  "/root/repo/src/data/speckle.cpp" "src/data/CMakeFiles/arams_data.dir/speckle.cpp.o" "gcc" "src/data/CMakeFiles/arams_data.dir/speckle.cpp.o.d"
+  "/root/repo/src/data/spectrum.cpp" "src/data/CMakeFiles/arams_data.dir/spectrum.cpp.o" "gcc" "src/data/CMakeFiles/arams_data.dir/spectrum.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/arams_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/arams_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/arams_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

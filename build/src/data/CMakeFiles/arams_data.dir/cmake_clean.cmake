@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_data.dir/beam_profile.cpp.o"
+  "CMakeFiles/arams_data.dir/beam_profile.cpp.o.d"
+  "CMakeFiles/arams_data.dir/diffraction.cpp.o"
+  "CMakeFiles/arams_data.dir/diffraction.cpp.o.d"
+  "CMakeFiles/arams_data.dir/speckle.cpp.o"
+  "CMakeFiles/arams_data.dir/speckle.cpp.o.d"
+  "CMakeFiles/arams_data.dir/spectrum.cpp.o"
+  "CMakeFiles/arams_data.dir/spectrum.cpp.o.d"
+  "CMakeFiles/arams_data.dir/synthetic.cpp.o"
+  "CMakeFiles/arams_data.dir/synthetic.cpp.o.d"
+  "libarams_data.a"
+  "libarams_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/knn.cpp" "src/embed/CMakeFiles/arams_embed.dir/knn.cpp.o" "gcc" "src/embed/CMakeFiles/arams_embed.dir/knn.cpp.o.d"
+  "/root/repo/src/embed/metrics.cpp" "src/embed/CMakeFiles/arams_embed.dir/metrics.cpp.o" "gcc" "src/embed/CMakeFiles/arams_embed.dir/metrics.cpp.o.d"
+  "/root/repo/src/embed/pca.cpp" "src/embed/CMakeFiles/arams_embed.dir/pca.cpp.o" "gcc" "src/embed/CMakeFiles/arams_embed.dir/pca.cpp.o.d"
+  "/root/repo/src/embed/scatter_html.cpp" "src/embed/CMakeFiles/arams_embed.dir/scatter_html.cpp.o" "gcc" "src/embed/CMakeFiles/arams_embed.dir/scatter_html.cpp.o.d"
+  "/root/repo/src/embed/tsne.cpp" "src/embed/CMakeFiles/arams_embed.dir/tsne.cpp.o" "gcc" "src/embed/CMakeFiles/arams_embed.dir/tsne.cpp.o.d"
+  "/root/repo/src/embed/umap.cpp" "src/embed/CMakeFiles/arams_embed.dir/umap.cpp.o" "gcc" "src/embed/CMakeFiles/arams_embed.dir/umap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_embed.dir/knn.cpp.o"
+  "CMakeFiles/arams_embed.dir/knn.cpp.o.d"
+  "CMakeFiles/arams_embed.dir/metrics.cpp.o"
+  "CMakeFiles/arams_embed.dir/metrics.cpp.o.d"
+  "CMakeFiles/arams_embed.dir/pca.cpp.o"
+  "CMakeFiles/arams_embed.dir/pca.cpp.o.d"
+  "CMakeFiles/arams_embed.dir/scatter_html.cpp.o"
+  "CMakeFiles/arams_embed.dir/scatter_html.cpp.o.d"
+  "CMakeFiles/arams_embed.dir/tsne.cpp.o"
+  "CMakeFiles/arams_embed.dir/tsne.cpp.o.d"
+  "CMakeFiles/arams_embed.dir/umap.cpp.o"
+  "CMakeFiles/arams_embed.dir/umap.cpp.o.d"
+  "libarams_embed.a"
+  "libarams_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

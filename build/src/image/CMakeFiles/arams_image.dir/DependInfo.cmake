@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/calibration.cpp" "src/image/CMakeFiles/arams_image.dir/calibration.cpp.o" "gcc" "src/image/CMakeFiles/arams_image.dir/calibration.cpp.o.d"
+  "/root/repo/src/image/frame_stats.cpp" "src/image/CMakeFiles/arams_image.dir/frame_stats.cpp.o" "gcc" "src/image/CMakeFiles/arams_image.dir/frame_stats.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/image/CMakeFiles/arams_image.dir/image.cpp.o" "gcc" "src/image/CMakeFiles/arams_image.dir/image.cpp.o.d"
+  "/root/repo/src/image/preprocess.cpp" "src/image/CMakeFiles/arams_image.dir/preprocess.cpp.o" "gcc" "src/image/CMakeFiles/arams_image.dir/preprocess.cpp.o.d"
+  "/root/repo/src/image/radial.cpp" "src/image/CMakeFiles/arams_image.dir/radial.cpp.o" "gcc" "src/image/CMakeFiles/arams_image.dir/radial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

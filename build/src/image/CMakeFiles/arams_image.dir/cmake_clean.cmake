@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_image.dir/calibration.cpp.o"
+  "CMakeFiles/arams_image.dir/calibration.cpp.o.d"
+  "CMakeFiles/arams_image.dir/frame_stats.cpp.o"
+  "CMakeFiles/arams_image.dir/frame_stats.cpp.o.d"
+  "CMakeFiles/arams_image.dir/image.cpp.o"
+  "CMakeFiles/arams_image.dir/image.cpp.o.d"
+  "CMakeFiles/arams_image.dir/preprocess.cpp.o"
+  "CMakeFiles/arams_image.dir/preprocess.cpp.o.d"
+  "CMakeFiles/arams_image.dir/radial.cpp.o"
+  "CMakeFiles/arams_image.dir/radial.cpp.o.d"
+  "libarams_image.a"
+  "libarams_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/frames.cpp" "src/io/CMakeFiles/arams_io.dir/frames.cpp.o" "gcc" "src/io/CMakeFiles/arams_io.dir/frames.cpp.o.d"
+  "/root/repo/src/io/npy.cpp" "src/io/CMakeFiles/arams_io.dir/npy.cpp.o" "gcc" "src/io/CMakeFiles/arams_io.dir/npy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/arams_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

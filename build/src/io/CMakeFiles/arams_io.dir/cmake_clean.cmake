@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_io.dir/frames.cpp.o"
+  "CMakeFiles/arams_io.dir/frames.cpp.o.d"
+  "CMakeFiles/arams_io.dir/npy.cpp.o"
+  "CMakeFiles/arams_io.dir/npy.cpp.o.d"
+  "libarams_io.a"
+  "libarams_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/blas.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/blas.cpp.o.d"
+  "/root/repo/src/linalg/eigen_sym.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/eigen_sym.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/eigen_sym.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/norms.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/norms.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/norms.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/qr.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/svd.cpp.o.d"
+  "/root/repo/src/linalg/trace_est.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/trace_est.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/trace_est.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

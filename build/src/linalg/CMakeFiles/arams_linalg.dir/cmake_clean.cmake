@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_linalg.dir/blas.cpp.o"
+  "CMakeFiles/arams_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/arams_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/arams_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/arams_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/arams_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/arams_linalg.dir/norms.cpp.o"
+  "CMakeFiles/arams_linalg.dir/norms.cpp.o.d"
+  "CMakeFiles/arams_linalg.dir/qr.cpp.o"
+  "CMakeFiles/arams_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/arams_linalg.dir/svd.cpp.o"
+  "CMakeFiles/arams_linalg.dir/svd.cpp.o.d"
+  "CMakeFiles/arams_linalg.dir/trace_est.cpp.o"
+  "CMakeFiles/arams_linalg.dir/trace_est.cpp.o.d"
+  "libarams_linalg.a"
+  "libarams_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/arams_parallel.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/arams_parallel.dir/virtual_cores.cpp.o"
+  "CMakeFiles/arams_parallel.dir/virtual_cores.cpp.o.d"
+  "libarams_parallel.a"
+  "libarams_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_rng.dir/rng.cpp.o"
+  "CMakeFiles/arams_rng.dir/rng.cpp.o.d"
+  "libarams_rng.a"
+  "libarams_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

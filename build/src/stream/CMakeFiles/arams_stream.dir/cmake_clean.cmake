@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_stream.dir/diagnostics.cpp.o"
+  "CMakeFiles/arams_stream.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/arams_stream.dir/event_builder.cpp.o"
+  "CMakeFiles/arams_stream.dir/event_builder.cpp.o.d"
+  "CMakeFiles/arams_stream.dir/monitor.cpp.o"
+  "CMakeFiles/arams_stream.dir/monitor.cpp.o.d"
+  "CMakeFiles/arams_stream.dir/pipeline.cpp.o"
+  "CMakeFiles/arams_stream.dir/pipeline.cpp.o.d"
+  "CMakeFiles/arams_stream.dir/source.cpp.o"
+  "CMakeFiles/arams_stream.dir/source.cpp.o.d"
+  "libarams_stream.a"
+  "libarams_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

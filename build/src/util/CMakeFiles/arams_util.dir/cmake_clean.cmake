@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_util.dir/check.cpp.o"
+  "CMakeFiles/arams_util.dir/check.cpp.o.d"
+  "CMakeFiles/arams_util.dir/cli.cpp.o"
+  "CMakeFiles/arams_util.dir/cli.cpp.o.d"
+  "CMakeFiles/arams_util.dir/csv.cpp.o"
+  "CMakeFiles/arams_util.dir/csv.cpp.o.d"
+  "CMakeFiles/arams_util.dir/log.cpp.o"
+  "CMakeFiles/arams_util.dir/log.cpp.o.d"
+  "CMakeFiles/arams_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/arams_util.dir/stopwatch.cpp.o.d"
+  "libarams_util.a"
+  "libarams_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

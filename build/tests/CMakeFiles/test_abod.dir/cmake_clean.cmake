@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abod.dir/test_abod.cpp.o"
+  "CMakeFiles/test_abod.dir/test_abod.cpp.o.d"
+  "test_abod"
+  "test_abod.pdb"
+  "test_abod[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arams.dir/test_arams.cpp.o"
+  "CMakeFiles/test_arams.dir/test_arams.cpp.o.d"
+  "test_arams"
+  "test_arams.pdb"
+  "test_arams[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

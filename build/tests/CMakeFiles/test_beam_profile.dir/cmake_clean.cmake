@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beam_profile.dir/test_beam_profile.cpp.o"
+  "CMakeFiles/test_beam_profile.dir/test_beam_profile.cpp.o.d"
+  "test_beam_profile"
+  "test_beam_profile.pdb"
+  "test_beam_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beam_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_metrics.dir/test_cluster_metrics.cpp.o"
+  "CMakeFiles/test_cluster_metrics.dir/test_cluster_metrics.cpp.o.d"
+  "test_cluster_metrics"
+  "test_cluster_metrics.pdb"
+  "test_cluster_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diffraction.dir/test_diffraction.cpp.o"
+  "CMakeFiles/test_diffraction.dir/test_diffraction.cpp.o.d"
+  "test_diffraction"
+  "test_diffraction.pdb"
+  "test_diffraction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diffraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

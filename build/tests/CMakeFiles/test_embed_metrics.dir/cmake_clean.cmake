@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed_metrics.dir/test_embed_metrics.cpp.o"
+  "CMakeFiles/test_embed_metrics.dir/test_embed_metrics.cpp.o.d"
+  "test_embed_metrics"
+  "test_embed_metrics.pdb"
+  "test_embed_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

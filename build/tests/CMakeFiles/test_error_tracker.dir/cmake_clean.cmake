@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_tracker.dir/test_error_tracker.cpp.o"
+  "CMakeFiles/test_error_tracker.dir/test_error_tracker.cpp.o.d"
+  "test_error_tracker"
+  "test_error_tracker.pdb"
+  "test_error_tracker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_builder.dir/test_event_builder.cpp.o"
+  "CMakeFiles/test_event_builder.dir/test_event_builder.cpp.o.d"
+  "test_event_builder"
+  "test_event_builder.pdb"
+  "test_event_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

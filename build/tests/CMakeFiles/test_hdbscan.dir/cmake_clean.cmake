@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdbscan.dir/test_hdbscan.cpp.o"
+  "CMakeFiles/test_hdbscan.dir/test_hdbscan.cpp.o.d"
+  "test_hdbscan"
+  "test_hdbscan.pdb"
+  "test_hdbscan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

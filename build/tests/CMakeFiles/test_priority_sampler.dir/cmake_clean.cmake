@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_sampler.dir/test_priority_sampler.cpp.o"
+  "CMakeFiles/test_priority_sampler.dir/test_priority_sampler.cpp.o.d"
+  "test_priority_sampler"
+  "test_priority_sampler.pdb"
+  "test_priority_sampler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

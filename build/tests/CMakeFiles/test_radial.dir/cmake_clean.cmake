@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radial.dir/test_radial.cpp.o"
+  "CMakeFiles/test_radial.dir/test_radial.cpp.o.d"
+  "test_radial"
+  "test_radial.pdb"
+  "test_radial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

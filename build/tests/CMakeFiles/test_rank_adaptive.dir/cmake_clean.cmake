@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rank_adaptive.dir/test_rank_adaptive.cpp.o"
+  "CMakeFiles/test_rank_adaptive.dir/test_rank_adaptive.cpp.o.d"
+  "test_rank_adaptive"
+  "test_rank_adaptive.pdb"
+  "test_rank_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rank_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scatter_html.dir/test_scatter_html.cpp.o"
+  "CMakeFiles/test_scatter_html.dir/test_scatter_html.cpp.o.d"
+  "test_scatter_html"
+  "test_scatter_html.pdb"
+  "test_scatter_html[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scatter_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speckle.dir/test_speckle.cpp.o"
+  "CMakeFiles/test_speckle.dir/test_speckle.cpp.o.d"
+  "test_speckle"
+  "test_speckle.pdb"
+  "test_speckle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speckle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

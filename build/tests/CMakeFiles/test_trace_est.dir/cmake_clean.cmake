@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_est.dir/test_trace_est.cpp.o"
+  "CMakeFiles/test_trace_est.dir/test_trace_est.cpp.o.d"
+  "test_trace_est"
+  "test_trace_est.pdb"
+  "test_trace_est[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_est.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

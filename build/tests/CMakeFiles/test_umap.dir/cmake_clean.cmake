@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_umap.dir/test_umap.cpp.o"
+  "CMakeFiles/test_umap.dir/test_umap.cpp.o.d"
+  "test_umap"
+  "test_umap.pdb"
+  "test_umap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_umap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

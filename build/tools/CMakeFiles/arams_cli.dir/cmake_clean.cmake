@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_cli.dir/arams_cli.cpp.o"
+  "CMakeFiles/arams_cli.dir/arams_cli.cpp.o.d"
+  "arams"
+  "arams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
