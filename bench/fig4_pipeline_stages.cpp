@@ -60,14 +60,14 @@ int main(int argc, char** argv) {
     // The streaming stages are preprocess + sketch + project; UMAP and
     // clustering run on operator demand over the reservoir.
     const double streaming =
-        r.preprocess_seconds + r.sketch_seconds + r.project_seconds;
+        r.preprocess_seconds() + r.sketch_seconds() + r.project_seconds();
     table.add_row({Table::num(static_cast<long>(frames)),
-                   Table::num(r.preprocess_seconds),
-                   Table::num(r.sketch_seconds),
-                   Table::num(r.merge_stats.merge_ops),
-                   Table::num(r.project_seconds),
-                   Table::num(r.embed_seconds),
-                   Table::num(r.cluster_seconds), Table::num(total),
+                   Table::num(r.preprocess_seconds()),
+                   Table::num(r.sketch_seconds()),
+                   Table::num(r.merge_stats().merge_ops),
+                   Table::num(r.project_seconds()),
+                   Table::num(r.embed_seconds()),
+                   Table::num(r.cluster_seconds()), Table::num(total),
                    Table::num(1e6 * streaming /
                               static_cast<double>(frames))});
   }

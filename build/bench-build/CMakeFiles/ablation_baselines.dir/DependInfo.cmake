@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/image/CMakeFiles/arams_image.dir/DependInfo.cmake"
   "/root/repo/build/src/parallel/CMakeFiles/arams_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/arams_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/arams_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/arams_cluster.dir/DependInfo.cmake"
   "/root/repo/build/src/embed/CMakeFiles/arams_embed.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"

@@ -169,12 +169,12 @@ bench-build/CMakeFiles/ablation_merge.dir/ablation_merge.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/csv.hpp \
  /root/repo/src/core/fd.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/core/sketch_stats.hpp /root/repo/src/linalg/matrix.hpp \
- /root/repo/src/util/check.hpp /root/repo/src/core/merge.hpp \
- /root/repo/src/data/synthetic.hpp /root/repo/src/data/spectrum.hpp \
- /root/repo/src/rng/rng.hpp /root/repo/src/linalg/blas.hpp \
- /root/repo/src/linalg/norms.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/sketch_stats.hpp /root/repo/src/obs/stage_report.hpp \
+ /root/repo/src/linalg/matrix.hpp /root/repo/src/util/check.hpp \
+ /root/repo/src/core/merge.hpp /root/repo/src/data/synthetic.hpp \
+ /root/repo/src/data/spectrum.hpp /root/repo/src/rng/rng.hpp \
+ /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/norms.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \

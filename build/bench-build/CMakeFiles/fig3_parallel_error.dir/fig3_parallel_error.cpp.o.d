@@ -182,11 +182,13 @@ bench-build/CMakeFiles/fig3_parallel_error.dir/fig3_parallel_error.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/parallel/virtual_cores.hpp /root/repo/src/core/merge.hpp \
- /root/repo/src/core/sketch_stats.hpp \
- /root/repo/src/parallel/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/obs/stage_report.hpp /root/repo/src/core/sketch_stats.hpp \
+ /root/repo/src/parallel/thread_pool.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/bits/shared_ptr.h \

@@ -173,7 +173,8 @@ bench-build/CMakeFiles/runtime_throughput.dir/runtime_throughput.cpp.o: \
  /root/repo/src/util/check.hpp /root/repo/src/rng/rng.hpp \
  /root/repo/src/stream/monitor.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/core/error_tracker.hpp /root/repo/src/stream/pipeline.hpp \
+ /root/repo/src/core/error_tracker.hpp \
+ /root/repo/src/obs/stage_report.hpp /root/repo/src/stream/pipeline.hpp \
  /root/repo/src/cluster/abod.hpp /root/repo/src/embed/knn.hpp \
  /root/repo/src/cluster/hdbscan.hpp /root/repo/src/cluster/kmeans.hpp \
  /root/repo/src/cluster/optics.hpp /usr/include/c++/12/limits \

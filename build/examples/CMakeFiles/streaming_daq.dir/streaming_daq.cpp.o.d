@@ -153,24 +153,14 @@ examples/CMakeFiles/streaming_daq.dir/streaming_daq.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /root/repo/src/stream/diagnostics.hpp /usr/include/c++/12/cstddef \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/src/arams.hpp \
+ /root/repo/src/cluster/metrics.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/image/frame_stats.hpp \
- /root/repo/src/image/image.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/linalg/matrix.hpp \
- /root/repo/src/util/check.hpp /root/repo/src/image/preprocess.hpp \
- /root/repo/src/stream/event.hpp /root/repo/src/stream/monitor.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/error_tracker.hpp \
- /root/repo/src/rng/rng.hpp /root/repo/src/stream/pipeline.hpp \
- /root/repo/src/cluster/abod.hpp /root/repo/src/embed/knn.hpp \
- /root/repo/src/cluster/hdbscan.hpp /root/repo/src/cluster/kmeans.hpp \
- /root/repo/src/cluster/optics.hpp /usr/include/c++/12/limits \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/linalg/matrix.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/util/check.hpp \
  /root/repo/src/core/arams_sketch.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -211,11 +201,15 @@ examples/CMakeFiles/streaming_daq.dir/streaming_daq.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/fd.hpp \
- /root/repo/src/core/sketch_stats.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/core/fd.hpp /root/repo/src/core/sketch_stats.hpp \
+ /root/repo/src/obs/stage_report.hpp \
  /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/core/rank_adaptive.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/rng/rng.hpp \
+ /root/repo/src/core/rank_adaptive.hpp /usr/include/c++/12/limits \
  /root/repo/src/linalg/trace_est.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -225,10 +219,42 @@ examples/CMakeFiles/streaming_daq.dir/streaming_daq.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/core/merge.hpp /root/repo/src/embed/umap.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/stream/source.hpp /root/repo/src/data/beam_profile.hpp \
- /root/repo/src/data/diffraction.hpp /root/repo/src/data/speckle.hpp \
- /root/repo/src/util/cli.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /root/repo/src/core/merge.hpp /root/repo/src/data/beam_profile.hpp \
+ /root/repo/src/image/image.hpp /root/repo/src/data/diffraction.hpp \
+ /root/repo/src/data/speckle.hpp /root/repo/src/data/synthetic.hpp \
+ /root/repo/src/data/spectrum.hpp /root/repo/src/embed/metrics.hpp \
+ /root/repo/src/embed/scatter_html.hpp \
+ /root/repo/src/image/calibration.hpp \
+ /root/repo/src/image/frame_stats.hpp /root/repo/src/image/preprocess.hpp \
+ /root/repo/src/io/frames.hpp /root/repo/src/io/npy.hpp \
+ /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/norms.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/parallel/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/parallel/virtual_cores.hpp \
+ /root/repo/src/stream/bounded_queue.hpp \
+ /root/repo/src/stream/diagnostics.hpp /root/repo/src/stream/event.hpp \
+ /root/repo/src/stream/event_builder.hpp \
+ /root/repo/src/stream/monitor.hpp /root/repo/src/core/error_tracker.hpp \
+ /root/repo/src/stream/pipeline.hpp /root/repo/src/cluster/abod.hpp \
+ /root/repo/src/embed/knn.hpp /root/repo/src/cluster/hdbscan.hpp \
+ /root/repo/src/cluster/kmeans.hpp /root/repo/src/cluster/optics.hpp \
+ /root/repo/src/embed/umap.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/stream/source.hpp \
+ /root/repo/src/util/cli.hpp /root/repo/src/util/csv.hpp \
+ /root/repo/src/util/stopwatch.hpp

@@ -199,9 +199,9 @@ src/core/CMakeFiles/arams_core.dir/baselines.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/sketch_stats.hpp \
- /root/repo/src/linalg/matrix.hpp /root/repo/src/util/check.hpp \
- /root/repo/src/rng/rng.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/obs/stage_report.hpp /root/repo/src/linalg/matrix.hpp \
+ /root/repo/src/util/check.hpp /root/repo/src/rng/rng.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

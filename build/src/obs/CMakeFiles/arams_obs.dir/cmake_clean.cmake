@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_obs.dir/metrics.cpp.o"
+  "CMakeFiles/arams_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/arams_obs.dir/stage_report.cpp.o"
+  "CMakeFiles/arams_obs.dir/stage_report.cpp.o.d"
+  "CMakeFiles/arams_obs.dir/trace.cpp.o"
+  "CMakeFiles/arams_obs.dir/trace.cpp.o.d"
+  "libarams_obs.a"
+  "libarams_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

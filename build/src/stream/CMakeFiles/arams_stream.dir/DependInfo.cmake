@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/arams_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/image/CMakeFiles/arams_image.dir/DependInfo.cmake"

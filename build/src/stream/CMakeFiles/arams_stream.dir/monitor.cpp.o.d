@@ -131,11 +131,12 @@ src/stream/CMakeFiles/arams_stream.dir/monitor.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/rng/rng.hpp \
- /root/repo/src/stream/pipeline.hpp /root/repo/src/cluster/abod.hpp \
- /root/repo/src/embed/knn.hpp /root/repo/src/cluster/hdbscan.hpp \
- /root/repo/src/cluster/kmeans.hpp /root/repo/src/cluster/optics.hpp \
- /usr/include/c++/12/limits /root/repo/src/core/arams_sketch.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/obs/stage_report.hpp /root/repo/src/stream/pipeline.hpp \
+ /root/repo/src/cluster/abod.hpp /root/repo/src/embed/knn.hpp \
+ /root/repo/src/cluster/hdbscan.hpp /root/repo/src/cluster/kmeans.hpp \
+ /root/repo/src/cluster/optics.hpp /usr/include/c++/12/limits \
+ /root/repo/src/core/arams_sketch.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -227,9 +228,11 @@ src/stream/CMakeFiles/arams_stream.dir/monitor.cpp.o: \
  /root/repo/src/data/speckle.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/embed/pca.hpp \
- /root/repo/src/util/stopwatch.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/stopwatch.hpp

@@ -318,6 +318,7 @@ tests/CMakeFiles/test_error_tracker.dir/test_error_tracker.cpp.o: \
  /root/repo/src/core/error_tracker.hpp /root/repo/src/linalg/matrix.hpp \
  /usr/include/c++/12/span /root/repo/src/util/check.hpp \
  /root/repo/src/rng/rng.hpp /root/repo/src/core/fd.hpp \
- /root/repo/src/core/sketch_stats.hpp /root/repo/src/data/synthetic.hpp \
- /root/repo/src/data/spectrum.hpp /root/repo/src/linalg/blas.hpp \
- /root/repo/src/linalg/norms.hpp /root/repo/src/linalg/qr.hpp
+ /root/repo/src/core/sketch_stats.hpp /root/repo/src/obs/stage_report.hpp \
+ /root/repo/src/data/synthetic.hpp /root/repo/src/data/spectrum.hpp \
+ /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/norms.hpp \
+ /root/repo/src/linalg/qr.hpp

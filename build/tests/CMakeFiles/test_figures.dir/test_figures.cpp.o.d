@@ -319,7 +319,7 @@ tests/CMakeFiles/test_figures.dir/test_figures.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/util/check.hpp \
  /root/repo/src/rng/rng.hpp /root/repo/src/cluster/metrics.hpp \
  /root/repo/src/core/arams_sketch.hpp /root/repo/src/core/fd.hpp \
- /root/repo/src/core/sketch_stats.hpp \
+ /root/repo/src/core/sketch_stats.hpp /root/repo/src/obs/stage_report.hpp \
  /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
@@ -331,11 +331,12 @@ tests/CMakeFiles/test_figures.dir/test_figures.cpp.o: \
  /root/repo/src/data/spectrum.hpp /root/repo/src/embed/metrics.hpp \
  /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/norms.hpp \
  /root/repo/src/parallel/virtual_cores.hpp /root/repo/src/core/merge.hpp \
- /root/repo/src/parallel/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/parallel/thread_pool.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -346,4 +347,4 @@ tests/CMakeFiles/test_figures.dir/test_figures.cpp.o: \
  /root/repo/src/cluster/hdbscan.hpp /root/repo/src/cluster/optics.hpp \
  /root/repo/src/stream/event.hpp /root/repo/src/stream/source.hpp \
  /root/repo/src/data/diffraction.hpp /root/repo/src/data/speckle.hpp \
- /root/repo/src/util/stopwatch.hpp /usr/include/c++/12/chrono
+ /root/repo/src/util/stopwatch.hpp

@@ -319,11 +319,12 @@ tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o: \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/span \
  /root/repo/src/util/check.hpp /root/repo/src/rng/rng.hpp \
  /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/norms.hpp \
- /root/repo/src/parallel/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/parallel/thread_pool.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -333,4 +334,5 @@ tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/thread /root/repo/src/parallel/virtual_cores.hpp \
- /root/repo/src/core/merge.hpp /root/repo/src/core/sketch_stats.hpp
+ /root/repo/src/core/merge.hpp /root/repo/src/obs/stage_report.hpp \
+ /root/repo/src/core/sketch_stats.hpp

@@ -322,7 +322,7 @@ tests/CMakeFiles/test_pipeline.dir/test_pipeline.cpp.o: \
  /root/repo/src/rng/rng.hpp /root/repo/src/cluster/hdbscan.hpp \
  /root/repo/src/cluster/kmeans.hpp /root/repo/src/cluster/optics.hpp \
  /root/repo/src/core/arams_sketch.hpp /root/repo/src/core/fd.hpp \
- /root/repo/src/core/sketch_stats.hpp \
+ /root/repo/src/core/sketch_stats.hpp /root/repo/src/obs/stage_report.hpp \
  /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \

@@ -319,11 +319,12 @@ tests/CMakeFiles/test_stream.dir/test_stream.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/core/error_tracker.hpp /root/repo/src/linalg/matrix.hpp \
  /usr/include/c++/12/span /root/repo/src/util/check.hpp \
- /root/repo/src/rng/rng.hpp /root/repo/src/stream/pipeline.hpp \
- /root/repo/src/cluster/abod.hpp /root/repo/src/embed/knn.hpp \
- /root/repo/src/cluster/hdbscan.hpp /root/repo/src/cluster/kmeans.hpp \
- /root/repo/src/cluster/optics.hpp /root/repo/src/core/arams_sketch.hpp \
- /root/repo/src/core/fd.hpp /root/repo/src/core/sketch_stats.hpp \
+ /root/repo/src/rng/rng.hpp /root/repo/src/obs/stage_report.hpp \
+ /root/repo/src/stream/pipeline.hpp /root/repo/src/cluster/abod.hpp \
+ /root/repo/src/embed/knn.hpp /root/repo/src/cluster/hdbscan.hpp \
+ /root/repo/src/cluster/kmeans.hpp /root/repo/src/cluster/optics.hpp \
+ /root/repo/src/core/arams_sketch.hpp /root/repo/src/core/fd.hpp \
+ /root/repo/src/core/sketch_stats.hpp \
  /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/core/rank_adaptive.hpp \

@@ -10,12 +10,7 @@
 #include <iostream>
 #include <sstream>
 
-#include "data/beam_profile.hpp"
-#include "embed/metrics.hpp"
-#include "embed/scatter_html.hpp"
-#include "stream/pipeline.hpp"
-#include "util/cli.hpp"
-#include "util/csv.hpp"
+#include "arams.hpp"
 
 int main(int argc, char** argv) {
   using namespace arams;
@@ -115,10 +110,10 @@ int main(int argc, char** argv) {
   }
   if (exotic_total > 0) exotic_gap /= static_cast<double>(exotic_total);
 
-  std::cout << "\npipeline timings: sketch " << result.sketch_seconds
-            << " s, project " << result.project_seconds << " s, UMAP "
-            << result.embed_seconds << " s, cluster "
-            << result.cluster_seconds << " s\n"
+  std::cout << "\npipeline timings: sketch " << result.sketch_seconds()
+            << " s, project " << result.project_seconds() << " s, UMAP "
+            << result.embed_seconds() << " s, cluster "
+            << result.cluster_seconds() << " s\n"
             << "final sketch rank: " << result.final_ell << "\n"
             << "|corr(embedding axis, CoM offset)|      = " << best_com
             << "\n"

@@ -18,14 +18,7 @@
 #include <iostream>
 #include <thread>
 
-#include "cluster/metrics.hpp"
-#include "data/beam_profile.hpp"
-#include "data/diffraction.hpp"
-#include "image/preprocess.hpp"
-#include "stream/bounded_queue.hpp"
-#include "stream/event_builder.hpp"
-#include "stream/pipeline.hpp"
-#include "util/cli.hpp"
+#include "arams.hpp"
 
 namespace {
 

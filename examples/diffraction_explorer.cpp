@@ -7,12 +7,7 @@
 #include <iostream>
 #include <sstream>
 
-#include "cluster/metrics.hpp"
-#include "embed/scatter_html.hpp"
-#include "stream/pipeline.hpp"
-#include "stream/source.hpp"
-#include "util/cli.hpp"
-#include "util/csv.hpp"
+#include "arams.hpp"
 
 int main(int argc, char** argv) {
   using namespace arams;
@@ -65,9 +60,9 @@ int main(int argc, char** argv) {
             << "adjusted Rand index vs latent classes = " << ari << "\n"
             << "purity                                = " << pur << "\n"
             << "embedding silhouette                  = " << sil << "\n"
-            << "timings: sketch " << result.sketch_seconds << " s, UMAP "
-            << result.embed_seconds << " s, cluster "
-            << result.cluster_seconds << " s\n";
+            << "timings: sketch " << result.sketch_seconds() << " s, UMAP "
+            << result.embed_seconds() << " s, cluster "
+            << result.cluster_seconds() << " s\n";
 
   if (const std::string& out = flags.get("out"); !out.empty()) {
     Table table({"x", "y", "cluster", "truth"});

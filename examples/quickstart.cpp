@@ -5,12 +5,7 @@
 
 #include <iostream>
 
-#include "core/arams_sketch.hpp"
-#include "data/synthetic.hpp"
-#include "linalg/blas.hpp"
-#include "linalg/norms.hpp"
-#include "util/cli.hpp"
-#include "util/stopwatch.hpp"
+#include "arams.hpp"
 
 int main(int argc, char** argv) {
   using namespace arams;
@@ -61,7 +56,7 @@ int main(int argc, char** argv) {
   std::cout << "sketch: " << result.sketch.rows() << " x "
             << result.sketch.cols() << " (final ell = " << result.final_ell
             << ", rows sampled = " << result.rows_sampled << ")\n"
-            << "time:   " << seconds << " s (" << result.stats.svd_count
+            << "time:   " << seconds << " s (" << result.stats().svd_count
             << " rotations)\n"
             << "error:  relative covariance error = " << rel_err
             << "  [FD bound 1/ell = "

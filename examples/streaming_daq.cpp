@@ -8,9 +8,7 @@
 
 #include <iostream>
 
-#include "stream/diagnostics.hpp"
-#include "stream/monitor.hpp"
-#include "util/cli.hpp"
+#include "arams.hpp"
 
 int main(int argc, char** argv) {
   using namespace arams;
@@ -65,7 +63,7 @@ int main(int argc, char** argv) {
       const stream::SnapshotResult snap = monitor.snapshot();
       std::cout << "[shot " << seen << "] snapshot of "
                 << snap.embedding.rows() << " frames in "
-                << snap.snapshot_seconds << " s; sketch rank "
+                << snap.snapshot_seconds() << " s; sketch rank "
                 << monitor.current_ell() << "; sketch error gauge "
                 << monitor.sketch_error_estimate()
                 << "; throughput so far "

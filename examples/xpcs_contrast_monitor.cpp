@@ -10,12 +10,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "cluster/metrics.hpp"
-#include "data/speckle.hpp"
-#include "embed/metrics.hpp"
-#include "stream/diagnostics.hpp"
-#include "stream/pipeline.hpp"
-#include "util/cli.hpp"
+#include "arams.hpp"
 
 int main(int argc, char** argv) {
   using namespace arams;

@@ -1,14 +1,59 @@
 #include "core/arams_sketch.hpp"
 
+#include <sstream>
+
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace arams::core {
 
 using linalg::Matrix;
 
+std::vector<std::string> AramsConfig::validate() const {
+  std::vector<std::string> errors;
+  const auto fmt = [](const auto& value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  };
+  if (!(beta > 0.0 && beta <= 1.0)) {
+    errors.push_back("beta must be in (0, 1], got " + fmt(beta));
+  }
+  if (ell < 2) {
+    errors.push_back("ell must be >= 2, got " + fmt(ell));
+  }
+  if (max_ell != 0 && ell > max_ell) {
+    errors.push_back("ell (" + fmt(ell) + ") exceeds max_ell (" +
+                     fmt(max_ell) + ")");
+  }
+  if (rank_adaptive) {
+    if (nu < 1) {
+      errors.push_back("nu (probes per estimate) must be >= 1, got " +
+                       fmt(nu));
+    }
+    if (epsilon < 0.0) {
+      errors.push_back("epsilon must be >= 0, got " + fmt(epsilon));
+    }
+  }
+  return errors;
+}
+
+namespace {
+
+std::string join_errors(const std::vector<std::string>& errors) {
+  std::string out;
+  for (const auto& e : errors) {
+    if (!out.empty()) out += "; ";
+    out += e;
+  }
+  return out;
+}
+
+}  // namespace
+
 Arams::Arams(const AramsConfig& config) : config_(config) {
-  ARAMS_CHECK(config.beta > 0.0 && config.beta <= 1.0,
-              "beta must be in (0, 1]");
+  const std::vector<std::string> errors = config.validate();
+  ARAMS_CHECK(errors.empty(), "invalid AramsConfig: " + join_errors(errors));
   if (config_.rank_adaptive) {
     RankAdaptiveConfig ra;
     ra.initial_ell = config_.ell;
@@ -31,33 +76,38 @@ FrequentDirections& Arams::fd() {
 }
 
 AramsResult Arams::sketch_matrix(const Matrix& x) {
+  const obs::ScopedSpan span("arams.sketch_matrix");
   AramsResult result;
   Stopwatch timer;
 
   const Matrix* input = &x;
   Matrix sampled;
   if (config_.use_sampling && config_.beta < 1.0) {
+    const obs::ScopedSpan sample_span("arams.sample");
     PrioritySamplerConfig ps;
     ps.weight = config_.weight;
     ps.seed = config_.seed ^ 0x5a5a5a5aull;
     sampled = priority_sample(x, config_.beta, ps);
     input = &sampled;
   }
-  result.sample_seconds = timer.lap();
+  result.report.set_seconds("sample", timer.lap());
   result.rows_sampled = input->rows();
   rows_sampled_total_ += input->rows();
 
-  if (ra_fd_) {
-    ra_fd_->set_rows_remaining(static_cast<long>(input->rows()));
-    ra_fd_->append_batch(*input);
-  } else {
-    fixed_fd_->append_batch(*input);
+  {
+    const obs::ScopedSpan sketch_span("arams.sketch");
+    if (ra_fd_) {
+      ra_fd_->set_rows_remaining(static_cast<long>(input->rows()));
+      ra_fd_->append_batch(*input);
+    } else {
+      fixed_fd_->append_batch(*input);
+    }
+    fd().compress();
   }
-  fd().compress();
-  result.sketch_seconds = timer.lap();
+  result.report.set_seconds("sketch", timer.lap());
   result.sketch = fd().sketch();
   result.final_ell = fd().ell();
-  result.stats = fd().stats();
+  append_to_report(fd().stats(), result.report);
   return result;
 }
 

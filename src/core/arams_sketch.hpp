@@ -9,11 +9,14 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/fd.hpp"
 #include "core/priority_sampler.hpp"
 #include "core/rank_adaptive.hpp"
 #include "core/sketch_stats.hpp"
+#include "obs/stage_report.hpp"
 
 namespace arams::core {
 
@@ -35,15 +38,32 @@ struct AramsConfig {
       linalg::ResidualEstimator::kGaussianProbes;
 
   std::uint64_t seed = 2024;
+
+  /// Human-readable configuration errors, empty when the config is usable.
+  /// Called at Arams construction so a bad config fails at the API
+  /// boundary instead of deep inside the math.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 struct AramsResult {
   linalg::Matrix sketch;       ///< ≤ ℓ_final rows × d
   std::size_t final_ell = 0;   ///< rank after adaptation
   std::size_t rows_sampled = 0;  ///< rows that survived stage 1
-  SketchStats stats;
-  double sample_seconds = 0.0;
-  double sketch_seconds = 0.0;
+
+  /// Stage timings ("sample", "sketch", "shrink", "fd") and operation
+  /// counters ("svd_count", "probe_count", …) for this run.
+  obs::StageReport report;
+
+  // Legacy accessors (kept for one release; prefer `report`).
+  [[nodiscard]] SketchStats stats() const {
+    return sketch_stats_from_report(report);
+  }
+  [[nodiscard]] double sample_seconds() const {
+    return report.seconds("sample");
+  }
+  [[nodiscard]] double sketch_seconds() const {
+    return report.seconds("sketch");
+  }
 };
 
 /// The ARAMS sketching engine. Batch API (`sketch_matrix`) is Algorithm 3

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/svd.hpp"
+#include "obs/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace arams::core {
@@ -79,7 +80,16 @@ void FrequentDirections::shrink() {
   // which Section IV-A3 warns would corrupt later merges.
   next_zero_row_ = out;
   ++stats_.svd_count;
-  stats_.shrink_seconds += timer.seconds();
+  const double seconds = timer.seconds();
+  stats_.shrink_seconds += seconds;
+  // Resolved once: references into the global registry are stable, so the
+  // per-shrink cost is two relaxed atomic ops next to an SVD.
+  static obs::Counter& shrink_count =
+      obs::metrics().counter("fd.shrink_count");
+  static obs::Histogram& shrink_latency =
+      obs::metrics().histogram("fd.shrink_seconds");
+  shrink_count.add(1);
+  shrink_latency.observe(seconds);
 }
 
 void FrequentDirections::compress() {

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "linalg/svd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -66,10 +68,13 @@ Matrix merge_group(const std::vector<Matrix>& sketches, std::size_t ell) {
 Matrix serial_merge(std::vector<Matrix> sketches, std::size_t ell,
                     MergeStats* stats) {
   ARAMS_CHECK(!sketches.empty(), "merge of zero sketches");
+  const obs::ScopedSpan span("merge.serial");
+  static obs::Counter& merge_ops = obs::metrics().counter("merge.ops");
   MergeStats local;
   Matrix acc = std::move(sketches.front());
   for (std::size_t i = 1; i < sketches.size(); ++i) {
     Stopwatch timer;
+    merge_ops.add(1);
     acc = shrink_to_ell(Matrix::vstack(acc, sketches[i]), ell);
     const double s = timer.seconds();
     ++local.merge_ops;
@@ -88,12 +93,19 @@ Matrix tree_merge(std::vector<Matrix> sketches, std::size_t ell,
                   std::size_t arity, MergeStats* stats) {
   ARAMS_CHECK(!sketches.empty(), "merge of zero sketches");
   ARAMS_CHECK(arity >= 2, "tree arity must be >= 2");
+  const obs::ScopedSpan span("merge.tree");
+  static obs::Counter& merge_ops = obs::metrics().counter("merge.ops");
   MergeStats local;
   while (sketches.size() > 1) {
+    // One span per reduction level — the unit the critical-path model in
+    // parallel/virtual_cores charges for (slowest group per level).
+    const obs::ScopedSpan level_span(
+        "merge.level" + std::to_string(local.levels));
     std::vector<Matrix> next;
     next.reserve((sketches.size() + arity - 1) / arity);
     double slowest_in_level = 0.0;
     for (std::size_t g = 0; g < sketches.size(); g += arity) {
+      merge_ops.add(1);
       const std::size_t end = std::min(g + arity, sketches.size());
       Matrix stacked = std::move(sketches[g]);
       for (std::size_t i = g + 1; i < end; ++i) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "obs/stage_report.hpp"
 
 namespace arams::core {
 
@@ -21,6 +22,28 @@ struct MergeStats {
   double total_seconds = 0.0;   ///< wall time of all shrinks (work)
   double critical_path_seconds = 0.0;  ///< modeled makespan of the merges
 };
+
+/// Folds merge counters/timings into a StageReport (stages "merge" and
+/// "merge_critical_path").
+inline void append_to_report(const MergeStats& stats,
+                             obs::StageReport& report) {
+  report.add_counter("merge_ops", stats.merge_ops);
+  report.add_counter("merge_levels", stats.levels);
+  report.add_counter("merge_critical_path_ops", stats.critical_path_ops);
+  report.add_seconds("merge", stats.total_seconds);
+  report.add_seconds("merge_critical_path", stats.critical_path_seconds);
+}
+
+/// Inverse of append_to_report — backs the legacy `merge_stats` accessor.
+inline MergeStats merge_stats_from_report(const obs::StageReport& report) {
+  MergeStats stats;
+  stats.merge_ops = report.counter("merge_ops");
+  stats.levels = report.counter("merge_levels");
+  stats.critical_path_ops = report.counter("merge_critical_path_ops");
+  stats.total_seconds = report.seconds("merge");
+  stats.critical_path_seconds = report.seconds("merge_critical_path");
+  return stats;
+}
 
 /// Merges a group of sketches into one ℓ-row sketch with a single FD
 /// shrink of their vertical stack. Column counts must match.

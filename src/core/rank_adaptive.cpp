@@ -5,6 +5,7 @@
 
 #include "linalg/blas.hpp"
 #include "linalg/norms.hpp"
+#include "obs/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace arams::core {
@@ -48,6 +49,9 @@ void RankAdaptiveFd::append(std::span<const double> row) {
       grow_ell(step);
       increase_ell_ = false;
       ++stats_.rank_increases;
+      static obs::Counter& rank_increases =
+          obs::metrics().counter("fd.rank_increases");
+      rank_increases.add(1);
       // Window tracks ℓ so the estimate always covers one buffer period.
       window_.resize(ell_);
     } else {
@@ -119,6 +123,9 @@ void RankAdaptiveFd::update_adaptation_decision() {
   double estimate =
       linalg::estimate_residual(x, v, config_.estimator, config_.nu, rng_);
   stats_.probe_count += config_.nu;
+  static obs::Counter& probe_count =
+      obs::metrics().counter("fd.probe_count");
+  probe_count.add(config_.nu);
   if (config_.relative_error) {
     const double denom = linalg::frobenius_norm_squared(x);
     if (denom <= 0.0) return;  // an all-zero batch carries no signal

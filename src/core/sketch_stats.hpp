@@ -2,6 +2,12 @@
 // Operation counters shared by all sketching classes. The scaling study
 // (Figs. 2–3) argues in terms of SVD/rotation counts on the critical path;
 // these counters make that argument checkable exactly.
+//
+// Result structs no longer embed SketchStats directly: they carry an
+// obs::StageReport and expose SketchStats through a legacy accessor, via
+// the conversion helpers below.
+
+#include "obs/stage_report.hpp"
 
 namespace arams::core {
 
@@ -23,5 +29,30 @@ struct SketchStats {
     return *this;
   }
 };
+
+/// Folds the counters into a StageReport (counters add; the two wall-clock
+/// entries land under the "shrink" and "fd" stages).
+inline void append_to_report(const SketchStats& stats,
+                             obs::StageReport& report) {
+  report.add_counter("rows_processed", stats.rows_processed);
+  report.add_counter("svd_count", stats.svd_count);
+  report.add_counter("rank_increases", stats.rank_increases);
+  report.add_counter("probe_count", stats.probe_count);
+  report.add_seconds("shrink", stats.shrink_seconds);
+  report.add_seconds("fd", stats.total_seconds);
+}
+
+/// Inverse of append_to_report — backs the legacy `stats`/`sketch_stats`
+/// accessors on result structs for one release.
+inline SketchStats sketch_stats_from_report(const obs::StageReport& report) {
+  SketchStats stats;
+  stats.rows_processed = report.counter("rows_processed");
+  stats.svd_count = report.counter("svd_count");
+  stats.rank_increases = report.counter("rank_increases");
+  stats.probe_count = report.counter("probe_count");
+  stats.shrink_seconds = report.seconds("shrink");
+  stats.total_seconds = report.seconds("fd");
+  return stats;
+}
 
 }  // namespace arams::core

@@ -1,0 +1,128 @@
+#include "obs/stage_report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace arams::obs {
+
+namespace {
+
+/// JSON string escape for stage/counter names (they are plain identifiers
+/// in practice, but exporters must never emit invalid JSON).
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+StageTiming& StageReport::stage_entry(std::string_view stage) {
+  const auto it = std::find_if(
+      stages_.begin(), stages_.end(),
+      [stage](const StageTiming& t) { return t.stage == stage; });
+  if (it != stages_.end()) return *it;
+  stages_.push_back(StageTiming{std::string(stage), 0.0});
+  return stages_.back();
+}
+
+StageCounter& StageReport::counter_entry(std::string_view name) {
+  const auto it = std::find_if(
+      counters_.begin(), counters_.end(),
+      [name](const StageCounter& c) { return c.name == name; });
+  if (it != counters_.end()) return *it;
+  counters_.push_back(StageCounter{std::string(name), 0});
+  return counters_.back();
+}
+
+void StageReport::set_seconds(std::string_view stage, double seconds) {
+  stage_entry(stage).seconds = seconds;
+}
+
+void StageReport::add_seconds(std::string_view stage, double seconds) {
+  stage_entry(stage).seconds += seconds;
+}
+
+double StageReport::seconds(std::string_view stage) const {
+  for (const auto& t : stages_) {
+    if (t.stage == stage) return t.seconds;
+  }
+  return 0.0;
+}
+
+bool StageReport::has_stage(std::string_view stage) const {
+  return std::any_of(
+      stages_.begin(), stages_.end(),
+      [stage](const StageTiming& t) { return t.stage == stage; });
+}
+
+void StageReport::set_counter(std::string_view name, long value) {
+  counter_entry(name).value = value;
+}
+
+void StageReport::add_counter(std::string_view name, long delta) {
+  counter_entry(name).value += delta;
+}
+
+long StageReport::counter(std::string_view name) const {
+  for (const auto& c : counters_) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double StageReport::total_seconds() const {
+  double total = 0.0;
+  for (const auto& t : stages_) total += t.seconds;
+  return total;
+}
+
+StageReport& StageReport::operator+=(const StageReport& other) {
+  for (const auto& t : other.stages_) {
+    add_seconds(t.stage, t.seconds);
+  }
+  for (const auto& c : other.counters_) {
+    add_counter(c.name, c.value);
+  }
+  return *this;
+}
+
+std::string StageReport::summary() const {
+  std::ostringstream out;
+  out << "stages:\n";
+  for (const auto& t : stages_) {
+    out << "  " << t.stage << ": " << t.seconds << " s\n";
+  }
+  out << "counters:\n";
+  for (const auto& c : counters_) {
+    out << "  " << c.name << ": " << c.value << "\n";
+  }
+  return out.str();
+}
+
+void StageReport::write_json(std::ostream& out) const {
+  out << "{\"stages\":{";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i != 0) out << ",";
+    write_json_string(out, stages_[i].stage);
+    out << ":" << stages_[i].seconds;
+  }
+  out << "},\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i != 0) out << ",";
+    write_json_string(out, counters_[i].name);
+    out << ":" << counters_[i].value;
+  }
+  out << "}}";
+}
+
+}  // namespace arams::obs

@@ -1,0 +1,72 @@
+#pragma once
+// obs::StageReport — the one timing/counter surface every result struct
+// embeds. Replaces the ad-hoc `*_seconds` fields plus the
+// SketchStats/MergeStats counter bags that used to be scattered across
+// AramsResult, PipelineResult and SnapshotResult: stage wall-clock entries
+// and named operation counters live side by side, merge additively across
+// shards, and export uniformly (text summary or JSON).
+//
+// Entries keep insertion order so summaries read in pipeline order
+// (preprocess → sketch → project → embed → cluster).
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arams::obs {
+
+struct StageTiming {
+  std::string stage;
+  double seconds = 0.0;
+};
+
+struct StageCounter {
+  std::string name;
+  long value = 0;
+};
+
+class StageReport {
+ public:
+  /// Overwrites (or creates) a stage's wall-clock entry.
+  void set_seconds(std::string_view stage, double seconds);
+  /// Accumulates into a stage's wall-clock entry (creates at 0 first).
+  void add_seconds(std::string_view stage, double seconds);
+  /// Seconds recorded for a stage; 0.0 when the stage never ran.
+  [[nodiscard]] double seconds(std::string_view stage) const;
+  [[nodiscard]] bool has_stage(std::string_view stage) const;
+
+  void set_counter(std::string_view name, long value);
+  void add_counter(std::string_view name, long delta);
+  /// Counter value; 0 when never recorded.
+  [[nodiscard]] long counter(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<StageTiming>& stages() const {
+    return stages_;
+  }
+  [[nodiscard]] const std::vector<StageCounter>& counters() const {
+    return counters_;
+  }
+
+  /// Sum of every stage's seconds.
+  [[nodiscard]] double total_seconds() const;
+
+  /// Accumulates another report: matching stages/counters add, new ones
+  /// append. This is how per-shard reports fold into a pipeline report.
+  StageReport& operator+=(const StageReport& other);
+
+  /// Human-readable multi-line dump (stages first, then counters).
+  [[nodiscard]] std::string summary() const;
+
+  /// One JSON object: {"stages":{...},"counters":{...}}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  StageTiming& stage_entry(std::string_view stage);
+  StageCounter& counter_entry(std::string_view name);
+
+  std::vector<StageTiming> stages_;
+  std::vector<StageCounter> counters_;
+};
+
+}  // namespace arams::obs

@@ -1,0 +1,112 @@
+#include "obs/trace.hpp"
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <thread>
+
+namespace arams::obs {
+
+namespace {
+
+thread_local int t_open_spans = 0;
+
+std::uint64_t this_thread_id() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::record(SpanRecord span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> TraceRecorder::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::uint64_t, int> tids;  // first appearance → small integer
+  for (const auto& s : spans_) {
+    tids.emplace(s.thread_id, static_cast<int>(tids.size() + 1));
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const auto& s = spans_[i];
+    if (i != 0) out << ",";
+    out << "{\"name\":";
+    write_json_string(out, s.name);
+    out << ",\"cat\":\"arams\",\"ph\":\"X\",\"ts\":" << s.start_us
+        << ",\"dur\":" << s.duration_us << ",\"pid\":1,\"tid\":"
+        << tids[s.thread_id] << ",\"args\":{\"depth\":" << s.depth << "}}";
+  }
+  out << "]}\n";
+}
+
+void TraceRecorder::write_json_lines(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : spans_) {
+    out << "{\"type\":\"span\",\"name\":";
+    write_json_string(out, s.name);
+    out << ",\"thread\":" << s.thread_id << ",\"start_us\":" << s.start_us
+        << ",\"duration_us\":" << s.duration_us << ",\"depth\":" << s.depth
+        << "}\n";
+  }
+}
+
+TraceRecorder& tracer() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, TraceRecorder& recorder) {
+  if (!recorder.enabled()) return;
+  recorder_ = &recorder;
+  name_ = name;
+  depth_ = t_open_spans++;
+  start_us_ = recorder.now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) return;
+  const double end_us = recorder_->now_us();
+  --t_open_spans;
+  recorder_->record(SpanRecord{std::move(name_), this_thread_id(),
+                               start_us_, end_us - start_us_, depth_});
+}
+
+int ScopedSpan::current_depth() { return t_open_spans; }
+
+}  // namespace arams::obs

@@ -1,0 +1,93 @@
+#pragma once
+// obs::TraceRecorder + obs::ScopedSpan — RAII wall-clock trace spans with
+// parent/child nesting.
+//
+// Each thread keeps a span stack (a thread-local depth counter); a
+// ScopedSpan opened while another is alive on the same thread records one
+// level deeper, which is exactly the containment chrome://tracing/Perfetto
+// reconstruct from the Chrome trace_event export ("ph":"X" complete events
+// sharing a tid). Recording is off by default — a disabled recorder makes
+// ScopedSpan construction two relaxed atomic loads and nothing else — and
+// is switched on by `arams_cli --trace-out` or a test.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arams::obs {
+
+/// One completed span, in microseconds since the recorder's epoch.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t thread_id = 0;  ///< hashed std::thread::id
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  int depth = 0;  ///< nesting depth on its thread (0 = root)
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since this recorder's construction.
+  [[nodiscard]] double now_us() const;
+
+  /// Appends a completed span (ScopedSpan calls this; tests may inject
+  /// deterministic records directly).
+  void record(SpanRecord span);
+
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  void clear();
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}), loadable in
+  /// chrome://tracing and Perfetto. Thread ids are remapped to small
+  /// integers in order of first appearance so the export is deterministic
+  /// for a fixed span sequence.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// One JSON object per span per line.
+  void write_json_lines(std::ostream& out) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// Process-global recorder the built-in instrumentation records into.
+TraceRecorder& tracer();
+
+/// RAII span: measures construction → destruction and records it with the
+/// current thread's nesting depth. No-op when the recorder is disabled at
+/// construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name,
+                      TraceRecorder& recorder = tracer());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Number of spans currently open on this thread.
+  [[nodiscard]] static int current_depth();
+
+ private:
+  TraceRecorder* recorder_ = nullptr;  ///< null → disabled, record nothing
+  std::string name_;
+  double start_us_ = 0.0;
+  int depth_ = 0;
+};
+
+}  // namespace arams::obs

@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace arams::parallel {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge = obs::metrics().gauge("pool.queue_depth");
+  return gauge;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -26,18 +43,26 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  static obs::Histogram& wait_latency =
+      obs::metrics().histogram("pool.task_wait_seconds");
+  static obs::Histogram& run_latency =
+      obs::metrics().histogram("pool.task_run_seconds");
   for (;;) {
-    std::packaged_task<void()> task;
+    Pending pending;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // stopping and drained
       }
-      task = std::move(queue_.front());
+      pending = std::move(queue_.front());
       queue_.pop();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
     }
-    task();
+    wait_latency.observe(seconds_since(pending.enqueued));
+    const auto started = std::chrono::steady_clock::now();
+    pending.task();
+    run_latency.observe(seconds_since(started));
   }
 }
 
@@ -46,7 +71,9 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::future<void> future = packaged.get_future();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(packaged));
+    queue_.push(Pending{std::move(packaged),
+                        std::chrono::steady_clock::now()});
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return future;

@@ -2,7 +2,12 @@
 // Fixed-size worker pool. The sketching shards are coarse-grained (one task
 // per virtual core), so a simple mutex-guarded queue is plenty; no
 // work-stealing needed.
+//
+// Telemetry: every pool reports "pool.queue_depth" (gauge), and per-task
+// "pool.task_wait_seconds" / "pool.task_run_seconds" latency histograms to
+// obs::metrics(), so queueing delay is separable from compute time.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -34,10 +39,15 @@ class ThreadPool {
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
  private:
+  struct Pending {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
+  std::queue<Pending> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/fd.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -17,6 +18,7 @@ ScalingResult run_sharded_sketch(
     const ScalingConfig& config,
     const std::function<Matrix(std::size_t)>& shard_provider) {
   ARAMS_CHECK(config.num_cores >= 1, "need at least one core");
+  const obs::ScopedSpan span("scaling.run");
   const std::size_t p = config.num_cores;
 
   ScalingResult result;
@@ -24,6 +26,7 @@ ScalingResult run_sharded_sketch(
   std::vector<Matrix> sketches(p);
 
   const auto run_core = [&](std::size_t core) {
+    const obs::ScopedSpan core_span("scaling.shard" + std::to_string(core));
     const Matrix shard = shard_provider(core);
     Stopwatch timer;
     FrequentDirections fd(FdConfig{config.ell, /*fast=*/true});
@@ -51,6 +54,7 @@ ScalingResult run_sharded_sketch(
   }
 
   // --- merge phase ---
+  const obs::ScopedSpan merge_span("scaling.merge");
   double message_bytes = 0.0;
   if (!sketches.empty() && sketches[0].rows() > 0) {
     message_bytes = static_cast<double>(config.ell) *

@@ -4,6 +4,8 @@
 
 #include "embed/pca.hpp"
 #include "embed/umap.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -17,6 +19,8 @@ void ThroughputMeter::record(std::size_t frames, double seconds) {
 }
 
 double ThroughputMeter::frames_per_second() const {
+  // Guard the divide: before the first record() the accumulated time is
+  // zero and the rate is defined as 0.0, never inf/NaN.
   return seconds_ > 0.0 ? static_cast<double>(frames_) / seconds_ : 0.0;
 }
 
@@ -54,6 +58,12 @@ bool StreamingMonitor::ingest(const ShotEvent& event) {
     updated = true;
   }
   meter_.record(1, timer.seconds());
+  static obs::Gauge& ingest_fps =
+      obs::metrics().gauge("monitor.ingest_fps");
+  static obs::Gauge& occupancy =
+      obs::metrics().gauge("monitor.reservoir_occupancy");
+  ingest_fps.set(meter_.frames_per_second());
+  occupancy.set(static_cast<double>(reservoir_.size()));
   return updated;
 }
 
@@ -66,16 +76,22 @@ void StreamingMonitor::flush() {
 }
 
 void StreamingMonitor::update_sketch() {
+  const obs::ScopedSpan span("monitor.update_sketch");
+  Stopwatch timer;
   Matrix batch(batch_rows_.size(), dim_);
   for (std::size_t i = 0; i < batch_rows_.size(); ++i) {
     batch.set_row(i, batch_rows_[i]);
   }
   batch_rows_.clear();
   sketcher_.push_batch(batch);
+  static obs::Histogram& batch_latency =
+      obs::metrics().histogram("monitor.batch_seconds");
+  batch_latency.observe(timer.seconds());
 }
 
 SnapshotResult StreamingMonitor::snapshot() {
   ARAMS_CHECK(!reservoir_.empty(), "snapshot before any frames arrived");
+  const obs::ScopedSpan span("monitor.snapshot");
   Stopwatch timer;
   SnapshotResult out;
 
@@ -100,7 +116,7 @@ SnapshotResult StreamingMonitor::snapshot() {
   out.embedding = embed::umap_embed(out.latent, umap_config);
 
   cluster_snapshot(out);
-  out.snapshot_seconds = timer.seconds();
+  out.report.set_seconds("snapshot", timer.seconds());
 
   // Keep this snapshot as the reference for incremental refreshes.
   reference_latent_ = out.latent;
@@ -129,6 +145,7 @@ SnapshotResult StreamingMonitor::snapshot_incremental() {
     return snapshot();
   }
   ARAMS_CHECK(!reservoir_.empty(), "snapshot before any frames arrived");
+  const obs::ScopedSpan span("monitor.snapshot_incremental");
   Stopwatch timer;
   SnapshotResult out;
 
@@ -178,7 +195,7 @@ SnapshotResult StreamingMonitor::snapshot_incremental() {
     }
   }
   cluster_snapshot(out);
-  out.snapshot_seconds = timer.seconds();
+  out.report.set_seconds("snapshot", timer.seconds());
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "core/error_tracker.hpp"
+#include "obs/stage_report.hpp"
 #include "stream/pipeline.hpp"
 #include "stream/source.hpp"
 
@@ -17,6 +18,8 @@ namespace arams::stream {
 class ThroughputMeter {
  public:
   void record(std::size_t frames, double seconds);
+  /// Frames per accumulated second; 0.0 before the first record() (or when
+  /// only zero-duration records arrived) rather than inf/NaN.
   [[nodiscard]] double frames_per_second() const;
   [[nodiscard]] std::size_t total_frames() const { return frames_; }
   [[nodiscard]] double total_seconds() const { return seconds_; }
@@ -37,7 +40,14 @@ struct SnapshotResult {
   linalg::Matrix embedding;
   std::vector<int> labels;
   std::vector<std::uint64_t> shot_ids;  ///< rows ↔ shots
-  double snapshot_seconds = 0.0;
+
+  /// Stage timings for this snapshot ("snapshot" = end-to-end).
+  obs::StageReport report;
+
+  // Legacy accessor (kept for one release; prefer `report`).
+  [[nodiscard]] double snapshot_seconds() const {
+    return report.seconds("snapshot");
+  }
 };
 
 /// Streaming monitor with a persistent sketch and a frame reservoir.

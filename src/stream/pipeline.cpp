@@ -1,8 +1,10 @@
 #include "stream/pipeline.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "embed/pca.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -11,125 +13,199 @@ namespace arams::stream {
 
 using linalg::Matrix;
 
+std::vector<std::string> PipelineConfig::validate() const {
+  std::vector<std::string> errors = sketch.validate();
+  const auto fmt = [](const auto& value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  };
+  if (num_cores < 1) {
+    errors.push_back("num_cores must be >= 1, got " + fmt(num_cores));
+  }
+  if (pca_components == 0) {
+    errors.push_back("pca_components must be >= 1");
+  }
+  if (umap.n_neighbors < 2) {
+    errors.push_back("umap.n_neighbors must be >= 2, got " +
+                     fmt(umap.n_neighbors));
+  }
+  if (!(cluster_quantile > 0.0 && cluster_quantile <= 1.0)) {
+    errors.push_back("cluster_quantile must be in (0, 1], got " +
+                     fmt(cluster_quantile));
+  }
+  if (abod_k == 1) {
+    errors.push_back("abod_k must be 0 (disabled) or >= 2");
+  }
+  return errors;
+}
+
 MonitoringPipeline::MonitoringPipeline(const PipelineConfig& config)
     : config_(config) {
-  ARAMS_CHECK(config.num_cores >= 1, "need at least one core");
-  ARAMS_CHECK(config.pca_components >= 1, "need at least one PCA component");
+  const std::vector<std::string> errors = config.validate();
+  if (!errors.empty()) {
+    std::string joined;
+    for (const auto& e : errors) {
+      if (!joined.empty()) joined += "; ";
+      joined += e;
+    }
+    ARAMS_CHECK(false, "invalid PipelineConfig: " + joined);
+  }
 }
 
 PipelineResult MonitoringPipeline::analyze(
     const std::vector<image::ImageF>& frames) const {
-  ARAMS_CHECK(!frames.empty(), "no frames to analyze");
-  Stopwatch timer;
-  const std::vector<image::ImageF> processed =
-      image::preprocess_batch(frames, config_.preprocess);
-  Matrix rows = image::images_to_matrix(processed);
-  const double pre = timer.seconds();
-  PipelineResult result = analyze_matrix(rows);
-  result.preprocess_seconds = pre;
-  return result;
+  return analyze_frames(frames, {});
 }
 
 PipelineResult MonitoringPipeline::analyze_events(
     const std::vector<ShotEvent>& events) const {
   std::vector<image::ImageF> frames;
+  std::vector<std::uint64_t> shot_ids;
   frames.reserve(events.size());
+  shot_ids.reserve(events.size());
   for (const auto& e : events) {
     frames.push_back(e.frame);
+    shot_ids.push_back(e.shot_id);
   }
-  return analyze(frames);
+  return analyze_frames(frames, std::move(shot_ids));
 }
 
 PipelineResult MonitoringPipeline::analyze_matrix(const Matrix& rows) const {
+  const obs::ScopedSpan span("pipeline.analyze");
+  return run_stages(rows, {});
+}
+
+PipelineResult MonitoringPipeline::analyze_frames(
+    const std::vector<image::ImageF>& frames,
+    std::vector<std::uint64_t> shot_ids) const {
+  ARAMS_CHECK(!frames.empty(), "no frames to analyze");
+  const obs::ScopedSpan span("pipeline.analyze");
+  Stopwatch timer;
+  Matrix rows;
+  {
+    // --- stage 1: per-frame preprocessing ---
+    const obs::ScopedSpan stage_span("pipeline.preprocess");
+    const std::vector<image::ImageF> processed =
+        image::preprocess_batch(frames, config_.preprocess);
+    rows = image::images_to_matrix(processed);
+  }
+  const double pre = timer.seconds();
+  PipelineResult result = run_stages(rows, std::move(shot_ids));
+  result.report.set_seconds("preprocess", pre);
+  return result;
+}
+
+PipelineResult MonitoringPipeline::run_stages(
+    const Matrix& rows, std::vector<std::uint64_t> shot_ids) const {
   ARAMS_CHECK(rows.rows() >= 2, "need at least two rows");
+  ARAMS_CHECK(shot_ids.empty() || shot_ids.size() == rows.rows(),
+              "shot id count does not match row count");
   PipelineResult result;
+  result.shot_ids = std::move(shot_ids);
   Stopwatch timer;
 
   // --- stage 2: sharded ARAMS sketch, tree-merged ---
-  const std::size_t n = rows.rows();
-  const std::size_t cores = std::min<std::size_t>(config_.num_cores, n);
-  std::vector<core::AramsResult> shards(cores);
-  const auto run_shard = [&](std::size_t c) {
-    const std::size_t r0 = c * n / cores;
-    const std::size_t r1 = (c + 1) * n / cores;
-    if (r1 <= r0) return;
-    core::AramsConfig shard_config = config_.sketch;
-    shard_config.seed = config_.sketch.seed + c;
-    core::Arams sketcher(shard_config);
-    shards[c] = sketcher.sketch_matrix(rows.slice_rows(r0, r1));
-  };
-  if (config_.use_threads && cores > 1) {
-    parallel::ThreadPool pool(std::min<std::size_t>(cores, 8));
-    pool.parallel_for(cores, run_shard);
-  } else {
-    for (std::size_t c = 0; c < cores; ++c) {
-      run_shard(c);
+  {
+    const obs::ScopedSpan stage_span("pipeline.sketch");
+    const std::size_t n = rows.rows();
+    const std::size_t cores = std::min<std::size_t>(config_.num_cores, n);
+    std::vector<core::AramsResult> shards(cores);
+    const auto run_shard = [&](std::size_t c) {
+      const std::size_t r0 = c * n / cores;
+      const std::size_t r1 = (c + 1) * n / cores;
+      if (r1 <= r0) return;
+      core::AramsConfig shard_config = config_.sketch;
+      shard_config.seed = config_.sketch.seed + c;
+      core::Arams sketcher(shard_config);
+      shards[c] = sketcher.sketch_matrix(rows.slice_rows(r0, r1));
+    };
+    if (config_.use_threads && cores > 1) {
+      parallel::ThreadPool pool(std::min<std::size_t>(cores, 8));
+      pool.parallel_for(cores, run_shard);
+    } else {
+      for (std::size_t c = 0; c < cores; ++c) {
+        run_shard(c);
+      }
     }
+    std::vector<Matrix> sketches;
+    sketches.reserve(cores);
+    std::size_t final_ell = config_.sketch.ell;
+    core::SketchStats sketch_stats;
+    for (auto& shard : shards) {
+      if (shard.sketch.empty()) continue;
+      sketch_stats += shard.stats();
+      final_ell = std::max(final_ell, shard.final_ell);
+      sketches.push_back(std::move(shard.sketch));
+    }
+    core::append_to_report(sketch_stats, result.report);
+    result.final_ell = final_ell;
+    core::MergeStats merge_stats;
+    result.sketch = (sketches.size() == 1)
+                        ? std::move(sketches.front())
+                        : core::tree_merge(std::move(sketches), final_ell, 2,
+                                           &merge_stats);
+    core::append_to_report(merge_stats, result.report);
   }
-  std::vector<Matrix> sketches;
-  sketches.reserve(cores);
-  std::size_t final_ell = config_.sketch.ell;
-  for (auto& shard : shards) {
-    if (shard.sketch.empty()) continue;
-    result.sketch_stats += shard.stats;
-    final_ell = std::max(final_ell, shard.final_ell);
-    sketches.push_back(std::move(shard.sketch));
-  }
-  result.final_ell = final_ell;
-  result.sketch = (sketches.size() == 1)
-                      ? std::move(sketches.front())
-                      : core::tree_merge(std::move(sketches), final_ell, 2,
-                                         &result.merge_stats);
-  result.sketch_seconds = timer.lap();
+  result.report.set_seconds("sketch", timer.lap());
 
   // --- stage 3: PCA latent projection of the *original* rows ---
-  const embed::PcaProjector pca(result.sketch, config_.pca_components);
-  result.latent = pca.project(rows);
-  result.project_seconds = timer.lap();
+  {
+    const obs::ScopedSpan stage_span("pipeline.project");
+    const embed::PcaProjector pca(result.sketch, config_.pca_components);
+    result.latent = pca.project(rows);
+  }
+  result.report.set_seconds("project", timer.lap());
 
   // --- stage 4: UMAP to 2-D ---
-  embed::UmapConfig umap_config = config_.umap;
-  umap_config.n_neighbors =
-      std::min(umap_config.n_neighbors, result.latent.rows() - 1);
-  result.embedding = embed::umap_embed(result.latent, umap_config);
-  result.embed_seconds = timer.lap();
+  {
+    const obs::ScopedSpan stage_span("pipeline.embed");
+    embed::UmapConfig umap_config = config_.umap;
+    umap_config.n_neighbors =
+        std::min(umap_config.n_neighbors, result.latent.rows() - 1);
+    result.embedding = embed::umap_embed(result.latent, umap_config);
+  }
+  result.report.set_seconds("embed", timer.lap());
 
   // --- stage 5: density clustering + ABOD outlier scores ---
-  const std::size_t scaled_min_pts =
-      config_.scale_min_pts
-          ? std::min<std::size_t>(result.embedding.rows() / 10, 30)
-          : 0;
-  if (config_.cluster_method == PipelineConfig::ClusterMethod::kKmeans) {
-    cluster::KmeansConfig kmeans_config = config_.kmeans;
-    kmeans_config.k =
-        std::min<std::size_t>(kmeans_config.k, result.embedding.rows());
-    result.labels =
-        cluster::kmeans(result.embedding, kmeans_config).labels;
-  } else if (config_.cluster_method ==
-             PipelineConfig::ClusterMethod::kHdbscan) {
-    cluster::HdbscanConfig hdbscan_config = config_.hdbscan;
-    hdbscan_config.min_samples = std::min<std::size_t>(
-        std::max(hdbscan_config.min_samples, scaled_min_pts),
-        result.embedding.rows() - 1);
-    hdbscan_config.min_cluster_size =
-        std::max(hdbscan_config.min_cluster_size, scaled_min_pts);
-    result.labels =
-        cluster::hdbscan(result.embedding, hdbscan_config).labels;
-  } else {
-    cluster::OpticsConfig optics_config = config_.optics;
-    optics_config.min_pts =
-        std::max(optics_config.min_pts, scaled_min_pts);
-    optics_config.min_pts = std::min<std::size_t>(
-        optics_config.min_pts, result.embedding.rows());
-    result.optics = cluster::optics(result.embedding, optics_config);
-    result.labels = cluster::extract_auto(result.optics,
-                                          config_.cluster_quantile);
+  {
+    const obs::ScopedSpan stage_span("pipeline.cluster");
+    const std::size_t scaled_min_pts =
+        config_.scale_min_pts
+            ? std::min<std::size_t>(result.embedding.rows() / 10, 30)
+            : 0;
+    if (config_.cluster_method == PipelineConfig::ClusterMethod::kKmeans) {
+      cluster::KmeansConfig kmeans_config = config_.kmeans;
+      kmeans_config.k =
+          std::min<std::size_t>(kmeans_config.k, result.embedding.rows());
+      result.labels =
+          cluster::kmeans(result.embedding, kmeans_config).labels;
+    } else if (config_.cluster_method ==
+               PipelineConfig::ClusterMethod::kHdbscan) {
+      cluster::HdbscanConfig hdbscan_config = config_.hdbscan;
+      hdbscan_config.min_samples = std::min<std::size_t>(
+          std::max(hdbscan_config.min_samples, scaled_min_pts),
+          result.embedding.rows() - 1);
+      hdbscan_config.min_cluster_size =
+          std::max(hdbscan_config.min_cluster_size, scaled_min_pts);
+      result.labels =
+          cluster::hdbscan(result.embedding, hdbscan_config).labels;
+    } else {
+      cluster::OpticsConfig optics_config = config_.optics;
+      optics_config.min_pts =
+          std::max(optics_config.min_pts, scaled_min_pts);
+      optics_config.min_pts = std::min<std::size_t>(
+          optics_config.min_pts, result.embedding.rows());
+      result.optics = cluster::optics(result.embedding, optics_config);
+      result.labels = cluster::extract_auto(result.optics,
+                                            config_.cluster_quantile);
+    }
+    if (config_.abod_k >= 2 && result.embedding.rows() > config_.abod_k) {
+      result.outlier_scores = cluster::fast_abod(
+          result.embedding, cluster::AbodConfig{config_.abod_k});
+    }
   }
-  if (config_.abod_k >= 2 && result.embedding.rows() > config_.abod_k) {
-    result.outlier_scores = cluster::fast_abod(
-        result.embedding, cluster::AbodConfig{config_.abod_k});
-  }
-  result.cluster_seconds = timer.lap();
+  result.report.set_seconds("cluster", timer.lap());
   return result;
 }
 

@@ -7,6 +7,8 @@
 // Stage 4  visualize    UMAP to 2-D
 // Stage 5  analyze      OPTICS clustering + FastABOD outlier scores
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cluster/abod.hpp"
@@ -17,6 +19,7 @@
 #include "core/merge.hpp"
 #include "embed/umap.hpp"
 #include "image/preprocess.hpp"
+#include "obs/stage_report.hpp"
 #include "stream/event.hpp"
 
 namespace arams::stream {
@@ -43,6 +46,11 @@ struct PipelineConfig {
   bool scale_min_pts = true;
   double cluster_quantile = 0.9;     ///< extract_auto reachability quantile
   std::size_t abod_k = 10;           ///< 0 disables outlier scoring
+
+  /// Human-readable configuration errors (including the nested sketch
+  /// config's), empty when usable. Called at MonitoringPipeline
+  /// construction so a bad config fails at the API boundary.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 struct PipelineResult {
@@ -51,18 +59,42 @@ struct PipelineResult {
   linalg::Matrix embedding;       ///< n × 2
   std::vector<int> labels;        ///< OPTICS cluster labels (−1 = noise)
   std::vector<double> outlier_scores;  ///< ABOF per point (low = outlier)
+  /// Row ↔ shot mapping; filled by analyze_events, empty otherwise.
+  std::vector<std::uint64_t> shot_ids;
   cluster::OpticsResult optics;
-  core::SketchStats sketch_stats;
-  core::MergeStats merge_stats;
   std::size_t final_ell = 0;
-  double preprocess_seconds = 0.0;
-  double sketch_seconds = 0.0;
-  double project_seconds = 0.0;
-  double embed_seconds = 0.0;
-  double cluster_seconds = 0.0;
+
+  /// Per-stage timings ("preprocess", "sketch", "project", "embed",
+  /// "cluster", "merge") plus the sketch/merge operation counters.
+  obs::StageReport report;
+
+  // Legacy accessors (kept for one release; prefer `report`).
+  [[nodiscard]] core::SketchStats sketch_stats() const {
+    return core::sketch_stats_from_report(report);
+  }
+  [[nodiscard]] core::MergeStats merge_stats() const {
+    return core::merge_stats_from_report(report);
+  }
+  [[nodiscard]] double preprocess_seconds() const {
+    return report.seconds("preprocess");
+  }
+  [[nodiscard]] double sketch_seconds() const {
+    return report.seconds("sketch");
+  }
+  [[nodiscard]] double project_seconds() const {
+    return report.seconds("project");
+  }
+  [[nodiscard]] double embed_seconds() const {
+    return report.seconds("embed");
+  }
+  [[nodiscard]] double cluster_seconds() const {
+    return report.seconds("cluster");
+  }
 };
 
-/// Batch analysis facade over the whole pipeline.
+/// Batch analysis facade over the whole pipeline. All public entry points
+/// are thin adapters over one internal stage runner, so every caller gets
+/// identical plumbing, telemetry and reporting.
 class MonitoringPipeline {
  public:
   explicit MonitoringPipeline(const PipelineConfig& config);
@@ -70,7 +102,8 @@ class MonitoringPipeline {
   /// Full pipeline over raw detector frames.
   PipelineResult analyze(const std::vector<image::ImageF>& frames) const;
 
-  /// Full pipeline over shot events (uses their frames).
+  /// Full pipeline over shot events (uses their frames; result rows carry
+  /// the events' shot ids).
   PipelineResult analyze_events(const std::vector<ShotEvent>& events) const;
 
   /// Pipeline over already-flattened rows (skips stage 1).
@@ -79,6 +112,15 @@ class MonitoringPipeline {
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
 
  private:
+  /// The single internal entry point: stages 2–5 over pre-flattened rows,
+  /// tagging the result with the optional shot ids.
+  PipelineResult run_stages(const linalg::Matrix& rows,
+                            std::vector<std::uint64_t> shot_ids) const;
+
+  /// Stage 1 + run_stages — shared by the two frame-based adapters.
+  PipelineResult analyze_frames(const std::vector<image::ImageF>& frames,
+                                std::vector<std::uint64_t> shot_ids) const;
+
   PipelineConfig config_;
 };
 

@@ -56,6 +56,31 @@ grep -q "<svg" "$DIR/o.html"
 # CSV has one row per shot plus header
 test "$(wc -l < "$DIR/h.csv")" -eq 81
 
+# telemetry: the pipeline emits a Chrome trace with every stage span nested
+# under pipeline.analyze, and metrics as one JSON object per line
+"$BIN" pipeline --in="$DIR/diff.frames" --clusterer=kmeans --k=3 --ell=8 \
+  --center=false --trace-out="$DIR/trace.json" \
+  --metrics-out="$DIR/metrics.jsonl" | grep -q "Chrome trace written"
+python3 - "$DIR/trace.json" "$DIR/metrics.jsonl" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+names = {e["name"] for e in events}
+stages = {"pipeline.analyze", "pipeline.preprocess", "pipeline.sketch",
+          "pipeline.project", "pipeline.embed", "pipeline.cluster"}
+missing = stages - names
+assert not missing, f"missing stage spans: {missing}"
+root = next(e for e in events if e["name"] == "pipeline.analyze")
+assert root["args"]["depth"] == 0
+for name in stages - {"pipeline.analyze"}:
+    event = next(e for e in events if e["name"] == name)
+    assert event["args"]["depth"] >= 1, f"{name} not nested"
+metrics = [json.loads(line) for line in open(sys.argv[2])]
+kinds = {(m["type"], m["name"]) for m in metrics}
+assert ("counter", "fd.shrink_count") in kinds, kinds
+assert ("histogram", "fd.shrink_seconds") in kinds, kinds
+EOF
+
 # unknown command and missing input fail loudly
 if "$BIN" frobnicate 2>/dev/null; then exit 1; fi
 if "$BIN" sketch --in="$DIR/missing.frames" 2>/dev/null; then exit 1; fi

@@ -85,8 +85,8 @@ TEST(Arams, SamplingReducesRowsProcessed) {
   const AramsResult r2 = s2.sketch_matrix(a);
   EXPECT_EQ(r1.rows_sampled, 200u);
   EXPECT_EQ(r2.rows_sampled, 400u);
-  EXPECT_LT(r1.stats.rows_processed, r2.stats.rows_processed);
-  EXPECT_LT(r1.stats.svd_count, r2.stats.svd_count);
+  EXPECT_LT(r1.stats().rows_processed, r2.stats().rows_processed);
+  EXPECT_LT(r1.stats().svd_count, r2.stats().svd_count);
 }
 
 TEST(Arams, BetaOneSkipsSampling) {
@@ -169,7 +169,7 @@ TEST(Arams, RankAdaptiveGrowsUnderTightEpsilon) {
   }
   const AramsResult result = arams.sketch_matrix(noise);
   EXPECT_GT(result.final_ell, 8u);
-  EXPECT_GT(result.stats.rank_increases, 0);
+  EXPECT_GT(result.stats().rank_increases, 0);
 }
 
 TEST(Arams, TimersPopulated) {
@@ -177,8 +177,22 @@ TEST(Arams, TimersPopulated) {
   config.ell = 8;
   Arams arams(config);
   const AramsResult result = arams.sketch_matrix(low_rank_data(200, 20, 10));
-  EXPECT_GE(result.sample_seconds, 0.0);
-  EXPECT_GT(result.sketch_seconds, 0.0);
+  EXPECT_GE(result.sample_seconds(), 0.0);
+  EXPECT_GT(result.sketch_seconds(), 0.0);
+  EXPECT_TRUE(result.report.has_stage("sample"));
+  EXPECT_TRUE(result.report.has_stage("sketch"));
+}
+
+TEST(Arams, ValidateReportsEveryProblem) {
+  AramsConfig config;
+  EXPECT_TRUE(config.validate().empty());
+  config.beta = 0.0;
+  config.ell = 1;
+  const std::vector<std::string> errors = config.validate();
+  EXPECT_GE(errors.size(), 2u);  // all problems listed, not just the first
+  for (const auto& e : errors) {
+    EXPECT_FALSE(e.empty());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,250 @@
+// Telemetry subsystem: metrics registry, trace spans, stage reports.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/stage_report.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+
+namespace arams::obs {
+namespace {
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  const std::array<double, 3> bounds{1.0, 2.0, 4.0};
+  Histogram h{std::span<const double>(bounds)};
+  // A value lands in the first bucket whose upper bound is >= value.
+  EXPECT_EQ(h.bucket_index(0.5), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 0u);
+  EXPECT_EQ(h.bucket_index(1.5), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 1u);
+  EXPECT_EQ(h.bucket_index(4.0), 2u);
+  EXPECT_EQ(h.bucket_index(4.5), 3u);  // overflow == bounds.size()
+}
+
+TEST(Histogram, ObserveFillsBucketsCountAndSum) {
+  const std::array<double, 3> bounds{1.0, 2.0, 4.0};
+  Histogram h{std::span<const double>(bounds)};
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(100.0);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  const std::vector<long> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(Histogram, RejectsEmptyOrUnsortedBounds) {
+  EXPECT_THROW(Histogram{std::span<const double>{}}, CheckError);
+  const std::array<double, 2> unsorted{2.0, 1.0};
+  EXPECT_THROW(Histogram{std::span<const double>(unsorted)}, CheckError);
+  const std::array<double, 2> repeated{1.0, 1.0};
+  EXPECT_THROW(Histogram{std::span<const double>(repeated)}, CheckError);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAreLogSpaced) {
+  const auto bounds = default_latency_bounds();
+  ASSERT_EQ(bounds.size(), 8u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 10.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], 10.0, 1e-9);
+  }
+}
+
+// ----------------------------------------------------------------- Registry
+
+TEST(MetricsRegistry, ReturnsStableReferencesByName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("events");
+  a.add(3);
+  EXPECT_EQ(&registry.counter("events"), &a);
+  EXPECT_EQ(registry.counter("events").value(), 3);
+  Gauge& g = registry.gauge("depth");
+  g.set(2.5);
+  EXPECT_EQ(&registry.gauge("depth"), &g);
+  EXPECT_DOUBLE_EQ(registry.gauge("depth").value(), 2.5);
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedAtFirstRegistration) {
+  MetricsRegistry registry;
+  const std::array<double, 2> bounds{1.0, 2.0};
+  Histogram& h = registry.histogram("lat", std::span<const double>(bounds));
+  ASSERT_EQ(h.upper_bounds().size(), 2u);
+  // A later lookup with different bounds returns the same histogram.
+  const std::array<double, 1> other{5.0};
+  EXPECT_EQ(&registry.histogram("lat", std::span<const double>(other)), &h);
+  EXPECT_EQ(h.upper_bounds().size(), 2u);
+  // Empty bounds at first registration fall back to the latency defaults.
+  Histogram& d = registry.histogram("lat2");
+  EXPECT_EQ(d.upper_bounds().size(), default_latency_bounds().size());
+}
+
+TEST(MetricsRegistry, ConcurrentCounterIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter& hits = registry.counter("hits");
+  Histogram& lat = registry.histogram("lat");
+  constexpr std::size_t kTasks = 64;
+  constexpr int kPerTask = 250;
+  parallel::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t task) {
+    for (int i = 0; i < kPerTask; ++i) {
+      hits.add(1);
+      lat.observe(1e-5 * static_cast<double>(task + 1));
+    }
+  });
+  EXPECT_EQ(hits.value(), static_cast<long>(kTasks) * kPerTask);
+  EXPECT_EQ(lat.count(), static_cast<long>(kTasks) * kPerTask);
+  long bucket_total = 0;
+  for (const long c : lat.bucket_counts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, lat.count());
+}
+
+TEST(MetricsRegistry, JsonLinesExportOnePerMetric) {
+  MetricsRegistry registry;
+  registry.counter("c").add(7);
+  registry.gauge("g").set(1.5);
+  const std::array<double, 2> bounds{1.0, 2.0};
+  registry.histogram("h", std::span<const double>(bounds)).observe(1.5);
+  std::ostringstream out;
+  registry.write_json_lines(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], R"({"type":"counter","name":"c","value":7})");
+  EXPECT_EQ(lines[1], R"({"type":"gauge","name":"g","value":1.5})");
+  EXPECT_EQ(lines[2],
+            R"({"type":"histogram","name":"h","count":1,"sum":1.5,)"
+            R"("bounds":[1,2],"buckets":[0,1,0]})");
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  c.add(5);
+  registry.gauge("g").set(3.0);
+  registry.reset();
+  EXPECT_EQ(&registry.counter("c"), &c);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 0.0);
+}
+
+// -------------------------------------------------------------------- Spans
+
+TEST(ScopedSpan, RecordsNestingDepthAndCompletionOrder) {
+  TraceRecorder recorder;
+  recorder.enable(true);
+  EXPECT_EQ(ScopedSpan::current_depth(), 0);
+  {
+    const ScopedSpan outer("outer", recorder);
+    EXPECT_EQ(ScopedSpan::current_depth(), 1);
+    {
+      const ScopedSpan inner("inner", recorder);
+      EXPECT_EQ(ScopedSpan::current_depth(), 2);
+    }
+    EXPECT_EQ(ScopedSpan::current_depth(), 1);
+  }
+  EXPECT_EQ(ScopedSpan::current_depth(), 0);
+
+  const std::vector<SpanRecord> spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans are recorded at destruction, so the child lands first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0);
+  // The child is contained in the parent.
+  EXPECT_GE(spans[0].start_us, spans[1].start_us);
+  EXPECT_LE(spans[0].duration_us, spans[1].duration_us);
+}
+
+TEST(ScopedSpan, DisabledRecorderRecordsNothing) {
+  TraceRecorder recorder;
+  {
+    const ScopedSpan span("ignored", recorder);
+    EXPECT_EQ(ScopedSpan::current_depth(), 0);
+  }
+  EXPECT_TRUE(recorder.spans().empty());
+}
+
+TEST(TraceRecorder, ChromeTraceGolden) {
+  TraceRecorder recorder;
+  // Injected deterministic spans: two threads, one nested child.
+  recorder.record(SpanRecord{"pipeline.analyze", 77, 0.0, 100.0, 0});
+  recorder.record(SpanRecord{"pipeline.sketch", 77, 10.0, 40.0, 1});
+  recorder.record(SpanRecord{"scaling.shard0", 1234, 12.0, 30.0, 2});
+  std::ostringstream out;
+  recorder.write_chrome_trace(out);
+  const std::string expected =
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"name":"pipeline.analyze","cat":"arams","ph":"X","ts":0,)"
+      R"("dur":100,"pid":1,"tid":1,"args":{"depth":0}},)"
+      R"({"name":"pipeline.sketch","cat":"arams","ph":"X","ts":10,)"
+      R"("dur":40,"pid":1,"tid":1,"args":{"depth":1}},)"
+      R"({"name":"scaling.shard0","cat":"arams","ph":"X","ts":12,)"
+      R"("dur":30,"pid":1,"tid":2,"args":{"depth":2}}]})"
+      "\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+// ------------------------------------------------------------- StageReport
+
+TEST(StageReport, SetAddAndLookup) {
+  StageReport report;
+  report.set_seconds("sketch", 0.5);
+  report.add_seconds("sketch", 0.25);
+  report.add_seconds("embed", 1.0);
+  report.add_counter("svd", 3);
+  EXPECT_DOUBLE_EQ(report.seconds("sketch"), 0.75);
+  EXPECT_DOUBLE_EQ(report.seconds("embed"), 1.0);
+  EXPECT_DOUBLE_EQ(report.seconds("missing"), 0.0);
+  EXPECT_TRUE(report.has_stage("sketch"));
+  EXPECT_FALSE(report.has_stage("missing"));
+  EXPECT_EQ(report.counter("svd"), 3);
+  EXPECT_EQ(report.counter("missing"), 0);
+  EXPECT_DOUBLE_EQ(report.total_seconds(), 1.75);
+}
+
+TEST(StageReport, AccumulatePreservesInsertionOrder) {
+  StageReport a;
+  a.set_seconds("sketch", 1.0);
+  a.add_counter("svd", 2);
+  StageReport b;
+  b.set_seconds("sketch", 0.5);
+  b.set_seconds("merge", 0.25);
+  b.add_counter("svd", 1);
+  a += b;
+  ASSERT_EQ(a.stages().size(), 2u);
+  EXPECT_EQ(a.stages()[0].stage, "sketch");
+  EXPECT_DOUBLE_EQ(a.stages()[0].seconds, 1.5);
+  EXPECT_EQ(a.stages()[1].stage, "merge");
+  EXPECT_EQ(a.counter("svd"), 3);
+}
+
+TEST(StageReport, JsonGolden) {
+  StageReport report;
+  report.set_seconds("sketch", 0.5);
+  report.set_seconds("embed", 1.5);
+  report.set_counter("svd", 3);
+  std::ostringstream out;
+  report.write_json(out);
+  EXPECT_EQ(out.str(),
+            R"({"stages":{"sketch":0.5,"embed":1.5},"counters":{"svd":3}})");
+}
+
+}  // namespace
+}  // namespace arams::obs

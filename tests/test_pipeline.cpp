@@ -38,6 +38,19 @@ TEST(Pipeline, ValidatesConfig) {
   EXPECT_THROW(MonitoringPipeline{config}, CheckError);
 }
 
+TEST(Pipeline, ValidateReportsEveryProblem) {
+  PipelineConfig config = fast_pipeline();
+  EXPECT_TRUE(config.validate().empty());
+  config.num_cores = 0;
+  config.pca_components = 0;
+  config.sketch.ell = 1;
+  const std::vector<std::string> errors = config.validate();
+  EXPECT_GE(errors.size(), 3u);  // all problems listed, not just the first
+  for (const auto& e : errors) {
+    EXPECT_FALSE(e.empty());
+  }
+}
+
 TEST(Pipeline, EmptyInputThrows) {
   const MonitoringPipeline pipeline(fast_pipeline());
   EXPECT_THROW(pipeline.analyze({}), CheckError);
@@ -60,8 +73,20 @@ TEST(Pipeline, BeamProfileEndToEndShapes) {
   EXPECT_EQ(result.labels.size(), 120u);
   EXPECT_EQ(result.outlier_scores.size(), 120u);
   EXPECT_GT(result.sketch.rows(), 0u);
-  EXPECT_GT(result.sketch_seconds, 0.0);
-  EXPECT_GT(result.embed_seconds, 0.0);
+  EXPECT_GT(result.sketch_seconds(), 0.0);
+  EXPECT_GT(result.embed_seconds(), 0.0);
+
+  // Event entry point carries shot ids through to the result rows.
+  ASSERT_EQ(result.shot_ids.size(), 120u);
+  EXPECT_EQ(result.shot_ids.front(), events.front().shot_id);
+  EXPECT_EQ(result.shot_ids.back(), events.back().shot_id);
+
+  // Every Fig. 4 stage reports its wall-clock through the StageReport.
+  for (const char* stage :
+       {"preprocess", "sketch", "project", "embed", "cluster"}) {
+    EXPECT_TRUE(result.report.has_stage(stage)) << stage;
+  }
+  EXPECT_GT(result.report.counter("svd_count"), 0);
 }
 
 TEST(Pipeline, DiffractionClassesRecovered) {
@@ -97,7 +122,7 @@ TEST(Pipeline, MatrixEntryPointSkipsPreprocessing) {
   config.umap.n_neighbors = 8;
   const MonitoringPipeline pipeline(config);
   const PipelineResult result = pipeline.analyze_matrix(rows);
-  EXPECT_EQ(result.preprocess_seconds, 0.0);
+  EXPECT_EQ(result.preprocess_seconds(), 0.0);
   EXPECT_EQ(result.embedding.rows(), 60u);
 }
 
@@ -123,7 +148,7 @@ TEST(Pipeline, MoreCoresSameQuality) {
   EXPECT_GT(t1, 0.75);
   EXPECT_GT(t4, 0.75);
   // The 4-core run actually merged sketches.
-  EXPECT_GT(r4.merge_stats.merge_ops, 0);
+  EXPECT_GT(r4.merge_stats().merge_ops, 0);
 }
 
 TEST(Pipeline, AbodDisabledWhenKZero) {
@@ -193,7 +218,7 @@ TEST(Pipeline, ThreadedShardingMatchesShapes) {
   const PipelineResult result =
       MonitoringPipeline(config).analyze_matrix(rows);
   EXPECT_EQ(result.embedding.rows(), 80u);
-  EXPECT_GT(result.merge_stats.merge_ops, 0);
+  EXPECT_GT(result.merge_stats().merge_ops, 0);
 }
 
 TEST(Pipeline, RankAdaptiveModeRunsEndToEnd) {

@@ -80,6 +80,18 @@ TEST(ThroughputMeter, ZeroTimeGivesZeroRate) {
   EXPECT_EQ(meter.frames_per_second(), 0.0);
 }
 
+TEST(ThroughputMeter, ZeroDurationRecordsGiveZeroRateNotInf) {
+  // Regression: a burst recorded faster than the clock tick must yield a
+  // finite rate, never inf/NaN from dividing by zero accumulated seconds.
+  ThroughputMeter meter;
+  meter.record(100, 0.0);
+  EXPECT_EQ(meter.frames_per_second(), 0.0);
+  EXPECT_TRUE(std::isfinite(meter.frames_per_second()));
+  EXPECT_EQ(meter.total_frames(), 100u);
+  meter.record(50, 2.0);  // once real time accumulates, the rate recovers
+  EXPECT_DOUBLE_EQ(meter.frames_per_second(), 75.0);
+}
+
 MonitorConfig small_monitor() {
   MonitorConfig config;
   config.batch_size = 16;

@@ -10,32 +10,17 @@
 //   arams generate --kind=beam --frames=500 --size=48 --out=run.frames
 //   arams sketch --in=run.frames --ell=32 --epsilon=0.05 --out=sketch.npy
 //   arams pipeline --in=run.frames --html=run.html --csv=run.csv
+//   arams pipeline --in=run.frames --trace-out=trace.json \
+//       --metrics-out=metrics.jsonl
 //   arams info --in=sketch.npy
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "cluster/metrics.hpp"
-#include "core/arams_sketch.hpp"
-#include "data/beam_profile.hpp"
-#include "data/diffraction.hpp"
-#include "data/speckle.hpp"
-#include "embed/scatter_html.hpp"
-#include "image/calibration.hpp"
-#include "image/image.hpp"
-#include "io/frames.hpp"
-#include "stream/diagnostics.hpp"
-#include "io/npy.hpp"
-#include "linalg/blas.hpp"
-#include "linalg/norms.hpp"
-#include "linalg/trace_est.hpp"
-#include "stream/pipeline.hpp"
-#include "util/check.hpp"
-#include "util/cli.hpp"
-#include "util/csv.hpp"
-#include "util/stopwatch.hpp"
+#include "arams.hpp"
 
 namespace {
 
@@ -68,6 +53,35 @@ linalg::Matrix load_rows(const std::string& path) {
     return image::images_to_matrix(io::load_frames(path));
   }
   return io::load_npy(path);
+}
+
+void declare_telemetry_flags(CliFlags& flags) {
+  flags.declare("trace-out", "",
+                "write a Chrome trace_event JSON of pipeline spans");
+  flags.declare("metrics-out", "", "write telemetry metrics as JSON lines");
+}
+
+/// Span recording costs a little per stage, so it stays off unless the run
+/// actually asked for a trace file.
+void arm_telemetry(const CliFlags& flags) {
+  if (!flags.get("trace-out").empty()) {
+    obs::tracer().enable(true);
+  }
+}
+
+void write_telemetry(const CliFlags& flags) {
+  if (const std::string& path = flags.get("trace-out"); !path.empty()) {
+    std::ofstream out(path);
+    ARAMS_CHECK(out.good(), "cannot open --trace-out file: " + path);
+    obs::tracer().write_chrome_trace(out);
+    std::cout << "Chrome trace written to " << path << "\n";
+  }
+  if (const std::string& path = flags.get("metrics-out"); !path.empty()) {
+    std::ofstream out(path);
+    ARAMS_CHECK(out.good(), "cannot open --metrics-out file: " + path);
+    obs::metrics().write_json_lines(out);
+    std::cout << "metrics written to " << path << "\n";
+  }
 }
 
 int cmd_generate(int argc, const char* const* argv) {
@@ -162,6 +176,7 @@ int cmd_sketch(int argc, const char* const* argv) {
                 "RA residual estimator: gaussian | hutchinson | hutchpp");
   flags.declare("report-error", "false",
                 "also print the relative covariance error (costs extra)");
+  declare_telemetry_flags(flags);
   flags.declare("help", "false", "print usage");
   flags.parse(argc, argv);
   if (flags.get_bool("help")) {
@@ -169,6 +184,7 @@ int cmd_sketch(int argc, const char* const* argv) {
     return 0;
   }
   ARAMS_CHECK(!flags.get("in").empty(), "--in is required");
+  arm_telemetry(flags);
   const linalg::Matrix rows = load_rows(flags.get("in"));
   std::cout << "loaded " << rows.rows() << " x " << rows.cols()
             << " from " << flags.get("in") << "\n";
@@ -188,10 +204,11 @@ int cmd_sketch(int argc, const char* const* argv) {
   const core::AramsResult result = sketcher.sketch_matrix(rows);
   std::cout << "sketched to " << result.sketch.rows() << " x "
             << result.sketch.cols() << " in " << timer.seconds() << " s ("
-            << result.stats.svd_count << " rotations, final ell "
+            << result.stats().svd_count << " rotations, final ell "
             << result.final_ell << ")\n";
   io::save_npy(flags.get("out"), result.sketch);
   std::cout << "sketch written to " << flags.get("out") << "\n";
+  write_telemetry(flags);
 
   if (flags.get_bool("report-error")) {
     Rng power(1);
@@ -218,6 +235,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
   flags.declare("csv", "", "output CSV (x,y,label per shot)");
   flags.declare("html", "", "output interactive HTML scatter");
   flags.declare("latent", "", "output latent matrix .npy");
+  declare_telemetry_flags(flags);
   flags.declare("help", "false", "print usage");
   flags.parse(argc, argv);
   if (flags.get_bool("help")) {
@@ -225,6 +243,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
     return 0;
   }
   ARAMS_CHECK(!flags.get("in").empty(), "--in is required");
+  arm_telemetry(flags);
 
   stream::PipelineConfig config;
   config.sketch.ell = static_cast<std::size_t>(flags.get_int("ell"));
@@ -258,9 +277,9 @@ int cmd_pipeline(int argc, const char* const* argv) {
   }
   const std::size_t n = result.embedding.rows();
   std::cout << "pipeline over " << n << " shots in " << timer.seconds()
-            << " s: sketch " << result.sketch_seconds << " s, UMAP "
-            << result.embed_seconds << " s, cluster "
-            << result.cluster_seconds << " s\n"
+            << " s: sketch " << result.sketch_seconds() << " s, UMAP "
+            << result.embed_seconds() << " s, cluster "
+            << result.cluster_seconds() << " s\n"
             << cluster::cluster_count(result.labels)
             << " clusters, final sketch rank " << result.final_ell << "\n";
 
@@ -286,6 +305,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
     io::save_npy(latent, result.latent);
     std::cout << "latent matrix written to " << latent << "\n";
   }
+  write_telemetry(flags);
   return 0;
 }
 
