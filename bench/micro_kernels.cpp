@@ -9,6 +9,7 @@
 #include "linalg/blas.hpp"
 #include "linalg/eigen_sym.hpp"
 #include "linalg/svd.hpp"
+#include "linalg/workspace.hpp"
 #include "rng/rng.hpp"
 
 namespace {
@@ -37,6 +38,20 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_GemmTn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 11);
+  const Matrix b = random_matrix(n, n, 12);
+  Matrix out;
+  for (auto _ : state) {
+    linalg::matmul_tn(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmTn)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_GramRows(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   const Matrix a = random_matrix(m, 2048, 3);
@@ -54,6 +69,21 @@ void BM_GramRowSvd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GramRowSvd)->Arg(16)->Arg(64)->Arg(128);
+
+// Same decomposition through a caller-owned Workspace: after the first
+// iteration every scratch buffer is recycled, so this isolates the pure
+// compute cost the FD shrink loop pays at steady state.
+void BM_GramRowSvdWorkspace(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(m, 2048, 4);
+  linalg::Workspace ws;
+  linalg::RowSpaceSvd out;
+  for (auto _ : state) {
+    linalg::gram_row_svd(a, ws, out);
+    benchmark::DoNotOptimize(out.w.data());
+  }
+}
+BENCHMARK(BM_GramRowSvdWorkspace)->Arg(16)->Arg(64)->Arg(128);
 
 void BM_JacobiSvdReference(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));

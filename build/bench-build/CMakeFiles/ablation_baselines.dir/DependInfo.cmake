@@ -19,11 +19,12 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/image/CMakeFiles/arams_image.dir/DependInfo.cmake"
   "/root/repo/build/src/parallel/CMakeFiles/arams_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/arams_core.dir/DependInfo.cmake"
-  "/root/repo/build/src/obs/CMakeFiles/arams_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/arams_cluster.dir/DependInfo.cmake"
   "/root/repo/build/src/embed/CMakeFiles/arams_embed.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/arams_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/arams_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
   )
 

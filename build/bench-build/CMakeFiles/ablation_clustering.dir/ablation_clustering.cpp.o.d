@@ -214,10 +214,11 @@ bench-build/CMakeFiles/ablation_clustering.dir/ablation_clustering.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/fd.hpp \
  /root/repo/src/core/sketch_stats.hpp /root/repo/src/obs/stage_report.hpp \
- /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
+ /root/repo/src/linalg/svd.hpp /root/repo/src/linalg/workspace.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/linalg/eigen_sym.hpp \
+ /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/core/rank_adaptive.hpp \
  /root/repo/src/linalg/trace_est.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \

@@ -171,8 +171,11 @@ bench-build/CMakeFiles/ablation_merge.dir/ablation_merge.cpp.o: \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/core/sketch_stats.hpp /root/repo/src/obs/stage_report.hpp \
  /root/repo/src/linalg/matrix.hpp /root/repo/src/util/check.hpp \
- /root/repo/src/core/merge.hpp /root/repo/src/data/synthetic.hpp \
- /root/repo/src/data/spectrum.hpp /root/repo/src/rng/rng.hpp \
+ /root/repo/src/linalg/svd.hpp /root/repo/src/rng/rng.hpp \
+ /root/repo/src/linalg/workspace.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/linalg/eigen_sym.hpp /root/repo/src/core/merge.hpp \
+ /root/repo/src/data/synthetic.hpp /root/repo/src/data/spectrum.hpp \
  /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/norms.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

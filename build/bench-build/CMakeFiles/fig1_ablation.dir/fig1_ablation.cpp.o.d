@@ -232,11 +232,13 @@ bench-build/CMakeFiles/fig1_ablation.dir/fig1_ablation.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/core/sketch_stats.hpp \
  /root/repo/src/obs/stage_report.hpp /root/repo/src/linalg/matrix.hpp \
- /root/repo/src/util/check.hpp /root/repo/src/core/priority_sampler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/util/check.hpp /root/repo/src/linalg/svd.hpp \
+ /root/repo/src/rng/rng.hpp /root/repo/src/linalg/workspace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/linalg/eigen_sym.hpp \
+ /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/rng/rng.hpp /root/repo/src/core/rank_adaptive.hpp \
+ /root/repo/src/core/rank_adaptive.hpp \
  /root/repo/src/linalg/trace_est.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

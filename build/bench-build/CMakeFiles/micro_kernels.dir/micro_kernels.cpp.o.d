@@ -188,8 +188,9 @@ bench-build/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/core/sketch_stats.hpp /root/repo/src/obs/stage_report.hpp \
  /root/repo/src/linalg/matrix.hpp /root/repo/src/util/check.hpp \
+ /root/repo/src/linalg/svd.hpp /root/repo/src/rng/rng.hpp \
+ /root/repo/src/linalg/workspace.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/linalg/eigen_sym.hpp \
  /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/rng/rng.hpp /root/repo/src/linalg/blas.hpp \
- /root/repo/src/linalg/eigen_sym.hpp /root/repo/src/linalg/svd.hpp
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/linalg/blas.hpp

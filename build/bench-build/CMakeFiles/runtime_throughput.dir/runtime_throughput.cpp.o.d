@@ -217,7 +217,8 @@ bench-build/CMakeFiles/runtime_throughput.dir/runtime_throughput.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/fd.hpp \
- /root/repo/src/core/sketch_stats.hpp \
+ /root/repo/src/core/sketch_stats.hpp /root/repo/src/linalg/svd.hpp \
+ /root/repo/src/linalg/workspace.hpp /root/repo/src/linalg/eigen_sym.hpp \
  /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/core/rank_adaptive.hpp \

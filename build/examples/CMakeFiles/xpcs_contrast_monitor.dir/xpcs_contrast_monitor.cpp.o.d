@@ -227,11 +227,12 @@ examples/CMakeFiles/xpcs_contrast_monitor.dir/xpcs_contrast_monitor.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/fd.hpp /root/repo/src/core/sketch_stats.hpp \
- /root/repo/src/obs/stage_report.hpp \
- /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
+ /root/repo/src/obs/stage_report.hpp /root/repo/src/linalg/svd.hpp \
+ /root/repo/src/rng/rng.hpp /root/repo/src/linalg/workspace.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/rng/rng.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/linalg/eigen_sym.hpp \
+ /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/core/rank_adaptive.hpp \
  /root/repo/src/linalg/trace_est.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \

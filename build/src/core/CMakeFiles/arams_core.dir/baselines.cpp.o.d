@@ -200,7 +200,10 @@ src/core/CMakeFiles/arams_core.dir/baselines.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/sketch_stats.hpp \
  /root/repo/src/obs/stage_report.hpp /root/repo/src/linalg/matrix.hpp \
- /root/repo/src/util/check.hpp /root/repo/src/rng/rng.hpp \
+ /root/repo/src/util/check.hpp /root/repo/src/linalg/svd.hpp \
+ /root/repo/src/rng/rng.hpp /root/repo/src/linalg/workspace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/linalg/eigen_sym.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -232,10 +235,9 @@ src/core/CMakeFiles/arams_core.dir/baselines.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/fd.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/svd.hpp \
- /root/repo/src/util/stopwatch.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/linalg/blas.hpp /root/repo/src/util/stopwatch.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

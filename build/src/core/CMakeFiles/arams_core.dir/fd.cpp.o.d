@@ -129,7 +129,11 @@ src/core/CMakeFiles/arams_core.dir/fd.cpp.o: /root/repo/src/core/fd.cpp \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/linalg/matrix.hpp \
  /root/repo/src/util/check.hpp /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/linalg/svd.hpp /root/repo/src/rng/rng.hpp \
+ /root/repo/src/linalg/workspace.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/linalg/eigen_sym.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -160,8 +164,7 @@ src/core/CMakeFiles/arams_core.dir/fd.cpp.o: /root/repo/src/core/fd.cpp \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/linalg/svd.hpp \
- /root/repo/src/rng/rng.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/obs/metrics.hpp \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h \

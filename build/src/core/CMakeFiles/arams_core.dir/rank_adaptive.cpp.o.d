@@ -131,9 +131,12 @@ src/core/CMakeFiles/arams_core.dir/rank_adaptive.cpp.o: \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/linalg/matrix.hpp /root/repo/src/util/check.hpp \
- /usr/include/c++/12/stdexcept /root/repo/src/linalg/trace_est.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/stdexcept /root/repo/src/linalg/svd.hpp \
+ /root/repo/src/rng/rng.hpp /root/repo/src/linalg/workspace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/linalg/eigen_sym.hpp \
+ /root/repo/src/linalg/trace_est.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -145,7 +148,7 @@ src/core/CMakeFiles/arams_core.dir/rank_adaptive.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/rng/rng.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \

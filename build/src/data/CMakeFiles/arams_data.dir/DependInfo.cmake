@@ -21,6 +21,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/image/CMakeFiles/arams_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/arams_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/arams_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -15,12 +15,15 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/qr.cpp.o.d"
   "/root/repo/src/linalg/svd.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/svd.cpp.o.d"
   "/root/repo/src/linalg/trace_est.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/trace_est.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/trace_est.cpp.o.d"
+  "/root/repo/src/linalg/workspace.cpp" "src/linalg/CMakeFiles/arams_linalg.dir/workspace.cpp.o" "gcc" "src/linalg/CMakeFiles/arams_linalg.dir/workspace.cpp.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
   "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/arams_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/arams_pool.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

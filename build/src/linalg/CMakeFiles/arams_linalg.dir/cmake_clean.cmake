@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/arams_linalg.dir/svd.cpp.o.d"
   "CMakeFiles/arams_linalg.dir/trace_est.cpp.o"
   "CMakeFiles/arams_linalg.dir/trace_est.cpp.o.d"
+  "CMakeFiles/arams_linalg.dir/workspace.cpp.o"
+  "CMakeFiles/arams_linalg.dir/workspace.cpp.o.d"
   "libarams_linalg.a"
   "libarams_linalg.pdb"
 )

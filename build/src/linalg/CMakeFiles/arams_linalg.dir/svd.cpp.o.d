@@ -165,4 +165,6 @@ src/linalg/CMakeFiles/arams_linalg.dir/svd.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/eigen_sym.hpp \
- /root/repo/src/linalg/qr.hpp
+ /root/repo/src/linalg/qr.hpp /root/repo/src/linalg/workspace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc

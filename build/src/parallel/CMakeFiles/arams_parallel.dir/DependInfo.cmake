@@ -8,12 +8,12 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
-  "/root/repo/src/parallel/thread_pool.cpp" "src/parallel/CMakeFiles/arams_parallel.dir/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/arams_parallel.dir/thread_pool.cpp.o.d"
   "/root/repo/src/parallel/virtual_cores.cpp" "src/parallel/CMakeFiles/arams_parallel.dir/virtual_cores.cpp.o" "gcc" "src/parallel/CMakeFiles/arams_parallel.dir/virtual_cores.cpp.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/arams_pool.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
   "/root/repo/build/src/obs/CMakeFiles/arams_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/arams_core.dir/DependInfo.cmake"

@@ -1,6 +1,4 @@
 file(REMOVE_RECURSE
-  "CMakeFiles/arams_parallel.dir/thread_pool.cpp.o"
-  "CMakeFiles/arams_parallel.dir/thread_pool.cpp.o.d"
   "CMakeFiles/arams_parallel.dir/virtual_cores.cpp.o"
   "CMakeFiles/arams_parallel.dir/virtual_cores.cpp.o.d"
   "libarams_parallel.a"

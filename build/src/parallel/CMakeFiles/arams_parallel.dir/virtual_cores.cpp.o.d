@@ -248,5 +248,7 @@ src/parallel/CMakeFiles/arams_parallel.dir/virtual_cores.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/fd.hpp \
- /usr/include/c++/12/optional /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/optional /root/repo/src/linalg/svd.hpp \
+ /root/repo/src/rng/rng.hpp /root/repo/src/linalg/workspace.hpp \
+ /root/repo/src/linalg/eigen_sym.hpp /root/repo/src/obs/trace.hpp \
  /root/repo/src/util/stopwatch.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arams_pool.dir/thread_pool.cpp.o"
+  "CMakeFiles/arams_pool.dir/thread_pool.cpp.o.d"
+  "libarams_pool.a"
+  "libarams_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arams_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

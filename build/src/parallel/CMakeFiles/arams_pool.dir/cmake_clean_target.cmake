@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarams_pool.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for arams_pool.
+# This may be replaced when dependencies are built.

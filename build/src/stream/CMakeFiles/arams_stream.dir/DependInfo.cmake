@@ -27,6 +27,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/parallel/CMakeFiles/arams_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/embed/CMakeFiles/arams_embed.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/arams_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/arams_pool.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -207,7 +207,8 @@ src/stream/CMakeFiles/arams_stream.dir/monitor.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/fd.hpp \
- /root/repo/src/core/sketch_stats.hpp \
+ /root/repo/src/core/sketch_stats.hpp /root/repo/src/linalg/svd.hpp \
+ /root/repo/src/linalg/workspace.hpp /root/repo/src/linalg/eigen_sym.hpp \
  /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/core/rank_adaptive.hpp \

@@ -318,6 +318,9 @@ tests/CMakeFiles/test_baselines.dir/test_baselines.cpp.o: \
  /root/repo/src/core/baselines.hpp /usr/include/c++/12/span \
  /root/repo/src/core/sketch_stats.hpp /root/repo/src/obs/stage_report.hpp \
  /root/repo/src/linalg/matrix.hpp /root/repo/src/util/check.hpp \
- /root/repo/src/rng/rng.hpp /root/repo/src/core/fd.hpp \
+ /root/repo/src/linalg/svd.hpp /root/repo/src/rng/rng.hpp \
+ /root/repo/src/linalg/workspace.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/linalg/eigen_sym.hpp /root/repo/src/core/fd.hpp \
  /root/repo/src/data/synthetic.hpp /root/repo/src/data/spectrum.hpp \
  /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/norms.hpp

@@ -319,6 +319,9 @@ tests/CMakeFiles/test_error_tracker.dir/test_error_tracker.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/util/check.hpp \
  /root/repo/src/rng/rng.hpp /root/repo/src/core/fd.hpp \
  /root/repo/src/core/sketch_stats.hpp /root/repo/src/obs/stage_report.hpp \
+ /root/repo/src/linalg/svd.hpp /root/repo/src/linalg/workspace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/linalg/eigen_sym.hpp \
  /root/repo/src/data/synthetic.hpp /root/repo/src/data/spectrum.hpp \
  /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/norms.hpp \
  /root/repo/src/linalg/qr.hpp

@@ -320,9 +320,11 @@ tests/CMakeFiles/test_figures.dir/test_figures.cpp.o: \
  /root/repo/src/rng/rng.hpp /root/repo/src/cluster/metrics.hpp \
  /root/repo/src/core/arams_sketch.hpp /root/repo/src/core/fd.hpp \
  /root/repo/src/core/sketch_stats.hpp /root/repo/src/obs/stage_report.hpp \
- /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
+ /root/repo/src/linalg/svd.hpp /root/repo/src/linalg/workspace.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/linalg/eigen_sym.hpp \
+ /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/core/rank_adaptive.hpp \
  /root/repo/src/linalg/trace_est.hpp /root/repo/src/embed/pca.hpp \
  /root/repo/src/embed/umap.hpp /root/repo/src/embed/knn.hpp \

@@ -317,7 +317,10 @@ tests/CMakeFiles/test_pca.dir/test_pca.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/fd.hpp \
  /usr/include/c++/12/span /root/repo/src/core/sketch_stats.hpp \
  /root/repo/src/obs/stage_report.hpp /root/repo/src/linalg/matrix.hpp \
- /root/repo/src/util/check.hpp /root/repo/src/data/synthetic.hpp \
- /root/repo/src/data/spectrum.hpp /root/repo/src/rng/rng.hpp \
+ /root/repo/src/util/check.hpp /root/repo/src/linalg/svd.hpp \
+ /root/repo/src/rng/rng.hpp /root/repo/src/linalg/workspace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/linalg/eigen_sym.hpp \
+ /root/repo/src/data/synthetic.hpp /root/repo/src/data/spectrum.hpp \
  /root/repo/src/embed/pca.hpp /root/repo/src/linalg/blas.hpp \
  /root/repo/src/linalg/norms.hpp /root/repo/src/linalg/qr.hpp

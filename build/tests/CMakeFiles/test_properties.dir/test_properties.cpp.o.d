@@ -317,17 +317,19 @@ tests/CMakeFiles/test_properties.dir/test_properties.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/fd.hpp \
  /usr/include/c++/12/span /root/repo/src/core/sketch_stats.hpp \
  /root/repo/src/obs/stage_report.hpp /root/repo/src/linalg/matrix.hpp \
- /root/repo/src/util/check.hpp /root/repo/src/core/merge.hpp \
- /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
+ /root/repo/src/util/check.hpp /root/repo/src/linalg/svd.hpp \
+ /root/repo/src/rng/rng.hpp /root/repo/src/linalg/workspace.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/rng/rng.hpp /root/repo/src/data/synthetic.hpp \
- /root/repo/src/data/spectrum.hpp /root/repo/src/embed/pca.hpp \
- /root/repo/src/embed/umap.hpp /root/repo/src/embed/knn.hpp \
- /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/norms.hpp \
- /root/repo/src/stream/pipeline.hpp /root/repo/src/cluster/abod.hpp \
- /root/repo/src/cluster/hdbscan.hpp /root/repo/src/cluster/kmeans.hpp \
- /root/repo/src/cluster/optics.hpp /root/repo/src/core/arams_sketch.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/linalg/eigen_sym.hpp \
+ /root/repo/src/core/merge.hpp /root/repo/src/core/priority_sampler.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/data/synthetic.hpp /root/repo/src/data/spectrum.hpp \
+ /root/repo/src/embed/pca.hpp /root/repo/src/embed/umap.hpp \
+ /root/repo/src/embed/knn.hpp /root/repo/src/linalg/blas.hpp \
+ /root/repo/src/linalg/norms.hpp /root/repo/src/stream/pipeline.hpp \
+ /root/repo/src/cluster/abod.hpp /root/repo/src/cluster/hdbscan.hpp \
+ /root/repo/src/cluster/kmeans.hpp /root/repo/src/cluster/optics.hpp \
+ /root/repo/src/core/arams_sketch.hpp \
  /root/repo/src/core/rank_adaptive.hpp \
  /root/repo/src/linalg/trace_est.hpp /root/repo/src/image/preprocess.hpp \
  /root/repo/src/image/image.hpp /root/repo/src/stream/event.hpp

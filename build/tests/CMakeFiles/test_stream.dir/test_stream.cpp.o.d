@@ -324,7 +324,8 @@ tests/CMakeFiles/test_stream.dir/test_stream.cpp.o: \
  /root/repo/src/embed/knn.hpp /root/repo/src/cluster/hdbscan.hpp \
  /root/repo/src/cluster/kmeans.hpp /root/repo/src/cluster/optics.hpp \
  /root/repo/src/core/arams_sketch.hpp /root/repo/src/core/fd.hpp \
- /root/repo/src/core/sketch_stats.hpp \
+ /root/repo/src/core/sketch_stats.hpp /root/repo/src/linalg/svd.hpp \
+ /root/repo/src/linalg/workspace.hpp /root/repo/src/linalg/eigen_sym.hpp \
  /root/repo/src/core/priority_sampler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/core/rank_adaptive.hpp \

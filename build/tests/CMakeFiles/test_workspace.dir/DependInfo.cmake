@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_workspace.cpp" "tests/CMakeFiles/test_workspace.dir/test_workspace.cpp.o" "gcc" "tests/CMakeFiles/test_workspace.dir/test_workspace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/arams_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/arams_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/arams_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/arams_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/arams_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/arams_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/arams_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/arams_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/arams_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/arams_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/arams_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/arams_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -69,6 +69,12 @@ struct AramsResult {
 /// The ARAMS sketching engine. Batch API (`sketch_matrix`) is Algorithm 3
 /// verbatim; the streaming API applies the sampler per pushed batch so a
 /// detector stream never has to be materialized.
+///
+/// Scratch-memory ownership: every Arams owns exactly one FD instance
+/// (fixed-ℓ or rank-adaptive), and that FD owns the linalg::Workspace the
+/// shrink cycle runs in — so a long-lived Arams performs no steady-state
+/// heap allocation in its SVD path, and two Arams instances never share
+/// scratch (safe to run on separate threads). See docs/PERFORMANCE.md.
 class Arams {
  public:
   explicit Arams(const AramsConfig& config);

@@ -132,16 +132,22 @@ void TruncatedSvdSketch::append(std::span<const double> row) {
 
 void TruncatedSvdSketch::truncate() {
   Stopwatch timer;
-  const Matrix occupied = buffer_.slice_rows(0, next_row_);
-  const linalg::SigmaVt svd = linalg::sigma_vt_svd(occupied);
-  buffer_.fill(0.0);
-  const std::size_t keep = std::min(ell_, svd.sigma.size());
+  const linalg::MatrixView occupied =
+      linalg::MatrixView::rows_of(buffer_, 0, next_row_);
+  linalg::sigma_vt_svd(occupied, ws_, svd_);
+  const std::size_t prev_occupied = next_row_;
+  const std::size_t keep = std::min(ell_, svd_.sigma.size());
   std::size_t out = 0;
   for (std::size_t i = 0; i < keep; ++i) {
-    if (svd.sigma[i] <= 0.0) break;
-    std::copy(svd.w.row(i).begin(), svd.w.row(i).end(),
+    if (svd_.sigma[i] <= 0.0) break;
+    std::copy(svd_.w.row(i).begin(), svd_.w.row(i).end(),
               buffer_.row(out).begin());
     ++out;
+  }
+  // Rows >= prev_occupied are already zero; only the tail of the occupied
+  // range needs clearing.
+  for (std::size_t r = out; r < prev_occupied; ++r) {
+    buffer_.zero_row(r);
   }
   next_row_ = out;
   ++stats_.svd_count;

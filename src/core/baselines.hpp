@@ -23,6 +23,8 @@
 
 #include "core/sketch_stats.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/workspace.hpp"
 #include "rng/rng.hpp"
 
 namespace arams::core {
@@ -116,6 +118,9 @@ class TruncatedSvdSketch : public RowSketcher {
   linalg::Matrix buffer_;
   std::size_t next_row_ = 0;
   SketchStats stats_;
+  // Reused across truncations — steady-state truncate() is allocation-free.
+  linalg::Workspace ws_;
+  linalg::SigmaVt svd_;
 };
 
 /// Factory by name: "fd", "gaussian-projection", "count-sketch",

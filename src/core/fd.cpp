@@ -45,36 +45,45 @@ void FrequentDirections::append_batch(const Matrix& rows) {
 void FrequentDirections::shrink() {
   ARAMS_DCHECK(next_zero_row_ > 0, "shrink of empty buffer");
   Stopwatch timer;
-  const Matrix occupied = buffer_.slice_rows(0, next_zero_row_);
-  const linalg::SigmaVt svd = linalg::sigma_vt_svd(occupied);
+  // Zero-copy view of the occupied buffer prefix; the SVD reads it fully
+  // before any buffer row is overwritten below.
+  const linalg::MatrixView occupied =
+      linalg::MatrixView::rows_of(buffer_, 0, next_zero_row_);
+  linalg::sigma_vt_svd(occupied, ws_, svd_);
 
   // δ = σ_ℓ² (1-based) — the paper's Algorithm 2 line 16. When fewer than ℓ
   // directions exist there is nothing to shrink away (δ = 0) and the
   // rotation only re-orthogonalizes the buffer.
-  const std::size_t m = svd.sigma.size();
+  const std::size_t m = svd_.sigma.size();
   const double delta =
-      (m >= ell_) ? svd.sigma[ell_ - 1] * svd.sigma[ell_ - 1] : 0.0;
+      (m >= ell_) ? svd_.sigma[ell_ - 1] * svd_.sigma[ell_ - 1] : 0.0;
 
-  last_spectrum_ = svd.sigma;
+  last_spectrum_ = svd_.sigma;
 
-  // Row i of svd.w equals σᵢ·vᵢᵀ; rescale to √(σᵢ²−δ)·vᵢᵀ without ever
+  // Row i of svd_.w equals σᵢ·vᵢᵀ; rescale to √(σᵢ²−δ)·vᵢᵀ without ever
   // forming Vᵀ. Rows whose σᵢ² ≤ δ vanish, as do directions below the
   // Gram-trick noise floor (√ε·σ₀) — keeping those would inject garbage
   // directions into the sketch and its basis.
   const double sigma_floor =
-      (m > 0 && svd.sigma[0] > 0.0) ? 1e-7 * svd.sigma[0] : 0.0;
-  buffer_.fill(0.0);
+      (m > 0 && svd_.sigma[0] > 0.0) ? 1e-7 * svd_.sigma[0] : 0.0;
+  const std::size_t prev_occupied = next_zero_row_;
   std::size_t out = 0;
   for (std::size_t i = 0; i < m; ++i) {
-    const double s2 = svd.sigma[i] * svd.sigma[i];
-    if (s2 <= delta || svd.sigma[i] <= sigma_floor) break;  // descending
-    const double scale = std::sqrt(s2 - delta) / svd.sigma[i];
-    const auto wi = svd.w.row(i);
+    const double s2 = svd_.sigma[i] * svd_.sigma[i];
+    if (s2 <= delta || svd_.sigma[i] <= sigma_floor) break;  // descending
+    const double scale = std::sqrt(s2 - delta) / svd_.sigma[i];
+    const auto wi = svd_.w.row(i);
     auto dst = buffer_.row(out);
     for (std::size_t j = 0; j < dim_; ++j) {
       dst[j] = scale * wi[j];
     }
     ++out;
+  }
+  // Zero only [out, prev_occupied): the leading rows were just rewritten
+  // and everything at or past prev_occupied is already zero by the buffer
+  // invariant (rows >= next_zero_row_ are always zero).
+  for (std::size_t r = out; r < prev_occupied; ++r) {
+    buffer_.zero_row(r);
   }
   // The sketch is kept dense in its leading rows — no interior zero rows,
   // which Section IV-A3 warns would corrupt later merges.
@@ -106,22 +115,24 @@ Matrix FrequentDirections::sketch() const {
 Matrix FrequentDirections::basis(std::size_t k) {
   ARAMS_CHECK(dim_ > 0, "basis of an empty sketch");
   compress();
-  const Matrix b = sketch();
-  if (b.rows() == 0) return Matrix(0, dim_);
+  if (next_zero_row_ == 0) return Matrix(0, dim_);
   // Post-shrink sketch rows are already orthogonal scaled right vectors,
-  // but mid-stream sketches may not be; re-orthogonalize via SVD.
-  const linalg::SigmaVt svd = linalg::sigma_vt_svd(b);
-  k = std::min({k, b.rows(), svd.sigma.size()});
-  const double smax = svd.sigma.empty() ? 0.0 : svd.sigma[0];
+  // but mid-stream sketches may not be; re-orthogonalize via SVD (on a
+  // view of the occupied rows — no buffer copy).
+  const linalg::MatrixView b =
+      linalg::MatrixView::rows_of(buffer_, 0, next_zero_row_);
+  linalg::sigma_vt_svd(b, ws_, svd_);
+  k = std::min({k, b.rows(), svd_.sigma.size()});
+  const double smax = svd_.sigma.empty() ? 0.0 : svd_.sigma[0];
   std::size_t kept = 0;
   for (std::size_t i = 0; i < k; ++i) {
-    if (svd.sigma[i] > 1e-7 * smax && svd.sigma[i] > 0.0) ++kept;
+    if (svd_.sigma[i] > 1e-7 * smax && svd_.sigma[i] > 0.0) ++kept;
   }
   Matrix out(kept, dim_);
   for (std::size_t i = 0; i < kept; ++i) {
-    const auto wi = svd.w.row(i);
+    const auto wi = svd_.w.row(i);
     auto dst = out.row(i);
-    const double inv = 1.0 / svd.sigma[i];
+    const double inv = 1.0 / svd_.sigma[i];
     for (std::size_t j = 0; j < dim_; ++j) {
       dst[j] = wi[j] * inv;
     }

@@ -12,6 +12,8 @@
 
 #include "core/sketch_stats.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/workspace.hpp"
 
 namespace arams::core {
 
@@ -83,6 +85,10 @@ class FrequentDirections {
   std::size_t next_zero_row_ = 0;
   SketchStats stats_;
   std::vector<double> last_spectrum_;
+  // Scratch reused across shrinks: after the first few calls every buffer
+  // has reached its steady-state shape and shrink() is allocation-free.
+  linalg::Workspace ws_;
+  linalg::SigmaVt svd_;
 
  private:
   void ensure_dim(std::size_t d);

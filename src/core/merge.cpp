@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/svd.hpp"
+#include "linalg/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -15,11 +16,21 @@ using linalg::Matrix;
 
 namespace {
 
+/// Per-merge scratch: one workspace + SVD output pair serves every shrink
+/// in a merge call, so repeated reductions reuse the same arenas instead
+/// of allocating Gram/eig buffers per level.
+struct MergeScratch {
+  linalg::Workspace ws;
+  linalg::SigmaVt svd;
+};
+
 /// One FD shrink of `stacked` down to at most `ell` rows (the surviving
 /// non-zero rows; at most ℓ−1 of them are non-zero, matching Algorithm 2).
-Matrix shrink_to_ell(const Matrix& stacked, std::size_t ell) {
+Matrix shrink_to_ell(const Matrix& stacked, std::size_t ell,
+                     MergeScratch& scratch) {
   if (stacked.rows() <= ell) return stacked;
-  const linalg::SigmaVt svd = linalg::sigma_vt_svd(stacked);
+  linalg::sigma_vt_svd(stacked, scratch.ws, scratch.svd);
+  const linalg::SigmaVt& svd = scratch.svd;
   if (svd.sigma.size() < ell) {
     // Fewer directions than ℓ (d < ℓ): nothing needs shrinking; rebuild
     // the ≤ d non-trivial rows verbatim.
@@ -62,7 +73,8 @@ Matrix merge_group(const std::vector<Matrix>& sketches, std::size_t ell) {
   for (std::size_t i = 1; i < sketches.size(); ++i) {
     stacked = Matrix::vstack(stacked, sketches[i]);
   }
-  return shrink_to_ell(stacked, ell);
+  MergeScratch scratch;
+  return shrink_to_ell(stacked, ell, scratch);
 }
 
 Matrix serial_merge(std::vector<Matrix> sketches, std::size_t ell,
@@ -71,11 +83,12 @@ Matrix serial_merge(std::vector<Matrix> sketches, std::size_t ell,
   const obs::ScopedSpan span("merge.serial");
   static obs::Counter& merge_ops = obs::metrics().counter("merge.ops");
   MergeStats local;
+  MergeScratch scratch;
   Matrix acc = std::move(sketches.front());
   for (std::size_t i = 1; i < sketches.size(); ++i) {
     Stopwatch timer;
     merge_ops.add(1);
-    acc = shrink_to_ell(Matrix::vstack(acc, sketches[i]), ell);
+    acc = shrink_to_ell(Matrix::vstack(acc, sketches[i]), ell, scratch);
     const double s = timer.seconds();
     ++local.merge_ops;
     ++local.levels;
@@ -96,6 +109,7 @@ Matrix tree_merge(std::vector<Matrix> sketches, std::size_t ell,
   const obs::ScopedSpan span("merge.tree");
   static obs::Counter& merge_ops = obs::metrics().counter("merge.ops");
   MergeStats local;
+  MergeScratch scratch;
   while (sketches.size() > 1) {
     // One span per reduction level — the unit the critical-path model in
     // parallel/virtual_cores charges for (slowest group per level).
@@ -112,7 +126,7 @@ Matrix tree_merge(std::vector<Matrix> sketches, std::size_t ell,
         stacked = Matrix::vstack(stacked, sketches[i]);
       }
       Stopwatch timer;
-      next.push_back(shrink_to_ell(stacked, ell));
+      next.push_back(shrink_to_ell(stacked, ell, scratch));
       const double s = timer.seconds();
       ++local.merge_ops;
       local.total_seconds += s;

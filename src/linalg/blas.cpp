@@ -1,6 +1,11 @@
 #include "linalg/blas.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace arams::linalg {
 
@@ -28,98 +33,303 @@ double norm2_squared(std::span<const double> x) { return dot(x, x); }
 
 double norm2(std::span<const double> x) { return std::sqrt(norm2_squared(x)); }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
-  ARAMS_CHECK(a.cols() == b.rows(), "matmul inner dimension mismatch");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix c(m, n);
-  // ikj order: streams through B and C rows contiguously.
-  for (std::size_t i = 0; i < m; ++i) {
-    double* ci = c.row(i).data();
-    const double* ai = a.row(i).data();
-    for (std::size_t p = 0; p < k; ++p) {
-      const double aip = ai[p];
-      if (aip == 0.0) continue;
-      const double* bp = b.row(p).data();
-      for (std::size_t j = 0; j < n; ++j) {
-        ci[j] += aip * bp[j];
+namespace {
+
+// Blocking parameters. KC×NC is the packed B panel (≤ 1 MiB, resident in
+// L2 while every row band streams over it); MR is the register block: the
+// micro-kernel keeps MR C-rows live and reads each packed B element once
+// per MR rows instead of once per row, cutting B traffic MR-fold.
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kNc = 512;
+constexpr std::size_t kMr = 4;
+
+// Calls above this many flops (2·m·n·k for GEMM, m²·d for Gram) fan out
+// row bands across the shared pool; below it they stay sequential so the
+// small shapes FD produces at modest ℓ pay no dispatch overhead.
+constexpr double kParallelFlopThreshold = 8e6;
+
+// Grow-only, per-thread packing scratch: steady-state kernel calls never
+// allocate. pack_b is filled by the calling thread; pack_a by whichever
+// thread runs the row band (each worker keeps its own).
+std::vector<double>& pack_a_scratch() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+std::vector<double>& pack_b_scratch() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+
+parallel::ThreadPool* maybe_pool(double flops) {
+  if (flops < kParallelFlopThreshold) return nullptr;
+  parallel::ThreadPool& pool = parallel::shared_pool();
+  if (pool.thread_count() < 2) return nullptr;
+  static obs::Counter& dispatches =
+      obs::metrics().counter("linalg.gemm_parallel_count");
+  dispatches.add(1);
+  return &pool;
+}
+
+/// Packs Bop[pc..pc+kb) × [jc..jc+jb) into dst, kb rows of jb contiguous
+/// doubles. Bop(p, j) = b[p·brs + j·bcs].
+void pack_b_panel(const double* b, std::size_t brs, std::size_t bcs,
+                  std::size_t pc, std::size_t jc, std::size_t kb,
+                  std::size_t jb, double* dst) {
+  for (std::size_t p = 0; p < kb; ++p) {
+    const double* src = b + (pc + p) * brs + jc * bcs;
+    double* out = dst + p * jb;
+    if (bcs == 1) {
+      std::copy(src, src + jb, out);
+    } else {
+      for (std::size_t j = 0; j < jb; ++j) out[j] = src[j * bcs];
+    }
+  }
+}
+
+/// Packs rows [i, i+mr) × cols [pc, pc+kb) of Aop into dst, mr rows of kb
+/// contiguous doubles. Aop(i, p) = a[i·ars + p·acs].
+void pack_a_panel(const double* a, std::size_t ars, std::size_t acs,
+                  std::size_t i, std::size_t pc, std::size_t mr,
+                  std::size_t kb, double* dst) {
+  for (std::size_t r = 0; r < mr; ++r) {
+    const double* src = a + (i + r) * ars + pc * acs;
+    double* out = dst + r * kb;
+    if (acs == 1) {
+      std::copy(src, src + kb, out);
+    } else {
+      for (std::size_t p = 0; p < kb; ++p) out[p] = src[p * acs];
+    }
+  }
+}
+
+/// C rows [i, i+mr) (+= not =): mr×jb tile accumulated from a packed mr×kb
+/// A panel and a packed kb×jb B panel. The mr == kMr fast path keeps four
+/// C rows live so the j loop is a straight-line 4-way accumulation the
+/// compiler vectorizes; the generic tail (mr < 4, last tile only) loops.
+void micro_kernel(const double* am, std::size_t kb, const double* bp,
+                  std::size_t jb, double* c0, std::size_t ldc,
+                  std::size_t mr) {
+  if (mr == kMr) {
+    double* __restrict r0 = c0;
+    double* __restrict r1 = c0 + ldc;
+    double* __restrict r2 = c0 + 2 * ldc;
+    double* __restrict r3 = c0 + 3 * ldc;
+    for (std::size_t p = 0; p < kb; ++p) {
+      const double a0 = am[p];
+      const double a1 = am[kb + p];
+      const double a2 = am[2 * kb + p];
+      const double a3 = am[3 * kb + p];
+      const double* __restrict b = bp + p * jb;
+      for (std::size_t j = 0; j < jb; ++j) {
+        const double bv = b[j];
+        r0[j] += a0 * bv;
+        r1[j] += a1 * bv;
+        r2[j] += a2 * bv;
+        r3[j] += a3 * bv;
+      }
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < mr; ++r) {
+    double* c = c0 + r * ldc;
+    const double* ar = am + r * kb;
+    for (std::size_t p = 0; p < kb; ++p) {
+      const double av = ar[p];
+      const double* b = bp + p * jb;
+      for (std::size_t j = 0; j < jb; ++j) c[j] += av * b[j];
+    }
+  }
+}
+
+/// out = Aop · Bop where Aop(i,p) = a[i·ars + p·acs] (m×k) and
+/// Bop(p,j) = b[p·brs + j·bcs] (k×n). One strided entry point serves NN,
+/// TN and NT products — only the stride pairs differ. Row bands are
+/// disjoint and keep the identical (jc, pc, p, j) accumulation order, so
+/// sequential and parallel runs produce bit-identical results.
+void gemm_strided(std::size_t m, std::size_t n, std::size_t k,
+                  const double* a, std::size_t ars, std::size_t acs,
+                  const double* b, std::size_t brs, std::size_t bcs,
+                  Matrix& out) {
+  out.reshape(m, n);
+  out.fill(0.0);
+  if (m == 0 || n == 0 || k == 0) return;
+  parallel::ThreadPool* pool =
+      maybe_pool(2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                 static_cast<double>(k));
+  double* c = out.data();
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t jb = std::min(kNc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kb = std::min(kKc, k - pc);
+      std::vector<double>& bbuf = pack_b_scratch();
+      if (bbuf.size() < kb * jb) bbuf.resize(kb * jb);
+      pack_b_panel(b, brs, bcs, pc, jc, kb, jb, bbuf.data());
+      const double* bp = bbuf.data();
+
+      const auto run_band = [&](std::size_t i0, std::size_t i1) {
+        std::vector<double>& abuf = pack_a_scratch();
+        if (abuf.size() < kMr * kb) abuf.resize(kMr * kb);
+        for (std::size_t i = i0; i < i1; i += kMr) {
+          const std::size_t mr = std::min(kMr, i1 - i);
+          pack_a_panel(a, ars, acs, i, pc, mr, kb, abuf.data());
+          micro_kernel(abuf.data(), kb, bp, jb, c + i * n + jc, n, mr);
+        }
+      };
+
+      if (pool == nullptr) {
+        run_band(0, m);
+      } else {
+        // Band boundaries are multiples of kMr so no tile straddles two
+        // bands; ~4 bands per worker lets the queue balance load.
+        const std::size_t tiles = (m + kMr - 1) / kMr;
+        const std::size_t bands =
+            std::min(tiles, pool->thread_count() * 4);
+        pool->parallel_for(bands, [&](std::size_t t) {
+          const std::size_t t0 = tiles * t / bands;
+          const std::size_t t1 = tiles * (t + 1) / bands;
+          run_band(t0 * kMr, std::min(t1 * kMr, m));
+        });
       }
     }
   }
-  return c;
 }
 
-Matrix matmul_tn(const Matrix& a, const Matrix& b) {
-  ARAMS_CHECK(a.rows() == b.rows(), "matmul_tn dimension mismatch");
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  Matrix c(m, n);
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* ap = a.row(p).data();
-    const double* bp = b.row(p).data();
-    for (std::size_t i = 0; i < m; ++i) {
-      const double api = ap[i];
-      if (api == 0.0) continue;
-      double* ci = c.row(i).data();
-      for (std::size_t j = 0; j < n; ++j) {
-        ci[j] += api * bp[j];
+/// Symmetric product helper: fills the upper triangle of out (n×n) with
+/// 4×4 dot tiles over `len` terms, then mirrors. `ptr(i)` must return a
+/// pointer p_i with Gram(i, j) = Σ_t p_i[t·stride]·p_j[t·stride].
+template <typename PtrFn>
+void gram_tiled(std::size_t n, std::size_t len, std::size_t stride,
+                double flops, const PtrFn& ptr, Matrix& out) {
+  out.reshape(n, n);
+  if (n == 0) return;
+  if (len == 0) {
+    out.fill(0.0);
+    return;
+  }
+  parallel::ThreadPool* pool = maybe_pool(flops);
+  const std::size_t tiles = (n + kMr - 1) / kMr;
+
+  // One task per 4-row tile of the upper triangle; out-of-range lanes are
+  // clamped to the last row so the 4×4 accumulator loop stays branch-free
+  // (their results are simply not stored).
+  const auto do_tile_row = [&](std::size_t ti) {
+    const std::size_t i0 = ti * kMr;
+    const std::size_t mr = std::min(kMr, n - i0);
+    const double* rp[kMr];
+    for (std::size_t r = 0; r < kMr; ++r) {
+      rp[r] = ptr(std::min(i0 + r, n - 1));
+    }
+    for (std::size_t j0 = i0; j0 < n; j0 += kMr) {
+      const std::size_t nr = std::min(kMr, n - j0);
+      const double* cq[kMr];
+      for (std::size_t q = 0; q < kMr; ++q) {
+        cq[q] = ptr(std::min(j0 + q, n - 1));
+      }
+      double acc[kMr][kMr] = {};
+      for (std::size_t t = 0; t < len; ++t) {
+        const std::size_t off = t * stride;
+        const double av[kMr] = {rp[0][off], rp[1][off], rp[2][off],
+                                rp[3][off]};
+        const double bv[kMr] = {cq[0][off], cq[1][off], cq[2][off],
+                                cq[3][off]};
+        for (std::size_t r = 0; r < kMr; ++r) {
+          for (std::size_t q = 0; q < kMr; ++q) {
+            acc[r][q] += av[r] * bv[q];
+          }
+        }
+      }
+      for (std::size_t r = 0; r < mr; ++r) {
+        for (std::size_t q = 0; q < nr; ++q) {
+          out(i0 + r, j0 + q) = acc[r][q];
+        }
       }
     }
-  }
-  return c;
-}
+  };
 
-Matrix matmul_nt(const Matrix& a, const Matrix& b) {
-  ARAMS_CHECK(a.cols() == b.cols(), "matmul_nt dimension mismatch");
-  const std::size_t m = a.rows(), n = b.rows();
-  Matrix c(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const auto ai = a.row(i);
-    double* ci = c.row(i).data();
-    for (std::size_t j = 0; j < n; ++j) {
-      ci[j] = dot(ai, b.row(j));
-    }
+  if (pool == nullptr) {
+    for (std::size_t ti = 0; ti < tiles; ++ti) do_tile_row(ti);
+  } else {
+    pool->parallel_for(tiles, do_tile_row);
   }
-  return c;
-}
 
-Matrix gram_rows(const Matrix& a) {
-  const std::size_t m = a.rows();
-  Matrix g(m, m);
-  for (std::size_t i = 0; i < m; ++i) {
-    const auto ai = a.row(i);
-    for (std::size_t j = i; j < m; ++j) {
-      const double v = dot(ai, a.row(j));
-      g(i, j) = v;
-      g(j, i) = v;
-    }
-  }
-  return g;
-}
-
-Matrix gram_cols(const Matrix& a) {
-  const std::size_t n = a.cols();
-  Matrix g(n, n);
-  // Accumulate rank-1 updates row by row: G += aᵣᵀ aᵣ. Keeps the inner loop
-  // contiguous for row-major storage.
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const double* ar = a.row(r).data();
-    for (std::size_t i = 0; i < n; ++i) {
-      const double ari = ar[i];
-      if (ari == 0.0) continue;
-      double* gi = g.row(i).data();
-      for (std::size_t j = i; j < n; ++j) {
-        gi[j] += ari * ar[j];
-      }
-    }
-  }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) {
-      g(i, j) = g(j, i);
+      out(i, j) = out(j, i);
     }
   }
-  return g;
 }
 
-void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
+}  // namespace
+
+void matmul(MatrixView a, MatrixView b, Matrix& out) {
+  ARAMS_CHECK(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  gemm_strided(a.rows(), b.cols(), a.cols(), a.data(), a.cols(), 1,
+               b.data(), b.cols(), 1, out);
+}
+
+Matrix matmul(MatrixView a, MatrixView b) {
+  Matrix out;
+  matmul(a, b, out);
+  return out;
+}
+
+void matmul_tn(MatrixView a, MatrixView b, Matrix& out) {
+  ARAMS_CHECK(a.rows() == b.rows(), "matmul_tn dimension mismatch");
+  // Aop = Aᵀ: Aop(i,p) = a(p,i) → row stride 1, column stride a.cols().
+  gemm_strided(a.cols(), b.cols(), a.rows(), a.data(), 1, a.cols(),
+               b.data(), b.cols(), 1, out);
+}
+
+Matrix matmul_tn(MatrixView a, MatrixView b) {
+  Matrix out;
+  matmul_tn(a, b, out);
+  return out;
+}
+
+void matmul_nt(MatrixView a, MatrixView b, Matrix& out) {
+  ARAMS_CHECK(a.cols() == b.cols(), "matmul_nt dimension mismatch");
+  // Bop = Bᵀ: Bop(p,j) = b(j,p) → row stride 1, column stride b.cols().
+  gemm_strided(a.rows(), b.rows(), a.cols(), a.data(), a.cols(), 1,
+               b.data(), 1, b.cols(), out);
+}
+
+Matrix matmul_nt(MatrixView a, MatrixView b) {
+  Matrix out;
+  matmul_nt(a, b, out);
+  return out;
+}
+
+void gram_rows(MatrixView a, Matrix& out) {
+  const std::size_t m = a.rows();
+  const double flops = static_cast<double>(m) * static_cast<double>(m) *
+                       static_cast<double>(a.cols());
+  gram_tiled(
+      m, a.cols(), 1, flops,
+      [&](std::size_t i) { return a.data() + i * a.cols(); }, out);
+}
+
+Matrix gram_rows(MatrixView a) {
+  Matrix out;
+  gram_rows(a, out);
+  return out;
+}
+
+void gram_cols(MatrixView a, Matrix& out) {
+  const std::size_t n = a.cols();
+  const double flops = static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(a.rows());
+  gram_tiled(
+      n, a.rows(), n, flops, [&](std::size_t i) { return a.data() + i; },
+      out);
+}
+
+Matrix gram_cols(MatrixView a) {
+  Matrix out;
+  gram_cols(a, out);
+  return out;
+}
+
+void gemv(MatrixView a, std::span<const double> x, std::span<double> y) {
   ARAMS_CHECK(x.size() == a.cols() && y.size() == a.rows(),
               "gemv size mismatch");
   for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -127,7 +337,7 @@ void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
   }
 }
 
-void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y) {
+void gemv_t(MatrixView a, std::span<const double> x, std::span<double> y) {
   ARAMS_CHECK(x.size() == a.rows() && y.size() == a.cols(),
               "gemv_t size mismatch");
   std::fill(y.begin(), y.end(), 0.0);
@@ -136,7 +346,7 @@ void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y) {
   }
 }
 
-double frobenius_norm_squared(const Matrix& a) {
+double frobenius_norm_squared(MatrixView a) {
   double s = 0.0;
   for (std::size_t r = 0; r < a.rows(); ++r) {
     s += norm2_squared(a.row(r));
@@ -144,7 +354,7 @@ double frobenius_norm_squared(const Matrix& a) {
   return s;
 }
 
-double frobenius_norm(const Matrix& a) {
+double frobenius_norm(MatrixView a) {
   return std::sqrt(frobenius_norm_squared(a));
 }
 

@@ -3,9 +3,22 @@
 // throughput: FD's shrink is dominated by the Gram product B·Bᵀ and the
 // back-multiplication Uᵀ·B, and the data generator by orthogonal assembly.
 //
-// Kernels are written cache-aware (ikj order, register blocking on the k
-// loop) but deliberately scalar: the container has no SIMD guarantees and
-// correctness/tests come first. All shapes are validated with ARAMS_CHECK.
+// The matmul/Gram family is cache-blocked (KC×NC panels packed into
+// contiguous scratch) with an MR=4 register-blocked micro-kernel, and
+// dispatches row bands onto the shared parallel::ThreadPool once a call
+// exceeds a flop threshold — below it everything stays sequential so the
+// small shapes FD produces at modest ℓ pay zero overhead. The parallel
+// partition is over disjoint output rows with an unchanged inner loop
+// order, so tiled, parallel and sequential paths produce identical results.
+// Packing scratch is thread-local and grow-only: steady-state calls do not
+// touch the heap. Dispatches are counted in the
+// "linalg.gemm_parallel_count" metric.
+//
+// All kernels take MatrixView, so they accept an owning Matrix or a
+// zero-copy row-range view (MatrixView::rows_of) interchangeably. The
+// out-parameter overloads reshape `out` in place (grow-only storage) for
+// allocation-free reuse; the value-returning forms are conveniences that
+// allocate a fresh result.
 
 #include <span>
 
@@ -29,31 +42,36 @@ double norm2(std::span<const double> x);
 double norm2_squared(std::span<const double> x);
 
 /// C = A * B (m×k times k×n).
-Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix matmul(MatrixView a, MatrixView b);
+void matmul(MatrixView a, MatrixView b, Matrix& out);
 
 /// C = Aᵀ * B (A is k×m, B is k×n → result m×n).
-Matrix matmul_tn(const Matrix& a, const Matrix& b);
+Matrix matmul_tn(MatrixView a, MatrixView b);
+void matmul_tn(MatrixView a, MatrixView b, Matrix& out);
 
 /// C = A * Bᵀ (A is m×k, B is n×k → result m×n).
-Matrix matmul_nt(const Matrix& a, const Matrix& b);
+Matrix matmul_nt(MatrixView a, MatrixView b);
+void matmul_nt(MatrixView a, MatrixView b, Matrix& out);
 
-/// Gram matrix G = A * Aᵀ (m×m, symmetric). Only the full matrix is
-/// returned; symmetry is exploited during computation.
-Matrix gram_rows(const Matrix& a);
+/// Gram matrix G = A * Aᵀ (m×m, symmetric). Only the upper triangle is
+/// computed (4×4 dot tiles); the lower is mirrored afterwards.
+Matrix gram_rows(MatrixView a);
+void gram_rows(MatrixView a, Matrix& out);
 
 /// Gram matrix G = Aᵀ * A (n×n, symmetric).
-Matrix gram_cols(const Matrix& a);
+Matrix gram_cols(MatrixView a);
+void gram_cols(MatrixView a, Matrix& out);
 
 /// y = A * x (A m×n, x length n, y length m).
-void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
+void gemv(MatrixView a, std::span<const double> x, std::span<double> y);
 
 /// y = Aᵀ * x (A m×n, x length m, y length n).
-void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y);
+void gemv_t(MatrixView a, std::span<const double> x, std::span<double> y);
 
 /// Frobenius norm of a matrix.
-double frobenius_norm(const Matrix& a);
+double frobenius_norm(MatrixView a);
 
 /// Squared Frobenius norm.
-double frobenius_norm_squared(const Matrix& a);
+double frobenius_norm_squared(MatrixView a);
 
 }  // namespace arams::linalg

@@ -4,22 +4,26 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/workspace.hpp"
+
 namespace arams::linalg {
 
-SymmetricEig jacobi_eigen_symmetric(const Matrix& a, double tol,
-                                    int max_sweeps) {
+void jacobi_eigen_symmetric(MatrixView a, Workspace& ws, SymmetricEig& out,
+                            double tol, int max_sweeps) {
   ARAMS_CHECK(a.rows() == a.cols(), "eigensolver needs a square matrix");
   ARAMS_CHECK(a.rows() > 0, "eigensolver needs a non-empty matrix");
   const std::size_t n = a.rows();
 
   // Work on the symmetrized copy; Gram products can carry ~eps asymmetry.
-  Matrix w(n, n);
+  Matrix& w = ws.mat(wslot::kEigWork, n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       w(i, j) = 0.5 * (a(i, j) + a(j, i));
     }
   }
-  Matrix v = Matrix::identity(n);
+  Matrix& v = ws.mat(wslot::kEigVectors, n, n);
+  v.fill(0.0);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
 
   // Scale-invariant convergence threshold on off-diagonal mass.
   double diag_scale = 0.0;
@@ -33,7 +37,6 @@ SymmetricEig jacobi_eigen_symmetric(const Matrix& a, double tol,
   }
   const double threshold = tol * std::max(diag_scale, 1e-300);
 
-  SymmetricEig out;
   int sweep = 0;
   for (; sweep < max_sweeps; ++sweep) {
     double off = 0.0;
@@ -84,22 +87,29 @@ SymmetricEig jacobi_eigen_symmetric(const Matrix& a, double tol,
   out.sweeps = sweep;
 
   // Extract and sort descending.
-  std::vector<std::size_t> order(n);
+  const std::span<std::size_t> order = ws.idx(wslot::kEigOrder, n);
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::vector<double> values(n);
+  const std::span<double> values = ws.vec(wslot::kEigValues, n);
   for (std::size_t i = 0; i < n; ++i) values[i] = w(i, i);
   std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
     return values[x] > values[y];
   });
 
   out.values.resize(n);
-  out.vectors = Matrix(n, n);
+  out.vectors.reshape(n, n);
   for (std::size_t k = 0; k < n; ++k) {
     out.values[k] = values[order[k]];
     for (std::size_t i = 0; i < n; ++i) {
       out.vectors(i, k) = v(i, order[k]);
     }
   }
+}
+
+SymmetricEig jacobi_eigen_symmetric(const Matrix& a, double tol,
+                                    int max_sweeps) {
+  Workspace ws;
+  SymmetricEig out;
+  jacobi_eigen_symmetric(MatrixView(a), ws, out, tol, max_sweeps);
   return out;
 }
 

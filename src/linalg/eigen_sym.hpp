@@ -19,10 +19,20 @@ struct SymmetricEig {
   int sweeps = 0;              ///< Jacobi sweeps used
 };
 
+class Workspace;
+
 /// Full eigendecomposition of a symmetric matrix. The input is validated
 /// for squareness; mild asymmetry (roundoff from Gram products) is
 /// symmetrized internally. Throws CheckError for empty input.
 SymmetricEig jacobi_eigen_symmetric(const Matrix& a, double tol = 1e-12,
                                     int max_sweeps = 50);
+
+/// Allocation-free variant for hot paths: all scratch (rotation target,
+/// eigenvector accumulator, sort permutation) lives in `ws` (slots
+/// wslot::kEig*), and `out` is reshaped in place, so repeated same-shape
+/// calls never touch the heap. `a` may alias a workspace matrix from a
+/// *different* slot (it is copied into kEigWork before rotations start).
+void jacobi_eigen_symmetric(MatrixView a, Workspace& ws, SymmetricEig& out,
+                            double tol = 1e-12, int max_sweeps = 50);
 
 }  // namespace arams::linalg

@@ -35,6 +35,12 @@ void Matrix::append_zero_rows(std::size_t count) {
   rows_ += count;
 }
 
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  data_.resize(rows * cols);
+  rows_ = rows;
+  cols_ = cols;
+}
+
 Matrix Matrix::slice_rows(std::size_t r0, std::size_t r1) const {
   ARAMS_CHECK(r0 <= r1 && r1 <= rows_, "bad row slice");
   Matrix out(r1 - r0, cols_);
@@ -87,6 +93,12 @@ double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
     m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
   }
   return m;
+}
+
+Matrix MatrixView::to_matrix() const {
+  Matrix out(rows_, cols_);
+  std::copy(data_, data_ + rows_ * cols_, out.data());
+  return out;
 }
 
 }  // namespace arams::linalg

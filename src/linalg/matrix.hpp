@@ -67,6 +67,17 @@ class Matrix {
   /// sketch buffer grows).
   void append_zero_rows(std::size_t count);
 
+  /// Reinterprets the matrix as rows×cols, resizing storage as needed.
+  /// Contents are unspecified afterwards. Storage is grow-only: shrinking
+  /// or same-size reshapes never release or reallocate memory, which is
+  /// what makes Workspace-held matrices allocation-free at steady state.
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// Bytes of heap storage currently reserved (>= rows*cols*8).
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return data_.capacity() * sizeof(double);
+  }
+
   /// Returns rows [r0, r1) as a new matrix.
   [[nodiscard]] Matrix slice_rows(std::size_t r0, std::size_t r1) const;
 
@@ -86,6 +97,48 @@ class Matrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;
+};
+
+/// Non-owning const view of a contiguous row range — the shape the dense
+/// kernels consume. Converts implicitly from Matrix, so every kernel that
+/// takes a MatrixView also accepts a Matrix; rows_of() views the occupied
+/// prefix of a sketch buffer without the copy slice_rows() would make.
+class MatrixView {
+ public:
+  constexpr MatrixView() = default;
+  MatrixView(const double* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): by-design implicit.
+  MatrixView(const Matrix& m) : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+
+  /// Views rows [r0, r1) of m. No copy; valid while m's storage is.
+  static MatrixView rows_of(const Matrix& m, std::size_t r0, std::size_t r1) {
+    ARAMS_CHECK(r0 <= r1 && r1 <= m.rows(), "bad row view");
+    return {m.data() + r0 * m.cols(), r1 - r0, m.cols()};
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] const double* data() const { return data_; }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    ARAMS_DCHECK(r < rows_ && c < cols_, "view index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    ARAMS_DCHECK(r < rows_, "view row out of range");
+    return {data_ + r * cols_, cols_};
+  }
+
+  /// Materializes the view as an owning Matrix (test/interop convenience).
+  [[nodiscard]] Matrix to_matrix() const;
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
 };
 
 }  // namespace arams::linalg

@@ -7,6 +7,7 @@
 #include "linalg/blas.hpp"
 #include "linalg/eigen_sym.hpp"
 #include "linalg/qr.hpp"
+#include "linalg/workspace.hpp"
 
 namespace arams::linalg {
 
@@ -108,20 +109,28 @@ ThinSvd jacobi_svd(const Matrix& a, double tol, int max_sweeps) {
   return out;
 }
 
-RowSpaceSvd gram_row_svd(const Matrix& a) {
+void gram_row_svd(MatrixView a, Workspace& ws, RowSpaceSvd& out) {
   ARAMS_CHECK(a.rows() > 0 && a.cols() > 0, "svd of empty matrix");
   ARAMS_CHECK(a.rows() <= a.cols(), "gram_row_svd requires rows <= cols");
-  const Matrix g = gram_rows(a);
-  const SymmetricEig eig = jacobi_eigen_symmetric(g);
-
-  RowSpaceSvd out;
   const std::size_t m = a.rows();
+  Matrix& g = ws.mat(wslot::kSvdGram, m, m);
+  gram_rows(a, g);
+  SymmetricEig& eig = ws.eig();
+  jacobi_eigen_symmetric(g, ws, eig);
+
   out.sigma.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
     out.sigma[i] = std::sqrt(std::max(eig.values[i], 0.0));
   }
-  out.u = eig.vectors;           // m×m, columns sorted by descending sigma
-  out.w = matmul_tn(out.u, a);   // Uᵀ·A, row i = sigma_i v_iᵀ
+  out.u = eig.vectors;              // m×m, columns sorted by descending sigma
+  matmul_tn(out.u, a, out.w);       // Uᵀ·A, row i = sigma_i v_iᵀ
+  ws.publish();
+}
+
+RowSpaceSvd gram_row_svd(const Matrix& a) {
+  Workspace ws;
+  RowSpaceSvd out;
+  gram_row_svd(MatrixView(a), ws, out);
   return out;
 }
 
@@ -147,28 +156,45 @@ Matrix right_vectors(const RowSpaceSvd& s, std::size_t k, double rank_tol) {
   return vt;
 }
 
-SigmaVt sigma_vt_svd(const Matrix& a) {
+void sigma_vt_svd(MatrixView a, Workspace& ws, SigmaVt& out) {
   ARAMS_CHECK(a.rows() > 0 && a.cols() > 0, "svd of empty matrix");
-  SigmaVt out;
   if (a.rows() <= a.cols()) {
-    RowSpaceSvd rs = gram_row_svd(a);
-    out.sigma = std::move(rs.sigma);
-    out.w = std::move(rs.w);
-    return out;
+    // Short-fat: m×m row Gram, then W = Uᵀ·A — no U copy kept.
+    const std::size_t m = a.rows();
+    Matrix& g = ws.mat(wslot::kSvdGram, m, m);
+    gram_rows(a, g);
+    SymmetricEig& eig = ws.eig();
+    jacobi_eigen_symmetric(g, ws, eig);
+    out.sigma.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      out.sigma[i] = std::sqrt(std::max(eig.values[i], 0.0));
+    }
+    matmul_tn(eig.vectors, a, out.w);
+    ws.publish();
+    return;
   }
   // Tall: eigendecompose the n×n column Gram AᵀA = V diag(σ²) Vᵀ and form
   // W = Σ·Vᵀ directly — no left factor needed.
-  const Matrix g = gram_cols(a);
-  const SymmetricEig eig = jacobi_eigen_symmetric(g);
   const std::size_t n = a.cols();
+  Matrix& g = ws.mat(wslot::kSvdGram, n, n);
+  gram_cols(a, g);
+  SymmetricEig& eig = ws.eig();
+  jacobi_eigen_symmetric(g, ws, eig);
   out.sigma.resize(n);
-  out.w = Matrix(n, n);
+  out.w.reshape(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     out.sigma[i] = std::sqrt(std::max(eig.values[i], 0.0));
     for (std::size_t j = 0; j < n; ++j) {
       out.w(i, j) = out.sigma[i] * eig.vectors(j, i);
     }
   }
+  ws.publish();
+}
+
+SigmaVt sigma_vt_svd(const Matrix& a) {
+  Workspace ws;
+  SigmaVt out;
+  sigma_vt_svd(MatrixView(a), ws, out);
   return out;
 }
 

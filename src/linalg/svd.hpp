@@ -34,10 +34,18 @@ struct RowSpaceSvd {
   Matrix w;                   ///< m×d, row i = sigma[i] * v_iᵀ
 };
 
+class Workspace;
+
 /// SVD of a short-fat matrix through its row Gram matrix. Requires
 /// rows <= cols. Row i of `w` spans the i-th right singular direction with
 /// length sigma[i]; dividing by sigma[i] (when > 0) recovers vᵢᵀ.
 RowSpaceSvd gram_row_svd(const Matrix& a);
+
+/// Allocation-free variant: Gram and eig scratch live in `ws`, and `out`
+/// is reshaped in place, so repeated same-shape calls never touch the
+/// heap. `a` must not alias workspace storage (it is read after scratch
+/// matrices are written).
+void gram_row_svd(MatrixView a, Workspace& ws, RowSpaceSvd& out);
 
 /// Recovers the top-k right singular vectors (k×d, orthonormal rows) from a
 /// RowSpaceSvd, skipping directions with sigma below `rank_tol` relative to
@@ -59,6 +67,11 @@ struct SigmaVt {
   Matrix w;                   ///< min(m, n) × n, row i = sigma[i]·vᵢᵀ
 };
 SigmaVt sigma_vt_svd(const Matrix& a);
+
+/// Allocation-free variant — the FD shrink entry point. The caller holds
+/// one Workspace and one SigmaVt for the lifetime of the sketch; at steady
+/// state (constant buffer shape) this performs zero heap allocations.
+void sigma_vt_svd(MatrixView a, Workspace& ws, SigmaVt& out);
 
 /// Randomized truncated SVD (Halko, Martinsson, Tropp 2011): Gaussian
 /// range sketch with `oversample` extra directions and `power_iters`

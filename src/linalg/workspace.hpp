@@ -1,0 +1,88 @@
+#pragma once
+// linalg::Workspace — a grow-only arena of reusable scratch buffers for the
+// dense-kernel call chain (Gram products, Jacobi eig, Σ·Vᵀ SVD).
+//
+// Why: the FD shrink cycle runs millions of times per stream. Every scratch
+// matrix it allocates (Gram, eig rotation accumulator, Uᵀ·B) is the same
+// shape on every call, so a caller-owned workspace turns the whole cycle
+// allocation-free at steady state: buffers reshape in place and std::vector
+// capacity is never released.
+//
+// Ownership rules:
+//  * One Workspace per owning object (FrequentDirections, TruncatedSvdSketch,
+//    a merge call). NOT thread-safe — never share across threads.
+//  * Slots are keyed by the constants in `wslot`; each kernel layer owns a
+//    disjoint slot range, so the nested call chain
+//    sigma_vt_svd → gram_rows → jacobi_eigen_symmetric never aliases a live
+//    buffer. New kernels must claim fresh slot ids, not reuse these.
+//  * mat()/vec()/idx() return storage with UNSPECIFIED contents; callers
+//    must fully overwrite (or zero) what they read.
+//
+// Telemetry: total reserved bytes are published to the
+// "linalg.workspace_bytes" gauge whenever an arena grows, so a stream job
+// can confirm scratch memory stabilizes after warm-up.
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "linalg/eigen_sym.hpp"
+#include "linalg/matrix.hpp"
+
+namespace arams::linalg {
+
+/// Slot ids. Each kernel layer uses its own ids so nested calls compose.
+namespace wslot {
+inline constexpr std::size_t kSvdGram = 0;   ///< sigma_vt_svd / gram_row_svd
+inline constexpr std::size_t kEigWork = 1;   ///< jacobi eig rotation target
+inline constexpr std::size_t kEigVectors = 2;  ///< jacobi eig accumulator
+inline constexpr std::size_t kEigValues = 0;   ///< vec slot: unsorted values
+inline constexpr std::size_t kEigOrder = 0;    ///< idx slot: sort permutation
+}  // namespace wslot
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  /// Matrix-shaped scratch for `slot`, reshaped to rows×cols in place.
+  /// Contents unspecified. The reference stays valid until the slot is
+  /// requested again with a larger footprint.
+  Matrix& mat(std::size_t slot, std::size_t rows, std::size_t cols);
+
+  /// Flat double scratch of length n for `slot`. Contents unspecified.
+  std::span<double> vec(std::size_t slot, std::size_t n);
+
+  /// Index scratch of length n for `slot` (sort permutations).
+  std::span<std::size_t> idx(std::size_t slot, std::size_t n);
+
+  /// Reusable eigendecomposition output — sigma_vt_svd and gram_row_svd
+  /// funnel their internal Jacobi call through this so the eigenvector
+  /// matrix is recycled too.
+  SymmetricEig& eig() { return eig_; }
+
+  /// Total heap bytes currently reserved across every buffer (grow-only).
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Re-publishes bytes() to the "linalg.workspace_bytes" gauge. The
+  /// workspace-accepting SVD entry points call this after the eig output
+  /// (whose growth the arena cannot observe directly) may have grown.
+  void publish() const { publish_bytes(); }
+
+ private:
+  void publish_bytes() const;
+
+  // Deques, not vectors: acquiring a new slot must never move existing
+  // slots — callers hold live references across nested acquisitions (e.g.
+  // the eig rotation target while the eigenvector accumulator is fetched).
+  std::deque<Matrix> mats_;
+  std::deque<std::vector<double>> vecs_;
+  std::deque<std::vector<std::size_t>> idxs_;
+  SymmetricEig eig_;
+};
+
+}  // namespace arams::linalg

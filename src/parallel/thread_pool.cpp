@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "obs/metrics.hpp"
 
@@ -77,6 +78,17 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   }
   cv_.notify_one();
   return future;
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("ARAMS_POOL_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{0};  // 0 → hardware_concurrency
+  }());
+  return pool;
 }
 
 void ThreadPool::parallel_for(std::size_t count,

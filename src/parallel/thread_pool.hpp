@@ -53,4 +53,13 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Process-wide shared pool, created lazily on first use and joined at
+/// process exit. This is the executor the blocked linalg kernels dispatch
+/// row bands onto; sharing one pool keeps the thread count bounded no
+/// matter how many sketches are live. Size comes from the
+/// ARAMS_POOL_THREADS environment variable when set (tests use it to force
+/// a multi-threaded pool on single-core machines), otherwise
+/// hardware_concurrency.
+ThreadPool& shared_pool();
+
 }  // namespace arams::parallel

@@ -4,13 +4,26 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "linalg/blas.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace arams::linalg {
 namespace {
+
+// The parallel GEMM path needs a pool with >= 2 workers. On single-core CI
+// boxes hardware_concurrency() is 1, so force the pool size via env before
+// anything touches parallel::shared_pool() (it is built lazily on the first
+// above-threshold kernel call, well after static init). An externally set
+// value wins (overwrite = 0).
+const bool kPoolEnvForced = [] {
+  ::setenv("ARAMS_POOL_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
 
 Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
   Matrix m(r, c);
@@ -145,6 +158,145 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
                       std::tuple{5, 5, 5}, std::tuple{7, 2, 9},
                       std::tuple{16, 33, 8}, std::tuple{40, 17, 25}));
+
+// ---------------------------------------------------------------------------
+// Tiled / packed kernels vs. a naive triple loop. The tiled code reorders
+// the k-accumulation, so results are not bit-identical to the reference —
+// the contract is <= 1e-12 *relative* Frobenius error.
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p) s += a(i, p) * b(p, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+double relative_frobenius_error(const Matrix& got, const Matrix& want) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < got.rows(); ++i) {
+    for (std::size_t j = 0; j < got.cols(); ++j) {
+      const double d = got(i, j) - want(i, j);
+      num += d * d;
+      den += want(i, j) * want(i, j);
+    }
+  }
+  return den == 0.0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+/// (m, k, n) shapes chosen to hit every tiling edge case: single element,
+/// k spilling one KC panel (257), all dims straddling the MR=4 register
+/// block (127/65), tall-thin and short-fat panels.
+class TiledVsNaive
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TiledVsNaive, Matmul) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 131071 + k * 8191 + n));
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  EXPECT_LE(relative_frobenius_error(matmul(a, b), naive_matmul(a, b)),
+            1e-12);
+}
+
+TEST_P(TiledVsNaive, MatmulTn) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 524287 + k * 127 + n));
+  const Matrix a = random_matrix(k, m, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  EXPECT_LE(relative_frobenius_error(matmul_tn(a, b),
+                                     naive_matmul(a.transposed(), b)),
+            1e-12);
+}
+
+TEST_P(TiledVsNaive, MatmulNt) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 8209 + k * 31 + n));
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  EXPECT_LE(relative_frobenius_error(matmul_nt(a, b),
+                                     naive_matmul(a, b.transposed())),
+            1e-12);
+}
+
+TEST_P(TiledVsNaive, GramRows) {
+  const auto [m, k, n] = GetParam();
+  (void)n;
+  Rng rng(static_cast<std::uint64_t>(m * 97 + k));
+  const Matrix a = random_matrix(m, k, rng);
+  EXPECT_LE(relative_frobenius_error(gram_rows(a),
+                                     naive_matmul(a, a.transposed())),
+            1e-12);
+}
+
+TEST_P(TiledVsNaive, GramCols) {
+  const auto [m, k, n] = GetParam();
+  (void)n;
+  Rng rng(static_cast<std::uint64_t>(m * 193 + k * 3));
+  const Matrix a = random_matrix(m, k, rng);
+  EXPECT_LE(relative_frobenius_error(gram_cols(a),
+                                     naive_matmul(a.transposed(), a)),
+            1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, TiledVsNaive,
+    ::testing::Values(std::tuple{1, 1, 1},        // degenerate single element
+                      std::tuple{3, 257, 4},      // k spills one KC panel
+                      std::tuple{127, 64, 65},    // dims straddle MR blocks
+                      std::tuple{301, 7, 5},      // tall-thin
+                      std::tuple{5, 7, 301}));    // short-fat
+
+TEST(BlasParallel, LargeGemmDispatchesToPoolAndMatchesNaive) {
+  ASSERT_TRUE(kPoolEnvForced);
+  // 2·192³ ≈ 14.2 Mflop, above the 8 Mflop dispatch threshold.
+  const std::size_t n = 192;
+  Rng rng(4242);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  obs::Counter& dispatches =
+      obs::metrics().counter("linalg.gemm_parallel_count");
+  const long before = dispatches.value();
+  const Matrix fast = matmul(a, b);
+  ASSERT_GE(parallel::shared_pool().thread_count(), 2u)
+      << "ARAMS_POOL_THREADS did not take effect";
+  EXPECT_GT(dispatches.value(), before)
+      << "above-threshold GEMM did not take the parallel path";
+  EXPECT_LE(relative_frobenius_error(fast, naive_matmul(a, b)), 1e-12);
+}
+
+TEST(BlasParallel, LargeGramDispatchesToPoolAndMatchesNaive) {
+  ASSERT_TRUE(kPoolEnvForced);
+  // m²·d = 200²·250 = 10 Mflop, above the dispatch threshold.
+  Rng rng(777);
+  const Matrix a = random_matrix(200, 250, rng);
+  obs::Counter& dispatches =
+      obs::metrics().counter("linalg.gemm_parallel_count");
+  const long before = dispatches.value();
+  const Matrix g = gram_rows(a);
+  EXPECT_GT(dispatches.value(), before);
+  EXPECT_LE(relative_frobenius_error(g, naive_matmul(a, a.transposed())),
+            1e-12);
+  // Band-parallel Gram must stay exactly symmetric (mirrored, not recomputed).
+  EXPECT_EQ(Matrix::max_abs_diff(g, g.transposed()), 0.0);
+}
+
+TEST(BlasParallel, BelowThresholdStaysSequential) {
+  Rng rng(31);
+  const Matrix a = random_matrix(16, 16, rng);
+  const Matrix b = random_matrix(16, 16, rng);
+  obs::Counter& dispatches =
+      obs::metrics().counter("linalg.gemm_parallel_count");
+  const long before = dispatches.value();
+  const Matrix c = matmul(a, b);
+  EXPECT_EQ(dispatches.value(), before);
+  EXPECT_LE(relative_frobenius_error(c, naive_matmul(a, b)), 1e-12);
+}
 
 TEST(Blas, MatmulAssociativityProperty) {
   Rng rng(77);

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the micro_kernels benchmark suite and records the results as JSON at
+# the repo root (BENCH_kernels.json by default), so kernel-perf changes land
+# with a checked-in before/after baseline.
+#
+# Usage:
+#   tools/bench_to_json.sh [build_dir] [output.json] [extra benchmark args...]
+#
+# Examples:
+#   tools/bench_to_json.sh                          # build/, BENCH_kernels.json
+#   tools/bench_to_json.sh build /tmp/after.json --benchmark_filter='BM_Gemm.*'
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_file="${2:-${repo_root}/BENCH_kernels.json}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+bench_bin="${build_dir}/bench/micro_kernels"
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "error: ${bench_bin} not found or not executable." >&2
+  echo "Build it first:  cmake -B ${build_dir} -S ${repo_root} && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+echo "Running ${bench_bin} -> ${out_file}" >&2
+"${bench_bin}" \
+  --benchmark_out="${out_file}" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1 \
+  "$@"
+echo "Wrote ${out_file}" >&2
