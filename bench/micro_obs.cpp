@@ -1,0 +1,99 @@
+// Telemetry hot-path overhead (google-benchmark): the cost a *recording*
+// call site pays while nobody is reading. The windowed metrics are in the
+// streaming ingest path (per frame at 136 Hz × many pixels of work each),
+// so record() must stay within a few nanoseconds of a bare counter add —
+// an idle-path regression here taxes every frame of every run.
+
+#include <benchmark/benchmark.h>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/window.hpp"
+
+namespace {
+
+using namespace arams;
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter& counter = obs::metrics().counter("bench.obs.counter");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd)->ThreadRange(1, 4);
+
+void BM_GaugeSet(benchmark::State& state) {
+  obs::Gauge& gauge = obs::metrics().gauge("bench.obs.gauge");
+  double v = 0.0;
+  for (auto _ : state) {
+    gauge.set(v += 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram& histogram =
+      obs::metrics().histogram("bench.obs.histogram");
+  for (auto _ : state) {
+    histogram.observe(1e-3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve)->ThreadRange(1, 4);
+
+void BM_EwmaRecord(benchmark::State& state) {
+  obs::EwmaRate& rate = obs::metrics().ewma("bench.obs.ewma");
+  for (auto _ : state) {
+    rate.record(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EwmaRecord)->ThreadRange(1, 4);
+
+void BM_SlidingHistogramRecord(benchmark::State& state) {
+  // A long window: the benchmark measures the pure record() path, with no
+  // reader-driven rotation racing it (as in a healthy idle system).
+  obs::SlidingHistogram& sliding =
+      obs::metrics().sliding_histogram("bench.obs.sliding",
+                                       /*window_seconds=*/3600.0);
+  for (auto _ : state) {
+    sliding.record(1e-3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingHistogramRecord)->ThreadRange(1, 4);
+
+void BM_SlidingHistogramStats(benchmark::State& state) {
+  // Reader cost: merge all epochs + three interpolated quantiles. This is
+  // the exporter's per-scrape price, not a hot-path one.
+  obs::SlidingHistogram& sliding =
+      obs::metrics().sliding_histogram("bench.obs.sliding_read",
+                                       /*window_seconds=*/3600.0);
+  for (int i = 0; i < 10000; ++i) sliding.record(1e-3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sliding.stats(1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingHistogramStats);
+
+void BM_HealthObserve(benchmark::State& state) {
+  // Per-batch, not per-frame — but it should still be microseconds.
+  obs::HealthMonitor monitor({}, nullptr);
+  obs::HealthSample sample;
+  sample.sketch_error = 0.01;
+  sample.orthogonality = 1e-12;
+  long frames = 0;
+  for (auto _ : state) {
+    sample.frames_seen = ++frames;
+    benchmark::DoNotOptimize(monitor.observe(sample));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HealthObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -34,9 +34,12 @@
 #include "linalg/blas.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/trace_est.hpp"
+#include "obs/export_prom.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_report.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/virtual_cores.hpp"
 #include "stream/bounded_queue.hpp"

@@ -142,6 +142,10 @@ std::size_t Arams::current_ell() const {
   return ra_fd_ ? ra_fd_->ell() : fixed_fd_->ell();
 }
 
+std::size_t Arams::dim() const {
+  return ra_fd_ ? ra_fd_->dim() : fixed_fd_->dim();
+}
+
 SketchStats Arams::stats() const {
   return ra_fd_ ? ra_fd_->stats() : fixed_fd_->stats();
 }

@@ -94,6 +94,11 @@ class Arams {
   linalg::Matrix basis(std::size_t k);
 
   [[nodiscard]] std::size_t current_ell() const;
+  /// Column count of the sketch; 0 until the first row actually lands in
+  /// the FD buffer (priority sampling can drop an entire batch, so a
+  /// push_batch call alone is no guarantee). basis() on an empty sketch
+  /// throws — check this first.
+  [[nodiscard]] std::size_t dim() const;
   [[nodiscard]] SketchStats stats() const;
   [[nodiscard]] const AramsConfig& config() const { return config_; }
 

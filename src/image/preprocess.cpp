@@ -17,8 +17,10 @@ void threshold_relative(ImageF& img, double fraction) {
 }
 
 void normalize_intensity(ImageF& img, double target) {
+  // !(x > 0) rather than x <= 0 so a NaN total (a bad pixel somewhere in
+  // the frame) skips normalization instead of smearing NaN everywhere.
   const double total = img.total_intensity();
-  if (total <= 0.0) return;
+  if (!(total > 0.0)) return;
   const double s = target / total;
   for (auto& v : img.pixels()) v *= s;
 }
@@ -41,8 +43,10 @@ CenterOfMass center_of_mass(const ImageF& img) {
 }
 
 void center_on_mass(ImageF& img) {
+  // !(x > 0) so a NaN mass bails out too: lround(NaN) below is undefined
+  // behavior, and the resulting garbage shift silently blanks the frame.
   const CenterOfMass com = center_of_mass(img);
-  if (com.mass <= 0.0) return;
+  if (!(com.mass > 0.0)) return;
   const auto cy = static_cast<long>(std::lround(
       static_cast<double>(img.height() - 1) / 2.0 - com.y));
   const auto cx = static_cast<long>(std::lround(

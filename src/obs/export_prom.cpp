@@ -1,0 +1,166 @@
+#include "obs/export_prom.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/health.hpp"
+#include "obs/window.hpp"
+#include "util/check.hpp"
+
+namespace arams::obs {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "arams_";
+  out.reserve(name.size() + out.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+void header(std::ostream& out, const std::string& prom,
+            std::string_view raw, const char* type) {
+  out << "# HELP " << prom << " arams metric " << raw << "\n"
+      << "# TYPE " << prom << " " << type << "\n";
+}
+
+void render_histogram(std::ostream& out, const std::string& prom,
+                      std::string_view raw,
+                      const std::vector<double>& bounds,
+                      const std::vector<long>& buckets, long count,
+                      double sum) {
+  header(out, prom, raw, "histogram");
+  long cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += buckets[i];
+    out << prom << "_bucket{le=\"" << bounds[i] << "\"} " << cumulative
+        << "\n";
+  }
+  out << prom << "_bucket{le=\"+Inf\"} " << count << "\n"
+      << prom << "_sum " << sum << "\n"
+      << prom << "_count " << count << "\n";
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const MetricsRegistry& registry,
+                      const HealthMonitor* health) {
+  MetricsRegistry::Visitor visitor;
+  visitor.on_counter = [&out](const std::string& name, const Counter& c) {
+    const std::string prom = prometheus_name(name);
+    header(out, prom, name, "counter");
+    out << prom << " " << c.value() << "\n";
+  };
+  visitor.on_gauge = [&out](const std::string& name, const Gauge& g) {
+    const std::string prom = prometheus_name(name);
+    header(out, prom, name, "gauge");
+    out << prom << " " << g.value() << "\n";
+  };
+  visitor.on_histogram = [&out](const std::string& name,
+                                const Histogram& h) {
+    render_histogram(out, prometheus_name(name), name, h.upper_bounds(),
+                     h.bucket_counts(), h.count(), h.sum());
+  };
+  visitor.on_ewma = [&out](const std::string& name, const EwmaRate& e) {
+    const std::string prom = prometheus_name(name);
+    header(out, prom, name, "gauge");
+    out << prom << " " << e.rate() << "\n";
+    header(out, prom + "_total", name, "counter");
+    out << prom << "_total " << e.total() << "\n";
+  };
+  visitor.on_sliding = [&out](const std::string& name,
+                              const SlidingHistogram& s) {
+    const std::string prom = prometheus_name(name);
+    const WindowStats stats = s.stats();
+    header(out, prom, name, "summary");
+    out << prom << "{quantile=\"0.5\"} " << stats.p50 << "\n"
+        << prom << "{quantile=\"0.95\"} " << stats.p95 << "\n"
+        << prom << "{quantile=\"0.99\"} " << stats.p99 << "\n"
+        << prom << "_sum " << stats.sum << "\n"
+        << prom << "_count " << stats.count << "\n";
+    header(out, prom + "_window_rate", name, "gauge");
+    out << prom << "_window_rate " << stats.rate << "\n";
+  };
+  registry.visit(visitor);
+
+  if (health != nullptr) {
+    header(out, "arams_health_observed_state",
+           "health watchdog state (0 ok, 1 degraded, 2 critical)", "gauge");
+    out << "arams_health_observed_state "
+        << static_cast<int>(health->state()) << "\n";
+    header(out, "arams_health_incidents",
+           "state transitions retained in the incident log", "gauge");
+    out << "arams_health_incidents " << health->incidents().size() << "\n";
+    header(out, "arams_health_transitions_total",
+           "health state transitions since start", "counter");
+    out << "arams_health_transitions_total " << health->transitions()
+        << "\n";
+  }
+}
+
+PeriodicPublisher::PeriodicPublisher(Config config,
+                                     const MetricsRegistry& registry,
+                                     const HealthMonitor* health)
+    : config_(std::move(config)), registry_(registry), health_(health) {
+  ARAMS_CHECK(!config_.path.empty(), "publisher needs an output path");
+  ARAMS_CHECK(config_.every >= 1, "publish interval must be >= 1 tick");
+}
+
+bool PeriodicPublisher::tick() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++ticks_;
+    if (++since_publish_ < config_.every) {
+      return false;
+    }
+    since_publish_ = 0;
+  }
+  return publish_now();
+}
+
+bool PeriodicPublisher::publish_now() {
+  // Render outside the lock (visit takes the registry mutex), then swap
+  // the snapshot in atomically: a scrape sees the old file or the new one,
+  // never a torn write.
+  std::ostringstream text;
+  write_prometheus(text, registry_, health_);
+  const std::string tmp = config_.path + ".tmp";
+  bool ok = false;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << text.str();
+    ok = out.good();
+  }
+  ok = ok && std::rename(tmp.c_str(), config_.path.c_str()) == 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ok) {
+    ++publishes_;
+  } else {
+    ++failures_;
+  }
+  return ok;
+}
+
+long PeriodicPublisher::ticks() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+long PeriodicPublisher::publishes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return publishes_;
+}
+
+long PeriodicPublisher::failures() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
+}
+
+}  // namespace arams::obs

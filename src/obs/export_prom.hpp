@@ -1,0 +1,78 @@
+#pragma once
+// Prometheus text-exposition rendering of the metrics registry, plus a
+// textfile-collector-style periodic publisher.
+//
+// There is no HTTP server here on purpose: beamline nodes already run the
+// Prometheus node_exporter, whose textfile collector scrapes *.prom files
+// from a spool directory. PeriodicPublisher atomically rewrites such a
+// snapshot every K batches (write to `<path>.tmp`, then rename), so a
+// scrape never observes a torn file.
+//
+// Name mapping: registry names are dotted ("fd.shrink_count"); exposition
+// names are `arams_` + the dotted name with every non-[a-zA-Z0-9_:] byte
+// replaced by '_' ("arams_fd_shrink_count"). Histograms render in the
+// native histogram exposition (cumulative `_bucket{le=...}` + `_sum` +
+// `_count`), sliding histograms as summaries (quantile-labelled samples
+// over the trailing window) plus a `_window_rate` gauge, EWMA rates as
+// gauges plus a `_total` counter.
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace arams::obs {
+
+class HealthMonitor;
+
+/// "fd.shrink_count" → "arams_fd_shrink_count".
+std::string prometheus_name(std::string_view name);
+
+/// Renders every registered metric (and, when given, the health state as
+/// `arams_health_observed_state` / `arams_health_incidents`) in the
+/// Prometheus text exposition format, `# HELP` / `# TYPE` included.
+void write_prometheus(std::ostream& out, const MetricsRegistry& registry,
+                      const HealthMonitor* health = nullptr);
+
+/// Atomically rewrites a Prometheus snapshot file every `every` ticks
+/// (tick = whatever cadence the caller drives it at — the streaming
+/// monitor ticks once per sketch batch).
+class PeriodicPublisher {
+ public:
+  struct Config {
+    std::string path;   ///< snapshot file, e.g. "arams.prom"
+    long every = 32;    ///< ticks between rewrites (>= 1)
+  };
+
+  explicit PeriodicPublisher(Config config,
+                             const MetricsRegistry& registry = metrics(),
+                             const HealthMonitor* health = nullptr);
+
+  /// Counts one tick; publishes when `every` ticks accumulated since the
+  /// last publish. Returns true when a snapshot was written.
+  bool tick();
+
+  /// Unconditional atomic rewrite. Returns false (and counts a failure)
+  /// when the file cannot be written; a flaky filesystem must not take
+  /// down the DAQ loop.
+  bool publish_now();
+
+  [[nodiscard]] long ticks() const;
+  [[nodiscard]] long publishes() const;
+  [[nodiscard]] long failures() const;
+  [[nodiscard]] const std::string& path() const { return config_.path; }
+
+ private:
+  Config config_;
+  const MetricsRegistry& registry_;
+  const HealthMonitor* health_;
+  mutable std::mutex mutex_;
+  long ticks_ = 0;
+  long since_publish_ = 0;
+  long publishes_ = 0;
+  long failures_ = 0;
+};
+
+}  // namespace arams::obs

@@ -1,0 +1,174 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace arams::obs {
+
+namespace {
+
+/// Escalates `state` to at least `level` and appends the reason.
+void raise(HealthState& state, std::string& reason, HealthState level,
+           const std::string& why) {
+  if (static_cast<int>(level) > static_cast<int>(state)) state = level;
+  if (!reason.empty()) reason += "; ";
+  reason += why;
+}
+
+std::string fmt(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+/// Two-sided threshold check on an instantaneous reading (NaN = skip).
+void check_level(HealthState& state, std::string& reason, double value,
+                 double degraded, double critical, const char* what) {
+  if (std::isnan(value)) return;
+  if (!std::isfinite(value) || value >= critical) {
+    raise(state, reason, HealthState::kCritical,
+          std::string(what) + " " + fmt(value) + " ≥ " + fmt(critical));
+  } else if (value >= degraded) {
+    raise(state, reason, HealthState::kDegraded,
+          std::string(what) + " " + fmt(value) + " ≥ " + fmt(degraded));
+  }
+}
+
+}  // namespace
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(const HealthThresholds& thresholds,
+                             MetricsRegistry* registry)
+    : thresholds_(thresholds) {
+  if (registry != nullptr) {
+    state_gauge_ = &registry->gauge("health.state");
+    transition_counter_ = &registry->counter("health.transitions");
+  }
+}
+
+HealthState HealthMonitor::classify(std::string& reason) const {
+  HealthState state = HealthState::kOk;
+  const HealthSample& latest = window_.back();
+  const HealthSample& oldest = window_.front();
+
+  check_level(state, reason, latest.sketch_error,
+              thresholds_.error_degraded, thresholds_.error_critical,
+              "sketch error");
+  check_level(state, reason, latest.orthogonality,
+              thresholds_.ortho_degraded, thresholds_.ortho_critical,
+              "basis orthogonality residual");
+  check_level(state, reason, latest.queue_saturation,
+              thresholds_.queue_degraded, thresholds_.queue_critical,
+              "queue saturation");
+
+  const long frames = latest.frames_seen - oldest.frames_seen;
+  if (frames > 0) {
+    const double nonfinite_fraction =
+        static_cast<double>(latest.frames_nonfinite -
+                            oldest.frames_nonfinite) /
+        static_cast<double>(frames);
+    check_level(state, reason, nonfinite_fraction,
+                thresholds_.nonfinite_degraded,
+                thresholds_.nonfinite_critical, "non-finite frame fraction");
+  }
+
+  const long growths = latest.rank_increases - oldest.rank_increases;
+  if (window_.size() > 1 && growths >= thresholds_.rank_growth_degraded) {
+    raise(state, reason, HealthState::kDegraded,
+          "rank adaptation thrash: " + fmt(static_cast<double>(growths)) +
+              " increases in window (ℓ now " +
+              fmt(static_cast<double>(latest.rank)) + ")");
+  }
+  if (reason.empty()) reason = "ok";
+  return state;
+}
+
+HealthState HealthMonitor::observe(const HealthSample& sample) {
+  HealthIncident incident;
+  bool transitioned = false;
+  HealthState state;
+  std::vector<std::function<void(const HealthIncident&)>> callbacks;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    window_.push_back(sample);
+    while (window_.size() > std::max<std::size_t>(thresholds_.window, 2)) {
+      window_.pop_front();
+    }
+    std::string reason;
+    state = classify(reason);
+    if (state != state_) {
+      transitioned = true;
+      incident = HealthIncident{sample.wall_seconds, state_, state, reason};
+      incidents_.push_back(incident);
+      while (incidents_.size() > thresholds_.max_incidents) {
+        incidents_.pop_front();
+      }
+      ++transitions_;
+      state_ = state;
+      callbacks = callbacks_;  // fire outside the lock
+    }
+    reason_ = std::move(reason);
+  }
+  if (state_gauge_ != nullptr) {
+    state_gauge_->set(static_cast<double>(static_cast<int>(state)));
+  }
+  if (transitioned) {
+    if (transition_counter_ != nullptr) transition_counter_->add(1);
+    for (const auto& callback : callbacks) callback(incident);
+  }
+  return state;
+}
+
+HealthState HealthMonitor::state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::string HealthMonitor::state_reason() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return reason_;
+}
+
+long HealthMonitor::transitions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return transitions_;
+}
+
+std::vector<HealthIncident> HealthMonitor::incidents() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {incidents_.begin(), incidents_.end()};
+}
+
+void HealthMonitor::on_transition(
+    std::function<void(const HealthIncident&)> callback) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  callbacks_.push_back(std::move(callback));
+}
+
+void HealthMonitor::write_incidents_json(std::ostream& out) const {
+  for (const HealthIncident& incident : incidents()) {
+    std::string reason = incident.reason;
+    for (char& c : reason) {
+      if (c == '"') c = '\'';
+    }
+    out << "{\"t\":" << incident.wall_seconds << ",\"from\":\""
+        << to_string(incident.from) << "\",\"to\":\""
+        << to_string(incident.to) << "\",\"reason\":\"" << reason
+        << "\"}\n";
+  }
+}
+
+}  // namespace arams::obs

@@ -1,0 +1,135 @@
+#pragma once
+// Numerical-health watchdog for long streaming runs.
+//
+// The sketch itself can degrade while throughput looks perfectly healthy:
+// the FD error bound ‖AᵀA−BᵀB‖₂ ≤ ‖A‖²_F/ℓ only caps the error *if* the
+// arithmetic stays sane — basis orthogonality loss (‖VᵀV−I‖ growth),
+// rank-adaptation thrash (ℓ climbing every window), and NaN/Inf detector
+// frames are exactly the failure modes Liberty's bound and the streaming
+// approximation analyses assume away. HealthMonitor turns the scalars the
+// sketching layer already knows (the SketchErrorTracker estimate, the
+// adaptive-rank trajectory, orthogonality residuals, non-finite frame
+// counts, queue saturation) into an OK / DEGRADED / CRITICAL state machine
+// with a bounded incident log and transition callbacks.
+//
+// Deliberately scalar-only: obs sits below linalg in the link graph, so
+// matrix-valued checks (e.g. the orthogonality residual) are computed by
+// the feeder (StreamingMonitor) and arrive here as doubles.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace arams::obs {
+
+enum class HealthState { kOk = 0, kDegraded = 1, kCritical = 2 };
+
+/// "ok" / "degraded" / "critical".
+const char* to_string(HealthState state);
+
+struct HealthThresholds {
+  /// Relative sketch reconstruction error (SketchErrorTracker estimate).
+  double error_degraded = 0.15;
+  double error_critical = 0.40;
+  /// Basis orthogonality residual ‖VᵀV−I‖_F of the sketch basis.
+  double ortho_degraded = 1e-6;
+  double ortho_critical = 1e-3;
+  /// Fraction of non-finite (NaN/Inf) frames over the sample window.
+  double nonfinite_degraded = 0.005;
+  double nonfinite_critical = 0.05;
+  /// Rank-adaptation events within the sample window ("thrash"): the RA
+  /// heuristic growing ℓ this often means ε is unreachable for the stream.
+  long rank_growth_degraded = 4;
+  /// Queue occupancy fraction (0..1) — sustained saturation means the
+  /// analysis side is about to exert back-pressure on the detector.
+  double queue_degraded = 0.85;
+  double queue_critical = 0.98;
+  /// Trailing samples the windowed checks (non-finite fraction, rank
+  /// thrash) evaluate over.
+  std::size_t window = 16;
+  /// Incident log bound; older incidents are dropped.
+  std::size_t max_incidents = 64;
+};
+
+/// One per-batch reading from the sketching layer. Cumulative fields are
+/// monotone run totals (the monitor differences them over its window);
+/// instantaneous fields use NaN for "not measured this batch" and are then
+/// skipped by the corresponding check.
+struct HealthSample {
+  double wall_seconds = 0.0;  ///< monotonic timestamp (steady_seconds())
+  double sketch_error =
+      std::numeric_limits<double>::quiet_NaN();  ///< relative, latest
+  double orthogonality =
+      std::numeric_limits<double>::quiet_NaN();  ///< ‖VᵀV−I‖_F, latest
+  double queue_saturation =
+      std::numeric_limits<double>::quiet_NaN();  ///< occupancy/capacity
+  long rank = 0;             ///< current sketch ℓ
+  long rank_increases = 0;   ///< cumulative rank-adaptation events
+  long frames_seen = 0;      ///< cumulative frames offered
+  long frames_nonfinite = 0; ///< cumulative frames rejected as NaN/Inf
+};
+
+/// A state transition, as logged and as delivered to callbacks.
+struct HealthIncident {
+  double wall_seconds = 0.0;
+  HealthState from = HealthState::kOk;
+  HealthState to = HealthState::kOk;
+  std::string reason;  ///< the failed checks, "; "-joined
+};
+
+/// Classifies each sample against the thresholds, keeps a bounded incident
+/// log, and fires registered callbacks on every state transition.
+/// Thread-safe; callbacks run outside the internal lock (re-entrant calls
+/// back into the monitor are allowed) on the observe() caller's thread.
+class HealthMonitor {
+ public:
+  /// `registry` receives the live gauges "health.state" (0/1/2) and the
+  /// counter "health.transitions"; pass nullptr to keep a monitor out of
+  /// the process-global metrics (isolated tests).
+  explicit HealthMonitor(const HealthThresholds& thresholds = {},
+                         MetricsRegistry* registry = &metrics());
+
+  /// Feeds one sample; returns the (possibly new) state.
+  HealthState observe(const HealthSample& sample);
+
+  [[nodiscard]] HealthState state() const;
+  /// The failed checks behind the current state ("ok" when healthy).
+  [[nodiscard]] std::string state_reason() const;
+  [[nodiscard]] long transitions() const;
+  /// Copy of the bounded incident log, oldest first.
+  [[nodiscard]] std::vector<HealthIncident> incidents() const;
+
+  void on_transition(std::function<void(const HealthIncident&)> callback);
+
+  [[nodiscard]] const HealthThresholds& thresholds() const {
+    return thresholds_;
+  }
+
+  /// Incident log as JSON lines:
+  ///   {"t":12.5,"from":"ok","to":"degraded","reason":"..."}
+  void write_incidents_json(std::ostream& out) const;
+
+ private:
+  [[nodiscard]] HealthState classify(std::string& reason) const;
+
+  HealthThresholds thresholds_;
+  Gauge* state_gauge_ = nullptr;
+  Counter* transition_counter_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::deque<HealthSample> window_;
+  HealthState state_ = HealthState::kOk;
+  std::string reason_ = "ok";
+  long transitions_ = 0;
+  std::deque<HealthIncident> incidents_;
+  std::vector<std::function<void(const HealthIncident&)>> callbacks_;
+};
+
+}  // namespace arams::obs

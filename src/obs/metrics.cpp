@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/window.hpp"
 #include "util/check.hpp"
 
 namespace arams::obs {
@@ -61,6 +62,11 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+// Out of line because EwmaRate/SlidingHistogram are incomplete in the
+// header (obs/window.hpp includes obs/metrics.hpp, not the reverse).
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
@@ -94,6 +100,52 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *it->second;
 }
 
+EwmaRate& MetricsRegistry::ewma(std::string_view name, double tau_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ewmas_.find(name);
+  if (it == ewmas_.end()) {
+    it = ewmas_
+             .emplace(std::string(name),
+                      std::make_unique<EwmaRate>(tau_seconds))
+             .first;
+  }
+  return *it->second;
+}
+
+SlidingHistogram& MetricsRegistry::sliding_histogram(
+    std::string_view name, double window_seconds, std::size_t epochs,
+    std::span<const double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slidings_.find(name);
+  if (it == slidings_.end()) {
+    it = slidings_
+             .emplace(std::string(name),
+                      std::make_unique<SlidingHistogram>(
+                          window_seconds, epochs, upper_bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::visit(const Visitor& visitor) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (visitor.on_counter) {
+    for (const auto& [name, c] : counters_) visitor.on_counter(name, *c);
+  }
+  if (visitor.on_gauge) {
+    for (const auto& [name, g] : gauges_) visitor.on_gauge(name, *g);
+  }
+  if (visitor.on_histogram) {
+    for (const auto& [name, h] : histograms_) visitor.on_histogram(name, *h);
+  }
+  if (visitor.on_ewma) {
+    for (const auto& [name, e] : ewmas_) visitor.on_ewma(name, *e);
+  }
+  if (visitor.on_sliding) {
+    for (const auto& [name, s] : slidings_) visitor.on_sliding(name, *s);
+  }
+}
+
 std::string MetricsRegistry::summary() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
@@ -110,6 +162,17 @@ std::string MetricsRegistry::summary() const {
       out << ", mean " << h->sum() / static_cast<double>(h->count()) << " s";
     }
     out << "\n";
+  }
+  for (const auto& [name, e] : ewmas_) {
+    out << "ewma " << name << " = " << e->rate() << " /s (total "
+        << e->total() << ")\n";
+  }
+  for (const auto& [name, s] : slidings_) {
+    const WindowStats stats = s->stats();
+    out << "sliding " << name << " [" << s->window_seconds()
+        << " s]: count " << stats.count << ", rate " << stats.rate
+        << " /s, p50 " << stats.p50 << ", p95 " << stats.p95 << ", p99 "
+        << stats.p99 << "\n";
   }
   return out.str();
 }
@@ -140,6 +203,17 @@ void MetricsRegistry::write_json_lines(std::ostream& out) const {
     }
     out << "]}\n";
   }
+  for (const auto& [name, e] : ewmas_) {
+    out << "{\"type\":\"ewma\",\"name\":\"" << name << "\",\"rate\":"
+        << e->rate() << ",\"total\":" << e->total() << "}\n";
+  }
+  for (const auto& [name, s] : slidings_) {
+    const WindowStats stats = s->stats();
+    out << "{\"type\":\"sliding\",\"name\":\"" << name << "\",\"window\":"
+        << s->window_seconds() << ",\"count\":" << stats.count
+        << ",\"rate\":" << stats.rate << ",\"p50\":" << stats.p50
+        << ",\"p95\":" << stats.p95 << ",\"p99\":" << stats.p99 << "}\n";
+  }
 }
 
 void MetricsRegistry::reset() {
@@ -147,6 +221,8 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, e] : ewmas_) e->reset();
+  for (auto& [name, s] : slidings_) s->reset();
 }
 
 MetricsRegistry& metrics() {

@@ -10,6 +10,7 @@
 // but the cache line of the metric itself.
 
 #include <atomic>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -84,8 +85,14 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+class EwmaRate;
+class SlidingHistogram;
+
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
   /// Finds or creates the named metric. References remain valid for the
   /// registry's lifetime.
   Counter& counter(std::string_view name);
@@ -94,6 +101,12 @@ class MetricsRegistry {
   /// empty → default_latency_bounds().
   Histogram& histogram(std::string_view name,
                        std::span<const double> upper_bounds = {});
+  /// Windowed metrics (obs/window.hpp). As with histogram(), the shape
+  /// parameters are consulted only at first registration.
+  EwmaRate& ewma(std::string_view name, double tau_seconds = 10.0);
+  SlidingHistogram& sliding_histogram(
+      std::string_view name, double window_seconds = 30.0,
+      std::size_t epochs = 6, std::span<const double> upper_bounds = {});
 
   /// Plain-text dump of every metric, sorted by name.
   [[nodiscard]] std::string summary() const;
@@ -103,7 +116,23 @@ class MetricsRegistry {
   ///   {"type":"gauge","name":...,"value":...}
   ///   {"type":"histogram","name":...,"count":...,"sum":...,
   ///    "bounds":[...],"buckets":[...]}
+  ///   {"type":"ewma","name":...,"rate":...,"total":...}
+  ///   {"type":"sliding","name":...,"window":...,"count":...,
+  ///    "rate":...,"p50":...,"p95":...,"p99":...}
   void write_json_lines(std::ostream& out) const;
+
+  /// Visits every registered metric in name order under the registry
+  /// mutex — the enumeration surface the Prometheus exporter renders
+  /// from. Callbacks may be empty.
+  struct Visitor {
+    std::function<void(const std::string&, const Counter&)> on_counter;
+    std::function<void(const std::string&, const Gauge&)> on_gauge;
+    std::function<void(const std::string&, const Histogram&)> on_histogram;
+    std::function<void(const std::string&, const EwmaRate&)> on_ewma;
+    std::function<void(const std::string&, const SlidingHistogram&)>
+        on_sliding;
+  };
+  void visit(const Visitor& visitor) const;
 
   /// Zeroes every metric (keeps registrations) — test isolation.
   void reset();
@@ -113,6 +142,9 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<EwmaRate>, std::less<>> ewmas_;
+  std::map<std::string, std::unique_ptr<SlidingHistogram>, std::less<>>
+      slidings_;
 };
 
 /// Process-global registry the built-in instrumentation records into.

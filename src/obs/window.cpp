@@ -1,0 +1,189 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace arams::obs {
+
+double steady_seconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+// ---------------------------------------------------------------- EwmaRate
+
+EwmaRate::EwmaRate(double tau_seconds)
+    : EwmaRate(tau_seconds, steady_seconds()) {}
+
+EwmaRate::EwmaRate(double tau_seconds, double start_seconds)
+    : tau_(tau_seconds), start_(start_seconds) {
+  ARAMS_CHECK(tau_seconds > 0.0, "EWMA time constant must be > 0");
+  last_fold_ = start_seconds;
+}
+
+double EwmaRate::rate(double now_seconds) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double elapsed = now_seconds - last_fold_;
+  if (elapsed < 1e-3) {
+    return ewma_;  // denominator too small for a meaningful quotient
+  }
+  const long pending = pending_.exchange(0, std::memory_order_relaxed);
+  folded_total_ += pending;
+  const double instantaneous = static_cast<double>(pending) / elapsed;
+  if (!primed_) {
+    ewma_ = instantaneous;
+    primed_ = true;
+  } else {
+    const double alpha = 1.0 - std::exp(-elapsed / tau_);
+    ewma_ += alpha * (instantaneous - ewma_);
+  }
+  last_fold_ = now_seconds;
+  return ewma_;
+}
+
+long EwmaRate::total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return folded_total_ + pending_.load(std::memory_order_relaxed);
+}
+
+void EwmaRate::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  pending_.store(0, std::memory_order_relaxed);
+  ewma_ = 0.0;
+  folded_total_ = 0;
+  primed_ = false;
+  last_fold_ = start_;
+}
+
+// -------------------------------------------------------- SlidingHistogram
+
+SlidingHistogram::SlidingHistogram(double window_seconds, std::size_t epochs,
+                                   std::span<const double> upper_bounds)
+    : SlidingHistogram(window_seconds, epochs, upper_bounds,
+                       steady_seconds()) {}
+
+SlidingHistogram::SlidingHistogram(double window_seconds, std::size_t epochs,
+                                   std::span<const double> upper_bounds,
+                                   double start_seconds)
+    : epoch_seconds_(window_seconds / static_cast<double>(
+                                          epochs == 0 ? 1 : epochs)),
+      current_start_(start_seconds) {
+  ARAMS_CHECK(window_seconds > 0.0, "sliding window must be > 0 seconds");
+  ARAMS_CHECK(epochs >= 2, "sliding window needs at least 2 epochs");
+  if (upper_bounds.empty()) upper_bounds = default_latency_bounds();
+  epochs_.reserve(epochs);
+  for (std::size_t i = 0; i < epochs; ++i) {
+    epochs_.push_back(std::make_unique<Histogram>(upper_bounds));
+  }
+}
+
+const std::vector<double>& SlidingHistogram::upper_bounds() const {
+  return epochs_.front()->upper_bounds();
+}
+
+void SlidingHistogram::advance(double now_seconds) const {
+  const std::lock_guard<std::mutex> lock(rotate_mutex_);
+  if (now_seconds - current_start_ < epoch_seconds_) {
+    return;
+  }
+  // A gap longer than the whole window means every epoch expired.
+  if (now_seconds - current_start_ >=
+      epoch_seconds_ * static_cast<double>(epochs_.size())) {
+    for (const auto& e : epochs_) e->reset();
+    current_start_ = now_seconds;
+    return;
+  }
+  while (now_seconds - current_start_ >= epoch_seconds_) {
+    const std::size_t next =
+        (current_.load(std::memory_order_relaxed) + 1) % epochs_.size();
+    epochs_[next]->reset();  // retire the oldest slice before reuse
+    current_.store(next, std::memory_order_relaxed);
+    current_start_ += epoch_seconds_;
+  }
+}
+
+double SlidingHistogram::merged(double now_seconds,
+                                std::vector<long>& buckets_out,
+                                long& count_out, double& sum_out) const {
+  advance(now_seconds);
+  const std::lock_guard<std::mutex> lock(rotate_mutex_);
+  buckets_out.assign(upper_bounds().size() + 1, 0);
+  count_out = 0;
+  sum_out = 0.0;
+  for (const auto& e : epochs_) {
+    const std::vector<long> counts = e->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      buckets_out[i] += counts[i];
+    }
+    count_out += e->count();
+    sum_out += e->sum();
+  }
+  return epoch_seconds_ * static_cast<double>(epochs_.size());
+}
+
+std::vector<long> SlidingHistogram::window_buckets(
+    double now_seconds) const {
+  std::vector<long> buckets;
+  long count = 0;
+  double sum = 0.0;
+  merged(now_seconds, buckets, count, sum);
+  return buckets;
+}
+
+double bucket_quantile(double q, std::span<const double> upper_bounds,
+                       std::span<const long> buckets) {
+  long total = 0;
+  for (const long c : buckets) total += c;
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  long cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const long in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      if (i >= upper_bounds.size()) {
+        return upper_bounds.empty() ? 0.0 : upper_bounds.back();  // overflow
+      }
+      const double lo = i == 0 ? 0.0 : upper_bounds[i - 1];
+      const double hi = upper_bounds[i];
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + std::clamp(fraction, 0.0, 1.0) * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+double SlidingHistogram::quantile(double q, double now_seconds) const {
+  std::vector<long> buckets;
+  long count = 0;
+  double sum = 0.0;
+  merged(now_seconds, buckets, count, sum);
+  return bucket_quantile(q, upper_bounds(), buckets);
+}
+
+WindowStats SlidingHistogram::stats(double now_seconds) const {
+  std::vector<long> buckets;
+  WindowStats out;
+  double span = merged(now_seconds, buckets, out.count, out.sum);
+  out.rate = span > 0.0 ? static_cast<double>(out.count) / span : 0.0;
+  out.p50 = bucket_quantile(0.50, upper_bounds(), buckets);
+  out.p95 = bucket_quantile(0.95, upper_bounds(), buckets);
+  out.p99 = bucket_quantile(0.99, upper_bounds(), buckets);
+  return out;
+}
+
+void SlidingHistogram::reset() {
+  const std::lock_guard<std::mutex> lock(rotate_mutex_);
+  for (const auto& e : epochs_) e->reset();
+}
+
+}  // namespace arams::obs

@@ -1,0 +1,152 @@
+#pragma once
+// Windowed aggregation over the live metrics: rates and latency quantiles
+// computed over a *trailing* wall-clock window instead of the process
+// lifetime. A one-shot StageReport (or a lifetime-average gauge) hides a
+// mid-run slowdown during the paper's operational mode — hours of 136 Hz
+// streaming — so operators need "what happened over the last N seconds".
+//
+// Two primitives:
+//  * EwmaRate — exponentially-weighted moving-average event rate. Hot-path
+//    record() is one relaxed fetch_add; the decay fold runs on the *reader*
+//    side under a small mutex.
+//  * SlidingHistogram — a ring of fixed-bucket Histogram epochs rotated by
+//    wall time. record() is exactly a Histogram::observe() into the current
+//    epoch (relaxed atomics, no lock); readers rotate expired epochs and
+//    merge the live ones into window quantiles (p50/p95/p99) and rates.
+//
+// Both take explicit `now` timestamps (seconds on an arbitrary monotonic
+// axis) so tests drive time deterministically; the zero-argument overloads
+// use steady_seconds(). Rotation racing a concurrent record() can misfile
+// (or drop) that one event into a neighbouring epoch — telemetry-grade
+// accuracy, never corruption.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace arams::obs {
+
+/// Seconds since an arbitrary process-local epoch, from the steady clock.
+/// The shared monotonic time axis for every windowed metric.
+double steady_seconds();
+
+/// Exponentially-weighted moving-average rate (events per second).
+///
+/// record() only accumulates a pending event count (one relaxed atomic
+/// add). rate(now) folds the pending count into the EWMA with weight
+/// 1 − exp(−elapsed/tau): a burst decays with time constant `tau` instead
+/// of being diluted by the whole run history.
+class EwmaRate {
+ public:
+  explicit EwmaRate(double tau_seconds = 10.0);
+  EwmaRate(double tau_seconds, double start_seconds);
+
+  void record(long events = 1) {
+    pending_.fetch_add(events, std::memory_order_relaxed);
+  }
+
+  /// Current smoothed rate, folding events recorded since the last call.
+  /// Calls closer together than ~1 ms reuse the previous fold (the
+  /// instantaneous quotient is meaningless over a tiny denominator).
+  [[nodiscard]] double rate(double now_seconds) const;
+  [[nodiscard]] double rate() const { return rate(steady_seconds()); }
+
+  /// Lifetime event count (pending + folded).
+  [[nodiscard]] long total() const;
+
+  [[nodiscard]] double tau_seconds() const { return tau_; }
+  void reset();
+
+ private:
+  double tau_;
+  mutable std::atomic<long> pending_{0};  // drained by const reads
+  mutable std::mutex mutex_;      // guards the fold state below
+  mutable double ewma_ = 0.0;
+  mutable double last_fold_ = 0.0;
+  mutable long folded_total_ = 0;
+  mutable bool primed_ = false;
+  double start_ = 0.0;
+};
+
+/// Aggregate view of a SlidingHistogram's trailing window.
+struct WindowStats {
+  long count = 0;        ///< events inside the window
+  double sum = 0.0;      ///< sum of recorded values inside the window
+  double rate = 0.0;     ///< events per second of window span
+  double p50 = 0.0;      ///< interpolated quantiles (0 when count == 0)
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Ring of fixed-bucket Histogram epochs rotated by wall time.
+///
+/// The window is divided into `epochs` equal slices; record() lands in the
+/// current slice via one relaxed index load plus Histogram::observe().
+/// Readers call advance() (directly or through stats()/quantile()) to
+/// retire slices older than the window; the merged live slices yield
+/// quantiles accurate to one bucket width over roughly the last
+/// `window_seconds` (quantized to one epoch).
+class SlidingHistogram {
+ public:
+  /// `upper_bounds` empty → default_latency_bounds().
+  explicit SlidingHistogram(double window_seconds = 30.0,
+                            std::size_t epochs = 6,
+                            std::span<const double> upper_bounds = {});
+  SlidingHistogram(double window_seconds, std::size_t epochs,
+                   std::span<const double> upper_bounds,
+                   double start_seconds);
+
+  void record(double value) {
+    epochs_[current_.load(std::memory_order_relaxed)]->observe(value);
+  }
+
+  /// Retires epochs whose slice of the time axis has slid out of the
+  /// window. Cheap no-op when the current epoch is still live.
+  void advance(double now_seconds) const;
+
+  /// Merged per-bucket counts over the live window (trailing entry =
+  /// overflow), after advancing to `now_seconds`.
+  [[nodiscard]] std::vector<long> window_buckets(double now_seconds) const;
+
+  /// Interpolated quantile (q in [0,1]) over the window; 0.0 when empty.
+  [[nodiscard]] double quantile(double q, double now_seconds) const;
+  [[nodiscard]] double quantile(double q) const {
+    return quantile(q, steady_seconds());
+  }
+
+  [[nodiscard]] WindowStats stats(double now_seconds) const;
+  [[nodiscard]] WindowStats stats() const { return stats(steady_seconds()); }
+
+  [[nodiscard]] double window_seconds() const {
+    return epoch_seconds_ * static_cast<double>(epochs_.size());
+  }
+  [[nodiscard]] std::size_t epoch_count() const { return epochs_.size(); }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const;
+
+  void reset();
+
+ private:
+  /// Returns the window span in seconds.
+  double merged(double now_seconds, std::vector<long>& buckets_out,
+                long& count_out, double& sum_out) const;
+
+  double epoch_seconds_;
+  // Epoch histograms are logically value state even for const readers:
+  // advance() retires expired slices in place.
+  mutable std::vector<std::unique_ptr<Histogram>> epochs_;
+  mutable std::atomic<std::size_t> current_{0};
+  mutable std::mutex rotate_mutex_;   // serializes advance()/reset()
+  mutable double current_start_ = 0.0;  // time axis start of current epoch
+};
+
+/// Interpolated quantile over one merged bucket array (upper bounds +
+/// trailing overflow bucket). Shared by SlidingHistogram and the
+/// Prometheus exporter's plain-histogram quantile hints.
+double bucket_quantile(double q, std::span<const double> upper_bounds,
+                       std::span<const long> buckets);
+
+}  // namespace arams::obs

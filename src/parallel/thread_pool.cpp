@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -43,11 +43,19 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   static obs::Histogram& wait_latency =
       obs::metrics().histogram("pool.task_wait_seconds");
   static obs::Histogram& run_latency =
       obs::metrics().histogram("pool.task_run_seconds");
+  static obs::Gauge& busy_gauge = obs::metrics().gauge("pool.workers_busy");
+  // Per-worker name, so this resolves once per worker thread, not once per
+  // process (a function-local static would pin every pool's workers to
+  // worker 0's gauge).
+  obs::Gauge& utilization = obs::metrics().gauge(
+      "pool.worker." + std::to_string(index) + ".utilization");
+  const auto loop_started = std::chrono::steady_clock::now();
+  double busy_seconds = 0.0;
   for (;;) {
     Pending pending;
     {
@@ -61,9 +69,17 @@ void ThreadPool::worker_loop() {
       queue_depth_gauge().set(static_cast<double>(queue_.size()));
     }
     wait_latency.observe(seconds_since(pending.enqueued));
+    busy_gauge.set(static_cast<double>(
+        busy_workers_.fetch_add(1, std::memory_order_relaxed) + 1));
     const auto started = std::chrono::steady_clock::now();
     pending.task();
-    run_latency.observe(seconds_since(started));
+    const double ran = seconds_since(started);
+    run_latency.observe(ran);
+    busy_gauge.set(static_cast<double>(
+        busy_workers_.fetch_sub(1, std::memory_order_relaxed) - 1));
+    busy_seconds += ran;
+    const double alive = seconds_since(loop_started);
+    utilization.set(alive > 0.0 ? busy_seconds / alive : 0.0);
   }
 }
 

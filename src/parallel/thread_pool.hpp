@@ -3,10 +3,17 @@
 // per virtual core), so a simple mutex-guarded queue is plenty; no
 // work-stealing needed.
 //
-// Telemetry: every pool reports "pool.queue_depth" (gauge), and per-task
-// "pool.task_wait_seconds" / "pool.task_run_seconds" latency histograms to
-// obs::metrics(), so queueing delay is separable from compute time.
+// Telemetry: every pool reports "pool.queue_depth" (gauge), per-task
+// "pool.task_wait_seconds" / "pool.task_run_seconds" latency histograms,
+// a "pool.workers_busy" gauge (workers currently inside a task), and one
+// "pool.worker.<i>.utilization" gauge per worker (busy seconds / alive
+// seconds since the pool started, refreshed after every task) to
+// obs::metrics(), so queueing delay is separable from compute time and a
+// cold shard (one worker pinned, the rest idle) is visible at a glance.
+// Pools share these names; in practice the long-lived recorder is
+// shared_pool().
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -44,12 +51,13 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::queue<Pending> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::atomic<long> busy_workers_{0};
   bool stopping_ = false;
 };
 

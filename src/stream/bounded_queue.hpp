@@ -8,7 +8,10 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <string_view>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace arams::stream {
@@ -20,14 +23,41 @@ class BoundedQueue {
     ARAMS_CHECK(capacity >= 1, "queue capacity must be >= 1");
   }
 
+  /// Registers live telemetry for this queue under `prefix` in
+  /// obs::metrics(): gauges `<prefix>.occupancy` (items queued) and
+  /// `<prefix>.saturation` (occupancy / capacity, the back-pressure
+  /// early-warning the health watchdog consumes), counters
+  /// `<prefix>.enqueued`, `<prefix>.dequeued`, `<prefix>.rejected`
+  /// (try_push on a full queue) and `<prefix>.push_waits` (blocking
+  /// pushes that found the queue full — each one stalled the producer).
+  /// All updates happen under the queue mutex the operation already holds.
+  void enable_metrics(std::string_view prefix) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    obs::MetricsRegistry& registry = obs::metrics();
+    const std::string p(prefix);
+    occupancy_gauge_ = &registry.gauge(p + ".occupancy");
+    saturation_gauge_ = &registry.gauge(p + ".saturation");
+    enqueued_counter_ = &registry.counter(p + ".enqueued");
+    dequeued_counter_ = &registry.counter(p + ".dequeued");
+    rejected_counter_ = &registry.counter(p + ".rejected");
+    push_waits_counter_ = &registry.counter(p + ".push_waits");
+    publish_occupancy_locked();
+  }
+
   /// Blocks until space is available. Returns false if the queue was
   /// closed (the item is dropped — the run is over).
   bool push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (!closed_ && items_.size() >= capacity_ &&
+        push_waits_counter_ != nullptr) {
+      push_waits_counter_->add(1);
+    }
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (enqueued_counter_ != nullptr) enqueued_counter_->add(1);
+    publish_occupancy_locked();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -37,8 +67,15 @@ class BoundedQueue {
   bool try_push(T item) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_ || items_.size() >= capacity_) {
+        if (!closed_ && rejected_counter_ != nullptr) {
+          rejected_counter_->add(1);
+        }
+        return false;
+      }
       items_.push_back(std::move(item));
+      if (enqueued_counter_ != nullptr) enqueued_counter_->add(1);
+      publish_occupancy_locked();
     }
     not_empty_.notify_one();
     return true;
@@ -51,6 +88,8 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
+    if (dequeued_counter_ != nullptr) dequeued_counter_->add(1);
+    publish_occupancy_locked();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -70,18 +109,40 @@ class BoundedQueue {
     const std::lock_guard<std::mutex> lock(mutex_);
     return items_.size();
   }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Occupancy as a fraction of capacity, 0..1.
+  [[nodiscard]] double saturation() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<double>(items_.size()) /
+           static_cast<double>(capacity_);
+  }
   [[nodiscard]] bool closed() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return closed_;
   }
 
  private:
+  void publish_occupancy_locked() {
+    if (occupancy_gauge_ == nullptr) return;
+    occupancy_gauge_->set(static_cast<double>(items_.size()));
+    saturation_gauge_->set(static_cast<double>(items_.size()) /
+                           static_cast<double>(capacity_));
+  }
+
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  // Telemetry (null until enable_metrics); registry references are stable
+  // for the process lifetime.
+  obs::Gauge* occupancy_gauge_ = nullptr;
+  obs::Gauge* saturation_gauge_ = nullptr;
+  obs::Counter* enqueued_counter_ = nullptr;
+  obs::Counter* dequeued_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* push_waits_counter_ = nullptr;
 };
 
 }  // namespace arams::stream

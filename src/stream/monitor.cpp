@@ -1,11 +1,15 @@
 #include "stream/monitor.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "embed/pca.hpp"
 #include "embed/umap.hpp"
+#include "linalg/blas.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -13,9 +17,43 @@ namespace arams::stream {
 
 using linalg::Matrix;
 
+namespace {
+
+/// ‖BBᵀ − I‖_F for a row-orthonormal basis B — the orthogonality loss the
+/// health watchdog tracks (exactly 0 for a perfectly orthonormal basis,
+/// grows as repeated rotations accumulate rounding error).
+double orthogonality_residual(const Matrix& basis) {
+  const Matrix gram = linalg::gram_rows(basis);
+  double residual_sq = 0.0;
+  for (std::size_t i = 0; i < gram.rows(); ++i) {
+    for (std::size_t j = 0; j < gram.cols(); ++j) {
+      const double g = gram(i, j) - (i == j ? 1.0 : 0.0);
+      residual_sq += g * g;
+    }
+  }
+  return std::sqrt(residual_sq);
+}
+
+}  // namespace
+
+ThroughputMeter::ThroughputMeter(std::size_t window_records)
+    : ring_(std::max<std::size_t>(window_records, 1)) {}
+
 void ThroughputMeter::record(std::size_t frames, double seconds) {
   frames_ += frames;
   seconds_ += seconds;
+  if (ring_count_ == ring_.size()) {
+    // Evict the oldest record from the window sums.
+    const auto& [old_frames, old_seconds] = ring_[ring_next_];
+    window_frames_ -= old_frames;
+    window_seconds_ -= old_seconds;
+  } else {
+    ++ring_count_;
+  }
+  ring_[ring_next_] = {frames, seconds};
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+  window_frames_ += frames;
+  window_seconds_ += seconds;
 }
 
 double ThroughputMeter::frames_per_second() const {
@@ -24,17 +62,61 @@ double ThroughputMeter::frames_per_second() const {
   return seconds_ > 0.0 ? static_cast<double>(frames_) / seconds_ : 0.0;
 }
 
+double ThroughputMeter::recent_frames_per_second() const {
+  return window_seconds_ > 0.0
+             ? static_cast<double>(window_frames_) / window_seconds_
+             : 0.0;
+}
+
 StreamingMonitor::StreamingMonitor(const MonitorConfig& config)
     : config_(config),
       sketcher_(config.pipeline.sketch),
-      error_tracker_(core::ErrorTrackerConfig{}) {
+      error_tracker_(core::ErrorTrackerConfig{}),
+      health_(config.health) {
   ARAMS_CHECK(config.batch_size >= 1, "batch size must be >= 1");
   ARAMS_CHECK(config.reservoir_size >= 2, "reservoir too small");
+  ARAMS_CHECK(config.health_check_every >= 1,
+              "health_check_every must be >= 1");
   batch_rows_.reserve(config.batch_size);
 }
 
 bool StreamingMonitor::ingest(const ShotEvent& event) {
   Stopwatch timer;
+  ++frames_seen_;
+
+  static obs::Gauge& ingest_fps =
+      obs::metrics().gauge("monitor.ingest_fps");
+  static obs::Gauge& occupancy =
+      obs::metrics().gauge("monitor.reservoir_occupancy");
+  static obs::EwmaRate& ingest_rate =
+      obs::metrics().ewma("monitor.ingest_rate_window");
+  ingest_rate.record(1);
+
+  // A single NaN/Inf pixel would propagate through the sketch SVD and
+  // silently corrupt every later snapshot — reject the frame instead,
+  // count it, and let the watchdog decide when the reject *rate* is an
+  // incident (a dropped shot is routine; a dropping detector is not).
+  // The scan runs on the *raw* detector frame: CoM centering can shift a
+  // bad pixel out of the preprocessed view, which would hide a failing
+  // detector tile from the watchdog while still skewing the shift itself.
+  bool finite = true;
+  for (const double v : event.frame.pixels()) {
+    if (!std::isfinite(v)) {
+      finite = false;
+      break;
+    }
+  }
+  if (!finite) {
+    ++frames_nonfinite_;
+    static obs::Counter& nonfinite =
+        obs::metrics().counter("monitor.nonfinite_frames");
+    nonfinite.add(1);
+    feed_health(false);
+    meter_.record(1, timer.seconds());
+    ingest_fps.set(meter_.recent_frames_per_second());
+    return false;
+  }
+
   const image::ImageF processed =
       image::preprocess(event.frame, config_.pipeline.preprocess);
   if (dim_ == 0) {
@@ -58,11 +140,7 @@ bool StreamingMonitor::ingest(const ShotEvent& event) {
     updated = true;
   }
   meter_.record(1, timer.seconds());
-  static obs::Gauge& ingest_fps =
-      obs::metrics().gauge("monitor.ingest_fps");
-  static obs::Gauge& occupancy =
-      obs::metrics().gauge("monitor.reservoir_occupancy");
-  ingest_fps.set(meter_.frames_per_second());
+  ingest_fps.set(meter_.recent_frames_per_second());
   occupancy.set(static_cast<double>(reservoir_.size()));
   return updated;
 }
@@ -84,9 +162,41 @@ void StreamingMonitor::update_sketch() {
   }
   batch_rows_.clear();
   sketcher_.push_batch(batch);
+  ++batches_;
+  const double seconds = timer.seconds();
   static obs::Histogram& batch_latency =
       obs::metrics().histogram("monitor.batch_seconds");
-  batch_latency.observe(timer.seconds());
+  static obs::SlidingHistogram& batch_window =
+      obs::metrics().sliding_histogram("monitor.batch_seconds_window");
+  batch_latency.observe(seconds);
+  batch_window.record(seconds);
+  feed_health(true);
+}
+
+void StreamingMonitor::feed_health(bool with_numerics) {
+  obs::HealthSample sample;
+  sample.wall_seconds = obs::steady_seconds();
+  sample.frames_seen = frames_seen_;
+  sample.frames_nonfinite = frames_nonfinite_;
+  sample.rank = static_cast<long>(sketcher_.current_ell());
+  sample.rank_increases = sketcher_.stats().rank_increases;
+  sample.queue_saturation = queue_saturation_;
+  if (with_numerics &&
+      batches_ % static_cast<long>(config_.health_check_every) == 0 &&
+      error_tracker_.reservoir_count() > 0 && sketcher_.dim() > 0) {
+    const Matrix basis = sketcher_.basis(sketcher_.current_ell());
+    if (!basis.empty()) {
+      sample.sketch_error = error_tracker_.relative_error(basis);
+      sample.orthogonality = orthogonality_residual(basis);
+      static obs::Gauge& error_gauge =
+          obs::metrics().gauge("monitor.sketch_error");
+      static obs::Gauge& ortho_gauge =
+          obs::metrics().gauge("monitor.basis_orthogonality");
+      error_gauge.set(sample.sketch_error);
+      ortho_gauge.set(sample.orthogonality);
+    }
+  }
+  health_.observe(sample);
 }
 
 SnapshotResult StreamingMonitor::snapshot() {

@@ -5,34 +5,61 @@
 // 136 Hz on 64 cores, UMAP/OPTICS in under a minute).
 
 #include <deque>
+#include <limits>
 #include <optional>
+#include <vector>
 
 #include "core/error_tracker.hpp"
+#include "obs/health.hpp"
 #include "obs/stage_report.hpp"
 #include "stream/pipeline.hpp"
 #include "stream/source.hpp"
 
 namespace arams::stream {
 
-/// Rolling throughput measurement.
+/// Rolling throughput measurement: lifetime totals plus a trailing window
+/// of the most recent records, so a mid-run slowdown is visible instead of
+/// being averaged away by hours of healthy history.
 class ThroughputMeter {
  public:
+  /// `window_records` — record() calls the recent-rate ring retains.
+  explicit ThroughputMeter(std::size_t window_records = 128);
+
   void record(std::size_t frames, double seconds);
-  /// Frames per accumulated second; 0.0 before the first record() (or when
-  /// only zero-duration records arrived) rather than inf/NaN.
+
+  /// Lifetime frames per accumulated second; 0.0 before the first
+  /// record() (or when only zero-duration records arrived) rather than
+  /// inf/NaN.
   [[nodiscard]] double frames_per_second() const;
+  /// Same quotient over only the trailing `window_records` records.
+  [[nodiscard]] double recent_frames_per_second() const;
+
   [[nodiscard]] std::size_t total_frames() const { return frames_; }
   [[nodiscard]] double total_seconds() const { return seconds_; }
+  [[nodiscard]] std::size_t window_records() const { return ring_.size(); }
 
  private:
   std::size_t frames_ = 0;
   double seconds_ = 0.0;
+  std::vector<std::pair<std::size_t, double>> ring_;  // (frames, seconds)
+  std::size_t ring_next_ = 0;
+  std::size_t ring_count_ = 0;
+  std::size_t window_frames_ = 0;
+  double window_seconds_ = 0.0;
 };
 
 struct MonitorConfig {
   PipelineConfig pipeline;
   std::size_t batch_size = 256;      ///< frames per sketch update
   std::size_t reservoir_size = 2048; ///< frames retained for snapshots
+
+  /// Numerical-health watchdog thresholds (obs::HealthMonitor).
+  obs::HealthThresholds health;
+  /// Sketch-update batches between the *expensive* health checks (error
+  /// estimate + basis orthogonality, which cost a basis extraction and a
+  /// reservoir projection); the cheap checks (NaN frames, rank thrash)
+  /// run on every sample.
+  std::size_t health_check_every = 1;
 };
 
 struct SnapshotResult {
@@ -57,6 +84,9 @@ class StreamingMonitor {
 
   /// Preprocesses and absorbs one event into the current batch; when the
   /// batch fills, updates the sketch. Returns true if a sketch update ran.
+  /// A frame whose preprocessed row contains NaN/Inf is *rejected* (it
+  /// would poison the sketch's SVD path): counted, reported to the health
+  /// watchdog, never added to the batch or reservoir.
   bool ingest(const ShotEvent& event);
 
   /// Flushes any partial batch into the sketch.
@@ -83,14 +113,39 @@ class StreamingMonitor {
   /// SketchErrorTracker estimate). Non-const: compresses the sketch.
   [[nodiscard]] double sketch_error_estimate();
 
+  /// The numerical-health watchdog, fed after every sketch batch (and on
+  /// every rejected non-finite frame). Register transition callbacks and
+  /// read the incident log here.
+  [[nodiscard]] obs::HealthMonitor& health() { return health_; }
+  [[nodiscard]] const obs::HealthMonitor& health() const { return health_; }
+
+  /// Frames rejected because their preprocessed row was not finite.
+  [[nodiscard]] long nonfinite_frames() const { return frames_nonfinite_; }
+
+  /// Attaches the upstream queue's occupancy fraction (0..1) to the next
+  /// health sample — the DAQ driver owns the queue, the monitor owns the
+  /// watchdog. NaN (the default) skips the queue-saturation check.
+  void note_queue_saturation(double fraction) {
+    queue_saturation_ = fraction;
+  }
+
  private:
   void update_sketch();
   void cluster_snapshot(SnapshotResult& out) const;
+  /// Feeds one HealthSample; `with_numerics` additionally runs the
+  /// basis-dependent checks (error estimate, orthogonality residual)
+  /// every `health_check_every` batches.
+  void feed_health(bool with_numerics);
 
   MonitorConfig config_;
   core::Arams sketcher_;
   core::SketchErrorTracker error_tracker_;
   ThroughputMeter meter_;
+  obs::HealthMonitor health_;
+  long frames_seen_ = 0;
+  long frames_nonfinite_ = 0;
+  long batches_ = 0;
+  double queue_saturation_ = std::numeric_limits<double>::quiet_NaN();
   std::vector<std::vector<double>> batch_rows_;
   std::deque<std::pair<std::uint64_t, std::vector<double>>> reservoir_;
   std::size_t dim_ = 0;

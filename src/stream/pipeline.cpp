@@ -1,10 +1,14 @@
 #include "stream/pipeline.hpp"
 
 #include <algorithm>
+#include <array>
+#include <span>
 #include <sstream>
 
 #include "embed/pca.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -12,6 +16,23 @@
 namespace arams::stream {
 
 using linalg::Matrix;
+
+namespace {
+
+/// Trailing-window latency per pipeline stage: repeated analyze() calls
+/// (the snapshot cadence of a long run) land each stage's wall time here,
+/// so an operator sees "embed p95 over the last few minutes", not the
+/// lifetime mean. Stage seconds live well above the default 10 s latency
+/// ceiling for big inputs, so the bounds extend into minutes.
+obs::SlidingHistogram& stage_window(const char* metric) {
+  static constexpr std::array<double, 10> kBounds = {
+      1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0};
+  return obs::metrics().sliding_histogram(
+      metric, /*window_seconds=*/300.0, /*epochs=*/6,
+      std::span<const double>(kBounds));
+}
+
+}  // namespace
 
 std::vector<std::string> PipelineConfig::validate() const {
   std::vector<std::string> errors = sketch.validate();
@@ -91,6 +112,7 @@ PipelineResult MonitoringPipeline::analyze_frames(
     rows = image::images_to_matrix(processed);
   }
   const double pre = timer.seconds();
+  stage_window("pipeline.preprocess_seconds_window").record(pre);
   PipelineResult result = run_stages(rows, std::move(shot_ids));
   result.report.set_seconds("preprocess", pre);
   return result;
@@ -147,7 +169,11 @@ PipelineResult MonitoringPipeline::run_stages(
                                            &merge_stats);
     core::append_to_report(merge_stats, result.report);
   }
-  result.report.set_seconds("sketch", timer.lap());
+  {
+    const double sketch_seconds = timer.lap();
+    stage_window("pipeline.sketch_seconds_window").record(sketch_seconds);
+    result.report.set_seconds("sketch", sketch_seconds);
+  }
 
   // --- stage 3: PCA latent projection of the *original* rows ---
   {
@@ -155,7 +181,11 @@ PipelineResult MonitoringPipeline::run_stages(
     const embed::PcaProjector pca(result.sketch, config_.pca_components);
     result.latent = pca.project(rows);
   }
-  result.report.set_seconds("project", timer.lap());
+  {
+    const double project_seconds = timer.lap();
+    stage_window("pipeline.project_seconds_window").record(project_seconds);
+    result.report.set_seconds("project", project_seconds);
+  }
 
   // --- stage 4: UMAP to 2-D ---
   {
@@ -165,7 +195,11 @@ PipelineResult MonitoringPipeline::run_stages(
         std::min(umap_config.n_neighbors, result.latent.rows() - 1);
     result.embedding = embed::umap_embed(result.latent, umap_config);
   }
-  result.report.set_seconds("embed", timer.lap());
+  {
+    const double embed_seconds = timer.lap();
+    stage_window("pipeline.embed_seconds_window").record(embed_seconds);
+    result.report.set_seconds("embed", embed_seconds);
+  }
 
   // --- stage 5: density clustering + ABOD outlier scores ---
   {
@@ -205,7 +239,11 @@ PipelineResult MonitoringPipeline::run_stages(
           result.embedding, cluster::AbodConfig{config_.abod_k});
     }
   }
-  result.report.set_seconds("cluster", timer.lap());
+  {
+    const double cluster_seconds = timer.lap();
+    stage_window("pipeline.cluster_seconds_window").record(cluster_seconds);
+    result.report.set_seconds("cluster", cluster_seconds);
+  }
   return result;
 }
 

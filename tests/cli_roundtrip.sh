@@ -81,6 +81,51 @@ assert ("counter", "fd.shrink_count") in kinds, kinds
 assert ("histogram", "fd.shrink_seconds") in kinds, kinds
 EOF
 
+# --prom-out emits Prometheus text exposition: every metric that appears
+# in the JSON-lines dump must have a HELP/TYPE header and a sample line
+"$BIN" pipeline --in="$DIR/diff.frames" --clusterer=kmeans --k=3 --ell=8 \
+  --center=false --metrics-out="$DIR/metrics2.jsonl" \
+  --prom-out="$DIR/arams.prom" | grep -q "Prometheus snapshot written"
+python3 - "$DIR/arams.prom" "$DIR/metrics2.jsonl" <<'EOF'
+import json, re, sys
+text = open(sys.argv[1]).read()
+helps = set(re.findall(r"^# HELP (\S+)", text, re.M))
+types = dict(re.findall(r"^# TYPE (\S+) (\S+)", text, re.M))
+samples = set(re.findall(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{[^}]*\})? ", text, re.M))
+assert helps, "no HELP lines in exposition"
+assert set(types) == helps, "HELP and TYPE families disagree"
+for family, kind in types.items():
+    assert kind in {"counter", "gauge", "histogram", "summary", "untyped"}, kind
+    # every family must expose at least one sample (histograms/summaries
+    # use suffixed series names)
+    assert any(s == family or s.startswith(family + "_") for s in samples), \
+        f"family {family} has no samples"
+def prom_name(raw):
+    return "arams_" + re.sub(r"[^a-zA-Z0-9_:]", "_", raw)
+for line in open(sys.argv[2]):
+    metric = json.loads(line)
+    assert prom_name(metric["name"]) in types, \
+        f"{metric['name']} missing from Prometheus exposition"
+EOF
+
+# monitor replays a run through the streaming monitor: a NaN burst must
+# surface in the health log and the published snapshot must parse
+"$BIN" monitor --in="$DIR/beam.frames" --batch=16 --ell=8 --queue=32 \
+  --fps=20000 --publish-every=2 --prom-out="$DIR/monitor.prom" \
+  --health-log="$DIR/health.jsonl" --nan-from=20 --nan-count=10 \
+  | grep -q "rejected 10 non-finite frames"
+test -s "$DIR/monitor.prom"
+grep -q "arams_health_observed_state" "$DIR/monitor.prom"
+grep -q "arams_monitor_nonfinite_frames 10" "$DIR/monitor.prom"
+python3 - "$DIR/health.jsonl" <<'EOF'
+import json, sys
+incidents = [json.loads(line) for line in open(sys.argv[1])]
+assert incidents, "NaN burst produced no health incidents"
+assert any(i["to"] in ("degraded", "critical") for i in incidents), incidents
+for i in incidents:
+    assert {"t", "from", "to", "reason"} <= set(i), i
+EOF
+
 # unknown command and missing input fail loudly
 if "$BIN" frobnicate 2>/dev/null; then exit 1; fi
 if "$BIN" sketch --in="$DIR/missing.frames" 2>/dev/null; then exit 1; fi

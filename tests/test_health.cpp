@@ -1,0 +1,256 @@
+// Numerical-health watchdog: threshold classification, windowed checks,
+// incident log, callbacks — plus the end-to-end NaN-burst drill through
+// StreamingMonitor and the Prometheus exporter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export_prom.hpp"
+#include "obs/health.hpp"
+#include "stream/monitor.hpp"
+#include "stream/source.hpp"
+#include "util/check.hpp"
+
+namespace arams::obs {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+HealthSample clean_sample(double t) {
+  HealthSample sample;
+  sample.wall_seconds = t;
+  sample.sketch_error = 0.01;
+  sample.orthogonality = 1e-12;
+  sample.rank = 16;
+  sample.frames_seen = static_cast<long>(t * 100.0);
+  return sample;
+}
+
+TEST(HealthState, ToStringCoversAllStates) {
+  EXPECT_STREQ(to_string(HealthState::kOk), "ok");
+  EXPECT_STREQ(to_string(HealthState::kDegraded), "degraded");
+  EXPECT_STREQ(to_string(HealthState::kCritical), "critical");
+}
+
+TEST(HealthMonitor, StaysOkOnCleanSamples) {
+  HealthMonitor monitor({}, nullptr);
+  for (int t = 1; t <= 10; ++t) {
+    EXPECT_EQ(monitor.observe(clean_sample(t)), HealthState::kOk);
+  }
+  EXPECT_EQ(monitor.transitions(), 0);
+  EXPECT_EQ(monitor.state_reason(), "ok");
+  EXPECT_TRUE(monitor.incidents().empty());
+}
+
+TEST(HealthMonitor, UnmeasuredNaNFieldsAreSkipped) {
+  HealthMonitor monitor({}, nullptr);
+  HealthSample sample;  // every instantaneous field defaults to NaN
+  sample.wall_seconds = 1.0;
+  sample.frames_seen = 100;
+  EXPECT_EQ(monitor.observe(sample), HealthState::kOk);
+}
+
+TEST(HealthMonitor, SketchErrorThresholdsEscalateAndRecover) {
+  HealthMonitor monitor({}, nullptr);
+  HealthSample sample = clean_sample(1.0);
+  EXPECT_EQ(monitor.observe(sample), HealthState::kOk);
+
+  sample.sketch_error = 0.20;  // ≥ 0.15 → degraded
+  EXPECT_EQ(monitor.observe(sample), HealthState::kDegraded);
+  EXPECT_NE(monitor.state_reason().find("sketch error"), std::string::npos);
+
+  sample.sketch_error = 0.50;  // ≥ 0.40 → critical
+  EXPECT_EQ(monitor.observe(sample), HealthState::kCritical);
+
+  sample.sketch_error = 0.01;  // instantaneous check: recovery is immediate
+  EXPECT_EQ(monitor.observe(sample), HealthState::kOk);
+  EXPECT_EQ(monitor.transitions(), 3);
+}
+
+TEST(HealthMonitor, InfiniteReadingIsCritical) {
+  HealthMonitor monitor({}, nullptr);
+  HealthSample sample = clean_sample(1.0);
+  sample.sketch_error = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(monitor.observe(sample), HealthState::kCritical);
+}
+
+TEST(HealthMonitor, OrthogonalityAndQueueChecksFire) {
+  HealthMonitor monitor({}, nullptr);
+  HealthSample sample = clean_sample(1.0);
+  sample.orthogonality = 1e-4;  // between degraded (1e-6) and critical (1e-3)
+  EXPECT_EQ(monitor.observe(sample), HealthState::kDegraded);
+  sample.orthogonality = 1e-12;
+  sample.queue_saturation = 0.99;  // ≥ 0.98 → critical
+  EXPECT_EQ(monitor.observe(sample), HealthState::kCritical);
+  EXPECT_NE(monitor.state_reason().find("queue saturation"),
+            std::string::npos);
+}
+
+TEST(HealthMonitor, NonFiniteFrameFractionIsWindowed) {
+  HealthThresholds thresholds;
+  thresholds.window = 4;
+  HealthMonitor monitor(thresholds, nullptr);
+
+  HealthSample sample = clean_sample(1.0);
+  sample.frames_seen = 100;
+  sample.frames_nonfinite = 0;
+  EXPECT_EQ(monitor.observe(sample), HealthState::kOk);
+
+  // 50 of the next 100 frames were NaN: fraction 0.5 ≥ 0.05 → critical.
+  sample.wall_seconds = 2.0;
+  sample.frames_seen = 200;
+  sample.frames_nonfinite = 50;
+  EXPECT_EQ(monitor.observe(sample), HealthState::kCritical);
+  EXPECT_NE(monitor.state_reason().find("non-finite"), std::string::npos);
+
+  // Clean frames resume; once the burst-era sample slides out of the
+  // 4-sample window the differenced fraction returns to 0 → ok.
+  HealthState state = HealthState::kCritical;
+  for (int t = 3; t <= 7; ++t) {
+    sample.wall_seconds = t;
+    sample.frames_seen = 100 * t;
+    state = monitor.observe(sample);  // frames_nonfinite stays 50
+  }
+  EXPECT_EQ(state, HealthState::kOk);
+  EXPECT_EQ(monitor.transitions(), 2);  // ok→critical, critical→ok
+}
+
+TEST(HealthMonitor, RankAdaptationThrashDegrades) {
+  HealthMonitor monitor({}, nullptr);
+  HealthSample sample = clean_sample(1.0);
+  sample.rank_increases = 0;
+  EXPECT_EQ(monitor.observe(sample), HealthState::kOk);
+  sample.wall_seconds = 2.0;
+  sample.rank_increases = 5;  // ≥ 4 growths within the window
+  sample.rank = 48;
+  EXPECT_EQ(monitor.observe(sample), HealthState::kDegraded);
+  EXPECT_NE(monitor.state_reason().find("thrash"), std::string::npos);
+}
+
+TEST(HealthMonitor, CallbacksFireOncePerTransitionWithTheIncident) {
+  HealthMonitor monitor({}, nullptr);
+  std::vector<HealthIncident> seen;
+  monitor.on_transition(
+      [&](const HealthIncident& incident) { seen.push_back(incident); });
+
+  HealthSample sample = clean_sample(1.0);
+  monitor.observe(sample);           // ok, no transition
+  sample.sketch_error = 0.50;
+  monitor.observe(sample);           // ok → critical
+  monitor.observe(sample);           // still critical, no new incident
+  sample.sketch_error = 0.01;
+  monitor.observe(sample);           // critical → ok
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].from, HealthState::kOk);
+  EXPECT_EQ(seen[0].to, HealthState::kCritical);
+  EXPECT_NE(seen[0].reason.find("sketch error"), std::string::npos);
+  EXPECT_EQ(seen[1].from, HealthState::kCritical);
+  EXPECT_EQ(seen[1].to, HealthState::kOk);
+}
+
+TEST(HealthMonitor, IncidentLogIsBounded) {
+  HealthThresholds thresholds;
+  thresholds.max_incidents = 4;
+  HealthMonitor monitor(thresholds, nullptr);
+  HealthSample sample = clean_sample(1.0);
+  // 10 round trips = 20 transitions; only the latest 4 incidents survive.
+  for (int i = 0; i < 10; ++i) {
+    sample.sketch_error = 0.50;
+    monitor.observe(sample);
+    sample.sketch_error = 0.01;
+    monitor.observe(sample);
+  }
+  EXPECT_EQ(monitor.transitions(), 20);
+  const std::vector<HealthIncident> log = monitor.incidents();
+  ASSERT_EQ(log.size(), 4u);
+  // Oldest-first, and the final entry is the last critical→ok recovery.
+  EXPECT_EQ(log.back().to, HealthState::kOk);
+}
+
+TEST(HealthMonitor, IncidentJsonIsOneObjectPerLine) {
+  HealthMonitor monitor({}, nullptr);
+  HealthSample sample = clean_sample(1.0);
+  sample.sketch_error = 0.50;
+  monitor.observe(sample);
+  std::ostringstream out;
+  monitor.write_incidents_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"from\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"to\":\"critical\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n'), 1);
+}
+
+TEST(HealthMonitor, RegistryReceivesStateGaugeAndTransitionCounter) {
+  MetricsRegistry registry;
+  HealthMonitor monitor({}, &registry);
+  HealthSample sample = clean_sample(1.0);
+  sample.sketch_error = 0.50;
+  monitor.observe(sample);
+  EXPECT_DOUBLE_EQ(registry.gauge("health.state").value(), 2.0);
+  EXPECT_EQ(registry.counter("health.transitions").value(), 1);
+}
+
+// ------------------------------------------------- end-to-end NaN drill
+
+// The acceptance drill from the issue: a streaming run with an injected
+// NaN burst must drive the watchdog out of OK and back, with the burst
+// visible in the callback stream and in the exported Prometheus snapshot.
+TEST(MonitorHealthIntegration, NanBurstDegradesThenRecovers) {
+  stream::MonitorConfig config;
+  config.batch_size = 16;
+  config.reservoir_size = 128;
+  config.pipeline.sketch.ell = 8;
+  config.pipeline.sketch.rank_adaptive = false;
+  config.pipeline.sketch.use_sampling = false;
+  config.health.window = 4;  // recover within ~4 clean batches
+  stream::StreamingMonitor monitor(config);
+
+  std::vector<HealthIncident> incidents;
+  monitor.health().on_transition(
+      [&](const HealthIncident& incident) { incidents.push_back(incident); });
+
+  data::BeamProfileConfig beam;
+  beam.height = 16;
+  beam.width = 16;
+  stream::BeamProfileSource source(beam, 260, 120.0, 11);
+  while (auto event = source.next()) {
+    if (event->shot_id >= 60 && event->shot_id < 90) {
+      event->frame.at(0, 0) = kNaN;  // the detector tile goes bad
+    }
+    monitor.ingest(*event);
+  }
+  monitor.flush();
+
+  EXPECT_EQ(monitor.nonfinite_frames(), 30);
+  // The burst tripped the watchdog...
+  bool worsened = false;
+  for (const HealthIncident& incident : incidents) {
+    if (incident.to != HealthState::kOk) {
+      worsened = true;
+      EXPECT_NE(incident.reason.find("non-finite"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(worsened);
+  // ...and the clean tail recovered it.
+  EXPECT_EQ(monitor.health().state(), HealthState::kOk);
+  ASSERT_GE(incidents.size(), 2u);
+  EXPECT_EQ(incidents.back().to, HealthState::kOk);
+
+  // The incident survives into the exported snapshot.
+  std::ostringstream prom;
+  write_prometheus(prom, metrics(), &monitor.health());
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("arams_health_observed_state 0"), std::string::npos);
+  EXPECT_NE(text.find("arams_health_incidents"), std::string::npos);
+  EXPECT_NE(text.find("arams_monitor_nonfinite_frames"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arams::obs

@@ -1,0 +1,235 @@
+// Windowed telemetry: EWMA rates, sliding-histogram epoch rotation, and
+// bucket-interpolated quantiles. Every test drives the time axis through
+// the explicit `now_seconds` overloads so nothing here sleeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "obs/window.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+
+namespace arams::obs {
+namespace {
+
+// ----------------------------------------------------------------- EwmaRate
+
+TEST(EwmaRate, FirstFoldIsTheInstantaneousRate) {
+  EwmaRate rate(/*tau_seconds=*/10.0, /*start_seconds=*/0.0);
+  rate.record(50);
+  // 50 events over 5 seconds primes the EWMA at exactly 10 ev/s.
+  EXPECT_DOUBLE_EQ(rate.rate(5.0), 10.0);
+  EXPECT_EQ(rate.total(), 50);
+}
+
+TEST(EwmaRate, DecaysTowardZeroWhenEventsStop) {
+  EwmaRate rate(/*tau_seconds=*/2.0, /*start_seconds=*/0.0);
+  rate.record(100);
+  const double primed = rate.rate(1.0);
+  EXPECT_DOUBLE_EQ(primed, 100.0);
+  // No further events: each fold pulls the EWMA toward 0 with weight
+  // 1 - exp(-elapsed/tau).
+  const double later = rate.rate(3.0);
+  EXPECT_LT(later, primed);
+  EXPECT_GT(later, 0.0);
+  const double much_later = rate.rate(30.0);
+  EXPECT_LT(much_later, 1.0);
+}
+
+TEST(EwmaRate, TracksASteadyRate) {
+  EwmaRate rate(/*tau_seconds=*/1.0, /*start_seconds=*/0.0);
+  // 20 ev/s sustained for many time constants converges to ~20.
+  double folded = 0.0;
+  for (int tick = 1; tick <= 30; ++tick) {
+    rate.record(20);
+    folded = rate.rate(static_cast<double>(tick));
+  }
+  EXPECT_NEAR(folded, 20.0, 1.0);
+  EXPECT_EQ(rate.total(), 600);
+}
+
+TEST(EwmaRate, TinyElapsedReusesThePreviousFold) {
+  EwmaRate rate(/*tau_seconds=*/10.0, /*start_seconds=*/0.0);
+  rate.record(10);
+  const double folded = rate.rate(1.0);
+  rate.record(1000);
+  // 1e-4 s since the last fold: the quotient would be absurd; the fold is
+  // deferred and the previous value returned.
+  EXPECT_DOUBLE_EQ(rate.rate(1.0001), folded);
+  // The deferred events are still counted, not lost.
+  EXPECT_EQ(rate.total(), 1010);
+}
+
+TEST(EwmaRate, ResetClearsStateAndCount) {
+  EwmaRate rate(/*tau_seconds=*/1.0, /*start_seconds=*/0.0);
+  rate.record(42);
+  ASSERT_GT(rate.rate(1.0), 0.0);
+  rate.reset();
+  EXPECT_EQ(rate.total(), 0);
+  EXPECT_DOUBLE_EQ(rate.rate(2.0), 0.0);
+}
+
+TEST(EwmaRate, RejectsNonPositiveTau) {
+  EXPECT_THROW(EwmaRate(0.0, 0.0), CheckError);
+}
+
+// --------------------------------------------------- SlidingHistogram
+
+std::array<double, 4> small_bounds() { return {1.0, 2.0, 4.0, 8.0}; }
+
+TEST(SlidingHistogram, RequiresAtLeastTwoEpochs) {
+  EXPECT_THROW(
+      SlidingHistogram(1.0, 1, std::span<const double>{}, 0.0),
+      CheckError);
+}
+
+TEST(SlidingHistogram, CountsEverythingInsideTheWindow) {
+  const auto bounds = small_bounds();
+  SlidingHistogram h(/*window_seconds=*/6.0, /*epochs=*/3,
+                     std::span<const double>(bounds), /*start_seconds=*/0.0);
+  for (int i = 0; i < 10; ++i) h.record(0.5);
+  const WindowStats stats = h.stats(1.0);
+  EXPECT_EQ(stats.count, 10);
+  EXPECT_DOUBLE_EQ(stats.sum, 5.0);
+  EXPECT_DOUBLE_EQ(stats.rate, 10.0 / 6.0);
+}
+
+TEST(SlidingHistogram, EpochRotationRetiresOldSlices) {
+  const auto bounds = small_bounds();
+  // 3 epochs of 2 s each: an event at t=0 must be gone once the window
+  // has slid three epochs past it.
+  SlidingHistogram h(/*window_seconds=*/6.0, /*epochs=*/3,
+                     std::span<const double>(bounds), /*start_seconds=*/0.0);
+  h.record(0.5);           // epoch [0, 2)
+  h.advance(2.5);          // rotate; epoch [2, 4) is current
+  h.record(3.0);           // lands in the new epoch
+  EXPECT_EQ(h.stats(2.5).count, 2);  // both still live
+  // Two more rotations retire the t=0 slice (its ring slot is reused).
+  h.advance(4.5);
+  h.advance(6.5);
+  const WindowStats stats = h.stats(6.5);
+  EXPECT_EQ(stats.count, 1);
+  EXPECT_DOUBLE_EQ(stats.sum, 3.0);
+}
+
+TEST(SlidingHistogram, LongGapExpiresTheWholeWindow) {
+  const auto bounds = small_bounds();
+  SlidingHistogram h(/*window_seconds=*/6.0, /*epochs=*/3,
+                     std::span<const double>(bounds), /*start_seconds=*/0.0);
+  for (int i = 0; i < 100; ++i) h.record(1.5);
+  EXPECT_EQ(h.stats(1.0).count, 100);
+  // A silence longer than the whole window: everything expires at once.
+  EXPECT_EQ(h.stats(100.0).count, 0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5, 100.0), 0.0);
+}
+
+TEST(SlidingHistogram, QuantilesMatchExactValuesWithinABucket) {
+  // Fine uniform buckets over [0, 100]: the interpolated quantile of a
+  // uniform ramp must land within one bucket width of the exact value.
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 100.0; b += 1.0) bounds.push_back(b);
+  SlidingHistogram h(/*window_seconds=*/60.0, /*epochs=*/6,
+                     std::span<const double>(bounds), /*start_seconds=*/0.0);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 100.0 * (static_cast<double>(i) + 0.5) / 1000.0;
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.10, 0.50, 0.95, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    EXPECT_NEAR(h.quantile(q, 1.0), exact, 1.0)
+        << "quantile " << q << " drifted more than one bucket width";
+  }
+}
+
+TEST(SlidingHistogram, OverflowValuesClampToTheLastBound) {
+  const auto bounds = small_bounds();
+  SlidingHistogram h(/*window_seconds=*/6.0, /*epochs=*/3,
+                     std::span<const double>(bounds), /*start_seconds=*/0.0);
+  for (int i = 0; i < 8; ++i) h.record(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5, 1.0), 8.0);
+  const std::vector<long> buckets = h.window_buckets(1.0);
+  ASSERT_EQ(buckets.size(), bounds.size() + 1);
+  EXPECT_EQ(buckets.back(), 8);
+}
+
+TEST(SlidingHistogram, ConcurrentRecordingLosesNothingWithoutRotation) {
+  const auto bounds = small_bounds();
+  // A window far longer than the test: no rotation can race the writers,
+  // so every record must land (the misfile caveat only applies across a
+  // rotation boundary).
+  SlidingHistogram h(/*window_seconds=*/3600.0, /*epochs=*/4,
+                     std::span<const double>(bounds), /*start_seconds=*/0.0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  parallel::ThreadPool pool(kThreads);
+  pool.parallel_for(kThreads, [&](std::size_t t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      h.record(static_cast<double>(t) + 0.5);
+    }
+  });
+  EXPECT_EQ(h.stats(1.0).count,
+            static_cast<long>(kThreads) * kPerThread);
+}
+
+// ----------------------------------------------------------- bucket_quantile
+
+TEST(BucketQuantile, InterpolatesInsideABucket) {
+  const std::array<double, 3> bounds{10.0, 20.0, 30.0};
+  const std::array<long, 4> buckets{0, 10, 0, 0};
+  // All mass in (10, 20]: the median interpolates to the middle.
+  EXPECT_DOUBLE_EQ(
+      bucket_quantile(0.5, std::span<const double>(bounds),
+                      std::span<const long>(buckets)),
+      15.0);
+}
+
+TEST(BucketQuantile, EmptyAndDegenerateInputs) {
+  const std::array<double, 2> bounds{1.0, 2.0};
+  const std::array<long, 3> empty{0, 0, 0};
+  EXPECT_DOUBLE_EQ(bucket_quantile(0.5, std::span<const double>(bounds),
+                                   std::span<const long>(empty)),
+                   0.0);
+  const std::array<long, 3> overflow_only{0, 0, 7};
+  EXPECT_DOUBLE_EQ(bucket_quantile(0.99, std::span<const double>(bounds),
+                                   std::span<const long>(overflow_only)),
+                   2.0);
+}
+
+// -------------------------------------------- registry-managed instances
+
+TEST(MetricsRegistry, EwmaAndSlidingAreNamedSingletons) {
+  MetricsRegistry registry;
+  EwmaRate& a = registry.ewma("test.window.rate");
+  EwmaRate& b = registry.ewma("test.window.rate");
+  EXPECT_EQ(&a, &b);
+  SlidingHistogram& c = registry.sliding_histogram("test.window.hist");
+  SlidingHistogram& d = registry.sliding_histogram("test.window.hist");
+  EXPECT_EQ(&c, &d);
+}
+
+TEST(MetricsRegistry, VisitorSeesWindowedMetrics) {
+  MetricsRegistry registry;
+  registry.ewma("test.visit.rate").record(3);
+  registry.sliding_histogram("test.visit.hist").record(0.5);
+  int ewmas = 0;
+  int slidings = 0;
+  MetricsRegistry::Visitor visitor;
+  visitor.on_ewma = [&](const std::string&, const EwmaRate&) { ++ewmas; };
+  visitor.on_sliding = [&](const std::string&, const SlidingHistogram&) {
+    ++slidings;
+  };
+  registry.visit(visitor);
+  EXPECT_EQ(ewmas, 1);
+  EXPECT_EQ(slidings, 1);
+}
+
+}  // namespace
+}  // namespace arams::obs

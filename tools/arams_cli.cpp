@@ -4,20 +4,27 @@
 //   generate   synthesize a detector run into a .frames bundle
 //   sketch     ARAMS-sketch a .frames bundle or .npy matrix into a .npy
 //   pipeline   run the full monitoring pipeline; emit CSV and/or HTML
+//   monitor    replay a run through the streaming monitor with live
+//              telemetry, the health watchdog, and Prometheus snapshots
 //   info       describe a .frames or .npy file
 //
 // Examples:
 //   arams generate --kind=beam --frames=500 --size=48 --out=run.frames
 //   arams sketch --in=run.frames --ell=32 --epsilon=0.05 --out=sketch.npy
 //   arams pipeline --in=run.frames --html=run.html --csv=run.csv
-//   arams pipeline --in=run.frames --trace-out=trace.json \
+//   arams pipeline --in=run.frames --trace-out=trace.json
 //       --metrics-out=metrics.jsonl
+//   arams monitor --in=run.frames --batch=64 --prom-out=arams.prom
+//       --health-log=health.jsonl
 //   arams info --in=sketch.npy
 
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arams.hpp"
@@ -34,6 +41,8 @@ void print_usage() {
       "  generate   synthesize a run (--kind=beam|diffraction|speckle)\n"
       "  sketch     ARAMS-sketch frames/matrix into a .npy sketch\n"
       "  pipeline   full monitoring pipeline -> labels, CSV, HTML\n"
+      "  monitor    replay a run through the streaming monitor: DAQ\n"
+      "             queue, health watchdog, Prometheus snapshots\n"
       "  compare    covariance error of a sketch against its data\n"
       "  diag       beam diagnostics over a run: CUSUM alarms, frame\n"
       "             statistics, dead/hot pixel mask\n"
@@ -59,6 +68,8 @@ void declare_telemetry_flags(CliFlags& flags) {
   flags.declare("trace-out", "",
                 "write a Chrome trace_event JSON of pipeline spans");
   flags.declare("metrics-out", "", "write telemetry metrics as JSON lines");
+  flags.declare("prom-out", "",
+                "write metrics in Prometheus text exposition format");
 }
 
 /// Span recording costs a little per stage, so it stays off unless the run
@@ -69,7 +80,8 @@ void arm_telemetry(const CliFlags& flags) {
   }
 }
 
-void write_telemetry(const CliFlags& flags) {
+void write_telemetry(const CliFlags& flags,
+                     const obs::HealthMonitor* health = nullptr) {
   if (const std::string& path = flags.get("trace-out"); !path.empty()) {
     std::ofstream out(path);
     ARAMS_CHECK(out.good(), "cannot open --trace-out file: " + path);
@@ -81,6 +93,12 @@ void write_telemetry(const CliFlags& flags) {
     ARAMS_CHECK(out.good(), "cannot open --metrics-out file: " + path);
     obs::metrics().write_json_lines(out);
     std::cout << "metrics written to " << path << "\n";
+  }
+  if (const std::string& path = flags.get("prom-out"); !path.empty()) {
+    std::ofstream out(path);
+    ARAMS_CHECK(out.good(), "cannot open --prom-out file: " + path);
+    obs::write_prometheus(out, obs::metrics(), health);
+    std::cout << "Prometheus snapshot written to " << path << "\n";
   }
 }
 
@@ -309,6 +327,140 @@ int cmd_pipeline(int argc, const char* const* argv) {
   return 0;
 }
 
+// Replays a recorded .frames bundle through the streaming monitor the way
+// a live DAQ feed would arrive: a producer thread pushes shot events into
+// a bounded hand-off queue while the analysis loop pops, ingests, and
+// periodically republishes a Prometheus snapshot. This is the operational
+// harness for the health watchdog — `--nan-from`/`--nan-count` poison a
+// span of shots so an operator (or the round-trip test) can watch the
+// DEGRADED/CRITICAL transition fire and recover.
+int cmd_monitor(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.declare("in", "", ".frames bundle (required)");
+  flags.declare("batch", "64", "frames per sketch update");
+  flags.declare("ell", "16", "initial sketch rank");
+  flags.declare("epsilon", "0.0", "rank-adaptation target (0 disables RA)");
+  flags.declare("reservoir", "1024", "frames retained for snapshots");
+  flags.declare("queue", "128", "DAQ hand-off queue capacity");
+  flags.declare("fps", "0",
+                "throttle replay to this shot rate (0 = full speed; full "
+                "speed keeps the queue saturated, which the watchdog "
+                "rightly reports as back-pressure)");
+  flags.declare("publish-every", "8",
+                "sketch batches between --prom-out rewrites");
+  flags.declare("health-log", "",
+                "write health incidents (state transitions) as JSON lines");
+  flags.declare("nan-from", "-1",
+                "inject a non-finite pixel starting at this shot index");
+  flags.declare("nan-count", "0", "number of consecutive shots to poison");
+  declare_telemetry_flags(flags);
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("arams monitor");
+    return 0;
+  }
+  ARAMS_CHECK(!flags.get("in").empty(), "--in is required");
+  arm_telemetry(flags);
+  const auto frames = io::load_frames(flags.get("in"));
+
+  stream::MonitorConfig config;
+  config.batch_size = static_cast<std::size_t>(flags.get_int("batch"));
+  config.reservoir_size =
+      static_cast<std::size_t>(flags.get_int("reservoir"));
+  config.pipeline.sketch.ell =
+      static_cast<std::size_t>(flags.get_int("ell"));
+  const double epsilon = flags.get_double("epsilon");
+  config.pipeline.sketch.rank_adaptive = epsilon > 0.0;
+  config.pipeline.sketch.epsilon = epsilon;
+  stream::StreamingMonitor monitor(config);
+
+  // Every state transition is echoed live; the full incident log lands in
+  // --health-log at the end of the run.
+  monitor.health().on_transition([](const obs::HealthIncident& incident) {
+    std::cout << "health: " << obs::to_string(incident.from) << " -> "
+              << obs::to_string(incident.to) << " (" << incident.reason
+              << ")\n";
+  });
+
+  std::optional<obs::PeriodicPublisher> publisher;
+  if (const std::string& prom = flags.get("prom-out"); !prom.empty()) {
+    obs::PeriodicPublisher::Config pub_config;
+    pub_config.path = prom;
+    pub_config.every =
+        static_cast<std::size_t>(flags.get_int("publish-every"));
+    publisher.emplace(pub_config, obs::metrics(), &monitor.health());
+  }
+
+  const long nan_from = flags.get_int("nan-from");
+  const long nan_count = flags.get_int("nan-count");
+
+  stream::BoundedQueue<stream::ShotEvent> queue(
+      static_cast<std::size_t>(flags.get_int("queue")));
+  queue.enable_metrics("daq.queue");
+  const double fps = flags.get_double("fps");
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      stream::ShotEvent event;
+      event.shot_id = i;
+      event.frame = frames[i];
+      const long shot = static_cast<long>(i);
+      if (nan_from >= 0 && shot >= nan_from &&
+          shot < nan_from + nan_count) {
+        event.frame.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!queue.push(std::move(event))) break;  // closed early
+      if (fps > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(1.0 / fps));
+      }
+    }
+    queue.close();
+  });
+
+  Stopwatch timer;
+  try {
+    while (auto event = queue.pop()) {
+      monitor.note_queue_saturation(queue.saturation());
+      const bool updated = monitor.ingest(*event);
+      if (updated && publisher) publisher->tick();
+    }
+  } catch (...) {
+    // Unblock and reap the producer before the exception unwinds past the
+    // joinable std::thread (which would call std::terminate).
+    queue.close();
+    while (queue.pop()) {
+    }
+    producer.join();
+    throw;
+  }
+  producer.join();
+  monitor.flush();
+
+  const obs::HealthMonitor& health = monitor.health();
+  std::cout << "monitored " << frames.size() << " shots in "
+            << timer.seconds() << " s ("
+            << monitor.throughput().recent_frames_per_second()
+            << " fps recent, "
+            << monitor.throughput().frames_per_second() << " fps lifetime)\n"
+            << "rejected " << monitor.nonfinite_frames()
+            << " non-finite frames, final sketch rank "
+            << monitor.current_ell() << "\n"
+            << "health: " << obs::to_string(health.state()) << " after "
+            << health.transitions() << " transitions ("
+            << health.incidents().size() << " incidents logged)\n";
+
+  if (const std::string& path = flags.get("health-log"); !path.empty()) {
+    std::ofstream out(path);
+    ARAMS_CHECK(out.good(), "cannot open --health-log file: " + path);
+    health.write_incidents_json(out);
+    std::cout << "health incident log written to " << path << "\n";
+  }
+  if (publisher) publisher->publish_now();
+  write_telemetry(flags, &health);
+  return 0;
+}
+
 int cmd_compare(int argc, const char* const* argv) {
   CliFlags flags;
   flags.declare("data", "", "original data (.frames or .npy, required)");
@@ -435,6 +587,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(argc - 1, argv + 1);
     if (command == "sketch") return cmd_sketch(argc - 1, argv + 1);
     if (command == "pipeline") return cmd_pipeline(argc - 1, argv + 1);
+    if (command == "monitor") return cmd_monitor(argc - 1, argv + 1);
     if (command == "compare") return cmd_compare(argc - 1, argv + 1);
     if (command == "diag") return cmd_diag(argc - 1, argv + 1);
     if (command == "info") return cmd_info(argc - 1, argv + 1);

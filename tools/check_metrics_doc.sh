@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Doc lint: every metric name registered against obs::metrics() (or a
+# HealthMonitor-injected registry) in src/ or tools/ must appear in
+# docs/TELEMETRY.md, so the operator-facing catalogue cannot silently rot.
+#
+# Scans for literal first arguments to counter/gauge/histogram/ewma/
+# sliding_histogram (and the pipeline's stage_window helper). StageReport
+# reads (`report.counter(...)`) are per-run outputs, not registry names,
+# and are excluded. Dynamically composed names — `pool.worker.<i>.*`, the
+# BoundedQueue `<prefix>.*` family — can't be greped for; they are
+# documented as patterns and covered by the exporter tests instead.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+DOC="$ROOT/docs/TELEMETRY.md"
+test -r "$DOC" || { echo "missing $DOC" >&2; exit 1; }
+
+names="$(
+  grep -rhE '(counter|gauge|histogram|ewma|sliding_histogram|stage_window)\(\s*"' \
+      "$ROOT/src" "$ROOT/tools" --include='*.cpp' --include='*.hpp' \
+    | grep -vE 'report(\.|->)' \
+    | grep -oE '(counter|gauge|histogram|ewma|sliding_histogram|stage_window)\(\s*"[^"]+"' \
+    | sed -E 's/.*"([^"]+)"$/\1/' \
+    | sort -u
+)"
+
+missing=0
+while IFS= read -r name; do
+  [ -n "$name" ] || continue
+  if ! grep -qF "$name" "$DOC"; then
+    echo "undocumented metric: $name — add it to docs/TELEMETRY.md" >&2
+    missing=1
+  fi
+done <<< "$names"
+
+if [ "$missing" -ne 0 ]; then
+  exit 1
+fi
+echo "metrics doc lint OK ($(wc -l <<< "$names") registered names documented)"
