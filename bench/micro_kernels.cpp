@@ -105,6 +105,77 @@ void BM_JacobiEig(benchmark::State& state) {
 }
 BENCHMARK(BM_JacobiEig)->Arg(32)->Arg(64)->Arg(128);
 
+// Head-to-head symmetric eigensolver comparison on the Gram matrices the
+// FD shrink produces. Both run through the eigen_symmetric dispatch with
+// a caller-owned workspace (steady-state, allocation-free), values +
+// full eigenvectors — the shrink's actual request shape.
+void eig_sym_method(benchmark::State& state, linalg::EigMethod method) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = linalg::gram_rows(random_matrix(n, 2 * n, 6));
+  linalg::Workspace ws;
+  linalg::SymmetricEig out;
+  linalg::EigenConfig cfg;
+  cfg.method = method;
+  for (auto _ : state) {
+    linalg::eigen_symmetric(linalg::MatrixView(a), ws, out, cfg);
+    benchmark::DoNotOptimize(out.vectors.data());
+  }
+}
+
+void BM_EigSymJacobi(benchmark::State& state) {
+  eig_sym_method(state, linalg::EigMethod::kJacobi);
+}
+BENCHMARK(BM_EigSymJacobi)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_EigSymTridiag(benchmark::State& state) {
+  eig_sym_method(state, linalg::EigMethod::kTridiag);
+}
+BENCHMARK(BM_EigSymTridiag)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Eigenvalues only: the tridiagonal path drops the O(n³) rotation
+// accumulation entirely (dsterf-style O(n²) iteration).
+void BM_EigSymTridiagValuesOnly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = linalg::gram_rows(random_matrix(n, 2 * n, 6));
+  linalg::Workspace ws;
+  linalg::SymmetricEig out;
+  linalg::EigenConfig cfg;
+  cfg.method = linalg::EigMethod::kTridiag;
+  cfg.vectors = false;
+  for (auto _ : state) {
+    linalg::eigen_symmetric(linalg::MatrixView(a), ws, out, cfg);
+    benchmark::DoNotOptimize(out.values.data());
+  }
+}
+BENCHMARK(BM_EigSymTridiagValuesOnly)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// End-to-end FD shrink under each eigensolver: fill the 2ℓ buffer, then
+// time exactly one shrink per iteration (ℓ fresh rows re-fill the buffer
+// each pass). ℓ=64 on 1024-dim rows is the paper's operating regime.
+void fd_shrink_method(benchmark::State& state, const char* method) {
+  ::setenv("ARAMS_EIG_METHOD", method, /*overwrite=*/1);
+  constexpr std::size_t kEll = 64;
+  constexpr std::size_t kDim = 1024;
+  const Matrix block = random_matrix(kEll, kDim, 42);
+  core::FrequentDirections fd(core::FdConfig{kEll, true});
+  fd.append_batch(random_matrix(2 * kEll - 1, kDim, 43));  // buffer ~full
+  for (auto _ : state) {
+    fd.append_batch(block);  // crosses 2ℓ: exactly one shrink
+    benchmark::DoNotOptimize(fd.occupied_rows());
+  }
+  ::unsetenv("ARAMS_EIG_METHOD");
+}
+
+void BM_FdShrinkJacobi(benchmark::State& state) {
+  fd_shrink_method(state, "jacobi");
+}
+BENCHMARK(BM_FdShrinkJacobi);
+
+void BM_FdShrinkTridiag(benchmark::State& state) {
+  fd_shrink_method(state, "tridiag");
+}
+BENCHMARK(BM_FdShrinkTridiag);
+
 void BM_RandomizedSvd(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   const Matrix a = random_matrix(512, 256, 9);

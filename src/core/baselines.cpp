@@ -134,7 +134,7 @@ void TruncatedSvdSketch::truncate() {
   Stopwatch timer;
   const linalg::MatrixView occupied =
       linalg::MatrixView::rows_of(buffer_, 0, next_row_);
-  linalg::sigma_vt_svd(occupied, ws_, svd_);
+  linalg::sigma_vt_svd(occupied, ws_, svd_, ell_);
   const std::size_t prev_occupied = next_row_;
   const std::size_t keep = std::min(ell_, svd_.sigma.size());
   std::size_t out = 0;

@@ -49,7 +49,9 @@ void FrequentDirections::shrink() {
   // before any buffer row is overwritten below.
   const linalg::MatrixView occupied =
       linalg::MatrixView::rows_of(buffer_, 0, next_zero_row_);
-  linalg::sigma_vt_svd(occupied, ws_, svd_);
+  // At most ℓ−1 directions survive the rescale (σ_ℓ² = δ kills row ℓ−1 and
+  // everything after it), so cap the materialized right-vector rows at ℓ.
+  linalg::sigma_vt_svd(occupied, ws_, svd_, ell_);
 
   // δ = σ_ℓ² (1-based) — the paper's Algorithm 2 line 16. When fewer than ℓ
   // directions exist there is nothing to shrink away (δ = 0) and the
@@ -121,7 +123,7 @@ Matrix FrequentDirections::basis(std::size_t k) {
   // view of the occupied rows — no buffer copy).
   const linalg::MatrixView b =
       linalg::MatrixView::rows_of(buffer_, 0, next_zero_row_);
-  linalg::sigma_vt_svd(b, ws_, svd_);
+  linalg::sigma_vt_svd(b, ws_, svd_, k);  // only the top-k rows are read
   k = std::min({k, b.rows(), svd_.sigma.size()});
   const double smax = svd_.sigma.empty() ? 0.0 : svd_.sigma[0];
   std::size_t kept = 0;

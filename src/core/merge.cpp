@@ -29,7 +29,7 @@ struct MergeScratch {
 Matrix shrink_to_ell(const Matrix& stacked, std::size_t ell,
                      MergeScratch& scratch) {
   if (stacked.rows() <= ell) return stacked;
-  linalg::sigma_vt_svd(stacked, scratch.ws, scratch.svd);
+  linalg::sigma_vt_svd(stacked, scratch.ws, scratch.svd, ell);
   const linalg::SigmaVt& svd = scratch.svd;
   if (svd.sigma.size() < ell) {
     // Fewer directions than ℓ (d < ℓ): nothing needs shrinking; rebuild

@@ -2,6 +2,7 @@
 
 #include "linalg/blas.hpp"
 #include "linalg/svd.hpp"
+#include "linalg/workspace.hpp"
 #include "util/check.hpp"
 
 namespace arams::embed {
@@ -9,11 +10,27 @@ namespace arams::embed {
 using linalg::Matrix;
 
 PcaProjector::PcaProjector(const Matrix& sketch, std::size_t k) {
+  linalg::Workspace ws;
+  init(sketch, k, ws);
+}
+
+PcaProjector::PcaProjector(const Matrix& sketch, std::size_t k,
+                           linalg::Workspace& ws) {
+  init(sketch, k, ws);
+}
+
+void PcaProjector::init(const Matrix& sketch, std::size_t k,
+                        linalg::Workspace& ws) {
   ARAMS_CHECK(sketch.rows() > 0 && sketch.cols() > 0,
               "cannot build PCA from an empty sketch");
   ARAMS_CHECK(k > 0, "need at least one component");
   if (sketch.rows() <= sketch.cols()) {
-    const linalg::RowSpaceSvd svd = linalg::gram_row_svd(sketch);
+    // Sketch rows never exceed ℓ here, so the Gram trick applies; the
+    // workspace's reusable RowSpaceSvd keeps repeated rebuilds (one per
+    // monitor snapshot) off the heap, and max_rank=k stops the eigenvector
+    // back-transformation at the components we keep.
+    linalg::RowSpaceSvd& svd = ws.rsvd();
+    linalg::gram_row_svd(linalg::MatrixView(sketch), ws, svd, k);
     basis_ = linalg::right_vectors(svd, k);
     sigma_.assign(svd.sigma.begin(),
                   svd.sigma.begin() +

@@ -10,6 +10,10 @@
 
 #include "linalg/matrix.hpp"
 
+namespace arams::linalg {
+class Workspace;
+}  // namespace arams::linalg
+
 namespace arams::embed {
 
 class PcaProjector {
@@ -18,6 +22,14 @@ class PcaProjector {
   /// `sketch`. Keeps fewer than k components if the sketch's numerical rank
   /// is smaller.
   PcaProjector(const linalg::Matrix& sketch, std::size_t k);
+
+  /// Workspace-backed variant for callers that rebuild the projector per
+  /// snapshot (e.g. the stream monitor): the short-fat path draws its Gram,
+  /// eigensolver scratch, and SVD factors from `ws`, so repeated same-shape
+  /// rebuilds stop allocating. Only the top-k singular directions are
+  /// materialized. Falls back to the allocating path for tall sketches.
+  PcaProjector(const linalg::Matrix& sketch, std::size_t k,
+               linalg::Workspace& ws);
 
   /// Projects rows of x (n×d) into the latent space (n×components()).
   [[nodiscard]] linalg::Matrix project(const linalg::Matrix& x) const;
@@ -37,6 +49,9 @@ class PcaProjector {
   [[nodiscard]] std::size_t dim() const { return basis_.cols(); }
 
  private:
+  void init(const linalg::Matrix& sketch, std::size_t k,
+            linalg::Workspace& ws);
+
   linalg::Matrix basis_;
   std::vector<double> sigma_;
 };

@@ -109,21 +109,24 @@ ThinSvd jacobi_svd(const Matrix& a, double tol, int max_sweeps) {
   return out;
 }
 
-void gram_row_svd(MatrixView a, Workspace& ws, RowSpaceSvd& out) {
+void gram_row_svd(MatrixView a, Workspace& ws, RowSpaceSvd& out,
+                  std::size_t max_rank) {
   ARAMS_CHECK(a.rows() > 0 && a.cols() > 0, "svd of empty matrix");
   ARAMS_CHECK(a.rows() <= a.cols(), "gram_row_svd requires rows <= cols");
   const std::size_t m = a.rows();
   Matrix& g = ws.mat(wslot::kSvdGram, m, m);
   gram_rows(a, g);
   SymmetricEig& eig = ws.eig();
-  jacobi_eigen_symmetric(g, ws, eig);
+  EigenConfig cfg;
+  cfg.max_vectors = max_rank;
+  eigen_symmetric(g, ws, eig, cfg);
 
   out.sigma.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
     out.sigma[i] = std::sqrt(std::max(eig.values[i], 0.0));
   }
-  out.u = eig.vectors;              // m×m, columns sorted by descending sigma
-  matmul_tn(out.u, a, out.w);       // Uᵀ·A, row i = sigma_i v_iᵀ
+  out.u = eig.vectors;         // m×r, columns sorted by descending sigma
+  matmul_tn(out.u, a, out.w);  // Uᵀ·A, row i = sigma_i v_iᵀ
   ws.publish();
 }
 
@@ -156,7 +159,8 @@ Matrix right_vectors(const RowSpaceSvd& s, std::size_t k, double rank_tol) {
   return vt;
 }
 
-void sigma_vt_svd(MatrixView a, Workspace& ws, SigmaVt& out) {
+void sigma_vt_svd(MatrixView a, Workspace& ws, SigmaVt& out,
+                  std::size_t max_rank) {
   ARAMS_CHECK(a.rows() > 0 && a.cols() > 0, "svd of empty matrix");
   if (a.rows() <= a.cols()) {
     // Short-fat: m×m row Gram, then W = Uᵀ·A — no U copy kept.
@@ -164,7 +168,9 @@ void sigma_vt_svd(MatrixView a, Workspace& ws, SigmaVt& out) {
     Matrix& g = ws.mat(wslot::kSvdGram, m, m);
     gram_rows(a, g);
     SymmetricEig& eig = ws.eig();
-    jacobi_eigen_symmetric(g, ws, eig);
+    EigenConfig cfg;
+    cfg.max_vectors = max_rank;
+    eigen_symmetric(g, ws, eig, cfg);
     out.sigma.resize(m);
     for (std::size_t i = 0; i < m; ++i) {
       out.sigma[i] = std::sqrt(std::max(eig.values[i], 0.0));
@@ -179,11 +185,16 @@ void sigma_vt_svd(MatrixView a, Workspace& ws, SigmaVt& out) {
   Matrix& g = ws.mat(wslot::kSvdGram, n, n);
   gram_cols(a, g);
   SymmetricEig& eig = ws.eig();
-  jacobi_eigen_symmetric(g, ws, eig);
+  EigenConfig cfg;
+  cfg.max_vectors = max_rank;
+  eigen_symmetric(g, ws, eig, cfg);
+  const std::size_t kept = std::min(n, max_rank);
   out.sigma.resize(n);
-  out.w.reshape(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     out.sigma[i] = std::sqrt(std::max(eig.values[i], 0.0));
+  }
+  out.w.reshape(kept, n);
+  for (std::size_t i = 0; i < kept; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       out.w(i, j) = out.sigma[i] * eig.vectors(j, i);
     }

@@ -29,9 +29,10 @@ struct ThinSvd {
 ThinSvd jacobi_svd(const Matrix& a, double tol = 1e-12, int max_sweeps = 60);
 
 struct RowSpaceSvd {
-  std::vector<double> sigma;  ///< m singular values, descending, >= 0
-  Matrix u;                   ///< m×m orthogonal (columns = left vectors)
-  Matrix w;                   ///< m×d, row i = sigma[i] * v_iᵀ
+  std::vector<double> sigma;  ///< all m singular values, descending, >= 0
+  Matrix u;                   ///< m×r, orthonormal columns (left vectors);
+                              ///< r = min(m, max_rank)
+  Matrix w;                   ///< r×d, row i = sigma[i] * v_iᵀ
 };
 
 class Workspace;
@@ -44,8 +45,12 @@ RowSpaceSvd gram_row_svd(const Matrix& a);
 /// Allocation-free variant: Gram and eig scratch live in `ws`, and `out`
 /// is reshaped in place, so repeated same-shape calls never touch the
 /// heap. `a` must not alias workspace storage (it is read after scratch
-/// matrices are written).
-void gram_row_svd(MatrixView a, Workspace& ws, RowSpaceSvd& out);
+/// matrices are written). `max_rank` caps how many singular directions are
+/// materialized in u/w (sigma always holds all m values) — callers that
+/// only consume a known prefix (FD keeps < ℓ of 2ℓ, PCA keeps k) skip the
+/// eigenvector back-transformation and the Uᵀ·A GEMM for the rest.
+void gram_row_svd(MatrixView a, Workspace& ws, RowSpaceSvd& out,
+                  std::size_t max_rank = static_cast<std::size_t>(-1));
 
 /// Recovers the top-k right singular vectors (k×d, orthonormal rows) from a
 /// RowSpaceSvd, skipping directions with sigma below `rank_tol` relative to
@@ -63,15 +68,19 @@ Matrix svd_reconstruct(const ThinSvd& s);
 /// short-fat matrices go through the m×m row Gram (gram_row_svd), tall
 /// ones through the n×n column Gram — always the smaller eigenproblem.
 struct SigmaVt {
-  std::vector<double> sigma;  ///< min(m, n) values, descending, >= 0
-  Matrix w;                   ///< min(m, n) × n, row i = sigma[i]·vᵢᵀ
+  std::vector<double> sigma;  ///< all min(m, n) values, descending, >= 0
+  Matrix w;                   ///< min(m, n, max_rank) × n, row i = sigma[i]·vᵢᵀ
 };
 SigmaVt sigma_vt_svd(const Matrix& a);
 
 /// Allocation-free variant — the FD shrink entry point. The caller holds
 /// one Workspace and one SigmaVt for the lifetime of the sketch; at steady
 /// state (constant buffer shape) this performs zero heap allocations.
-void sigma_vt_svd(MatrixView a, Workspace& ws, SigmaVt& out);
+/// `max_rank` caps the rows of `w` (sigma always holds every value): the
+/// FD shrink keeps at most ℓ−1 of its 2ℓ directions, so passing ℓ halves
+/// the eigenvector back-transformation and W-forming work.
+void sigma_vt_svd(MatrixView a, Workspace& ws, SigmaVt& out,
+                  std::size_t max_rank = static_cast<std::size_t>(-1));
 
 /// Randomized truncated SVD (Halko, Martinsson, Tropp 2011): Gaussian
 /// range sketch with `oversample` extra directions and `power_iters`

@@ -38,6 +38,9 @@ std::size_t Workspace::bytes() const {
   for (const auto& v : idxs_) total += v.capacity() * sizeof(std::size_t);
   total += eig_.vectors.capacity_bytes();
   total += eig_.values.capacity() * sizeof(double);
+  total += rsvd_.u.capacity_bytes();
+  total += rsvd_.w.capacity_bytes();
+  total += rsvd_.sigma.capacity() * sizeof(double);
   return total;
 }
 

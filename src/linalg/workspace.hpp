@@ -29,6 +29,7 @@
 
 #include "linalg/eigen_sym.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
 
 namespace arams::linalg {
 
@@ -39,6 +40,19 @@ inline constexpr std::size_t kEigWork = 1;   ///< jacobi eig rotation target
 inline constexpr std::size_t kEigVectors = 2;  ///< jacobi eig accumulator
 inline constexpr std::size_t kEigValues = 0;   ///< vec slot: unsorted values
 inline constexpr std::size_t kEigOrder = 0;    ///< idx slot: sort permutation
+// Tridiagonal eigensolver (eigen_tridiag.cpp). Jacobi and tridiag are
+// alternatives at the same layer, but they keep disjoint ids so flipping
+// ARAMS_EIG_METHOD mid-process never hands one solver the other's scratch.
+inline constexpr std::size_t kTrdWork = 3;     ///< reduction target / V store
+inline constexpr std::size_t kTrdPanelV = 4;   ///< dlatrd panel V (n×nb)
+inline constexpr std::size_t kTrdPanelW = 5;   ///< dlatrd panel W (n×nb)
+inline constexpr std::size_t kTrdUpdate = 6;   ///< V·Wᵀ trailing product
+inline constexpr std::size_t kTrdZ = 7;        ///< QL rotation accumulator
+inline constexpr std::size_t kTrdDiag = 1;     ///< vec slot: tridiag diagonal
+inline constexpr std::size_t kTrdOff = 2;      ///< vec slot: tridiag off-diag
+inline constexpr std::size_t kTrdTau = 3;      ///< vec slot: Householder taus
+inline constexpr std::size_t kTrdScratch = 4;  ///< vec slot: reflector scratch
+inline constexpr std::size_t kTrdScratch2 = 5; ///< vec slot: panel corrections
 }  // namespace wslot
 
 class Workspace {
@@ -61,9 +75,14 @@ class Workspace {
   std::span<std::size_t> idx(std::size_t slot, std::size_t n);
 
   /// Reusable eigendecomposition output — sigma_vt_svd and gram_row_svd
-  /// funnel their internal Jacobi call through this so the eigenvector
-  /// matrix is recycled too.
+  /// funnel their internal eigen_symmetric call through this so the
+  /// eigenvector matrix is recycled too.
   SymmetricEig& eig() { return eig_; }
+
+  /// Reusable row-space SVD output — callers that rebuild a RowSpaceSvd
+  /// per call (e.g. PCA snapshot projection) draw it from here so the
+  /// u/w factors are recycled alongside the rest of the arena.
+  RowSpaceSvd& rsvd() { return rsvd_; }
 
   /// Total heap bytes currently reserved across every buffer (grow-only).
   [[nodiscard]] std::size_t bytes() const;
@@ -83,6 +102,7 @@ class Workspace {
   std::deque<std::vector<double>> vecs_;
   std::deque<std::vector<std::size_t>> idxs_;
   SymmetricEig eig_;
+  RowSpaceSvd rsvd_;
 };
 
 }  // namespace arams::linalg

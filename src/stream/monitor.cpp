@@ -216,8 +216,8 @@ SnapshotResult StreamingMonitor::snapshot() {
   const Matrix sketch = sketcher_.sketch();
   ARAMS_CHECK(sketch.rows() > 0, "sketch is empty — ingest more frames");
 
-  const embed::PcaProjector pca(
-      sketch, config_.pipeline.pca_components);
+  const embed::PcaProjector pca(sketch, config_.pipeline.pca_components,
+                                pca_ws_);
   out.latent = pca.project(rows);
 
   embed::UmapConfig umap_config = config_.pipeline.umap;
@@ -268,7 +268,8 @@ SnapshotResult StreamingMonitor::snapshot_incremental() {
     out.shot_ids.push_back(shot);
   }
   const Matrix sketch = sketcher_.sketch();
-  const embed::PcaProjector pca(sketch, config_.pipeline.pca_components);
+  const embed::PcaProjector pca(sketch, config_.pipeline.pca_components,
+                                pca_ws_);
   out.latent = pca.project(rows);
   ARAMS_CHECK(out.latent.cols() == reference_latent_.cols(),
               "latent dimension changed — take a full snapshot");

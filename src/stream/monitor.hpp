@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/error_tracker.hpp"
+#include "linalg/workspace.hpp"
 #include "obs/health.hpp"
 #include "obs/stage_report.hpp"
 #include "stream/pipeline.hpp"
@@ -149,6 +150,9 @@ class StreamingMonitor {
   std::vector<std::vector<double>> batch_rows_;
   std::deque<std::pair<std::uint64_t, std::vector<double>>> reservoir_;
   std::size_t dim_ = 0;
+  /// Scratch for the per-snapshot PCA rebuild (Gram, eigensolver, SVD
+  /// factors) — persists across snapshots so refreshes stop allocating.
+  linalg::Workspace pca_ws_;
 
   /// Frozen reference from the last full snapshot (for incremental mode).
   linalg::Matrix reference_latent_;

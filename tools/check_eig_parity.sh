@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Eigensolver parity harness: replays the same synthetic frame stream
+# through `arams sketch --report-error` under ARAMS_EIG_METHOD=jacobi and
+# =tridiag and diffs the reported relative covariance error. The two
+# solvers are different algorithms over the same math, so the stream-level
+# sketch quality must agree far inside the FD bound; a drift here means an
+# eigensolver bug that the unit-level cross-checks missed.
+#
+# Invoked by ctest as `eig_parity` with ARAMS_BIN pointing at arams_cli.
+set -euo pipefail
+
+BIN="${ARAMS_BIN:?ARAMS_BIN must point at the arams binary}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+error_for() {
+  # $1 = eig method, $2 = workload kind, $3 = ell
+  ARAMS_EIG_METHOD="$1" "$BIN" sketch --in="$DIR/$2.frames" --ell="$3" \
+    --out="$DIR/sketch_$1_$2.npy" --report-error \
+    | sed -n 's/.*relative covariance error: \([0-9.eE+-]*\).*/\1/p'
+}
+
+"$BIN" generate --kind=beam --frames=120 --size=24 \
+  --out="$DIR/beam.frames" >/dev/null
+"$BIN" generate --kind=diffraction --frames=120 --size=24 --classes=3 \
+  --out="$DIR/diffraction.frames" >/dev/null
+
+status=0
+for kind in beam diffraction; do
+  for ell in 8 16; do
+    jac="$(error_for jacobi "$kind" "$ell")"
+    tri="$(error_for tridiag "$kind" "$ell")"
+    if ! python3 - "$jac" "$tri" "$kind" "$ell" <<'EOF'
+import sys
+jac, tri = float(sys.argv[1]), float(sys.argv[2])
+kind, ell = sys.argv[3], sys.argv[4]
+# The reported error is O(1/ell); the solvers may differ only at the
+# level of eigensolver roundoff propagated through the stream.
+tol = 1e-8
+drift = abs(jac - tri)
+ok = drift <= tol
+tag = "ok" if ok else "FAIL"
+print(f"[{tag}] {kind} ell={ell}: jacobi={jac:.12g} tridiag={tri:.12g} "
+      f"drift={drift:.3g} (tol {tol:g})")
+sys.exit(0 if ok else 1)
+EOF
+    then
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "eigensolver parity FAILED"
+  exit 1
+fi
+echo "eigensolver parity OK"
