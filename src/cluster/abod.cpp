@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/blas.hpp"
 #include "rng/rng.hpp"
 #include "util/check.hpp"
 
@@ -11,41 +12,47 @@ namespace arams::cluster {
 
 using linalg::Matrix;
 
-std::vector<double> fast_abod(const Matrix& points, const AbodConfig& config) {
+std::vector<double> fast_abod(const Matrix& points, const AbodConfig& config,
+                              linalg::Workspace& ws,
+                              const embed::DistanceOptions& opts) {
   const std::size_t n = points.rows();
   const std::size_t dim = points.cols();
   ARAMS_CHECK(config.k >= 2, "ABOD needs k >= 2");
   ARAMS_CHECK(n > config.k, "need more points than k");
+  const std::size_t k = config.k;
 
   Rng rng(0);  // exact kNN only; rng unused but required by the builder
-  const embed::KnnGraph graph =
-      embed::build_knn(points, config.k, rng);
+  embed::KnnGraph graph;
+  embed::build_knn(points, k, rng, ws, graph, /*exact_threshold=*/4096, opts);
 
   std::vector<double> scores(n, 0.0);
-  std::vector<std::vector<double>> diffs(config.k,
-                                         std::vector<double>(dim));
-  std::vector<double> norms(config.k);
+  // Per-point scratch: the k neighbour-difference vectors and their Gram
+  // matrix, reused (grow-only) across all n points.
+  Matrix& diffs = ws.mat(linalg::wslot::kDistGather, k, dim);
+  Matrix& gram = ws.mat(linalg::wslot::kDistGram, k, k);
+  std::vector<double> norms(k);
 
   for (std::size_t p = 0; p < n; ++p) {
     const auto row_p = points.row(p);
-    for (std::size_t a = 0; a < config.k; ++a) {
+    for (std::size_t a = 0; a < k; ++a) {
       const auto row_a = points.row(graph.neighbor(p, a));
-      double nrm = 0.0;
+      const auto da = diffs.row(a);
       for (std::size_t c = 0; c < dim; ++c) {
-        diffs[a][c] = row_a[c] - row_p[c];
-        nrm += diffs[a][c] * diffs[a][c];
+        da[c] = row_a[c] - row_p[c];
       }
-      norms[a] = std::sqrt(nrm);
+    }
+    // One tiled Gram product hands every pair its inner product and both
+    // norms; the O(k²) angle-statistics loop below no longer touches d.
+    linalg::gram_rows(diffs, gram);
+    for (std::size_t a = 0; a < k; ++a) {
+      norms[a] = std::sqrt(gram(a, a));
     }
     double wsum = 0.0, mean = 0.0, m2 = 0.0;
-    for (std::size_t a = 0; a < config.k; ++a) {
+    for (std::size_t a = 0; a < k; ++a) {
       if (norms[a] == 0.0) continue;
-      for (std::size_t b = a + 1; b < config.k; ++b) {
+      for (std::size_t b = a + 1; b < k; ++b) {
         if (norms[b] == 0.0) continue;
-        double inner = 0.0;
-        for (std::size_t c = 0; c < dim; ++c) {
-          inner += diffs[a][c] * diffs[b][c];
-        }
+        const double inner = gram(a, b);
         const double value =
             inner / (norms[a] * norms[a] * norms[b] * norms[b]);
         const double w = 1.0 / (norms[a] * norms[b]);
@@ -59,6 +66,11 @@ std::vector<double> fast_abod(const Matrix& points, const AbodConfig& config) {
     scores[p] = (wsum > 0.0) ? m2 / wsum : 0.0;
   }
   return scores;
+}
+
+std::vector<double> fast_abod(const Matrix& points, const AbodConfig& config) {
+  linalg::Workspace ws;
+  return fast_abod(points, config, ws);
 }
 
 std::vector<double> exact_abod(const Matrix& points) {

@@ -25,6 +25,16 @@ struct AbodConfig {
 std::vector<double> fast_abod(const linalg::Matrix& points,
                               const AbodConfig& config);
 
+/// Workspace-backed FastABOD: the kNN build and the per-point pair
+/// statistics run through the shared distance engine — each point's k
+/// neighbour-difference vectors are assembled once and their Gram matrix
+/// G(a,b) = ⟨pa, pb⟩ supplies every pairwise inner product and norm, so the
+/// O(k²) angle loop does O(1) work per pair instead of O(d).
+std::vector<double> fast_abod(const linalg::Matrix& points,
+                              const AbodConfig& config,
+                              linalg::Workspace& ws,
+                              const embed::DistanceOptions& opts = {});
+
 /// Exact ABOD over all point pairs — O(n³·d); reference implementation for
 /// validating FastABOD's ranking on small sets.
 std::vector<double> exact_abod(const linalg::Matrix& points);

@@ -12,14 +12,7 @@ using linalg::Matrix;
 
 namespace {
 
-double sq_dist(std::span<const double> a, std::span<const double> b) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
-}
+using embed::sq_dist;
 
 /// k-means++ seeding: each next centroid is drawn ∝ distance² to the
 /// nearest already-chosen centroid.
@@ -56,7 +49,9 @@ Matrix seed_centroids(const Matrix& points, std::size_t k, Rng& rng) {
 }
 
 KmeansResult run_once(const Matrix& points, const KmeansConfig& config,
-                      Rng& rng) {
+                      Rng& rng, linalg::Workspace& ws,
+                      std::span<const double> point_norms,
+                      const embed::DistanceOptions& opts) {
   const std::size_t n = points.rows();
   const std::size_t k = config.k;
   KmeansResult result;
@@ -66,16 +61,24 @@ KmeansResult run_once(const Matrix& points, const KmeansConfig& config,
   double prev_inertia = std::numeric_limits<double>::infinity();
   std::vector<std::size_t> counts(k);
   Matrix sums(k, points.cols());
+  Matrix& d2 = ws.mat(linalg::wslot::kDistBlock, n, k);
   for (int iter = 0; iter < config.max_iters; ++iter) {
-    // Assignment step.
+    // Assignment step: one n×k engine block per Lloyd iteration (point
+    // norms are hoisted by the caller; centroid norms change every
+    // iteration). The argmin scans centroids in index order, preserving
+    // the historical first-wins tie behaviour.
+    const auto centroid_norms = ws.vec(linalg::wslot::kDistYNorms, k);
+    embed::row_sq_norms(result.centroids, centroid_norms);
+    embed::pairwise_sq_dists_prenormed(points, result.centroids, point_norms,
+                                       centroid_norms, ws, d2, opts);
     double inertia = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
+      const auto row = d2.row(i);
       double best = std::numeric_limits<double>::infinity();
       int best_c = 0;
       for (std::size_t c = 0; c < k; ++c) {
-        const double d = sq_dist(points.row(i), result.centroids.row(c));
-        if (d < best) {
-          best = d;
+        if (row[c] < best) {
+          best = row[c];
           best_c = static_cast<int>(c);
         }
       }
@@ -134,21 +137,34 @@ KmeansResult run_once(const Matrix& points, const KmeansConfig& config,
 
 }  // namespace
 
-KmeansResult kmeans(const Matrix& points, const KmeansConfig& config) {
+KmeansResult kmeans(const Matrix& points, const KmeansConfig& config,
+                    linalg::Workspace& ws,
+                    const embed::DistanceOptions& opts) {
   ARAMS_CHECK(config.k >= 1, "k must be >= 1");
   ARAMS_CHECK(points.rows() >= config.k, "need at least k points");
   ARAMS_CHECK(config.restarts >= 1, "need at least one restart");
 
   Rng rng(config.seed);
+  // Point norms never change: hoist them across every iteration of every
+  // restart.
+  const auto point_norms = ws.vec(linalg::wslot::kDistXNorms, points.rows());
+  embed::row_sq_norms(points, point_norms);
+
   KmeansResult best;
   best.inertia = std::numeric_limits<double>::infinity();
   for (int r = 0; r < config.restarts; ++r) {
-    KmeansResult candidate = run_once(points, config, rng);
+    KmeansResult candidate = run_once(points, config, rng, ws, point_norms,
+                                      opts);
     if (candidate.inertia < best.inertia) {
       best = std::move(candidate);
     }
   }
   return best;
+}
+
+KmeansResult kmeans(const Matrix& points, const KmeansConfig& config) {
+  linalg::Workspace ws;
+  return kmeans(points, config, ws);
 }
 
 }  // namespace arams::cluster

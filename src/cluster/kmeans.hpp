@@ -7,7 +7,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "embed/distance.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/workspace.hpp"
 #include "rng/rng.hpp"
 
 namespace arams::cluster {
@@ -29,5 +31,13 @@ struct KmeansResult {
 
 /// Runs k-means on Euclidean rows. Requires k >= 1 and n >= k.
 KmeansResult kmeans(const linalg::Matrix& points, const KmeansConfig& config);
+
+/// Workspace-backed k-means: each Lloyd assignment step computes the full
+/// n×k point-to-centroid distance matrix as one engine block (squared point
+/// norms hoisted across all iterations and restarts); the argmin scan keeps
+/// the historical first-wins tie order over centroids.
+KmeansResult kmeans(const linalg::Matrix& points, const KmeansConfig& config,
+                    linalg::Workspace& ws,
+                    const embed::DistanceOptions& opts = {});
 
 }  // namespace arams::cluster

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/stopwatch.hpp"
 
 namespace arams::cluster {
 
@@ -14,24 +16,18 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-double dist(const Matrix& pts, std::size_t a, std::size_t b) {
-  double s = 0.0;
-  const auto ra = pts.row(a);
-  const auto rb = pts.row(b);
-  for (std::size_t i = 0; i < ra.size(); ++i) {
-    const double d = ra[i] - rb[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
-}
-
 }  // namespace
 
-OpticsResult optics(const Matrix& points, const OpticsConfig& config) {
+OpticsResult optics(const Matrix& points, const OpticsConfig& config,
+                    linalg::Workspace& ws,
+                    const embed::DistanceOptions& opts) {
   const std::size_t n = points.rows();
   ARAMS_CHECK(n >= 2, "OPTICS needs at least two points");
   ARAMS_CHECK(config.min_pts >= 2 && config.min_pts <= n,
               "min_pts out of range");
+  static obs::Histogram& core_dist_seconds =
+      obs::metrics().histogram("cluster.core_dist_seconds");
+  Accumulator range_time;
 
   OpticsResult result;
   result.order.reserve(n);
@@ -42,11 +38,23 @@ OpticsResult optics(const Matrix& points, const OpticsConfig& config) {
   std::vector<double> dists(n);
   std::vector<std::size_t> neighbors;
 
+  // Hoisted across the whole traversal: every range query reuses the same
+  // point norms and writes its squared-distance row into the same block.
+  const auto norms = ws.vec(linalg::wslot::kDistYNorms, n);
+  embed::row_sq_norms(points, norms);
+  Matrix& drow = ws.mat(linalg::wslot::kDistBlock, 1, n);
+  const auto nd = ws.vec(linalg::wslot::kDistXNorms, n);  // selection scratch
+
   const auto range_query = [&](std::size_t p) {
+    Stopwatch timer;
+    const auto prow = linalg::MatrixView::rows_of(points, p, p + 1);
+    embed::pairwise_sq_dists_prenormed(prow, points, norms.subspan(p, 1),
+                                       norms, ws, drow, opts);
+    const auto dsq = drow.row(0);
     neighbors.clear();
     for (std::size_t q = 0; q < n; ++q) {
       if (q == p) continue;
-      dists[q] = dist(points, p, q);
+      dists[q] = std::sqrt(dsq[q]);
       if (dists[q] <= config.max_eps) {
         neighbors.push_back(q);
       }
@@ -54,17 +62,19 @@ OpticsResult optics(const Matrix& points, const OpticsConfig& config) {
     // Core distance = distance to the (min_pts−1)-th neighbour (the point
     // itself counts toward min_pts, as in the original paper).
     if (neighbors.size() + 1 >= config.min_pts) {
-      std::vector<double> nd;
-      nd.reserve(neighbors.size());
-      for (const std::size_t q : neighbors) nd.push_back(dists[q]);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        nd[i] = dists[neighbors[i]];
+      }
       const std::size_t kth = config.min_pts - 2;  // 0-based among neighbours
       std::nth_element(nd.begin(),
                        nd.begin() + static_cast<std::ptrdiff_t>(kth),
-                       nd.end());
+                       nd.begin() + static_cast<std::ptrdiff_t>(
+                                        neighbors.size()));
       result.core_distance[p] = nd[kth];
     } else {
       result.core_distance[p] = kInf;
     }
+    range_time.add(timer.seconds());
   };
 
   // Lazy-deletion min-heap keyed by candidate reachability.
@@ -102,7 +112,13 @@ OpticsResult optics(const Matrix& points, const OpticsConfig& config) {
     }
   }
   ARAMS_CHECK(result.order.size() == n, "OPTICS ordering incomplete");
+  core_dist_seconds.observe(range_time.total_seconds());
   return result;
+}
+
+OpticsResult optics(const Matrix& points, const OpticsConfig& config) {
+  linalg::Workspace ws;
+  return optics(points, config, ws);
 }
 
 std::vector<int> extract_dbscan(const OpticsResult& result, double eps) {

@@ -11,7 +11,9 @@
 #include <limits>
 #include <vector>
 
+#include "embed/distance.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/workspace.hpp"
 
 namespace arams::cluster {
 
@@ -27,8 +29,21 @@ struct OpticsResult {
 };
 
 /// Runs OPTICS with brute-force range queries (O(n²) — the embeddings this
-/// pipeline clusters are 2-D and a few thousand points).
+/// pipeline clusters are 2-D and a few thousand points). Each visited
+/// point's full distance row comes from the shared engine as one 1×n block
+/// (embed/distance.hpp), with all point norms hoisted out of the traversal;
+/// range-query wall time per call accumulates into the
+/// "cluster.core_dist_seconds" histogram. The traversal itself is
+/// inherently sequential, so the ordering is identical for any pool size.
 OpticsResult optics(const linalg::Matrix& points, const OpticsConfig& config);
+
+/// Workspace-backed variant: the distance row, point norms and core-dist
+/// selection scratch all come from `ws` (allocation-free at steady state on
+/// the serial path). `opts.use_gemm = false` reproduces the historical
+/// per-pair scalar arithmetic bit for bit.
+OpticsResult optics(const linalg::Matrix& points, const OpticsConfig& config,
+                    linalg::Workspace& ws,
+                    const embed::DistanceOptions& opts = {});
 
 /// ε-cut extraction: walking the ordering, a point with reachability > eps
 /// starts a new cluster if it is a core point at eps, else is noise (-1).

@@ -1,15 +1,27 @@
 #pragma once
 // k-nearest-neighbour graphs over latent points.
 //
-// Two constructions: exact brute force (O(n²·k) — the latent dimension is
-// small after PCA, so this is fine for the few-thousand-point embeddings
-// the monitoring pipeline draws), and NN-descent (Dong et al. 2011), the
-// approximate method reference UMAP uses, for larger point sets.
+// Two constructions: exact brute force (blocked GEMM distance blocks from
+// the shared engine in distance.hpp plus a per-row partial select — the
+// latent dimension is small after PCA, so this is fine for the
+// few-thousand-point embeddings the monitoring pipeline draws), and
+// NN-descent (Dong et al. 2011), the approximate method reference UMAP
+// uses, for larger point sets. Both record their wall time in the
+// "embed.knn_seconds" histogram.
+//
+// The workspace overloads draw every scratch block (distance block, row
+// norms, gathered candidate Gram) from a caller-owned linalg::Workspace and
+// reuse the output graph's storage, so a snapshot loop that rebuilds the
+// graph at a fixed shape performs no steady-state heap allocations on the
+// serial path. The plain overloads are conveniences that own a local
+// workspace per call.
 
 #include <cstddef>
 #include <vector>
 
+#include "embed/distance.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/workspace.hpp"
 #include "rng/rng.hpp"
 
 namespace arams::embed {
@@ -30,8 +42,15 @@ struct KnnGraph {
   }
 };
 
-/// Exact kNN by brute force. Excludes self-neighbours. Requires k < n.
+/// Exact kNN by blocked brute force. Excludes self-neighbours. Requires
+/// k < n.
 KnnGraph exact_knn(const linalg::Matrix& points, std::size_t k);
+
+/// Workspace-backed exact kNN: distance blocks and selection scratch come
+/// from `ws`, the graph is rebuilt in place into `out`.
+void exact_knn(const linalg::Matrix& points, std::size_t k,
+               linalg::Workspace& ws, KnnGraph& out,
+               const DistanceOptions& opts = {});
 
 /// Approximate kNN via NN-descent. `iters` full passes; `sample_rate`
 /// controls the candidate pool per pass. Recall is typically > 0.9 after
@@ -39,10 +58,22 @@ KnnGraph exact_knn(const linalg::Matrix& points, std::size_t k);
 KnnGraph nn_descent(const linalg::Matrix& points, std::size_t k, Rng& rng,
                     int iters = 6, double sample_rate = 1.0);
 
+/// Workspace-backed NN-descent: candidate scoring goes through gathered
+/// Gram blocks drawn from `ws` instead of per-pair scalar loops.
+void nn_descent(const linalg::Matrix& points, std::size_t k, Rng& rng,
+                linalg::Workspace& ws, KnnGraph& out, int iters = 6,
+                double sample_rate = 1.0, const DistanceOptions& opts = {});
+
 /// Builds a kNN graph choosing the method by size: exact below
 /// `exact_threshold` points, NN-descent above.
 KnnGraph build_knn(const linalg::Matrix& points, std::size_t k, Rng& rng,
                    std::size_t exact_threshold = 4096);
+
+/// Workspace-backed build_knn (same method selection).
+void build_knn(const linalg::Matrix& points, std::size_t k, Rng& rng,
+               linalg::Workspace& ws, KnnGraph& out,
+               std::size_t exact_threshold = 4096,
+               const DistanceOptions& opts = {});
 
 /// Fraction of true kNN edges recovered (test / diagnostic helper).
 double knn_recall(const KnnGraph& approx, const KnnGraph& exact);

@@ -6,6 +6,7 @@
 
 #include "embed/pca.hpp"
 #include "linalg/blas.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace arams::embed {
@@ -369,6 +370,143 @@ void optimize_layout(Matrix& y, const FuzzyGraph& graph,
   }
 }
 
+/// Batch-parallel layout (umappp-style). Per epoch: the layout is frozen
+/// into y_prev, the edge list is split into kPartitions fixed contiguous
+/// ranges, and each partition accumulates its gradient steps into a private
+/// delta matrix while reading only y_prev. Deltas are then folded into y in
+/// partition order. Nothing shared is written concurrently (TSan-clean) and
+/// both the partitioning and the reduction order are independent of the
+/// pool size, so the result is deterministic for any thread count —
+/// including one, which is how the serial-equivalence test runs it.
+/// Negative samples come from per-edge-per-epoch split RNG streams.
+void optimize_layout_batch(Matrix& y, const FuzzyGraph& graph,
+                           const UmapConfig& config, double a, double b,
+                           const Rng& rng) {
+  const std::size_t n = y.rows();
+  const std::size_t dim = y.cols();
+  const int n_epochs = config.n_epochs;
+  if (graph.edges.empty()) return;
+
+  double w_max = 0.0;
+  for (const auto& e : graph.edges) w_max = std::max(w_max, e.weight);
+
+  const std::size_t m = graph.edges.size();
+  std::vector<double> epochs_per_sample(m);
+  std::vector<double> epoch_of_next(m);
+  std::vector<double> epochs_per_negative(m);
+  std::vector<double> epoch_of_next_negative(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    epochs_per_sample[e] = w_max / graph.edges[e].weight;
+    epoch_of_next[e] = epochs_per_sample[e];
+    epochs_per_negative[e] =
+        epochs_per_sample[e] / std::max(config.negative_samples, 1);
+    epoch_of_next_negative[e] = epochs_per_negative[e];
+  }
+
+  constexpr std::size_t kPartitions = 16;
+  const std::size_t parts = std::min(kPartitions, m);
+  std::vector<Matrix> deltas;
+  deltas.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) deltas.emplace_back(n, dim);
+  Matrix y_prev(n, dim);
+
+  parallel::ThreadPool& pool = parallel::shared_pool();
+  const bool parallel_epochs = pool.thread_count() >= 2;
+
+  const double gamma = config.repulsion_strength;
+  for (int epoch = 1; epoch <= n_epochs; ++epoch) {
+    const double alpha =
+        config.learning_rate *
+        (1.0 - static_cast<double>(epoch) / static_cast<double>(n_epochs));
+    std::copy(y.data(), y.data() + n * dim, y_prev.data());
+
+    const auto run_partition = [&](std::size_t p) {
+      Matrix& delta = deltas[p];
+      std::fill(delta.data(), delta.data() + n * dim, 0.0);
+      const std::size_t e0 = m * p / parts;
+      const std::size_t e1 = m * (p + 1) / parts;
+      for (std::size_t e = e0; e < e1; ++e) {
+        if (epoch_of_next[e] > epoch) continue;
+        const auto& edge = graph.edges[e];
+        const auto yu = y_prev.row(edge.u);
+        const auto yv = y_prev.row(edge.v);
+        auto du = delta.row(edge.u);
+        auto dv = delta.row(edge.v);
+
+        double d2 = 0.0;
+        for (std::size_t c = 0; c < dim; ++c) {
+          const double diff = yu[c] - yv[c];
+          d2 += diff * diff;
+        }
+        if (d2 > 0.0) {
+          const double coeff = (-2.0 * a * b * std::pow(d2, b - 1.0)) /
+                               (1.0 + a * std::pow(d2, b));
+          for (std::size_t c = 0; c < dim; ++c) {
+            const double g = clip4(coeff * (yu[c] - yv[c]));
+            du[c] += alpha * g;
+            dv[c] -= alpha * g;
+          }
+        }
+        epoch_of_next[e] += epochs_per_sample[e];
+
+        const int n_neg = static_cast<int>(
+            (epoch - epoch_of_next_negative[e]) / epochs_per_negative[e]) + 1;
+        Rng neg_rng = rng.split(static_cast<std::uint64_t>(epoch) * m + e);
+        for (int s = 0; s < n_neg; ++s) {
+          const std::size_t r = neg_rng.uniform_index(n);
+          if (r == edge.u || r == edge.v) continue;
+          const auto yr = y_prev.row(r);
+          double rd2 = 0.0;
+          for (std::size_t c = 0; c < dim; ++c) {
+            const double diff = yu[c] - yr[c];
+            rd2 += diff * diff;
+          }
+          double coeff = 0.0;
+          if (rd2 > 0.0) {
+            coeff = (2.0 * gamma * b) /
+                    ((0.001 + rd2) * (1.0 + a * std::pow(rd2, b)));
+          }
+          for (std::size_t c = 0; c < dim; ++c) {
+            const double g =
+                (coeff > 0.0) ? clip4(coeff * (yu[c] - yr[c])) : 4.0;
+            du[c] += alpha * g;
+          }
+        }
+        epoch_of_next_negative[e] +=
+            epochs_per_negative[e] * static_cast<double>(n_neg);
+      }
+    };
+
+    if (parallel_epochs) {
+      pool.parallel_for(parts, run_partition);
+    } else {
+      for (std::size_t p = 0; p < parts; ++p) run_partition(p);
+    }
+
+    // Deterministic reduction: partition 0 first, always.
+    for (std::size_t p = 0; p < parts; ++p) {
+      const double* src = deltas[p].data();
+      double* dst = y.data();
+      for (std::size_t i = 0; i < n * dim; ++i) dst[i] += src[i];
+    }
+  }
+}
+
+/// Resolves UmapConfig::Optimizer::kAuto by total edge-epoch visit count.
+bool use_batch_optimizer(const FuzzyGraph& graph, const UmapConfig& config) {
+  switch (config.optimizer) {
+    case UmapConfig::Optimizer::kSerial:
+      return false;
+    case UmapConfig::Optimizer::kBatchParallel:
+      return true;
+    case UmapConfig::Optimizer::kAuto:
+      break;
+  }
+  const double visits = static_cast<double>(graph.edges.size()) *
+                        static_cast<double>(std::max(config.n_epochs, 0));
+  return visits >= 2e7;
+}
+
 }  // namespace
 
 Matrix umap_embed_graph(const Matrix& points, const KnnGraph& graph,
@@ -382,13 +520,87 @@ Matrix umap_embed_graph(const Matrix& points, const KnnGraph& graph,
   const auto [a, b] = fit_ab(config.spread, config.min_dist);
 
   Matrix y = initialize_embedding(points, fuzzy, config, rng);
-  optimize_layout(y, fuzzy, config, a, b, rng);
+  if (use_batch_optimizer(fuzzy, config)) {
+    optimize_layout_batch(y, fuzzy, config, a, b, rng);
+  } else {
+    optimize_layout(y, fuzzy, config, a, b, rng);
+  }
   return y;
 }
 
+namespace {
+
+/// Places one new point given its squared-distance row against the
+/// reference set: weighted-average init from the k nearest, then a short
+/// attract-only refinement driven by the point's own RNG stream (so every
+/// point is independent and the loop can fan across the pool).
+void place_new_point(std::span<const double> dist_row, std::size_t k,
+                     const Matrix& reference_embedding,
+                     const UmapConfig& config, double a, double b,
+                     const Rng& base_rng, std::size_t point_index,
+                     std::span<double> yi) {
+  const std::size_t n_ref = dist_row.size();
+  const std::size_t dim = yi.size();
+  thread_local std::vector<std::pair<double, std::size_t>> cand;
+  thread_local std::vector<double> w;
+  cand.resize(n_ref);
+  for (std::size_t j = 0; j < n_ref; ++j) cand[j] = {dist_row[j], j};
+  std::partial_sort(cand.begin(),
+                    cand.begin() + static_cast<std::ptrdiff_t>(k),
+                    cand.end());
+
+  // Membership weights from the same smooth-kNN kernel.
+  const double rho = std::sqrt(cand[0].first);
+  double sigma = std::max(
+      std::sqrt(cand[k - 1].first) - rho, 1e-3 * (rho + 1e-12));
+  if (sigma <= 0.0) sigma = 1.0;
+  w.resize(k);
+  double wsum = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double d = std::sqrt(cand[j].first) - rho;
+    w[j] = (d <= 0.0) ? 1.0 : std::exp(-d / sigma);
+    wsum += w[j];
+  }
+
+  // Init: weighted average of neighbour embeddings.
+  for (std::size_t c = 0; c < dim; ++c) yi[c] = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto ref = reference_embedding.row(cand[j].second);
+    for (std::size_t c = 0; c < dim; ++c) {
+      yi[c] += (w[j] / wsum) * ref[c];
+    }
+  }
+
+  // Short attract-only refinement toward the neighbours (the reference
+  // embedding is frozen; repulsion would need global context).
+  Rng rng = base_rng.split(point_index);
+  const int epochs = std::max(config.n_epochs / 6, 10);
+  for (int epoch = 1; epoch <= epochs; ++epoch) {
+    const double alpha = config.learning_rate * 0.5 *
+                         (1.0 - static_cast<double>(epoch) / epochs);
+    const std::size_t j = rng.uniform_index(k);
+    const auto ref = reference_embedding.row(cand[j].second);
+    double d2 = 0.0;
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double diff = yi[c] - ref[c];
+      d2 += diff * diff;
+    }
+    if (d2 <= 0.0) continue;
+    const double coeff = (-2.0 * a * b * std::pow(d2, b - 1.0)) /
+                         (1.0 + a * std::pow(d2, b));
+    for (std::size_t c = 0; c < dim; ++c) {
+      yi[c] += alpha * (w[j] / wsum) *
+               clip4(coeff * (yi[c] - ref[c]));
+    }
+  }
+}
+
+}  // namespace
+
 Matrix umap_transform(const Matrix& reference_points,
                       const Matrix& reference_embedding,
-                      const Matrix& new_points, const UmapConfig& config) {
+                      const Matrix& new_points, const UmapConfig& config,
+                      linalg::Workspace& ws, const DistanceOptions& opts) {
   ARAMS_CHECK(reference_points.rows() == reference_embedding.rows(),
               "reference points/embedding row mismatch");
   ARAMS_CHECK(new_points.cols() == reference_points.cols(),
@@ -399,82 +611,73 @@ Matrix umap_transform(const Matrix& reference_points,
   const std::size_t dim = reference_embedding.cols();
   const std::size_t k = config.n_neighbors;
   const std::size_t n_ref = reference_points.rows();
-  Rng rng(config.seed ^ 0x77aa77ull);
+  const Rng rng(config.seed ^ 0x77aa77ull);
 
   const auto [a, b] = fit_ab(config.spread, config.min_dist);
   Matrix y(n_new, dim);
 
-  std::vector<std::pair<double, std::size_t>> cand(n_ref);
-  for (std::size_t i = 0; i < n_new; ++i) {
-    // kNN of the new point among the reference set.
-    const auto row = new_points.row(i);
-    for (std::size_t j = 0; j < n_ref; ++j) {
-      double s = 0.0;
-      const auto ref = reference_points.row(j);
-      for (std::size_t c = 0; c < row.size(); ++c) {
-        const double d = row[c] - ref[c];
-        s += d * d;
-      }
-      cand[j] = {s, j};
-    }
-    std::partial_sort(cand.begin(),
-                      cand.begin() + static_cast<std::ptrdiff_t>(k),
-                      cand.end());
+  // New-vs-reference distances stream through the engine in row blocks;
+  // the reference norms are hoisted across every block.
+  const auto ref_norms = ws.vec(linalg::wslot::kDistYNorms, n_ref);
+  row_sq_norms(reference_points, ref_norms);
+  constexpr std::size_t kBlock = 256;
+  Matrix& d = ws.mat(linalg::wslot::kDistBlock, std::min(kBlock, n_new),
+                     n_ref);
 
-    // Membership weights from the same smooth-kNN kernel.
-    const double rho = std::sqrt(cand[0].first);
-    double sigma = std::max(
-        std::sqrt(cand[k - 1].first) - rho, 1e-3 * (rho + 1e-12));
-    if (sigma <= 0.0) sigma = 1.0;
-    std::vector<double> w(k);
-    double wsum = 0.0;
-    for (std::size_t j = 0; j < k; ++j) {
-      const double d = std::sqrt(cand[j].first) - rho;
-      w[j] = (d <= 0.0) ? 1.0 : std::exp(-d / sigma);
-      wsum += w[j];
-    }
+  for (std::size_t b0 = 0; b0 < n_new; b0 += kBlock) {
+    const std::size_t rows = std::min(kBlock, n_new - b0);
+    const linalg::MatrixView queries =
+        linalg::MatrixView::rows_of(new_points, b0, b0 + rows);
+    const auto query_norms = ws.vec(linalg::wslot::kDistXNorms, rows);
+    row_sq_norms(queries, query_norms);
+    pairwise_sq_dists_prenormed(queries, reference_points, query_norms,
+                                ref_norms, ws, d, opts);
 
-    // Init: weighted average of neighbour embeddings.
-    auto yi = y.row(i);
-    for (std::size_t j = 0; j < k; ++j) {
-      const auto ref = reference_embedding.row(cand[j].second);
-      for (std::size_t c = 0; c < dim; ++c) {
-        yi[c] += (w[j] / wsum) * ref[c];
+    const auto place_band = [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t r = r0; r < r1; ++r) {
+        place_new_point(d.row(r), k, reference_embedding, config, a, b, rng,
+                        b0 + r, y.row(b0 + r));
       }
+    };
+    parallel::ThreadPool* pool = nullptr;
+    if (opts.allow_parallel && rows * n_ref >= (std::size_t{1} << 18)) {
+      parallel::ThreadPool& shared = parallel::shared_pool();
+      if (shared.thread_count() >= 2) pool = &shared;
     }
-
-    // Short attract-only refinement toward the neighbours (the reference
-    // embedding is frozen; repulsion would need global context).
-    const int epochs = std::max(config.n_epochs / 6, 10);
-    for (int epoch = 1; epoch <= epochs; ++epoch) {
-      const double alpha = config.learning_rate * 0.5 *
-                           (1.0 - static_cast<double>(epoch) / epochs);
-      const std::size_t j = rng.uniform_index(k);
-      const auto ref = reference_embedding.row(cand[j].second);
-      double d2 = 0.0;
-      for (std::size_t c = 0; c < dim; ++c) {
-        const double diff = yi[c] - ref[c];
-        d2 += diff * diff;
-      }
-      if (d2 <= 0.0) continue;
-      const double coeff = (-2.0 * a * b * std::pow(d2, b - 1.0)) /
-                           (1.0 + a * std::pow(d2, b));
-      for (std::size_t c = 0; c < dim; ++c) {
-        yi[c] += alpha * (w[j] / wsum) *
-                 clip4(coeff * (yi[c] - ref[c]));
-      }
+    if (pool == nullptr) {
+      place_band(0, rows);
+    } else {
+      const std::size_t bands = std::min(rows, pool->thread_count() * 4);
+      pool->parallel_for(bands, [&](std::size_t t) {
+        place_band(rows * t / bands, rows * (t + 1) / bands);
+      });
     }
   }
   return y;
 }
 
-Matrix umap_embed(const Matrix& points, const UmapConfig& config) {
+Matrix umap_transform(const Matrix& reference_points,
+                      const Matrix& reference_embedding,
+                      const Matrix& new_points, const UmapConfig& config) {
+  linalg::Workspace ws;
+  return umap_transform(reference_points, reference_embedding, new_points,
+                        config, ws);
+}
+
+Matrix umap_embed(const Matrix& points, const UmapConfig& config,
+                  linalg::Workspace& ws, const DistanceOptions& opts) {
   ARAMS_CHECK(points.rows() > config.n_neighbors,
               "need more points than n_neighbors");
   Rng rng(config.seed ^ 0xabcdefull);
-  const KnnGraph graph = build_knn(points, config.n_neighbors, rng,
-                                   config.exact_knn_threshold);
+  KnnGraph graph;
+  build_knn(points, config.n_neighbors, rng, ws, graph,
+            config.exact_knn_threshold, opts);
   return umap_embed_graph(points, graph, config);
+}
+
+Matrix umap_embed(const Matrix& points, const UmapConfig& config) {
+  linalg::Workspace ws;
+  return umap_embed(points, config, ws);
 }
 
 }  // namespace arams::embed

@@ -35,6 +35,21 @@ struct UmapConfig {
   Init init = Init::kPca;
   std::uint64_t seed = 42;
   std::size_t exact_knn_threshold = 4096;  ///< above: NN-descent
+
+  /// SGD layout strategy.
+  ///  * kSerial — the reference single-threaded loop: edges visited in
+  ///    order, one shared RNG stream. Bitwise-reproducible run to run.
+  ///  * kBatchParallel — umappp-style batch epochs: gradients for each
+  ///    epoch are evaluated against a frozen copy of the previous layout,
+  ///    edges are split into a fixed number of partitions whose delta
+  ///    matrices are reduced in deterministic order, and negative samples
+  ///    draw from per-edge split RNG streams. Race-free and deterministic
+  ///    regardless of thread count, but a different (batch) update rule, so
+  ///    its layouts differ numerically from kSerial's.
+  ///  * kAuto — kSerial below ~2·10⁷ edge-epoch visits (every existing
+  ///    small-scale caller stays bitwise-identical), kBatchParallel above.
+  enum class Optimizer { kSerial, kBatchParallel, kAuto };
+  Optimizer optimizer = Optimizer::kAuto;
 };
 
 /// Smoothed local metric per point.
@@ -79,6 +94,12 @@ linalg::Matrix spectral_init(const FuzzyGraph& graph,
 linalg::Matrix umap_embed(const linalg::Matrix& points,
                           const UmapConfig& config);
 
+/// Workspace-backed embedding: the kNN build draws its distance blocks
+/// from `ws` (see knn.hpp) so repeated snapshot calls reuse scratch.
+linalg::Matrix umap_embed(const linalg::Matrix& points,
+                          const UmapConfig& config, linalg::Workspace& ws,
+                          const DistanceOptions& opts = {});
+
 /// Embedding starting from a caller-supplied kNN graph (lets the pipeline
 /// reuse one graph for UMAP and diagnostics).
 linalg::Matrix umap_embed_graph(const linalg::Matrix& points,
@@ -95,5 +116,15 @@ linalg::Matrix umap_transform(const linalg::Matrix& reference_points,
                               const linalg::Matrix& reference_embedding,
                               const linalg::Matrix& new_points,
                               const UmapConfig& config);
+
+/// Workspace-backed transform: new-vs-reference distances come from the
+/// blocked GEMM engine in 256-row blocks drawn from `ws`, and per-point
+/// refinement fans across the shared pool (each point owns a split RNG
+/// stream, so results are deterministic and independent of thread count).
+linalg::Matrix umap_transform(const linalg::Matrix& reference_points,
+                              const linalg::Matrix& reference_embedding,
+                              const linalg::Matrix& new_points,
+                              const UmapConfig& config, linalg::Workspace& ws,
+                              const DistanceOptions& opts = {});
 
 }  // namespace arams::embed

@@ -102,30 +102,100 @@ void pack_a_panel(const double* a, std::size_t ars, std::size_t acs,
   }
 }
 
-/// C rows [i, i+mr) (+= not =): mr×jb tile accumulated from a packed mr×kb
-/// A panel and a packed kb×jb B panel. The mr == kMr fast path keeps four
-/// C rows live so the j loop is a straight-line 4-way accumulation the
-/// compiler vectorizes; the generic tail (mr < 4, last tile only) loops.
+// Register tile width of the micro-kernel's j dimension: 4×8 doubles of C
+// accumulators (8 vector registers at AVX width) stay live across the
+// whole k panel, so each C element is touched once per panel instead of
+// once per p — the kernel reads 4 A broadcasts + 2 B vectors per 8 FMAs
+// rather than re-streaming C rows through L1 every step.
+constexpr std::size_t kJr = 8;
+
+// GCC/Clang generic vector of 4 doubles. `aligned(8)` makes loads/stores
+// through v4df* legal at any double boundary (packed panels and C rows are
+// only 8-byte aligned); the compiler lowers it to unaligned vector moves —
+// or pairs of 128-bit ops on baseline ISAs — element-wise arithmetic in
+// the same order as the scalar loops it replaces.
+typedef double v4df __attribute__((vector_size(32), aligned(8)));
+
+inline v4df v4_broadcast(double x) { return v4df{x, x, x, x}; }
+
+/// C rows [i, i+mr): mr×jb tile accumulated from a packed mr×kb A panel and
+/// a packed kb×jb B panel. The mr == kMr fast path walks jb in kJr-wide
+/// register tiles; the generic tail (mr < 4, last tile only) loops.
+///
+/// `first` marks the first k panel (pc == 0): the finished accumulator is
+/// *stored* instead of added into pre-zeroed memory. That skips both the
+/// fill pass and one full read of C — for the inner dimensions this
+/// pipeline runs (k ≤ kKc, a single k panel) it cuts C traffic from three
+/// sweeps to one, which is most of the wall time of a memory-bound product
+/// like a pairwise-distance Gram block. Accumulators start at +0.0, so the
+/// first-panel result is bit-identical to the historical
+/// fill-then-accumulate form (0.0 + x canonicalizes -0.0 products exactly
+/// as accumulating into zeroed memory did).
 void micro_kernel(const double* am, std::size_t kb, const double* bp,
                   std::size_t jb, double* c0, std::size_t ldc,
-                  std::size_t mr) {
+                  std::size_t mr, bool first) {
   if (mr == kMr) {
     double* __restrict r0 = c0;
     double* __restrict r1 = c0 + ldc;
     double* __restrict r2 = c0 + 2 * ldc;
     double* __restrict r3 = c0 + 3 * ldc;
-    for (std::size_t p = 0; p < kb; ++p) {
-      const double a0 = am[p];
-      const double a1 = am[kb + p];
-      const double a2 = am[2 * kb + p];
-      const double a3 = am[3 * kb + p];
-      const double* __restrict b = bp + p * jb;
-      for (std::size_t j = 0; j < jb; ++j) {
-        const double bv = b[j];
-        r0[j] += a0 * bv;
-        r1[j] += a1 * bv;
-        r2[j] += a2 * bv;
-        r3[j] += a3 * bv;
+    std::size_t j0 = 0;
+    for (; j0 + kJr <= jb; j0 += kJr) {
+      v4df acc00{}, acc01{}, acc10{}, acc11{};
+      v4df acc20{}, acc21{}, acc30{}, acc31{};
+      const double* __restrict b = bp + j0;
+      for (std::size_t p = 0; p < kb; ++p, b += jb) {
+        const v4df b0 = *reinterpret_cast<const v4df*>(b);
+        const v4df b1 = *reinterpret_cast<const v4df*>(b + 4);
+        const v4df a0 = v4_broadcast(am[p]);
+        acc00 += a0 * b0;
+        acc01 += a0 * b1;
+        const v4df a1 = v4_broadcast(am[kb + p]);
+        acc10 += a1 * b0;
+        acc11 += a1 * b1;
+        const v4df a2 = v4_broadcast(am[2 * kb + p]);
+        acc20 += a2 * b0;
+        acc21 += a2 * b1;
+        const v4df a3 = v4_broadcast(am[3 * kb + p]);
+        acc30 += a3 * b0;
+        acc31 += a3 * b1;
+      }
+      const auto store = [first](double* c, v4df lo, v4df hi) {
+        v4df* clo = reinterpret_cast<v4df*>(c);
+        v4df* chi = reinterpret_cast<v4df*>(c + 4);
+        if (first) {
+          *clo = lo;
+          *chi = hi;
+        } else {
+          *clo += lo;
+          *chi += hi;
+        }
+      };
+      store(r0 + j0, acc00, acc01);
+      store(r1 + j0, acc10, acc11);
+      store(r2 + j0, acc20, acc21);
+      store(r3 + j0, acc30, acc31);
+    }
+    for (; j0 < jb; ++j0) {
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      const double* b = bp + j0;
+      for (std::size_t p = 0; p < kb; ++p, b += jb) {
+        const double bv = *b;
+        s0 += am[p] * bv;
+        s1 += am[kb + p] * bv;
+        s2 += am[2 * kb + p] * bv;
+        s3 += am[3 * kb + p] * bv;
+      }
+      if (first) {
+        r0[j0] = s0;
+        r1[j0] = s1;
+        r2[j0] = s2;
+        r3[j0] = s3;
+      } else {
+        r0[j0] += s0;
+        r1[j0] += s1;
+        r2[j0] += s2;
+        r3[j0] += s3;
       }
     }
     return;
@@ -133,10 +203,17 @@ void micro_kernel(const double* am, std::size_t kb, const double* bp,
   for (std::size_t r = 0; r < mr; ++r) {
     double* c = c0 + r * ldc;
     const double* ar = am + r * kb;
-    for (std::size_t p = 0; p < kb; ++p) {
-      const double av = ar[p];
-      const double* b = bp + p * jb;
-      for (std::size_t j = 0; j < jb; ++j) c[j] += av * b[j];
+    for (std::size_t j = 0; j < jb; ++j) {
+      double s = 0.0;
+      const double* b = bp + j;
+      for (std::size_t p = 0; p < kb; ++p, b += jb) {
+        s += ar[p] * *b;
+      }
+      if (first) {
+        c[j] = s;
+      } else {
+        c[j] += s;
+      }
     }
   }
 }
@@ -151,8 +228,10 @@ void gemm_strided(std::size_t m, std::size_t n, std::size_t k,
                   const double* b, std::size_t brs, std::size_t bcs,
                   Matrix& out) {
   out.reshape(m, n);
-  out.fill(0.0);
-  if (m == 0 || n == 0 || k == 0) return;
+  if (m == 0 || n == 0 || k == 0) {
+    out.fill(0.0);
+    return;
+  }
   parallel::ThreadPool* pool =
       maybe_pool(2.0 * static_cast<double>(m) * static_cast<double>(n) *
                  static_cast<double>(k));
@@ -166,13 +245,14 @@ void gemm_strided(std::size_t m, std::size_t n, std::size_t k,
       pack_b_panel(b, brs, bcs, pc, jc, kb, jb, bbuf.data());
       const double* bp = bbuf.data();
 
+      const bool first = pc == 0;
       const auto run_band = [&](std::size_t i0, std::size_t i1) {
         std::vector<double>& abuf = pack_a_scratch();
         if (abuf.size() < kMr * kb) abuf.resize(kMr * kb);
         for (std::size_t i = i0; i < i1; i += kMr) {
           const std::size_t mr = std::min(kMr, i1 - i);
           pack_a_panel(a, ars, acs, i, pc, mr, kb, abuf.data());
-          micro_kernel(abuf.data(), kb, bp, jb, c + i * n + jc, n, mr);
+          micro_kernel(abuf.data(), kb, bp, jb, c + i * n + jc, n, mr, first);
         }
       };
 

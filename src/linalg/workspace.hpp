@@ -53,6 +53,15 @@ inline constexpr std::size_t kTrdOff = 2;      ///< vec slot: tridiag off-diag
 inline constexpr std::size_t kTrdTau = 3;      ///< vec slot: Householder taus
 inline constexpr std::size_t kTrdScratch = 4;  ///< vec slot: reflector scratch
 inline constexpr std::size_t kTrdScratch2 = 5; ///< vec slot: panel corrections
+// Downstream distance engine (embed/distance.cpp) and its consumers
+// (exact kNN, NN-descent scoring, UMAP transform, OPTICS, ABOD, k-means).
+// The engine nests inside snapshot paths that also run the SVD/eig stack
+// above, so it claims disjoint ids.
+inline constexpr std::size_t kDistBlock = 8;    ///< pairwise d² block
+inline constexpr std::size_t kDistGather = 9;   ///< gathered candidate rows
+inline constexpr std::size_t kDistGram = 10;    ///< candidate Gram matrix
+inline constexpr std::size_t kDistXNorms = 6;   ///< vec slot: query ‖·‖²
+inline constexpr std::size_t kDistYNorms = 7;   ///< vec slot: reference ‖·‖²
 }  // namespace wslot
 
 class Workspace {

@@ -217,13 +217,13 @@ SnapshotResult StreamingMonitor::snapshot() {
   ARAMS_CHECK(sketch.rows() > 0, "sketch is empty — ingest more frames");
 
   const embed::PcaProjector pca(sketch, config_.pipeline.pca_components,
-                                pca_ws_);
+                                snapshot_ws_);
   out.latent = pca.project(rows);
 
   embed::UmapConfig umap_config = config_.pipeline.umap;
   umap_config.n_neighbors =
       std::min(umap_config.n_neighbors, out.latent.rows() - 1);
-  out.embedding = embed::umap_embed(out.latent, umap_config);
+  out.embedding = embed::umap_embed(out.latent, umap_config, snapshot_ws_);
 
   cluster_snapshot(out);
   out.report.set_seconds("snapshot", timer.seconds());
@@ -235,7 +235,7 @@ SnapshotResult StreamingMonitor::snapshot() {
   return out;
 }
 
-void StreamingMonitor::cluster_snapshot(SnapshotResult& out) const {
+void StreamingMonitor::cluster_snapshot(SnapshotResult& out) {
   cluster::OpticsConfig optics_config = config_.pipeline.optics;
   if (config_.pipeline.scale_min_pts) {
     optics_config.min_pts = std::max<std::size_t>(
@@ -245,7 +245,7 @@ void StreamingMonitor::cluster_snapshot(SnapshotResult& out) const {
   optics_config.min_pts =
       std::min<std::size_t>(optics_config.min_pts, out.embedding.rows());
   const cluster::OpticsResult optics_result =
-      cluster::optics(out.embedding, optics_config);
+      cluster::optics(out.embedding, optics_config, snapshot_ws_);
   out.labels = cluster::extract_auto(optics_result,
                                      config_.pipeline.cluster_quantile);
 }
@@ -269,7 +269,7 @@ SnapshotResult StreamingMonitor::snapshot_incremental() {
   }
   const Matrix sketch = sketcher_.sketch();
   const embed::PcaProjector pca(sketch, config_.pipeline.pca_components,
-                                pca_ws_);
+                                snapshot_ws_);
   out.latent = pca.project(rows);
   ARAMS_CHECK(out.latent.cols() == reference_latent_.cols(),
               "latent dimension changed — take a full snapshot");
@@ -300,7 +300,8 @@ SnapshotResult StreamingMonitor::snapshot_incremental() {
     umap_config.n_neighbors = std::min(umap_config.n_neighbors,
                                        reference_latent_.rows() - 1);
     const Matrix placed = embed::umap_transform(
-        reference_latent_, reference_embedding_, fresh, umap_config);
+        reference_latent_, reference_embedding_, fresh, umap_config,
+        snapshot_ws_);
     for (std::size_t i = 0; i < fresh_rows.size(); ++i) {
       out.embedding.set_row(fresh_rows[i], placed.row(i));
     }

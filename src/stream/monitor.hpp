@@ -132,7 +132,8 @@ class StreamingMonitor {
 
  private:
   void update_sketch();
-  void cluster_snapshot(SnapshotResult& out) const;
+  /// Non-const: OPTICS draws its distance rows from snapshot_ws_.
+  void cluster_snapshot(SnapshotResult& out);
   /// Feeds one HealthSample; `with_numerics` additionally runs the
   /// basis-dependent checks (error estimate, orthogonality residual)
   /// every `health_check_every` batches.
@@ -150,9 +151,12 @@ class StreamingMonitor {
   std::vector<std::vector<double>> batch_rows_;
   std::deque<std::pair<std::uint64_t, std::vector<double>>> reservoir_;
   std::size_t dim_ = 0;
-  /// Scratch for the per-snapshot PCA rebuild (Gram, eigensolver, SVD
-  /// factors) — persists across snapshots so refreshes stop allocating.
-  linalg::Workspace pca_ws_;
+  /// Scratch for the whole snapshot path — the PCA rebuild (Gram,
+  /// eigensolver, SVD factors) and the downstream distance engine (kNN
+  /// blocks, UMAP transform, OPTICS range queries) share one arena via
+  /// disjoint slot ranges. Persists across snapshots so refreshes stop
+  /// allocating.
+  linalg::Workspace snapshot_ws_;
 
   /// Frozen reference from the last full snapshot (for incremental mode).
   linalg::Matrix reference_latent_;

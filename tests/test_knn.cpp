@@ -104,6 +104,38 @@ TEST(BuildKnn, UsesApproximateAboveThreshold) {
   EXPECT_GT(knn_recall(g, exact), 0.8);
 }
 
+TEST(NnDescent, ScalarPathRecallRegression) {
+  // Regression pin for the O(k) NeighborList insertion rewrite and the
+  // bounded insertion-scan selection: on the scalar arithmetic path
+  // (use_gemm = false) both must reproduce the historical algorithm's
+  // choices exactly, so recall against the exact graph is *equal* to the
+  // values the pre-rewrite implementation produced, not merely close.
+  const struct {
+    std::size_t n, d;
+    std::uint64_t fill_seed, descent_seed;
+    double expected_recall;
+  } cases[] = {
+      {400, 8, 21, 22, 0.999},
+      {300, 5, 4, 5, 0.9996666666666667},
+  };
+  for (const auto& c : cases) {
+    linalg::Matrix pts(c.n, c.d);
+    Rng fill(c.fill_seed);
+    for (std::size_t i = 0; i < c.n; ++i) {
+      for (auto& v : pts.row(i)) v = fill.uniform(-1.0, 1.0);
+    }
+    linalg::Workspace ws;
+    const DistanceOptions scalar{.use_gemm = false};
+    KnnGraph exact;
+    exact_knn(pts, 10, ws, exact, scalar);
+    Rng rng(c.descent_seed);
+    KnnGraph approx;
+    nn_descent(pts, 10, rng, ws, approx, 8, 1.0, scalar);
+    EXPECT_DOUBLE_EQ(knn_recall(approx, exact), c.expected_recall)
+        << "n=" << c.n << " d=" << c.d;
+  }
+}
+
 TEST(KnnRecall, IdenticalGraphsGiveOne) {
   const Matrix pts = random_points(25, 2, 12);
   const KnnGraph g = exact_knn(pts, 3);

@@ -250,6 +250,52 @@ TEST_P(OpticsDbscanCrossCheck, ExtractionMatchesReferenceDbscan) {
 INSTANTIATE_TEST_SUITE_P(EpsSweep, OpticsDbscanCrossCheck,
                          ::testing::Values(0.5, 1.0, 2.0, 5.0));
 
+TEST(Optics, OrderingBitwiseStableAcrossEngineModes) {
+  // The OPTICS traversal is inherently sequential, so neither enabling the
+  // engine's parallel fix-up nor reusing a warm workspace may perturb the
+  // result: parallel and serial runs of the same arithmetic are bitwise
+  // identical, and repeated runs through one workspace reproduce
+  // themselves exactly.
+  const Matrix pts = blobs(14, 0.3, 21, /*noise_points=*/4);
+  linalg::Workspace ws;
+  const OpticsResult serial =
+      optics(pts, OpticsConfig{4}, ws, {.allow_parallel = false});
+  const OpticsResult parallel =
+      optics(pts, OpticsConfig{4}, ws, {.allow_parallel = true});
+  const OpticsResult again =
+      optics(pts, OpticsConfig{4}, ws, {.allow_parallel = true});
+  EXPECT_EQ(parallel.order, serial.order);
+  ASSERT_EQ(parallel.reachability.size(), serial.reachability.size());
+  for (std::size_t i = 0; i < serial.reachability.size(); ++i) {
+    EXPECT_EQ(parallel.reachability[i], serial.reachability[i]) << "at " << i;
+    EXPECT_EQ(parallel.core_distance[i], serial.core_distance[i])
+        << "at " << i;
+    EXPECT_EQ(again.reachability[i], parallel.reachability[i]) << "at " << i;
+  }
+  EXPECT_EQ(again.order, parallel.order);
+}
+
+TEST(Optics, GemmEngineKeepsOrderingAndReachability) {
+  // GEMM range queries round distances differently; on data without exact
+  // distance ties the traversal makes the same choices, so the ordering is
+  // identical and reachabilities agree to rounding.
+  const Matrix pts = blobs(14, 0.3, 22, /*noise_points=*/4);
+  const OpticsResult ref = optics(pts, OpticsConfig{4});
+  linalg::Workspace ws;
+  const OpticsResult fast =
+      optics(pts, OpticsConfig{4}, ws, {.use_gemm = true});
+  EXPECT_EQ(fast.order, ref.order);
+  ASSERT_EQ(fast.reachability.size(), ref.reachability.size());
+  for (std::size_t i = 0; i < ref.reachability.size(); ++i) {
+    if (std::isinf(ref.reachability[i])) {
+      EXPECT_TRUE(std::isinf(fast.reachability[i])) << "at " << i;
+    } else {
+      EXPECT_NEAR(fast.reachability[i], ref.reachability[i], 1e-9)
+          << "at " << i;
+    }
+  }
+}
+
 TEST(ClusterCount, IgnoresNoise) {
   EXPECT_EQ(cluster_count({-1, -1, -1}), 0u);
   EXPECT_EQ(cluster_count({0, 1, -1, 1}), 2u);

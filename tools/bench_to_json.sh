@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
-# Runs the micro_kernels benchmark suite and records the results as JSON at
-# the repo root (BENCH_kernels.json by default), so kernel-perf changes land
-# with a checked-in before/after baseline.
+# Runs a google-benchmark suite and records the results as JSON at the repo
+# root, so perf changes land with a checked-in before/after baseline.
 #
 # Usage:
-#   tools/bench_to_json.sh [build_dir] [output.json] [extra benchmark args...]
+#   tools/bench_to_json.sh [bench_name] [build_dir] [output.json] [extra benchmark args...]
+#
+# `bench_name` is a benchmark binary under <build_dir>/bench/ (default
+# micro_kernels). For backwards compatibility, a first argument containing a
+# '/' or naming an existing directory is treated as build_dir instead. The
+# default output file is BENCH_<name-without-micro_>.json.
 #
 # Examples:
-#   tools/bench_to_json.sh                          # build/, BENCH_kernels.json
+#   tools/bench_to_json.sh                          # micro_kernels -> BENCH_kernels.json
+#   tools/bench_to_json.sh micro_distance build BENCH_downstream.json
 #   tools/bench_to_json.sh build /tmp/after.json --benchmark_filter='BM_Gemm.*'
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+bench_name="micro_kernels"
+if [[ $# -gt 0 && "$1" != */* && ! -d "$1" ]]; then
+  bench_name="$1"
+  shift
+fi
+
 build_dir="${1:-${repo_root}/build}"
-out_file="${2:-${repo_root}/BENCH_kernels.json}"
+out_file="${2:-${repo_root}/BENCH_${bench_name#micro_}.json}"
 shift $(( $# > 2 ? 2 : $# )) || true
 
-bench_bin="${build_dir}/bench/micro_kernels"
+bench_bin="${build_dir}/bench/${bench_name}"
 if [[ ! -x "${bench_bin}" ]]; then
   echo "error: ${bench_bin} not found or not executable." >&2
   echo "Build it first:  cmake -B ${build_dir} -S ${repo_root} && cmake --build ${build_dir} -j" >&2
