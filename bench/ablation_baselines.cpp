@@ -1,30 +1,160 @@
-// Ablation — FD vs the sampling / random-projection sketching families.
+// Ablation — the sketcher shoot-out behind the core::Sketcher seam.
 //
 // The paper motivates ARAMS by citing Desai–Ghashami–Phillips: FD has the
 // best error but the worst runtime among practical sketchers. This harness
-// reproduces that landscape on the synthetic ablation data: for each
-// sketcher and sketch size, runtime and relative covariance error.
+// reproduces that landscape through the make_sketcher factory, so every
+// registered backend (arams, fd, isvd, gaussian, countsketch, normsample,
+// rangefinder) is swept uniformly: for each workload, sketcher and sketch
+// size, runtime and relative covariance error.
 //
-// Expected shape: FD on (or defining) the low-error frontier at every ℓ;
-// projections and sampling faster but with ~√ℓ-worse error; ARAMS (PS+FD)
-// between them.
+// Workloads: the synthetic low-rank ablation matrix plus the two LCLS-like
+// generators (beam profiles, diffraction rings) the EXPERIMENTS.md
+// accuracy-vs-throughput shoot-out runs on. Rows are streamed in DAQ-sized
+// batches so the batch-first push_batch path is what gets timed.
+//
+// Expected shape: fd/arams on (or defining) the low-error frontier at every
+// ℓ; projections and sampling faster but with noticeably worse error; isvd
+// and rangefinder fast *and* accurate on these decaying spectra, but with
+// no worst-case guarantee.
+//
+// --json-out writes the same rows as a JSON array (BENCH_sketchers.json via
+// tools/bench_to_json.sh).
 
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "core/arams_sketch.hpp"
-#include "core/baselines.hpp"
+#include "core/sketcher.hpp"
+#include "data/beam_profile.hpp"
+#include "data/diffraction.hpp"
 #include "data/synthetic.hpp"
+#include "image/image.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/norms.hpp"
+#include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
-int main(int argc, char** argv) {
-  using namespace arams;
+namespace {
 
+using namespace arams;
+
+struct ResultRow {
+  std::string workload;
+  std::string sketcher;
+  std::size_t ell;
+  double runtime_s;
+  double cov_error_rel;
+};
+
+linalg::Matrix make_workload(const std::string& workload, std::size_t n,
+                             std::size_t d, std::size_t size) {
+  Rng rng(41);
+  if (workload == "synthetic") {
+    data::SyntheticConfig dc;
+    dc.n = n;
+    dc.d = d;
+    dc.spectrum.kind = data::DecayKind::kExponential;
+    dc.spectrum.count = std::min(d, std::size_t{128});
+    dc.spectrum.rate = 0.06;
+    dc.noise = 1e-3;
+    return data::make_low_rank(dc, rng);
+  }
+  std::vector<image::ImageF> frames;
+  frames.reserve(n);
+  if (workload == "beam") {
+    data::BeamProfileConfig config;
+    config.height = size;
+    config.width = size;
+    for (std::size_t i = 0; i < n; ++i) {
+      frames.push_back(data::generate_beam_profile(config, rng).frame);
+    }
+  } else if (workload == "diffraction") {
+    data::DiffractionConfig config;
+    config.height = size;
+    config.width = size;
+    const data::DiffractionGenerator generator(config);
+    for (std::size_t i = 0; i < n; ++i) {
+      frames.push_back(generator.generate(rng).frame);
+    }
+  } else {
+    ARAMS_CHECK(false, "unknown workload: " + workload);
+  }
+  return image::images_to_matrix(frames);
+}
+
+/// Streams `a` through the named backend in DAQ-sized batches and measures
+/// ingest+sketch wall time plus the relative covariance error.
+ResultRow run_one(const std::string& workload, const std::string& name,
+                  std::size_t ell, const linalg::Matrix& a,
+                  std::size_t batch_rows) {
+  core::SketcherConfig config;
+  config.backend = name;
+  config.ell = ell;
+  config.seed = 7;
+  // Fixed-ℓ shoot-out: ARAMS runs as priority sampling + fixed FD (the
+  // paper's "PS+FD" ablation arm) so every backend competes at the same
+  // sketch size instead of adapting its rank away from it.
+  config.arams.ell = ell;
+  config.arams.seed = 7;
+  config.arams.use_sampling = true;
+  config.arams.beta = 0.8;
+  config.arams.rank_adaptive = false;
+  const auto sketcher = core::make_sketcher(config);
+
+  Stopwatch timer;
+  for (std::size_t r0 = 0; r0 < a.rows(); r0 += batch_rows) {
+    const std::size_t r1 = std::min(a.rows(), r0 + batch_rows);
+    sketcher->push_batch(a.slice_rows(r0, r1));
+  }
+  const linalg::Matrix b = sketcher->sketch();
+  const double seconds = timer.seconds();
+  Rng power(8);
+  const double err = linalg::covariance_error_relative(a, b, power, 40);
+  return {workload, name, ell, seconds, err};
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : list) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<ResultRow>& rows) {
+  std::ofstream out(path);
+  ARAMS_CHECK(out.good(), "cannot open --json-out file: " + path);
+  out << "{\n  \"name\": \"ablation_baselines\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ResultRow& r = rows[i];
+    out << "    {\"workload\": \"" << r.workload << "\", \"sketcher\": \""
+        << r.sketcher << "\", \"ell\": " << r.ell << ", \"runtime_s\": "
+        << r.runtime_s << ", \"cov_error_rel\": " << r.cov_error_rel << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   CliFlags flags;
-  flags.declare("n", "4000", "rows");
-  flags.declare("d", "256", "columns");
+  flags.declare("n", "4000", "rows (synthetic) / frames (beam, diffraction)");
+  flags.declare("d", "256", "synthetic columns");
+  flags.declare("size", "24", "beam/diffraction frame height=width");
+  flags.declare("batch", "256", "rows per push_batch call");
+  flags.declare("workloads", "synthetic,beam,diffraction",
+                "comma list: synthetic | beam | diffraction");
+  flags.declare("json-out", "", "also write results as JSON (CI baseline)");
   flags.declare("help", "false", "print usage");
   flags.parse(argc, argv);
   if (flags.get_bool("help")) {
@@ -33,58 +163,44 @@ int main(int argc, char** argv) {
   }
   const auto n = static_cast<std::size_t>(flags.get_int("n"));
   const auto d = static_cast<std::size_t>(flags.get_int("d"));
+  const auto size = static_cast<std::size_t>(flags.get_int("size"));
+  const auto batch = static_cast<std::size_t>(flags.get_int("batch"));
 
-  bench::banner("Ablation (FD vs baseline sketchers)", false,
-                "runtime and relative covariance error per sketch size");
+  bench::banner("Ablation (sketcher shoot-out)", false,
+                "runtime and relative covariance error per backend, sketch "
+                "size and workload");
 
-  data::SyntheticConfig dc;
-  dc.n = n;
-  dc.d = d;
-  dc.spectrum.kind = data::DecayKind::kExponential;
-  dc.spectrum.count = std::min(d, std::size_t{128});
-  dc.spectrum.rate = 0.06;
-  dc.noise = 1e-3;
-  Rng rng(41);
-  std::cerr << "[baselines] generating " << n << "x" << d << " dataset...\n";
-  const linalg::Matrix a = data::make_low_rank(dc, rng);
-
-  Table table({"sketcher", "ell", "runtime_s", "cov_error_rel"});
-  const char* kinds[] = {"fd", "isvd", "gaussian-projection",
-                         "count-sketch", "norm-sampling"};
-  for (const std::size_t ell : {16, 32, 64}) {
-    for (const char* kind : kinds) {
-      const auto sketcher = core::make_sketcher(kind, ell, 7);
-      Stopwatch timer;
-      sketcher->append_batch(a);
-      const linalg::Matrix b = sketcher->sketch();
-      const double seconds = timer.seconds();
-      Rng power(8);
-      const double err =
-          linalg::covariance_error_relative(a, b, power, 40);
-      table.add_row({kind, Table::num(static_cast<long>(ell)),
-                     Table::num(seconds), Table::num(err)});
+  std::vector<ResultRow> rows;
+  Table table({"workload", "sketcher", "ell", "runtime_s", "cov_error_rel"});
+  for (const std::string& workload : split_csv(flags.get("workloads"))) {
+    // Image workloads scale frame count down: d = size² columns makes each
+    // covariance-error power iteration much heavier than the synthetic run.
+    const std::size_t rows_here =
+        workload == "synthetic" ? n : std::max<std::size_t>(n / 2, 256);
+    std::cerr << "[baselines] generating " << workload << " workload ("
+              << rows_here << " rows)...\n";
+    const linalg::Matrix a = make_workload(workload, rows_here, d, size);
+    for (const std::size_t ell : {16, 32, 64}) {
+      for (const std::string& name : core::registered_sketchers()) {
+        const ResultRow row = run_one(workload, name, ell, a, batch);
+        rows.push_back(row);
+        table.add_row({row.workload, row.sketcher,
+                       Table::num(static_cast<long>(row.ell)),
+                       Table::num(row.runtime_s),
+                       Table::num(row.cov_error_rel)});
+      }
     }
-    // ARAMS (priority sampling + FD) at the same ℓ, for context.
-    core::AramsConfig config;
-    config.use_sampling = true;
-    config.beta = 0.8;
-    config.rank_adaptive = false;
-    config.ell = ell;
-    core::Arams arams(config);
-    Stopwatch timer;
-    const core::AramsResult result = arams.sketch_matrix(a);
-    const double seconds = timer.seconds();
-    Rng power(8);
-    const double err =
-        linalg::covariance_error_relative(a, result.sketch, power, 40);
-    table.add_row({"arams(ps+fd)", Table::num(static_cast<long>(ell)),
-                   Table::num(seconds), Table::num(err)});
   }
   bench::emit("sketcher comparison", table);
 
+  if (const std::string& path = flags.get("json-out"); !path.empty()) {
+    write_json(path, rows);
+    std::cerr << "[baselines] JSON written to " << path << "\n";
+  }
+
   std::cout << "\nexpected shape: fd/arams define the low-error frontier; "
                "projections and sampling run faster at noticeably higher "
-               "error; isvd is fast and accurate here but carries no "
-               "worst-case guarantee.\n";
+               "error; isvd and rangefinder are fast and accurate on these "
+               "decaying spectra but carry no worst-case guarantee.\n";
   return 0;
 }

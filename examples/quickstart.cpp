@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
   std::cout << "sketch: " << result.sketch.rows() << " x "
             << result.sketch.cols() << " (final ell = " << result.final_ell
             << ", rows sampled = " << result.rows_sampled << ")\n"
-            << "time:   " << seconds << " s (" << result.stats().svd_count
-            << " rotations)\n"
+            << "time:   " << seconds << " s ("
+            << result.report.counter("svd_count") << " rotations)\n"
             << "error:  relative covariance error = " << rel_err
             << "  [FD bound 1/ell = "
             << 1.0 / static_cast<double>(result.final_ell) << "]\n";

@@ -5,7 +5,8 @@
 // implementation detail whose layout may change between releases.
 //
 // Exported surface:
-//   core      Arams / AramsConfig / AramsResult, sketch merging
+//   core      Arams / AramsConfig / AramsResult, the pluggable Sketcher
+//             interface + make_sketcher factory, sketch merging
 //   stream    MonitoringPipeline, StreamingMonitor, sources, diagnostics,
 //             DAQ event building
 //   parallel  ThreadPool, virtual-core scaling driver
@@ -20,6 +21,7 @@
 #include "cluster/metrics.hpp"
 #include "core/arams_sketch.hpp"
 #include "core/merge.hpp"
+#include "core/sketcher.hpp"
 #include "data/beam_profile.hpp"
 #include "data/diffraction.hpp"
 #include "data/speckle.hpp"

@@ -136,7 +136,14 @@ Matrix Arams::sketch() {
   return fd().sketch();
 }
 
-Matrix Arams::basis(std::size_t k) { return fd().basis(k); }
+Matrix Arams::basis(std::size_t k) {
+  // Uniform Sketcher empty-state contract: checked precondition at the API
+  // boundary rather than a CheckError from deep inside FD.
+  ARAMS_CHECK(dim() > 0,
+              "basis of an empty sketch: no rows ingested yet "
+              "(check dim() != 0 before calling basis)");
+  return fd().basis(k);
+}
 
 std::size_t Arams::current_ell() const {
   return ra_fd_ ? ra_fd_->ell() : fixed_fd_->ell();

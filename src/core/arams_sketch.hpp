@@ -51,19 +51,11 @@ struct AramsResult {
   std::size_t rows_sampled = 0;  ///< rows that survived stage 1
 
   /// Stage timings ("sample", "sketch", "shrink", "fd") and operation
-  /// counters ("svd_count", "probe_count", …) for this run.
+  /// counters ("svd_count", "probe_count", …) for this run. The legacy
+  /// `stats()`/`sample_seconds()`/`sketch_seconds()` accessors are gone;
+  /// read `report.counter(...)` / `report.seconds(...)` directly, or
+  /// convert with core::sketch_stats_from_report.
   obs::StageReport report;
-
-  // Legacy accessors (kept for one release; prefer `report`).
-  [[nodiscard]] SketchStats stats() const {
-    return sketch_stats_from_report(report);
-  }
-  [[nodiscard]] double sample_seconds() const {
-    return report.seconds("sample");
-  }
-  [[nodiscard]] double sketch_seconds() const {
-    return report.seconds("sketch");
-  }
 };
 
 /// The ARAMS sketching engine. Batch API (`sketch_matrix`) is Algorithm 3
@@ -91,6 +83,8 @@ class Arams {
   linalg::Matrix sketch();
 
   /// Orthonormal top-k principal directions of the current sketch (k×d).
+  /// Precondition: dim() > 0 — throws CheckError on an empty sketch (the
+  /// uniform Sketcher empty-state contract); callers gate on dim() first.
   linalg::Matrix basis(std::size_t k);
 
   [[nodiscard]] std::size_t current_ell() const;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/fd.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/svd.hpp"
 #include "util/check.hpp"
@@ -13,12 +12,6 @@ namespace arams::core {
 
 using linalg::Matrix;
 
-void RowSketcher::append_batch(const Matrix& rows) {
-  for (std::size_t r = 0; r < rows.rows(); ++r) {
-    append(rows.row(r));
-  }
-}
-
 // ---------------------------------------------------------------- Gaussian
 
 GaussianProjectionSketch::GaussianProjectionSketch(std::size_t ell,
@@ -27,17 +20,40 @@ GaussianProjectionSketch::GaussianProjectionSketch(std::size_t ell,
   ARAMS_CHECK(ell >= 1, "sketch needs at least one row");
 }
 
-void GaussianProjectionSketch::append(std::span<const double> row) {
+void GaussianProjectionSketch::ensure_dim(std::size_t d) {
   if (sketch_.empty()) {
-    sketch_ = Matrix(ell_, row.size());
+    ARAMS_CHECK(d > 0, "zero-dimensional rows");
+    sketch_ = Matrix(ell_, d);
   }
-  ARAMS_CHECK(row.size() == sketch_.cols(), "row dimension changed");
+  ARAMS_CHECK(d == sketch_.cols(), "row dimension changed");
+}
+
+void GaussianProjectionSketch::push_batch(const Matrix& batch) {
+  if (batch.rows() == 0) return;
+  ensure_dim(batch.cols());
+  // One b×ℓ coefficient block, same draw order as the row loop (ℓ normals
+  // per input row), then a single packed GEMM: B += 1/√ℓ · Cᵀ·A.
+  coeff_block_.reshape(batch.rows(), ell_);
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    rng_.fill_normal(coeff_block_.row(r));
+  }
+  linalg::matmul_tn(coeff_block_, batch, update_);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(ell_));
+  for (std::size_t i = 0; i < ell_; ++i) {
+    linalg::axpy(scale, update_.row(i), sketch_.row(i));
+  }
+  stats_.rows_processed += static_cast<long>(batch.rows());
+}
+
+void GaussianProjectionSketch::append(std::span<const double> row) {
+  ensure_dim(row.size());
   // B += s·rowᵀ where s ~ N(0, 1/ℓ)·e — one Gaussian per sketch row.
   const double scale = 1.0 / std::sqrt(static_cast<double>(ell_));
   rng_.fill_normal(coeffs_);
   for (std::size_t i = 0; i < ell_; ++i) {
     linalg::axpy(coeffs_[i] * scale, row, sketch_.row(i));
   }
+  ++stats_.rows_processed;
 }
 
 // ------------------------------------------------------------- CountSketch
@@ -47,15 +63,36 @@ CountSketch::CountSketch(std::size_t ell, std::uint64_t seed)
   ARAMS_CHECK(ell >= 1, "sketch needs at least one row");
 }
 
-void CountSketch::append(std::span<const double> row) {
+void CountSketch::ensure_dim(std::size_t d) {
   if (sketch_.empty()) {
-    sketch_ = Matrix(ell_, row.size());
+    ARAMS_CHECK(d > 0, "zero-dimensional rows");
+    sketch_ = Matrix(ell_, d);
   }
-  ARAMS_CHECK(row.size() == sketch_.cols(), "row dimension changed");
+  ARAMS_CHECK(d == sketch_.cols(), "row dimension changed");
+}
+
+void CountSketch::scatter(std::span<const double> row) {
   const std::uint64_t h = rng_.next_u64();
   const std::size_t bucket = h % ell_;
   const double sign = (h >> 63) ? 1.0 : -1.0;
   linalg::axpy(sign, row, sketch_.row(bucket));
+}
+
+void CountSketch::push_batch(const Matrix& batch) {
+  if (batch.rows() == 0) return;
+  ensure_dim(batch.cols());
+  // Single scatter pass; the hash stream matches the row loop exactly, so
+  // batch and per-row ingest are bitwise-identical.
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    scatter(batch.row(r));
+  }
+  stats_.rows_processed += static_cast<long>(batch.rows());
+}
+
+void CountSketch::append(std::span<const double> row) {
+  ensure_dim(row.size());
+  scatter(row);
+  ++stats_.rows_processed;
 }
 
 // ----------------------------------------------------------- NormSampling
@@ -65,12 +102,19 @@ NormSamplingSketch::NormSamplingSketch(std::size_t ell, std::uint64_t seed)
   ARAMS_CHECK(ell >= 1, "sketch needs at least one row");
 }
 
+void NormSamplingSketch::push_batch(const Matrix& batch) {
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    append(batch.row(r));
+  }
+}
+
 void NormSamplingSketch::append(std::span<const double> row) {
   if (dim_ == 0) {
     dim_ = row.size();
     ARAMS_CHECK(dim_ > 0, "zero-dimensional rows");
   }
   ARAMS_CHECK(row.size() == dim_, "row dimension changed");
+  ++stats_.rows_processed;
   const double w = linalg::norm2_squared(row);
   if (w <= 0.0) return;
   total_weight_ += w;
@@ -91,7 +135,7 @@ void NormSamplingSketch::append(std::span<const double> row) {
 }
 
 Matrix NormSamplingSketch::sketch() {
-  ARAMS_CHECK(dim_ > 0, "sketch before any rows were appended");
+  if (dim_ == 0) return Matrix();  // empty-state contract: never throws
   std::size_t filled = 0;
   for (const auto& slot : slots_) {
     if (!slot.row.empty()) ++filled;
@@ -113,6 +157,12 @@ Matrix NormSamplingSketch::sketch() {
 
 TruncatedSvdSketch::TruncatedSvdSketch(std::size_t ell) : ell_(ell) {
   ARAMS_CHECK(ell >= 1, "sketch needs at least one row");
+}
+
+void TruncatedSvdSketch::push_batch(const Matrix& batch) {
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    append(batch.row(r));
+  }
 }
 
 void TruncatedSvdSketch::append(std::span<const double> row) {
@@ -160,46 +210,6 @@ Matrix TruncatedSvdSketch::sketch() {
     truncate();
   }
   return buffer_.slice_rows(0, next_row_);
-}
-
-// ---------------------------------------------------------------- factory
-
-namespace {
-
-/// Adapter presenting FrequentDirections through the RowSketcher interface.
-class FdSketcher : public RowSketcher {
- public:
-  explicit FdSketcher(std::size_t ell)
-      : fd_(FdConfig{ell, /*fast=*/true}) {}
-  void append(std::span<const double> row) override { fd_.append(row); }
-  Matrix sketch() override {
-    fd_.compress();
-    return fd_.sketch();
-  }
-  [[nodiscard]] std::string name() const override { return "fd"; }
-
- private:
-  FrequentDirections fd_;
-};
-
-}  // namespace
-
-std::unique_ptr<RowSketcher> make_sketcher(const std::string& name,
-                                           std::size_t ell,
-                                           std::uint64_t seed) {
-  if (name == "fd") return std::make_unique<FdSketcher>(ell);
-  if (name == "gaussian-projection") {
-    return std::make_unique<GaussianProjectionSketch>(ell, seed);
-  }
-  if (name == "count-sketch") {
-    return std::make_unique<CountSketch>(ell, seed);
-  }
-  if (name == "norm-sampling") {
-    return std::make_unique<NormSamplingSketch>(ell, seed);
-  }
-  if (name == "isvd") return std::make_unique<TruncatedSvdSketch>(ell);
-  ARAMS_CHECK(false, "unknown sketcher: " + name);
-  return nullptr;
 }
 
 }  // namespace arams::core

@@ -7,21 +7,24 @@
 // best error but "lags behind in run-time performance", which is the whole
 // motivation for ARAMS's priority-sampling acceleration. These baselines
 // make that comparison reproducible:
-//  * GaussianProjectionSketch — B += gᵢ·aᵢᵀ/√ℓ (dense JL projection)
+//  * GaussianProjectionSketch — B += S·A per batch (dense JL projection)
 //  * CountSketch             — B[h(i)] += s(i)·aᵢ (sparse embedding)
 //  * NormSamplingSketch      — iid length-squared row sampling (w/ repl.)
 //  * TruncatedSvdSketch      — iSVD: stack batch, SVD, truncate to ℓ
 //                              (no FD shrinkage — the classic heuristic)
 //
-// All are streaming row sketchers behind one interface so the
-// ablation_baselines bench sweeps them uniformly.
+// All implement the first-class core::Sketcher interface (sketcher.hpp), so
+// the streaming monitor, the stage runner, the CLI and the
+// ablation_baselines bench sweep them interchangeably with ARAMS/FD. The
+// ingest primitive is the batch (`push_batch` — one GEMM or scatter pass
+// per batch); `append` stays overridden where a genuine row primitive
+// exists so batch-vs-row parity is testable.
 
-#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
-#include "core/sketch_stats.hpp"
+#include "core/sketcher.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/svd.hpp"
 #include "linalg/workspace.hpp"
@@ -29,61 +32,73 @@
 
 namespace arams::core {
 
-/// Streaming row-sketcher interface shared by FD and the baselines.
-class RowSketcher {
- public:
-  virtual ~RowSketcher() = default;
-  virtual void append(std::span<const double> row) = 0;
-  virtual void append_batch(const linalg::Matrix& rows);
-  /// Final sketch (≤ ℓ rows × d). May compress internal state.
-  virtual linalg::Matrix sketch() = 0;
-  [[nodiscard]] virtual std::string name() const = 0;
-};
-
 /// Dense Gaussian (Johnson–Lindenstrauss) projection: B = S·A with S an
-/// ℓ×n iid N(0, 1/ℓ) matrix, accumulated one row at a time.
-class GaussianProjectionSketch : public RowSketcher {
+/// ℓ×n iid N(0, 1/ℓ) matrix. push_batch draws the b×ℓ coefficient block
+/// and accumulates B += Sᵀ_batch·A_batch with one packed GEMM; append is
+/// the per-row reference path (same RNG draw order, so the two agree up to
+/// floating-point summation order).
+class GaussianProjectionSketch : public Sketcher {
  public:
   GaussianProjectionSketch(std::size_t ell, std::uint64_t seed);
+  void push_batch(const linalg::Matrix& batch) override;
   void append(std::span<const double> row) override;
   linalg::Matrix sketch() override { return sketch_; }
-  [[nodiscard]] std::string name() const override {
-    return "gaussian-projection";
-  }
+  [[nodiscard]] std::size_t current_ell() const override { return ell_; }
+  [[nodiscard]] std::size_t dim() const override { return sketch_.cols(); }
+  [[nodiscard]] SketchStats stats() const override { return stats_; }
+  [[nodiscard]] std::string name() const override { return "gaussian"; }
 
  private:
+  void ensure_dim(std::size_t d);
+
   std::size_t ell_;
   Rng rng_;
   linalg::Matrix sketch_;
   std::vector<double> coeffs_;
+  SketchStats stats_;
+  // Grow-only batch scratch — steady-state push_batch is allocation-free.
+  linalg::Matrix coeff_block_;  ///< b×ℓ Gaussian coefficients
+  linalg::Matrix update_;       ///< Sᵀ_batch·A_batch (ℓ×d)
 };
 
 /// CountSketch / sparse subspace embedding: each input row lands in one
-/// bucket with a random sign.
-class CountSketch : public RowSketcher {
+/// bucket with a random sign. push_batch is a single scatter pass (the hash
+/// stream is identical to the row loop, so batch and row ingest are
+/// bitwise-equal).
+class CountSketch : public Sketcher {
  public:
   CountSketch(std::size_t ell, std::uint64_t seed);
+  void push_batch(const linalg::Matrix& batch) override;
   void append(std::span<const double> row) override;
   linalg::Matrix sketch() override { return sketch_; }
-  [[nodiscard]] std::string name() const override { return "count-sketch"; }
+  [[nodiscard]] std::size_t current_ell() const override { return ell_; }
+  [[nodiscard]] std::size_t dim() const override { return sketch_.cols(); }
+  [[nodiscard]] SketchStats stats() const override { return stats_; }
+  [[nodiscard]] std::string name() const override { return "countsketch"; }
 
  private:
+  void ensure_dim(std::size_t d);
+  void scatter(std::span<const double> row);
+
   std::size_t ell_;
   Rng rng_;
   linalg::Matrix sketch_;
+  SketchStats stats_;
 };
 
 /// Length-squared (norm²) iid row sampling with replacement, via ℓ
 /// independent A-Res-style reservoir slots. Rows rescaled by
 /// 1/√(ℓ·pᵢ) so E[BᵀB] = AᵀA.
-class NormSamplingSketch : public RowSketcher {
+class NormSamplingSketch : public Sketcher {
  public:
   NormSamplingSketch(std::size_t ell, std::uint64_t seed);
+  void push_batch(const linalg::Matrix& batch) override;
   void append(std::span<const double> row) override;
   linalg::Matrix sketch() override;
-  [[nodiscard]] std::string name() const override {
-    return "norm-sampling";
-  }
+  [[nodiscard]] std::size_t current_ell() const override { return ell_; }
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  [[nodiscard]] SketchStats stats() const override { return stats_; }
+  [[nodiscard]] std::string name() const override { return "normsample"; }
 
  private:
   struct Slot {
@@ -96,19 +111,23 @@ class NormSamplingSketch : public RowSketcher {
   std::vector<Slot> slots_;
   double total_weight_ = 0.0;
   std::size_t dim_ = 0;
+  SketchStats stats_;
 };
 
 /// Incremental truncated SVD ("iSVD"): buffer 2ℓ rows, on overflow keep the
 /// top-ℓ of Σ·Vᵀ with *no* shrinkage. Fast and often accurate, but with no
 /// worst-case guarantee — FD pays a deliberate deflation of every retained
 /// direction to buy its bound, iSVD does not (see tests).
-class TruncatedSvdSketch : public RowSketcher {
+class TruncatedSvdSketch : public Sketcher {
  public:
   explicit TruncatedSvdSketch(std::size_t ell);
+  void push_batch(const linalg::Matrix& batch) override;
   void append(std::span<const double> row) override;
   linalg::Matrix sketch() override;
+  [[nodiscard]] std::size_t current_ell() const override { return ell_; }
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  [[nodiscard]] SketchStats stats() const override { return stats_; }
   [[nodiscard]] std::string name() const override { return "isvd"; }
-  [[nodiscard]] const SketchStats& stats() const { return stats_; }
 
  private:
   void truncate();
@@ -122,11 +141,5 @@ class TruncatedSvdSketch : public RowSketcher {
   linalg::Workspace ws_;
   linalg::SigmaVt svd_;
 };
-
-/// Factory by name: "fd", "gaussian-projection", "count-sketch",
-/// "norm-sampling", "isvd". Throws CheckError on unknown names.
-std::unique_ptr<RowSketcher> make_sketcher(const std::string& name,
-                                           std::size_t ell,
-                                           std::uint64_t seed);
 
 }  // namespace arams::core

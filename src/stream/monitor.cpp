@@ -70,7 +70,7 @@ double ThroughputMeter::recent_frames_per_second() const {
 
 StreamingMonitor::StreamingMonitor(const MonitorConfig& config)
     : config_(config),
-      sketcher_(config.pipeline.sketch),
+      sketcher_(core::make_sketcher(config.pipeline.sketcher_config())),
       error_tracker_(core::ErrorTrackerConfig{}),
       health_(config.health) {
   ARAMS_CHECK(config.batch_size >= 1, "batch size must be >= 1");
@@ -161,7 +161,7 @@ void StreamingMonitor::update_sketch() {
     batch.set_row(i, batch_rows_[i]);
   }
   batch_rows_.clear();
-  sketcher_.push_batch(batch);
+  sketcher_->push_batch(batch);
   ++batches_;
   const double seconds = timer.seconds();
   static obs::Histogram& batch_latency =
@@ -178,13 +178,13 @@ void StreamingMonitor::feed_health(bool with_numerics) {
   sample.wall_seconds = obs::steady_seconds();
   sample.frames_seen = frames_seen_;
   sample.frames_nonfinite = frames_nonfinite_;
-  sample.rank = static_cast<long>(sketcher_.current_ell());
-  sample.rank_increases = sketcher_.stats().rank_increases;
+  sample.rank = static_cast<long>(sketcher_->current_ell());
+  sample.rank_increases = sketcher_->stats().rank_increases;
   sample.queue_saturation = queue_saturation_;
   if (with_numerics &&
       batches_ % static_cast<long>(config_.health_check_every) == 0 &&
-      error_tracker_.reservoir_count() > 0 && sketcher_.dim() > 0) {
-    const Matrix basis = sketcher_.basis(sketcher_.current_ell());
+      error_tracker_.reservoir_count() > 0 && sketcher_->dim() > 0) {
+    const Matrix basis = sketcher_->basis(sketcher_->current_ell());
     if (!basis.empty()) {
       sample.sketch_error = error_tracker_.relative_error(basis);
       sample.orthogonality = orthogonality_residual(basis);
@@ -213,7 +213,7 @@ SnapshotResult StreamingMonitor::snapshot() {
     out.shot_ids.push_back(shot);
   }
 
-  const Matrix sketch = sketcher_.sketch();
+  const Matrix sketch = sketcher_->sketch();
   ARAMS_CHECK(sketch.rows() > 0, "sketch is empty — ingest more frames");
 
   const embed::PcaProjector pca(sketch, config_.pipeline.pca_components,
@@ -267,7 +267,7 @@ SnapshotResult StreamingMonitor::snapshot_incremental() {
     rows.set_row(r++, row);
     out.shot_ids.push_back(shot);
   }
-  const Matrix sketch = sketcher_.sketch();
+  const Matrix sketch = sketcher_->sketch();
   const embed::PcaProjector pca(sketch, config_.pipeline.pca_components,
                                 snapshot_ws_);
   out.latent = pca.project(rows);
@@ -312,16 +312,16 @@ SnapshotResult StreamingMonitor::snapshot_incremental() {
 }
 
 std::size_t StreamingMonitor::current_ell() const {
-  return sketcher_.current_ell();
+  return sketcher_->current_ell();
 }
 
 double StreamingMonitor::sketch_error_estimate() {
   return error_tracker_.relative_error(
-      sketcher_.basis(sketcher_.current_ell()));
+      sketcher_->basis(sketcher_->current_ell()));
 }
 
 core::SketchStats StreamingMonitor::sketch_stats() const {
-  return sketcher_.stats();
+  return sketcher_->stats();
 }
 
 }  // namespace arams::stream

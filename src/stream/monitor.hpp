@@ -6,10 +6,12 @@
 
 #include <deque>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/error_tracker.hpp"
+#include "core/sketcher.hpp"
 #include "linalg/workspace.hpp"
 #include "obs/health.hpp"
 #include "obs/stage_report.hpp"
@@ -78,7 +80,11 @@ struct SnapshotResult {
   }
 };
 
-/// Streaming monitor with a persistent sketch and a frame reservoir.
+/// Streaming monitor with a persistent sketch and a frame reservoir. The
+/// sketch backend is whatever `config.pipeline.sketcher` names in the
+/// core::make_sketcher registry — ARAMS by default, but any registered
+/// backend (fd/isvd/gaussian/countsketch/normsample/rangefinder) drives the
+/// same snapshot, watchdog and error-tracker plumbing.
 class StreamingMonitor {
  public:
   explicit StreamingMonitor(const MonitorConfig& config);
@@ -140,7 +146,7 @@ class StreamingMonitor {
   void feed_health(bool with_numerics);
 
   MonitorConfig config_;
-  core::Arams sketcher_;
+  std::unique_ptr<core::Sketcher> sketcher_;
   core::SketchErrorTracker error_tracker_;
   ThroughputMeter meter_;
   obs::HealthMonitor health_;

@@ -41,6 +41,15 @@ std::vector<std::string> PipelineConfig::validate() const {
     out << value;
     return out.str();
   };
+  if (!core::sketcher_registered(sketcher)) {
+    std::string registered;
+    for (const auto& name : core::registered_sketchers()) {
+      if (!registered.empty()) registered += ", ";
+      registered += name;
+    }
+    errors.push_back("unknown sketcher backend '" + sketcher +
+                     "' (registered: " + registered + ")");
+  }
   if (num_cores < 1) {
     errors.push_back("num_cores must be >= 1, got " + fmt(num_cores));
   }
@@ -59,6 +68,15 @@ std::vector<std::string> PipelineConfig::validate() const {
     errors.push_back("abod_k must be 0 (disabled) or >= 2");
   }
   return errors;
+}
+
+core::SketcherConfig PipelineConfig::sketcher_config() const {
+  core::SketcherConfig out;
+  out.backend = sketcher;
+  out.arams = sketch;
+  out.ell = sketch.ell;
+  out.seed = sketch.seed;
+  return out;
 }
 
 MonitoringPipeline::MonitoringPipeline(const PipelineConfig& config)
@@ -127,8 +145,19 @@ PipelineResult MonitoringPipeline::run_stages(
   result.shot_ids = std::move(shot_ids);
   Stopwatch timer;
 
-  // --- stage 2: sharded ARAMS sketch, tree-merged ---
-  {
+  // --- stage 2: sharded ARAMS sketch, tree-merged; or any other
+  // factory-registered backend as a single streaming instance ---
+  if (config_.sketcher != "arams") {
+    // Non-ARAMS backends have no mergeable-shard story (tree_merge is an
+    // FD-family operation), so they run one instance over all rows.
+    const obs::ScopedSpan stage_span("pipeline.sketch");
+    const std::unique_ptr<core::Sketcher> sketcher =
+        core::make_sketcher(config_.sketcher_config());
+    sketcher->push_batch(rows);
+    result.sketch = sketcher->sketch();
+    result.final_ell = sketcher->current_ell();
+    sketcher->report(result.report);
+  } else {
     const obs::ScopedSpan stage_span("pipeline.sketch");
     const std::size_t n = rows.rows();
     const std::size_t cores = std::min<std::size_t>(config_.num_cores, n);
@@ -156,7 +185,7 @@ PipelineResult MonitoringPipeline::run_stages(
     core::SketchStats sketch_stats;
     for (auto& shard : shards) {
       if (shard.sketch.empty()) continue;
-      sketch_stats += shard.stats();
+      sketch_stats += core::sketch_stats_from_report(shard.report);
       final_ell = std::max(final_ell, shard.final_ell);
       sketches.push_back(std::move(shard.sketch));
     }

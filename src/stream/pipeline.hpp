@@ -17,6 +17,7 @@
 #include "cluster/optics.hpp"
 #include "core/arams_sketch.hpp"
 #include "core/merge.hpp"
+#include "core/sketcher.hpp"
 #include "embed/umap.hpp"
 #include "image/preprocess.hpp"
 #include "obs/stage_report.hpp"
@@ -27,6 +28,12 @@ namespace arams::stream {
 struct PipelineConfig {
   image::PreprocessConfig preprocess;
   core::AramsConfig sketch;
+  /// Sketching backend by factory name (core::make_sketcher). "arams" (the
+  /// default) runs the paper's sharded + tree-merged path and consumes the
+  /// full `sketch` config; every other registered backend ("fd", "isvd",
+  /// "gaussian", "countsketch", "normsample", "rangefinder") runs a single
+  /// streaming instance over all rows, taking ell/seed from `sketch`.
+  std::string sketcher = "arams";
   std::size_t num_cores = 4;         ///< virtual cores for sketching
   bool use_threads = false;          ///< run shard sketches on a pool
   std::size_t pca_components = 15;   ///< latent dimension fed to UMAP
@@ -51,6 +58,11 @@ struct PipelineConfig {
   /// config's), empty when usable. Called at MonitoringPipeline
   /// construction so a bad config fails at the API boundary.
   [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// The core::SketcherConfig this pipeline config selects: `sketcher` as
+  /// the backend, the nested AramsConfig carried whole, and its ell/seed
+  /// mirrored into the scalar knobs the simple backends read.
+  [[nodiscard]] core::SketcherConfig sketcher_config() const;
 };
 
 struct PipelineResult {

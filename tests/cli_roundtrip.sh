@@ -45,6 +45,23 @@ head -c 2 "$DIR/mean.pgm" | grep -q "P5"
   --center=false --csv="$DIR/k.csv"
 grep -q "shot,x,y,label" "$DIR/k.csv"
 
+# every factory-registered sketcher backend must run the sketch command and
+# the full DAQ replay (`monitor`) end-to-end
+"$BIN" backends | grep -q "rangefinder"
+test "$("$BIN" backends | wc -l)" -ge 7
+for sk in $("$BIN" backends | cut -f1); do
+  "$BIN" sketch --in="$DIR/beam.frames" --ell=12 --sketcher="$sk" \
+    --out="$DIR/sk_$sk.npy" >/dev/null
+  test -s "$DIR/sk_$sk.npy"
+  "$BIN" monitor --in="$DIR/beam.frames" --batch=16 --ell=8 --queue=32 \
+    --fps=20000 --sketcher="$sk" | grep -q "monitored 80 shots"
+done
+
+# the two-stage pipeline accepts --sketcher too
+"$BIN" pipeline --in="$DIR/diff.frames" --clusterer=kmeans --k=3 --ell=8 \
+  --sketcher=rangefinder --center=false --csv="$DIR/rf.csv"
+grep -q "shot,x,y,label" "$DIR/rf.csv"
+
 # sketch with each residual estimator
 for est in gaussian hutchinson hutchpp; do
   "$BIN" sketch --in="$DIR/beam.frames" --ell=12 --estimator="$est" \

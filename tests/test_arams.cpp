@@ -85,8 +85,9 @@ TEST(Arams, SamplingReducesRowsProcessed) {
   const AramsResult r2 = s2.sketch_matrix(a);
   EXPECT_EQ(r1.rows_sampled, 200u);
   EXPECT_EQ(r2.rows_sampled, 400u);
-  EXPECT_LT(r1.stats().rows_processed, r2.stats().rows_processed);
-  EXPECT_LT(r1.stats().svd_count, r2.stats().svd_count);
+  EXPECT_LT(r1.report.counter("rows_processed"),
+            r2.report.counter("rows_processed"));
+  EXPECT_LT(r1.report.counter("svd_count"), r2.report.counter("svd_count"));
 }
 
 TEST(Arams, BetaOneSkipsSampling) {
@@ -169,7 +170,7 @@ TEST(Arams, RankAdaptiveGrowsUnderTightEpsilon) {
   }
   const AramsResult result = arams.sketch_matrix(noise);
   EXPECT_GT(result.final_ell, 8u);
-  EXPECT_GT(result.stats().rank_increases, 0);
+  EXPECT_GT(result.report.counter("rank_increases"), 0);
 }
 
 TEST(Arams, TimersPopulated) {
@@ -177,8 +178,8 @@ TEST(Arams, TimersPopulated) {
   config.ell = 8;
   Arams arams(config);
   const AramsResult result = arams.sketch_matrix(low_rank_data(200, 20, 10));
-  EXPECT_GE(result.sample_seconds(), 0.0);
-  EXPECT_GT(result.sketch_seconds(), 0.0);
+  EXPECT_GE(result.report.seconds("sample"), 0.0);
+  EXPECT_GT(result.report.seconds("sketch"), 0.0);
   EXPECT_TRUE(result.report.has_stage("sample"));
   EXPECT_TRUE(result.report.has_stage("sketch"));
 }

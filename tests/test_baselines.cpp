@@ -27,8 +27,8 @@ Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
 }
 
 TEST(Baselines, FactoryKnowsEveryName) {
-  for (const char* name : {"fd", "gaussian-projection", "count-sketch",
-                           "norm-sampling", "isvd"}) {
+  for (const char* name :
+       {"fd", "gaussian", "countsketch", "normsample", "isvd"}) {
     const auto sketcher = make_sketcher(name, 8, 1);
     ASSERT_NE(sketcher, nullptr);
     EXPECT_EQ(sketcher->name(), name);
@@ -36,12 +36,18 @@ TEST(Baselines, FactoryKnowsEveryName) {
   EXPECT_THROW(make_sketcher("typo", 8, 1), CheckError);
 }
 
+TEST(Baselines, LegacyAliasesResolveToCanonicalNames) {
+  EXPECT_EQ(make_sketcher("gaussian-projection", 8, 1)->name(), "gaussian");
+  EXPECT_EQ(make_sketcher("count-sketch", 8, 1)->name(), "countsketch");
+  EXPECT_EQ(make_sketcher("norm-sampling", 8, 1)->name(), "normsample");
+}
+
 class BaselineKinds : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(BaselineKinds, SketchHasBoundedRowsAndRightWidth) {
   const auto sketcher = make_sketcher(GetParam(), 10, 2);
   const Matrix a = random_matrix(80, 24, 3);
-  sketcher->append_batch(a);
+  sketcher->push_batch(a);
   const Matrix b = sketcher->sketch();
   EXPECT_LE(b.rows(), 10u);
   EXPECT_EQ(b.cols(), 24u);
@@ -60,7 +66,7 @@ TEST_P(BaselineKinds, ReasonableCovarianceApproximation) {
   const Matrix a = data::make_low_rank(dc, rng);
 
   const auto sketcher = make_sketcher(GetParam(), 24, 5);
-  sketcher->append_batch(a);
+  sketcher->push_batch(a);
   const Matrix b = sketcher->sketch();
   Rng power(6);
   const double rel = linalg::covariance_error_relative(a, b, power, 80);
@@ -68,9 +74,8 @@ TEST_P(BaselineKinds, ReasonableCovarianceApproximation) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Kinds, BaselineKinds,
-                         ::testing::Values("fd", "gaussian-projection",
-                                           "count-sketch", "norm-sampling",
-                                           "isvd"));
+                         ::testing::Values("fd", "gaussian", "countsketch",
+                                           "normsample", "isvd"));
 
 TEST(GaussianProjection, CovarianceUnbiasedOverSeeds) {
   const Matrix a = random_matrix(40, 5, 7);
@@ -79,7 +84,7 @@ TEST(GaussianProjection, CovarianceUnbiasedOverSeeds) {
   constexpr int kReps = 400;
   for (int rep = 0; rep < kReps; ++rep) {
     GaussianProjectionSketch sketcher(16, static_cast<std::uint64_t>(rep));
-    sketcher.append_batch(a);
+    sketcher.push_batch(a);
     const Matrix g = linalg::gram_cols(sketcher.sketch());
     for (std::size_t i = 0; i < 5; ++i) {
       for (std::size_t j = 0; j < 5; ++j) {
@@ -98,7 +103,7 @@ TEST(CountSketchTest, CovarianceUnbiasedOverSeeds) {
   constexpr int kReps = 500;
   for (int rep = 0; rep < kReps; ++rep) {
     CountSketch sketcher(12, static_cast<std::uint64_t>(rep) + 1);
-    sketcher.append_batch(a);
+    sketcher.push_batch(a);
     const Matrix g = linalg::gram_cols(sketcher.sketch());
     for (std::size_t i = 0; i < 4; ++i) {
       for (std::size_t j = 0; j < 4; ++j) {
@@ -118,7 +123,7 @@ TEST(NormSampling, HeavyRowDominatesSample) {
   }
   a(13, 0) = 100.0;
   NormSamplingSketch sketcher(8, 10);
-  sketcher.append_batch(a);
+  sketcher.push_batch(a);
   const Matrix b = sketcher.sketch();
   // Nearly every sampled slot should hold (a rescaled copy of) the heavy
   // row.
@@ -129,15 +134,19 @@ TEST(NormSampling, HeavyRowDominatesSample) {
   EXPECT_GE(heavy, b.rows() - 1);
 }
 
-TEST(NormSampling, SketchBeforeDataThrows) {
+TEST(NormSampling, SketchBeforeDataIsEmpty) {
+  // Empty-state contract (sketcher.hpp): sketch() on a fresh instance
+  // returns an empty matrix, it never throws; basis() is the checked call.
   NormSamplingSketch sketcher(4, 11);
-  EXPECT_THROW(sketcher.sketch(), CheckError);
+  EXPECT_EQ(sketcher.dim(), 0u);
+  EXPECT_EQ(sketcher.sketch().rows(), 0u);
+  EXPECT_THROW(sketcher.basis(2), CheckError);
 }
 
 TEST(Isvd, ExactOnDataWithinRank) {
   const Matrix a = random_matrix(6, 12, 12);
   TruncatedSvdSketch sketcher(8);
-  sketcher.append_batch(a);
+  sketcher.push_batch(a);
   const Matrix b = sketcher.sketch();
   Rng power(13);
   EXPECT_NEAR(linalg::covariance_error(a, b, power, 100), 0.0,
@@ -162,7 +171,7 @@ TEST(Isvd, TruncatesWithoutShrinkageUnlikeFd) {
   const double sigma1 = linalg::spectral_norm(a, p0, 150);
 
   TruncatedSvdSketch isvd(6);
-  isvd.append_batch(a);
+  isvd.push_batch(a);
   FrequentDirections fd(FdConfig{6, true});
   fd.append_batch(a);
   fd.compress();
@@ -182,14 +191,13 @@ TEST(Isvd, TruncatesWithoutShrinkageUnlikeFd) {
 
 TEST(Isvd, StatsCountTruncations) {
   TruncatedSvdSketch sketcher(4);
-  sketcher.append_batch(random_matrix(50, 6, 16));
+  sketcher.push_batch(random_matrix(50, 6, 16));
   EXPECT_GT(sketcher.stats().svd_count, 0);
   EXPECT_EQ(sketcher.stats().rows_processed, 50);
 }
 
 TEST(Baselines, DimensionChangeThrows) {
-  for (const char* name : {"gaussian-projection", "count-sketch",
-                           "norm-sampling", "isvd"}) {
+  for (const char* name : {"gaussian", "countsketch", "normsample", "isvd"}) {
     const auto sketcher = make_sketcher(name, 4, 17);
     const std::vector<double> row3{1.0, 2.0, 3.0};
     const std::vector<double> row2{1.0, 2.0};

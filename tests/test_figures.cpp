@@ -53,8 +53,9 @@ TEST(Fig1Shape, PrioritySamplingReducesWorkAtMatchedError) {
   const auto r1 = s1.sketch_matrix(a);
   const auto r2 = s2.sketch_matrix(a);
   // PS processes ~20% fewer rows → fewer rotations.
-  EXPECT_LT(r1.stats().rows_processed, r2.stats().rows_processed);
-  EXPECT_LE(r1.stats().svd_count, r2.stats().svd_count);
+  EXPECT_LT(r1.report.counter("rows_processed"),
+            r2.report.counter("rows_processed"));
+  EXPECT_LE(r1.report.counter("svd_count"), r2.report.counter("svd_count"));
   // …at comparable reconstruction error.
   Rng p1(2), p2(2);
   // Both errors sit near the noise floor of this small instance; PS must

@@ -6,11 +6,14 @@
 //   pipeline   run the full monitoring pipeline; emit CSV and/or HTML
 //   monitor    replay a run through the streaming monitor with live
 //              telemetry, the health watchdog, and Prometheus snapshots
+//   backends   list the registered sketching backends
 //   info       describe a .frames or .npy file
 //
 // Examples:
 //   arams generate --kind=beam --frames=500 --size=48 --out=run.frames
 //   arams sketch --in=run.frames --ell=32 --epsilon=0.05 --out=sketch.npy
+//   arams sketch --in=run.frames --sketcher=rangefinder --out=sketch.npy
+//   arams monitor --in=run.frames --sketcher=fd --batch=64
 //   arams pipeline --in=run.frames --html=run.html --csv=run.csv
 //   arams pipeline --in=run.frames --trace-out=trace.json
 //       --metrics-out=metrics.jsonl
@@ -46,6 +49,7 @@ void print_usage() {
       "  compare    covariance error of a sketch against its data\n"
       "  diag       beam diagnostics over a run: CUSUM alarms, frame\n"
       "             statistics, dead/hot pixel mask\n"
+      "  backends   list the registered sketching backends (--sketcher=)\n"
       "  info       describe a .frames or .npy file\n"
       "\n"
       "run `arams <command> --help` for the command's flags.\n";
@@ -187,9 +191,14 @@ int cmd_sketch(int argc, const char* const* argv) {
   CliFlags flags;
   flags.declare("in", "", ".frames bundle or .npy matrix (required)");
   flags.declare("out", "sketch.npy", "output sketch .npy");
+  flags.declare("sketcher", "arams",
+                "backend: arams | fd | isvd | gaussian | countsketch | "
+                "normsample | rangefinder (see `arams backends`)");
   flags.declare("ell", "32", "initial/fixed sketch rank");
-  flags.declare("beta", "0.8", "priority-sampling keep fraction");
-  flags.declare("epsilon", "0.05", "rank-adaptation target (0 disables RA)");
+  flags.declare("seed", "2024", "sketcher RNG seed");
+  flags.declare("beta", "0.8", "arams: priority-sampling keep fraction");
+  flags.declare("epsilon", "0.05",
+                "arams: rank-adaptation target (0 disables RA)");
   flags.declare("estimator", "gaussian",
                 "RA residual estimator: gaussian | hutchinson | hutchpp");
   flags.declare("report-error", "false",
@@ -207,34 +216,55 @@ int cmd_sketch(int argc, const char* const* argv) {
   std::cout << "loaded " << rows.rows() << " x " << rows.cols()
             << " from " << flags.get("in") << "\n";
 
-  core::AramsConfig config;
+  core::SketcherConfig config;
+  config.backend = flags.get("sketcher");
   config.ell = static_cast<std::size_t>(flags.get_int("ell"));
-  config.beta = flags.get_double("beta");
-  config.use_sampling = config.beta < 1.0;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.arams.ell = config.ell;
+  config.arams.seed = config.seed;
+  config.arams.beta = flags.get_double("beta");
+  config.arams.use_sampling = config.arams.beta < 1.0;
   const double epsilon = flags.get_double("epsilon");
-  config.rank_adaptive = epsilon > 0.0;
-  config.epsilon = epsilon;
-  config.estimator =
+  config.arams.rank_adaptive = epsilon > 0.0;
+  config.arams.epsilon = epsilon;
+  config.arams.estimator =
       linalg::parse_residual_estimator(flags.get("estimator"));
 
-  core::Arams sketcher(config);
+  linalg::Matrix sketch;
+  std::size_t final_ell = 0;
   Stopwatch timer;
-  const core::AramsResult result = sketcher.sketch_matrix(rows);
-  std::cout << "sketched to " << result.sketch.rows() << " x "
-            << result.sketch.cols() << " in " << timer.seconds() << " s ("
-            << result.stats().svd_count << " rotations, final ell "
-            << result.final_ell << ")\n";
-  io::save_npy(flags.get("out"), result.sketch);
+  if (config.backend == "arams") {
+    // The paper path: Algorithm 3 verbatim through core::Arams, so the
+    // default CLI invocation stays bitwise-identical to pre-factory runs.
+    core::Arams sketcher(config.arams);
+    const core::AramsResult result = sketcher.sketch_matrix(rows);
+    std::cout << "sketched to " << result.sketch.rows() << " x "
+              << result.sketch.cols() << " in " << timer.seconds() << " s ("
+              << result.report.counter("svd_count")
+              << " rotations, final ell " << result.final_ell << ")\n";
+    sketch = result.sketch;
+    final_ell = result.final_ell;
+  } else {
+    const std::unique_ptr<core::Sketcher> sketcher =
+        core::make_sketcher(config);
+    sketcher->push_batch(rows);
+    sketch = sketcher->sketch();
+    final_ell = sketcher->current_ell();
+    std::cout << "sketched to " << sketch.rows() << " x " << sketch.cols()
+              << " in " << timer.seconds() << " s (" << sketcher->name()
+              << ", " << sketcher->stats().svd_count
+              << " rotations, ell " << final_ell << ")\n";
+  }
+  io::save_npy(flags.get("out"), sketch);
   std::cout << "sketch written to " << flags.get("out") << "\n";
   write_telemetry(flags);
 
   if (flags.get_bool("report-error")) {
     Rng power(1);
     std::cout << "relative covariance error: "
-              << linalg::covariance_error_relative(rows, result.sketch,
-                                                   power, 60)
+              << linalg::covariance_error_relative(rows, sketch, power, 60)
               << " (FD bound "
-              << 1.0 / static_cast<double>(result.final_ell) << ")\n";
+              << 1.0 / static_cast<double>(final_ell) << ")\n";
   }
   return 0;
 }
@@ -242,6 +272,8 @@ int cmd_sketch(int argc, const char* const* argv) {
 int cmd_pipeline(int argc, const char* const* argv) {
   CliFlags flags;
   flags.declare("in", "", ".frames bundle or .npy matrix (required)");
+  flags.declare("sketcher", "arams",
+                "sketch backend (see `arams backends`)");
   flags.declare("ell", "24", "sketch rank");
   flags.declare("cores", "4", "virtual sketching cores");
   flags.declare("components", "12", "PCA latent dimension");
@@ -264,6 +296,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
   arm_telemetry(flags);
 
   stream::PipelineConfig config;
+  config.sketcher = flags.get("sketcher");
   config.sketch.ell = static_cast<std::size_t>(flags.get_int("ell"));
   config.num_cores = static_cast<std::size_t>(flags.get_int("cores"));
   config.pca_components =
@@ -337,6 +370,8 @@ int cmd_pipeline(int argc, const char* const* argv) {
 int cmd_monitor(int argc, const char* const* argv) {
   CliFlags flags;
   flags.declare("in", "", ".frames bundle (required)");
+  flags.declare("sketcher", "arams",
+                "sketch backend (see `arams backends`)");
   flags.declare("batch", "64", "frames per sketch update");
   flags.declare("ell", "16", "initial sketch rank");
   flags.declare("epsilon", "0.0", "rank-adaptation target (0 disables RA)");
@@ -365,6 +400,7 @@ int cmd_monitor(int argc, const char* const* argv) {
   const auto frames = io::load_frames(flags.get("in"));
 
   stream::MonitorConfig config;
+  config.pipeline.sketcher = flags.get("sketcher");
   config.batch_size = static_cast<std::size_t>(flags.get_int("batch"));
   config.reservoir_size =
       static_cast<std::size_t>(flags.get_int("reservoir"));
@@ -547,6 +583,24 @@ int cmd_diag(int argc, const char* const* argv) {
   return 0;
 }
 
+// Lists the factory-registered sketching backends, one per line as
+// "name<TAB>description". The docs lint (tools/check_sketcher_doc.sh)
+// parses this output, so the registry and docs/ALGORITHMS.md cannot drift
+// apart silently.
+int cmd_backends(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.declare("help", "false", "print usage");
+  flags.parse(argc, argv);
+  if (flags.get_bool("help")) {
+    std::cout << flags.usage("arams backends");
+    return 0;
+  }
+  for (const auto& name : core::registered_sketchers()) {
+    std::cout << name << "\t" << core::sketcher_description(name) << "\n";
+  }
+  return 0;
+}
+
 int cmd_info(int argc, const char* const* argv) {
   CliFlags flags;
   flags.declare("in", "", "file to describe (required)");
@@ -590,6 +644,7 @@ int main(int argc, char** argv) {
     if (command == "monitor") return cmd_monitor(argc - 1, argv + 1);
     if (command == "compare") return cmd_compare(argc - 1, argv + 1);
     if (command == "diag") return cmd_diag(argc - 1, argv + 1);
+    if (command == "backends") return cmd_backends(argc - 1, argv + 1);
     if (command == "info") return cmd_info(argc - 1, argv + 1);
     if (command == "--help" || command == "help") {
       print_usage();

@@ -14,6 +14,10 @@
 #   tools/bench_to_json.sh                          # micro_kernels -> BENCH_kernels.json
 #   tools/bench_to_json.sh micro_distance build BENCH_downstream.json
 #   tools/bench_to_json.sh build /tmp/after.json --benchmark_filter='BM_Gemm.*'
+#   tools/bench_to_json.sh ablation_baselines       # -> BENCH_sketchers.json
+#
+# `ablation_baselines` is not a google-benchmark binary; it is special-cased
+# below onto its own --json-out flag (default output BENCH_sketchers.json).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -24,8 +28,13 @@ if [[ $# -gt 0 && "$1" != */* && ! -d "$1" ]]; then
   shift
 fi
 
+default_out="BENCH_${bench_name#micro_}.json"
+if [[ "${bench_name}" == "ablation_baselines" ]]; then
+  default_out="BENCH_sketchers.json"
+fi
+
 build_dir="${1:-${repo_root}/build}"
-out_file="${2:-${repo_root}/BENCH_${bench_name#micro_}.json}"
+out_file="${2:-${repo_root}/${default_out}}"
 shift $(( $# > 2 ? 2 : $# )) || true
 
 bench_bin="${build_dir}/bench/${bench_name}"
@@ -36,6 +45,13 @@ if [[ ! -x "${bench_bin}" ]]; then
 fi
 
 echo "Running ${bench_bin} -> ${out_file}" >&2
+if [[ "${bench_name}" == "ablation_baselines" ]]; then
+  # Hand-rolled harness: emits its own JSON via --json-out instead of the
+  # google-benchmark reporter flags.
+  "${bench_bin}" --json-out="${out_file}" "$@"
+  echo "Wrote ${out_file}" >&2
+  exit 0
+fi
 "${bench_bin}" \
   --benchmark_out="${out_file}" \
   --benchmark_out_format=json \

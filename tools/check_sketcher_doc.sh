@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Doc lint: every factory-registered sketcher backend must be documented in
+# docs/ALGORITHMS.md, so the backend catalogue cannot silently rot when a
+# new sketcher lands.
+#
+# The registry is read from the binary itself (`arams backends`, one
+# "name<TAB>description" line per canonical backend) rather than greped out
+# of the source, so the lint can never disagree with what the factory
+# actually builds. The binary path arrives in $ARAMS_BIN (wired by ctest).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BIN="${ARAMS_BIN:?ARAMS_BIN must point at the arams binary}"
+DOC="$ROOT/docs/ALGORITHMS.md"
+test -r "$DOC" || { echo "missing $DOC" >&2; exit 1; }
+
+names="$("$BIN" backends | cut -f1)"
+test -n "$names" || { echo "'arams backends' listed no backends" >&2; exit 1; }
+
+missing=0
+count=0
+while IFS= read -r name; do
+  [ -n "$name" ] || continue
+  count=$((count + 1))
+  if ! grep -qF "\`$name\`" "$DOC"; then
+    echo "undocumented sketcher backend: \`$name\` — add it to docs/ALGORITHMS.md" >&2
+    missing=1
+  fi
+done <<< "$names"
+
+if [ "$missing" -ne 0 ]; then
+  exit 1
+fi
+echo "sketcher doc lint OK ($count registered backends documented)"
