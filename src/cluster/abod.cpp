@@ -21,9 +21,10 @@ std::vector<double> fast_abod(const Matrix& points, const AbodConfig& config,
   ARAMS_CHECK(n > config.k, "need more points than k");
   const std::size_t k = config.k;
 
-  Rng rng(0);  // exact kNN only; rng unused but required by the builder
+  const auto searcher = embed::make_searcher(config.knn);
+  searcher->build(points, ws, opts);
   embed::KnnGraph graph;
-  embed::build_knn(points, k, rng, ws, graph, /*exact_threshold=*/4096, opts);
+  searcher->query_graph(k, ws, graph, opts);
 
   std::vector<double> scores(n, 0.0);
   // Per-point scratch: the k neighbour-difference vectors and their Gram

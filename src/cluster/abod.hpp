@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "embed/ann/searcher.hpp"
 #include "embed/knn.hpp"
 #include "linalg/matrix.hpp"
 
@@ -19,6 +20,11 @@ namespace arams::cluster {
 
 struct AbodConfig {
   std::size_t k = 10;  ///< neighbourhood size
+
+  /// kNN searcher used for the neighbourhood graph; the default "auto"
+  /// backend keeps the historical exact graph below knn.exact_threshold
+  /// points and switches to rpforest above.
+  embed::AnnConfig knn;
 };
 
 /// ABOF score per point (low = outlying).

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <vector>
 
+#include "embed/ann/searcher.hpp"
 #include "util/check.hpp"
 
 namespace arams::cluster {
@@ -15,8 +18,14 @@ namespace {
 using embed::sq_dist;
 
 /// k-means++ seeding: each next centroid is drawn ∝ distance² to the
-/// nearest already-chosen centroid.
-Matrix seed_centroids(const Matrix& points, std::size_t k, Rng& rng) {
+/// nearest already-chosen centroid. Each round's point-vs-centroid distance
+/// row comes from the searcher seam (one engine block per new centroid,
+/// `d2_scratch` is caller scratch of index.size() entries).
+Matrix seed_centroids(const embed::NeighborSearcher& index, std::size_t k,
+                      Rng& rng, linalg::Workspace& ws,
+                      std::span<double> d2_scratch,
+                      const embed::DistanceOptions& opts) {
+  const Matrix& points = index.points();
   const std::size_t n = points.rows();
   Matrix centroids(k, points.cols());
   std::vector<double> best_d2(n, std::numeric_limits<double>::infinity());
@@ -24,10 +33,10 @@ Matrix seed_centroids(const Matrix& points, std::size_t k, Rng& rng) {
   std::size_t first = rng.uniform_index(n);
   centroids.set_row(0, points.row(first));
   for (std::size_t c = 1; c < k; ++c) {
+    index.sq_dists_to(centroids.row(c - 1), ws, d2_scratch, opts);
     double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      best_d2[i] =
-          std::min(best_d2[i], sq_dist(points.row(i), centroids.row(c - 1)));
+      best_d2[i] = std::min(best_d2[i], d2_scratch[i]);
       total += best_d2[i];
     }
     std::size_t chosen = n - 1;
@@ -49,13 +58,15 @@ Matrix seed_centroids(const Matrix& points, std::size_t k, Rng& rng) {
 }
 
 KmeansResult run_once(const Matrix& points, const KmeansConfig& config,
-                      Rng& rng, linalg::Workspace& ws,
+                      const embed::NeighborSearcher& index, Rng& rng,
+                      linalg::Workspace& ws,
                       std::span<const double> point_norms,
+                      std::span<double> seed_scratch,
                       const embed::DistanceOptions& opts) {
   const std::size_t n = points.rows();
   const std::size_t k = config.k;
   KmeansResult result;
-  result.centroids = seed_centroids(points, k, rng);
+  result.centroids = seed_centroids(index, k, rng, ws, seed_scratch, opts);
   result.labels.assign(n, 0);
 
   double prev_inertia = std::numeric_limits<double>::infinity();
@@ -150,11 +161,17 @@ KmeansResult kmeans(const Matrix& points, const KmeansConfig& config,
   const auto point_norms = ws.vec(linalg::wslot::kDistXNorms, points.rows());
   embed::row_sq_norms(points, point_norms);
 
+  // The seeding rounds range-query candidate centroids against the point
+  // set through the searcher seam (exact: k-means++ needs true distances).
+  const auto index = embed::make_searcher("exact", config.seed);
+  index->build(points, ws, opts);
+  std::vector<double> seed_scratch(points.rows());
+
   KmeansResult best;
   best.inertia = std::numeric_limits<double>::infinity();
   for (int r = 0; r < config.restarts; ++r) {
-    KmeansResult candidate = run_once(points, config, rng, ws, point_norms,
-                                      opts);
+    KmeansResult candidate = run_once(points, config, *index, rng, ws,
+                                      point_norms, seed_scratch, opts);
     if (candidate.inertia < best.inertia) {
       best = std::move(candidate);
     }

@@ -18,9 +18,10 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
-OpticsResult optics(const Matrix& points, const OpticsConfig& config,
+OpticsResult optics(embed::NeighborSearcher& index, const OpticsConfig& config,
                     linalg::Workspace& ws,
                     const embed::DistanceOptions& opts) {
+  const Matrix& points = index.points();
   const std::size_t n = points.rows();
   ARAMS_CHECK(n >= 2, "OPTICS needs at least two points");
   ARAMS_CHECK(config.min_pts >= 2 && config.min_pts <= n,
@@ -36,21 +37,14 @@ OpticsResult optics(const Matrix& points, const OpticsConfig& config,
 
   std::vector<bool> processed(n, false);
   std::vector<double> dists(n);
+  std::vector<double> dsq(n);
   std::vector<std::size_t> neighbors;
 
-  // Hoisted across the whole traversal: every range query reuses the same
-  // point norms and writes its squared-distance row into the same block.
-  const auto norms = ws.vec(linalg::wslot::kDistYNorms, n);
-  embed::row_sq_norms(points, norms);
-  Matrix& drow = ws.mat(linalg::wslot::kDistBlock, 1, n);
   const auto nd = ws.vec(linalg::wslot::kDistXNorms, n);  // selection scratch
 
   const auto range_query = [&](std::size_t p) {
     Stopwatch timer;
-    const auto prow = linalg::MatrixView::rows_of(points, p, p + 1);
-    embed::pairwise_sq_dists_prenormed(prow, points, norms.subspan(p, 1),
-                                       norms, ws, drow, opts);
-    const auto dsq = drow.row(0);
+    index.sq_dists_to(points.row(p), ws, dsq, opts);
     neighbors.clear();
     for (std::size_t q = 0; q < n; ++q) {
       if (q == p) continue;
@@ -114,6 +108,14 @@ OpticsResult optics(const Matrix& points, const OpticsConfig& config,
   ARAMS_CHECK(result.order.size() == n, "OPTICS ordering incomplete");
   core_dist_seconds.observe(range_time.total_seconds());
   return result;
+}
+
+OpticsResult optics(const Matrix& points, const OpticsConfig& config,
+                    linalg::Workspace& ws,
+                    const embed::DistanceOptions& opts) {
+  const auto index = embed::make_searcher("exact", /*seed=*/0);
+  index->build(points, ws, opts);
+  return optics(*index, config, ws, opts);
 }
 
 OpticsResult optics(const Matrix& points, const OpticsConfig& config) {

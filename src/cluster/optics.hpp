@@ -11,6 +11,7 @@
 #include <limits>
 #include <vector>
 
+#include "embed/ann/searcher.hpp"
 #include "embed/distance.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/workspace.hpp"
@@ -42,6 +43,14 @@ OpticsResult optics(const linalg::Matrix& points, const OpticsConfig& config);
 /// the serial path). `opts.use_gemm = false` reproduces the historical
 /// per-pair scalar arithmetic bit for bit.
 OpticsResult optics(const linalg::Matrix& points, const OpticsConfig& config,
+                    linalg::Workspace& ws,
+                    const embed::DistanceOptions& opts = {});
+
+/// Searcher-backed variant: range queries go through
+/// NeighborSearcher::sq_dists_to over the index's stored points (the two
+/// overloads above delegate here with a local `exact` index). An exact
+/// index reproduces the historical arithmetic bit for bit.
+OpticsResult optics(embed::NeighborSearcher& index, const OpticsConfig& config,
                     linalg::Workspace& ws,
                     const embed::DistanceOptions& opts = {});
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "linalg/blas.hpp"
 #include "obs/metrics.hpp"
@@ -116,11 +117,27 @@ constexpr std::size_t kSelectParallelThreshold = std::size_t{1} << 18;
 
 }  // namespace
 
+namespace {
+
+/// Shared k-vs-n validation for the self-excluding graph builders. A point
+/// set of n rows has only n−1 candidate neighbours per point, so k ≥ n can
+/// never be satisfied — reject loudly (with the offending values) instead
+/// of silently producing a graph padded with sentinel indices.
+void check_graph_args(std::size_t n, std::size_t k) {
+  ARAMS_CHECK(n >= 2, "kNN graph needs at least two points (got n=" +
+                          std::to_string(n) +
+                          "); a single point has no neighbours");
+  ARAMS_CHECK(k >= 1 && k < n,
+              "kNN graph needs 1 <= k < n (got k=" + std::to_string(k) +
+                  ", n=" + std::to_string(n) + ")");
+}
+
+}  // namespace
+
 void exact_knn(const Matrix& points, std::size_t k, linalg::Workspace& ws,
                KnnGraph& g, const DistanceOptions& opts) {
   const std::size_t n = points.rows();
-  ARAMS_CHECK(n >= 2, "kNN needs at least two points");
-  ARAMS_CHECK(k >= 1 && k < n, "k must satisfy 1 <= k < n");
+  check_graph_args(n, k);
   Stopwatch timer;
 
   g.n = n;
@@ -192,32 +209,17 @@ KnnGraph exact_knn(const Matrix& points, std::size_t k) {
   return g;
 }
 
-void nn_descent(const Matrix& points, std::size_t k, Rng& rng,
-                linalg::Workspace& ws, KnnGraph& g, int iters,
-                double sample_rate, const DistanceOptions& opts) {
+namespace {
+
+/// The NN-descent local-join iterations (Dong et al. 2011), shared by the
+/// randomly-initialized builder below and by nn_descent_refine (which seeds
+/// the lists from rp-forest candidates instead). Distances in `lists` are
+/// squared Euclidean.
+void descent_iterations(const Matrix& points, std::vector<NeighborList>& lists,
+                        std::size_t k, Rng& rng, linalg::Workspace& ws,
+                        int iters, double sample_rate,
+                        const DistanceOptions& opts) {
   const std::size_t n = points.rows();
-  ARAMS_CHECK(n >= 2, "kNN needs at least two points");
-  ARAMS_CHECK(k >= 1 && k < n, "k must satisfy 1 <= k < n");
-  Stopwatch timer;
-
-  std::vector<NeighborList> lists(n, NeighborList(k));
-  // Random initialization.
-  for (std::size_t i = 0; i < n; ++i) {
-    while (true) {
-      bool full = true;
-      for (const auto& it : lists[i].items) {
-        if (it.index == static_cast<std::size_t>(-1)) {
-          full = false;
-          break;
-        }
-      }
-      if (full) break;
-      std::size_t j = rng.uniform_index(n);
-      if (j == i) continue;
-      lists[i].try_insert(sq_dist(points.row(i), points.row(j)), j);
-    }
-  }
-
   // Candidate Gram scoring: the union of a join's candidates is gathered
   // into a contiguous block and its Gram matrix computed once through the
   // tiled kernel; each pair's distance is then the rank-1 combination
@@ -304,7 +306,13 @@ void nn_descent(const Matrix& points, std::size_t k, Rng& rng,
       break;  // converged early
     }
   }
+}
 
+/// Writes the (squared-distance) neighbour lists into `g`, sorted ascending
+/// with Euclidean distances.
+void lists_to_graph(const std::vector<NeighborList>& lists, std::size_t k,
+                    KnnGraph& g) {
+  const std::size_t n = lists.size();
   g.n = n;
   g.k = k;
   g.neighbors.resize(n * k);
@@ -320,6 +328,70 @@ void nn_descent(const Matrix& points, std::size_t k, Rng& rng,
       g.distances[i * k + j] = std::sqrt(sorted[j].first);
     }
   }
+}
+
+}  // namespace
+
+void nn_descent(const Matrix& points, std::size_t k, Rng& rng,
+                linalg::Workspace& ws, KnnGraph& g, int iters,
+                double sample_rate, const DistanceOptions& opts) {
+  const std::size_t n = points.rows();
+  check_graph_args(n, k);
+  Stopwatch timer;
+
+  std::vector<NeighborList> lists(n, NeighborList(k));
+  // Random initialization.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (true) {
+      bool full = true;
+      for (const auto& it : lists[i].items) {
+        if (it.index == static_cast<std::size_t>(-1)) {
+          full = false;
+          break;
+        }
+      }
+      if (full) break;
+      std::size_t j = rng.uniform_index(n);
+      if (j == i) continue;
+      lists[i].try_insert(sq_dist(points.row(i), points.row(j)), j);
+    }
+  }
+
+  descent_iterations(points, lists, k, rng, ws, iters, sample_rate, opts);
+  lists_to_graph(lists, k, g);
+  knn_seconds().observe(timer.seconds());
+}
+
+void nn_descent_refine(const Matrix& points, Rng& rng, linalg::Workspace& ws,
+                       KnnGraph& g, int iters, double sample_rate,
+                       const DistanceOptions& opts) {
+  const std::size_t n = points.rows();
+  const std::size_t k = g.k;
+  check_graph_args(n, k);
+  ARAMS_CHECK(g.n == n, "nn_descent_refine: graph covers " +
+                            std::to_string(g.n) + " points, expected " +
+                            std::to_string(n));
+  if (iters <= 0) return;
+  Stopwatch timer;
+
+  // Seed the bounded lists from the caller's graph (Euclidean distances →
+  // the squared form the join arithmetic uses), every entry marked new so
+  // the first pass joins the full seed neighbourhood.
+  std::vector<NeighborList> lists(n, NeighborList(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t idx = g.neighbor(i, j);
+      ARAMS_CHECK(idx < n && idx != i,
+                  "nn_descent_refine: seed graph has invalid neighbour " +
+                      std::to_string(idx) + " for point " + std::to_string(i));
+      const double d = g.distance(i, j);
+      lists[i].items[j] = NeighborList::Item{d * d, idx, true};
+    }
+    lists[i].refresh_worst();
+  }
+
+  descent_iterations(points, lists, k, rng, ws, iters, sample_rate, opts);
+  lists_to_graph(lists, k, g);
   knn_seconds().observe(timer.seconds());
 }
 

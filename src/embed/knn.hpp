@@ -64,6 +64,16 @@ void nn_descent(const linalg::Matrix& points, std::size_t k, Rng& rng,
                 linalg::Workspace& ws, KnnGraph& out, int iters = 6,
                 double sample_rate = 1.0, const DistanceOptions& opts = {});
 
+/// Refines an existing kNN graph in place with NN-descent local-join
+/// passes. `graph` must be a valid graph over `points` (n == points.rows(),
+/// ascending Euclidean distances, no self/invalid neighbours) — typically
+/// the leaf-co-membership seed the rpforest searcher produces, which
+/// converges in far fewer passes than random initialization.
+void nn_descent_refine(const linalg::Matrix& points, Rng& rng,
+                       linalg::Workspace& ws, KnnGraph& graph, int iters,
+                       double sample_rate = 1.0,
+                       const DistanceOptions& opts = {});
+
 /// Builds a kNN graph choosing the method by size: exact below
 /// `exact_threshold` points, NN-descent above.
 KnnGraph build_knn(const linalg::Matrix& points, std::size_t k, Rng& rng,

@@ -530,34 +530,29 @@ Matrix umap_embed_graph(const Matrix& points, const KnnGraph& graph,
 
 namespace {
 
-/// Places one new point given its squared-distance row against the
-/// reference set: weighted-average init from the k nearest, then a short
-/// attract-only refinement driven by the point's own RNG stream (so every
-/// point is independent and the loop can fan across the pool).
-void place_new_point(std::span<const double> dist_row, std::size_t k,
+/// Places one new point given its k nearest reference neighbours (indices
+/// `nbr`, ascending Euclidean distances `ndist` — one row of the searcher's
+/// query_batch output): weighted-average init from the k nearest, then a
+/// short attract-only refinement driven by the point's own RNG stream (so
+/// every point is independent and the loop can fan across the pool).
+void place_new_point(std::span<const std::size_t> nbr,
+                     std::span<const double> ndist,
                      const Matrix& reference_embedding,
                      const UmapConfig& config, double a, double b,
                      const Rng& base_rng, std::size_t point_index,
                      std::span<double> yi) {
-  const std::size_t n_ref = dist_row.size();
+  const std::size_t k = nbr.size();
   const std::size_t dim = yi.size();
-  thread_local std::vector<std::pair<double, std::size_t>> cand;
   thread_local std::vector<double> w;
-  cand.resize(n_ref);
-  for (std::size_t j = 0; j < n_ref; ++j) cand[j] = {dist_row[j], j};
-  std::partial_sort(cand.begin(),
-                    cand.begin() + static_cast<std::ptrdiff_t>(k),
-                    cand.end());
 
   // Membership weights from the same smooth-kNN kernel.
-  const double rho = std::sqrt(cand[0].first);
-  double sigma = std::max(
-      std::sqrt(cand[k - 1].first) - rho, 1e-3 * (rho + 1e-12));
+  const double rho = ndist[0];
+  double sigma = std::max(ndist[k - 1] - rho, 1e-3 * (rho + 1e-12));
   if (sigma <= 0.0) sigma = 1.0;
   w.resize(k);
   double wsum = 0.0;
   for (std::size_t j = 0; j < k; ++j) {
-    const double d = std::sqrt(cand[j].first) - rho;
+    const double d = ndist[j] - rho;
     w[j] = (d <= 0.0) ? 1.0 : std::exp(-d / sigma);
     wsum += w[j];
   }
@@ -565,7 +560,7 @@ void place_new_point(std::span<const double> dist_row, std::size_t k,
   // Init: weighted average of neighbour embeddings.
   for (std::size_t c = 0; c < dim; ++c) yi[c] = 0.0;
   for (std::size_t j = 0; j < k; ++j) {
-    const auto ref = reference_embedding.row(cand[j].second);
+    const auto ref = reference_embedding.row(nbr[j]);
     for (std::size_t c = 0; c < dim; ++c) {
       yi[c] += (w[j] / wsum) * ref[c];
     }
@@ -579,7 +574,7 @@ void place_new_point(std::span<const double> dist_row, std::size_t k,
     const double alpha = config.learning_rate * 0.5 *
                          (1.0 - static_cast<double>(epoch) / epochs);
     const std::size_t j = rng.uniform_index(k);
-    const auto ref = reference_embedding.row(cand[j].second);
+    const auto ref = reference_embedding.row(nbr[j]);
     double d2 = 0.0;
     for (std::size_t c = 0; c < dim; ++c) {
       const double diff = yi[c] - ref[c];
@@ -597,63 +592,69 @@ void place_new_point(std::span<const double> dist_row, std::size_t k,
 
 }  // namespace
 
-Matrix umap_transform(const Matrix& reference_points,
+Matrix umap_transform(NeighborSearcher& reference_index,
                       const Matrix& reference_embedding,
                       const Matrix& new_points, const UmapConfig& config,
                       linalg::Workspace& ws, const DistanceOptions& opts) {
-  ARAMS_CHECK(reference_points.rows() == reference_embedding.rows(),
-              "reference points/embedding row mismatch");
-  ARAMS_CHECK(new_points.cols() == reference_points.cols(),
+  const std::size_t n_ref = reference_index.size();
+  ARAMS_CHECK(n_ref == reference_embedding.rows(),
+              "reference index/embedding row mismatch");
+  ARAMS_CHECK(new_points.cols() == reference_index.dim(),
               "new points have a different dimension");
-  ARAMS_CHECK(reference_points.rows() > config.n_neighbors,
+  ARAMS_CHECK(n_ref > config.n_neighbors,
               "need more reference points than n_neighbors");
   const std::size_t n_new = new_points.rows();
   const std::size_t dim = reference_embedding.cols();
   const std::size_t k = config.n_neighbors;
-  const std::size_t n_ref = reference_points.rows();
   const Rng rng(config.seed ^ 0x77aa77ull);
 
   const auto [a, b] = fit_ab(config.spread, config.min_dist);
   Matrix y(n_new, dim);
+  if (n_new == 0) return y;
 
-  // New-vs-reference distances stream through the engine in row blocks;
-  // the reference norms are hoisted across every block.
-  const auto ref_norms = ws.vec(linalg::wslot::kDistYNorms, n_ref);
-  row_sq_norms(reference_points, ref_norms);
-  constexpr std::size_t kBlock = 256;
-  Matrix& d = ws.mat(linalg::wslot::kDistBlock, std::min(kBlock, n_new),
-                     n_ref);
+  // One batch query resolves every new point's reference neighbourhood
+  // (the exact backend streams row blocks through the prenormed engine —
+  // the same blocked arithmetic this function used to inline).
+  KnnGraph knn;
+  reference_index.query_batch(new_points, k, ws, knn, opts);
 
-  for (std::size_t b0 = 0; b0 < n_new; b0 += kBlock) {
-    const std::size_t rows = std::min(kBlock, n_new - b0);
-    const linalg::MatrixView queries =
-        linalg::MatrixView::rows_of(new_points, b0, b0 + rows);
-    const auto query_norms = ws.vec(linalg::wslot::kDistXNorms, rows);
-    row_sq_norms(queries, query_norms);
-    pairwise_sq_dists_prenormed(queries, reference_points, query_norms,
-                                ref_norms, ws, d, opts);
-
-    const auto place_band = [&](std::size_t r0, std::size_t r1) {
-      for (std::size_t r = r0; r < r1; ++r) {
-        place_new_point(d.row(r), k, reference_embedding, config, a, b, rng,
-                        b0 + r, y.row(b0 + r));
-      }
-    };
-    parallel::ThreadPool* pool = nullptr;
-    if (opts.allow_parallel && rows * n_ref >= (std::size_t{1} << 18)) {
-      parallel::ThreadPool& shared = parallel::shared_pool();
-      if (shared.thread_count() >= 2) pool = &shared;
+  // Placement fans across the pool: each point owns a split RNG stream, so
+  // the result is deterministic and independent of the banding.
+  const auto place_band = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      place_new_point(
+          std::span<const std::size_t>(knn.neighbors).subspan(r * k, k),
+          std::span<const double>(knn.distances).subspan(r * k, k),
+          reference_embedding, config, a, b, rng, r, y.row(r));
     }
-    if (pool == nullptr) {
-      place_band(0, rows);
-    } else {
-      const std::size_t bands = std::min(rows, pool->thread_count() * 4);
-      pool->parallel_for(bands, [&](std::size_t t) {
-        place_band(rows * t / bands, rows * (t + 1) / bands);
-      });
-    }
+  };
+  parallel::ThreadPool* pool = nullptr;
+  if (opts.allow_parallel && n_new * n_ref >= (std::size_t{1} << 18)) {
+    parallel::ThreadPool& shared = parallel::shared_pool();
+    if (shared.thread_count() >= 2) pool = &shared;
+  }
+  if (pool == nullptr) {
+    place_band(0, n_new);
+  } else {
+    const std::size_t bands = std::min(n_new, pool->thread_count() * 4);
+    pool->parallel_for(bands, [&](std::size_t t) {
+      place_band(n_new * t / bands, n_new * (t + 1) / bands);
+    });
   }
   return y;
+}
+
+Matrix umap_transform(const Matrix& reference_points,
+                      const Matrix& reference_embedding,
+                      const Matrix& new_points, const UmapConfig& config,
+                      linalg::Workspace& ws, const DistanceOptions& opts) {
+  // One-shot form: an exact index over the reference set (selection through
+  // the searcher is lexicographically identical to the historical
+  // partial_sort, so results are unchanged).
+  const auto index = make_searcher("exact", config.seed);
+  index->build(reference_points, ws, opts);
+  return umap_transform(*index, reference_embedding, new_points, config, ws,
+                        opts);
 }
 
 Matrix umap_transform(const Matrix& reference_points,
@@ -664,14 +665,28 @@ Matrix umap_transform(const Matrix& reference_points,
                         config, ws);
 }
 
+/// The effective searcher config for an embedding run: `seed` flows into
+/// the searcher stream, and a legacy non-default exact_knn_threshold is
+/// honored while knn.exact_threshold is untouched (deprecation shim).
+AnnConfig umap_knn_config(const UmapConfig& config) {
+  AnnConfig ann = config.knn;
+  const UmapConfig default_umap;
+  if (config.exact_knn_threshold != default_umap.exact_knn_threshold &&
+      ann.exact_threshold == AnnConfig{}.exact_threshold) {
+    ann.exact_threshold = config.exact_knn_threshold;
+  }
+  ann.seed = config.seed ^ 0xabcdefull;
+  return ann;
+}
+
 Matrix umap_embed(const Matrix& points, const UmapConfig& config,
                   linalg::Workspace& ws, const DistanceOptions& opts) {
   ARAMS_CHECK(points.rows() > config.n_neighbors,
               "need more points than n_neighbors");
-  Rng rng(config.seed ^ 0xabcdefull);
+  const auto searcher = make_searcher(umap_knn_config(config));
+  searcher->build(points, ws, opts);
   KnnGraph graph;
-  build_knn(points, config.n_neighbors, rng, ws, graph,
-            config.exact_knn_threshold, opts);
+  searcher->query_graph(config.n_neighbors, ws, graph, opts);
   return umap_embed_graph(points, graph, config);
 }
 

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "embed/ann/searcher.hpp"
 #include "embed/knn.hpp"
 #include "linalg/matrix.hpp"
 #include "rng/rng.hpp"
@@ -34,7 +35,17 @@ struct UmapConfig {
   enum class Init { kPca, kRandom, kSpectral };
   Init init = Init::kPca;
   std::uint64_t seed = 42;
-  std::size_t exact_knn_threshold = 4096;  ///< above: NN-descent
+
+  /// kNN searcher configuration (embed/ann/searcher.hpp). The default
+  /// "auto" backend dispatches on size: exact at or below
+  /// knn.exact_threshold points, rpforest above. knn.seed is overridden
+  /// from `seed` so one knob controls the whole embedding.
+  AnnConfig knn;
+
+  /// DEPRECATED — use knn.exact_threshold (`--knn-exact-threshold`).
+  /// Honored through a compatibility shim: a non-default value here is
+  /// carried into knn.exact_threshold as long as the latter is untouched.
+  std::size_t exact_knn_threshold = 4096;
 
   /// SGD layout strategy.
   ///  * kSerial — the reference single-threaded loop: edges visited in
@@ -90,6 +101,13 @@ linalg::Matrix spectral_init(const FuzzyGraph& graph,
                              std::size_t n_components, Rng& rng,
                              int iterations = 200);
 
+/// The effective searcher config an embedding run derives from `config`:
+/// `config.seed` flows into the searcher stream and the deprecated
+/// exact_knn_threshold field is honored via the compatibility shim. The
+/// streaming monitor uses the same derivation so its warm snapshot index
+/// matches what umap_embed would build.
+[[nodiscard]] AnnConfig umap_knn_config(const UmapConfig& config);
+
 /// Full UMAP embedding of `points` (n×d) into n×n_components.
 linalg::Matrix umap_embed(const linalg::Matrix& points,
                           const UmapConfig& config);
@@ -122,6 +140,17 @@ linalg::Matrix umap_transform(const linalg::Matrix& reference_points,
 /// refinement fans across the shared pool (each point owns a split RNG
 /// stream, so results are deterministic and independent of thread count).
 linalg::Matrix umap_transform(const linalg::Matrix& reference_points,
+                              const linalg::Matrix& reference_embedding,
+                              const linalg::Matrix& new_points,
+                              const UmapConfig& config, linalg::Workspace& ws,
+                              const DistanceOptions& opts = {});
+
+/// Searcher-backed transform: the reference kNN comes from an already
+/// built NeighborSearcher over the reference points (row i of
+/// `reference_embedding` must correspond to index i of the searcher). This
+/// is the streaming monitor's path — the index is built once per full
+/// snapshot and kept warm with insert() across incremental snapshots.
+linalg::Matrix umap_transform(NeighborSearcher& reference_index,
                               const linalg::Matrix& reference_embedding,
                               const linalg::Matrix& new_points,
                               const UmapConfig& config, linalg::Workspace& ws,

@@ -62,6 +62,18 @@ inline constexpr std::size_t kDistGather = 9;   ///< gathered candidate rows
 inline constexpr std::size_t kDistGram = 10;    ///< candidate Gram matrix
 inline constexpr std::size_t kDistXNorms = 6;   ///< vec slot: query ‖·‖²
 inline constexpr std::size_t kDistYNorms = 7;   ///< vec slot: reference ‖·‖²
+// Approximate-NN layer (embed/ann/). Searcher queries nest on top of the
+// distance engine (whose kernels consume the kDist* ids above) and inside
+// consumers that hold live kDist* references of their own (OPTICS keeps a
+// distance row, ABOD a neighbour Gram), so the ANN scratch claims fresh
+// ids at every arena.
+inline constexpr std::size_t kAnnBlock = 11;   ///< query-vs-index d²/Gram block
+inline constexpr std::size_t kAnnGather = 12;  ///< gathered candidate rows
+inline constexpr std::size_t kAnnGram = 13;    ///< leaf/candidate Gram matrix
+inline constexpr std::size_t kAnnProj = 14;    ///< rp-tree projection column
+inline constexpr std::size_t kAnnQNorms = 8;   ///< vec slot: query ‖·‖²
+inline constexpr std::size_t kAnnDists = 9;    ///< vec slot: candidate d²
+inline constexpr std::size_t kAnnOrder = 1;    ///< idx slot: candidate indices
 }  // namespace wslot
 
 class Workspace {

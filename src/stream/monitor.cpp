@@ -228,10 +228,17 @@ SnapshotResult StreamingMonitor::snapshot() {
   cluster_snapshot(out);
   out.report.set_seconds("snapshot", timer.seconds());
 
-  // Keep this snapshot as the reference for incremental refreshes.
+  // Keep this snapshot as the reference for incremental refreshes, and
+  // (re)build the warm index over it — the only full index build until the
+  // next full snapshot; incremental refreshes grow it with insert().
   reference_latent_ = out.latent;
   reference_embedding_ = out.embedding;
   reference_shots_ = out.shot_ids;
+  if (!ann_index_) {
+    ann_index_ =
+        embed::make_searcher(embed::umap_knn_config(config_.pipeline.umap));
+  }
+  ann_index_->build(reference_latent_, snapshot_ws_);
   return out;
 }
 
@@ -296,14 +303,36 @@ SnapshotResult StreamingMonitor::snapshot_incremental() {
     for (std::size_t i = 0; i < fresh_rows.size(); ++i) {
       fresh.set_row(i, out.latent.row(fresh_rows[i]));
     }
+    // Recovery path only (e.g. state restored without a full snapshot):
+    // the normal flow keeps the index in lock-step with the reference.
+    if (!ann_index_ || ann_index_->size() != reference_latent_.rows()) {
+      if (!ann_index_) {
+        ann_index_ = embed::make_searcher(
+            embed::umap_knn_config(config_.pipeline.umap));
+      }
+      ann_index_->build(reference_latent_, snapshot_ws_);
+    }
     embed::UmapConfig umap_config = config_.pipeline.umap;
-    umap_config.n_neighbors = std::min(umap_config.n_neighbors,
-                                       reference_latent_.rows() - 1);
+    umap_config.n_neighbors =
+        std::min(umap_config.n_neighbors, ann_index_->size() - 1);
     const Matrix placed = embed::umap_transform(
-        reference_latent_, reference_embedding_, fresh, umap_config,
-        snapshot_ws_);
+        *ann_index_, reference_embedding_, fresh, umap_config, snapshot_ws_);
     for (std::size_t i = 0; i < fresh_rows.size(); ++i) {
       out.embedding.set_row(fresh_rows[i], placed.row(i));
+    }
+    // Grow the warm reference instead of rebuilding it: the new shots join
+    // the index via insert() and extend the frozen reference, so the next
+    // refresh keeps their coordinates and queries a richer neighbourhood.
+    ann_index_->insert(fresh, snapshot_ws_);
+    const std::size_t old_ref = reference_embedding_.rows();
+    reference_latent_.reshape(old_ref + fresh.rows(),
+                              reference_latent_.cols());
+    reference_embedding_.reshape(old_ref + fresh.rows(),
+                                 reference_embedding_.cols());
+    for (std::size_t i = 0; i < fresh_rows.size(); ++i) {
+      reference_latent_.set_row(old_ref + i, fresh.row(i));
+      reference_embedding_.set_row(old_ref + i, placed.row(i));
+      reference_shots_.push_back(out.shot_ids[fresh_rows[i]]);
     }
   }
   cluster_snapshot(out);

@@ -12,6 +12,7 @@
 
 #include "core/error_tracker.hpp"
 #include "core/sketcher.hpp"
+#include "embed/ann/searcher.hpp"
 #include "linalg/workspace.hpp"
 #include "obs/health.hpp"
 #include "obs/stage_report.hpp"
@@ -129,6 +130,14 @@ class StreamingMonitor {
   /// Frames rejected because their preprocessed row was not finite.
   [[nodiscard]] long nonfinite_frames() const { return frames_nonfinite_; }
 
+  /// The warm reference kNN index incremental snapshots query and grow
+  /// (null until the first full snapshot). Exposed so callers/tests can
+  /// observe stats(): builds stays at 1 across incremental refreshes while
+  /// inserted_rows grows — the no-rebuild contract.
+  [[nodiscard]] const embed::NeighborSearcher* reference_index() const {
+    return ann_index_.get();
+  }
+
   /// Attaches the upstream queue's occupancy fraction (0..1) to the next
   /// health sample — the DAQ driver owns the queue, the monitor owns the
   /// watchdog. NaN (the default) skips the queue-saturation check.
@@ -164,10 +173,15 @@ class StreamingMonitor {
   /// allocating.
   linalg::Workspace snapshot_ws_;
 
-  /// Frozen reference from the last full snapshot (for incremental mode).
+  /// Reference from the last full snapshot (for incremental mode). Grows:
+  /// each incremental refresh appends its freshly placed shots, so later
+  /// refreshes keep those coordinates and query a richer neighbourhood.
   linalg::Matrix reference_latent_;
   linalg::Matrix reference_embedding_;
   std::vector<std::uint64_t> reference_shots_;
+  /// Warm kNN index over reference_latent_: rebuilt on full snapshots,
+  /// grown with insert() on incremental ones (never rebuilt between them).
+  std::unique_ptr<embed::NeighborSearcher> ann_index_;
 };
 
 }  // namespace arams::stream

@@ -60,6 +60,9 @@ std::vector<std::string> PipelineConfig::validate() const {
     errors.push_back("umap.n_neighbors must be >= 2, got " +
                      fmt(umap.n_neighbors));
   }
+  for (const std::string& e : umap.knn.validate()) {
+    errors.push_back("umap.knn: " + e);
+  }
   if (!(cluster_quantile > 0.0 && cluster_quantile <= 1.0)) {
     errors.push_back("cluster_quantile must be in (0, 1], got " +
                      fmt(cluster_quantile));

@@ -187,6 +187,51 @@ TEST(Monitor, IncrementalSnapshotKeepsReferenceCoordinates) {
   EXPECT_EQ(inc.labels.size(), 100u);
 }
 
+TEST(Monitor, WarmIndexInsertsInsteadOfRebuilding) {
+  // The no-rebuild contract: the reference kNN index is built once by the
+  // full snapshot, then grown with insert() on every incremental refresh —
+  // builds stays at 1 while inserted_rows tracks the appended shots.
+  StreamingMonitor monitor(small_monitor());
+  BeamProfileSource source(small_beam(), 140, 120.0, 22);
+  const auto events = drain(source, 140);
+  for (std::size_t i = 0; i < 80; ++i) {
+    monitor.ingest(events[i]);
+  }
+  monitor.flush();
+  EXPECT_EQ(monitor.reference_index(), nullptr);
+  (void)monitor.snapshot();
+  ASSERT_NE(monitor.reference_index(), nullptr);
+  EXPECT_EQ(monitor.reference_index()->stats().builds, 1);
+  EXPECT_EQ(monitor.reference_index()->stats().inserted_rows, 0);
+  EXPECT_EQ(monitor.reference_index()->size(), 80u);
+
+  for (std::size_t i = 80; i < 110; ++i) {
+    monitor.ingest(events[i]);
+  }
+  monitor.flush();
+  (void)monitor.snapshot_incremental();
+  EXPECT_EQ(monitor.reference_index()->stats().builds, 1);
+  EXPECT_EQ(monitor.reference_index()->stats().inserted_rows, 30);
+  EXPECT_EQ(monitor.reference_index()->size(), 110u);
+
+  for (std::size_t i = 110; i < 140; ++i) {
+    monitor.ingest(events[i]);
+  }
+  monitor.flush();
+  (void)monitor.snapshot_incremental();
+  EXPECT_EQ(monitor.reference_index()->stats().builds, 1);
+  EXPECT_EQ(monitor.reference_index()->stats().inserted_rows, 60);
+  EXPECT_EQ(monitor.reference_index()->size(), 140u);
+
+  // A full snapshot re-anchors the reference and rebuilds the index (the
+  // auto backend re-dispatches on rebuild, so its counters start over:
+  // one fresh build, no inserts, reservoir-sized).
+  (void)monitor.snapshot();
+  EXPECT_EQ(monitor.reference_index()->stats().builds, 1);
+  EXPECT_EQ(monitor.reference_index()->stats().inserted_rows, 0);
+  EXPECT_EQ(monitor.reference_index()->size(), 128u);
+}
+
 TEST(Monitor, IncrementalWithoutReferenceFallsBackToFull) {
   StreamingMonitor monitor(small_monitor());
   BeamProfileSource source(small_beam(), 40, 120.0, 21);

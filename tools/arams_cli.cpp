@@ -15,6 +15,7 @@
 //   arams sketch --in=run.frames --sketcher=rangefinder --out=sketch.npy
 //   arams monitor --in=run.frames --sketcher=fd --batch=64
 //   arams pipeline --in=run.frames --html=run.html --csv=run.csv
+//   arams pipeline --in=run.frames --knn-backend=rpforest
 //   arams pipeline --in=run.frames --trace-out=trace.json
 //       --metrics-out=metrics.jsonl
 //   arams monitor --in=run.frames --batch=64 --prom-out=arams.prom
@@ -50,6 +51,7 @@ void print_usage() {
       "  diag       beam diagnostics over a run: CUSUM alarms, frame\n"
       "             statistics, dead/hot pixel mask\n"
       "  backends   list the registered sketching backends (--sketcher=)\n"
+      "             or, with --knn, the kNN searchers (--knn-backend=)\n"
       "  info       describe a .frames or .npy file\n"
       "\n"
       "run `arams <command> --help` for the command's flags.\n";
@@ -74,6 +76,24 @@ void declare_telemetry_flags(CliFlags& flags) {
   flags.declare("metrics-out", "", "write telemetry metrics as JSON lines");
   flags.declare("prom-out", "",
                 "write metrics in Prometheus text exposition format");
+}
+
+/// kNN searcher flags, shared by the subcommands that build neighbour
+/// graphs (`pipeline`, `monitor`). Backend names come from the
+/// embed::make_searcher registry.
+void declare_knn_flags(CliFlags& flags) {
+  flags.declare("knn-backend", "auto",
+                "kNN searcher: exact | rpforest | auto "
+                "(see `arams backends --knn`)");
+  flags.declare("knn-exact-threshold", "4096",
+                "auto backend: largest point count still served by the "
+                "exact searcher");
+}
+
+void apply_knn_flags(const CliFlags& flags, embed::UmapConfig& umap) {
+  umap.knn.backend = flags.get("knn-backend");
+  umap.knn.exact_threshold =
+      static_cast<std::size_t>(flags.get_int("knn-exact-threshold"));
 }
 
 /// Span recording costs a little per stage, so it stays off unless the run
@@ -279,6 +299,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
   flags.declare("components", "12", "PCA latent dimension");
   flags.declare("neighbors", "15", "UMAP n_neighbors");
   flags.declare("epochs", "200", "UMAP epochs");
+  declare_knn_flags(flags);
   flags.declare("clusterer", "optics", "optics | hdbscan | kmeans");
   flags.declare("k", "4", "kmeans: number of clusters");
   flags.declare("center", "true", "CoM-center frames before sketching");
@@ -304,6 +325,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
   config.umap.n_neighbors =
       static_cast<std::size_t>(flags.get_int("neighbors"));
   config.umap.n_epochs = static_cast<int>(flags.get_int("epochs"));
+  apply_knn_flags(flags, config.umap);
   config.preprocess.center = flags.get_bool("center");
   const std::string clusterer = flags.get("clusterer");
   if (clusterer == "hdbscan") {
@@ -388,6 +410,7 @@ int cmd_monitor(int argc, const char* const* argv) {
   flags.declare("nan-from", "-1",
                 "inject a non-finite pixel starting at this shot index");
   flags.declare("nan-count", "0", "number of consecutive shots to poison");
+  declare_knn_flags(flags);
   declare_telemetry_flags(flags);
   flags.declare("help", "false", "print usage");
   flags.parse(argc, argv);
@@ -409,6 +432,7 @@ int cmd_monitor(int argc, const char* const* argv) {
   const double epsilon = flags.get_double("epsilon");
   config.pipeline.sketch.rank_adaptive = epsilon > 0.0;
   config.pipeline.sketch.epsilon = epsilon;
+  apply_knn_flags(flags, config.pipeline.umap);
   stream::StreamingMonitor monitor(config);
 
   // Every state transition is echoed live; the full incident log lands in
@@ -589,10 +613,20 @@ int cmd_diag(int argc, const char* const* argv) {
 // apart silently.
 int cmd_backends(int argc, const char* const* argv) {
   CliFlags flags;
+  flags.declare("knn", "false",
+                "list the kNN searcher backends (--knn-backend=) instead "
+                "of the sketchers");
   flags.declare("help", "false", "print usage");
   flags.parse(argc, argv);
   if (flags.get_bool("help")) {
     std::cout << flags.usage("arams backends");
+    return 0;
+  }
+  if (flags.get_bool("knn")) {
+    for (const auto& name : embed::registered_searchers()) {
+      std::cout << name << "\t" << embed::searcher_description(name)
+                << "\n";
+    }
     return 0;
   }
   for (const auto& name : core::registered_sketchers()) {

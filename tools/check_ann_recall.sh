@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# ANN recall harness: runs the micro_ann BM_AnnRecallPin benchmark (rpforest
+# kNN graph at n=4096, d=32, k=15 against exhaustive exact ground truth) and
+# fails when the recall counter drops below the 0.95 floor the subsystem
+# promises. A regression here means a forest construction / traversal /
+# refinement bug that the unit-level pins missed at their smaller shapes.
+#
+# Invoked by ctest as `ann_recall` with ANN_BENCH pointing at micro_ann.
+set -euo pipefail
+
+BIN="${ANN_BENCH:?ANN_BENCH must point at the micro_ann benchmark binary}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$BIN" --benchmark_filter='BM_AnnRecallPin' \
+  --benchmark_out="$DIR/ann.json" --benchmark_out_format=json \
+  --benchmark_repetitions=1 >/dev/null
+
+python3 - "$DIR/ann.json" <<'EOF'
+import json
+import sys
+
+floor = 0.95
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rows = [b for b in report["benchmarks"] if "recall" in b]
+if not rows:
+    print("no benchmark with a recall counter in the report", file=sys.stderr)
+    sys.exit(1)
+status = 0
+for b in rows:
+    recall = float(b["recall"])
+    ok = recall >= floor
+    tag = "ok" if ok else "FAIL"
+    print(f"[{tag}] {b['name']}: recall={recall:.4f} (floor {floor})")
+    if not ok:
+        status = 1
+sys.exit(status)
+EOF
+
+echo "ANN recall OK"
