@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "obs/window.hpp"
 
 namespace {
@@ -78,6 +81,57 @@ void BM_SlidingHistogramStats(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SlidingHistogramStats);
+
+void BM_FlightRecord(benchmark::State& state) {
+  // The black-box journal on the ingest path: budget is <= 50 ns per
+  // record() (docs/TELEMETRY.md). Threads write disjoint rings, so the
+  // multi-threaded lanes must scale near-flat.
+  obs::FlightRecorder& recorder = obs::flight_recorder();
+  recorder.enable(true);
+  std::uint64_t shot = 0;
+  for (auto _ : state) {
+    recorder.record(obs::FlightCode::kCustom, ++shot, 0, 1e-3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecord)->ThreadRange(1, 4);
+
+void BM_FlightRecordDisabled(benchmark::State& state) {
+  // The disabled path is one relaxed load — what every non-monitor run
+  // pays at each instrumented call site.
+  obs::FlightRecorder& recorder = obs::flight_recorder();
+  recorder.enable(false);
+  for (auto _ : state) {
+    recorder.record(obs::FlightCode::kCustom, 1, 0, 0.0);
+  }
+  recorder.enable(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecordDisabled);
+
+void BM_ScopedSpanStack(benchmark::State& state) {
+  // ScopedSpan with recording off: the interned-name lookup plus the two
+  // span-stack stores the sampling profiler depends on.
+  for (auto _ : state) {
+    const obs::ScopedSpan span("bench.obs.span");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedSpanStack)->ThreadRange(1, 4);
+
+void BM_ProfilerSampleOnce(benchmark::State& state) {
+  // The sampler thread's per-sweep cost (walk every registered stack and
+  // fold the chains). Runs off the hot path, at interval_ms cadence.
+  obs::SamplingProfiler profiler;
+  const obs::ScopedSpan outer("bench.obs.prof_outer");
+  const obs::ScopedSpan inner("bench.obs.prof_inner");
+  for (auto _ : state) {
+    profiler.sample_once();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerSampleOnce);
 
 void BM_HealthObserve(benchmark::State& state) {
   // Per-batch, not per-frame — but it should still be microseconds.

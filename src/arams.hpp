@@ -36,9 +36,13 @@
 #include "linalg/blas.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/trace_est.hpp"
+#include "obs/build_info.hpp"
 #include "obs/export_prom.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/profiler.hpp"
 #include "obs/stage_report.hpp"
 #include "obs/trace.hpp"
 #include "obs/window.hpp"

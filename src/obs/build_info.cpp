@@ -1,0 +1,63 @@
+#include "obs/build_info.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/export_prom.hpp"
+
+// Fallbacks keep the translation unit compilable outside the CMake build
+// (e.g. tooling that parses the tree); the real values arrive as
+// target_compile_definitions on this one source file.
+#ifndef ARAMS_BUILD_VERSION
+#define ARAMS_BUILD_VERSION "unknown"
+#endif
+#ifndef ARAMS_BUILD_GIT
+#define ARAMS_BUILD_GIT "unknown"
+#endif
+#ifndef ARAMS_BUILD_COMPILER
+#define ARAMS_BUILD_COMPILER "unknown"
+#endif
+#ifndef ARAMS_BUILD_MARCH
+#define ARAMS_BUILD_MARCH "baseline"
+#endif
+#ifndef ARAMS_BUILD_SANITIZE
+#define ARAMS_BUILD_SANITIZE "none"
+#endif
+#ifndef ARAMS_BUILD_TYPE
+#define ARAMS_BUILD_TYPE "unknown"
+#endif
+
+namespace arams::obs {
+
+const BuildInfo& build_info() {
+  static constexpr BuildInfo info{
+      ARAMS_BUILD_VERSION, ARAMS_BUILD_GIT,      ARAMS_BUILD_COMPILER,
+      ARAMS_BUILD_MARCH,   ARAMS_BUILD_SANITIZE, ARAMS_BUILD_TYPE,
+  };
+  return info;
+}
+
+std::string build_info_line() {
+  const BuildInfo& info = build_info();
+  std::ostringstream out;
+  out << "version=" << info.version << " git=" << info.git
+      << " compiler=" << info.compiler << " march=" << info.march
+      << " sanitize=" << info.sanitize << " build=" << info.build_type;
+  return out.str();
+}
+
+void write_build_info_prometheus(std::ostream& out) {
+  const BuildInfo& info = build_info();
+  out << "# HELP arams_build_info build provenance of the running binary "
+         "(constant 1; labels carry the stamp)\n"
+      << "# TYPE arams_build_info gauge\n"
+      << "arams_build_info{version=\""
+      << prometheus_escape_label_value(info.version) << "\",git=\""
+      << prometheus_escape_label_value(info.git) << "\",compiler=\""
+      << prometheus_escape_label_value(info.compiler) << "\",march=\""
+      << prometheus_escape_label_value(info.march) << "\",sanitize=\""
+      << prometheus_escape_label_value(info.sanitize) << "\",build_type=\""
+      << prometheus_escape_label_value(info.build_type) << "\"} 1\n";
+}
+
+}  // namespace arams::obs

@@ -1,0 +1,38 @@
+#pragma once
+// obs::build_info — the provenance stamp of the running binary.
+//
+// A post-mortem file or a Prometheus scrape is only interpretable when it
+// says *which* build produced it: version, git describe, compiler, the
+// hot-kernel ISA the configure probe selected, and whether a sanitizer
+// lane was active (sanitized timings are not comparable to release
+// timings). The values are baked in at configure time by
+// src/obs/CMakeLists.txt; everything here is static data, so the crash
+// path can print it without allocation.
+
+#include <iosfwd>
+#include <string>
+
+namespace arams::obs {
+
+struct BuildInfo {
+  const char* version;    ///< project version (CMake)
+  const char* git;        ///< `git describe --always --dirty` at configure
+  const char* compiler;   ///< compiler id + version
+  const char* march;      ///< hot-kernel ISA flags ("baseline" when none)
+  const char* sanitize;   ///< ARAMS_SANITIZE list ("none" when empty)
+  const char* build_type; ///< CMAKE_BUILD_TYPE
+};
+
+/// The stamp for this binary. All fields are string literals baked at
+/// compile time (async-signal-safe to read and print).
+const BuildInfo& build_info();
+
+/// "version=… git=… compiler=… march=… sanitize=… build=…" on one line.
+std::string build_info_line();
+
+/// The `arams_build_info` gauge in Prometheus text exposition: a constant
+/// `1` gauge whose labels carry the stamp, label values escaped per the
+/// exposition format.
+void write_build_info_prometheus(std::ostream& out);
+
+}  // namespace arams::obs

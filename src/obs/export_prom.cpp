@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/build_info.hpp"
 #include "obs/health.hpp"
 #include "obs/window.hpp"
 #include "util/check.hpp"
@@ -23,11 +24,47 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
+std::string prometheus_counter_name(std::string_view name) {
+  std::string prom = prometheus_name(name);
+  if (!prom.ends_with("_total")) {
+    prom += "_total";
+  }
+  return prom;
+}
+
+std::string prometheus_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void header(std::ostream& out, const std::string& prom,
             std::string_view raw, const char* type) {
-  out << "# HELP " << prom << " arams metric " << raw << "\n"
+  out << "# HELP " << prom << " arams metric "
+      << prometheus_escape_help(raw) << "\n"
       << "# TYPE " << prom << " " << type << "\n";
 }
 
@@ -52,9 +89,10 @@ void render_histogram(std::ostream& out, const std::string& prom,
 
 void write_prometheus(std::ostream& out, const MetricsRegistry& registry,
                       const HealthMonitor* health) {
+  write_build_info_prometheus(out);
   MetricsRegistry::Visitor visitor;
   visitor.on_counter = [&out](const std::string& name, const Counter& c) {
-    const std::string prom = prometheus_name(name);
+    const std::string prom = prometheus_counter_name(name);
     header(out, prom, name, "counter");
     out << prom << " " << c.value() << "\n";
   };

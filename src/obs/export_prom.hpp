@@ -10,11 +10,16 @@
 //
 // Name mapping: registry names are dotted ("fd.shrink_count"); exposition
 // names are `arams_` + the dotted name with every non-[a-zA-Z0-9_:] byte
-// replaced by '_' ("arams_fd_shrink_count"). Histograms render in the
-// native histogram exposition (cumulative `_bucket{le=...}` + `_sum` +
-// `_count`), sliding histograms as summaries (quantile-labelled samples
-// over the trailing window) plus a `_window_rate` gauge, EWMA rates as
-// gauges plus a `_total` counter.
+// replaced by '_' ("arams_fd_shrink_count"). Counters additionally carry
+// the spec-mandated `_total` suffix ("arams_fd_shrink_count_total").
+// Histograms render in the native histogram exposition (cumulative
+// `_bucket{le=...}` + `_sum` + `_count`), sliding histograms as summaries
+// (quantile-labelled samples over the trailing window) plus a
+// `_window_rate` gauge, EWMA rates as gauges plus a `_total` counter.
+// Every series opens with `# HELP` then `# TYPE` (in that order), HELP
+// text and label values escaped per the text exposition format. The
+// export always leads with the `arams_build_info` provenance gauge
+// (obs/build_info.hpp).
 
 #include <iosfwd>
 #include <mutex>
@@ -29,6 +34,19 @@ class HealthMonitor;
 
 /// "fd.shrink_count" → "arams_fd_shrink_count".
 std::string prometheus_name(std::string_view name);
+
+/// Counter exposition name: prometheus_name() plus the spec-mandated
+/// `_total` suffix ("fd.shrink_count" → "arams_fd_shrink_count_total");
+/// names already ending in `_total` are left alone.
+std::string prometheus_counter_name(std::string_view name);
+
+/// Escapes a label value for the text exposition format: backslash,
+/// double quote and newline become `\\`, `\"` and `\n`.
+std::string prometheus_escape_label_value(std::string_view value);
+
+/// Escapes `# HELP` text: backslash and newline become `\\` and `\n`
+/// (quotes are legal in HELP text and stay as-is).
+std::string prometheus_escape_help(std::string_view text);
 
 /// Renders every registered metric (and, when given, the health state as
 /// `arams_health_observed_state` / `arams_health_incidents`) in the

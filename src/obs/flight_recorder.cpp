@@ -1,0 +1,248 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <ostream>
+
+#include "obs/signal_safe.hpp"
+#include "obs/window.hpp"
+
+namespace arams::obs {
+
+const char* flight_code_name(FlightCode code) {
+  switch (code) {
+    case FlightCode::kFrameIngested: return "frame_ingested";
+    case FlightCode::kFrameRejected: return "frame_rejected";
+    case FlightCode::kBatchSketched: return "batch_sketched";
+    case FlightCode::kRankChange: return "rank_change";
+    case FlightCode::kQueueSaturation: return "queue_saturation";
+    case FlightCode::kHealthTransition: return "health_transition";
+    case FlightCode::kSnapshot: return "snapshot";
+    case FlightCode::kStageComplete: return "stage_complete";
+    case FlightCode::kCrash: return "crash";
+    case FlightCode::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+const char* flight_stage_name(FlightStage stage) {
+  switch (stage) {
+    case FlightStage::kPreprocess: return "preprocess";
+    case FlightStage::kSketch: return "sketch";
+    case FlightStage::kProject: return "project";
+    case FlightStage::kEmbed: return "embed";
+    case FlightStage::kCluster: return "cluster";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Reads one slot; returns false when the slot is empty or was torn by a
+/// concurrent overwrite (seq changed while the payload was being copied).
+bool read_slot(const FlightSlot& slot, FlightEvent& out,
+               std::uint64_t ordinal) {
+  const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+  if (seq_before == 0) return false;
+  out.t_seconds =
+      std::bit_cast<double>(slot.t_bits.load(std::memory_order_relaxed));
+  out.shot_id = slot.shot.load(std::memory_order_relaxed);
+  const std::uint64_t cd = slot.code_detail.load(std::memory_order_relaxed);
+  out.code = static_cast<FlightCode>(cd >> 32);
+  out.detail = static_cast<std::uint32_t>(cd);
+  out.value =
+      std::bit_cast<double>(slot.value_bits.load(std::memory_order_relaxed));
+  out.thread = ordinal;
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return slot.seq.load(std::memory_order_relaxed) == seq_before;
+}
+
+}  // namespace
+
+FlightJournal::FlightJournal(std::size_t capacity_pow2,
+                             std::uint64_t ordinal)
+    : slots_(round_up_pow2(std::max<std::size_t>(capacity_pow2, 2))),
+      ordinal_(ordinal) {}
+
+void FlightJournal::record(double t, FlightCode code, std::uint64_t shot,
+                           std::uint32_t detail_arg, double value) {
+  // Single-writer: `next_` is only advanced by the owning thread, so the
+  // load/store pair needs no RMW. The payload goes in relaxed; the slot's
+  // seq is published last with release so readers can detect tearing.
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  FlightSlot& slot = slots_[n & (slots_.size() - 1)];
+  slot.seq.store(0, std::memory_order_release);  // invalidate while writing
+  slot.t_bits.store(std::bit_cast<std::uint64_t>(t),
+                    std::memory_order_relaxed);
+  slot.shot.store(shot, std::memory_order_relaxed);
+  slot.code_detail.store(
+      (static_cast<std::uint64_t>(code) << 32) | detail_arg,
+      std::memory_order_relaxed);
+  slot.value_bits.store(std::bit_cast<std::uint64_t>(value),
+                        std::memory_order_relaxed);
+  slot.seq.store(n + 1, std::memory_order_release);
+  next_.store(n + 1, std::memory_order_release);
+}
+
+void FlightJournal::read_into(std::vector<FlightEvent>& out) const {
+  for (const FlightSlot& slot : slots_) {
+    FlightEvent event;
+    if (read_slot(slot, event, ordinal_)) {
+      out.push_back(event);
+    }
+  }
+}
+
+}  // namespace detail
+
+void FlightRecorder::set_thread_capacity(std::size_t records) {
+  capacity_.store(std::max<std::size_t>(records, 2),
+                  std::memory_order_relaxed);
+}
+
+detail::FlightJournal& FlightRecorder::journal_for_this_thread() {
+  // One journal per thread per recorder lifetime. The registry is a fixed
+  // array appended with fetch_add so the crash-path reader never needs a
+  // lock; when the (generous) slot budget is exhausted, overflow threads
+  // share the last journal — multi-writer on one ring only tears
+  // individual records, never memory.
+  thread_local detail::FlightJournal* t_journal = nullptr;
+  if (t_journal != nullptr) return *t_journal;
+  const std::size_t index =
+      journal_count_.fetch_add(1, std::memory_order_acq_rel);
+  if (index >= kMaxJournals) {
+    journal_count_.store(kMaxJournals, std::memory_order_release);
+    t_journal = journals_[kMaxJournals - 1].load(std::memory_order_acquire);
+    return *t_journal;
+  }
+  auto* journal = new detail::FlightJournal(
+      capacity_.load(std::memory_order_relaxed), index);
+  journals_[index].store(journal, std::memory_order_release);
+  t_journal = journal;
+  return *journal;
+}
+
+void FlightRecorder::record(FlightCode code, std::uint64_t shot_id,
+                            std::uint32_t detail, double value) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  journal_for_this_thread().record(steady_seconds(), code, shot_id, detail,
+                                   value);
+}
+
+const detail::FlightJournal* FlightRecorder::journal(std::size_t i) const {
+  if (i >= journal_count()) return nullptr;
+  return journals_[i].load(std::memory_order_acquire);
+}
+
+std::vector<FlightEvent> FlightRecorder::drain() const {
+  std::vector<FlightEvent> events;
+  const std::size_t count = journal_count();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (const detail::FlightJournal* j = journal(i)) {
+      j->read_into(events);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.t_seconds < b.t_seconds;
+                   });
+  return events;
+}
+
+std::vector<FlightEvent> FlightRecorder::tail(std::size_t max_events) const {
+  std::vector<FlightEvent> events = drain();
+  if (events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  return events;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::uint64_t total = 0;
+  const std::size_t count = journal_count();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (const detail::FlightJournal* j = journal(i)) {
+      total += j->records_written();
+    }
+  }
+  return total;
+}
+
+void FlightRecorder::write_json_lines(std::ostream& out) const {
+  for (const FlightEvent& e : drain()) {
+    out << "{\"t\":" << e.t_seconds << ",\"code\":\""
+        << flight_code_name(e.code) << "\",\"shot\":" << e.shot_id
+        << ",\"detail\":" << e.detail << ",\"value\":" << e.value
+        << ",\"thread\":" << e.thread << "}\n";
+  }
+}
+
+std::size_t FlightRecorder::write_tail_fd(int fd,
+                                          std::size_t max_events) const {
+  using sigsafe::format_fixed6;
+  using sigsafe::format_u64;
+  using sigsafe::write_all;
+  using sigsafe::write_str;
+  // Collect candidate events into a fixed on-stack window of the newest
+  // records per journal, then emit oldest-first. No heap, no locks: safe
+  // from a signal handler. Ordering across journals is approximate (per
+  // journal it is exact); the timestamps printed with each line let the
+  // reader re-sort.
+  constexpr std::size_t kMaxTail = 128;
+  if (max_events > kMaxTail) max_events = kMaxTail;
+  const std::size_t count = journal_count();
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < count && written < max_events; ++i) {
+    const detail::FlightJournal* j = journal(i);
+    if (j == nullptr) continue;
+    const std::uint64_t next = j->records_written();
+    const std::uint64_t cap = j->capacity();
+    const std::uint64_t available = std::min<std::uint64_t>(next, cap);
+    const std::uint64_t per_journal =
+        std::min<std::uint64_t>(available, max_events - written);
+    for (std::uint64_t k = next - per_journal; k < next; ++k) {
+      FlightEvent event;
+      if (!detail::read_slot(j->slot(k & (cap - 1)), event, j->ordinal())) {
+        continue;
+      }
+      char line[192];
+      std::size_t n = 0;
+      n = sigsafe::append(line, n, sizeof line, "t=");
+      n += format_fixed6(line + n, event.t_seconds);
+      n = sigsafe::append(line, n, sizeof line, " code=");
+      n = sigsafe::append(line, n, sizeof line, flight_code_name(event.code));
+      n = sigsafe::append(line, n, sizeof line, " shot=");
+      n += format_u64(line + n, event.shot_id);
+      n = sigsafe::append(line, n, sizeof line, " d=");
+      n += format_u64(line + n, event.detail);
+      n = sigsafe::append(line, n, sizeof line, " v=");
+      n += format_fixed6(line + n, event.value);
+      n = sigsafe::append(line, n, sizeof line, " tid=");
+      n += format_u64(line + n, event.thread);
+      line[n++] = '\n';
+      write_all(fd, line, n);
+      ++written;
+    }
+  }
+  if (written == 0) {
+    write_str(fd, "(no flight events recorded)\n");
+  }
+  return written;
+}
+
+FlightRecorder& flight_recorder() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+}  // namespace arams::obs

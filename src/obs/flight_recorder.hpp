@@ -1,0 +1,191 @@
+#pragma once
+// obs::FlightRecorder — the black-box journal for unattended streaming
+// runs.
+//
+// The detector stream is non-replayable: when a run crashes or degrades,
+// the only record of the seconds *before* the incident is whatever the
+// process journaled as it went. This is the write side of that black box:
+// an always-on, per-thread, fixed-size-record ring. Each thread owns its
+// ring exclusively for writes (no CAS, no lock, no false sharing between
+// producers), so record() is a handful of relaxed atomic stores —
+// benchmarked in bench/micro_obs.cpp at well under the 50 ns budget that
+// lets it sit on the ingest hot path next to the metrics counters.
+//
+// The read side (drain / tail / dump) merges every thread's ring by
+// timestamp. Readers run concurrently with writers: each slot carries a
+// sequence number written *last* with release ordering, so a reader that
+// observes a slot mid-overwrite detects the torn read and drops that one
+// record — telemetry-grade accuracy, never corruption, and clean under
+// TSan because every shared field is an atomic.
+//
+// The post-mortem writer (obs/postmortem.hpp) reads the same rings from a
+// signal handler, which is why the global journal registry is a fixed
+// array appended with an atomic counter instead of a mutex-guarded map:
+// the crash path takes no locks and allocates nothing.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace arams::obs {
+
+/// What happened — the fixed vocabulary of the journal. Codes are stable
+/// small integers (they appear in post-mortem files); names come from
+/// flight_code_name(). Documented in docs/TELEMETRY.md (lint-enforced by
+/// tools/check_metrics_doc.sh).
+enum class FlightCode : std::uint32_t {
+  kFrameIngested = 1,     ///< shot accepted into the batch/reservoir
+  kFrameRejected = 2,     ///< shot dropped (non-finite pixels); value = total rejected
+  kBatchSketched = 3,     ///< sketch update ran; value = batch seconds
+  kRankChange = 4,        ///< adaptive rank moved; value = new ell
+  kQueueSaturation = 5,   ///< DAQ queue crossed the watch level; value = fraction
+  kHealthTransition = 6,  ///< watchdog state changed; value = new state (0/1/2)
+  kSnapshot = 7,          ///< embedding snapshot produced; value = seconds
+  kStageComplete = 8,     ///< pipeline stage finished; detail = stage, value = seconds
+  kCrash = 9,             ///< post-mortem dump started; value = signal number
+  kCustom = 10,           ///< caller-defined (tests, examples)
+};
+
+/// Stable lowercase name for a code ("frame_rejected", ...); "unknown"
+/// for values outside the vocabulary. Async-signal-safe (returns string
+/// literals).
+const char* flight_code_name(FlightCode code);
+
+/// Pipeline stage indices for kStageComplete's detail field.
+enum class FlightStage : std::uint32_t {
+  kPreprocess = 1,
+  kSketch = 2,
+  kProject = 3,
+  kEmbed = 4,
+  kCluster = 5,
+};
+
+const char* flight_stage_name(FlightStage stage);
+
+/// One drained journal entry (the reader-side view of a ring slot).
+struct FlightEvent {
+  double t_seconds = 0.0;       ///< steady_seconds() timestamp
+  std::uint64_t shot_id = 0;
+  FlightCode code = FlightCode::kCustom;
+  std::uint32_t detail = 0;     ///< code-specific (stage index, state, ...)
+  double value = 0.0;           ///< code-specific scalar
+  std::uint64_t thread = 0;     ///< journal (thread) ordinal, not a TID
+};
+
+namespace detail {
+
+/// One ring slot. Fields are individually-atomic (relaxed) so concurrent
+/// reader/writer access is defined behaviour; `seq` is stored last with
+/// release ordering and holds 1 + the global record ordinal, so a reader
+/// can tell whether the payload it copied belongs to the sequence number
+/// it sampled.
+struct FlightSlot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> t_bits{0};      ///< bit_cast of t_seconds
+  std::atomic<std::uint64_t> shot{0};
+  std::atomic<std::uint64_t> code_detail{0}; ///< code << 32 | detail
+  std::atomic<std::uint64_t> value_bits{0};  ///< bit_cast of value
+};
+
+/// A thread's private ring. Writes come only from the owning thread;
+/// reads may come from any thread (drain, crash dump).
+class FlightJournal {
+ public:
+  explicit FlightJournal(std::size_t capacity_pow2, std::uint64_t ordinal);
+
+  void record(double t, FlightCode code, std::uint64_t shot,
+              std::uint32_t detail_arg, double value);
+
+  /// Copies the valid slots into `out` (appends). Torn slots are skipped.
+  void read_into(std::vector<FlightEvent>& out) const;
+
+  [[nodiscard]] std::uint64_t records_written() const {
+    return next_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::uint64_t ordinal() const { return ordinal_; }
+
+  /// Signal-safe raw access for the post-mortem writer: slot i of the
+  /// ring, and the next write position. No allocation, no locks.
+  [[nodiscard]] const FlightSlot& slot(std::size_t i) const {
+    return slots_[i];
+  }
+
+ private:
+  std::vector<FlightSlot> slots_;  // allocated once at registration
+  std::atomic<std::uint64_t> next_{0};
+  std::uint64_t ordinal_ = 0;
+};
+
+}  // namespace detail
+
+/// Process-global black box. Threads register lazily on first record();
+/// journals live until process exit (a finished thread's tail remains
+/// readable — that is the point of a flight recorder).
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kMaxJournals = 256;
+  static constexpr std::size_t kDefaultCapacity = 4096;  ///< per thread
+
+  /// Journals the event into the calling thread's ring. Always on by
+  /// default; disable() turns the call into one relaxed load (tests,
+  /// overhead experiments).
+  void record(FlightCode code, std::uint64_t shot_id = 0,
+              std::uint32_t detail = 0, double value = 0.0);
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-thread ring capacity for journals registered *after* this call
+  /// (rounded up to a power of two; existing rings keep their size).
+  void set_thread_capacity(std::size_t records);
+
+  /// Merge-on-drain: every journal's valid slots, sorted by timestamp.
+  /// Concurrent-safe; racing writers may make the newest few events
+  /// appear or not.
+  [[nodiscard]] std::vector<FlightEvent> drain() const;
+
+  /// The trailing `max_events` of drain() — the black-box tail a
+  /// post-mortem embeds.
+  [[nodiscard]] std::vector<FlightEvent> tail(std::size_t max_events) const;
+
+  /// Lifetime records across all journals (including overwritten ones).
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::size_t journal_count() const {
+    return journal_count_.load(std::memory_order_acquire);
+  }
+
+  /// One JSON object per event per line:
+  ///   {"t":1.25,"code":"frame_rejected","shot":412,"detail":0,
+  ///    "value":3,"thread":0}
+  void write_json_lines(std::ostream& out) const;
+
+  /// Signal-safe section writer: formats the tail directly to a file
+  /// descriptor with no allocation or locking (used by the crash
+  /// handler). Returns the number of events written.
+  std::size_t write_tail_fd(int fd, std::size_t max_events) const;
+
+  /// Registry access for the post-mortem writer.
+  [[nodiscard]] const detail::FlightJournal* journal(std::size_t i) const;
+
+ private:
+  friend FlightRecorder& flight_recorder();
+  FlightRecorder() = default;
+
+  detail::FlightJournal& journal_for_this_thread();
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::size_t> capacity_{kDefaultCapacity};
+  std::array<std::atomic<detail::FlightJournal*>, kMaxJournals> journals_{};
+  std::atomic<std::size_t> journal_count_{0};
+};
+
+/// The process-global recorder every instrumentation point records into.
+FlightRecorder& flight_recorder();
+
+}  // namespace arams::obs

@@ -1,0 +1,328 @@
+#include "obs/postmortem.hpp"
+
+#include <execinfo.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <istream>
+#include <sstream>
+#include <string>
+
+#include "obs/build_info.hpp"
+#include "obs/export_prom.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/signal_safe.hpp"
+#include "obs/window.hpp"
+
+namespace arams::obs {
+namespace {
+
+constexpr std::size_t kDirCapacity = 512;
+constexpr std::size_t kPathCapacity = kDirCapacity + 128;
+constexpr std::size_t kSnapshotCapacity = 48 * 1024;
+
+char g_dir[kDirCapacity] = ".";
+std::atomic<const MetricsRegistry*> g_registry{nullptr};
+std::atomic<const HealthMonitor*> g_health{nullptr};
+
+// Double-buffered pre-rendered snapshot text. refresh() renders into the
+// inactive buffer and publishes the index; the signal path only ever
+// copies whichever buffer the index names. A refresh racing a crash can
+// at worst hand the handler the previous (complete) snapshot.
+struct SnapshotBuffers {
+  char metrics[kSnapshotCapacity];
+  char health[kSnapshotCapacity];
+};
+SnapshotBuffers g_snapshots[2];
+std::atomic<int> g_snapshot_index{-1};  // -1 → never refreshed
+
+char g_last_path[kPathCapacity] = "";
+std::atomic<int> g_dump_seq{0};      // filename sequence (attempts)
+std::atomic<int> g_dumps_written{0};
+std::atomic<bool> g_crash_dumped{false};
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_autodump{false};
+std::terminate_handler g_prev_terminate = nullptr;
+
+void copy_block(char* dst, std::size_t cap, const std::string& src) {
+  static constexpr char kMark[] = "\n...(truncated)\n";
+  const std::size_t take = std::min(src.size(), cap - 1);
+  std::memcpy(dst, src.data(), take);
+  if (take < src.size()) {
+    constexpr std::size_t mark_len = sizeof(kMark) - 1;
+    std::memcpy(dst + take - mark_len, kMark, mark_len);
+  }
+  dst[take] = '\0';
+}
+
+/// Writes a pre-rendered block, guaranteeing a trailing newline so the
+/// next section marker starts a fresh line.
+void write_block(int fd, const char* text) {
+  const std::size_t len = std::strlen(text);
+  if (len == 0) {
+    sigsafe::write_str(fd, "(empty)\n");
+    return;
+  }
+  sigsafe::write_all(fd, text, len);
+  if (text[len - 1] != '\n') {
+    sigsafe::write_str(fd, "\n");
+  }
+}
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGFPE: return "SIGFPE";
+    case SIGBUS: return "SIGBUS";
+  }
+  return "signal";
+}
+
+void crash_handler(int sig) {
+  // First crasher dumps; everyone (including re-entry) re-raises with the
+  // default disposition so the process still dies with the right status.
+  if (!g_crash_dumped.exchange(true, std::memory_order_acq_rel)) {
+    dump_postmortem_now(signal_name(sig));
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+[[noreturn]] void terminate_hook() {
+  // Runs in ordinary (non-signal) context, so the dump it takes still
+  // benefits from whatever the last refresh rendered. The abort below
+  // raises SIGABRT; crash_handler sees the dumped flag and just re-raises.
+  if (!g_crash_dumped.exchange(true, std::memory_order_acq_rel)) {
+    dump_postmortem_now("terminate");
+  }
+  if (g_prev_terminate != nullptr && g_prev_terminate != terminate_hook) {
+    g_prev_terminate();
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void configure_postmortem(const PostmortemConfig& config) {
+  if (config.dir.empty()) {
+    g_dir[0] = '.';
+    g_dir[1] = '\0';
+  } else {
+    const std::size_t take = std::min(config.dir.size(), kDirCapacity - 1);
+    std::memcpy(g_dir, config.dir.data(), take);
+    g_dir[take] = '\0';
+  }
+  g_registry.store(config.registry, std::memory_order_release);
+  g_health.store(config.health, std::memory_order_release);
+  g_autodump.store(config.autodump_on_critical, std::memory_order_release);
+}
+
+bool postmortem_autodump_enabled() {
+  return g_autodump.load(std::memory_order_acquire);
+}
+
+void install_postmortem_handlers() {
+  if (g_installed.exchange(true, std::memory_order_acq_rel)) return;
+
+  // backtrace() lazily loads libgcc on first use; take that allocation
+  // now, while the heap is still trustworthy.
+  void* warm[4];
+  ::backtrace(warm, 4);
+
+  // A SIGSEGV from stack exhaustion cannot run its handler on the dead
+  // stack; give the handlers their own.
+  static char alt_stack[64 * 1024];
+  stack_t ss{};
+  ss.ss_sp = alt_stack;
+  ss.ss_size = sizeof alt_stack;
+  ss.ss_flags = 0;
+  ::sigaltstack(&ss, nullptr);
+
+  struct sigaction sa{};
+  sa.sa_handler = crash_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_ONSTACK | SA_RESETHAND;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGFPE, SIGBUS}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+
+  g_prev_terminate = std::set_terminate(terminate_hook);
+}
+
+void refresh_postmortem_snapshot() {
+  const MetricsRegistry* registry =
+      g_registry.load(std::memory_order_acquire);
+  const HealthMonitor* health = g_health.load(std::memory_order_acquire);
+
+  std::ostringstream prom;
+  write_prometheus(prom, registry != nullptr ? *registry : metrics(),
+                   health);
+  std::ostringstream incidents;
+  if (health != nullptr) {
+    health->write_incidents_json(incidents);
+  } else {
+    incidents << "(no health monitor attached)\n";
+  }
+
+  const int next =
+      1 - std::max(g_snapshot_index.load(std::memory_order_acquire), 0);
+  copy_block(g_snapshots[next].metrics, kSnapshotCapacity, prom.str());
+  copy_block(g_snapshots[next].health, kSnapshotCapacity, incidents.str());
+  g_snapshot_index.store(next, std::memory_order_release);
+}
+
+bool dump_postmortem_now(const char* reason) {
+  using sigsafe::append;
+  using sigsafe::format_fixed6;
+  using sigsafe::format_u64;
+  using sigsafe::write_all;
+  using sigsafe::write_str;
+
+  const int seq = g_dump_seq.fetch_add(1, std::memory_order_acq_rel);
+
+  char path[kPathCapacity];
+  std::size_t n = 0;
+  n = append(path, n, sizeof path - 1, g_dir);
+  n = append(path, n, sizeof path - 1, "/postmortem-");
+  n += format_u64(path + n, static_cast<std::uint64_t>(::getpid()));
+  n = append(path, n, sizeof path - 1, "-");
+  n += format_u64(path + n, static_cast<std::uint64_t>(seq));
+  n = append(path, n, sizeof path - 1, ".txt");
+  path[n] = '\0';
+
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  write_str(fd, "ARAMS-POSTMORTEM v1\n");
+  write_str(fd, "reason=");
+  write_str(fd, reason != nullptr ? reason : "unknown");
+
+  char num[32];
+  write_str(fd, "\npid=");
+  write_all(fd, num, format_u64(num, static_cast<std::uint64_t>(::getpid())));
+  write_str(fd, "\nuptime=");
+  write_all(fd, num, format_fixed6(num, steady_seconds()));
+
+  const BuildInfo& info = build_info();
+  write_str(fd, "\nbuild=version=");
+  write_str(fd, info.version);
+  write_str(fd, " git=");
+  write_str(fd, info.git);
+  write_str(fd, " compiler=");
+  write_str(fd, info.compiler);
+  write_str(fd, " march=");
+  write_str(fd, info.march);
+  write_str(fd, " sanitize=");
+  write_str(fd, info.sanitize);
+  write_str(fd, " build=");
+  write_str(fd, info.build_type);
+
+  write_str(fd, "\n[backtrace]\n");
+  void* frames[64];
+  const int depth = ::backtrace(frames, 64);
+  if (depth > 0) {
+    ::backtrace_symbols_fd(frames, depth, fd);
+  } else {
+    write_str(fd, "(backtrace unavailable)\n");
+  }
+
+  write_str(fd, "[flight-recorder]\n");
+  flight_recorder().write_tail_fd(fd, 64);
+
+  const int idx = g_snapshot_index.load(std::memory_order_acquire);
+  write_str(fd, "[metrics]\n");
+  write_block(fd, idx >= 0 ? g_snapshots[idx].metrics
+                           : "(no snapshot refreshed)");
+  write_str(fd, "[health]\n");
+  write_block(fd, idx >= 0 ? g_snapshots[idx].health
+                           : "(no snapshot refreshed)");
+
+  write_str(fd, "[end]\n");
+  ::close(fd);
+
+  std::memcpy(g_last_path, path, n + 1);
+  g_dumps_written.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+const char* last_postmortem_path() { return g_last_path; }
+
+int postmortem_dump_count() {
+  return g_dumps_written.load(std::memory_order_acquire);
+}
+
+bool parse_postmortem(std::istream& in, PostmortemReport& report,
+                      std::string* error) {
+  const auto fail = [error](const char* message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  std::string line;
+  if (!std::getline(in, line)) return fail("empty file");
+  if (line != "ARAMS-POSTMORTEM v1") return fail("bad magic line");
+  report.version = 1;
+
+  std::vector<std::string>* section = nullptr;
+  while (std::getline(in, line)) {
+    if (line == "[backtrace]") { section = &report.backtrace; continue; }
+    if (line == "[flight-recorder]") {
+      section = &report.flight_lines;
+      continue;
+    }
+    if (line == "[metrics]") { section = &report.metrics_lines; continue; }
+    if (line == "[health]") { section = &report.health_lines; continue; }
+    if (line == "[end]") {
+      report.complete = true;
+      section = nullptr;
+      continue;
+    }
+    if (section != nullptr) {
+      section->push_back(line);
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;  // tolerate future headers
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "reason") {
+      report.reason = value;
+    } else if (key == "pid") {
+      report.pid = value;
+    } else if (key == "uptime") {
+      report.uptime = value;
+    } else if (key == "build") {
+      report.build = value;
+    }
+  }
+  return true;
+}
+
+bool validate_postmortem(const PostmortemReport& report,
+                         std::string* error) {
+  const auto fail = [error](const char* message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (report.version != 1) return fail("unsupported format version");
+  if (report.reason.empty()) return fail("missing reason header");
+  if (report.build.empty()) return fail("missing build header");
+  if (report.backtrace.empty()) return fail("empty [backtrace] section");
+  if (report.flight_lines.empty()) {
+    return fail("empty [flight-recorder] section");
+  }
+  if (report.metrics_lines.empty()) return fail("empty [metrics] section");
+  if (report.health_lines.empty()) return fail("empty [health] section");
+  if (!report.complete) return fail("missing [end] marker (truncated dump)");
+  return true;
+}
+
+}  // namespace arams::obs

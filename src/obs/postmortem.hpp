@@ -1,0 +1,112 @@
+#pragma once
+// obs::postmortem — crash forensics for an unattended beamline process.
+//
+// When the pipeline dies mid-run (SIGSEGV/SIGABRT/SIGFPE/SIGBUS or an
+// uncaught exception reaching std::terminate), the on-call shifter gets a
+// single self-describing text file instead of a silent core: the flight
+// recorder tail (what the process was *doing*), a metrics snapshot (what
+// it was *measuring*), the health incident log (what the watchdog already
+// *suspected*) and a backtrace (where it *stopped*). The same dump can be
+// taken voluntarily — dump_now() — which the streaming monitor wires to
+// the watchdog's CRITICAL transition so degradation is snapshotted even
+// when the process survives.
+//
+// Signal-path discipline: the handler only calls the sigsafe helpers and
+// write(2)/open(2)/backtrace_symbols_fd. Anything that would need a lock
+// or the heap (rendering the metrics registry, the incident log) is
+// pre-rendered by refresh_postmortem_snapshot() into static
+// double-buffered text blocks that the handler copies verbatim; the
+// streaming monitor refreshes them once per sketch batch, so the crash
+// file shows state at most one batch stale.
+//
+// File format (versioned, line-oriented — `arams doctor` parses it):
+//
+//   ARAMS-POSTMORTEM v1
+//   reason=<signal name | terminate | manual reason>
+//   pid=<pid>
+//   uptime=<seconds since process start, fixed 6>
+//   build=<obs::build_info_line()>
+//   [backtrace]   ...one frame per line...
+//   [flight-recorder]   ...newest-first tail, `t= code= shot= d= v= tid=`...
+//   [metrics]   ...Prometheus text exposition at last refresh...
+//   [health]    ...incident log JSON at last refresh...
+//   [end]
+//
+// A file without the trailing `[end]` was truncated by the crash itself.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace arams::obs {
+
+class HealthMonitor;
+class MetricsRegistry;
+
+struct PostmortemConfig {
+  std::string dir = ".";  ///< where dump files land
+  const MetricsRegistry* registry = nullptr;  ///< null → obs::metrics()
+  const HealthMonitor* health = nullptr;      ///< optional incident source
+  /// Arms the watchdog hook: when true, the streaming monitor dumps a
+  /// post-mortem on every transition *into* CRITICAL. Off by default so
+  /// library users (and tests) never find surprise files in their cwd.
+  bool autodump_on_critical = false;
+};
+
+/// Sets the output directory and snapshot sources. Safe to call again to
+/// re-point; takes an internal copy of the dir (the signal path never
+/// touches std::string).
+void configure_postmortem(const PostmortemConfig& config);
+
+/// Installs the SIGSEGV/SIGABRT/SIGFPE/SIGBUS handlers (on an alternate
+/// stack) and the std::terminate hook. Idempotent. Also warms the
+/// backtrace machinery so the first crash-time call cannot allocate.
+void install_postmortem_handlers();
+
+/// Re-renders the metrics + health snapshot blocks the signal handler
+/// dumps. Ordinary (locking, allocating) code — call it from the
+/// processing loop, never from a handler.
+void refresh_postmortem_snapshot();
+
+/// Writes one post-mortem file now and returns true on success.
+/// Async-signal-safe: the handlers call this, and so may ordinary code
+/// (the watchdog CRITICAL hook). Each call gets a fresh
+/// `postmortem-<pid>-<seq>.txt` in the configured dir.
+bool dump_postmortem_now(const char* reason);
+
+/// Whether configure_postmortem() armed the CRITICAL autodump.
+bool postmortem_autodump_enabled();
+
+/// Path of the most recently written dump ("" before the first one).
+/// Points into static storage.
+const char* last_postmortem_path();
+
+/// Number of dumps written since process start.
+int postmortem_dump_count();
+
+/// Parsed form of a post-mortem file.
+struct PostmortemReport {
+  int version = 0;
+  std::string reason;
+  std::string pid;
+  std::string uptime;
+  std::string build;
+  std::vector<std::string> backtrace;
+  std::vector<std::string> flight_lines;
+  std::vector<std::string> metrics_lines;
+  std::vector<std::string> health_lines;
+  bool complete = false;  ///< saw the trailing [end] marker
+};
+
+/// Parses the v1 format. Returns false (with a message in `error` when
+/// given) on malformed input; a missing [end] still parses, with
+/// `complete == false`, so doctors can inspect truncated dumps.
+bool parse_postmortem(std::istream& in, PostmortemReport& report,
+                      std::string* error = nullptr);
+
+/// Checks a parsed report for forensic usability: version 1, a reason, a
+/// build stamp, all four sections non-empty, and the [end] marker.
+bool validate_postmortem(const PostmortemReport& report,
+                         std::string* error = nullptr);
+
+}  // namespace arams::obs

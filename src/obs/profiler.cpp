@@ -1,0 +1,147 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace arams::obs {
+
+namespace {
+
+/// Root frame of a folded stack ("a;b;c" → "a").
+std::string_view root_of(std::string_view stack) {
+  const std::size_t semi = stack.find(';');
+  return semi == std::string_view::npos ? stack : stack.substr(0, semi);
+}
+
+/// "(idle)" → "idle"; other roots pass through (the Prometheus name
+/// sanitizer handles any remaining odd bytes).
+std::string root_metric_suffix(std::string_view root) {
+  if (root == "(idle)") return "idle";
+  return std::string(root);
+}
+
+}  // namespace
+
+SamplingProfiler::SamplingProfiler() : SamplingProfiler(Config{}) {}
+
+SamplingProfiler::SamplingProfiler(Config config) : config_(config) {
+  config_.interval_ms = std::max(config_.interval_ms, 0.1);
+}
+
+SamplingProfiler::~SamplingProfiler() {
+  if (running()) stop();
+}
+
+void SamplingProfiler::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  thread_ = std::thread([this] { sampler_loop(); });
+}
+
+void SamplingProfiler::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  publish_gauges();
+}
+
+void SamplingProfiler::sampler_loop() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(config_.interval_ms));
+  while (running_.load(std::memory_order_acquire)) {
+    sample_once();
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+void SamplingProfiler::sample_once() {
+  // Walk every registered thread's span stack without touching the
+  // sampled threads: read the release-published depth, then the frames
+  // below it. A racing push/pop can hand us a one-frame-stale chain —
+  // telemetry-grade attribution, by design (see trace.hpp).
+  const SpanStackRegistry& registry = span_stacks();
+  const std::size_t count = registry.size();
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const SpanStack* stack = registry.stack(i);
+    if (stack == nullptr) continue;
+    int depth = stack->depth.load(std::memory_order_acquire);
+    depth = std::clamp(depth, 0, SpanStack::kMaxDepth);
+    std::string key;
+    for (int d = 0; d < depth; ++d) {
+      const char* frame =
+          stack->frames[static_cast<std::size_t>(d)].load(
+              std::memory_order_relaxed);
+      if (frame == nullptr) break;  // torn read below a racing pop
+      if (!key.empty()) key.push_back(';');
+      key += frame;
+    }
+    if (key.empty()) key = "(idle)";
+    keys.push_back(std::move(key));
+  }
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::string& key : keys) {
+    ++folded_[std::move(key)];
+  }
+}
+
+std::uint64_t SamplingProfiler::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [stack, count] : folded_) total += count;
+  return total;
+}
+
+void SamplingProfiler::write_folded(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [stack, count] : folded_) {
+    out << stack << " " << count << "\n";
+  }
+}
+
+double SamplingProfiler::root_fraction(std::string_view root) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  std::uint64_t matched = 0;
+  for (const auto& [stack, count] : folded_) {
+    total += count;
+    if (root_of(stack) == root) matched += count;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(matched) /
+                          static_cast<double>(total);
+}
+
+void SamplingProfiler::publish_gauges(MetricsRegistry& registry) const {
+  std::map<std::string, std::uint64_t> by_root;
+  std::uint64_t total = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [stack, count] : folded_) {
+      by_root[root_metric_suffix(root_of(stack))] += count;
+      total += count;
+    }
+  }
+  if (total == 0) return;
+  for (const auto& [root, count] : by_root) {
+    registry.gauge("profile.stage_cpu_fraction." + root)
+        .set(static_cast<double>(count) / static_cast<double>(total));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (total > published_samples_) {
+    registry.counter("profile.samples")
+        .add(static_cast<long>(total - published_samples_));
+    published_samples_ = total;
+  }
+}
+
+void SamplingProfiler::publish_gauges() const { publish_gauges(metrics()); }
+
+}  // namespace arams::obs

@@ -1,0 +1,94 @@
+#pragma once
+// obs::SamplingProfiler — wall-clock sampling profiler over the span
+// stacks every ScopedSpan maintains (obs/trace.hpp).
+//
+// The tracer answers "how long did this span take"; the profiler answers
+// "where does the wall-clock actually go" without requiring every code
+// path to be spanned. A background thread wakes every `interval_ms`,
+// walks the SpanStackRegistry, and attributes one sample per registered
+// thread to that thread's current span chain ("pipeline;sketch"), or to
+// "(idle)" when the thread has no span open. Sampling is lock-free on
+// the sampled threads — they never know it happened — so the profiler
+// can stay on in production.
+//
+// Output: folded-stack lines ("pipeline;sketch 42") consumable by
+// flamegraph.pl / speedscope, and `profile.stage_cpu_fraction.<root>`
+// gauges in the metrics registry (published by stop(), or on demand)
+// giving the fraction of samples rooted in each top-level span.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace arams::obs {
+
+class MetricsRegistry;
+
+class SamplingProfiler {
+ public:
+  struct Config {
+    double interval_ms = 5.0;  ///< sampling period (>= 0.1 enforced)
+  };
+
+  SamplingProfiler();
+  explicit SamplingProfiler(Config config);
+  ~SamplingProfiler();  ///< stops the sampler thread if still running
+
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  /// Launches the sampler thread. No-op when already running.
+  void start();
+
+  /// Stops and joins the sampler thread, then publishes the
+  /// `profile.stage_cpu_fraction.*` gauges. No-op when not running.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Takes one sample of every registered span stack right now. The
+  /// sampler thread calls this on its timer; tests and the overhead
+  /// benchmark call it directly for determinism.
+  void sample_once();
+
+  /// Number of sampling sweeps taken so far.
+  [[nodiscard]] std::uint64_t sweeps() const {
+    return sweeps_.load(std::memory_order_relaxed);
+  }
+
+  /// Total per-thread samples attributed (>= sweeps(); one per
+  /// registered thread per sweep), including "(idle)".
+  [[nodiscard]] std::uint64_t samples() const;
+
+  /// Folded-stack lines ("a;b;c 42"), sorted by stack, one per line —
+  /// flamegraph.pl-compatible.
+  void write_folded(std::ostream& out) const;
+
+  /// Fraction of samples whose root frame is `root` (0 when no samples).
+  [[nodiscard]] double root_fraction(std::string_view root) const;
+
+  /// Writes `profile.stage_cpu_fraction.<root>` gauges (plus the
+  /// `profile.samples` counter delta) into `registry` for every root
+  /// frame observed, "(idle)" included as `profile.stage_cpu_fraction.idle`.
+  void publish_gauges(MetricsRegistry& registry) const;
+  void publish_gauges() const;  ///< into the global obs::metrics()
+
+ private:
+  void sampler_loop();
+
+  Config config_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::thread thread_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> folded_;  ///< "a;b;c" → samples
+  mutable std::uint64_t published_samples_ = 0;  ///< counter delta basis
+};
+
+}  // namespace arams::obs

@@ -1,0 +1,74 @@
+#pragma once
+// Async-signal-safe formatting and fd output shared by the flight
+// recorder's tail writer and the post-mortem crash handler. Everything
+// here is allocation-free, locale-free and lock-free: the only syscall is
+// write(2), which POSIX lists as async-signal-safe.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace arams::obs::sigsafe {
+
+/// Decimal u64 into `buf` (no terminator); returns chars written.
+/// `buf` must hold at least 20 chars.
+inline std::size_t format_u64(char* buf, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+/// Non-negative double with 6 fixed decimals (no terminator); negatives
+/// and non-finites clamp to 0 — the crash path must not branch into
+/// printf. `buf` must hold at least 28 chars.
+inline std::size_t format_fixed6(char* buf, double v) {
+  if (!(v > 0.0)) {
+    std::memcpy(buf, "0.000000", 8);
+    return 8;
+  }
+  const double clamped = std::min(v, 1e15);
+  const auto micros = static_cast<std::uint64_t>(clamped * 1e6 + 0.5);
+  std::size_t n = format_u64(buf, micros / 1000000);
+  buf[n++] = '.';
+  std::uint64_t frac = micros % 1000000;
+  for (std::size_t i = 0; i < 6; ++i) {
+    buf[n + 5 - i] = static_cast<char>('0' + frac % 10);
+    frac /= 10;
+  }
+  return n + 6;
+}
+
+/// write(2) until everything landed or the fd went bad (best effort — a
+/// crash handler has nowhere to report errors).
+inline void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t w = ::write(fd, data + off, len - off);
+    if (w <= 0) return;
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+inline void write_str(int fd, const char* s) {
+  write_all(fd, s, std::strlen(s));
+}
+
+/// Appends `src` to `buf` at offset `n`, bounded by `cap`; returns the new
+/// offset. For building file names and header lines on the stack.
+inline std::size_t append(char* buf, std::size_t n, std::size_t cap,
+                          const char* src) {
+  const std::size_t len = std::strlen(src);
+  const std::size_t take = std::min(len, cap - n);
+  std::memcpy(buf + n, src, take);
+  return n + take;
+}
+
+}  // namespace arams::obs::sigsafe

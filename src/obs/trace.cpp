@@ -3,13 +3,12 @@
 #include <functional>
 #include <map>
 #include <ostream>
+#include <set>
 #include <thread>
 
 namespace arams::obs {
 
 namespace {
-
-thread_local int t_open_spans = 0;
 
 std::uint64_t this_thread_id() {
   return static_cast<std::uint64_t>(
@@ -31,6 +30,60 @@ void write_json_string(std::ostream& out, std::string_view s) {
 }
 
 }  // namespace
+
+const char* intern_span_name(std::string_view name) {
+  // std::set node addresses are stable, so the returned c_str pointers
+  // survive for the process lifetime — the invariant the cross-thread
+  // SpanStack readers rely on. A per-thread cache keeps the global mutex
+  // off the steady-state path: span vocabularies are tiny, so each thread
+  // pays the lock once per distinct name.
+  static std::mutex mutex;
+  static std::set<std::string, std::less<>>& names =
+      *new std::set<std::string, std::less<>>();  // never destroyed
+  thread_local std::map<std::string_view, const char*> t_cache;
+  if (const auto cached = t_cache.find(name); cached != t_cache.end()) {
+    return cached->second;
+  }
+  const char* interned = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = names.find(name);
+    interned = (it != names.end()) ? it->c_str()
+                                   : names.emplace(name).first->c_str();
+  }
+  // Key the cache by the interned storage, not the caller's buffer.
+  t_cache.emplace(std::string_view(interned), interned);
+  return interned;
+}
+
+SpanStack& SpanStackRegistry::this_thread() {
+  thread_local SpanStack* t_stack = nullptr;
+  if (t_stack != nullptr) return *t_stack;
+  const std::size_t index = count_.fetch_add(1, std::memory_order_acq_rel);
+  if (index >= kMaxStacks) {
+    // Overflow threads get a private, unregistered stack: spans still
+    // nest correctly for the trace recorder, the profiler just cannot
+    // sample them.
+    count_.store(kMaxStacks, std::memory_order_release);
+    t_stack = new SpanStack();
+    return *t_stack;
+  }
+  auto* stack = new SpanStack();
+  stack->thread_id.store(this_thread_id(), std::memory_order_relaxed);
+  stacks_[index].store(stack, std::memory_order_release);
+  t_stack = stack;
+  return *stack;
+}
+
+const SpanStack* SpanStackRegistry::stack(std::size_t i) const {
+  if (i >= size()) return nullptr;
+  return stacks_[i].load(std::memory_order_acquire);
+}
+
+SpanStackRegistry& span_stacks() {
+  static SpanStackRegistry registry;
+  return registry;
+}
 
 TraceRecorder::TraceRecorder()
     : epoch_(std::chrono::steady_clock::now()) {}
@@ -92,21 +145,33 @@ TraceRecorder& tracer() {
 }
 
 ScopedSpan::ScopedSpan(std::string_view name, TraceRecorder& recorder) {
+  // The span stack is maintained unconditionally: the sampling profiler
+  // attributes wall-clock samples to it even when trace *recording* is
+  // off. Push is one interned-pointer store plus a release depth store.
+  stack_ = &span_stacks().this_thread();
+  name_ = intern_span_name(name);
+  depth_ = stack_->depth.load(std::memory_order_relaxed);
+  if (depth_ < SpanStack::kMaxDepth) {
+    stack_->frames[depth_].store(name_, std::memory_order_relaxed);
+    stack_->depth.store(depth_ + 1, std::memory_order_release);
+  }
   if (!recorder.enabled()) return;
   recorder_ = &recorder;
-  name_ = name;
-  depth_ = t_open_spans++;
   start_us_ = recorder.now_us();
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (depth_ < SpanStack::kMaxDepth) {
+    stack_->depth.store(depth_, std::memory_order_release);
+  }
   if (recorder_ == nullptr) return;
   const double end_us = recorder_->now_us();
-  --t_open_spans;
-  recorder_->record(SpanRecord{std::move(name_), this_thread_id(),
-                               start_us_, end_us - start_us_, depth_});
+  recorder_->record(SpanRecord{name_, this_thread_id(), start_us_,
+                               end_us - start_us_, depth_});
 }
 
-int ScopedSpan::current_depth() { return t_open_spans; }
+int ScopedSpan::current_depth() {
+  return span_stacks().this_thread().depth.load(std::memory_order_relaxed);
+}
 
 }  // namespace arams::obs

@@ -2,14 +2,19 @@
 // obs::TraceRecorder + obs::ScopedSpan — RAII wall-clock trace spans with
 // parent/child nesting.
 //
-// Each thread keeps a span stack (a thread-local depth counter); a
-// ScopedSpan opened while another is alive on the same thread records one
-// level deeper, which is exactly the containment chrome://tracing/Perfetto
-// reconstruct from the Chrome trace_event export ("ph":"X" complete events
-// sharing a tid). Recording is off by default — a disabled recorder makes
-// ScopedSpan construction two relaxed atomic loads and nothing else — and
-// is switched on by `arams_cli --trace-out` or a test.
+// Each thread keeps a span stack; a ScopedSpan opened while another is
+// alive on the same thread records one level deeper, which is exactly the
+// containment chrome://tracing/Perfetto reconstruct from the Chrome
+// trace_event export ("ph":"X" complete events sharing a tid). The stack
+// itself (interned frame names, readable cross-thread) is maintained
+// unconditionally so the sampling profiler (obs/profiler.hpp) can
+// attribute wall-clock samples to it; trace *recording* stays off by
+// default — a disabled recorder makes ScopedSpan construction one
+// interned-name cache lookup (a small mutex only on a name's first
+// appearance on each thread) plus two atomic stores — and is switched on
+// by `arams_cli --trace-out` or a test.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -20,6 +25,52 @@
 #include <vector>
 
 namespace arams::obs {
+
+/// Interns a span name, returning a pointer that stays valid for the
+/// process lifetime. ScopedSpan interns every name it pushes so the
+/// sampling profiler (obs/profiler.hpp) can read frames from other
+/// threads' stacks without ever touching freed memory. Takes a small
+/// mutex; span granularity (per stage / per batch) keeps this cold.
+const char* intern_span_name(std::string_view name);
+
+/// Per-thread stack of active span names, readable cross-thread: frames
+/// are atomic interned-name pointers and `depth` is published with
+/// release ordering, so a sampler thread sees a consistent prefix (a
+/// racing push/pop can momentarily attribute one sample to the old
+/// frame — telemetry-grade by design). Maintained by every ScopedSpan
+/// whether or not trace *recording* is enabled.
+struct SpanStack {
+  static constexpr int kMaxDepth = 64;
+  std::array<std::atomic<const char*>, kMaxDepth> frames{};
+  std::atomic<int> depth{0};
+  std::atomic<std::uint64_t> thread_id{0};  ///< hashed std::thread::id
+};
+
+/// Fixed-slot registry of every thread's span stack (same lock-free
+/// append pattern as the flight-recorder journals: signal-safe readers,
+/// no mutex).
+class SpanStackRegistry {
+ public:
+  static constexpr std::size_t kMaxStacks = 256;
+
+  /// The calling thread's stack, registering it on first use. Stacks are
+  /// never freed; a finished thread's (empty) stack stays readable.
+  SpanStack& this_thread();
+
+  [[nodiscard]] std::size_t size() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const SpanStack* stack(std::size_t i) const;
+
+ private:
+  friend SpanStackRegistry& span_stacks();
+  SpanStackRegistry() = default;
+
+  std::array<std::atomic<SpanStack*>, kMaxStacks> stacks_{};
+  std::atomic<std::size_t> count_{0};
+};
+
+SpanStackRegistry& span_stacks();
 
 /// One completed span, in microseconds since the recorder's epoch.
 struct SpanRecord {
@@ -68,9 +119,10 @@ class TraceRecorder {
 /// Process-global recorder the built-in instrumentation records into.
 TraceRecorder& tracer();
 
-/// RAII span: measures construction → destruction and records it with the
-/// current thread's nesting depth. No-op when the recorder is disabled at
-/// construction time.
+/// RAII span: pushes its (interned) name onto the thread's SpanStack for
+/// the sampling profiler, and — when the recorder is enabled at
+/// construction time — measures construction → destruction and records a
+/// SpanRecord with the thread's nesting depth.
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string_view name,
@@ -84,8 +136,9 @@ class ScopedSpan {
   [[nodiscard]] static int current_depth();
 
  private:
-  TraceRecorder* recorder_ = nullptr;  ///< null → disabled, record nothing
-  std::string name_;
+  TraceRecorder* recorder_ = nullptr;  ///< null → not recording a trace
+  const char* name_ = nullptr;         ///< interned
+  SpanStack* stack_ = nullptr;
   double start_us_ = 0.0;
   int depth_ = 0;
 };

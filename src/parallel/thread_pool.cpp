@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace arams::parallel {
 
@@ -72,7 +73,12 @@ void ThreadPool::worker_loop(std::size_t index) {
     busy_gauge.set(static_cast<double>(
         busy_workers_.fetch_add(1, std::memory_order_relaxed) + 1));
     const auto started = std::chrono::steady_clock::now();
-    pending.task();
+    {
+      // Span the task so the sampling profiler attributes worker wall
+      // time to "pool.task" instead of leaving these threads "(idle)".
+      const obs::ScopedSpan task_span("pool.task");
+      pending.task();
+    }
     const double ran = seconds_since(started);
     run_latency.observe(ran);
     busy_gauge.set(static_cast<double>(

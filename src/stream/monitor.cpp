@@ -7,7 +7,9 @@
 #include "embed/pca.hpp"
 #include "embed/umap.hpp"
 #include "linalg/blas.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/trace.hpp"
 #include "obs/window.hpp"
 #include "util/check.hpp"
@@ -78,6 +80,21 @@ StreamingMonitor::StreamingMonitor(const MonitorConfig& config)
   ARAMS_CHECK(config.health_check_every >= 1,
               "health_check_every must be >= 1");
   batch_rows_.reserve(config.batch_size);
+
+  // Every watchdog transition lands in the flight journal (new state in
+  // `detail`, old state in `value`), and a transition *into* CRITICAL
+  // snapshots a post-mortem — when armed via configure_postmortem — so
+  // the forensics exist even if the process limps on instead of dying.
+  health_.on_transition([](const obs::HealthIncident& incident) {
+    obs::flight_recorder().record(
+        obs::FlightCode::kHealthTransition, 0,
+        static_cast<std::uint32_t>(incident.to),
+        static_cast<double>(static_cast<int>(incident.from)));
+    if (incident.to == obs::HealthState::kCritical &&
+        obs::postmortem_autodump_enabled()) {
+      obs::dump_postmortem_now("health_critical");
+    }
+  });
 }
 
 bool StreamingMonitor::ingest(const ShotEvent& event) {
@@ -111,6 +128,9 @@ bool StreamingMonitor::ingest(const ShotEvent& event) {
     static obs::Counter& nonfinite =
         obs::metrics().counter("monitor.nonfinite_frames");
     nonfinite.add(1);
+    obs::flight_recorder().record(obs::FlightCode::kFrameRejected,
+                                  event.shot_id, 1,
+                                  static_cast<double>(frames_nonfinite_));
     feed_health(false);
     meter_.record(1, timer.seconds());
     ingest_fps.set(meter_.recent_frames_per_second());
@@ -127,6 +147,8 @@ bool StreamingMonitor::ingest(const ShotEvent& event) {
   std::vector<double> row(dim_);
   processed.to_row(row);
 
+  obs::flight_recorder().record(obs::FlightCode::kFrameIngested,
+                                event.shot_id);
   error_tracker_.observe(row);
   reservoir_.emplace_back(event.shot_id, row);
   if (reservoir_.size() > config_.reservoir_size) {
@@ -170,7 +192,23 @@ void StreamingMonitor::update_sketch() {
       obs::metrics().sliding_histogram("monitor.batch_seconds_window");
   batch_latency.observe(seconds);
   batch_window.record(seconds);
+
+  obs::flight_recorder().record(obs::FlightCode::kBatchSketched,
+                                static_cast<std::uint64_t>(batches_),
+                                static_cast<std::uint32_t>(batch.rows()),
+                                seconds);
+  const std::size_t ell = sketcher_->current_ell();
+  if (ell != last_ell_) {
+    obs::flight_recorder().record(obs::FlightCode::kRankChange,
+                                  static_cast<std::uint64_t>(batches_),
+                                  static_cast<std::uint32_t>(ell),
+                                  static_cast<double>(last_ell_));
+    last_ell_ = ell;
+  }
   feed_health(true);
+  // Keep the crash handler's pre-rendered snapshot at most one batch
+  // stale (the handler itself can only copy, never render).
+  obs::refresh_postmortem_snapshot();
 }
 
 void StreamingMonitor::feed_health(bool with_numerics) {
@@ -227,6 +265,9 @@ SnapshotResult StreamingMonitor::snapshot() {
 
   cluster_snapshot(out);
   out.report.set_seconds("snapshot", timer.seconds());
+  obs::flight_recorder().record(obs::FlightCode::kSnapshot, 0,
+                                static_cast<std::uint32_t>(rows.rows()),
+                                out.report.seconds("snapshot"));
 
   // Keep this snapshot as the reference for incremental refreshes, and
   // (re)build the warm index over it — the only full index build until the
@@ -337,7 +378,20 @@ SnapshotResult StreamingMonitor::snapshot_incremental() {
   }
   cluster_snapshot(out);
   out.report.set_seconds("snapshot", timer.seconds());
+  obs::flight_recorder().record(obs::FlightCode::kSnapshot, 0,
+                                static_cast<std::uint32_t>(rows.rows()),
+                                out.report.seconds("snapshot"));
   return out;
+}
+
+void StreamingMonitor::note_queue_saturation(double fraction) {
+  queue_saturation_ = fraction;
+  const bool saturated = fraction >= 0.9;
+  if (saturated && !queue_saturated_) {
+    obs::flight_recorder().record(obs::FlightCode::kQueueSaturation, 0, 0,
+                                  fraction);
+  }
+  queue_saturated_ = saturated;
 }
 
 std::size_t StreamingMonitor::current_ell() const {

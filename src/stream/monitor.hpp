@@ -140,10 +140,11 @@ class StreamingMonitor {
 
   /// Attaches the upstream queue's occupancy fraction (0..1) to the next
   /// health sample — the DAQ driver owns the queue, the monitor owns the
-  /// watchdog. NaN (the default) skips the queue-saturation check.
-  void note_queue_saturation(double fraction) {
-    queue_saturation_ = fraction;
-  }
+  /// watchdog. NaN (the default) skips the queue-saturation check. The
+  /// first crossing of 0.9 also journals a flight-recorder
+  /// queue_saturation event (edge-triggered, so a stuck-full queue does
+  /// not flood the ring).
+  void note_queue_saturation(double fraction);
 
  private:
   void update_sketch();
@@ -162,6 +163,8 @@ class StreamingMonitor {
   long frames_seen_ = 0;
   long frames_nonfinite_ = 0;
   long batches_ = 0;
+  std::size_t last_ell_ = 0;       ///< for rank-change flight events
+  bool queue_saturated_ = false;   ///< edge trigger for saturation events
   double queue_saturation_ = std::numeric_limits<double>::quiet_NaN();
   std::vector<std::vector<double>> batch_rows_;
   std::deque<std::pair<std::uint64_t, std::vector<double>>> reservoir_;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "embed/pca.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/window.hpp"
@@ -30,6 +31,14 @@ obs::SlidingHistogram& stage_window(const char* metric) {
   return obs::metrics().sliding_histogram(
       metric, /*window_seconds=*/300.0, /*epochs=*/6,
       std::span<const double>(kBounds));
+}
+
+/// Journals one stage_complete flight event (stage id in `detail`, wall
+/// seconds in `value`) — the per-stage breadcrumb a post-mortem tail
+/// shows for the run's final moments.
+void record_stage(obs::FlightStage stage, double seconds) {
+  obs::flight_recorder().record(obs::FlightCode::kStageComplete, 0,
+                                static_cast<std::uint32_t>(stage), seconds);
 }
 
 }  // namespace
@@ -134,6 +143,7 @@ PipelineResult MonitoringPipeline::analyze_frames(
   }
   const double pre = timer.seconds();
   stage_window("pipeline.preprocess_seconds_window").record(pre);
+  record_stage(obs::FlightStage::kPreprocess, pre);
   PipelineResult result = run_stages(rows, std::move(shot_ids));
   result.report.set_seconds("preprocess", pre);
   return result;
@@ -205,6 +215,7 @@ PipelineResult MonitoringPipeline::run_stages(
     const double sketch_seconds = timer.lap();
     stage_window("pipeline.sketch_seconds_window").record(sketch_seconds);
     result.report.set_seconds("sketch", sketch_seconds);
+    record_stage(obs::FlightStage::kSketch, sketch_seconds);
   }
 
   // --- stage 3: PCA latent projection of the *original* rows ---
@@ -217,6 +228,7 @@ PipelineResult MonitoringPipeline::run_stages(
     const double project_seconds = timer.lap();
     stage_window("pipeline.project_seconds_window").record(project_seconds);
     result.report.set_seconds("project", project_seconds);
+    record_stage(obs::FlightStage::kProject, project_seconds);
   }
 
   // --- stage 4: UMAP to 2-D ---
@@ -231,6 +243,7 @@ PipelineResult MonitoringPipeline::run_stages(
     const double embed_seconds = timer.lap();
     stage_window("pipeline.embed_seconds_window").record(embed_seconds);
     result.report.set_seconds("embed", embed_seconds);
+    record_stage(obs::FlightStage::kEmbed, embed_seconds);
   }
 
   // --- stage 5: density clustering + ABOD outlier scores ---
@@ -275,6 +288,7 @@ PipelineResult MonitoringPipeline::run_stages(
     const double cluster_seconds = timer.lap();
     stage_window("pipeline.cluster_seconds_window").record(cluster_seconds);
     result.report.set_seconds("cluster", cluster_seconds);
+    record_stage(obs::FlightStage::kCluster, cluster_seconds);
   }
   return result;
 }

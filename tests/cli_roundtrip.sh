@@ -46,10 +46,12 @@ head -c 2 "$DIR/mean.pgm" | grep -q "P5"
 grep -q "shot,x,y,label" "$DIR/k.csv"
 
 # every factory-registered sketcher backend must run the sketch command and
-# the full DAQ replay (`monitor`) end-to-end
+# the full DAQ replay (`monitor`) end-to-end; the listing leads with a
+# '#'-prefixed build-info stamp that name consumers must skip
 "$BIN" backends | grep -q "rangefinder"
-test "$("$BIN" backends | wc -l)" -ge 7
-for sk in $("$BIN" backends | cut -f1); do
+"$BIN" backends | head -1 | grep -q "^# arams version="
+test "$("$BIN" backends | grep -vc '^#')" -ge 7
+for sk in $("$BIN" backends | grep -v '^#' | cut -f1); do
   "$BIN" sketch --in="$DIR/beam.frames" --ell=12 --sketcher="$sk" \
     --out="$DIR/sk_$sk.npy" >/dev/null
   test -s "$DIR/sk_$sk.npy"
@@ -117,11 +119,29 @@ for family, kind in types.items():
     # use suffixed series names)
     assert any(s == family or s.startswith(family + "_") for s in samples), \
         f"family {family} has no samples"
-def prom_name(raw):
-    return "arams_" + re.sub(r"[^a-zA-Z0-9_:]", "_", raw)
+assert "arams_build_info" in types and types["arams_build_info"] == "gauge"
+info = re.search(r'^arams_build_info\{([^}]*)\} 1$', text, re.M)
+assert info, "arams_build_info sample missing or not constant 1"
+for label in ("version=", "git=", "compiler=", "march=", "sanitize=",
+              "build_type="):
+    assert label in info.group(1), f"build_info missing {label}"
+# spec conformance: every counter family carries the _total suffix, and
+# HELP precedes TYPE for each family
+for family, kind in types.items():
+    if kind == "counter":
+        assert family.endswith("_total"), f"counter {family} lacks _total"
+for family in types:
+    help_pos = text.index(f"# HELP {family} ")
+    type_pos = text.index(f"# TYPE {family} ")
+    assert help_pos < type_pos, f"TYPE precedes HELP for {family}"
+def prom_name(raw, kind):
+    name = "arams_" + re.sub(r"[^a-zA-Z0-9_:]", "_", raw)
+    if kind == "counter" and not name.endswith("_total"):
+        name += "_total"
+    return name
 for line in open(sys.argv[2]):
     metric = json.loads(line)
-    assert prom_name(metric["name"]) in types, \
+    assert prom_name(metric["name"], metric["type"]) in types, \
         f"{metric['name']} missing from Prometheus exposition"
 EOF
 
@@ -130,10 +150,18 @@ EOF
 "$BIN" monitor --in="$DIR/beam.frames" --batch=16 --ell=8 --queue=32 \
   --fps=20000 --publish-every=2 --prom-out="$DIR/monitor.prom" \
   --health-log="$DIR/health.jsonl" --nan-from=20 --nan-count=10 \
+  --flight-recorder="$DIR/flight.jsonl" --profile-out="$DIR/prof.folded" \
   | grep -q "rejected 10 non-finite frames"
 test -s "$DIR/monitor.prom"
 grep -q "arams_health_observed_state" "$DIR/monitor.prom"
-grep -q "arams_monitor_nonfinite_frames 10" "$DIR/monitor.prom"
+grep -q "arams_monitor_nonfinite_frames_total 10" "$DIR/monitor.prom"
+grep -q "arams_build_info{" "$DIR/monitor.prom"
+# the flight journal saw both the ingests and the NaN rejections
+test -s "$DIR/flight.jsonl"
+grep -q '"code":"frame_ingested"' "$DIR/flight.jsonl"
+grep -q '"code":"frame_rejected"' "$DIR/flight.jsonl"
+grep -q '"code":"batch_sketched"' "$DIR/flight.jsonl"
+test -f "$DIR/prof.folded"
 python3 - "$DIR/health.jsonl" <<'EOF'
 import json, sys
 incidents = [json.loads(line) for line in open(sys.argv[1])]
@@ -146,5 +174,10 @@ EOF
 # unknown command and missing input fail loudly
 if "$BIN" frobnicate 2>/dev/null; then exit 1; fi
 if "$BIN" sketch --in="$DIR/missing.frames" 2>/dev/null; then exit 1; fi
+
+# doctor rejects garbage and missing files
+if "$BIN" doctor "$DIR/missing.txt" 2>/dev/null; then exit 1; fi
+echo "not a postmortem" > "$DIR/garbage.txt"
+if "$BIN" doctor "$DIR/garbage.txt" 2>/dev/null; then exit 1; fi
 
 echo "cli round trip OK"

@@ -1,0 +1,236 @@
+// Flight recorder: per-thread ring journals, merge-on-drain readers, the
+// signal-safe tail writer, and the JSON export. The recorder under test
+// is mostly the process-global singleton (that is what production code
+// records into), so tests tag their events with magic shot ids and filter
+// on them instead of assuming an empty journal.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+namespace arams::obs {
+namespace {
+
+std::vector<FlightEvent> events_with_shot(const std::vector<FlightEvent>& all,
+                                          std::uint64_t lo, std::uint64_t hi) {
+  std::vector<FlightEvent> out;
+  for (const FlightEvent& e : all) {
+    if (e.shot_id >= lo && e.shot_id < hi) out.push_back(e);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ FlightJournal
+
+TEST(FlightJournal, RecordsAndReadsBackInOrder) {
+  detail::FlightJournal journal(/*capacity_pow2=*/8, /*ordinal=*/3);
+  for (int i = 0; i < 5; ++i) {
+    journal.record(static_cast<double>(i), FlightCode::kCustom,
+                   /*shot=*/100 + static_cast<std::uint64_t>(i),
+                   /*detail_arg=*/static_cast<std::uint32_t>(i),
+                   /*value=*/0.5 * i);
+  }
+  EXPECT_EQ(journal.records_written(), 5u);
+  EXPECT_EQ(journal.capacity(), 8u);
+  EXPECT_EQ(journal.ordinal(), 3u);
+
+  std::vector<FlightEvent> out;
+  journal.read_into(out);
+  ASSERT_EQ(out.size(), 5u);
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.shot_id < b.shot_id;
+            });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].shot_id, 100u + static_cast<std::uint64_t>(i));
+    EXPECT_EQ(out[i].code, FlightCode::kCustom);
+    EXPECT_EQ(out[i].detail, static_cast<std::uint32_t>(i));
+    EXPECT_DOUBLE_EQ(out[i].value, 0.5 * i);
+    EXPECT_DOUBLE_EQ(out[i].t_seconds, static_cast<double>(i));
+    EXPECT_EQ(out[i].thread, 3u);
+  }
+}
+
+TEST(FlightJournal, RingOverwritesOldestWhenFull) {
+  detail::FlightJournal journal(/*capacity_pow2=*/4, /*ordinal=*/0);
+  for (int i = 0; i < 10; ++i) {
+    journal.record(static_cast<double>(i), FlightCode::kCustom,
+                   static_cast<std::uint64_t>(i), 0, 0.0);
+  }
+  EXPECT_EQ(journal.records_written(), 10u);
+  std::vector<FlightEvent> out;
+  journal.read_into(out);
+  ASSERT_EQ(out.size(), 4u);  // only the ring capacity survives
+  std::vector<std::uint64_t> shots;
+  for (const FlightEvent& e : out) shots.push_back(e.shot_id);
+  std::sort(shots.begin(), shots.end());
+  EXPECT_EQ(shots, (std::vector<std::uint64_t>{6, 7, 8, 9}));
+}
+
+TEST(FlightJournal, CapacityRoundsUpToPowerOfTwo) {
+  detail::FlightJournal journal(/*capacity_pow2=*/5, /*ordinal=*/0);
+  EXPECT_EQ(journal.capacity(), 8u);
+}
+
+// -------------------------------------------------------------- code names
+
+TEST(FlightCodeName, AllCodesHaveStableNames) {
+  EXPECT_STREQ(flight_code_name(FlightCode::kFrameIngested),
+               "frame_ingested");
+  EXPECT_STREQ(flight_code_name(FlightCode::kFrameRejected),
+               "frame_rejected");
+  EXPECT_STREQ(flight_code_name(FlightCode::kBatchSketched),
+               "batch_sketched");
+  EXPECT_STREQ(flight_code_name(FlightCode::kRankChange), "rank_change");
+  EXPECT_STREQ(flight_code_name(FlightCode::kQueueSaturation),
+               "queue_saturation");
+  EXPECT_STREQ(flight_code_name(FlightCode::kHealthTransition),
+               "health_transition");
+  EXPECT_STREQ(flight_code_name(FlightCode::kSnapshot), "snapshot");
+  EXPECT_STREQ(flight_code_name(FlightCode::kStageComplete),
+               "stage_complete");
+  EXPECT_STREQ(flight_code_name(FlightCode::kCrash), "crash");
+  EXPECT_STREQ(flight_code_name(FlightCode::kCustom), "custom");
+  EXPECT_STREQ(flight_code_name(static_cast<FlightCode>(999)), "unknown");
+  EXPECT_STREQ(flight_stage_name(FlightStage::kPreprocess), "preprocess");
+  EXPECT_STREQ(flight_stage_name(FlightStage::kCluster), "cluster");
+}
+
+// ------------------------------------------------------------ FlightRecorder
+
+TEST(FlightRecorder, DisableTurnsRecordIntoANoOp) {
+  FlightRecorder& recorder = flight_recorder();
+  const bool was_enabled = recorder.enabled();
+  recorder.enable(false);
+  const std::uint64_t before = recorder.total_recorded();
+  recorder.record(FlightCode::kCustom, /*shot_id=*/777777);
+  EXPECT_EQ(recorder.total_recorded(), before);
+  recorder.enable(true);
+  recorder.record(FlightCode::kCustom, /*shot_id=*/777778);
+  EXPECT_EQ(recorder.total_recorded(), before + 1);
+  recorder.enable(was_enabled);
+}
+
+TEST(FlightRecorder, DrainMergesSortedByTimestamp) {
+  FlightRecorder& recorder = flight_recorder();
+  recorder.enable(true);
+  constexpr std::uint64_t kBase = 500000;
+  for (int i = 0; i < 6; ++i) {
+    recorder.record(FlightCode::kCustom, kBase + static_cast<std::uint64_t>(i),
+                    /*detail=*/static_cast<std::uint32_t>(i), /*value=*/2.5);
+  }
+  const std::vector<FlightEvent> all = recorder.drain();
+  // The merged drain is globally timestamp-sorted.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].t_seconds, all[i].t_seconds);
+  }
+  const std::vector<FlightEvent> mine =
+      events_with_shot(all, kBase, kBase + 6);
+  ASSERT_EQ(mine.size(), 6u);
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i].shot_id, kBase + i);  // same-thread order preserved
+    EXPECT_DOUBLE_EQ(mine[i].value, 2.5);
+  }
+}
+
+TEST(FlightRecorder, TailReturnsTheNewestEvents) {
+  FlightRecorder& recorder = flight_recorder();
+  recorder.enable(true);
+  constexpr std::uint64_t kBase = 600000;
+  for (int i = 0; i < 8; ++i) {
+    recorder.record(FlightCode::kCustom,
+                    kBase + static_cast<std::uint64_t>(i));
+  }
+  const std::vector<FlightEvent> tail = recorder.tail(3);
+  ASSERT_EQ(tail.size(), 3u);
+  // The three newest events on this thread are the last three recorded.
+  EXPECT_EQ(tail.back().shot_id, kBase + 7);
+  const std::vector<FlightEvent> everything = recorder.tail(1u << 30);
+  EXPECT_EQ(everything.size(), recorder.drain().size());
+}
+
+TEST(FlightRecorder, ConcurrentWritersAllLand) {
+  FlightRecorder& recorder = flight_recorder();
+  recorder.enable(true);
+  constexpr std::uint64_t kBase = 700000;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  const std::uint64_t before = recorder.total_recorded();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.record(
+            FlightCode::kCustom,
+            kBase + static_cast<std::uint64_t>(t) * kPerThread +
+                static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(recorder.total_recorded(),
+            before + static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const std::vector<FlightEvent> mine = events_with_shot(
+      recorder.drain(), kBase, kBase + kThreads * kPerThread);
+  // Each thread's ring holds far more than kPerThread, so nothing was
+  // overwritten and every event must be drained exactly once.
+  EXPECT_EQ(mine.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(FlightRecorder, JsonLinesCarryCodeNamesAndFields) {
+  FlightRecorder& recorder = flight_recorder();
+  recorder.enable(true);
+  recorder.record(FlightCode::kCustom, /*shot_id=*/812345, /*detail=*/7,
+                  /*value=*/1.5);
+  std::ostringstream out;
+  recorder.write_json_lines(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"code\":\"custom\""), std::string::npos);
+  EXPECT_NE(text.find("\"shot\":812345"), std::string::npos);
+  EXPECT_NE(text.find("\"detail\":7"), std::string::npos);
+  // Every line is one JSON object.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(FlightRecorder, WriteTailFdIsPlainTextWithoutAllocation) {
+  FlightRecorder& recorder = flight_recorder();
+  recorder.enable(true);
+  recorder.record(FlightCode::kCustom, /*shot_id=*/912345, /*detail=*/2,
+                  /*value=*/0.25);
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "arams_flight_tail_test.txt";
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  const std::size_t written = recorder.write_tail_fd(fd, 16);
+  ::close(fd);
+  EXPECT_GT(written, 0u);
+  EXPECT_LE(written, 16u);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("code=custom"), std::string::npos);
+  EXPECT_NE(text.find("shot=912345"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace arams::obs

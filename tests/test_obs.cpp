@@ -6,6 +6,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/build_info.hpp"
+#include "obs/export_prom.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_report.hpp"
 #include "obs/trace.hpp"
@@ -176,8 +178,11 @@ TEST(ScopedSpan, DisabledRecorderRecordsNothing) {
   TraceRecorder recorder;
   {
     const ScopedSpan span("ignored", recorder);
-    EXPECT_EQ(ScopedSpan::current_depth(), 0);
+    // The span *stack* is maintained even when recording is off — the
+    // sampling profiler reads it — but no SpanRecord may be produced.
+    EXPECT_EQ(ScopedSpan::current_depth(), 1);
   }
+  EXPECT_EQ(ScopedSpan::current_depth(), 0);
   EXPECT_TRUE(recorder.spans().empty());
 }
 
@@ -199,6 +204,77 @@ TEST(TraceRecorder, ChromeTraceGolden) {
       R"("dur":30,"pid":1,"tid":2,"args":{"depth":2}}]})"
       "\n";
   EXPECT_EQ(out.str(), expected);
+}
+
+// ------------------------------------------------- Prometheus conformance
+
+TEST(PrometheusExport, CounterNamesCarryTheTotalSuffix) {
+  EXPECT_EQ(prometheus_counter_name("fd.shrink_count"),
+            "arams_fd_shrink_count_total");
+  // Already-suffixed names are not doubled.
+  EXPECT_EQ(prometheus_counter_name("queue.rejected_total"),
+            "arams_queue_rejected_total");
+}
+
+TEST(PrometheusExport, LabelValueEscaping) {
+  EXPECT_EQ(prometheus_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label_value("a\nb"), "a\\nb");
+  EXPECT_EQ(prometheus_escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(PrometheusExport, HelpTextEscaping) {
+  EXPECT_EQ(prometheus_escape_help("plain help"), "plain help");
+  EXPECT_EQ(prometheus_escape_help("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(prometheus_escape_help("two\nlines"), "two\\nlines");
+  // Quotes are legal in HELP text and must pass through untouched.
+  EXPECT_EQ(prometheus_escape_help("say \"hi\""), "say \"hi\"");
+}
+
+TEST(PrometheusExport, ExpositionLeadsWithBuildInfoAndOrdersHeaders) {
+  MetricsRegistry registry;
+  registry.counter("spec.events").add(3);
+  registry.gauge("spec.depth").set(1.5);
+  std::ostringstream out;
+  write_prometheus(out, registry);
+  const std::string text = out.str();
+
+  // The first family is the build-info gauge, constant 1, all six labels.
+  EXPECT_EQ(text.rfind("# HELP arams_build_info", 0), 0u);
+  const std::size_t sample = text.find("arams_build_info{");
+  ASSERT_NE(sample, std::string::npos);
+  const std::size_t close = text.find("} 1\n", sample);
+  ASSERT_NE(close, std::string::npos);
+  const std::string labels = text.substr(sample, close - sample);
+  for (const char* label : {"version=", "git=", "compiler=", "march=",
+                            "sanitize=", "build_type="}) {
+    EXPECT_NE(labels.find(label), std::string::npos) << label;
+  }
+
+  // Counters expose under the _total name; HELP precedes TYPE precedes
+  // the sample for each family.
+  const std::size_t help_pos =
+      text.find("# HELP arams_spec_events_total ");
+  const std::size_t type_pos =
+      text.find("# TYPE arams_spec_events_total counter");
+  const std::size_t sample_pos = text.find("\narams_spec_events_total 3");
+  ASSERT_NE(help_pos, std::string::npos);
+  ASSERT_NE(type_pos, std::string::npos);
+  ASSERT_NE(sample_pos, std::string::npos);
+  EXPECT_LT(help_pos, type_pos);
+  EXPECT_LT(type_pos, sample_pos);
+  // Gauges are not suffixed.
+  EXPECT_NE(text.find("\narams_spec_depth 1.5"), std::string::npos);
+  EXPECT_EQ(text.find("arams_spec_depth_total"), std::string::npos);
+}
+
+TEST(PrometheusExport, BuildInfoLineNamesEveryField) {
+  const std::string line = build_info_line();
+  for (const char* field : {"version=", "git=", "compiler=", "march=",
+                            "sanitize=", "build="}) {
+    EXPECT_NE(line.find(field), std::string::npos) << field;
+  }
 }
 
 // ------------------------------------------------------------- StageReport

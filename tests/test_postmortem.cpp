@@ -1,0 +1,202 @@
+// Post-mortem dumps: the voluntary dump path end-to-end (dump → parse →
+// validate), the v1 parser on golden and malformed input, and the
+// truncation semantics doctors rely on. The signal path itself is
+// exercised by the crash-drill integration test (tools/check_crash_drill.sh),
+// not here — a unit test cannot survive its own SIGSEGV.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/postmortem.hpp"
+
+namespace arams::obs {
+namespace {
+
+std::filesystem::path make_dump_dir() {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "arams_postmortem_test";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+const char* kGoldenDump =
+    "ARAMS-POSTMORTEM v1\n"
+    "reason=signal:SIGSEGV\n"
+    "pid=4242\n"
+    "uptime=12.500000\n"
+    "build=version=1.0.0 git=abc1234 compiler=GNU march=baseline\n"
+    "[backtrace]\n"
+    "./arams(+0x1234) [0x55]\n"
+    "./arams(main+0x10) [0x56]\n"
+    "[flight-recorder]\n"
+    "t=12.400000 code=batch_sketched shot=17 d=64 v=0.003000 tid=0\n"
+    "[metrics]\n"
+    "arams_fd_shrink_count_total 9\n"
+    "[health]\n"
+    "{\"t\":12.1,\"from\":\"ok\",\"to\":\"degraded\",\"reason\":\"x\"}\n"
+    "[end]\n";
+
+// ------------------------------------------------------------------ parser
+
+TEST(PostmortemParse, GoldenDumpRoundTrips) {
+  std::istringstream in(kGoldenDump);
+  PostmortemReport report;
+  std::string error;
+  ASSERT_TRUE(parse_postmortem(in, report, &error)) << error;
+  EXPECT_EQ(report.version, 1);
+  EXPECT_EQ(report.reason, "signal:SIGSEGV");
+  EXPECT_EQ(report.pid, "4242");
+  EXPECT_EQ(report.uptime, "12.500000");
+  EXPECT_EQ(report.build,
+            "version=1.0.0 git=abc1234 compiler=GNU march=baseline");
+  ASSERT_EQ(report.backtrace.size(), 2u);
+  EXPECT_EQ(report.backtrace[1], "./arams(main+0x10) [0x56]");
+  ASSERT_EQ(report.flight_lines.size(), 1u);
+  EXPECT_NE(report.flight_lines[0].find("code=batch_sketched"),
+            std::string::npos);
+  ASSERT_EQ(report.metrics_lines.size(), 1u);
+  ASSERT_EQ(report.health_lines.size(), 1u);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(validate_postmortem(report, &error)) << error;
+}
+
+TEST(PostmortemParse, RejectsBadMagic) {
+  std::istringstream in("not a postmortem\nreason=x\n");
+  PostmortemReport report;
+  std::string error;
+  EXPECT_FALSE(parse_postmortem(in, report, &error));
+  EXPECT_EQ(error, "bad magic line");
+
+  std::istringstream empty("");
+  PostmortemReport report2;
+  EXPECT_FALSE(parse_postmortem(empty, report2, &error));
+  EXPECT_EQ(error, "empty file");
+}
+
+TEST(PostmortemParse, TruncatedDumpParsesButFailsValidation) {
+  // Cut the golden dump off before [end] — the crash truncated the file.
+  std::string truncated(kGoldenDump);
+  truncated.resize(truncated.find("[end]"));
+  std::istringstream in(truncated);
+  PostmortemReport report;
+  ASSERT_TRUE(parse_postmortem(in, report));  // still inspectable
+  EXPECT_FALSE(report.complete);
+  std::string error;
+  EXPECT_FALSE(validate_postmortem(report, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(PostmortemParse, ToleratesUnknownHeadersAndBlankLines) {
+  std::string dump(kGoldenDump);
+  dump.insert(dump.find("[backtrace]"), "future_header=whatever\n\n");
+  std::istringstream in(dump);
+  PostmortemReport report;
+  std::string error;
+  ASSERT_TRUE(parse_postmortem(in, report, &error)) << error;
+  EXPECT_TRUE(validate_postmortem(report, &error)) << error;
+}
+
+TEST(PostmortemValidate, FlagsEachMissingIngredient) {
+  std::istringstream in(kGoldenDump);
+  PostmortemReport good;
+  ASSERT_TRUE(parse_postmortem(in, good));
+
+  PostmortemReport report = good;
+  report.reason.clear();
+  std::string error;
+  EXPECT_FALSE(validate_postmortem(report, &error));
+  EXPECT_NE(error.find("reason"), std::string::npos);
+
+  report = good;
+  report.build.clear();
+  EXPECT_FALSE(validate_postmortem(report, &error));
+  EXPECT_NE(error.find("build"), std::string::npos);
+
+  report = good;
+  report.backtrace.clear();
+  EXPECT_FALSE(validate_postmortem(report, &error));
+  EXPECT_NE(error.find("backtrace"), std::string::npos);
+
+  report = good;
+  report.metrics_lines.clear();
+  EXPECT_FALSE(validate_postmortem(report, &error));
+  EXPECT_NE(error.find("metrics"), std::string::npos);
+}
+
+// ------------------------------------------------------------ dump_now path
+
+TEST(Postmortem, DumpNowWritesAValidatableFile) {
+  const std::filesystem::path dir = make_dump_dir();
+  PostmortemConfig config;
+  config.dir = dir.string();
+  configure_postmortem(config);
+  install_postmortem_handlers();
+  EXPECT_FALSE(postmortem_autodump_enabled());  // off unless armed
+
+  // Give the dump something to journal and snapshot.
+  flight_recorder().enable(true);
+  flight_recorder().record(FlightCode::kCustom, /*shot_id=*/31337);
+  refresh_postmortem_snapshot();
+
+  const int before = postmortem_dump_count();
+  ASSERT_TRUE(dump_postmortem_now("unit_test"));
+  EXPECT_EQ(postmortem_dump_count(), before + 1);
+
+  const std::string path = last_postmortem_path();
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("postmortem-"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "dump file missing: " << path;
+
+  PostmortemReport report;
+  std::string error;
+  ASSERT_TRUE(parse_postmortem(in, report, &error)) << error;
+  EXPECT_TRUE(validate_postmortem(report, &error)) << error;
+  EXPECT_EQ(report.reason, "unit_test");
+  EXPECT_NE(report.build.find("version="), std::string::npos);
+  // The journaled event made it into the flight-recorder section.
+  bool saw_event = false;
+  for (const std::string& line : report.flight_lines) {
+    if (line.find("shot=31337") != std::string::npos) saw_event = true;
+  }
+  EXPECT_TRUE(saw_event);
+  // The pre-rendered metrics snapshot leads with the build-info gauge.
+  bool saw_build_info = false;
+  for (const std::string& line : report.metrics_lines) {
+    if (line.find("arams_build_info") != std::string::npos) {
+      saw_build_info = true;
+    }
+  }
+  EXPECT_TRUE(saw_build_info);
+  std::filesystem::remove(path);
+}
+
+TEST(Postmortem, EachDumpGetsAFreshSequenceNumber) {
+  const std::filesystem::path dir = make_dump_dir();
+  PostmortemConfig config;
+  config.dir = dir.string();
+  config.autodump_on_critical = true;
+  configure_postmortem(config);
+  EXPECT_TRUE(postmortem_autodump_enabled());
+
+  refresh_postmortem_snapshot();
+  ASSERT_TRUE(dump_postmortem_now("first"));
+  const std::string first = last_postmortem_path();
+  ASSERT_TRUE(dump_postmortem_now("second"));
+  const std::string second = last_postmortem_path();
+  EXPECT_NE(first, second);
+  std::filesystem::remove(first);
+  std::filesystem::remove(second);
+
+  // Disarm for any test that runs after this one.
+  config.autodump_on_critical = false;
+  configure_postmortem(config);
+}
+
+}  // namespace
+}  // namespace arams::obs

@@ -1,0 +1,111 @@
+// Sampling profiler: deterministic sample_once() attribution over the
+// ScopedSpan stacks, folded-stack output, root fractions, gauge
+// publication, and the start/stop lifecycle. All attribution tests drive
+// sampling by hand — no timer races.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
+namespace arams::obs {
+namespace {
+
+TEST(SamplingProfiler, IdleThreadsFoldUnderIdle) {
+  // Register this thread's span stack (stacks only exist once a span has
+  // been opened on the thread), then sample with no span open.
+  { const ScopedSpan warmup("prof.test.warmup"); }
+  SamplingProfiler profiler;
+  profiler.sample_once();
+  EXPECT_EQ(profiler.sweeps(), 1u);
+  EXPECT_GE(profiler.samples(), 1u);
+  EXPECT_DOUBLE_EQ(profiler.root_fraction("(idle)"), 1.0);
+  std::ostringstream out;
+  profiler.write_folded(out);
+  EXPECT_NE(out.str().find("(idle) "), std::string::npos);
+}
+
+TEST(SamplingProfiler, AttributesSamplesToTheOpenSpanChain) {
+  SamplingProfiler profiler;
+  {
+    const ScopedSpan outer("prof.test.outer");
+    const ScopedSpan inner("prof.test.inner");
+    for (int i = 0; i < 4; ++i) profiler.sample_once();
+  }
+  EXPECT_EQ(profiler.sweeps(), 4u);
+  // This thread contributed 4 samples rooted at the outer span; other
+  // registered stacks (if any) were idle.
+  EXPECT_GT(profiler.root_fraction("prof.test.outer"), 0.0);
+  std::ostringstream out;
+  profiler.write_folded(out);
+  const std::string folded = out.str();
+  EXPECT_NE(folded.find("prof.test.outer;prof.test.inner 4"),
+            std::string::npos);
+  // Fractions over all roots sum to one.
+  const double total = profiler.root_fraction("prof.test.outer") +
+                       profiler.root_fraction("(idle)");
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(SamplingProfiler, PublishGaugesWritesFractionsAndSampleCounter) {
+  SamplingProfiler profiler;
+  {
+    const ScopedSpan span("prof.test.root");
+    profiler.sample_once();
+    profiler.sample_once();
+  }
+  MetricsRegistry registry;
+  profiler.publish_gauges(registry);
+  const double fraction =
+      registry.gauge("profile.stage_cpu_fraction.prof.test.root").value();
+  EXPECT_GT(fraction, 0.0);
+  EXPECT_LE(fraction, 1.0);
+  EXPECT_EQ(registry.counter("profile.samples").value(),
+            static_cast<long>(profiler.samples()));
+  // Publishing again adds only the delta — the counter must not double.
+  profiler.publish_gauges(registry);
+  EXPECT_EQ(registry.counter("profile.samples").value(),
+            static_cast<long>(profiler.samples()));
+  // The idle gauge is published under the sanitized "idle" suffix.
+  profiler.sample_once();  // no span open now
+  profiler.publish_gauges(registry);
+  EXPECT_GE(registry.gauge("profile.stage_cpu_fraction.idle").value(), 0.0);
+}
+
+TEST(SamplingProfiler, RootFractionOfUnseenRootIsZero) {
+  SamplingProfiler profiler;
+  profiler.sample_once();
+  EXPECT_DOUBLE_EQ(profiler.root_fraction("never.sampled"), 0.0);
+}
+
+TEST(SamplingProfiler, StartStopLifecycle) {
+  // Register this thread's stack up front: a sweep taken before any span
+  // ever existed on any thread sees an empty registry and attributes no
+  // samples at all.
+  { const ScopedSpan warmup("prof.test.warmup"); }
+  SamplingProfiler::Config config;
+  config.interval_ms = 0.5;
+  SamplingProfiler profiler(config);
+  EXPECT_FALSE(profiler.running());
+  profiler.start();
+  EXPECT_TRUE(profiler.running());
+  profiler.start();  // idempotent
+  {
+    const ScopedSpan span("prof.test.lifecycle");
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+  profiler.stop();  // idempotent
+  EXPECT_GT(profiler.sweeps(), 0u);
+  EXPECT_GE(profiler.samples(), profiler.sweeps());
+}
+
+}  // namespace
+}  // namespace arams::obs

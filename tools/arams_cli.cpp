@@ -7,6 +7,7 @@
 //   monitor    replay a run through the streaming monitor with live
 //              telemetry, the health watchdog, and Prometheus snapshots
 //   backends   list the registered sketching backends
+//   doctor     parse and validate a post-mortem dump
 //   info       describe a .frames or .npy file
 //
 // Examples:
@@ -20,6 +21,9 @@
 //       --metrics-out=metrics.jsonl
 //   arams monitor --in=run.frames --batch=64 --prom-out=arams.prom
 //       --health-log=health.jsonl
+//   arams monitor --in=run.frames --postmortem-dir=dumps
+//       --flight-recorder=flight.jsonl --profile-out=profile.folded
+//   arams doctor dumps/postmortem-12345-0.txt
 //   arams info --in=sketch.npy
 
 #include <fstream>
@@ -52,6 +56,7 @@ void print_usage() {
       "             statistics, dead/hot pixel mask\n"
       "  backends   list the registered sketching backends (--sketcher=)\n"
       "             or, with --knn, the kNN searchers (--knn-backend=)\n"
+      "  doctor     parse and validate a post-mortem dump\n"
       "  info       describe a .frames or .npy file\n"
       "\n"
       "run `arams <command> --help` for the command's flags.\n";
@@ -76,6 +81,22 @@ void declare_telemetry_flags(CliFlags& flags) {
   flags.declare("metrics-out", "", "write telemetry metrics as JSON lines");
   flags.declare("prom-out", "",
                 "write metrics in Prometheus text exposition format");
+  flags.declare("flight-recorder", "",
+                "enable the in-memory flight journal and write it as JSON "
+                "lines at exit");
+  flags.declare("postmortem-dir", "",
+                "install crash handlers; dump post-mortems (crash or "
+                "watchdog CRITICAL) into this directory");
+  flags.declare("profile-out", "",
+                "run the sampling profiler and write folded stacks "
+                "(flamegraph.pl format) at exit");
+}
+
+/// The run-wide sampling profiler --profile-out starts (static so its
+/// sampler thread outlives the subcommand scopes that poke it).
+obs::SamplingProfiler& profiler() {
+  static obs::SamplingProfiler instance;
+  return instance;
 }
 
 /// kNN searcher flags, shared by the subcommands that build neighbour
@@ -97,15 +118,52 @@ void apply_knn_flags(const CliFlags& flags, embed::UmapConfig& umap) {
 }
 
 /// Span recording costs a little per stage, so it stays off unless the run
-/// actually asked for a trace file.
+/// actually asked for a trace file. The same gate arms the forensics
+/// layer: flight journal, crash handlers, sampling profiler.
 void arm_telemetry(const CliFlags& flags) {
   if (!flags.get("trace-out").empty()) {
     obs::tracer().enable(true);
+  }
+  if (!flags.get("flight-recorder").empty()) {
+    obs::flight_recorder().enable(true);
+  }
+  if (const std::string& dir = flags.get("postmortem-dir"); !dir.empty()) {
+    obs::PostmortemConfig pm;
+    pm.dir = dir;
+    pm.autodump_on_critical = true;
+    obs::configure_postmortem(pm);
+    obs::install_postmortem_handlers();
+    obs::refresh_postmortem_snapshot();
+    // Crash forensics without the flight journal would be an empty tail.
+    obs::flight_recorder().enable(true);
+  }
+  if (!flags.get("profile-out").empty()) {
+    profiler().start();
   }
 }
 
 void write_telemetry(const CliFlags& flags,
                      const obs::HealthMonitor* health = nullptr) {
+  // Stop the profiler first: stop() publishes the
+  // profile.stage_cpu_fraction gauges, which the metrics/prom writers
+  // below should include.
+  if (const std::string& path = flags.get("profile-out"); !path.empty()) {
+    profiler().stop();
+    std::ofstream out(path);
+    ARAMS_CHECK(out.good(), "cannot open --profile-out file: " + path);
+    profiler().write_folded(out);
+    std::cout << "folded profile (" << profiler().samples()
+              << " samples) written to " << path << "\n";
+  }
+  if (const std::string& path = flags.get("flight-recorder");
+      !path.empty()) {
+    std::ofstream out(path);
+    ARAMS_CHECK(out.good(), "cannot open --flight-recorder file: " + path);
+    obs::flight_recorder().write_json_lines(out);
+    std::cout << "flight journal ("
+              << obs::flight_recorder().total_recorded()
+              << " events recorded) written to " << path << "\n";
+  }
   if (const std::string& path = flags.get("trace-out"); !path.empty()) {
     std::ofstream out(path);
     ARAMS_CHECK(out.good(), "cannot open --trace-out file: " + path);
@@ -410,6 +468,9 @@ int cmd_monitor(int argc, const char* const* argv) {
   flags.declare("nan-from", "-1",
                 "inject a non-finite pixel starting at this shot index");
   flags.declare("nan-count", "0", "number of consecutive shots to poison");
+  flags.declare("crash-after", "-1",
+                "fault injection: std::terminate() after this many shots "
+                "(exercises the post-mortem crash path; -1 disables)");
   declare_knn_flags(flags);
   declare_telemetry_flags(flags);
   flags.declare("help", "false", "print usage");
@@ -434,6 +495,18 @@ int cmd_monitor(int argc, const char* const* argv) {
   config.pipeline.sketch.epsilon = epsilon;
   apply_knn_flags(flags, config.pipeline.umap);
   stream::StreamingMonitor monitor(config);
+
+  // Re-point the crash snapshot at this run's watchdog so a post-mortem
+  // carries the incident log (arm_telemetry ran before the monitor
+  // existed).
+  if (const std::string& dir = flags.get("postmortem-dir"); !dir.empty()) {
+    obs::PostmortemConfig pm;
+    pm.dir = dir;
+    pm.health = &monitor.health();
+    pm.autodump_on_critical = true;
+    obs::configure_postmortem(pm);
+    obs::refresh_postmortem_snapshot();
+  }
 
   // Every state transition is echoed live; the full incident log lands in
   // --health-log at the end of the run.
@@ -478,12 +551,26 @@ int cmd_monitor(int argc, const char* const* argv) {
     queue.close();
   });
 
+  const long crash_after = flags.get_int("crash-after");
   Stopwatch timer;
+  long shots_popped = 0;
   try {
     while (auto event = queue.pop()) {
       monitor.note_queue_saturation(queue.saturation());
       const bool updated = monitor.ingest(*event);
       if (updated && publisher) publisher->tick();
+      ++shots_popped;
+      if (crash_after >= 0 && shots_popped >= crash_after) {
+        // Deterministic fault injection for the crash drill: terminate
+        // runs the post-mortem hook in ordinary (non-signal) context and
+        // behaves identically under ASan/TSan, unlike a raw SIGSEGV.
+        std::cerr << "crash-after: injecting std::terminate() at shot "
+                  << shots_popped << "\n";
+        obs::flight_recorder().record(
+            obs::FlightCode::kCrash,
+            static_cast<std::uint64_t>(shots_popped));
+        std::terminate();
+      }
     }
   } catch (...) {
     // Unblock and reap the producer before the exception unwinds past the
@@ -622,6 +709,9 @@ int cmd_backends(int argc, const char* const* argv) {
     std::cout << flags.usage("arams backends");
     return 0;
   }
+  // Build provenance first, '#'-prefixed so scripted consumers of the
+  // name<TAB>description lines can skip it (`grep -v '^#'`).
+  std::cout << "# arams " << obs::build_info_line() << "\n";
   if (flags.get_bool("knn")) {
     for (const auto& name : embed::registered_searchers()) {
       std::cout << name << "\t" << embed::searcher_description(name)
@@ -632,6 +722,59 @@ int cmd_backends(int argc, const char* const* argv) {
   for (const auto& name : core::registered_sketchers()) {
     std::cout << name << "\t" << core::sketcher_description(name) << "\n";
   }
+  return 0;
+}
+
+// Validates a post-mortem dump: parses the versioned format, prints a
+// summary of what the file contains, and exits non-zero when any of the
+// forensic sections (backtrace, flight-recorder tail, metrics snapshot,
+// health incident log) is missing or the file was truncated mid-crash.
+int cmd_doctor(int argc, const char* const* argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::cout << "usage: arams doctor <postmortem-file>\n"
+                   "\n"
+                   "parse and validate a post-mortem dump written by\n"
+                   "--postmortem-dir (on crash or watchdog CRITICAL).\n";
+      return 0;
+    }
+    path = arg;
+  }
+  if (path.empty()) {
+    std::cerr << "usage: arams doctor <postmortem-file>\n";
+    return 1;
+  }
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "doctor: cannot open " << path << "\n";
+    return 1;
+  }
+  obs::PostmortemReport report;
+  std::string error;
+  if (!obs::parse_postmortem(in, report, &error)) {
+    std::cerr << "doctor: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "post-mortem " << path << " (format v" << report.version
+            << ")\n"
+            << "  reason:               " << report.reason << "\n"
+            << "  pid:                  " << report.pid << "\n"
+            << "  uptime:               " << report.uptime << " s\n"
+            << "  build:                " << report.build << "\n"
+            << "  backtrace frames:     " << report.backtrace.size() << "\n"
+            << "  flight-recorder tail: " << report.flight_lines.size()
+            << " events\n"
+            << "  metrics snapshot:     " << report.metrics_lines.size()
+            << " lines\n"
+            << "  health incident log:  " << report.health_lines.size()
+            << " lines\n";
+  if (!obs::validate_postmortem(report, &error)) {
+    std::cerr << "doctor: INVALID: " << error << "\n";
+    return 1;
+  }
+  std::cout << "doctor: OK — dump is complete and parseable\n";
   return 0;
 }
 
@@ -679,6 +822,7 @@ int main(int argc, char** argv) {
     if (command == "compare") return cmd_compare(argc - 1, argv + 1);
     if (command == "diag") return cmd_diag(argc - 1, argv + 1);
     if (command == "backends") return cmd_backends(argc - 1, argv + 1);
+    if (command == "doctor") return cmd_doctor(argc - 1, argv + 1);
     if (command == "info") return cmd_info(argc - 1, argv + 1);
     if (command == "--help" || command == "help") {
       print_usage();

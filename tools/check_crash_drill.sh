@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Crash drill: prove the post-mortem path works end-to-end on a real
+# process death, not just in unit tests. A monitor replay is poisoned with
+# NaN frames (driving the watchdog toward CRITICAL) and then killed
+# mid-run with --crash-after (std::terminate). The process must die
+# non-zero, leave at least one post-mortem dump behind, and `arams
+# doctor` must validate the newest dump — all four sections present,
+# [end] marker intact. The binary path arrives in $ARAMS_BIN (wired by
+# ctest).
+set -euo pipefail
+
+BIN="${ARAMS_BIN:?ARAMS_BIN must point at the arams binary}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$BIN" generate --kind=beam --frames=200 --size=24 --out="$DIR/run.frames"
+
+# The replay must die by std::terminate at shot 120, after the NaN burst
+# has pushed frames through the monitor (so the dump has flight events and
+# a fresh metrics snapshot to show).
+set +e
+"$BIN" monitor --in="$DIR/run.frames" --batch=16 --ell=8 --queue=32 \
+  --fps=20000 --nan-from=40 --nan-count=20 \
+  --postmortem-dir="$DIR" --flight-recorder="$DIR/flight.jsonl" \
+  --crash-after=120 >"$DIR/monitor.out" 2>&1
+status=$?
+set -e
+if [ "$status" -eq 0 ]; then
+  echo "monitor survived the injected crash (exit 0)" >&2
+  cat "$DIR/monitor.out" >&2
+  exit 1
+fi
+grep -q "crash-after: injecting std::terminate" "$DIR/monitor.out" || {
+  echo "crash injection message missing from monitor output" >&2
+  cat "$DIR/monitor.out" >&2
+  exit 1
+}
+
+# At least one dump landed; the newest is the terminate dump (a CRITICAL
+# autodump may precede it).
+newest="$(ls -t "$DIR"/postmortem-*.txt 2>/dev/null | head -1)"
+test -n "$newest" || {
+  echo "no postmortem-*.txt produced in $DIR" >&2
+  ls -la "$DIR" >&2
+  exit 1
+}
+
+"$BIN" doctor "$newest" >"$DIR/doctor.out"
+grep -q "doctor: OK" "$DIR/doctor.out"
+# The dump's forensic payload is real: a backtrace and the flight tail.
+grep -q "^reason=" "$newest"
+grep -q "^\[backtrace\]$" "$newest"
+grep -q "code=crash" "$newest"
+grep -q "^\[end\]$" "$newest"
+
+# Doctor must also flag a truncated dump (simulating a crash that died
+# while writing).
+head -n 8 "$newest" > "$DIR/truncated.txt"
+if "$BIN" doctor "$DIR/truncated.txt" >/dev/null 2>&1; then
+  echo "doctor accepted a truncated dump" >&2
+  exit 1
+fi
+
+echo "crash drill OK ($(basename "$newest") validated)"

@@ -33,7 +33,25 @@ while IFS= read -r name; do
   fi
 done <<< "$names"
 
+# The flight-recorder decision codes are operator-facing too: every
+# FlightCode string the recorder can journal must appear in the
+# TELEMETRY.md event-code table.
+codes="$(
+  grep -oE 'case FlightCode::k[A-Za-z]+: return "[^"]+"' \
+      "$ROOT/src/obs/flight_recorder.cpp" \
+    | sed -E 's/.*return "([^"]+)"$/\1/' \
+    | sort -u
+)"
+test -n "$codes" || { echo "no FlightCode names found" >&2; exit 1; }
+while IFS= read -r code; do
+  [ -n "$code" ] || continue
+  if ! grep -qF "\`$code\`" "$DOC"; then
+    echo "undocumented flight-recorder event code: \`$code\` — add it to docs/TELEMETRY.md" >&2
+    missing=1
+  fi
+done <<< "$codes"
+
 if [ "$missing" -ne 0 ]; then
   exit 1
 fi
-echo "metrics doc lint OK ($(wc -l <<< "$names") registered names documented)"
+echo "metrics doc lint OK ($(wc -l <<< "$names") registered names, $(wc -l <<< "$codes") flight codes documented)"

@@ -14,7 +14,8 @@ BIN="${ARAMS_BIN:?ARAMS_BIN must point at the arams binary}"
 DOC="$ROOT/docs/ALGORITHMS.md"
 test -r "$DOC" || { echo "missing $DOC" >&2; exit 1; }
 
-names="$("$BIN" backends | cut -f1)"
+# The leading '#'-prefixed line is the build-info stamp, not a backend.
+names="$("$BIN" backends | grep -v '^#' | cut -f1)"
 test -n "$names" || { echo "'arams backends' listed no backends" >&2; exit 1; }
 
 missing=0
