@@ -1,0 +1,164 @@
+// Mixed-precision ingest lane benchmarks (google-benchmark): the fp32
+// frame path (narrow frames → fp32 preprocess → fp32 flatten → the
+// sketcher's fp32 entry point) head-to-head against the classic fp64 lane
+// at equal ℓ and d, plus the mixed-precision GEMM against its all-fp64
+// twin. The fp32 lane halves the memory traffic of everything before the
+// sketch core while every accumulation stays fp64.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sketcher.hpp"
+#include "image/image.hpp"
+#include "image/preprocess.hpp"
+#include "linalg/blas.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using namespace arams;
+using linalg::Matrix;
+using linalg::MatrixF;
+
+constexpr std::size_t kFrames = 64;  ///< frames per ingest batch
+constexpr std::size_t kEll = 16;     ///< sketch rank (equal in both lanes)
+
+std::vector<image::ImageF> random_frames(std::size_t count, std::size_t side,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<image::ImageF> frames;
+  frames.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    image::ImageF frame(side, side);
+    for (std::size_t r = 0; r < side; ++r) {
+      for (std::size_t c = 0; c < side; ++c) {
+        // Non-negative intensities so threshold/normalize/center all do
+        // real work (a zero-mass frame short-circuits the kernels).
+        frame.at(r, c) = rng.uniform() + 0.05;
+      }
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+core::SketcherConfig ingest_config() {
+  core::SketcherConfig config;
+  config.backend = "arams";
+  config.ell = kEll;
+  config.seed = 2024;
+  config.arams.ell = kEll;
+  config.arams.seed = 2024;
+  // Priority sampling on, at the aggressive keep fraction of the
+  // high-rate monitoring regime: the sketch core (whose fp64 work is
+  // identical in both lanes by design) digests ~1/10 of the stream, so the
+  // benchmark measures the ingest lane itself rather than the shared
+  // shrink arithmetic.
+  config.arams.beta = 0.1;
+  config.arams.use_sampling = true;
+  config.arams.rank_adaptive = false;
+  return config;
+}
+
+image::PreprocessConfig preprocess_config() {
+  image::PreprocessConfig config;  // threshold + center + normalize
+  return config;
+}
+
+// Classic lane: fp64 frames end to end.
+void BM_IngestF64(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const std::vector<image::ImageF> frames =
+      random_frames(kFrames, side, 1);
+  const image::PreprocessConfig prep = preprocess_config();
+  const std::unique_ptr<core::Sketcher> sketcher =
+      core::make_sketcher(ingest_config());
+  for (auto _ : state) {
+    const Matrix rows =
+        image::images_to_matrix(image::preprocess_batch(frames, prep));
+    sketcher->push_batch(rows);
+    benchmark::DoNotOptimize(sketcher->current_ell());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFrames));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFrames * side * side *
+                                               sizeof(double)));
+}
+BENCHMARK(BM_IngestF64)->Arg(64)->Arg(96)->Arg(128);
+
+// Mixed-precision lane: the same frames narrowed once at the door, then
+// fp32 preprocess, fp32 flatten, and the sketcher's fp32 entry point.
+void BM_IngestF32(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  std::vector<image::ImageF32> frames;
+  frames.reserve(kFrames);
+  for (const image::ImageF& frame : random_frames(kFrames, side, 1)) {
+    frames.push_back(image::narrow(frame));
+  }
+  const image::PreprocessConfig prep = preprocess_config();
+  const std::unique_ptr<core::Sketcher> sketcher =
+      core::make_sketcher(ingest_config());
+  for (auto _ : state) {
+    const MatrixF rows =
+        image::images_to_matrix(image::preprocess_batch(frames, prep));
+    sketcher->push_batch(linalg::MatrixViewF(rows));
+    benchmark::DoNotOptimize(sketcher->current_ell());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFrames));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kFrames * side * side *
+                                               sizeof(float)));
+}
+BENCHMARK(BM_IngestF32)->Arg(64)->Arg(96)->Arg(128);
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < r; ++i) rng.fill_normal(m.row(i));
+  return m;
+}
+
+// All-fp64 Aᵀ·B — the baseline the Gaussian backend's update used to pay.
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 21);
+  const Matrix b = random_matrix(n, n, 22);
+  Matrix out;
+  for (auto _ : state) {
+    linalg::matmul_tn(linalg::MatrixView(a), linalg::MatrixView(b), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512);
+
+// Mixed Aᵀ(fp64)·B(fp32): the fp32 panel widens at pack time into the
+// fp64 micro-kernel, so B's streamed traffic halves while the arithmetic
+// (and its result, bit for bit) stays fp64.
+void BM_GemmMixed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 21);
+  const Matrix b64 = random_matrix(n, n, 22);
+  MatrixF b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = b64.row(i);
+    auto dst = b.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      dst[j] = static_cast<float>(src[j]);
+    }
+  }
+  Matrix out;
+  for (auto _ : state) {
+    linalg::matmul_tn(linalg::MatrixView(a), linalg::MatrixViewF(b), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmMixed)->Arg(128)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -131,6 +131,36 @@ void Arams::push_batch(const Matrix& batch) {
   }
 }
 
+void Arams::push_batch(linalg::MatrixViewF batch) {
+  if (batch.rows() == 0) return;
+  Stopwatch timer;
+  if (config_.use_sampling && config_.beta < 1.0) {
+    PrioritySamplerConfig ps;
+    ps.weight = config_.weight;
+    ps.seed = config_.seed ^ (0x9e3779b9ull + rows_sampled_total_);
+    // The fp32 sampler overload widens only the ⌈βn⌉ survivors.
+    const Matrix sampled = priority_sample(batch, config_.beta, ps);
+    sample_seconds_ += timer.lap();
+    rows_sampled_total_ += sampled.rows();
+    if (ra_fd_) {
+      ra_fd_->append_batch(sampled);
+    } else {
+      fixed_fd_->append_batch(sampled);
+    }
+    return;
+  }
+  sample_seconds_ += timer.lap();
+  rows_sampled_total_ += batch.rows();
+  if (ra_fd_) {
+    // RankAdaptiveFd's recent-row window shadows the float append path;
+    // widen once into grow-only scratch and reuse its fp64 entry point.
+    linalg::widen(batch, f32_widen_);
+    ra_fd_->append_batch(f32_widen_);
+  } else {
+    fixed_fd_->append_batch(batch);
+  }
+}
+
 Matrix Arams::sketch() {
   fd().compress();
   return fd().sketch();

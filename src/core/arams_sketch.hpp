@@ -79,6 +79,14 @@ class Arams {
   /// persistent FD state.
   void push_batch(const linalg::Matrix& batch);
 
+  /// fp32 streaming ingest. When sampling is on, the fp32 priority-sampler
+  /// overload consumes the float rows directly (weights accumulate in
+  /// double, same RNG stream) and emits fp64 survivors; when sampling is
+  /// off the batch feeds fixed FD's float path, or is widened once into
+  /// grow-only scratch for the rank-adaptive FD (whose recent-row window
+  /// is fp64). Bitwise identical to widening the batch up front.
+  void push_batch(linalg::MatrixViewF batch);
+
   /// Current sketch (compressed to ≤ ℓ rows).
   linalg::Matrix sketch();
 
@@ -104,6 +112,7 @@ class Arams {
   std::unique_ptr<FrequentDirections> fixed_fd_; // set otherwise
   double sample_seconds_ = 0.0;
   std::size_t rows_sampled_total_ = 0;
+  linalg::Matrix f32_widen_;  ///< grow-only fp32-lane widen scratch
 };
 
 }  // namespace arams::core

@@ -45,6 +45,24 @@ void GaussianProjectionSketch::push_batch(const Matrix& batch) {
   stats_.rows_processed += static_cast<long>(batch.rows());
 }
 
+void GaussianProjectionSketch::push_batch(linalg::MatrixViewF batch) {
+  if (batch.rows() == 0) return;
+  ensure_dim(batch.cols());
+  // Same draw order as the fp64 batch path; the mixed GEMM widens the
+  // float panel register-tile-wise inside the fp64 micro-kernel.
+  coeff_block_.reshape(batch.rows(), ell_);
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    rng_.fill_normal(coeff_block_.row(r));
+  }
+  linalg::matmul_tn(linalg::MatrixView(coeff_block_), batch, update_);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(ell_));
+  for (std::size_t i = 0; i < ell_; ++i) {
+    linalg::axpy(scale, update_.row(i), sketch_.row(i));
+  }
+  stats_.rows_processed += static_cast<long>(batch.rows());
+  note_f32_rows(batch.rows());
+}
+
 void GaussianProjectionSketch::append(std::span<const double> row) {
   ensure_dim(row.size());
   // B += s·rowᵀ where s ~ N(0, 1/ℓ)·e — one Gaussian per sketch row.
@@ -78,6 +96,13 @@ void CountSketch::scatter(std::span<const double> row) {
   linalg::axpy(sign, row, sketch_.row(bucket));
 }
 
+void CountSketch::scatter(std::span<const float> row) {
+  const std::uint64_t h = rng_.next_u64();
+  const std::size_t bucket = h % ell_;
+  const double sign = (h >> 63) ? 1.0 : -1.0;
+  linalg::axpy(sign, row, sketch_.row(bucket));
+}
+
 void CountSketch::push_batch(const Matrix& batch) {
   if (batch.rows() == 0) return;
   ensure_dim(batch.cols());
@@ -87,6 +112,17 @@ void CountSketch::push_batch(const Matrix& batch) {
     scatter(batch.row(r));
   }
   stats_.rows_processed += static_cast<long>(batch.rows());
+}
+
+void CountSketch::push_batch(linalg::MatrixViewF batch) {
+  if (batch.rows() == 0) return;
+  ensure_dim(batch.cols());
+  // Same hash stream as the fp64 scatter; only the axpy reads floats.
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    scatter(batch.row(r));
+  }
+  stats_.rows_processed += static_cast<long>(batch.rows());
+  note_f32_rows(batch.rows());
 }
 
 void CountSketch::append(std::span<const double> row) {

@@ -41,6 +41,9 @@ class GaussianProjectionSketch : public Sketcher {
  public:
   GaussianProjectionSketch(std::size_t ell, std::uint64_t seed);
   void push_batch(const linalg::Matrix& batch) override;
+  /// fp32 lane: same coefficient draw order, mixed-precision GEMM (float
+  /// panels widened at pack time) — bitwise identical to widening first.
+  void push_batch(linalg::MatrixViewF batch) override;
   void append(std::span<const double> row) override;
   linalg::Matrix sketch() override { return sketch_; }
   [[nodiscard]] std::size_t current_ell() const override { return ell_; }
@@ -69,6 +72,9 @@ class CountSketch : public Sketcher {
  public:
   CountSketch(std::size_t ell, std::uint64_t seed);
   void push_batch(const linalg::Matrix& batch) override;
+  /// fp32 lane: identical hash stream, float-axpy scatter (terms widen
+  /// before the add) — bitwise identical to widening first.
+  void push_batch(linalg::MatrixViewF batch) override;
   void append(std::span<const double> row) override;
   linalg::Matrix sketch() override { return sketch_; }
   [[nodiscard]] std::size_t current_ell() const override { return ell_; }
@@ -79,6 +85,7 @@ class CountSketch : public Sketcher {
  private:
   void ensure_dim(std::size_t d);
   void scatter(std::span<const double> row);
+  void scatter(std::span<const float> row);
 
   std::size_t ell_;
   Rng rng_;

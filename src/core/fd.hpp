@@ -34,8 +34,17 @@ class FrequentDirections {
   /// subsequent rows must match it.
   void append(std::span<const double> row);
 
+  /// fp32 ingest lane: identical control flow, widening the row directly
+  /// into the buffer slot it lands in — no intermediate fp64 copy. All
+  /// downstream arithmetic (shrink SVD) is fp64, so the result is bitwise
+  /// identical to appending the widened row.
+  void append(std::span<const float> row);
+
   /// Appends every row of a matrix.
   void append_batch(const linalg::Matrix& rows);
+
+  /// fp32 batch ingest (row loop over the float append).
+  void append_batch(linalg::MatrixViewF rows);
 
   /// Current sketch: the occupied (non-zero) buffer rows. May hold up to
   /// 2ℓ−1 rows mid-stream in the fast variant; call compress() first for a

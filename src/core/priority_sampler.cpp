@@ -16,7 +16,8 @@ PrioritySampler::PrioritySampler(const PrioritySamplerConfig& config)
   heap_.reserve(config.capacity + 2);
 }
 
-void PrioritySampler::push(std::span<const double> row) {
+template <typename T>
+void PrioritySampler::push_any(std::span<const T> row) {
   if (dim_ == 0) {
     dim_ = row.size();
     ARAMS_CHECK(dim_ > 0, "zero-dimensional rows");
@@ -24,6 +25,12 @@ void PrioritySampler::push(std::span<const double> row) {
     ARAMS_CHECK(row.size() == dim_, "row dimension changed mid-stream");
   }
 
+  // norm2_squared accumulates in double for both element types. The fp32
+  // overload reduces in a faster (multi-accumulator) order, so its weight
+  // may differ from the widened stream's in the last ulp — far below
+  // anything that flips a keep/evict decision against the continuous
+  // priority draw, but enough that rescaled rows are only
+  // equal-to-rounding (not bitwise) across lanes.
   double w = linalg::norm2_squared(row);
   if (config_.weight == SamplingWeight::kRowNorm) {
     w = std::sqrt(w);
@@ -57,7 +64,17 @@ void PrioritySampler::push(std::span<const double> row) {
   std::push_heap(heap_.begin(), heap_.end(), MinPriority{});
 }
 
+void PrioritySampler::push(std::span<const double> row) { push_any(row); }
+
+void PrioritySampler::push(std::span<const float> row) { push_any(row); }
+
 void PrioritySampler::push_batch(const Matrix& rows) {
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    push(rows.row(r));
+  }
+}
+
+void PrioritySampler::push_batch(linalg::MatrixViewF rows) {
   for (std::size_t r = 0; r < rows.rows(); ++r) {
     push(rows.row(r));
   }
@@ -107,6 +124,20 @@ Matrix priority_sample(const Matrix& a, double fraction,
   ARAMS_CHECK(fraction > 0.0 && fraction <= 1.0,
               "sampling fraction must be in (0, 1]");
   if (fraction >= 1.0) return a;
+  PrioritySamplerConfig config = base_config;
+  config.capacity = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(a.rows())));
+  config.capacity = std::max<std::size_t>(config.capacity, 1);
+  PrioritySampler sampler(config);
+  sampler.push_batch(a);
+  return sampler.take();
+}
+
+Matrix priority_sample(linalg::MatrixViewF a, double fraction,
+                       const PrioritySamplerConfig& base_config) {
+  ARAMS_CHECK(fraction > 0.0 && fraction <= 1.0,
+              "sampling fraction must be in (0, 1]");
+  if (fraction >= 1.0) return a.to_matrix();
   PrioritySamplerConfig config = base_config;
   config.capacity = static_cast<std::size_t>(
       std::ceil(fraction * static_cast<double>(a.rows())));

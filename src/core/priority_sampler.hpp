@@ -36,8 +36,17 @@ class PrioritySampler {
   /// Offers one row to the sampler.
   void push(std::span<const double> row);
 
+  /// fp32 ingest lane: same weight arithmetic (the norm accumulates in
+  /// double either way), same RNG stream, same decisions — the retained
+  /// row is widened on entry, so the sample is bitwise identical to
+  /// pushing the widened row.
+  void push(std::span<const float> row);
+
   /// Offers every row of a matrix.
   void push_batch(const linalg::Matrix& rows);
+
+  /// Offers every row of an fp32 view.
+  void push_batch(linalg::MatrixViewF rows);
 
   /// Extracts the sampled (and rescaled) rows, in stream order, and resets
   /// the sampler for the next batch.
@@ -52,6 +61,11 @@ class PrioritySampler {
   [[nodiscard]] double last_threshold() const { return last_threshold_; }
 
  private:
+  /// Shared fp64/fp32 push body; the stored row widens element-wise at
+  /// Entry construction.
+  template <typename T>
+  void push_any(std::span<const T> row);
+
   struct Entry {
     double priority;
     double weight;
@@ -76,6 +90,12 @@ class PrioritySampler {
 /// One-shot convenience: priority-samples the rows of `a` down to
 /// ⌈fraction·n⌉ rows. fraction in (0, 1]; 1 returns `a` unchanged.
 linalg::Matrix priority_sample(const linalg::Matrix& a, double fraction,
+                               const PrioritySamplerConfig& base_config);
+
+/// fp32 one-shot: identical sampling decisions to the fp64 overload on the
+/// widened input; only the survivors are widened (fraction ≥ 1 widens the
+/// whole view).
+linalg::Matrix priority_sample(linalg::MatrixViewF a, double fraction,
                                const PrioritySamplerConfig& base_config);
 
 }  // namespace arams::core

@@ -12,6 +12,7 @@
 #include "linalg/eigen_sym.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -76,6 +77,10 @@ class AramsSketcher final : public Sketcher {
   explicit AramsSketcher(const AramsConfig& config) : arams_(config) {}
 
   void push_batch(const Matrix& batch) override { arams_.push_batch(batch); }
+  void push_batch(linalg::MatrixViewF batch) override {
+    arams_.push_batch(batch);
+    note_f32_rows(batch.rows());
+  }
   Matrix sketch() override { return arams_.sketch(); }
   Matrix basis(std::size_t k) override {
     ARAMS_CHECK(arams_.dim() > 0, kEmptyBasisMessage);
@@ -100,7 +105,15 @@ class FdBackend final : public Sketcher {
       : fd_(FdConfig{.sketch_rows = ell, .fast = true}) {}
 
   void push_batch(const Matrix& batch) override { fd_.append_batch(batch); }
+  void push_batch(linalg::MatrixViewF batch) override {
+    fd_.append_batch(batch);
+    note_f32_rows(batch.rows());
+  }
   void append(std::span<const double> row) override { fd_.append(row); }
+  void append(std::span<const float> row) override {
+    fd_.append(row);
+    note_f32_rows(1);
+  }
   Matrix sketch() override {
     fd_.compress();
     return fd_.sketch();
@@ -126,6 +139,43 @@ void Sketcher::append(std::span<const double> row) {
   Matrix one(1, row.size());
   one.set_row(0, row);
   push_batch(one);
+}
+
+const Matrix& Sketcher::widen_to_scratch(linalg::MatrixViewF batch) {
+  // Resolved once; the per-batch cost is the cast loop plus one histogram
+  // observation.
+  static obs::Histogram& widen_hist =
+      obs::metrics().histogram("ingest.widen_seconds");
+  Stopwatch timer;
+  Matrix& wide =
+      ingest_ws_.mat(linalg::wslot::kIngestWiden, batch.rows(), batch.cols());
+  linalg::widen(batch, wide);
+  const double seconds = timer.seconds();
+  widen_seconds_ += seconds;
+  widen_hist.observe(seconds);
+  note_f32_rows(batch.rows());
+  return wide;
+}
+
+void Sketcher::push_batch(linalg::MatrixViewF batch) {
+  if (batch.rows() == 0) return;
+  push_batch(widen_to_scratch(batch));
+}
+
+void Sketcher::append(std::span<const float> row) {
+  static obs::Histogram& widen_hist =
+      obs::metrics().histogram("ingest.widen_seconds");
+  Stopwatch timer;
+  const std::span<double> wide =
+      ingest_ws_.vec(linalg::wslot::kIngestRow, row.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    wide[i] = static_cast<double>(row[i]);
+  }
+  const double seconds = timer.seconds();
+  widen_seconds_ += seconds;
+  widen_hist.observe(seconds);
+  note_f32_rows(1);
+  append(std::span<const double>(wide.data(), wide.size()));
 }
 
 Matrix Sketcher::basis(std::size_t k) {

@@ -60,6 +60,20 @@ class Sketcher {
   /// with a natural row primitive override it to skip the copy.
   virtual void append(std::span<const double> row);
 
+  /// fp32 ingest lane: accepts an fp32 batch directly. The default widens
+  /// into workspace scratch (grow-only — allocation-free at steady state),
+  /// charges the conversion to the "ingest.widen_seconds" histogram and
+  /// forwards to the fp64 primitive, so *every* backend accepts fp32
+  /// frames; backends with a native mixed-precision path (arams, fd,
+  /// gaussian, countsketch) override to defer or skip the widen. Results
+  /// are bitwise identical to widening the batch up front because all
+  /// native paths accumulate in double.
+  virtual void push_batch(linalg::MatrixViewF batch);
+
+  /// fp32 per-row convenience; default widens into vec scratch and calls
+  /// the fp64 append.
+  virtual void append(std::span<const float> row);
+
   /// Current sketch, ≤ current_ell() rows × dim(). May compress internal
   /// state but must be idempotent: two consecutive calls with no ingest in
   /// between return identical matrices. Empty sketch → empty Matrix.
@@ -82,11 +96,40 @@ class Sketcher {
   [[nodiscard]] virtual SketchStats stats() const = 0;
 
   /// Folds stats() into a StageReport — the structured form every result
-  /// type carries.
-  void report(obs::StageReport& out) const { append_to_report(stats(), out); }
+  /// type carries. When any fp32 rows were ingested the report also gains
+  /// the lane's counters ("rows_ingested_f32", "ingest_widen" seconds), so
+  /// fp64-only runs keep their report shape bit-for-bit.
+  void report(obs::StageReport& out) const {
+    append_to_report(stats(), out);
+    if (rows_f32_ > 0) {
+      out.add_counter("rows_ingested_f32", rows_f32_);
+      out.add_seconds("ingest_widen", widen_seconds_);
+    }
+  }
+
+  /// fp32 rows ingested through the lane (either shim or native override).
+  [[nodiscard]] long rows_ingested_f32() const { return rows_f32_; }
 
   /// Canonical factory name; make_sketcher(name(), …) round-trips.
   [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Widens an fp32 batch into this sketcher's private ingest scratch
+  /// (slot wslot::kIngestWiden), timing the conversion into the
+  /// "ingest.widen_seconds" histogram and crediting the f32 row counter.
+  /// The reference stays valid until the next widen_to_scratch call.
+  const linalg::Matrix& widen_to_scratch(linalg::MatrixViewF batch);
+
+  /// Credits `rows` fp32 rows to the ingest counters — native fp32
+  /// overrides call this instead of going through widen_to_scratch.
+  void note_f32_rows(std::size_t rows) {
+    rows_f32_ += static_cast<long>(rows);
+  }
+
+ private:
+  linalg::Workspace ingest_ws_;  ///< fp32 lane scratch (widen targets)
+  long rows_f32_ = 0;
+  double widen_seconds_ = 0.0;
 };
 
 /// Configuration for any factory-constructed backend. `backend` selects the

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -33,22 +34,18 @@ std::string dict_value(const std::string& header, const std::string& key) {
   return header.substr(vpos, end - vpos);
 }
 
-}  // namespace
-
-void save_npy(const std::string& path, const linalg::Matrix& m) {
-  ARAMS_CHECK(!m.empty(), "refusing to write an empty matrix");
-  std::ofstream f(path, std::ios::binary);
-  ARAMS_CHECK(f.good(), "cannot open for writing: " + path);
-
+/// Writes magic + version + padded dict header for an r×c array of the
+/// given dtype descr ('<f8' or '<f4').
+void write_header(std::ofstream& f, const char* descr, std::size_t rows,
+                  std::size_t cols) {
   std::ostringstream dict;
-  dict << "{'descr': '<f8', 'fortran_order': False, 'shape': (" << m.rows()
-       << ", " << m.cols() << "), }";
+  dict << "{'descr': '" << descr << "', 'fortran_order': False, 'shape': ("
+       << rows << ", " << cols << "), }";
   std::string header = dict.str();
   // Pad with spaces so that magic(6)+version(2)+len(2)+header is a
   // multiple of 64, terminated by '\n'.
   const std::size_t base = 6 + 2 + 2;
-  const std::size_t total =
-      ((base + header.size() + 1 + 63) / 64) * 64;
+  const std::size_t total = ((base + header.size() + 1 + 63) / 64) * 64;
   header.resize(total - base - 1, ' ');
   header += '\n';
 
@@ -59,15 +56,17 @@ void save_npy(const std::string& path, const linalg::Matrix& m) {
   f.put(static_cast<char>(hlen & 0xff));
   f.put(static_cast<char>(hlen >> 8));
   f.write(header.data(), static_cast<std::streamsize>(header.size()));
-  f.write(reinterpret_cast<const char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(double)));
-  ARAMS_CHECK(f.good(), "write failed: " + path);
 }
 
-linalg::Matrix load_npy(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  ARAMS_CHECK(f.good(), "cannot open: " + path);
+/// Parsed .npy prolog: shape plus which of the two supported dtypes the
+/// payload carries. The stream is left positioned at the payload.
+struct NpyProlog {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  bool is_f32 = false;
+};
 
+NpyProlog read_prolog(std::ifstream& f, const std::string& path) {
   char magic[6];
   f.read(magic, 6);
   ARAMS_CHECK(f.good() && std::memcmp(magic, kMagic, 6) == 0,
@@ -85,9 +84,15 @@ linalg::Matrix load_npy(const std::string& path) {
   f.read(header.data(), static_cast<std::streamsize>(hlen));
   ARAMS_CHECK(f.good(), "truncated npy header in " + path);
 
+  NpyProlog out;
   const std::string descr = dict_value(header, "descr");
-  ARAMS_CHECK(descr.find("<f8") != std::string::npos,
-              "npy dtype must be little-endian float64, got " + descr);
+  if (descr.find("<f4") != std::string::npos) {
+    out.is_f32 = true;
+  } else {
+    ARAMS_CHECK(descr.find("<f8") != std::string::npos,
+                "npy dtype must be little-endian float64 or float32, got " +
+                    descr);
+  }
   const std::string order = dict_value(header, "fortran_order");
   ARAMS_CHECK(order.find("False") != std::string::npos,
               "npy must be C-ordered");
@@ -98,18 +103,80 @@ linalg::Matrix load_npy(const std::string& path) {
     if (c == '(' || c == ')' || c == ',') c = ' ';
   }
   std::istringstream ss(shape);
-  std::size_t rows = 0, cols = 0;
-  ss >> rows;
-  if (!(ss >> cols)) {
-    cols = rows;  // 1-D array of length n → 1×n matrix
-    rows = 1;
+  ss >> out.rows;
+  if (!(ss >> out.cols)) {
+    out.cols = out.rows;  // 1-D array of length n → 1×n matrix
+    out.rows = 1;
   }
-  ARAMS_CHECK(rows > 0 && cols > 0, "npy with empty shape: " + path);
+  ARAMS_CHECK(out.rows > 0 && out.cols > 0, "npy with empty shape: " + path);
+  return out;
+}
 
-  linalg::Matrix m(rows, cols);
-  f.read(reinterpret_cast<char*>(m.data()),
-         static_cast<std::streamsize>(rows * cols * sizeof(double)));
-  ARAMS_CHECK(f.good(), "truncated npy payload in " + path);
+}  // namespace
+
+void save_npy(const std::string& path, const linalg::Matrix& m) {
+  ARAMS_CHECK(!m.empty(), "refusing to write an empty matrix");
+  std::ofstream f(path, std::ios::binary);
+  ARAMS_CHECK(f.good(), "cannot open for writing: " + path);
+  write_header(f, "<f8", m.rows(), m.cols());
+  f.write(reinterpret_cast<const char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  ARAMS_CHECK(f.good(), "write failed: " + path);
+}
+
+void save_npy_f32(const std::string& path, const linalg::MatrixF& m) {
+  ARAMS_CHECK(!m.empty(), "refusing to write an empty matrix");
+  std::ofstream f(path, std::ios::binary);
+  ARAMS_CHECK(f.good(), "cannot open for writing: " + path);
+  write_header(f, "<f4", m.rows(), m.cols());
+  f.write(reinterpret_cast<const char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  ARAMS_CHECK(f.good(), "write failed: " + path);
+}
+
+linalg::Matrix load_npy(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  ARAMS_CHECK(f.good(), "cannot open: " + path);
+  const NpyProlog p = read_prolog(f, path);
+
+  linalg::Matrix m(p.rows, p.cols);
+  if (p.is_f32) {
+    std::vector<float> buf(p.rows * p.cols);
+    f.read(reinterpret_cast<char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size() * sizeof(float)));
+    ARAMS_CHECK(f.good(), "truncated npy payload in " + path);
+    double* dst = m.data();
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      dst[i] = static_cast<double>(buf[i]);
+    }
+  } else {
+    f.read(reinterpret_cast<char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(double)));
+    ARAMS_CHECK(f.good(), "truncated npy payload in " + path);
+  }
+  return m;
+}
+
+linalg::MatrixF load_npy_f32(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  ARAMS_CHECK(f.good(), "cannot open: " + path);
+  const NpyProlog p = read_prolog(f, path);
+
+  linalg::MatrixF m(p.rows, p.cols);
+  if (p.is_f32) {
+    f.read(reinterpret_cast<char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+    ARAMS_CHECK(f.good(), "truncated npy payload in " + path);
+  } else {
+    std::vector<double> buf(p.rows * p.cols);
+    f.read(reinterpret_cast<char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size() * sizeof(double)));
+    ARAMS_CHECK(f.good(), "truncated npy payload in " + path);
+    float* dst = m.data();
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      dst[i] = static_cast<float>(buf[i]);
+    }
+  }
   return m;
 }
 

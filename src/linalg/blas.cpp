@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -13,6 +14,13 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   ARAMS_DCHECK(x.size() == y.size(), "axpy size mismatch");
   for (std::size_t i = 0; i < x.size(); ++i) {
     y[i] += alpha * x[i];
+  }
+}
+
+void axpy(double alpha, std::span<const float> x, std::span<double> y) {
+  ARAMS_DCHECK(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * static_cast<double>(x[i]);
   }
 }
 
@@ -29,9 +37,39 @@ double dot(std::span<const double> x, std::span<const double> y) {
   return s;
 }
 
+double dot(std::span<const float> x, std::span<const float> y) {
+  ARAMS_DCHECK(x.size() == y.size(), "dot size mismatch");
+  // fp32 lane: eight independent double accumulators so the reduction is
+  // bandwidth- rather than FMA-latency-bound. The fp64 dot above keeps its
+  // bitwise-frozen serial order; this overload is new with the fp32 lane,
+  // so its (still fully fp64) accumulation may take the fast shape.
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
+  const std::size_t n = x.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    a0 += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    a1 += static_cast<double>(x[i + 1]) * static_cast<double>(y[i + 1]);
+    a2 += static_cast<double>(x[i + 2]) * static_cast<double>(y[i + 2]);
+    a3 += static_cast<double>(x[i + 3]) * static_cast<double>(y[i + 3]);
+    a4 += static_cast<double>(x[i + 4]) * static_cast<double>(y[i + 4]);
+    a5 += static_cast<double>(x[i + 5]) * static_cast<double>(y[i + 5]);
+    a6 += static_cast<double>(x[i + 6]) * static_cast<double>(y[i + 6]);
+    a7 += static_cast<double>(x[i + 7]) * static_cast<double>(y[i + 7]);
+  }
+  for (; i < n; ++i) {
+    a0 += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return ((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7));
+}
+
 double norm2_squared(std::span<const double> x) { return dot(x, x); }
 
+double norm2_squared(std::span<const float> x) { return dot(x, x); }
+
 double norm2(std::span<const double> x) { return std::sqrt(norm2_squared(x)); }
+
+double norm2(std::span<const float> x) { return std::sqrt(norm2_squared(x)); }
 
 namespace {
 
@@ -71,33 +109,56 @@ parallel::ThreadPool* maybe_pool(double flops) {
 }
 
 /// Packs Bop[pc..pc+kb) × [jc..jc+jb) into dst, kb rows of jb contiguous
-/// doubles. Bop(p, j) = b[p·brs + j·bcs].
-void pack_b_panel(const double* b, std::size_t brs, std::size_t bcs,
+/// doubles. Bop(p, j) = b[p·brs + j·bcs]. Templated on the source element
+/// type: fp32 operands are widened here, element by element as the panel
+/// streams through, so the micro-kernel sees the identical fp64 panel a
+/// pre-widened operand would produce (and the fp64 instantiation keeps the
+/// historical std::copy fast path — bit-for-bit the old code).
+template <typename T>
+void pack_b_panel(const T* b, std::size_t brs, std::size_t bcs,
                   std::size_t pc, std::size_t jc, std::size_t kb,
                   std::size_t jb, double* dst) {
   for (std::size_t p = 0; p < kb; ++p) {
-    const double* src = b + (pc + p) * brs + jc * bcs;
+    const T* src = b + (pc + p) * brs + jc * bcs;
     double* out = dst + p * jb;
     if (bcs == 1) {
-      std::copy(src, src + jb, out);
+      if constexpr (std::is_same_v<T, double>) {
+        std::copy(src, src + jb, out);
+      } else {
+        for (std::size_t j = 0; j < jb; ++j) {
+          out[j] = static_cast<double>(src[j]);
+        }
+      }
     } else {
-      for (std::size_t j = 0; j < jb; ++j) out[j] = src[j * bcs];
+      for (std::size_t j = 0; j < jb; ++j) {
+        out[j] = static_cast<double>(src[j * bcs]);
+      }
     }
   }
 }
 
 /// Packs rows [i, i+mr) × cols [pc, pc+kb) of Aop into dst, mr rows of kb
-/// contiguous doubles. Aop(i, p) = a[i·ars + p·acs].
-void pack_a_panel(const double* a, std::size_t ars, std::size_t acs,
+/// contiguous doubles. Aop(i, p) = a[i·ars + p·acs]. Same widening story
+/// as pack_b_panel.
+template <typename T>
+void pack_a_panel(const T* a, std::size_t ars, std::size_t acs,
                   std::size_t i, std::size_t pc, std::size_t mr,
                   std::size_t kb, double* dst) {
   for (std::size_t r = 0; r < mr; ++r) {
-    const double* src = a + (i + r) * ars + pc * acs;
+    const T* src = a + (i + r) * ars + pc * acs;
     double* out = dst + r * kb;
     if (acs == 1) {
-      std::copy(src, src + kb, out);
+      if constexpr (std::is_same_v<T, double>) {
+        std::copy(src, src + kb, out);
+      } else {
+        for (std::size_t p = 0; p < kb; ++p) {
+          out[p] = static_cast<double>(src[p]);
+        }
+      }
     } else {
-      for (std::size_t p = 0; p < kb; ++p) out[p] = src[p * acs];
+      for (std::size_t p = 0; p < kb; ++p) {
+        out[p] = static_cast<double>(src[p * acs]);
+      }
     }
   }
 }
@@ -222,10 +283,13 @@ void micro_kernel(const double* am, std::size_t kb, const double* bp,
 /// Bop(p,j) = b[p·brs + j·bcs] (k×n). One strided entry point serves NN,
 /// TN and NT products — only the stride pairs differ. Row bands are
 /// disjoint and keep the identical (jc, pc, p, j) accumulation order, so
-/// sequential and parallel runs produce bit-identical results.
+/// sequential and parallel runs produce bit-identical results. Operand
+/// element types are template parameters: fp32 operands widen at packing
+/// time, the micro-kernel and accumulation order never change.
+template <typename TA, typename TB>
 void gemm_strided(std::size_t m, std::size_t n, std::size_t k,
-                  const double* a, std::size_t ars, std::size_t acs,
-                  const double* b, std::size_t brs, std::size_t bcs,
+                  const TA* a, std::size_t ars, std::size_t acs,
+                  const TB* b, std::size_t brs, std::size_t bcs,
                   Matrix& out) {
   out.reshape(m, n);
   if (m == 0 || n == 0 || k == 0) {
@@ -353,6 +417,18 @@ Matrix matmul(MatrixView a, MatrixView b) {
   return out;
 }
 
+void matmul(MatrixViewF a, MatrixViewF b, Matrix& out) {
+  ARAMS_CHECK(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  gemm_strided(a.rows(), b.cols(), a.cols(), a.data(), a.cols(),
+               std::size_t{1}, b.data(), b.cols(), std::size_t{1}, out);
+}
+
+Matrix matmul(MatrixViewF a, MatrixViewF b) {
+  Matrix out;
+  matmul(a, b, out);
+  return out;
+}
+
 void matmul_tn(MatrixView a, MatrixView b, Matrix& out) {
   ARAMS_CHECK(a.rows() == b.rows(), "matmul_tn dimension mismatch");
   // Aop = Aᵀ: Aop(i,p) = a(p,i) → row stride 1, column stride a.cols().
@@ -361,6 +437,30 @@ void matmul_tn(MatrixView a, MatrixView b, Matrix& out) {
 }
 
 Matrix matmul_tn(MatrixView a, MatrixView b) {
+  Matrix out;
+  matmul_tn(a, b, out);
+  return out;
+}
+
+void matmul_tn(MatrixViewF a, MatrixViewF b, Matrix& out) {
+  ARAMS_CHECK(a.rows() == b.rows(), "matmul_tn dimension mismatch");
+  gemm_strided(a.cols(), b.cols(), a.rows(), a.data(), std::size_t{1},
+               a.cols(), b.data(), b.cols(), std::size_t{1}, out);
+}
+
+Matrix matmul_tn(MatrixViewF a, MatrixViewF b) {
+  Matrix out;
+  matmul_tn(a, b, out);
+  return out;
+}
+
+void matmul_tn(MatrixView a, MatrixViewF b, Matrix& out) {
+  ARAMS_CHECK(a.rows() == b.rows(), "matmul_tn dimension mismatch");
+  gemm_strided(a.cols(), b.cols(), a.rows(), a.data(), std::size_t{1},
+               a.cols(), b.data(), b.cols(), std::size_t{1}, out);
+}
+
+Matrix matmul_tn(MatrixView a, MatrixViewF b) {
   Matrix out;
   matmul_tn(a, b, out);
   return out;

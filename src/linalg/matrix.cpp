@@ -101,4 +101,85 @@ Matrix MatrixView::to_matrix() const {
   return out;
 }
 
+MatrixF::MatrixF(std::initializer_list<std::initializer_list<float>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    ARAMS_CHECK(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+void MatrixF::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void MatrixF::zero_row(std::size_t r) {
+  ARAMS_DCHECK(r < rows_, "row index out of range");
+  std::fill_n(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_), cols_,
+              0.0F);
+}
+
+void MatrixF::set_row(std::size_t r, std::span<const float> src) {
+  ARAMS_CHECK(src.size() == cols_, "row length mismatch");
+  std::copy(src.begin(), src.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+void MatrixF::reshape(std::size_t rows, std::size_t cols) {
+  data_.resize(rows * cols);
+  rows_ = rows;
+  cols_ = cols;
+}
+
+MatrixF MatrixF::slice_rows(std::size_t r0, std::size_t r1) const {
+  ARAMS_CHECK(r0 <= r1 && r1 <= rows_, "bad row slice");
+  MatrixF out(r1 - r0, cols_);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(r0 * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>(r1 * cols_),
+            out.data_.begin());
+  return out;
+}
+
+Matrix MatrixF::to_matrix() const {
+  Matrix out;
+  widen(MatrixViewF(*this), out);
+  return out;
+}
+
+MatrixF MatrixF::from_matrix(const Matrix& m) {
+  MatrixF out(m.rows(), m.cols());
+  const double* src = m.data();
+  float* dst = out.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    dst[i] = static_cast<float>(src[i]);
+  }
+  return out;
+}
+
+float MatrixF::max_abs_diff(const MatrixF& a, const MatrixF& b) {
+  ARAMS_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "shape mismatch in max_abs_diff");
+  float m = 0.0F;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+Matrix MatrixViewF::to_matrix() const {
+  Matrix out;
+  widen(*this, out);
+  return out;
+}
+
+void widen(MatrixViewF src, Matrix& dst) {
+  dst.reshape(src.rows(), src.cols());
+  const float* in = src.data();
+  double* out = dst.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(in[i]);
+  }
+}
+
 }  // namespace arams::linalg

@@ -33,6 +33,19 @@ std::span<std::size_t> Workspace::idx(std::size_t slot, std::size_t n) {
 
 std::size_t Workspace::bytes() const {
   std::size_t total = 0;
+  for (const auto& m : mats_) total += m.bytes();
+  for (const auto& v : vecs_) total += v.size() * sizeof(double);
+  for (const auto& v : idxs_) total += v.size() * sizeof(std::size_t);
+  total += eig_.vectors.bytes();
+  total += eig_.values.size() * sizeof(double);
+  total += rsvd_.u.bytes();
+  total += rsvd_.w.bytes();
+  total += rsvd_.sigma.size() * sizeof(double);
+  return total;
+}
+
+std::size_t Workspace::capacity_bytes() const {
+  std::size_t total = 0;
   for (const auto& m : mats_) total += m.capacity_bytes();
   for (const auto& v : vecs_) total += v.capacity() * sizeof(double);
   for (const auto& v : idxs_) total += v.capacity() * sizeof(std::size_t);
@@ -46,7 +59,7 @@ std::size_t Workspace::bytes() const {
 
 void Workspace::publish_bytes() const {
   static obs::Gauge& gauge = obs::metrics().gauge("linalg.workspace_bytes");
-  gauge.set(static_cast<double>(bytes()));
+  gauge.set(static_cast<double>(capacity_bytes()));
 }
 
 }  // namespace arams::linalg

@@ -74,6 +74,11 @@ inline constexpr std::size_t kAnnProj = 14;    ///< rp-tree projection column
 inline constexpr std::size_t kAnnQNorms = 8;   ///< vec slot: query ‖·‖²
 inline constexpr std::size_t kAnnDists = 9;    ///< vec slot: candidate d²
 inline constexpr std::size_t kAnnOrder = 1;    ///< idx slot: candidate indices
+// fp32 ingest lane (core/sketcher.cpp widening shim and native fp32
+// push_batch overrides). Widening an fp32 batch happens while sketch
+// scratch above may be live, so the lane claims fresh ids.
+inline constexpr std::size_t kIngestWiden = 15;  ///< widened fp32 batch
+inline constexpr std::size_t kIngestRow = 10;    ///< vec slot: widened row
 }  // namespace wslot
 
 class Workspace {
@@ -105,12 +110,20 @@ class Workspace {
   /// u/w factors are recycled alongside the rest of the arena.
   RowSpaceSvd& rsvd() { return rsvd_; }
 
-  /// Total heap bytes currently reserved across every buffer (grow-only).
+  /// Total bytes of the *live* payloads across every buffer — the honest
+  /// logical footprint (what the current shapes actually occupy).
   [[nodiscard]] std::size_t bytes() const;
 
-  /// Re-publishes bytes() to the "linalg.workspace_bytes" gauge. The
-  /// workspace-accepting SVD entry points call this after the eig output
-  /// (whose growth the arena cannot observe directly) may have grown.
+  /// Total heap bytes currently reserved across every buffer (grow-only
+  /// high-water mark; >= bytes()). This is what the
+  /// "linalg.workspace_bytes" gauge publishes — stability of the reserved
+  /// total is the allocation-free-steady-state signal.
+  [[nodiscard]] std::size_t capacity_bytes() const;
+
+  /// Re-publishes capacity_bytes() to the "linalg.workspace_bytes" gauge.
+  /// The workspace-accepting SVD entry points call this after the eig
+  /// output (whose growth the arena cannot observe directly) may have
+  /// grown.
   void publish() const { publish_bytes(); }
 
  private:

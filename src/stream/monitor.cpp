@@ -79,7 +79,16 @@ StreamingMonitor::StreamingMonitor(const MonitorConfig& config)
   ARAMS_CHECK(config.reservoir_size >= 2, "reservoir too small");
   ARAMS_CHECK(config.health_check_every >= 1,
               "health_check_every must be >= 1");
-  batch_rows_.reserve(config.batch_size);
+  const bool f32 = config.pipeline.ingest_precision ==
+                   PipelineConfig::IngestPrecision::kF32;
+  if (f32) {
+    batch_rows_f32_.reserve(config.batch_size);
+  } else {
+    batch_rows_.reserve(config.batch_size);
+  }
+  static obs::Gauge& precision_gauge =
+      obs::metrics().gauge("ingest.precision");
+  precision_gauge.set(f32 ? 32.0 : 64.0);
 
   // Every watchdog transition lands in the flight journal (new state in
   // `detail`, old state in `value`), and a transition *into* CRITICAL
@@ -137,27 +146,54 @@ bool StreamingMonitor::ingest(const ShotEvent& event) {
     return false;
   }
 
-  const image::ImageF processed =
-      image::preprocess(event.frame, config_.pipeline.preprocess);
-  if (dim_ == 0) {
-    dim_ = processed.pixel_count();
+  std::vector<double> row;
+  if (config_.pipeline.ingest_precision ==
+      PipelineConfig::IngestPrecision::kF32) {
+    // fp32 lane: narrow once (the NaN scan above already ran on the raw
+    // fp64 frame), preprocess at fp32, and queue the float row for the
+    // sketcher. The fp64 `row` below is the reservoir/error-tracker copy —
+    // those feed the fp64 snapshot tail.
+    const image::ImageF32 processed = image::preprocess(
+        image::narrow(event.frame), config_.pipeline.preprocess);
+    if (dim_ == 0) {
+      dim_ = processed.pixel_count();
+    }
+    ARAMS_CHECK(processed.pixel_count() == dim_,
+                "frame shape changed mid-stream");
+    std::vector<float> row32(dim_);
+    processed.to_row(std::span<float>(row32));
+    row.resize(dim_);
+    for (std::size_t i = 0; i < dim_; ++i) {
+      row[i] = static_cast<double>(row32[i]);
+    }
+    batch_rows_f32_.push_back(std::move(row32));
+  } else {
+    const image::ImageF processed =
+        image::preprocess(event.frame, config_.pipeline.preprocess);
+    if (dim_ == 0) {
+      dim_ = processed.pixel_count();
+    }
+    ARAMS_CHECK(processed.pixel_count() == dim_,
+                "frame shape changed mid-stream");
+    row.resize(dim_);
+    processed.to_row(row);
   }
-  ARAMS_CHECK(processed.pixel_count() == dim_,
-              "frame shape changed mid-stream");
-  std::vector<double> row(dim_);
-  processed.to_row(row);
 
   obs::flight_recorder().record(obs::FlightCode::kFrameIngested,
                                 event.shot_id);
   error_tracker_.observe(row);
-  reservoir_.emplace_back(event.shot_id, row);
+  reservoir_.emplace_back(event.shot_id, std::move(row));
   if (reservoir_.size() > config_.reservoir_size) {
     reservoir_.pop_front();
   }
-  batch_rows_.push_back(std::move(row));
+  if (config_.pipeline.ingest_precision !=
+      PipelineConfig::IngestPrecision::kF32) {
+    batch_rows_.push_back(reservoir_.back().second);
+  }
 
   bool updated = false;
-  if (batch_rows_.size() >= config_.batch_size) {
+  if (std::max(batch_rows_.size(), batch_rows_f32_.size()) >=
+      config_.batch_size) {
     update_sketch();
     updated = true;
   }
@@ -168,7 +204,7 @@ bool StreamingMonitor::ingest(const ShotEvent& event) {
 }
 
 void StreamingMonitor::flush() {
-  if (!batch_rows_.empty()) {
+  if (!batch_rows_.empty() || !batch_rows_f32_.empty()) {
     Stopwatch timer;
     update_sketch();
     meter_.record(0, timer.seconds());
@@ -178,12 +214,26 @@ void StreamingMonitor::flush() {
 void StreamingMonitor::update_sketch() {
   const obs::ScopedSpan span("monitor.update_sketch");
   Stopwatch timer;
-  Matrix batch(batch_rows_.size(), dim_);
-  for (std::size_t i = 0; i < batch_rows_.size(); ++i) {
-    batch.set_row(i, batch_rows_[i]);
+  std::size_t batch_count = 0;
+  if (!batch_rows_f32_.empty()) {
+    // fp32 lane: the batch reaches the sketcher as float rows; widening
+    // (if the backend needs it) happens inside the Sketcher seam.
+    linalg::MatrixF batch(batch_rows_f32_.size(), dim_);
+    for (std::size_t i = 0; i < batch_rows_f32_.size(); ++i) {
+      batch.set_row(i, batch_rows_f32_[i]);
+    }
+    batch_count = batch.rows();
+    batch_rows_f32_.clear();
+    sketcher_->push_batch(linalg::MatrixViewF(batch));
+  } else {
+    Matrix batch(batch_rows_.size(), dim_);
+    for (std::size_t i = 0; i < batch_rows_.size(); ++i) {
+      batch.set_row(i, batch_rows_[i]);
+    }
+    batch_count = batch.rows();
+    batch_rows_.clear();
+    sketcher_->push_batch(batch);
   }
-  batch_rows_.clear();
-  sketcher_->push_batch(batch);
   ++batches_;
   const double seconds = timer.seconds();
   static obs::Histogram& batch_latency =
@@ -195,7 +245,7 @@ void StreamingMonitor::update_sketch() {
 
   obs::flight_recorder().record(obs::FlightCode::kBatchSketched,
                                 static_cast<std::uint64_t>(batches_),
-                                static_cast<std::uint32_t>(batch.rows()),
+                                static_cast<std::uint32_t>(batch_count),
                                 seconds);
   const std::size_t ell = sketcher_->current_ell();
   if (ell != last_ell_) {

@@ -167,6 +167,10 @@ class StreamingMonitor {
   bool queue_saturated_ = false;   ///< edge trigger for saturation events
   double queue_saturation_ = std::numeric_limits<double>::quiet_NaN();
   std::vector<std::vector<double>> batch_rows_;
+  /// fp32 ingest lane's pending batch (used instead of batch_rows_ when
+  /// pipeline.ingest_precision is kF32). The reservoir and error tracker
+  /// stay fp64 either way — they feed the fp64 snapshot tail.
+  std::vector<std::vector<float>> batch_rows_f32_;
   std::deque<std::pair<std::uint64_t, std::vector<double>>> reservoir_;
   std::size_t dim_ = 0;
   /// Scratch for the whole snapshot path — the PCA rebuild (Gram,

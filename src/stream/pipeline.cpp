@@ -41,6 +41,13 @@ void record_stage(obs::FlightStage stage, double seconds) {
                                 static_cast<std::uint32_t>(stage), seconds);
 }
 
+/// Publishes which ingest lane this run used (32 or 64) so dashboards can
+/// correlate throughput shifts with the precision switch.
+void publish_ingest_precision(int bits) {
+  static obs::Gauge& gauge = obs::metrics().gauge("ingest.precision");
+  gauge.set(static_cast<double>(bits));
+}
+
 }  // namespace
 
 std::vector<std::string> PipelineConfig::validate() const {
@@ -109,6 +116,11 @@ PipelineResult MonitoringPipeline::analyze(
   return analyze_frames(frames, {});
 }
 
+PipelineResult MonitoringPipeline::analyze(
+    const std::vector<image::ImageF32>& frames) const {
+  return analyze_frames_f32(frames, {});
+}
+
 PipelineResult MonitoringPipeline::analyze_events(
     const std::vector<ShotEvent>& events) const {
   std::vector<image::ImageF> frames;
@@ -127,10 +139,26 @@ PipelineResult MonitoringPipeline::analyze_matrix(const Matrix& rows) const {
   return run_stages(rows, {});
 }
 
+PipelineResult MonitoringPipeline::analyze_matrix(
+    linalg::MatrixViewF rows) const {
+  const obs::ScopedSpan span("pipeline.analyze");
+  return run_stages_f32(rows, {});
+}
+
 PipelineResult MonitoringPipeline::analyze_frames(
     const std::vector<image::ImageF>& frames,
     std::vector<std::uint64_t> shot_ids) const {
   ARAMS_CHECK(!frames.empty(), "no frames to analyze");
+  if (config_.ingest_precision == PipelineConfig::IngestPrecision::kF32) {
+    // Narrow at the door: one cast pass over the raw pixels, then every
+    // downstream ingest step moves half the bytes.
+    std::vector<image::ImageF32> narrowed;
+    narrowed.reserve(frames.size());
+    for (const auto& frame : frames) {
+      narrowed.push_back(image::narrow(frame));
+    }
+    return analyze_frames_f32(narrowed, std::move(shot_ids));
+  }
   const obs::ScopedSpan span("pipeline.analyze");
   Stopwatch timer;
   Matrix rows;
@@ -149,6 +177,29 @@ PipelineResult MonitoringPipeline::analyze_frames(
   return result;
 }
 
+PipelineResult MonitoringPipeline::analyze_frames_f32(
+    const std::vector<image::ImageF32>& frames,
+    std::vector<std::uint64_t> shot_ids) const {
+  ARAMS_CHECK(!frames.empty(), "no frames to analyze");
+  const obs::ScopedSpan span("pipeline.analyze");
+  Stopwatch timer;
+  linalg::MatrixF rows;
+  {
+    // --- stage 1: per-frame preprocessing, fp32 kernels (reductions in
+    // double, NaN guards identical to the fp64 lane) ---
+    const obs::ScopedSpan stage_span("pipeline.preprocess");
+    const std::vector<image::ImageF32> processed =
+        image::preprocess_batch(frames, config_.preprocess);
+    rows = image::images_to_matrix(processed);
+  }
+  const double pre = timer.seconds();
+  stage_window("pipeline.preprocess_seconds_window").record(pre);
+  record_stage(obs::FlightStage::kPreprocess, pre);
+  PipelineResult result = run_stages_f32(rows, std::move(shot_ids));
+  result.report.set_seconds("preprocess", pre);
+  return result;
+}
+
 PipelineResult MonitoringPipeline::run_stages(
     const Matrix& rows, std::vector<std::uint64_t> shot_ids) const {
   ARAMS_CHECK(rows.rows() >= 2, "need at least two rows");
@@ -156,6 +207,7 @@ PipelineResult MonitoringPipeline::run_stages(
               "shot id count does not match row count");
   PipelineResult result;
   result.shot_ids = std::move(shot_ids);
+  publish_ingest_precision(64);
   Stopwatch timer;
 
   // --- stage 2: sharded ARAMS sketch, tree-merged; or any other
@@ -218,6 +270,54 @@ PipelineResult MonitoringPipeline::run_stages(
     record_stage(obs::FlightStage::kSketch, sketch_seconds);
   }
 
+  run_tail_stages(rows, result, timer);
+  return result;
+}
+
+PipelineResult MonitoringPipeline::run_stages_f32(
+    linalg::MatrixViewF rows, std::vector<std::uint64_t> shot_ids) const {
+  ARAMS_CHECK(rows.rows() >= 2, "need at least two rows");
+  ARAMS_CHECK(shot_ids.empty() || shot_ids.size() == rows.rows(),
+              "shot id count does not match row count");
+  PipelineResult result;
+  result.shot_ids = std::move(shot_ids);
+  publish_ingest_precision(32);
+  Stopwatch timer;
+
+  // --- stage 2: one streaming sketcher over the float rows. Every
+  // backend accepts them through the Sketcher fp32 seam (arams, fd,
+  // gaussian and countsketch natively; the rest via the widening shim).
+  // The fp64 lane's sharded tree-merge is not replicated here — the whole
+  // point of this lane is to keep the frames narrow until the sketch core.
+  {
+    const obs::ScopedSpan stage_span("pipeline.sketch");
+    const std::unique_ptr<core::Sketcher> sketcher =
+        core::make_sketcher(config_.sketcher_config());
+    sketcher->push_batch(rows);
+    result.sketch = sketcher->sketch();
+    result.final_ell = sketcher->current_ell();
+    sketcher->report(result.report);
+  }
+  {
+    const double sketch_seconds = timer.lap();
+    stage_window("pipeline.sketch_seconds_window").record(sketch_seconds);
+    result.report.set_seconds("sketch", sketch_seconds);
+    record_stage(obs::FlightStage::kSketch, sketch_seconds);
+  }
+
+  // The analysis tail (PCA projection of the raw rows, UMAP, clustering)
+  // is fp64; widen the rows exactly once, charging it to the report so
+  // the lane's conversion cost stays visible.
+  Matrix wide;
+  linalg::widen(rows, wide);
+  result.report.add_seconds("ingest_widen", timer.lap());
+  run_tail_stages(wide, result, timer);
+  return result;
+}
+
+void MonitoringPipeline::run_tail_stages(const Matrix& rows,
+                                         PipelineResult& result,
+                                         Stopwatch& timer) const {
   // --- stage 3: PCA latent projection of the *original* rows ---
   {
     const obs::ScopedSpan stage_span("pipeline.project");
@@ -290,7 +390,6 @@ PipelineResult MonitoringPipeline::run_stages(
     result.report.set_seconds("cluster", cluster_seconds);
     record_stage(obs::FlightStage::kCluster, cluster_seconds);
   }
-  return result;
 }
 
 }  // namespace arams::stream

@@ -22,6 +22,7 @@
 #include "image/preprocess.hpp"
 #include "obs/stage_report.hpp"
 #include "stream/event.hpp"
+#include "util/stopwatch.hpp"
 
 namespace arams::stream {
 
@@ -34,6 +35,16 @@ struct PipelineConfig {
   /// "gaussian", "countsketch", "normsample", "rangefinder") runs a single
   /// streaming instance over all rows, taking ell/seed from `sketch`.
   std::string sketcher = "arams";
+  /// Ingest lane precision. kF64 (default) is the bitwise-unchanged
+  /// classic path. kF32 narrows frames at the door, preprocesses at fp32,
+  /// and feeds the sketcher through its fp32 entry point (native
+  /// mixed-precision for arams/fd/gaussian/countsketch, widening shim for
+  /// the rest) — halving ingest memory traffic while every accumulation
+  /// stays fp64. The fp32 lane runs a single streaming sketcher instance
+  /// (`num_cores` is ignored; the sharded tree-merge is an fp64-batch
+  /// construct).
+  enum class IngestPrecision { kF64, kF32 };
+  IngestPrecision ingest_precision = IngestPrecision::kF64;
   std::size_t num_cores = 4;         ///< virtual cores for sketching
   bool use_threads = false;          ///< run shard sketches on a pool
   std::size_t pca_components = 15;   ///< latent dimension fed to UMAP
@@ -111,27 +122,55 @@ class MonitoringPipeline {
  public:
   explicit MonitoringPipeline(const PipelineConfig& config);
 
-  /// Full pipeline over raw detector frames.
+  /// Full pipeline over raw detector frames. With
+  /// IngestPrecision::kF32 the frames are narrowed at the door and the
+  /// fp32 lane runs end-to-end.
   PipelineResult analyze(const std::vector<image::ImageF>& frames) const;
+
+  /// Full pipeline over fp32 detector frames — the mixed-precision ingest
+  /// lane, regardless of `ingest_precision` (the frames are already fp32;
+  /// widening them first would only add traffic).
+  PipelineResult analyze(const std::vector<image::ImageF32>& frames) const;
 
   /// Full pipeline over shot events (uses their frames; result rows carry
   /// the events' shot ids).
   PipelineResult analyze_events(const std::vector<ShotEvent>& events) const;
 
-  /// Pipeline over already-flattened rows (skips stage 1).
+  /// Pipeline over already-flattened rows (skips stage 1). Always the
+  /// fp64 lane: the rows are fp64 already.
   PipelineResult analyze_matrix(const linalg::Matrix& rows) const;
+
+  /// Pipeline over already-flattened fp32 rows (skips stage 1); the
+  /// sketch stage consumes the float rows directly, the tail stages see
+  /// them widened once.
+  PipelineResult analyze_matrix(linalg::MatrixViewF rows) const;
 
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
 
  private:
-  /// The single internal entry point: stages 2–5 over pre-flattened rows,
-  /// tagging the result with the optional shot ids.
+  /// The fp64 entry point: stages 2–5 over pre-flattened rows, tagging the
+  /// result with the optional shot ids.
   PipelineResult run_stages(const linalg::Matrix& rows,
                             std::vector<std::uint64_t> shot_ids) const;
+
+  /// The fp32 lane twin: stage 2 consumes the float rows through
+  /// Sketcher's fp32 seam, then the rows are widened once for the shared
+  /// fp64 tail (PCA reads the raw rows).
+  PipelineResult run_stages_f32(linalg::MatrixViewF rows,
+                                std::vector<std::uint64_t> shot_ids) const;
+
+  /// Stages 3–5 (project / embed / cluster), shared by both lanes.
+  void run_tail_stages(const linalg::Matrix& rows, PipelineResult& result,
+                       Stopwatch& timer) const;
 
   /// Stage 1 + run_stages — shared by the two frame-based adapters.
   PipelineResult analyze_frames(const std::vector<image::ImageF>& frames,
                                 std::vector<std::uint64_t> shot_ids) const;
+
+  /// fp32 stage 1 + run_stages_f32.
+  PipelineResult analyze_frames_f32(
+      const std::vector<image::ImageF32>& frames,
+      std::vector<std::uint64_t> shot_ids) const;
 
   PipelineConfig config_;
 };

@@ -64,6 +64,21 @@ done
   --sketcher=rangefinder --center=false --csv="$DIR/rf.csv"
 grep -q "shot,x,y,label" "$DIR/rf.csv"
 
+# the mixed-precision ingest lane: sketch/pipeline/monitor all accept
+# --ingest-precision=fp32, and the fp32 sketch stays close to the fp64 one
+"$BIN" sketch --in="$DIR/beam.frames" --ell=16 --ingest-precision=fp32 \
+  --out="$DIR/sketch32.npy" | grep -q "fp32 lane, 80 fp32 rows"
+"$BIN" compare --data="$DIR/beam.frames" --sketch="$DIR/sketch32.npy" \
+  | grep -q "covariance error"
+"$BIN" pipeline --in="$DIR/diff.frames" --clusterer=kmeans --k=3 --ell=8 \
+  --ingest-precision=fp32 --center=false --csv="$DIR/k32.csv"
+grep -q "shot,x,y,label" "$DIR/k32.csv"
+test "$(wc -l < "$DIR/k32.csv")" -eq 81
+"$BIN" monitor --in="$DIR/beam.frames" --batch=16 --ell=8 --queue=32 \
+  --fps=20000 --ingest-precision=fp32 | grep -q "monitored 80 shots"
+if "$BIN" sketch --in="$DIR/beam.frames" --ingest-precision=fp16 \
+  2>/dev/null; then exit 1; fi
+
 # sketch with each residual estimator
 for est in gaussian hutchinson hutchpp; do
   "$BIN" sketch --in="$DIR/beam.frames" --ell=12 --estimator="$est" \

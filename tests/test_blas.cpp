@@ -308,5 +308,79 @@ TEST(Blas, MatmulAssociativityProperty) {
   EXPECT_LT(Matrix::max_abs_diff(left, right), 1e-10);
 }
 
+// ------------------------------------------ mixed-precision (fp32) lane
+
+MatrixF narrow_matrix(const Matrix& m) { return MatrixF::from_matrix(m); }
+
+TEST(BlasMixed, F32DotAndNormsTrackF64) {
+  // The fp32 overloads accumulate in double but in a multi-accumulator
+  // order, so against the widened-serial reference they agree to rounding,
+  // not bitwise.
+  Rng rng(41);
+  const Matrix wide = random_matrix(2, 501, rng);  // odd length: tail path
+  const MatrixF narrow = narrow_matrix(wide);
+  const Matrix widened = narrow.to_matrix();
+  EXPECT_NEAR(dot(narrow.row(0), narrow.row(1)),
+              dot(widened.row(0), widened.row(1)), 1e-10);
+  EXPECT_NEAR(norm2_squared(narrow.row(0)), norm2_squared(widened.row(0)),
+              1e-10);
+  EXPECT_NEAR(norm2(narrow.row(0)), norm2(widened.row(0)), 1e-12);
+}
+
+TEST(BlasMixed, AxpyWidensExactly) {
+  const std::vector<float> x{1.5F, -2.25F, 0.5F};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.5);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+}
+
+// The lane's core guarantee: every mixed/fp32 GEMM widens its fp32 panels
+// at pack time into the fp64 micro-kernel, so the result is bitwise
+// identical to widening the operands up front and running the all-fp64
+// kernel. Sizes straddle the blocked-kernel and tail paths.
+class BlasMixedGemm : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlasMixedGemm, MixedTnMatchesWidenedBitwise) {
+  const std::size_t n = GetParam();
+  Rng rng(43);
+  const MatrixF a = narrow_matrix(random_matrix(n + 3, n, rng));
+  const MatrixF b = narrow_matrix(random_matrix(n + 3, n + 1, rng));
+  const Matrix a64 = a.to_matrix();
+  const Matrix b64 = b.to_matrix();
+
+  // Aᵀ(fp64)·B(fp32)
+  const Matrix mixed = matmul_tn(MatrixView(a64), MatrixViewF(b));
+  const Matrix reference = matmul_tn(a64, b64);
+  ASSERT_EQ(mixed.rows(), reference.rows());
+  EXPECT_EQ(Matrix::max_abs_diff(mixed, reference), 0.0) << "n=" << n;
+
+  // Aᵀ(fp32)·B(fp32)
+  const Matrix both = matmul_tn(MatrixViewF(a), MatrixViewF(b));
+  EXPECT_EQ(Matrix::max_abs_diff(both, reference), 0.0) << "n=" << n;
+
+  // A(fp32)·B(fp32) via the plain product
+  const MatrixF bt = narrow_matrix(random_matrix(n, n + 1, rng));
+  const Matrix prod = matmul(MatrixViewF(a), MatrixViewF(bt));
+  EXPECT_EQ(Matrix::max_abs_diff(prod, matmul(a64, bt.to_matrix())), 0.0)
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeSweep, BlasMixedGemm,
+                         ::testing::Values(3, 17, 64, 129));
+
+TEST(BlasMixed, OutParameterReusesStorage) {
+  Rng rng(44);
+  const MatrixF a = narrow_matrix(random_matrix(20, 12, rng));
+  const MatrixF b = narrow_matrix(random_matrix(20, 9, rng));
+  Matrix out(40, 40);  // oversized: the kernel must grow-only reshape
+  matmul_tn(MatrixViewF(a), MatrixViewF(b), out);
+  EXPECT_EQ(out.rows(), 12u);
+  EXPECT_EQ(out.cols(), 9u);
+  EXPECT_EQ(Matrix::max_abs_diff(out, matmul_tn(a.to_matrix(), b.to_matrix())),
+            0.0);
+}
+
 }  // namespace
 }  // namespace arams::linalg

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "image/image.hpp"
 #include "util/check.hpp"
@@ -76,7 +78,7 @@ TEST(Image, BatchShapeMismatchThrows) {
 }
 
 TEST(Image, EmptyBatchThrows) {
-  EXPECT_THROW(images_to_matrix({}), CheckError);
+  EXPECT_THROW(images_to_matrix(std::vector<ImageF>{}), CheckError);
 }
 
 TEST(Image, SavePgmWritesHeaderAndPayload) {
@@ -95,6 +97,68 @@ TEST(Image, SavePgmWritesHeaderAndPayload) {
   EXPECT_EQ(h, 2);
   EXPECT_EQ(maxval, 255);
   std::remove(path.c_str());
+}
+
+// ----------------------------------------------- ImageF32 (fp32 ingest)
+
+TEST(ImageF32, NarrowWidenRoundTrip) {
+  ImageF img(2, 3);
+  img.at(0, 0) = 1.25;   // exact in fp32
+  img.at(1, 2) = -0.5;
+  const ImageF32 narrow_img = narrow(img);
+  EXPECT_EQ(narrow_img.height(), 2u);
+  EXPECT_EQ(narrow_img.width(), 3u);
+  EXPECT_EQ(narrow_img.at(0, 0), 1.25F);
+  const ImageF wide = widen(narrow_img);
+  EXPECT_EQ(wide.at(0, 0), 1.25);
+  EXPECT_EQ(wide.at(1, 2), -0.5);
+}
+
+TEST(ImageF32, IntensityReductionsTrackF64) {
+  // The float reductions accumulate in double through independent lanes;
+  // against the fp64 serial reference they agree to rounding. Odd pixel
+  // count exercises the unrolled kernels' tail loops.
+  ImageF img(5, 7);
+  double v = 0.0;
+  for (auto& p : img.pixels()) {
+    v += 0.13;
+    p = v;
+  }
+  const ImageF32 narrow_img = narrow(img);
+  EXPECT_NEAR(narrow_img.total_intensity(), img.total_intensity(), 1e-4);
+  EXPECT_EQ(narrow_img.max_intensity(),
+            static_cast<float>(img.max_intensity()));
+}
+
+TEST(ImageF32, IntensityReductionsPropagateNaN) {
+  // NaN anywhere must poison total_intensity (the `!(total > 0)` guards
+  // downstream depend on it) in every accumulator lane of the unrolled
+  // kernel, including the tail.
+  for (std::size_t pos : {std::size_t{0}, std::size_t{3}, std::size_t{30}}) {
+    ImageF32 img(3, 11);  // 33 pixels: pos 30 lands in the tail loop
+    img.pixels()[pos] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(img.total_intensity())) << "pos " << pos;
+  }
+  // max_intensity mirrors std::max_element semantics: NaN is sticky only
+  // at index 0 (any other position loses every `>` comparison).
+  ImageF32 head(1, 4);
+  head.pixels()[0] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(head.max_intensity()));
+  ImageF32 body(1, 4);
+  body.pixels()[2] = std::numeric_limits<float>::quiet_NaN();
+  body.pixels()[1] = 2.0F;
+  EXPECT_EQ(body.max_intensity(), 2.0F);
+}
+
+TEST(ImageF32, BatchToMatrixIsF32) {
+  std::vector<ImageF32> batch(2, ImageF32(2, 2));
+  batch[0].at(0, 1) = 3.5F;
+  batch[1].at(1, 0) = -1.5F;
+  const linalg::MatrixF m = images_to_matrix(batch);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m(0, 1), 3.5F);
+  EXPECT_EQ(m(1, 2), -1.5F);
 }
 
 }  // namespace

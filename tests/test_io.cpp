@@ -90,20 +90,78 @@ TEST(Npy, RejectsGarbage) {
 }
 
 TEST(Npy, RejectsWrongDtype) {
-  const std::string path = "/tmp/arams_f4.npy";
+  // '<f4' is a first-class dtype now (the fp32 ingest lane); an integer
+  // dtype still has to be refused by both loaders.
+  const std::string path = "/tmp/arams_i8.npy";
   {
     std::ofstream f(path, std::ios::binary);
     std::string header =
-        "{'descr': '<f4', 'fortran_order': False, 'shape': (2, 2), }";
+        "{'descr': '<i8', 'fortran_order': False, 'shape': (2, 2), }";
     header += '\n';
     f << "\x93NUMPY";
     f.put('\x01');
     f.put('\x00');
     f.put(static_cast<char>(header.size() & 0xff));
     f.put(static_cast<char>(header.size() >> 8));
-    f << header << std::string(16, '\0');
+    f << header << std::string(32, '\0');
   }
   EXPECT_THROW(load_npy(path), CheckError);
+  EXPECT_THROW(load_npy_f32(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Npy, Float32RoundTripPreservesValues) {
+  // The fp32 mirror of RoundTripPreservesValues: '<f4' on disk, no fp64
+  // round trip, bit-exact payload back.
+  linalg::MatrixF m(7, 5);
+  Rng rng(7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (float& v : m.row(i)) v = static_cast<float>(rng.normal());
+  }
+  const std::string path = "/tmp/arams_test_f32.npy";
+  save_npy_f32(path, m);
+  const linalg::MatrixF back = load_npy_f32(path);
+  EXPECT_EQ(back.rows(), 7u);
+  EXPECT_EQ(back.cols(), 5u);
+  EXPECT_EQ(linalg::MatrixF::max_abs_diff(back, m), 0.0f);
+
+  std::ifstream f(path, std::ios::binary);
+  std::string preamble(10, '\0');
+  f.read(preamble.data(), 10);
+  std::string header(256, '\0');
+  f.read(header.data(), 256);
+  EXPECT_NE(header.find("'descr': '<f4'"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Npy, Float32PayloadWidensThroughF64Loader) {
+  linalg::MatrixF m(3, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = 0.25f * static_cast<float>(i) - 1.5f;
+  }
+  const std::string path = "/tmp/arams_widen_f4.npy";
+  save_npy_f32(path, m);
+  const Matrix wide = load_npy(path);
+  EXPECT_EQ(wide.rows(), 3u);
+  EXPECT_EQ(wide.cols(), 4u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(wide.data()[i], static_cast<double>(m.data()[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Npy, Float64PayloadNarrowsThroughF32Loader) {
+  Matrix m(2, 3);
+  Rng rng(11);
+  for (std::size_t i = 0; i < 2; ++i) rng.fill_normal(m.row(i));
+  const std::string path = "/tmp/arams_narrow_f8.npy";
+  save_npy(path, m);
+  const linalg::MatrixF narrow = load_npy_f32(path);
+  EXPECT_EQ(narrow.rows(), 2u);
+  EXPECT_EQ(narrow.cols(), 3u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(narrow.data()[i], static_cast<float>(m.data()[i]));
+  }
   std::remove(path.c_str());
 }
 

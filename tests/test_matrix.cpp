@@ -145,5 +145,89 @@ TEST(Matrix, MaxAbsDiffShapeMismatchThrows) {
   EXPECT_THROW(Matrix::max_abs_diff(Matrix(1, 2), Matrix(2, 1)), CheckError);
 }
 
+TEST(Matrix, BytesTrackLiveShapeCapacityKeepsHighWater) {
+  Matrix m(4, 8);
+  EXPECT_EQ(m.bytes(), 4u * 8u * sizeof(double));
+  EXPECT_GE(m.capacity_bytes(), m.bytes());
+  const std::size_t high_water = m.capacity_bytes();
+  // Grow-only reshape: shrinking updates the live footprint but never
+  // releases the reservation (the allocation-free steady-state contract).
+  m.reshape(2, 3);
+  EXPECT_EQ(m.bytes(), 2u * 3u * sizeof(double));
+  EXPECT_EQ(m.capacity_bytes(), high_water);
+  m.reshape(4, 8);
+  EXPECT_EQ(m.bytes(), 4u * 8u * sizeof(double));
+  EXPECT_EQ(m.capacity_bytes(), high_water);
+}
+
+// ------------------------------------------------- MatrixF (fp32 ingest)
+
+TEST(MatrixF, ZeroInitialized) {
+  const MatrixF m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(m(r, c), 0.0F);
+    }
+  }
+}
+
+TEST(MatrixF, InitializerListAndRowSpans) {
+  MatrixF m{{1.0F, 2.0F}, {3.0F, 4.0F}};
+  EXPECT_EQ(m(0, 1), 2.0F);
+  EXPECT_EQ(m(1, 0), 3.0F);
+  m.row(1)[0] = 5.0F;
+  EXPECT_EQ(m(1, 0), 5.0F);
+  EXPECT_EQ(m.row(0).size(), 2u);
+}
+
+TEST(MatrixF, BytesAreFloatSized) {
+  MatrixF m(4, 8);
+  EXPECT_EQ(m.bytes(), 4u * 8u * sizeof(float));
+  EXPECT_GE(m.capacity_bytes(), m.bytes());
+  const std::size_t high_water = m.capacity_bytes();
+  m.reshape(1, 8);
+  EXPECT_EQ(m.bytes(), 1u * 8u * sizeof(float));
+  EXPECT_EQ(m.capacity_bytes(), high_water);
+  // The whole point of the lane: the same shape costs half the bytes.
+  EXPECT_EQ(Matrix(4, 8).bytes(), 2u * MatrixF(4, 8).bytes());
+}
+
+TEST(MatrixF, RoundTripsThroughMatrix) {
+  const Matrix wide{{1.25, -2.5}, {3.75, 0.5}};  // exact in fp32
+  const MatrixF narrow = MatrixF::from_matrix(wide);
+  EXPECT_EQ(narrow(0, 1), -2.5F);
+  EXPECT_EQ(Matrix::max_abs_diff(narrow.to_matrix(), wide), 0.0);
+}
+
+TEST(MatrixF, WidenReusesDestinationStorage) {
+  const MatrixF src{{1.0F, 2.0F, 3.0F}, {4.0F, 5.0F, 6.0F}};
+  Matrix dst(8, 8);  // bigger than needed: widen must grow-only reshape
+  const std::size_t reserved = dst.capacity_bytes();
+  widen(MatrixViewF(src), dst);
+  EXPECT_EQ(dst.rows(), 2u);
+  EXPECT_EQ(dst.cols(), 3u);
+  EXPECT_EQ(dst(1, 2), 6.0);
+  EXPECT_EQ(dst.capacity_bytes(), reserved);
+}
+
+TEST(MatrixF, SliceRowsAndViews) {
+  const MatrixF m{{1.0F, 2.0F}, {3.0F, 4.0F}, {5.0F, 6.0F}};
+  const MatrixF s = m.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s(0, 0), 3.0F);
+  const MatrixViewF v = MatrixViewF::rows_of(m, 1, 3);
+  EXPECT_EQ(v.rows(), 2u);
+  EXPECT_EQ(v(1, 1), 6.0F);
+  EXPECT_THROW(MatrixViewF::rows_of(m, 2, 5), CheckError);
+}
+
+TEST(MatrixF, MaxAbsDiff) {
+  const MatrixF a{{1.0F, 2.0F}};
+  const MatrixF b{{1.5F, 2.0F}};
+  EXPECT_EQ(MatrixF::max_abs_diff(a, b), 0.5F);
+}
+
 }  // namespace
 }  // namespace arams::linalg

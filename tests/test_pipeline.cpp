@@ -7,6 +7,8 @@
 
 #include "cluster/metrics.hpp"
 #include "embed/metrics.hpp"
+#include "image/image.hpp"
+#include "linalg/blas.hpp"
 #include "stream/pipeline.hpp"
 #include "stream/source.hpp"
 #include "util/check.hpp"
@@ -53,7 +55,7 @@ TEST(Pipeline, ValidateReportsEveryProblem) {
 
 TEST(Pipeline, EmptyInputThrows) {
   const MonitoringPipeline pipeline(fast_pipeline());
-  EXPECT_THROW(pipeline.analyze({}), CheckError);
+  EXPECT_THROW(pipeline.analyze(std::vector<image::ImageF>{}), CheckError);
 }
 
 TEST(Pipeline, BeamProfileEndToEndShapes) {
@@ -223,6 +225,86 @@ TEST(Pipeline, ThreadedShardingMatchesShapes) {
       MonitoringPipeline(config).analyze_matrix(rows);
   EXPECT_EQ(result.embedding.rows(), 80u);
   EXPECT_GT(result.merge_stats().merge_ops, 0);
+}
+
+TEST(Pipeline, F32FramesRunEndToEnd) {
+  // The mixed-precision ingest lane through the frame entry point: fp32
+  // frames preprocess in fp32 and enter the sketcher through its fp32
+  // seam; every downstream stage (PCA/UMAP/cluster) is unchanged fp64.
+  data::BeamProfileConfig beam;
+  beam.height = 24;
+  beam.width = 24;
+  BeamProfileSource source(beam, 100, 120.0, 11);
+  const auto events = drain(source, 100);
+  std::vector<image::ImageF32> frames;
+  frames.reserve(events.size());
+  for (const auto& e : events) frames.push_back(image::narrow(e.frame));
+
+  const MonitoringPipeline pipeline(fast_pipeline());
+  const PipelineResult result = pipeline.analyze(frames);
+  EXPECT_EQ(result.latent.rows(), 100u);
+  EXPECT_EQ(result.embedding.rows(), 100u);
+  EXPECT_EQ(result.labels.size(), 100u);
+  EXPECT_GT(result.sketch.rows(), 0u);
+  EXPECT_GT(result.preprocess_seconds(), 0.0);
+  // The lane's audit trail: every row went through the fp32 seam.
+  EXPECT_EQ(result.report.counter("rows_ingested_f32"), 100);
+  EXPECT_THROW(pipeline.analyze(std::vector<image::ImageF32>{}), CheckError);
+}
+
+TEST(Pipeline, IngestPrecisionF32NarrowsAtTheDoor) {
+  // Same fp64 frames through both configs: kF32 must narrow on entry and
+  // land within the lane's pinned drift budget of the fp64 run.
+  data::BeamProfileConfig beam;
+  beam.height = 24;
+  beam.width = 24;
+  BeamProfileSource source(beam, 80, 120.0, 12);
+  const auto events = drain(source, 80);
+  std::vector<image::ImageF> frames;
+  frames.reserve(events.size());
+  for (const auto& e : events) frames.push_back(e.frame);
+
+  // Pin the backend to fd so both lanes run the same single-sketcher
+  // algorithm: with arams the fp64 lane shards + tree-merges and draws
+  // different sampling decisions, a structural (not precision) difference.
+  PipelineConfig f64_config = fast_pipeline();
+  f64_config.sketcher = "fd";
+  PipelineConfig f32_config = f64_config;
+  f32_config.ingest_precision = PipelineConfig::IngestPrecision::kF32;
+  const PipelineResult r32 = MonitoringPipeline(f32_config).analyze(frames);
+  const PipelineResult r64 = MonitoringPipeline(f64_config).analyze(frames);
+  EXPECT_EQ(r32.report.counter("rows_ingested_f32"), 80);
+  EXPECT_EQ(r64.report.counter("rows_ingested_f32"), 0);
+  ASSERT_EQ(r32.embedding.rows(), r64.embedding.rows());
+  // Compare the covariance estimates the sketches carry (the embeddings
+  // themselves go through UMAP's stochastic optimizer, where a one-ulp
+  // input difference is amplified arbitrarily).
+  const linalg::Matrix g32 = linalg::gram_cols(r32.sketch);
+  const linalg::Matrix g64 = linalg::gram_cols(r64.sketch);
+  ASSERT_EQ(g32.rows(), g64.rows());
+  EXPECT_LE(linalg::Matrix::max_abs_diff(g32, g64),
+            1e-5 * (1.0 + linalg::frobenius_norm(g64)));
+}
+
+TEST(Pipeline, F32MatrixEntryPointSkipsPreprocessing) {
+  linalg::MatrixF rows(60, 30);
+  Rng rng(13);
+  std::vector<double> scratch(30);
+  for (std::size_t i = 0; i < 60; ++i) {
+    rng.fill_normal(scratch);
+    auto dst = rows.row(i);
+    for (std::size_t j = 0; j < 30; ++j) {
+      dst[j] = static_cast<float>(scratch[j]);
+    }
+  }
+  PipelineConfig config = fast_pipeline();
+  config.umap.n_neighbors = 8;
+  const MonitoringPipeline pipeline(config);
+  const PipelineResult result =
+      pipeline.analyze_matrix(linalg::MatrixViewF(rows));
+  EXPECT_EQ(result.preprocess_seconds(), 0.0);
+  EXPECT_EQ(result.embedding.rows(), 60u);
+  EXPECT_EQ(result.report.counter("rows_ingested_f32"), 60);
 }
 
 TEST(Pipeline, RankAdaptiveModeRunsEndToEnd) {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "image/preprocess.hpp"
 #include "util/check.hpp"
@@ -154,6 +156,99 @@ TEST(Preprocess, DownsampleFactorOneIsIdentity) {
   img.at(0, 1) = 3.0;
   const ImageF out = downsample(img, 1);
   EXPECT_EQ(out.at(0, 1), 3.0);
+}
+
+// ------------------------------------------------ fp32 ingest-lane twins
+
+TEST(PreprocessF32, FullPipelineTracksF64Lane) {
+  // Same frame through both lanes under the stock config; the fp32 lane
+  // must land within its pinned drift budget of the fp64 reference.
+  PreprocessConfig config;
+  config.threshold_fraction = 0.01;
+  config.normalize = true;
+  config.center = true;
+  // Blob center chosen so the integer centering shift is far from a
+  // .5-rounding boundary — at exactly .5 the two lanes' last-ulp centroid
+  // difference would legitimately pick different (adjacent) shifts.
+  const ImageF frame = gaussian_blob(32, 32, 9.25, 20.75, 2.0);
+  const ImageF out64 = preprocess(frame, config);
+  const ImageF32 out32 = preprocess(narrow(frame), config);
+  ASSERT_EQ(out32.height(), out64.height());
+  ASSERT_EQ(out32.width(), out64.width());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < out64.pixel_count(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(static_cast<double>(out32.pixels()[i]) -
+                                 out64.pixels()[i]));
+  }
+  EXPECT_LE(max_diff, 1e-5);
+  // Both lanes agree on the geometry: centered mass, unit total.
+  EXPECT_NEAR(out32.total_intensity(), 1.0, 1e-6);
+  const CenterOfMass com = center_of_mass(out32);
+  EXPECT_NEAR(com.y, 15.5, 1.2);
+  EXPECT_NEAR(com.x, 15.5, 1.2);
+}
+
+TEST(PreprocessF32, ThresholdKeepsNaN) {
+  ImageF32 img(1, 3);
+  img.at(0, 0) = 0.1F;
+  img.at(0, 1) = std::numeric_limits<float>::quiet_NaN();
+  img.at(0, 2) = 0.9F;
+  threshold_below(img, 0.5);
+  EXPECT_EQ(img.at(0, 0), 0.0F);
+  EXPECT_TRUE(std::isnan(img.at(0, 1)));  // NaN is never "below" the cut
+  EXPECT_EQ(img.at(0, 2), 0.9F);
+}
+
+TEST(PreprocessF32, NaNTotalSkipsNormalization) {
+  ImageF32 img(2, 2);
+  img.at(0, 0) = 4.0F;
+  img.at(1, 1) = std::numeric_limits<float>::quiet_NaN();
+  normalize_intensity(img, 1.0);
+  // A NaN total must leave the frame untouched, not smear NaN everywhere.
+  EXPECT_EQ(img.at(0, 0), 4.0F);
+  EXPECT_EQ(img.at(0, 1), 0.0F);
+}
+
+TEST(PreprocessF32, NaNMassSkipsCentering) {
+  ImageF32 img(4, 4);
+  img.at(0, 0) = 1.0F;
+  img.at(3, 3) = std::numeric_limits<float>::quiet_NaN();
+  center_on_mass(img);
+  // Guarded bail-out: the off-center pixel must not move (lround(NaN)
+  // would otherwise produce a garbage shift that blanks the frame).
+  EXPECT_EQ(img.at(0, 0), 1.0F);
+}
+
+TEST(PreprocessF32, CenterOnMassMatchesF64Shift) {
+  // The centering shift is an integer translation, so both lanes must
+  // pick the identical offset and move the identical pixels (center again
+  // kept off the .5-rounding boundary).
+  const ImageF frame = gaussian_blob(16, 16, 4.25, 10.75, 1.5);
+  ImageF f64 = frame;
+  ImageF32 f32 = narrow(frame);
+  center_on_mass(f64);
+  center_on_mass(f32);
+  for (std::size_t i = 0; i < f64.pixel_count(); ++i) {
+    const bool zero64 = f64.pixels()[i] == 0.0;
+    const bool zero32 = f32.pixels()[i] == 0.0F;
+    EXPECT_EQ(zero64, zero32) << "pixel " << i;
+  }
+}
+
+TEST(PreprocessF32, CropAndDownsampleMirrorF64) {
+  const ImageF frame = gaussian_blob(8, 8, 3.0, 4.0, 2.0);
+  const ImageF32 narrow_frame = narrow(frame);
+  const ImageF32 cropped = crop_center(narrow_frame, 4, 6);
+  EXPECT_EQ(cropped.height(), 4u);
+  EXPECT_EQ(cropped.width(), 6u);
+  EXPECT_EQ(cropped.at(0, 0), narrow_frame.at(2, 1));
+  const ImageF32 down = downsample(narrow_frame, 2);
+  const ImageF down64 = downsample(frame, 2);
+  EXPECT_EQ(down.height(), 4u);
+  for (std::size_t i = 0; i < down.pixel_count(); ++i) {
+    EXPECT_NEAR(down.pixels()[i], down64.pixels()[i], 1e-6) << i;
+  }
 }
 
 }  // namespace

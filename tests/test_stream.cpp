@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "obs/metrics.hpp"
 #include "stream/monitor.hpp"
 #include "stream/source.hpp"
 #include "util/check.hpp"
@@ -230,6 +232,62 @@ TEST(Monitor, WarmIndexInsertsInsteadOfRebuilding) {
   EXPECT_EQ(monitor.reference_index()->stats().builds, 1);
   EXPECT_EQ(monitor.reference_index()->stats().inserted_rows, 0);
   EXPECT_EQ(monitor.reference_index()->size(), 128u);
+}
+
+TEST(Monitor, F32IngestLaneEndToEnd) {
+  // The mixed-precision lane through the streaming monitor: frames narrow
+  // at ingest, preprocess in fp32 and queue float rows for the sketcher;
+  // the reservoir/error-tracker tail stays fp64, so snapshots keep their
+  // shapes and the rows all reach the sketch.
+  MonitorConfig config = small_monitor();
+  config.pipeline.ingest_precision = PipelineConfig::IngestPrecision::kF32;
+  StreamingMonitor monitor(config);
+  EXPECT_EQ(obs::metrics().gauge("ingest.precision").value(), 32.0);
+  BeamProfileSource source(small_beam(), 80, 120.0, 8);
+  int updates = 0;
+  while (auto event = source.next()) {
+    if (monitor.ingest(*event)) ++updates;
+  }
+  EXPECT_EQ(updates, 5);  // 80 frames / 16 per batch
+  monitor.flush();
+  EXPECT_EQ(monitor.sketch_stats().rows_processed, 80);
+  const SnapshotResult snap = monitor.snapshot();
+  EXPECT_EQ(snap.latent.rows(), 80u);
+  EXPECT_EQ(snap.embedding.rows(), 80u);
+  EXPECT_EQ(snap.labels.size(), 80u);
+
+  // The NaN firewall runs on the raw fp64 frame before narrowing, so the
+  // fp32 lane rejects non-finite shots exactly like the classic lane.
+  ShotEvent bad;
+  bad.shot_id = 999;
+  bad.frame = image::ImageF(8, 8);
+  bad.frame.at(3, 3) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(monitor.ingest(bad));
+  EXPECT_EQ(monitor.sketch_stats().rows_processed, 80);
+}
+
+TEST(Monitor, F32LaneTracksF64ErrorEstimate) {
+  // Same stream through both lanes: the operator-facing reconstruction
+  // error gauge must agree far inside the lane's drift budget (the inputs
+  // differ only by fp32 preprocessing rounding, ~1e-6 relative).
+  BeamProfileSource source(small_beam(), 64, 120.0, 30);
+  const auto events = drain(source, 64);
+
+  MonitorConfig f32_config = small_monitor();
+  f32_config.pipeline.ingest_precision =
+      PipelineConfig::IngestPrecision::kF32;
+  StreamingMonitor m64(small_monitor());
+  StreamingMonitor m32(f32_config);
+  for (const auto& event : events) {
+    m64.ingest(event);
+    m32.ingest(event);
+  }
+  m64.flush();
+  m32.flush();
+  const double e64 = m64.sketch_error_estimate();
+  const double e32 = m32.sketch_error_estimate();
+  EXPECT_GE(e32, 0.0);
+  EXPECT_NEAR(e32, e64, 1e-4);
 }
 
 TEST(Monitor, IncrementalWithoutReferenceFallsBackToFull) {

@@ -75,13 +75,16 @@ TEST(Workspace, SlotReferencesSurviveLaterAcquisitions) {
 TEST(Workspace, BytesGrowOnlyAcrossReshapes) {
   Workspace ws;
   (void)ws.mat(0, 64, 64);
-  const std::size_t high_water = ws.bytes();
+  const std::size_t high_water = ws.capacity_bytes();
   EXPECT_GE(high_water, 64u * 64u * sizeof(double));
-  // Shrinking the logical shape must not release capacity.
+  // Shrinking the logical shape must not release capacity...
   (void)ws.mat(0, 4, 4);
-  EXPECT_EQ(ws.bytes(), high_water);
+  EXPECT_EQ(ws.capacity_bytes(), high_water);
+  // ...while the honest logical footprint tracks the live shape.
+  EXPECT_EQ(ws.bytes(), 4u * 4u * sizeof(double));
   (void)ws.mat(0, 64, 64);
-  EXPECT_EQ(ws.bytes(), high_water);
+  EXPECT_EQ(ws.capacity_bytes(), high_water);
+  EXPECT_EQ(ws.bytes(), 64u * 64u * sizeof(double));
 }
 
 TEST(Workspace, SameShapeSvdCycleIsAllocationFree) {

@@ -75,6 +75,35 @@ linalg::Matrix load_rows(const std::string& path) {
   return io::load_npy(path);
 }
 
+/// fp32 twin of load_rows for the mixed-precision ingest lane: frames are
+/// narrowed at the door, '<f4' .npy payloads never round-trip through fp64.
+linalg::MatrixF load_rows_f32(const std::string& path) {
+  if (ends_with(path, ".frames")) {
+    const std::vector<image::ImageF> frames = io::load_frames(path);
+    std::vector<image::ImageF32> narrowed;
+    narrowed.reserve(frames.size());
+    for (const image::ImageF& frame : frames) {
+      narrowed.push_back(image::narrow(frame));
+    }
+    return image::images_to_matrix(narrowed);
+  }
+  return io::load_npy_f32(path);
+}
+
+void declare_ingest_flag(CliFlags& flags) {
+  flags.declare("ingest-precision", "fp64",
+                "frame ingest lane: fp64 (classic, bitwise-stable default) "
+                "| fp32 (mixed precision: fp32 rows, fp64 accumulation)");
+}
+
+/// True for fp32; rejects anything other than the two lane names.
+bool ingest_is_f32(const CliFlags& flags) {
+  const std::string lane = flags.get("ingest-precision");
+  if (lane == "fp32") return true;
+  ARAMS_CHECK(lane == "fp64", "unknown --ingest-precision: " + lane);
+  return false;
+}
+
 void declare_telemetry_flags(CliFlags& flags) {
   flags.declare("trace-out", "",
                 "write a Chrome trace_event JSON of pipeline spans");
@@ -281,6 +310,7 @@ int cmd_sketch(int argc, const char* const* argv) {
                 "RA residual estimator: gaussian | hutchinson | hutchpp");
   flags.declare("report-error", "false",
                 "also print the relative covariance error (costs extra)");
+  declare_ingest_flag(flags);
   declare_telemetry_flags(flags);
   flags.declare("help", "false", "print usage");
   flags.parse(argc, argv);
@@ -290,9 +320,18 @@ int cmd_sketch(int argc, const char* const* argv) {
   }
   ARAMS_CHECK(!flags.get("in").empty(), "--in is required");
   arm_telemetry(flags);
-  const linalg::Matrix rows = load_rows(flags.get("in"));
-  std::cout << "loaded " << rows.rows() << " x " << rows.cols()
-            << " from " << flags.get("in") << "\n";
+  const bool f32 = ingest_is_f32(flags);
+  linalg::Matrix rows;
+  linalg::MatrixF rows_f32;
+  if (f32) {
+    rows_f32 = load_rows_f32(flags.get("in"));
+  } else {
+    rows = load_rows(flags.get("in"));
+  }
+  std::cout << "loaded " << (f32 ? rows_f32.rows() : rows.rows()) << " x "
+            << (f32 ? rows_f32.cols() : rows.cols()) << " from "
+            << flags.get("in") << (f32 ? " (fp32 ingest lane)" : "")
+            << "\n";
 
   core::SketcherConfig config;
   config.backend = flags.get("sketcher");
@@ -311,7 +350,20 @@ int cmd_sketch(int argc, const char* const* argv) {
   linalg::Matrix sketch;
   std::size_t final_ell = 0;
   Stopwatch timer;
-  if (config.backend == "arams") {
+  if (f32) {
+    // The fp32 lane always goes through the factory: every backend exposes
+    // the same fp32 entry point there (native mixed precision for
+    // arams/fd/gaussian/countsketch, the widening shim for the rest).
+    const std::unique_ptr<core::Sketcher> sketcher =
+        core::make_sketcher(config);
+    sketcher->push_batch(linalg::MatrixViewF(rows_f32));
+    sketch = sketcher->sketch();
+    final_ell = sketcher->current_ell();
+    std::cout << "sketched to " << sketch.rows() << " x " << sketch.cols()
+              << " in " << timer.seconds() << " s (" << sketcher->name()
+              << ", fp32 lane, " << sketcher->rows_ingested_f32()
+              << " fp32 rows, ell " << final_ell << ")\n";
+  } else if (config.backend == "arams") {
     // The paper path: Algorithm 3 verbatim through core::Arams, so the
     // default CLI invocation stays bitwise-identical to pre-factory runs.
     core::Arams sketcher(config.arams);
@@ -338,6 +390,7 @@ int cmd_sketch(int argc, const char* const* argv) {
   write_telemetry(flags);
 
   if (flags.get_bool("report-error")) {
+    if (f32) linalg::widen(linalg::MatrixViewF(rows_f32), rows);
     Rng power(1);
     std::cout << "relative covariance error: "
               << linalg::covariance_error_relative(rows, sketch, power, 60)
@@ -364,6 +417,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
   flags.declare("csv", "", "output CSV (x,y,label per shot)");
   flags.declare("html", "", "output interactive HTML scatter");
   flags.declare("latent", "", "output latent matrix .npy");
+  declare_ingest_flag(flags);
   declare_telemetry_flags(flags);
   flags.declare("help", "false", "print usage");
   flags.parse(argc, argv);
@@ -385,6 +439,10 @@ int cmd_pipeline(int argc, const char* const* argv) {
   config.umap.n_epochs = static_cast<int>(flags.get_int("epochs"));
   apply_knn_flags(flags, config.umap);
   config.preprocess.center = flags.get_bool("center");
+  const bool f32 = ingest_is_f32(flags);
+  if (f32) {
+    config.ingest_precision = stream::PipelineConfig::IngestPrecision::kF32;
+  }
   const std::string clusterer = flags.get("clusterer");
   if (clusterer == "hdbscan") {
     config.cluster_method =
@@ -402,7 +460,12 @@ int cmd_pipeline(int argc, const char* const* argv) {
   Stopwatch timer;
   stream::PipelineResult result;
   if (ends_with(in, ".frames")) {
+    // analyze() narrows at the door itself when the fp32 lane is on.
     result = pipeline.analyze(io::load_frames(in));
+  } else if (f32) {
+    // '<f4' payloads feed the sketcher without an fp64 round trip.
+    result = pipeline.analyze_matrix(
+        linalg::MatrixViewF(io::load_npy_f32(in)));
   } else {
     result = pipeline.analyze_matrix(io::load_npy(in));
   }
@@ -471,6 +534,7 @@ int cmd_monitor(int argc, const char* const* argv) {
   flags.declare("crash-after", "-1",
                 "fault injection: std::terminate() after this many shots "
                 "(exercises the post-mortem crash path; -1 disables)");
+  declare_ingest_flag(flags);
   declare_knn_flags(flags);
   declare_telemetry_flags(flags);
   flags.declare("help", "false", "print usage");
@@ -493,6 +557,10 @@ int cmd_monitor(int argc, const char* const* argv) {
   const double epsilon = flags.get_double("epsilon");
   config.pipeline.sketch.rank_adaptive = epsilon > 0.0;
   config.pipeline.sketch.epsilon = epsilon;
+  if (ingest_is_f32(flags)) {
+    config.pipeline.ingest_precision =
+        stream::PipelineConfig::IngestPrecision::kF32;
+  }
   apply_knn_flags(flags, config.pipeline.umap);
   stream::StreamingMonitor monitor(config);
 
