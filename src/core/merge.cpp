@@ -2,23 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "linalg/svd.hpp"
 #include "linalg/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace arams::core {
 
 using linalg::Matrix;
+using linalg::MatrixView;
 
 namespace {
 
 /// Per-merge scratch: one workspace + SVD output pair serves every shrink
 /// in a merge call, so repeated reductions reuse the same arenas instead
-/// of allocating Gram/eig buffers per level.
+/// of allocating Gram/eig buffers per level. parallel_tree_merge holds one
+/// per concurrent group slot — workspaces are not thread-safe.
 struct MergeScratch {
   linalg::Workspace ws;
   linalg::SigmaVt svd;
@@ -26,9 +31,9 @@ struct MergeScratch {
 
 /// One FD shrink of `stacked` down to at most `ell` rows (the surviving
 /// non-zero rows; at most ℓ−1 of them are non-zero, matching Algorithm 2).
-Matrix shrink_to_ell(const Matrix& stacked, std::size_t ell,
+Matrix shrink_to_ell(MatrixView stacked, std::size_t ell,
                      MergeScratch& scratch) {
-  if (stacked.rows() <= ell) return stacked;
+  if (stacked.rows() <= ell) return stacked.to_matrix();
   linalg::sigma_vt_svd(stacked, scratch.ws, scratch.svd, ell);
   const linalg::SigmaVt& svd = scratch.svd;
   if (svd.sigma.size() < ell) {
@@ -65,6 +70,27 @@ Matrix shrink_to_ell(const Matrix& stacked, std::size_t ell,
   return out;
 }
 
+/// Stacks sketches [begin, end) into the workspace's merge-stack slot and
+/// returns a view — the allocation-free replacement for chained vstack.
+MatrixView stack_group(const std::vector<Matrix>& sketches, std::size_t begin,
+                       std::size_t end, linalg::Workspace& ws) {
+  const std::size_t cols = sketches[begin].cols();
+  std::size_t rows = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    ARAMS_CHECK(sketches[i].cols() == cols || sketches[i].rows() == 0,
+                "merge of sketches with mismatched widths");
+    rows += sketches[i].rows();
+  }
+  Matrix& stacked = ws.mat(linalg::wslot::kMergeStack, rows, cols);
+  std::size_t at = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t r = 0; r < sketches[i].rows(); ++r) {
+      stacked.set_row(at++, sketches[i].row(r));
+    }
+  }
+  return MatrixView(stacked);
+}
+
 }  // namespace
 
 Matrix merge_group(const std::vector<Matrix>& sketches, std::size_t ell) {
@@ -84,6 +110,7 @@ Matrix serial_merge(std::vector<Matrix> sketches, std::size_t ell,
   static obs::Counter& merge_ops = obs::metrics().counter("merge.ops");
   MergeStats local;
   MergeScratch scratch;
+  Stopwatch wall;
   Matrix acc = std::move(sketches.front());
   for (std::size_t i = 1; i < sketches.size(); ++i) {
     Stopwatch timer;
@@ -95,9 +122,11 @@ Matrix serial_merge(std::vector<Matrix> sketches, std::size_t ell,
     ++local.critical_path_ops;
     local.total_seconds += s;
     // Serial merging happens on one core: every shrink is on the critical
-    // path.
+    // path, and the model equals the measurement.
     local.critical_path_seconds += s;
   }
+  local.critical_path_seconds_modeled = local.critical_path_seconds;
+  local.critical_path_seconds_measured = wall.seconds();
   if (stats != nullptr) *stats = local;
   return acc;
 }
@@ -110,6 +139,7 @@ Matrix tree_merge(std::vector<Matrix> sketches, std::size_t ell,
   static obs::Counter& merge_ops = obs::metrics().counter("merge.ops");
   MergeStats local;
   MergeScratch scratch;
+  Stopwatch wall;
   while (sketches.size() > 1) {
     // One span per reduction level — the unit the critical-path model in
     // parallel/virtual_cores charges for (slowest group per level).
@@ -134,11 +164,78 @@ Matrix tree_merge(std::vector<Matrix> sketches, std::size_t ell,
     }
     ++local.levels;
     // All groups of a level run concurrently on a cluster; the level costs
-    // its slowest group.
+    // its slowest group. This loop executes serially — the measured
+    // makespan is the serial wall, which is what parallel_tree_merge beats.
     ++local.critical_path_ops;
     local.critical_path_seconds += slowest_in_level;
     sketches = std::move(next);
   }
+  local.critical_path_seconds_modeled = local.critical_path_seconds;
+  local.critical_path_seconds_measured = wall.seconds();
+  if (stats != nullptr) *stats = local;
+  return std::move(sketches.front());
+}
+
+Matrix parallel_tree_merge(std::vector<Matrix> sketches, std::size_t ell,
+                           std::size_t arity, MergeStats* stats,
+                           parallel::ThreadPool* pool) {
+  ARAMS_CHECK(!sketches.empty(), "merge of zero sketches");
+  ARAMS_CHECK(arity >= 2, "tree arity must be >= 2");
+  const obs::ScopedSpan span("merge.parallel_tree");
+  static obs::Counter& merge_ops = obs::metrics().counter("merge.ops");
+  static obs::Counter& groups_dispatched =
+      obs::metrics().counter("merge.parallel_groups");
+  MergeStats local;
+  // One scratch arena per concurrent group slot, sized by the widest level
+  // (the first) and reused down the tree. Group g always uses arena g, so
+  // the arena→group mapping — and therefore every shrink input — is
+  // independent of the pool schedule.
+  const std::size_t max_groups = (sketches.size() + arity - 1) / arity;
+  std::vector<std::unique_ptr<MergeScratch>> scratch;
+  scratch.reserve(max_groups);
+  for (std::size_t g = 0; g < max_groups; ++g) {
+    scratch.push_back(std::make_unique<MergeScratch>());
+  }
+  std::vector<double> group_seconds(max_groups, 0.0);
+  Stopwatch wall;
+  while (sketches.size() > 1) {
+    const obs::ScopedSpan level_span(
+        "merge.level" + std::to_string(local.levels));
+    const std::size_t groups = (sketches.size() + arity - 1) / arity;
+    std::vector<Matrix> next(groups);
+    Stopwatch level_timer;
+    const auto run_group = [&](std::size_t g) {
+      Stopwatch timer;
+      MergeScratch& sc = *scratch[g];
+      const std::size_t begin = g * arity;
+      const std::size_t end = std::min(begin + arity, sketches.size());
+      next[g] = shrink_to_ell(stack_group(sketches, begin, end, sc.ws), ell,
+                              sc);
+      group_seconds[g] = timer.seconds();
+    };
+    const bool pooled =
+        pool != nullptr && pool->thread_count() > 1 && groups > 1;
+    if (pooled) {
+      pool->parallel_for(groups, run_group);
+      local.parallel_groups += static_cast<long>(groups);
+      groups_dispatched.add(static_cast<long>(groups));
+    } else {
+      for (std::size_t g = 0; g < groups; ++g) run_group(g);
+    }
+    merge_ops.add(static_cast<long>(groups));
+    local.merge_ops += static_cast<long>(groups);
+    double slowest_in_level = 0.0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      local.total_seconds += group_seconds[g];
+      slowest_in_level = std::max(slowest_in_level, group_seconds[g]);
+    }
+    ++local.levels;
+    ++local.critical_path_ops;
+    local.critical_path_seconds_modeled += slowest_in_level;
+    local.critical_path_seconds_measured += level_timer.seconds();
+    sketches = std::move(next);
+  }
+  local.critical_path_seconds = local.critical_path_seconds_modeled;
   if (stats != nullptr) *stats = local;
   return std::move(sketches.front());
 }

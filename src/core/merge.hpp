@@ -13,25 +13,46 @@
 #include "linalg/matrix.hpp"
 #include "obs/stage_report.hpp"
 
+namespace arams::parallel {
+class ThreadPool;
+}  // namespace arams::parallel
+
 namespace arams::core {
 
 struct MergeStats {
   long merge_ops = 0;           ///< total pairwise/group shrinks performed
   long levels = 0;              ///< reduction rounds (tree) / steps (serial)
   long critical_path_ops = 0;   ///< shrinks a real parallel run would wait on
+  long parallel_groups = 0;     ///< merge groups actually dispatched to a pool
   double total_seconds = 0.0;   ///< wall time of all shrinks (work)
-  double critical_path_seconds = 0.0;  ///< modeled makespan of the merges
+  /// Legacy accessor: the *modeled* makespan (slowest-group-per-level
+  /// simulation). Always equals critical_path_seconds_modeled — kept so
+  /// pre-existing consumers (virtual_cores, figure tests) read the model
+  /// they were written against.
+  double critical_path_seconds = 0.0;
+  /// Modeled makespan: sum over levels of the slowest group's shrink time,
+  /// i.e. what a cluster with one core per group would wait.
+  double critical_path_seconds_modeled = 0.0;
+  /// Measured makespan: real wall time of the reduction as executed (the
+  /// sum of per-level wall times — for parallel_tree_merge this is the
+  /// actual concurrent schedule, for serial_merge/tree_merge the serial
+  /// execution wall).
+  double critical_path_seconds_measured = 0.0;
 };
 
-/// Folds merge counters/timings into a StageReport (stages "merge" and
-/// "merge_critical_path").
+/// Folds merge counters/timings into a StageReport (stages "merge",
+/// "merge_critical_path" — the modeled makespan, legacy key — and
+/// "merge_critical_path_measured").
 inline void append_to_report(const MergeStats& stats,
                              obs::StageReport& report) {
   report.add_counter("merge_ops", stats.merge_ops);
   report.add_counter("merge_levels", stats.levels);
   report.add_counter("merge_critical_path_ops", stats.critical_path_ops);
+  report.add_counter("merge_parallel_groups", stats.parallel_groups);
   report.add_seconds("merge", stats.total_seconds);
   report.add_seconds("merge_critical_path", stats.critical_path_seconds);
+  report.add_seconds("merge_critical_path_measured",
+                     stats.critical_path_seconds_measured);
 }
 
 /// Inverse of append_to_report — backs the legacy `merge_stats` accessor.
@@ -40,8 +61,12 @@ inline MergeStats merge_stats_from_report(const obs::StageReport& report) {
   stats.merge_ops = report.counter("merge_ops");
   stats.levels = report.counter("merge_levels");
   stats.critical_path_ops = report.counter("merge_critical_path_ops");
+  stats.parallel_groups = report.counter("merge_parallel_groups");
   stats.total_seconds = report.seconds("merge");
   stats.critical_path_seconds = report.seconds("merge_critical_path");
+  stats.critical_path_seconds_modeled = stats.critical_path_seconds;
+  stats.critical_path_seconds_measured =
+      report.seconds("merge_critical_path_measured");
   return stats;
 }
 
@@ -61,5 +86,20 @@ linalg::Matrix serial_merge(std::vector<linalg::Matrix> sketches,
 linalg::Matrix tree_merge(std::vector<linalg::Matrix> sketches,
                           std::size_t ell, std::size_t arity = 2,
                           MergeStats* stats = nullptr);
+
+/// tree_merge executed for real: every level's disjoint groups run
+/// concurrently on `pool` (nullptr → inline on the calling thread; the
+/// factory and pipeline pass &parallel::shared_pool()). Group g of a
+/// level owns scratch arena g and writes result slot g, so the reduction is
+/// bitwise identical to tree_merge at any thread count — scheduling decides
+/// only *when* a group runs, never what it computes. Groups stack into
+/// workspace scratch (no per-step vstack allocations), so repeated merges
+/// are allocation-free at steady state even single-threaded.
+/// `stats->critical_path_seconds_measured` is the real wall time of the
+/// reduction; the modeled makespan is still reported alongside.
+linalg::Matrix parallel_tree_merge(std::vector<linalg::Matrix> sketches,
+                                   std::size_t ell, std::size_t arity = 2,
+                                   MergeStats* stats = nullptr,
+                                   parallel::ThreadPool* pool = nullptr);
 
 }  // namespace arams::core

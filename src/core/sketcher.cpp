@@ -8,7 +8,9 @@
 
 #include "core/baselines.hpp"
 #include "core/fd.hpp"
+#include "core/sharded.hpp"
 #include "linalg/blas.hpp"
+#include "parallel/thread_pool.hpp"
 #include "linalg/eigen_sym.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
@@ -55,6 +57,18 @@ std::string canonical_name(const std::string& name) {
     if (name == entry.name) return entry.name;
   }
   return "";
+}
+
+/// The sharded-wrapper spelling: "sharded:<inner>" wraps any plain backend
+/// in SketcherConfig::shards concurrent ingest shards (core/sharded.hpp).
+constexpr const char* kShardedPrefix = "sharded:";
+
+bool is_sharded_name(const std::string& name) {
+  return name.rfind(kShardedPrefix, 0) == 0;
+}
+
+std::string sharded_inner_name(const std::string& name) {
+  return name.substr(std::string(kShardedPrefix).size());
 }
 
 std::string joined_backend_names() {
@@ -203,6 +217,30 @@ Matrix Sketcher::basis(std::size_t k) {
 
 std::vector<std::string> SketcherConfig::validate() const {
   std::vector<std::string> errors;
+  if (shards < 1) {
+    errors.push_back("shards must be >= 1, got " + std::to_string(shards));
+    return errors;
+  }
+  if (is_sharded_name(backend)) {
+    const std::string inner = sharded_inner_name(backend);
+    if (is_sharded_name(inner)) {
+      errors.push_back("nested sharded backends are not supported, got '" +
+                       backend + "'");
+      return errors;
+    }
+    if (canonical_name(inner).empty()) {
+      errors.push_back("sharded: unknown inner backend '" + inner +
+                       "' (registered: " + joined_backend_names() + ")");
+      return errors;
+    }
+    SketcherConfig inner_config = *this;
+    inner_config.backend = inner;
+    inner_config.shards = 1;
+    for (const auto& err : inner_config.validate()) {
+      errors.push_back("sharded: " + err);
+    }
+    return errors;
+  }
   const std::string canonical = canonical_name(backend);
   if (canonical.empty()) {
     errors.push_back("unknown sketcher backend '" + backend +
@@ -230,6 +268,10 @@ std::vector<std::string> SketcherConfig::validate() const {
 }
 
 bool sketcher_registered(const std::string& name) {
+  if (is_sharded_name(name)) {
+    const std::string inner = sharded_inner_name(name);
+    return !is_sharded_name(inner) && !canonical_name(inner).empty();
+  }
   return !canonical_name(name).empty();
 }
 
@@ -243,6 +285,12 @@ std::vector<std::string> registered_sketchers() {
 }
 
 std::string sketcher_description(const std::string& name) {
+  if (is_sharded_name(name)) {
+    const std::string inner = sharded_inner_name(name);
+    ARAMS_CHECK(sketcher_registered(name), "unknown sketcher: " + name);
+    return "concurrent sharded ingest over '" + canonical_name(inner) +
+           "', pool tree-merged at sketch() (--shards=N)";
+  }
   const std::string canonical = canonical_name(name);
   ARAMS_CHECK(!canonical.empty(), "unknown sketcher: " + name);
   for (const auto& entry : kBackends) {
@@ -258,6 +306,15 @@ std::unique_ptr<Sketcher> make_sketcher(const SketcherConfig& config) {
     msg << "invalid sketcher config:";
     for (const auto& err : errors) msg << " " << err << ";";
     ARAMS_CHECK(false, msg.str());
+  }
+  if (is_sharded_name(config.backend) || config.shards > 1) {
+    SketcherConfig inner = config;
+    inner.backend = is_sharded_name(config.backend)
+                        ? sharded_inner_name(config.backend)
+                        : config.backend;
+    inner.shards = 1;
+    return std::make_unique<ShardedSketcher>(inner, config.shards,
+                                             &parallel::shared_pool());
   }
   const std::string canonical = canonical_name(config.backend);
   if (canonical == "arams") {

@@ -17,6 +17,10 @@
 //   rangefinder  single-pass randomized range-finder / Nyström sketch of
 //                AᵀA (Tropp, Yurtsever, Udell, Cevher 2017)
 //
+// Any backend can additionally be wrapped in N concurrent ingest shards
+// with the "sharded:<inner>" spelling (e.g. "sharded:fd") or by setting
+// SketcherConfig::shards > 1 — see core/sharded.hpp.
+//
 // ## Empty-state contract (uniform across every backend)
 //
 //  * `dim() == 0` until the first row lands in the sketch. Note that a
@@ -98,8 +102,10 @@ class Sketcher {
   /// Folds stats() into a StageReport — the structured form every result
   /// type carries. When any fp32 rows were ingested the report also gains
   /// the lane's counters ("rows_ingested_f32", "ingest_widen" seconds), so
-  /// fp64-only runs keep their report shape bit-for-bit.
-  void report(obs::StageReport& out) const {
+  /// fp64-only runs keep their report shape bit-for-bit. Virtual so
+  /// composite backends (sharded) can append their own keys; overrides
+  /// must call the base.
+  virtual void report(obs::StageReport& out) const {
     append_to_report(stats(), out);
     if (rows_f32_ > 0) {
       out.add_counter("rows_ingested_f32", rows_f32_);
@@ -140,6 +146,11 @@ struct SketcherConfig {
   std::string backend = "arams";  ///< canonical name or registered alias
   std::size_t ell = 32;           ///< sketch rows for non-arams backends
   std::uint64_t seed = 2024;      ///< RNG seed for non-arams backends
+
+  /// Concurrent ingest shards. 1 = plain single instance. Either shards > 1
+  /// or a "sharded:<inner>" backend spelling builds a core::ShardedSketcher
+  /// over the shared pool; shard i seeds with seed + i.
+  std::size_t shards = 1;
 
   /// Full parameter set for the "arams" backend.
   AramsConfig arams;

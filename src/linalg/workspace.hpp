@@ -79,6 +79,11 @@ inline constexpr std::size_t kAnnOrder = 1;    ///< idx slot: candidate indices
 // scratch above may be live, so the lane claims fresh ids.
 inline constexpr std::size_t kIngestWiden = 15;  ///< widened fp32 batch
 inline constexpr std::size_t kIngestRow = 10;    ///< vec slot: widened row
+// Sharded ingest + parallel merge (core/sharded.cpp, core/merge.cpp).
+// Each merge group / ingest shard owns its own arena, but the merge stack
+// nests above sigma_vt_svd in the same arena, so it claims a fresh id.
+inline constexpr std::size_t kMergeStack = 16;   ///< stacked group sketches
+inline constexpr std::size_t kShardGather = 17;  ///< gathered shard rows
 }  // namespace wslot
 
 class Workspace {

@@ -21,6 +21,11 @@ obs::Gauge& queue_depth_gauge() {
   return gauge;
 }
 
+/// The pool whose worker_loop the current thread is inside, if any — the
+/// re-entrancy signal parallel_for uses to run nested work inline instead
+/// of deadlocking on its own queue.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -45,6 +50,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
+  t_worker_pool = this;
   static obs::Histogram& wait_latency =
       obs::metrics().histogram("pool.task_wait_seconds");
   static obs::Histogram& run_latency =
@@ -113,8 +119,21 @@ ThreadPool& shared_pool() {
   return pool;
 }
 
+bool ThreadPool::on_worker_thread() const {
+  return t_worker_pool == this;
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  if (on_worker_thread()) {
+    // Nested dispatch from one of our own workers: run inline. Waiting on
+    // futures here would park this worker while the subtasks sit behind it
+    // in the same queue — a guaranteed deadlock once every worker does it.
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {

@@ -40,8 +40,18 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, count) across the pool and waits for all.
   /// Exceptions from tasks are rethrown (first one wins).
+  ///
+  /// Re-entrancy: when called from one of this pool's own workers (a shard
+  /// task whose inner GEMM dispatches row bands back onto the same pool),
+  /// the loop runs inline on the calling worker instead of enqueueing.
+  /// Blocking a worker on futures served by the same queue can deadlock a
+  /// saturated pool; inline execution is safe because the parallel and
+  /// serial kernel paths are bitwise identical.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const;
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 

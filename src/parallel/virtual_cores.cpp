@@ -70,6 +70,14 @@ ScalingResult run_sharded_sketch(
     result.merge_phase_seconds =
         result.merge_stats.critical_path_seconds +
         static_cast<double>(p - 1) * config.comm.cost(message_bytes);
+  } else if (config.strategy == MergeStrategy::kTreePool) {
+    result.sketch = core::parallel_tree_merge(
+        std::move(sketches), config.ell, config.tree_arity,
+        &result.merge_stats, &shared_pool());
+    // Executed in-process: the measured reduction wall *is* the merge
+    // phase, and no messages cross cores.
+    result.merge_phase_seconds =
+        result.merge_stats.critical_path_seconds_measured;
   } else {
     result.sketch = core::tree_merge(std::move(sketches), config.ell,
                                      config.tree_arity, &result.merge_stats);
@@ -80,6 +88,8 @@ ScalingResult run_sharded_sketch(
             static_cast<double>(config.tree_arity - 1) *
             config.comm.cost(message_bytes);
   }
+  result.merge_phase_measured_seconds =
+      result.merge_stats.critical_path_seconds_measured;
   result.total_work_seconds += result.merge_stats.total_seconds;
   result.total_svds += result.merge_stats.merge_ops;
   result.critical_path_svds = result.merge_stats.critical_path_ops;

@@ -33,7 +33,12 @@ struct CommModel {
   }
 };
 
-enum class MergeStrategy { kTree, kSerial };
+/// kTree and kSerial time a *simulated* reduction (the modeled critical
+/// path plus the comm model). kTreePool executes the reduction for real:
+/// every level's merge groups run concurrently on the shared pool
+/// (core::parallel_tree_merge), and the merge phase is the measured wall
+/// time — no comm model, since nothing leaves the process.
+enum class MergeStrategy { kTree, kSerial, kTreePool };
 
 struct ScalingConfig {
   std::size_t num_cores = 4;
@@ -56,7 +61,12 @@ struct ScalingResult {
   std::vector<CoreReport> cores;
   core::MergeStats merge_stats;
   double local_phase_seconds = 0.0;      ///< max core-local sketch time
-  double merge_phase_seconds = 0.0;      ///< merge critical path + comm model
+  /// kTree/kSerial: modeled merge critical path + comm model.
+  /// kTreePool: measured wall time of the pool-executed reduction.
+  double merge_phase_seconds = 0.0;
+  /// Real wall time of the merge as executed, whatever the strategy
+  /// (== merge_stats.critical_path_seconds_measured; 0 when p == 1).
+  double merge_phase_measured_seconds = 0.0;
   double makespan_seconds = 0.0;         ///< local + merge phases
   double total_work_seconds = 0.0;       ///< Σ all core + merge work
   long critical_path_svds = 0;           ///< shrinks a rank would wait on

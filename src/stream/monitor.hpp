@@ -85,7 +85,12 @@ struct SnapshotResult {
 /// sketch backend is whatever `config.pipeline.sketcher` names in the
 /// core::make_sketcher registry — ARAMS by default, but any registered
 /// backend (fd/isvd/gaussian/countsketch/normsample/rangefinder) drives the
-/// same snapshot, watchdog and error-tracker plumbing.
+/// same snapshot, watchdog and error-tracker plumbing. With
+/// `config.pipeline.shards > 1` (or a "sharded:<inner>" backend name) the
+/// batches drained from the bounded ingest queue fan out to per-shard
+/// consumers on the shared pool: each sketch update round-robins its rows
+/// across N concurrent shard sketchers (core::ShardedSketcher), which
+/// tree-merge on demand at snapshot/error-check time.
 class StreamingMonitor {
  public:
   explicit StreamingMonitor(const MonitorConfig& config);

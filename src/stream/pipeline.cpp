@@ -69,6 +69,9 @@ std::vector<std::string> PipelineConfig::validate() const {
   if (num_cores < 1) {
     errors.push_back("num_cores must be >= 1, got " + fmt(num_cores));
   }
+  if (shards < 1) {
+    errors.push_back("shards must be >= 1, got " + fmt(shards));
+  }
   if (pca_components == 0) {
     errors.push_back("pca_components must be >= 1");
   }
@@ -92,6 +95,7 @@ std::vector<std::string> PipelineConfig::validate() const {
 core::SketcherConfig PipelineConfig::sketcher_config() const {
   core::SketcherConfig out;
   out.backend = sketcher;
+  out.shards = shards;
   out.arams = sketch;
   out.ell = sketch.ell;
   out.seed = sketch.seed;
@@ -212,9 +216,11 @@ PipelineResult MonitoringPipeline::run_stages(
 
   // --- stage 2: sharded ARAMS sketch, tree-merged; or any other
   // factory-registered backend as a single streaming instance ---
-  if (config_.sketcher != "arams") {
-    // Non-ARAMS backends have no mergeable-shard story (tree_merge is an
-    // FD-family operation), so they run one instance over all rows.
+  if (config_.sketcher != "arams" || config_.shards > 1) {
+    // Non-ARAMS backends run one streaming instance over all rows; with
+    // shards > 1 the factory wraps any backend (arams included) in a
+    // ShardedSketcher — concurrent round-robin ingest on the shared pool,
+    // pool-executed tree merge at sketch time.
     const obs::ScopedSpan stage_span("pipeline.sketch");
     const std::unique_ptr<core::Sketcher> sketcher =
         core::make_sketcher(config_.sketcher_config());

@@ -35,14 +35,22 @@ struct PipelineConfig {
   /// "gaussian", "countsketch", "normsample", "rangefinder") runs a single
   /// streaming instance over all rows, taking ell/seed from `sketch`.
   std::string sketcher = "arams";
+  /// Concurrent in-process ingest shards for the factory sketcher path
+  /// (core::ShardedSketcher on the shared pool, pool-executed tree merge
+  /// at sketch time). 1 (default) keeps the classic single-instance /
+  /// virtual-core behavior bitwise unchanged; > 1 routes stage 2 through
+  /// "sharded:<sketcher>". Orthogonal to `num_cores`, which drives the
+  /// legacy arams-only range-partitioned shard path.
+  std::size_t shards = 1;
   /// Ingest lane precision. kF64 (default) is the bitwise-unchanged
   /// classic path. kF32 narrows frames at the door, preprocesses at fp32,
   /// and feeds the sketcher through its fp32 entry point (native
   /// mixed-precision for arams/fd/gaussian/countsketch, widening shim for
   /// the rest) — halving ingest memory traffic while every accumulation
-  /// stays fp64. The fp32 lane runs a single streaming sketcher instance
-  /// (`num_cores` is ignored; the sharded tree-merge is an fp64-batch
-  /// construct).
+  /// stays fp64. The fp32 lane runs one streaming sketcher instance
+  /// (`num_cores` is ignored; the legacy arams tree-merge is an fp64-batch
+  /// construct), but `shards` still applies: the sharded wrapper gathers
+  /// and fans out fp32 rows natively.
   enum class IngestPrecision { kF64, kF32 };
   IngestPrecision ingest_precision = IngestPrecision::kF64;
   std::size_t num_cores = 4;         ///< virtual cores for sketching

@@ -10,6 +10,8 @@
 #include "core/merge.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/norms.hpp"
+#include "obs/stage_report.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 #include "util/check.hpp"
 
@@ -44,6 +46,7 @@ TEST(Merge, EmptyInputThrows) {
   EXPECT_THROW(merge_group({}, 4), CheckError);
   EXPECT_THROW(serial_merge({}, 4), CheckError);
   EXPECT_THROW(tree_merge({}, 4), CheckError);
+  EXPECT_THROW(parallel_tree_merge({}, 4), CheckError);
 }
 
 TEST(Merge, SingleSketchPassesThrough) {
@@ -180,6 +183,117 @@ TEST(Merge, OddShardCountHandled) {
   const Matrix merged = tree_merge(std::move(sketches), 4, 2, &stats);
   EXPECT_LE(merged.rows(), 4u);
   EXPECT_EQ(stats.levels, 3);  // 7 → 4 → 2 → 1
+}
+
+TEST(Merge, ParallelTreeIsBitwiseTreeAtAnyPoolSize) {
+  // parallel_tree_merge only reschedules tree_merge's groups; the reduction
+  // itself — group membership, stack order, shrink math — is fixed, so the
+  // result is bitwise identical inline, on one worker, or on many.
+  Rng rng(11);
+  std::vector<Matrix> sketches;
+  for (int i = 0; i < 7; ++i) {
+    sketches.push_back(random_matrix(4, 8, rng));
+  }
+  auto copy = sketches;
+  const Matrix expected = tree_merge(std::move(copy), 4);
+
+  copy = sketches;
+  const Matrix inline_run = parallel_tree_merge(std::move(copy), 4);
+  EXPECT_EQ(Matrix::max_abs_diff(inline_run, expected), 0.0);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    parallel::ThreadPool pool(threads);
+    copy = sketches;
+    const Matrix pooled =
+        parallel_tree_merge(std::move(copy), 4, 2, nullptr, &pool);
+    EXPECT_EQ(Matrix::max_abs_diff(pooled, expected), 0.0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Merge, ParallelTreeKeepsTreeAccountingAndMeasuresWall) {
+  Rng rng(12);
+  std::vector<Matrix> sketches;
+  for (int i = 0; i < 16; ++i) {
+    sketches.push_back(random_matrix(4, 8, rng));
+  }
+  auto copy = sketches;
+  MergeStats tree_stats;
+  tree_merge(std::move(copy), 4, 2, &tree_stats);
+
+  copy = sketches;
+  MergeStats stats;
+  parallel_tree_merge(std::move(copy), 4, 2, &stats);
+  EXPECT_EQ(stats.merge_ops, tree_stats.merge_ops);
+  EXPECT_EQ(stats.levels, tree_stats.levels);
+  EXPECT_EQ(stats.critical_path_ops, tree_stats.critical_path_ops);
+  EXPECT_GT(stats.critical_path_seconds_measured, 0.0);
+  EXPECT_GT(stats.critical_path_seconds_modeled, 0.0);
+  // Inline execution dispatches nothing.
+  EXPECT_EQ(stats.parallel_groups, 0);
+
+  // On a multi-worker pool every level with >1 group is dispatched:
+  // 16 → 8 + 4 + 2 dispatched groups, the final lone group runs inline.
+  parallel::ThreadPool pool(4);
+  copy = sketches;
+  MergeStats pooled;
+  parallel_tree_merge(std::move(copy), 4, 2, &pooled, &pool);
+  EXPECT_EQ(pooled.parallel_groups, 14);
+  EXPECT_GT(pooled.critical_path_seconds_measured, 0.0);
+}
+
+TEST(Merge, LegacyCriticalPathFieldIsTheModeledMakespan) {
+  // Pre-existing consumers (virtual_cores, the figure tests) read
+  // critical_path_seconds as the slowest-group-per-level model; the
+  // measured wall lives in its own field for every strategy.
+  Rng rng(13);
+  for (const int strategy : {0, 1, 2}) {
+    std::vector<Matrix> sketches;
+    for (int i = 0; i < 8; ++i) {
+      sketches.push_back(random_matrix(4, 8, rng));
+    }
+    MergeStats stats;
+    switch (strategy) {
+      case 0:
+        serial_merge(std::move(sketches), 4, &stats);
+        break;
+      case 1:
+        tree_merge(std::move(sketches), 4, 2, &stats);
+        break;
+      default:
+        parallel_tree_merge(std::move(sketches), 4, 2, &stats);
+        break;
+    }
+    EXPECT_EQ(stats.critical_path_seconds,
+              stats.critical_path_seconds_modeled)
+        << "strategy " << strategy;
+    EXPECT_GT(stats.critical_path_seconds_measured, 0.0)
+        << "strategy " << strategy;
+  }
+}
+
+TEST(Merge, StatsRoundTripThroughStageReport) {
+  Rng rng(14);
+  std::vector<Matrix> sketches;
+  for (int i = 0; i < 8; ++i) {
+    sketches.push_back(random_matrix(4, 8, rng));
+  }
+  parallel::ThreadPool pool(2);
+  MergeStats stats;
+  parallel_tree_merge(std::move(sketches), 4, 2, &stats, &pool);
+
+  obs::StageReport report;
+  append_to_report(stats, report);
+  const MergeStats back = merge_stats_from_report(report);
+  EXPECT_EQ(back.merge_ops, stats.merge_ops);
+  EXPECT_EQ(back.levels, stats.levels);
+  EXPECT_EQ(back.critical_path_ops, stats.critical_path_ops);
+  EXPECT_EQ(back.parallel_groups, stats.parallel_groups);
+  EXPECT_EQ(back.critical_path_seconds, stats.critical_path_seconds);
+  EXPECT_EQ(back.critical_path_seconds_modeled,
+            stats.critical_path_seconds_modeled);
+  EXPECT_EQ(back.critical_path_seconds_measured,
+            stats.critical_path_seconds_measured);
 }
 
 TEST(Merge, MergedSketchHasNoZeroRows) {

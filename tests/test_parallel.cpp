@@ -52,6 +52,34 @@ TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
   EXPECT_GE(pool.thread_count(), 1u);
 }
 
+TEST(ThreadPool, OnWorkerThreadIsPoolSpecific) {
+  ThreadPool pool(2);
+  ThreadPool other(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  bool inside_own = false;
+  bool inside_other = true;
+  pool.submit([&] {
+        inside_own = pool.on_worker_thread();
+        inside_other = other.on_worker_thread();
+      })
+      .get();
+  EXPECT_TRUE(inside_own);
+  EXPECT_FALSE(inside_other);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A shard task whose inner kernel dispatches onto the same pool must not
+  // block on futures served by its own queue: the nested parallel_for runs
+  // inline on the calling worker. With every worker occupied by an outer
+  // task, a queue-based nested dispatch would deadlock this test.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(4, [&pool, &counter](std::size_t) {
+    pool.parallel_for(8, [&counter](std::size_t) { ++counter; });
+  });
+  EXPECT_EQ(counter.load(), 32);
+}
+
 Matrix shard_data(std::size_t rows, std::size_t d, std::uint64_t seed) {
   Matrix m(rows, d);
   Rng rng(seed);
@@ -159,6 +187,37 @@ TEST(VirtualCores, ThreadedRunMatchesSequentialSketchQuality) {
   Rng power(5);
   const double err = linalg::covariance_error(full, r.sketch, power, 150);
   EXPECT_LE(err, 2.0 * linalg::frobenius_norm_squared(full) / 8.0);
+}
+
+TEST(VirtualCores, TreePoolExecutesTheMergeForReal) {
+  // kTreePool runs the reduction on the shared pool. Its sketch must be
+  // bitwise the simulated tree's (the reduction structure is fixed;
+  // scheduling decides only when a group runs), its merge phase is the
+  // measured wall (no comm model), and the measured makespan is also
+  // surfaced for the modeled strategies.
+  constexpr std::size_t kCores = 8;
+  std::vector<Matrix> shards;
+  for (std::size_t c = 0; c < kCores; ++c) {
+    shards.push_back(shard_data(30, 10, c + 200));
+  }
+  const auto provider = [&shards](std::size_t core) {
+    return shards[core];
+  };
+  const ScalingResult tree = run_sharded_sketch(
+      base_scaling(kCores, MergeStrategy::kTree), provider);
+  const ScalingResult pooled = run_sharded_sketch(
+      base_scaling(kCores, MergeStrategy::kTreePool), provider);
+
+  EXPECT_EQ(Matrix::max_abs_diff(pooled.sketch, tree.sketch), 0.0);
+  EXPECT_EQ(pooled.merge_stats.merge_ops, tree.merge_stats.merge_ops);
+  EXPECT_EQ(pooled.critical_path_svds, tree.critical_path_svds);
+  EXPECT_GT(pooled.merge_phase_measured_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(pooled.merge_phase_seconds,
+                   pooled.merge_stats.critical_path_seconds_measured);
+  // The modeled strategies report the measured wall alongside the model.
+  EXPECT_GT(tree.merge_phase_measured_seconds, 0.0);
+  EXPECT_EQ(tree.merge_phase_measured_seconds,
+            tree.merge_stats.critical_path_seconds_measured);
 }
 
 TEST(CommModel, CostIsLatencyPlusTransfer) {

@@ -15,9 +15,11 @@
 #   tools/bench_to_json.sh micro_distance build BENCH_downstream.json
 #   tools/bench_to_json.sh build /tmp/after.json --benchmark_filter='BM_Gemm.*'
 #   tools/bench_to_json.sh ablation_baselines       # -> BENCH_sketchers.json
+#   tools/bench_to_json.sh fig2_scaling             # -> BENCH_merge.json
 #
-# `ablation_baselines` is not a google-benchmark binary; it is special-cased
-# below onto its own --json-out flag (default output BENCH_sketchers.json).
+# `ablation_baselines` and `fig2_scaling` are not google-benchmark binaries;
+# they are special-cased below onto their own --json-out flag (default
+# outputs BENCH_sketchers.json and BENCH_merge.json).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -31,6 +33,8 @@ fi
 default_out="BENCH_${bench_name#micro_}.json"
 if [[ "${bench_name}" == "ablation_baselines" ]]; then
   default_out="BENCH_sketchers.json"
+elif [[ "${bench_name}" == "fig2_scaling" ]]; then
+  default_out="BENCH_merge.json"
 fi
 
 build_dir="${1:-${repo_root}/build}"
@@ -45,9 +49,9 @@ if [[ ! -x "${bench_bin}" ]]; then
 fi
 
 echo "Running ${bench_bin} -> ${out_file}" >&2
-if [[ "${bench_name}" == "ablation_baselines" ]]; then
-  # Hand-rolled harness: emits its own JSON via --json-out instead of the
-  # google-benchmark reporter flags.
+if [[ "${bench_name}" == "ablation_baselines" || "${bench_name}" == "fig2_scaling" ]]; then
+  # Hand-rolled harnesses: they emit their own JSON via --json-out instead
+  # of the google-benchmark reporter flags.
   "${bench_bin}" --json-out="${out_file}" "$@"
   echo "Wrote ${out_file}" >&2
   exit 0

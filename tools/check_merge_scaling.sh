@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Merge-scaling gate: runs the measured fig2_scaling harness and asserts
+# the sharded ingest + pool-executed tree merge actually scale —
+#   * 4-shard ingest throughput >= 1.5x the single-shard rate, and
+#   * parallel tree-merge wall < the serial fold wall at P >= 4 shards.
+# Both claims need real cores, so on hosts with fewer than 4 the check
+# SKIPS (exit 0 with a notice) instead of asserting noise: a 1-core
+# container runs every shard and merge group inline, where the columns are
+# flat by construction.
+#
+# Invoked by ctest as `merge_scaling` with FIG2_BENCH pointing at the
+# fig2_scaling binary.
+set -euo pipefail
+
+BIN="${FIG2_BENCH:?FIG2_BENCH must point at the fig2_scaling bench binary}"
+CORES="$(nproc 2>/dev/null || echo 1)"
+if [[ "${CORES}" -lt 4 ]]; then
+  echo "SKIP: merge scaling needs >= 4 cores, host has ${CORES}" \
+       "(shards and merge groups run inline below that)"
+  exit 0
+fi
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$BIN" --n=8192 --d=256 --ell=32 --max-shards=8 --reps=3 \
+  --json-out="$DIR/merge.json" >/dev/null
+
+python3 - "$DIR/merge.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rows = {b["shards"]: b for b in report["benchmarks"]}
+if 1 not in rows or 4 not in rows:
+    print("missing 1-shard or 4-shard row in the report", file=sys.stderr)
+    sys.exit(1)
+
+status = 0
+
+base = float(rows[1]["ingest_rows_per_s"])
+rate4 = float(rows[4]["ingest_rows_per_s"])
+speedup = rate4 / base if base > 0 else 0.0
+ok = speedup >= 1.5
+print(f"[{'ok' if ok else 'FAIL'}] ingest: 4-shard {rate4:.0f} rows/s vs "
+      f"1-shard {base:.0f} rows/s = {speedup:.2f}x (floor 1.5x)")
+if not ok:
+    status = 1
+
+for shards, row in sorted(rows.items()):
+    if shards < 4:
+        continue
+    serial = float(row["serial_merge_s"])
+    par = float(row["parallel_merge_s"])
+    ok = 0.0 < par < serial
+    print(f"[{'ok' if ok else 'FAIL'}] merge @{shards} shards: parallel "
+          f"{par:.6f}s vs serial {serial:.6f}s")
+    if not ok:
+        status = 1
+
+sys.exit(status)
+EOF
+
+echo "merge scaling OK"
